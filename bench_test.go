@@ -1,0 +1,298 @@
+package sparqlrw
+
+// One benchmark per experiment of the paper's reproduction (see DESIGN.md
+// §4 and EXPERIMENTS.md). `go test -bench=. -benchmem` regenerates the
+// timing side of every table; cmd/benchrunner prints the full tables with
+// the paper-vs-measured columns.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/core"
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/reason"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+const figure1Text = `PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author id:person-02686 .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686 ))
+}`
+
+func paperRewriter() *core.Rewriter {
+	cs := coref.NewStore()
+	cs.Add("http://southampton.rkbexplorer.com/id/person-02686",
+		"http://kisti.rkbexplorer.com/id/PER_00000000105047")
+	return core.New(workload.AKT2KISTI().Alignments, funcs.StandardRegistry(cs))
+}
+
+// BenchmarkE1_ParseFigure1 — E1: the Figure 1 query parses.
+func BenchmarkE1_ParseFigure1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(figure1Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_RewriteFigure1 — E2/E3: the §3.3.2 worked example rewrite.
+func BenchmarkE2_RewriteFigure1(b *testing.B) {
+	rw := paperRewriter()
+	q := sparql.MustParse(figure1Text)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rw.RewriteQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_AlignmentKBLoad — E4: the 24+42 alignment KB round-trips
+// through its reified RDF representation.
+func BenchmarkE4_AlignmentKBLoad(b *testing.B) {
+	ttl := align.FormatTurtle([]*align.OntologyAlignment{workload.AKT2KISTI(), workload.ECS2DBpedia()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oas, _, err := align.ParseTurtle(ttl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(oas) != 2 {
+			b.Fatal("alignment count")
+		}
+	}
+}
+
+func benchStack(b *testing.B) (*workload.Universe, *mediate.Mediator) {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	soton := httptest.NewServer(endpoint.NewServer("southampton", u.Southampton))
+	b.Cleanup(soton.Close)
+	kisti := httptest.NewServer(endpoint.NewServer("kisti", u.KISTI))
+	b.Cleanup(kisti.Close)
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.KistiVoidURI, SPARQLEndpoint: kisti.URL,
+		URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}})
+	alignKB := align.NewKB()
+	_ = alignKB.Add(workload.AKT2KISTI())
+	m := mediate.New(dsKB, alignKB, u.Coref)
+	m.RewriteFilters = true
+	return u, m
+}
+
+// BenchmarkE5_MediatorEndToEnd — E5: rewrite + federated execution over
+// HTTP against both endpoints.
+func BenchmarkE5_MediatorEndToEnd(b *testing.B) {
+	_, m := benchStack(b)
+	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := workload.Figure1Query(i % 50)
+		if _, err := m.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_FederatedRecall — E6: the recall experiment loop (source
+// alone vs both repositories).
+func BenchmarkE6_FederatedRecall(b *testing.B) {
+	_, m := benchStack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := workload.Figure1Query(i % 50)
+		so, err := m.FederatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fed, err := m.FederatedSelect(q, rdf.AKTNS,
+			[]string{workload.SotonVoidURI, workload.KistiVoidURI})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fed.Solutions) < len(so.Solutions) {
+			b.Fatal("federation lost answers")
+		}
+	}
+}
+
+// BenchmarkE7_RewriteVsMaterialise — E7: the scalability comparison. The
+// Rewrite and Materialise sub-benchmarks share the same universe size so
+// their ns/op are directly comparable.
+func BenchmarkE7_RewriteVsMaterialise(b *testing.B) {
+	cfg := workload.Config{Persons: 500, Papers: 2000, MaxAuthors: 4, Overlap: 1.0, Seed: 42}
+	u := workload.Generate(cfg)
+	oa := workload.AKT2KISTI()
+	b.Run("Rewrite", func(b *testing.B) {
+		rw := core.New(oa.Alignments, funcs.StandardRegistry(u.Coref))
+		q := sparql.MustParse(workload.Figure1Query(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rw.RewriteQuery(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Materialise", func(b *testing.B) {
+		m := reason.New(oa.Alignments, u.Coref, reason.Options{SourceURISpace: workload.SotonURIPattern})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := store.New()
+			if _, err := m.Materialise(u.KISTI, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_FilterExtension — E8: Figure 6 rewriting with the algebra
+// extension enabled (FILTER constants translated).
+func BenchmarkE8_FilterExtension(b *testing.B) {
+	rw := paperRewriter()
+	rw.Opts.RewriteFilters = true
+	rw.Opts.TargetURISpace = workload.KistiURIPattern
+	q := sparql.MustParse(`PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author ?n.
+  ?paper akt:has-author ?a.
+  FILTER (!(?a = id:person-02686 ) && (?n = id:person-02686))
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rw.RewriteQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_CorefLookup — E9: equivalence-class lookup with the 200+
+// member class the paper reports for one person.
+func BenchmarkE9_CorefLookup(b *testing.B) {
+	cs := coref.NewStore()
+	hub := "http://southampton.rkbexplorer.com/id/person-02686"
+	for i := 0; i < 200; i++ {
+		cs.Add(hub, fmt.Sprintf("http://mirror%03d.example/id/person-02686", i))
+	}
+	cs.Add(hub, "http://kisti.rkbexplorer.com/id/PER_00000000105047")
+	reg := funcs.StandardRegistry(cs)
+	args := []rdf.Term{rdf.NewIRI(hub), rdf.NewLiteral(workload.KistiURIPattern)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Call(rdf.MapSameAs, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_RewriteScaling — E10: the BGP-size × alignment-KB grid.
+func BenchmarkE10_RewriteScaling(b *testing.B) {
+	for _, bgp := range []int{1, 4, 16} {
+		for _, kb := range []int{8, 64, 512} {
+			b.Run(fmt.Sprintf("bgp%d_kb%d", bgp, kb), func(b *testing.B) {
+				rw := core.New(workload.SyntheticAlignments(kb), nil)
+				q := sparql.MustParse(workload.SyntheticBGPQuery(bgp, kb))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := rw.RewriteQuery(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMatchMode — first-match (paper) vs all-matches union.
+func BenchmarkAblationMatchMode(b *testing.B) {
+	eas := workload.SyntheticAlignments(64)
+	eas = append(eas, workload.SyntheticAlignments(64)...) // duplicates
+	q := sparql.MustParse(workload.SyntheticBGPQuery(8, 64))
+	for _, mode := range []struct {
+		name string
+		mm   core.MatchMode
+	}{{"FirstMatch", core.FirstMatch}, {"AllMatches", core.AllMatches}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rw := core.New(eas, nil)
+			rw.Opts.MatchMode = mode.mm
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rw.RewriteQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationJoinReorder — evaluator selectivity heuristic on/off.
+func BenchmarkAblationJoinReorder(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	u := workload.Generate(cfg)
+	q := sparql.MustParse(workload.Figure1Query(1))
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"Heuristic", false}, {"SyntacticOrder", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := &eval.Engine{Store: u.Southampton, DisableJoinReorder: mode.disable}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Select(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFDPolicy — FD failure policies under an empty coref
+// store (every ground sameas fails).
+func BenchmarkAblationFDPolicy(b *testing.B) {
+	q := sparql.MustParse(workload.Figure1Query(3))
+	for _, mode := range []struct {
+		name   string
+		policy core.FDPolicy
+	}{{"KeepOriginal", core.KeepOriginal}, {"SkipAlignment", core.SkipAlignment}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rw := core.New(workload.AKT2KISTI().Alignments, funcs.StandardRegistry(coref.NewStore()))
+			rw.Opts.Policy = mode.policy
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := rw.RewriteQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

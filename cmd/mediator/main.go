@@ -1,0 +1,114 @@
+// Command mediator runs the paper's full three-tier deployment (Figures 4
+// and 5) against generated stand-ins for the Southampton and KISTI data
+// sets: two SPARQL protocol endpoints, a sameas.org-style co-reference
+// service, and the mediator with its REST API and web UI.
+//
+// Usage:
+//
+//	mediator [-addr :8080] [-persons 100] [-papers 300] [-filters]
+//
+// Then open http://localhost:8080/ for the Figure-4-style UI, or use the
+// REST API:
+//
+//	curl -s localhost:8080/api/datasets
+//	curl -s -X POST localhost:8080/api/rewrite \
+//	     -d '{"query":"...", "target":"http://kisti.rkbexplorer.com/id/void"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mediator:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "mediator listen address")
+	persons := flag.Int("persons", 100, "generated researchers")
+	papers := flag.Int("papers", 300, "generated Southampton papers")
+	filters := flag.Bool("filters", true, "enable the §4 FILTER-rewriting extension")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers, cfg.Seed = *persons, *papers, *seed
+	u := workload.Generate(cfg)
+	fmt.Printf("generated universe: southampton=%d triples, kisti=%d triples, %d sameAs classes\n",
+		u.Southampton.Size(), u.KISTI.Size(), u.Coref.Classes())
+
+	// Tier 3: the remote data sets (SPARQL/HTTP in Figure 5).
+	sotonLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	kistiLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	corefLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(sotonLis, endpoint.NewServer("southampton", u.Southampton)) }()
+	go func() { _ = http.Serve(kistiLis, endpoint.NewServer("kisti", u.KISTI)) }()
+	go func() { _ = http.Serve(corefLis, coref.Handler(u.Coref)) }()
+	sotonURL := "http://" + sotonLis.Addr().String()
+	kistiURL := "http://" + kistiLis.Addr().String()
+	corefURL := "http://" + corefLis.Addr().String()
+	fmt.Printf("southampton endpoint: %s\nkisti endpoint:       %s\nsameas service:       %s\n",
+		sotonURL, kistiURL, corefURL)
+
+	// Tier 2: the knowledge bases.
+	dsKB := voidkb.NewKB()
+	if err := dsKB.Add(&voidkb.Dataset{
+		URI: workload.SotonVoidURI, Title: "Southampton RKB",
+		SPARQLEndpoint: sotonURL,
+		URISpace:       workload.SotonURIPattern,
+		Vocabularies:   []string{rdf.AKTNS},
+	}); err != nil {
+		return err
+	}
+	if err := dsKB.Add(&voidkb.Dataset{
+		URI: workload.KistiVoidURI, Title: "KISTI",
+		SPARQLEndpoint: kistiURL,
+		URISpace:       workload.KistiURIPattern,
+		Vocabularies:   []string{rdf.KISTINS},
+	}); err != nil {
+		return err
+	}
+	alignKB := align.NewKB()
+	if err := alignKB.Add(workload.AKT2KISTI()); err != nil {
+		return err
+	}
+	if err := alignKB.Add(workload.ECS2DBpedia()); err != nil {
+		return err
+	}
+	fmt.Printf("alignment KB: %d ontology alignments, %d entity alignments\n",
+		alignKB.Len(), alignKB.EntityAlignmentCount())
+
+	// Tier 1: the mediator, talking to the co-reference service over HTTP
+	// exactly as the paper wraps sameas.org.
+	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL))
+	m.RewriteFilters = *filters
+
+	fmt.Printf("mediator UI:          http://localhost%s/\n", *addr)
+	fmt.Printf("example:\n  curl -s -X POST localhost%s/api/rewrite -d '{\"query\":%q,\"target\":%q}'\n",
+		*addr, workload.Figure1Query(1), workload.KistiVoidURI)
+	return http.ListenAndServe(*addr, mediate.Handler(m))
+}

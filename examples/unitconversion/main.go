@@ -1,0 +1,97 @@
+// Unit conversion: functional dependencies beyond co-reference. The paper
+// notes (§3.3) that "data manipulation functions can come handy in many
+// occasions when integrating heterogeneous data sets ... different unit
+// measures can be adopted". This example aligns a metric sensor schema to
+// an imperial one: the distance value is converted *at rewrite time* —
+// the target endpoint never needs to know the conversion function (the
+// paper's "safe assumption").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparqlrw"
+)
+
+const (
+	metricNS   = "http://sensors.example/metric#"
+	imperialNS = "http://sensors.example/imperial#"
+	mapNS      = "http://ecs.soton.ac.uk/om.owl#"
+)
+
+func main() {
+	// Alignment: ⟨?s, metric:distanceKm, ?d⟩ →
+	//            ⟨?s, imperial:distanceMiles, ?d2⟩ with ?d2 = kmToMiles(?d).
+	distance := &sparqlrw.EntityAlignment{
+		ID: "http://sensors.example/alignments#distance",
+		LHS: sparqlrw.NewTriple(
+			sparqlrw.NewVar("s"), sparqlrw.NewIRI(metricNS+"distanceKm"), sparqlrw.NewVar("d")),
+		RHS: []sparqlrw.Triple{sparqlrw.NewTriple(
+			sparqlrw.NewVar("s"), sparqlrw.NewIRI(imperialNS+"distanceMiles"), sparqlrw.NewVar("d2"))},
+		FDs: []sparqlrw.FD{{Var: "d2", Func: mapNS + "kmToMiles",
+			Args: []sparqlrw.Term{sparqlrw.NewVar("d")}}},
+	}
+	// Temperature: Celsius threshold becomes Fahrenheit.
+	temperature := &sparqlrw.EntityAlignment{
+		ID: "http://sensors.example/alignments#temperature",
+		LHS: sparqlrw.NewTriple(
+			sparqlrw.NewVar("s"), sparqlrw.NewIRI(metricNS+"tempC"), sparqlrw.NewVar("t")),
+		RHS: []sparqlrw.Triple{sparqlrw.NewTriple(
+			sparqlrw.NewVar("s"), sparqlrw.NewIRI(imperialNS+"tempF"), sparqlrw.NewVar("t2"))},
+		FDs: []sparqlrw.FD{{Var: "t2", Func: mapNS + "celsiusToFahrenheit",
+			Args: []sparqlrw.Term{sparqlrw.NewVar("t")}}},
+	}
+
+	registry := sparqlrw.NewFunctionRegistry(sparqlrw.NewCorefStore())
+	rw := sparqlrw.NewRewriter([]*sparqlrw.EntityAlignment{distance, temperature}, registry)
+
+	// A metric query with GROUND values: exactly the case where the FD
+	// must execute during rewriting (a bound value, not a variable).
+	query, err := sparqlrw.ParseQuery(`PREFIX m:<` + metricNS + `>
+SELECT ?sensor WHERE {
+  ?sensor m:distanceKm 100 .
+  ?sensor m:tempC 37.5 .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Metric query ===")
+	fmt.Println(sparqlrw.FormatQuery(query))
+
+	rewritten, report, err := rw.RewriteQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Rewritten for the imperial endpoint ===")
+	fmt.Println(sparqlrw.FormatQuery(rewritten))
+	for _, tr := range report.Traces {
+		for _, note := range tr.FDNotes {
+			fmt.Println("  fd:", note)
+		}
+	}
+
+	// Prove it answers on an imperial-only store.
+	g, _, err := sparqlrw.ParseTurtle(`
+@prefix imp: <` + imperialNS + `> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+<http://sensors.example/s1> imp:distanceMiles 62.1371 ; imp:tempF 99.5 .
+<http://sensors.example/s2> imp:distanceMiles 10.0 ; imp:tempF 32.0 .
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sparqlrw.NewStore()
+	st.AddGraph(g)
+	res, err := sparqlrw.NewEngine(st).Select(rewritten)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Answers from the imperial endpoint ===")
+	for _, sol := range res.Solutions {
+		fmt.Println("  sensor:", sol["sensor"])
+	}
+	if len(res.Solutions) == 0 {
+		fmt.Println("  (none — conversion mismatch?)")
+	}
+}

@@ -1,0 +1,304 @@
+// Package algebra translates parsed SPARQL queries into the SPARQL algebra
+// (the "relational algebra for SPARQL" of Cyganiak that the paper's §4
+// proposes as the future substrate for rewriting: a homogeneous tree
+// representation of the whole query, BGPs and FILTERs alike). The
+// evaluator in internal/eval interprets this algebra over a triple store,
+// and the rewriter's FILTER extension walks it.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+)
+
+// Op is a node of the algebra tree.
+type Op interface{ isOp() }
+
+// Unit is the empty pattern (joins as identity).
+type Unit struct{}
+
+// BGP is a basic graph pattern.
+type BGP struct {
+	Patterns []rdf.Triple
+}
+
+// Join is the natural join of two operands.
+type Join struct {
+	L, R Op
+}
+
+// LeftJoin implements OPTIONAL; Expr may be nil (no embedded filter).
+type LeftJoin struct {
+	L, R Op
+	Expr sparql.Expression
+}
+
+// Union is the set union of two operands.
+type Union struct {
+	L, R Op
+}
+
+// Filter restricts solutions by an expression.
+type Filter struct {
+	Expr  sparql.Expression
+	Input Op
+}
+
+// Project restricts solutions to the given variables.
+type Project struct {
+	Vars  []string
+	Star  bool
+	Input Op
+}
+
+// Distinct removes duplicate solutions.
+type Distinct struct {
+	Input Op
+}
+
+// Reduced permits (but does not require) duplicate elimination; the
+// evaluator treats it as Distinct, which is a legal implementation.
+type Reduced struct {
+	Input Op
+}
+
+// OrderBy sorts solutions.
+type OrderBy struct {
+	Conds []sparql.OrderCondition
+	Input Op
+}
+
+// Slice applies LIMIT/OFFSET (-1 meaning absent).
+type Slice struct {
+	Limit, Offset int
+	Input         Op
+}
+
+func (*Unit) isOp()     {}
+func (*BGP) isOp()      {}
+func (*Join) isOp()     {}
+func (*LeftJoin) isOp() {}
+func (*Union) isOp()    {}
+func (*Filter) isOp()   {}
+func (*Project) isOp()  {}
+func (*Distinct) isOp() {}
+func (*Reduced) isOp()  {}
+func (*OrderBy) isOp()  {}
+func (*Slice) isOp()    {}
+
+// Translate maps a parsed query to its algebra tree, including solution
+// modifiers. The WHERE clause is translated per the SPARQL 1.0 semantics:
+// within one group, triple patterns merge into basic graph patterns,
+// FILTERs apply to the whole group, OPTIONAL becomes LeftJoin (absorbing a
+// top-level filter of its operand as the left-join expression), and UNION
+// folds left.
+func Translate(q *sparql.Query) Op {
+	var op Op = TranslateGroup(q.Where)
+	switch q.Form {
+	case sparql.Select:
+		if len(q.OrderBy) > 0 {
+			op = &OrderBy{Conds: q.OrderBy, Input: op}
+		}
+		op = &Project{Vars: q.SelectVars, Star: q.SelectStar, Input: op}
+		if q.Distinct {
+			op = &Distinct{Input: op}
+		} else if q.Reduced {
+			op = &Reduced{Input: op}
+		}
+		if q.Limit >= 0 || q.Offset >= 0 {
+			op = &Slice{Limit: q.Limit, Offset: q.Offset, Input: op}
+		}
+	case sparql.Ask, sparql.Construct:
+		// no modifiers in our fragment
+	}
+	return op
+}
+
+// TranslateGroup translates one group graph pattern.
+func TranslateGroup(g *sparql.GroupGraphPattern) Op {
+	if g == nil {
+		return &Unit{}
+	}
+	var acc Op = &Unit{}
+	var filters []sparql.Expression
+	for _, el := range g.Elements {
+		switch e := el.(type) {
+		case *sparql.BGP:
+			pats := append([]rdf.Triple(nil), e.Patterns...)
+			acc = join(acc, &BGP{Patterns: pats})
+		case *sparql.Filter:
+			filters = append(filters, e.Expr)
+		case *sparql.SubGroup:
+			acc = join(acc, TranslateGroup(e.Group))
+		case *sparql.Optional:
+			inner := TranslateGroup(e.Group)
+			var expr sparql.Expression
+			if f, ok := inner.(*Filter); ok {
+				expr, inner = f.Expr, f.Input
+			}
+			acc = &LeftJoin{L: acc, R: inner, Expr: expr}
+		case *sparql.Union:
+			var u Op
+			for _, alt := range e.Alternatives {
+				t := TranslateGroup(alt)
+				if u == nil {
+					u = t
+				} else {
+					u = &Union{L: u, R: t}
+				}
+			}
+			if u != nil {
+				acc = join(acc, u)
+			}
+		}
+	}
+	for _, f := range filters {
+		acc = &Filter{Expr: f, Input: acc}
+	}
+	return acc
+}
+
+// join simplifies Unit identities and merges adjacent BGPs, matching the
+// spec's rule that triple patterns within a group form one basic graph
+// pattern unless separated by a non-triple pattern.
+func join(l, r Op) Op {
+	if _, ok := l.(*Unit); ok {
+		return r
+	}
+	if _, ok := r.(*Unit); ok {
+		return l
+	}
+	if lb, ok := l.(*BGP); ok {
+		if rb, ok := r.(*BGP); ok {
+			return &BGP{Patterns: append(append([]rdf.Triple(nil), lb.Patterns...), rb.Patterns...)}
+		}
+	}
+	return &Join{L: l, R: r}
+}
+
+// Walk visits every node of the tree depth-first.
+func Walk(op Op, fn func(Op)) {
+	if op == nil {
+		return
+	}
+	fn(op)
+	switch o := op.(type) {
+	case *Join:
+		Walk(o.L, fn)
+		Walk(o.R, fn)
+	case *LeftJoin:
+		Walk(o.L, fn)
+		Walk(o.R, fn)
+	case *Union:
+		Walk(o.L, fn)
+		Walk(o.R, fn)
+	case *Filter:
+		Walk(o.Input, fn)
+	case *Project:
+		Walk(o.Input, fn)
+	case *Distinct:
+		Walk(o.Input, fn)
+	case *Reduced:
+		Walk(o.Input, fn)
+	case *OrderBy:
+		Walk(o.Input, fn)
+	case *Slice:
+		Walk(o.Input, fn)
+	}
+}
+
+// BGPs returns the basic graph patterns of the tree in visit order.
+func BGPs(op Op) []*BGP {
+	var out []*BGP
+	Walk(op, func(o Op) {
+		if b, ok := o.(*BGP); ok {
+			out = append(out, b)
+		}
+	})
+	return out
+}
+
+// String renders the tree LISP-style, mirroring the paper's remark that the
+// algebra gives "LISP like structures" as a homogeneous representation.
+func String(op Op) string {
+	var b strings.Builder
+	render(&b, op, 0)
+	return b.String()
+}
+
+func render(b *strings.Builder, op Op, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *Unit:
+		b.WriteString(pad + "(unit)")
+	case *BGP:
+		b.WriteString(pad + "(bgp")
+		for _, t := range o.Patterns {
+			b.WriteString("\n" + pad + "  (triple " + t.String() + ")")
+		}
+		b.WriteString(")")
+	case *Join:
+		b.WriteString(pad + "(join\n")
+		render(b, o.L, depth+1)
+		b.WriteString("\n")
+		render(b, o.R, depth+1)
+		b.WriteString(")")
+	case *LeftJoin:
+		b.WriteString(pad + "(leftjoin")
+		if o.Expr != nil {
+			b.WriteString(" " + sparql.FormatExpr(o.Expr, nil))
+		}
+		b.WriteString("\n")
+		render(b, o.L, depth+1)
+		b.WriteString("\n")
+		render(b, o.R, depth+1)
+		b.WriteString(")")
+	case *Union:
+		b.WriteString(pad + "(union\n")
+		render(b, o.L, depth+1)
+		b.WriteString("\n")
+		render(b, o.R, depth+1)
+		b.WriteString(")")
+	case *Filter:
+		b.WriteString(pad + "(filter " + sparql.FormatExpr(o.Expr, nil) + "\n")
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	case *Project:
+		if o.Star {
+			b.WriteString(pad + "(project *\n")
+		} else {
+			b.WriteString(pad + "(project (" + strings.Join(o.Vars, " ") + ")\n")
+		}
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	case *Distinct:
+		b.WriteString(pad + "(distinct\n")
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	case *Reduced:
+		b.WriteString(pad + "(reduced\n")
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	case *OrderBy:
+		b.WriteString(pad + "(order")
+		for _, c := range o.Conds {
+			dir := "asc"
+			if c.Desc {
+				dir = "desc"
+			}
+			b.WriteString(fmt.Sprintf(" (%s %s)", dir, sparql.FormatExpr(c.Expr, nil)))
+		}
+		b.WriteString("\n")
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	case *Slice:
+		b.WriteString(fmt.Sprintf("%s(slice limit=%d offset=%d\n", pad, o.Limit, o.Offset))
+		render(b, o.Input, depth+1)
+		b.WriteString(")")
+	default:
+		b.WriteString(pad + fmt.Sprintf("(unknown %T)", op))
+	}
+}

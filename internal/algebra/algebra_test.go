@@ -1,0 +1,124 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/sparql"
+)
+
+func TestTranslateSelectModifiers(t *testing.T) {
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?s WHERE { ?s ex:p ?o } ORDER BY ?s LIMIT 5 OFFSET 1`)
+	op := Translate(q)
+	sl, ok := op.(*Slice)
+	if !ok || sl.Limit != 5 || sl.Offset != 1 {
+		t.Fatalf("top = %T", op)
+	}
+	d, ok := sl.Input.(*Distinct)
+	if !ok {
+		t.Fatalf("slice input = %T", sl.Input)
+	}
+	p, ok := d.Input.(*Project)
+	if !ok || p.Vars[0] != "s" {
+		t.Fatalf("distinct input = %T", d.Input)
+	}
+	if _, ok := p.Input.(*OrderBy); !ok {
+		t.Fatalf("project input = %T", p.Input)
+	}
+}
+
+func TestFilterAppliesToWholeGroup(t *testing.T) {
+	// Triples on both sides of a FILTER form ONE basic graph pattern per
+	// the SPARQL algebra (the Figure-6 subtlety the paper discusses).
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?a ex:p ?b . FILTER(?b > 1) ?b ex:q ?c . }`)
+	op := Translate(q)
+	proj := op.(*Project)
+	f, ok := proj.Input.(*Filter)
+	if !ok {
+		t.Fatalf("expected Filter at group top, got %T", proj.Input)
+	}
+	bgp, ok := f.Input.(*BGP)
+	if !ok {
+		t.Fatalf("filter input = %T", f.Input)
+	}
+	if len(bgp.Patterns) != 2 {
+		t.Fatalf("BGP must merge across FILTER: %d patterns", len(bgp.Patterns))
+	}
+}
+
+func TestOptionalBecomesLeftJoinWithExpr(t *testing.T) {
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?s ex:q ?q FILTER(?q > 3) } }`)
+	proj := Translate(q).(*Project)
+	lj, ok := proj.Input.(*LeftJoin)
+	if !ok {
+		t.Fatalf("expected LeftJoin, got %T", proj.Input)
+	}
+	if lj.Expr == nil {
+		t.Fatal("optional's filter must become the left-join expression")
+	}
+	if _, ok := lj.R.(*BGP); !ok {
+		t.Fatalf("leftjoin right = %T", lj.R)
+	}
+}
+
+func TestUnionFoldsLeft(t *testing.T) {
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { { ?s ex:a ?o } UNION { ?s ex:b ?o } UNION { ?s ex:c ?o } }`)
+	proj := Translate(q).(*Project)
+	u1, ok := proj.Input.(*Union)
+	if !ok {
+		t.Fatalf("top = %T", proj.Input)
+	}
+	if _, ok := u1.L.(*Union); !ok {
+		t.Fatalf("left fold expected, got %T", u1.L)
+	}
+}
+
+func TestEmptyGroupIsUnit(t *testing.T) {
+	q := sparql.MustParse(`ASK {}`)
+	op := Translate(q)
+	if _, ok := op.(*Unit); !ok {
+		t.Fatalf("empty group = %T", op)
+	}
+}
+
+func TestBGPsAndWalk(t *testing.T) {
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?s ex:p ?o { ?s ex:q ?r } UNION { ?s ex:t ?u } }`)
+	op := Translate(q)
+	if got := len(BGPs(op)); got != 3 {
+		t.Fatalf("BGPs = %d, want 3", got)
+	}
+	count := 0
+	Walk(op, func(Op) { count++ })
+	if count < 5 {
+		t.Fatalf("walk visited %d nodes", count)
+	}
+}
+
+func TestStringRendersLispTree(t *testing.T) {
+	q := sparql.MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?s WHERE { ?s ex:p ?o FILTER(?o > 1) OPTIONAL { ?s ex:q ?q } } ORDER BY ?s LIMIT 2`)
+	s := String(Translate(q))
+	for _, want := range []string{"(slice", "(distinct", "(project (s)", "(order", "(leftjoin", "(filter", "(bgp", "(triple"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("algebra string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReducedTranslates(t *testing.T) {
+	q := sparql.MustParse(`PREFIX ex: <http://x/> SELECT REDUCED ?s WHERE { ?s ex:p ?o }`)
+	if _, ok := Translate(q).(*Reduced); !ok {
+		t.Fatal("REDUCED lost in translation")
+	}
+}

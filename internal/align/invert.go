@@ -1,0 +1,79 @@
+package align
+
+import (
+	"fmt"
+
+	"sparqlrw/internal/rdf"
+)
+
+// Alignments are directional (§3.2.2: "The alignments so defined are
+// directional (i.e. not symmetric)"). Many practical alignments are
+// nevertheless mechanically invertible, which halves the authoring effort
+// for the bidirectional peer scenarios of §3. An alignment is invertible
+// when its RHS is a single triple (the inverse LHS must be a simple
+// triple, the formalism's constraint) — functional dependencies flip by
+// swapping the dependent/argument variables and retargeting the sameas
+// URI-space pattern.
+
+// Invertible reports whether Invert can produce a valid inverse.
+func (ea *EntityAlignment) Invertible() bool {
+	if len(ea.RHS) != 1 {
+		return false
+	}
+	for _, fd := range ea.FDs {
+		if fd.Func != rdf.MapSameAs || len(fd.Args) != 2 {
+			return false // only sameas FDs have a mechanical inverse
+		}
+		if a := fd.Args[0]; !a.IsVar() && !a.IsBlank() {
+			return false
+		}
+	}
+	return true
+}
+
+// Invert returns the reverse alignment: RHS[0] becomes the LHS, the old
+// LHS becomes the single RHS triple, and each sameas FD swaps its
+// variables with sourceURISpace as the new target pattern. The id
+// parameter names the new alignment.
+func (ea *EntityAlignment) Invert(id, sourceURISpace string) (*EntityAlignment, error) {
+	if !ea.Invertible() {
+		return nil, fmt.Errorf("align: %s is not invertible (multi-triple RHS or non-sameas FDs)", ea.name())
+	}
+	inv := &EntityAlignment{
+		ID:  id,
+		LHS: ea.RHS[0],
+		RHS: []rdf.Triple{ea.LHS},
+	}
+	for _, fd := range ea.FDs {
+		arg := fd.Args[0]
+		inv.FDs = append(inv.FDs, FD{
+			// old: rhsVar = sameas(lhsVar, targetSpace)
+			// new: lhsVar = sameas(rhsVar, sourceSpace)
+			Var:  arg.Value,
+			Func: rdf.MapSameAs,
+			Args: []rdf.Term{rdf.NewVar(fd.Var), rdf.NewLiteral(sourceURISpace)},
+		})
+	}
+	if err := inv.Validate(); err != nil {
+		return nil, fmt.Errorf("align: inverse of %s invalid: %w", ea.name(), err)
+	}
+	return inv, nil
+}
+
+// InvertAll inverts every invertible alignment in the set, skipping the
+// rest; skipped returns their IDs.
+func InvertAll(eas []*EntityAlignment, idSuffix, sourceURISpace string) (inverted []*EntityAlignment, skipped []string) {
+	for _, ea := range eas {
+		if !ea.Invertible() {
+			skipped = append(skipped, ea.ID)
+			continue
+		}
+		inv, err := ea.Invert(ea.ID+idSuffix, sourceURISpace)
+		if err != nil {
+			skipped = append(skipped, ea.ID)
+			continue
+		}
+		inverted = append(inverted, inv)
+	}
+	return inverted, skipped
+}

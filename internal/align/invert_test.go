@@ -1,0 +1,131 @@
+package align
+
+import (
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+const sotonSpace = `http://southampton\.rkbexplorer\.com/id/\S*`
+
+func TestInvertPropertyAlignment(t *testing.T) {
+	ea := PropertyAlignment("http://a/fwd", "http://src/p", "http://tgt/q")
+	if !ea.Invertible() {
+		t.Fatal("plain property alignment must be invertible")
+	}
+	inv, err := ea.Invert("http://a/rev", sotonSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.LHS.P.Value != "http://tgt/q" || inv.RHS[0].P.Value != "http://src/p" {
+		t.Fatalf("inverse = %v", inv)
+	}
+	// Inverting twice restores the original predicates.
+	back, err := inv.Invert("http://a/fwd2", `http://tgt\.example/\S*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LHS.P != ea.LHS.P || back.RHS[0].P != ea.RHS[0].P {
+		t.Fatalf("double inverse differs: %v", back)
+	}
+}
+
+func TestInvertWithSameasFDs(t *testing.T) {
+	// A corefProp-style alignment: s2 = sameas(s1, kistiSpace).
+	ea := &EntityAlignment{
+		ID:  "http://a/title",
+		LHS: rdf.Triple{S: rdf.NewVar("s1"), P: rdf.NewIRI(rdf.AKTHasTitle), O: rdf.NewVar("o")},
+		RHS: []rdf.Triple{{S: rdf.NewVar("s2"), P: rdf.NewIRI(rdf.KISTITitle), O: rdf.NewVar("o")}},
+		FDs: []FD{{Var: "s2", Func: rdf.MapSameAs,
+			Args: []rdf.Term{rdf.NewVar("s1"), rdf.NewLiteral(`http://kisti\.rkbexplorer\.com/id/\S*`)}}},
+	}
+	inv, err := ea.Invert("http://a/title_rev", sotonSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// new: s1 = sameas(s2, sotonSpace)
+	if len(inv.FDs) != 1 || inv.FDs[0].Var != "s1" {
+		t.Fatalf("inverse FDs = %v", inv.FDs)
+	}
+	if inv.FDs[0].Args[0] != rdf.NewVar("s2") || inv.FDs[0].Args[1].Value != sotonSpace {
+		t.Fatalf("inverse FD args = %v", inv.FDs[0].Args)
+	}
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotInvertible(t *testing.T) {
+	// Multi-triple RHS (the creator_info chain) cannot become a simple
+	// LHS, per the formalism's single-triple constraint.
+	chain := &EntityAlignment{
+		ID:  "http://a/chain",
+		LHS: rdf.Triple{S: rdf.NewVar("p1"), P: rdf.NewIRI(rdf.AKTHasAuthor), O: rdf.NewVar("a1")},
+		RHS: []rdf.Triple{
+			{S: rdf.NewVar("p2"), P: rdf.NewIRI(rdf.KISTIHasCreatorInfo), O: rdf.NewVar("c")},
+			{S: rdf.NewVar("c"), P: rdf.NewIRI(rdf.KISTIHasCreator), O: rdf.NewVar("a2")},
+		},
+	}
+	if chain.Invertible() {
+		t.Fatal("chain alignment must not be invertible")
+	}
+	if _, err := chain.Invert("x", sotonSpace); err == nil {
+		t.Fatal("Invert must refuse")
+	}
+	// Non-sameas FD blocks inversion.
+	conv := &EntityAlignment{
+		ID:  "http://a/conv",
+		LHS: rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewIRI("http://m/km"), O: rdf.NewVar("d")},
+		RHS: []rdf.Triple{{S: rdf.NewVar("s"), P: rdf.NewIRI("http://i/mi"), O: rdf.NewVar("d2")}},
+		FDs: []FD{{Var: "d2", Func: rdf.MapNS + "kmToMiles", Args: []rdf.Term{rdf.NewVar("d")}}},
+	}
+	if conv.Invertible() {
+		t.Fatal("unit conversion must not be mechanically invertible")
+	}
+}
+
+func TestInvertAll(t *testing.T) {
+	eas := []*EntityAlignment{
+		PropertyAlignment("http://a/1", "http://src/p", "http://tgt/p"),
+		ClassAlignment("http://a/2", "http://src/C", "http://tgt/C"),
+		{ // not invertible
+			ID:  "http://a/3",
+			LHS: rdf.Triple{S: rdf.NewVar("x"), P: rdf.NewIRI("http://src/q"), O: rdf.NewVar("y")},
+			RHS: []rdf.Triple{
+				{S: rdf.NewVar("x"), P: rdf.NewIRI("http://tgt/q1"), O: rdf.NewVar("m")},
+				{S: rdf.NewVar("m"), P: rdf.NewIRI("http://tgt/q2"), O: rdf.NewVar("y")},
+			},
+		},
+	}
+	inv, skipped := InvertAll(eas, "_rev", sotonSpace)
+	if len(inv) != 2 || len(skipped) != 1 || skipped[0] != "http://a/3" {
+		t.Fatalf("inv=%d skipped=%v", len(inv), skipped)
+	}
+	for _, ea := range inv {
+		if err := ea.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRoundTripSemantics: applying an alignment then its inverse to a
+// matching query triple restores the original pattern (modulo variable
+// names).
+func TestInvertRoundTripOnMatch(t *testing.T) {
+	ea := PropertyAlignment("http://a/fwd", "http://src/p", "http://tgt/q")
+	inv, _ := ea.Invert("http://a/rev", sotonSpace)
+	query := rdf.Triple{S: rdf.NewVar("s"), P: rdf.NewIRI("http://src/p"), O: rdf.NewLiteral("v")}
+	b1, ok := ea.Match(query)
+	if !ok {
+		t.Fatal("forward match")
+	}
+	forward := ApplyBindingTriple(ea.RHS[0], b1)
+	b2, ok := inv.Match(forward)
+	if !ok {
+		t.Fatal("inverse match")
+	}
+	back := ApplyBindingTriple(inv.RHS[0], b2)
+	if back.P != query.P || back.O != query.O || back.S != query.S {
+		t.Fatalf("round trip: %v -> %v -> %v", query, forward, back)
+	}
+}

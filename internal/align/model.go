@@ -1,0 +1,219 @@
+// Package align implements the paper's alignment formalism (§3.2): entity
+// alignments EA = ⟨LHS, RHS, FD⟩ over RDF triple patterns, ontology
+// alignments OA = ⟨SO, TO, TD, EA⟩ carrying their context of validity, the
+// Prolog-style triple matcher of §3.3.1, the reified-RDF concrete syntax
+// of §3.2.2, and an alignment knowledge base with (source, target)
+// selection.
+package align
+
+import (
+	"fmt"
+	"strings"
+
+	"sparqlrw/internal/rdf"
+)
+
+// FD is a functional dependency `Var = Func(Args...)`: an equivalence
+// constraint over variables that the rewriter instantiates at rewrite time
+// (Algorithm 2). Args may be ground terms or variables from the LHS; Var
+// names a variable of the RHS.
+type FD struct {
+	// Var is the dependent variable (RHS side), without sigil.
+	Var string
+	// Func is the IRI of the data-manipulation function.
+	Func string
+	// Args are ground terms or LHS variables.
+	Args []rdf.Term
+}
+
+// String renders the dependency like the paper: ?a2 = sameas(?a1, "...").
+func (f FD) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("?%s = <%s>(%s)", f.Var, f.Func, strings.Join(parts, ", "))
+}
+
+// EntityAlignment codifies how to rewrite one triple pattern for a new
+// ontology (§3.2.2). Alignments are directional: LHS (the head) matches a
+// source-ontology pattern, RHS (the body) is the target-ontology pattern
+// it becomes. The paper encodes alignment variables as blank nodes; this
+// model canonicalises them as rdf.KindVar terms.
+type EntityAlignment struct {
+	// ID is the alignment's URI (may be empty for ad-hoc alignments).
+	ID string
+	// LHS is a single triple pattern with no function symbols.
+	LHS rdf.Triple
+	// RHS is the conjunctive body: one or more triple patterns.
+	RHS []rdf.Triple
+	// FDs are the functional dependencies binding RHS variables.
+	FDs []FD
+}
+
+// Validate checks the structural constraints of §3.2.2: a non-empty RHS,
+// no wildcard terms, every FD variable present in the RHS, and every FD
+// variable argument present in the LHS.
+func (ea *EntityAlignment) Validate() error {
+	if len(ea.RHS) == 0 {
+		return fmt.Errorf("align: %s: empty RHS", ea.name())
+	}
+	check := func(t rdf.Triple, side string) error {
+		for _, x := range []rdf.Term{t.S, t.P, t.O} {
+			if x.IsZero() {
+				return fmt.Errorf("align: %s: wildcard term in %s", ea.name(), side)
+			}
+		}
+		return nil
+	}
+	if err := check(ea.LHS, "LHS"); err != nil {
+		return err
+	}
+	lhsVars := map[string]bool{}
+	for _, v := range ea.LHS.Vars() {
+		lhsVars[v] = true
+	}
+	rhsVars := map[string]bool{}
+	for _, t := range ea.RHS {
+		if err := check(t, "RHS"); err != nil {
+			return err
+		}
+		for _, v := range t.Vars() {
+			rhsVars[v] = true
+		}
+	}
+	for _, fd := range ea.FDs {
+		if fd.Var == "" || fd.Func == "" {
+			return fmt.Errorf("align: %s: incomplete functional dependency %v", ea.name(), fd)
+		}
+		if !rhsVars[fd.Var] {
+			return fmt.Errorf("align: %s: FD variable ?%s does not occur in RHS", ea.name(), fd.Var)
+		}
+		for _, a := range fd.Args {
+			if a.IsVar() && !lhsVars[a.Value] {
+				return fmt.Errorf("align: %s: FD argument ?%s does not occur in LHS", ea.name(), a.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func (ea *EntityAlignment) name() string {
+	if ea.ID != "" {
+		return ea.ID
+	}
+	return "(anonymous alignment)"
+}
+
+// String renders the alignment in the paper's three-part notation.
+func (ea *EntityAlignment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EA %s\n  LHS: %s\n", ea.name(), ea.LHS)
+	for _, t := range ea.RHS {
+		fmt.Fprintf(&b, "  RHS: %s\n", t)
+	}
+	for _, fd := range ea.FDs {
+		fmt.Fprintf(&b, "  FD:  %s\n", fd)
+	}
+	return b.String()
+}
+
+// Vars returns the distinct variables of LHS then RHS, in order.
+func (ea *EntityAlignment) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(t rdf.Triple) {
+		for _, v := range t.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	add(ea.LHS)
+	for _, t := range ea.RHS {
+		add(t)
+	}
+	return out
+}
+
+// Level classifies the alignment per the paper's complexity account
+// (§3.2.2, elaborating on Euzenat's levels):
+//
+//	0 — one entity to one entity (single RHS triple, no FDs, pure
+//	    class/property correspondence)
+//	1 — one entity to a set of entities (multiple RHS triples or a
+//	    value-partition object, still no data manipulation)
+//	2 — alignments requiring functional dependencies (data manipulation /
+//	    co-reference), the paper's directional ∀∃ formulas
+func (ea *EntityAlignment) Level() int {
+	if len(ea.FDs) > 0 {
+		return 2
+	}
+	if len(ea.RHS) > 1 {
+		return 1
+	}
+	// A single RHS triple introducing a constant object where the LHS had
+	// a variable is a value partition (level 1); plain renamings are 0.
+	l, r := ea.LHS, ea.RHS[0]
+	if l.O.IsVar() && r.O.IsGround() {
+		return 1
+	}
+	return 0
+}
+
+// ClassAlignment builds the paper's level-0 class correspondence:
+// ∀x (Triple(x, rdf:type, c1) → Triple(x, rdf:type, c2)).
+func ClassAlignment(id, c1, c2 string) *EntityAlignment {
+	x := rdf.NewVar("x")
+	typ := rdf.NewIRI(rdf.RDFType)
+	return &EntityAlignment{
+		ID:  id,
+		LHS: rdf.Triple{S: x, P: typ, O: rdf.NewIRI(c1)},
+		RHS: []rdf.Triple{{S: x, P: typ, O: rdf.NewIRI(c2)}},
+	}
+}
+
+// PropertyAlignment builds the paper's level-0 property correspondence:
+// ∀x∀y (Triple(x, p1, y) → Triple(x, p2, y)).
+func PropertyAlignment(id, p1, p2 string) *EntityAlignment {
+	x, y := rdf.NewVar("x"), rdf.NewVar("y")
+	return &EntityAlignment{
+		ID:  id,
+		LHS: rdf.Triple{S: x, P: rdf.NewIRI(p1), O: y},
+		RHS: []rdf.Triple{{S: x, P: rdf.NewIRI(p2), O: y}},
+	}
+}
+
+// OntologyAlignment is the paper's OA = ⟨SO, TO, TD, EA⟩ (§3.2.1): entity
+// alignments plus the coordinates describing where they are valid. With TD
+// set the alignments are local to those target data sets; with only TO set
+// they are reusable across any data set adopting those ontologies.
+type OntologyAlignment struct {
+	// URI identifies the ontology alignment.
+	URI string
+	// SourceOntologies (SO) are the namespaces queries are written in.
+	SourceOntologies []string
+	// TargetOntologies (TO) are the namespaces the RHS patterns use.
+	TargetOntologies []string
+	// TargetDatasets (TD) are voiD data set URIs the alignment targets.
+	TargetDatasets []string
+	// Alignments is the EA set.
+	Alignments []*EntityAlignment
+}
+
+// Validate checks the OA's coordinates and every contained EA.
+func (oa *OntologyAlignment) Validate() error {
+	if len(oa.SourceOntologies) == 0 {
+		return fmt.Errorf("align: OA %s: no source ontologies", oa.URI)
+	}
+	if len(oa.TargetOntologies) == 0 && len(oa.TargetDatasets) == 0 {
+		return fmt.Errorf("align: OA %s: neither target ontology nor target data set", oa.URI)
+	}
+	for _, ea := range oa.Alignments {
+		if err := ea.Validate(); err != nil {
+			return fmt.Errorf("align: OA %s: %w", oa.URI, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/algebra"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/turtle"
+)
+
+func TestRewriteAlgebraMatchesQueryRewriting(t *testing.T) {
+	// Rewriting on the algebra tree gives the same results as rewriting
+	// the syntax tree, on the paper's Figure 1 query over KISTI data.
+	rw := paperRewriter()
+	rw.Opts.RewriteFilters = true
+	rw.Opts.TargetURISpace = kistiSpace
+	q := sparql.MustParse(figure1)
+
+	g, _, err := turtle.Parse(`
+@prefix kisti: <http://www.kisti.re.kr/isrl/ResearchRefOntology#> .
+@prefix kid: <http://kisti.rkbexplorer.com/id/> .
+kid:ART_1 kisti:hasCreatorInfo kid:c0 , kid:c1 .
+kid:c0 kisti:hasCreator kid:PER_00000000105047 .
+kid:c1 kisti:hasCreator kid:PER_00000000200001 .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.AddGraph(g)
+	engine := eval.New(st)
+
+	// Path A: syntax-level rewriting, then translate and evaluate.
+	qOut, _, err := rw.RewriteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := engine.Select(qOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: translate first, then algebra-level rewriting.
+	opOut, report, err := rw.RewriteAlgebra(algebra.Translate(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solsB, err := engine.EvalAlgebra(opOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Solutions) != len(solsB) {
+		t.Fatalf("syntax path %d vs algebra path %d solutions",
+			len(resA.Solutions), len(solsB))
+	}
+	eval.SortSolutions(resA.Solutions)
+	eval.SortSolutions(solsB)
+	for i := range solsB {
+		if resA.Solutions[i].Key() != solsB[i].Key() {
+			t.Fatalf("solution %d differs: %v vs %v", i, resA.Solutions[i], solsB[i])
+		}
+	}
+	if report.MatchedTriples != 2 {
+		t.Fatalf("algebra report = %+v", report)
+	}
+	if report.FilterRewrites == 0 {
+		t.Fatal("algebra path must rewrite the FILTER constant")
+	}
+	// The co-author answer is the other KISTI person.
+	if len(solsB) != 1 || solsB[0]["a"].Value != "http://kisti.rkbexplorer.com/id/PER_00000000200001" {
+		t.Fatalf("answers = %v", solsB)
+	}
+}
+
+func TestRewriteAlgebraPreservesModifiers(t *testing.T) {
+	rw := paperRewriter()
+	q := sparql.MustParse(`
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE { ?p akt:has-author ?a } ORDER BY ?a LIMIT 3 OFFSET 1`)
+	out, _, err := rw.RewriteAlgebra(algebra.Translate(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := algebra.String(out)
+	for _, want := range []string{"(slice limit=3 offset=1", "(distinct", "(order", "(project (a)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("algebra output missing %q:\n%s", want, s)
+		}
+	}
+	// The BGP inside was rewritten to the KISTI chain.
+	bgps := algebra.BGPs(out)
+	if len(bgps) != 1 || len(bgps[0].Patterns) != 2 {
+		t.Fatalf("BGPs = %v", bgps)
+	}
+}
+
+func TestRewriteAlgebraOptionalAndUnion(t *testing.T) {
+	rw := paperRewriter()
+	q := sparql.MustParse(`
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT * WHERE {
+  ?p akt:has-author ?a
+  OPTIONAL { ?p akt:has-title ?t FILTER (?t != "x") }
+  { ?p akt:has-date ?d } UNION { ?p akt:has-author ?b }
+}`)
+	out, report, err := rw.RewriteAlgebra(algebra.Translate(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lj, un int
+	algebra.Walk(out, func(op algebra.Op) {
+		switch op.(type) {
+		case *algebra.LeftJoin:
+			lj++
+		case *algebra.Union:
+			un++
+		}
+	})
+	if lj != 1 || un != 1 {
+		t.Fatalf("structure lost: leftjoins=%d unions=%d", lj, un)
+	}
+	// has-author fired in the top BGP and in the union branch.
+	if report.MatchedTriples != 2 {
+		t.Fatalf("matched = %d", report.MatchedTriples)
+	}
+}
+
+func TestRewriteAlgebraUnionMatches(t *testing.T) {
+	rw := New(unionEAs(), nil)
+	rw.Opts.MatchMode = UnionMatches
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x a <http://w1/Wine> }`)
+	out, _, err := rw.RewriteAlgebra(algebra.Translate(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unions := 0
+	algebra.Walk(out, func(op algebra.Op) {
+		if _, ok := op.(*algebra.Union); ok {
+			unions++
+		}
+	})
+	if unions != 1 {
+		t.Fatalf("unions = %d:\n%s", unions, algebra.String(out))
+	}
+}
+
+func TestRewriteAlgebraInputUntouched(t *testing.T) {
+	rw := paperRewriter()
+	q := sparql.MustParse(figure1)
+	op := algebra.Translate(q)
+	before := algebra.String(op)
+	if _, _, err := rw.RewriteAlgebra(op); err != nil {
+		t.Fatal(err)
+	}
+	if algebra.String(op) != before {
+		t.Fatal("RewriteAlgebra mutated its input tree")
+	}
+}

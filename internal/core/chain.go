@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"sparqlrw/internal/sparql"
+)
+
+// This file implements peer-to-peer rewriting chains. §3 of the paper:
+// "The approach to data integration is similar to the one adopted in peer
+// data management systems where queries can be rewritten multiple times,
+// depending on where the query will be executed." A Chain composes
+// rewriters so a query formulated for ontology A reaches a data set in
+// ontology C through an intermediate B when no direct A→C alignment
+// exists.
+
+// Stage is one hop of a rewriting chain.
+type Stage struct {
+	// Name labels the hop in reports (e.g. "akt→kisti").
+	Name string
+	// Rewriter performs this hop.
+	Rewriter *Rewriter
+}
+
+// ChainReport collects per-stage reports.
+type ChainReport struct {
+	Stages  []string
+	Reports []*Report
+}
+
+// Warnings flattens all stage warnings, prefixed by stage name.
+func (cr *ChainReport) Warnings() []string {
+	var out []string
+	for i, r := range cr.Reports {
+		for _, w := range r.Warnings {
+			out = append(out, cr.Stages[i]+": "+w)
+		}
+	}
+	return out
+}
+
+// RewriteChain applies the stages left to right. Each stage sees the
+// previous stage's output, exactly as a query travelling across peers
+// would be rewritten at every hop.
+func RewriteChain(q *sparql.Query, stages []Stage) (*sparql.Query, *ChainReport, error) {
+	if len(stages) == 0 {
+		return nil, nil, fmt.Errorf("core: empty rewriting chain")
+	}
+	report := &ChainReport{}
+	cur := q
+	for i, st := range stages {
+		if st.Rewriter == nil {
+			return nil, report, fmt.Errorf("core: chain stage %d (%s) has no rewriter", i, st.Name)
+		}
+		out, r, err := st.Rewriter.RewriteQuery(cur)
+		if err != nil {
+			return nil, report, fmt.Errorf("core: chain stage %d (%s): %w", i, st.Name, err)
+		}
+		report.Stages = append(report.Stages, st.Name)
+		report.Reports = append(report.Reports, r)
+		cur = out
+	}
+	return cur, report, nil
+}

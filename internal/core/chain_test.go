@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+)
+
+// TestRewriteChainTwoHops models the peer scenario of §3: a query in
+// ontology A reaches a C-vocabulary peer through B, with URI translation
+// at each hop.
+func TestRewriteChainTwoHops(t *testing.T) {
+	aNS, bNS, cNS := "http://peers.example/a#", "http://peers.example/b#", "http://peers.example/c#"
+	cs := coref.NewStore()
+	cs.Add("http://a.example/id/1", "http://b.example/id/1")
+	cs.Add("http://b.example/id/1", "http://c.example/id/1")
+	reg := funcs.StandardRegistry(cs)
+
+	mkEA := func(id, p1, p2, space string) *align.EntityAlignment {
+		return &align.EntityAlignment{
+			ID:  id,
+			LHS: rdf.Triple{S: rdf.NewVar("s1"), P: rdf.NewIRI(p1), O: rdf.NewVar("o")},
+			RHS: []rdf.Triple{{S: rdf.NewVar("s2"), P: rdf.NewIRI(p2), O: rdf.NewVar("o")}},
+			FDs: []align.FD{{Var: "s2", Func: rdf.MapSameAs,
+				Args: []rdf.Term{rdf.NewVar("s1"), rdf.NewLiteral(space)}}},
+		}
+	}
+	a2b := New([]*align.EntityAlignment{mkEA("http://al/a2b", aNS+"p", bNS+"p", `http://b\.example/id/\S*`)}, reg)
+	b2c := New([]*align.EntityAlignment{mkEA("http://al/b2c", bNS+"p", cNS+"p", `http://c\.example/id/\S*`)}, reg)
+
+	q := sparql.MustParse(`SELECT ?o WHERE { <http://a.example/id/1> <` + aNS + `p> ?o }`)
+	out, report, err := RewriteChain(q, []Stage{
+		{Name: "a→b", Rewriter: a2b},
+		{Name: "b→c", Rewriter: b2c},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := out.BGPs()[0].Patterns[0]
+	if pat.P.Value != cNS+"p" {
+		t.Fatalf("predicate after chain = %v", pat.P)
+	}
+	if pat.S != rdf.NewIRI("http://c.example/id/1") {
+		t.Fatalf("subject after chain = %v (URI must hop a→b→c)", pat.S)
+	}
+	if len(report.Stages) != 2 || report.Stages[0] != "a→b" {
+		t.Fatalf("report stages = %v", report.Stages)
+	}
+}
+
+func TestRewriteChainErrors(t *testing.T) {
+	q := sparql.MustParse(`SELECT ?o WHERE { ?s ?p ?o }`)
+	if _, _, err := RewriteChain(q, nil); err == nil {
+		t.Fatal("empty chain must error")
+	}
+	if _, _, err := RewriteChain(q, []Stage{{Name: "broken"}}); err == nil {
+		t.Fatal("nil rewriter must error")
+	}
+	// A failing stage propagates with its stage name.
+	rw := New([]*align.EntityAlignment{creatorInfoEA()}, funcs.StandardRegistry(coref.NewStore()))
+	rw.Opts.Policy = Fail
+	qq := sparql.MustParse(figure1)
+	_, _, err := RewriteChain(qq, []Stage{{Name: "akt→kisti", Rewriter: rw}})
+	if err == nil || !strings.Contains(err.Error(), "akt→kisti") {
+		t.Fatalf("stage error = %v", err)
+	}
+}
+
+func TestChainReportWarnings(t *testing.T) {
+	rw := paperRewriter() // KeepOriginal: warnings on unknown URIs
+	q := sparql.MustParse(`
+PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT ?p WHERE { ?p akt:has-author id:person-99999 }`)
+	_, report, err := RewriteChain(q, []Stage{{Name: "hop1", Rewriter: rw}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := report.Warnings()
+	if len(ws) == 0 || !strings.HasPrefix(ws[0], "hop1: ") {
+		t.Fatalf("warnings = %v", ws)
+	}
+}

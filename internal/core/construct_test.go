@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/turtle"
+)
+
+func TestConstructQueryLevel0(t *testing.T) {
+	ea := align.PropertyAlignment("http://a/title", rdf.AKTHasTitle, rdf.KISTITitle)
+	q, err := ConstructQuery(ea, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sparql.Format(q)
+	if !strings.Contains(text, "CONSTRUCT") {
+		t.Fatalf("not a construct:\n%s", text)
+	}
+	// Template uses the source (AKT) vocabulary, body the target (KISTI).
+	if q.Template[0].P.Value != rdf.AKTHasTitle {
+		t.Fatalf("template predicate = %v", q.Template[0].P)
+	}
+	if q.BGPs()[0].Patterns[0].P.Value != rdf.KISTITitle {
+		t.Fatalf("body predicate = %v", q.BGPs()[0].Patterns[0].P)
+	}
+	// And it re-parses.
+	if _, err := sparql.Parse(text); err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+}
+
+func TestConstructQueryChainAlignment(t *testing.T) {
+	// The creator_info alignment compiles with FD loss allowed: the
+	// CreatorInfo chain in the body, a flat has-author in the template.
+	ea := creatorInfoEA()
+	if _, err := ConstructQuery(ea, false); err == nil {
+		t.Fatal("FD alignment must be rejected without allowFDLoss")
+	}
+	q, err := ConstructQuery(ea, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.BGPs()[0].Patterns) != 2 {
+		t.Fatalf("body = %v", q.BGPs()[0].Patterns)
+	}
+	// FD aliasing connects template vars to body vars: template must use
+	// ?p2/?a2 (the body-side variables).
+	tmpl := q.Template[0]
+	if tmpl.S != rdf.NewVar("p2") || tmpl.O != rdf.NewVar("a2") {
+		t.Fatalf("template = %v", tmpl)
+	}
+}
+
+func TestTranslateDataEndToEnd(t *testing.T) {
+	// KISTI-shaped data translated into AKT vocabulary via CONSTRUCT.
+	g, _, err := turtle.Parse(`
+@prefix kisti: <http://www.kisti.re.kr/isrl/ResearchRefOntology#> .
+@prefix kid: <http://kisti.rkbexplorer.com/id/> .
+kid:ART_1 kisti:hasCreatorInfo kid:ci0 ; kisti:title "T1" .
+kid:ci0 kisti:hasCreator kid:PER_1 .
+kid:ART_2 kisti:hasCreatorInfo kid:ci1 ; kisti:title "T2" .
+kid:ci1 kisti:hasCreator kid:PER_1 .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.AddGraph(g)
+	eas := []*align.EntityAlignment{
+		creatorInfoEA(),
+		align.PropertyAlignment("http://a/title", rdf.AKTHasTitle, rdf.KISTITitle),
+	}
+	out, skipped, err := TranslateData(st, eas, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	// 2 has-author + 2 has-title triples
+	authors, titles := 0, 0
+	for _, tr := range out {
+		switch tr.P.Value {
+		case rdf.AKTHasAuthor:
+			authors++
+		case rdf.AKTHasTitle:
+			titles++
+		}
+	}
+	if authors != 2 || titles != 2 {
+		t.Fatalf("translated graph wrong: %v", out)
+	}
+	// The translated view answers AKT queries.
+	view := store.New()
+	view.AddGraph(out)
+	res, err := eval.New(view).Select(sparql.MustParse(`
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT ?p WHERE { ?p akt:has-author <http://kisti.rkbexplorer.com/id/PER_1> }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("view answers = %v", res.Solutions)
+	}
+}
+
+func TestConstructQueriesSkipsWithoutFDLoss(t *testing.T) {
+	eas := []*align.EntityAlignment{
+		creatorInfoEA(),
+		align.PropertyAlignment("http://a/title", rdf.AKTHasTitle, rdf.KISTITitle),
+	}
+	qs, skipped := ConstructQueries(eas, false)
+	if len(qs) != 1 || len(skipped) != 1 {
+		t.Fatalf("qs=%d skipped=%v", len(qs), skipped)
+	}
+}

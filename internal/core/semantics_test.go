@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/workload"
+)
+
+// The semantic soundness property behind the whole approach: for a
+// vocabulary bijection (level-0 alignments), evaluating the original
+// query over source data gives the same solutions as evaluating the
+// REWRITTEN query over the target-vocabulary rendering of the same data.
+// Randomised over data, query shape and seed.
+func TestRewritePreservesSemanticsLevel0(t *testing.T) {
+	const preds = 5
+	var eas []*align.EntityAlignment
+	rename := map[string]string{}
+	for i := 0; i < preds; i++ {
+		src := fmt.Sprintf("http://source.example/ontology#p%d", i)
+		tgt := fmt.Sprintf("http://target.example/ontology#q%d", i)
+		rename[src] = tgt
+		eas = append(eas, align.PropertyAlignment(fmt.Sprintf("http://al/%d", i), src, tgt))
+	}
+	rw := New(eas, nil)
+
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Random source data.
+		srcStore, tgtStore := store.New(), store.New()
+		for i := 0; i < 200; i++ {
+			s := rdf.NewIRI(fmt.Sprintf("http://d/e%d", rng.Intn(20)))
+			p := fmt.Sprintf("http://source.example/ontology#p%d", rng.Intn(preds))
+			o := rdf.NewIRI(fmt.Sprintf("http://d/e%d", rng.Intn(20)))
+			srcStore.Add(rdf.NewTriple(s, rdf.NewIRI(p), o))
+			tgtStore.Add(rdf.NewTriple(s, rdf.NewIRI(rename[p]), o))
+		}
+		// Random star/chain query over 1..4 patterns.
+		n := 1 + rng.Intn(4)
+		body := ""
+		for i := 0; i < n; i++ {
+			p := rng.Intn(preds)
+			if rng.Intn(2) == 0 {
+				body += fmt.Sprintf("?x <http://source.example/ontology#p%d> ?y%d . ", p, i)
+			} else {
+				body += fmt.Sprintf("?y%d <http://source.example/ontology#p%d> ?x . ", i, p)
+			}
+		}
+		q := sparql.MustParse("SELECT * WHERE { " + body + "}")
+
+		rewritten, _, err := rw.RewriteQuery(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		srcRes, err := eval.New(srcStore).Select(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tgtRes, err := eval.New(tgtStore).Select(rewritten)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eval.SortSolutions(srcRes.Solutions)
+		eval.SortSolutions(tgtRes.Solutions)
+		if len(srcRes.Solutions) != len(tgtRes.Solutions) {
+			t.Fatalf("seed %d: %d vs %d solutions\nquery: %s\nrewritten: %s",
+				seed, len(srcRes.Solutions), len(tgtRes.Solutions),
+				sparql.Format(q), sparql.Format(rewritten))
+		}
+		for i := range srcRes.Solutions {
+			if srcRes.Solutions[i].Key() != tgtRes.Solutions[i].Key() {
+				t.Fatalf("seed %d: solution %d differs: %v vs %v",
+					seed, i, srcRes.Solutions[i], tgtRes.Solutions[i])
+			}
+		}
+	}
+}
+
+// The level-2 version of the same property on the full paper scenario:
+// the Figure-1 query over Southampton equals the rewritten query over
+// KISTI, for the mirrored portion of the data, after owl:sameAs
+// canonicalisation of the answers.
+func TestRewritePreservesSemanticsKISTI(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 30, 100
+	cfg.Overlap = 1.0 // all papers mirrored: answer sets must coincide
+	cfg.KistiExtra = 0
+	u := workload.Generate(cfg)
+	oa := workload.AKT2KISTI()
+	rw := New(oa.Alignments, funcs.StandardRegistry(u.Coref))
+	rw.Opts.RewriteFilters = true
+	rw.Opts.TargetURISpace = workload.KistiURIPattern
+
+	for person := 0; person < 10; person++ {
+		q := sparql.MustParse(workload.Figure1Query(person))
+		rewritten, _, err := rw.RewriteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcRes, err := eval.New(u.Southampton).Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgtRes, err := eval.New(u.KISTI).Select(rewritten)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := func(sols []eval.Solution) map[string]bool {
+			out := map[string]bool{}
+			for _, s := range sols {
+				out[u.Coref.Canonical(s["a"].Value)] = true
+			}
+			return out
+		}
+		src, tgt := canon(srcRes.Solutions), canon(tgtRes.Solutions)
+		if len(src) != len(tgt) {
+			t.Fatalf("person %d: %d vs %d canonical answers", person, len(src), len(tgt))
+		}
+		for k := range src {
+			if !tgt[k] {
+				t.Fatalf("person %d: answer %s missing from KISTI side", person, k)
+			}
+		}
+	}
+}
+
+// Fuzz-ish robustness: RewriteQuery must never panic or corrupt structure
+// for arbitrary well-formed queries, with and without matching alignments.
+func TestRewriteRobustnessOnRandomQueries(t *testing.T) {
+	rw := paperRewriter()
+	rng := rand.New(rand.NewSource(11))
+	preds := []string{
+		"akt:has-author", "akt:has-title", "akt:has-date", "?p", "a",
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		body := ""
+		for i := 0; i < n; i++ {
+			pred := preds[rng.Intn(len(preds))]
+			obj := fmt.Sprintf("?o%d", i)
+			if rng.Intn(3) == 0 {
+				obj = `"literal"`
+			}
+			if pred == "a" {
+				obj = "akt:Person"
+			}
+			body += fmt.Sprintf("?s%d %s %s . ", rng.Intn(3), pred, obj)
+		}
+		if rng.Intn(2) == 0 {
+			body += "OPTIONAL { ?s0 akt:has-author ?extra } "
+		}
+		if rng.Intn(2) == 0 {
+			body += "FILTER (?o0 != ?s0) "
+		}
+		src := "PREFIX akt:<http://www.aktors.org/ontology/portal#> SELECT * WHERE { " + body + "}"
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: query generator produced invalid SPARQL: %v\n%s", trial, err, src)
+		}
+		out, _, err := rw.RewriteQuery(q)
+		if err != nil {
+			t.Fatalf("trial %d: rewrite error: %v\n%s", trial, err, src)
+		}
+		// Output always re-parses.
+		if _, err := sparql.Parse(sparql.Format(out)); err != nil {
+			t.Fatalf("trial %d: output does not re-parse: %v\n%s", trial, err, sparql.Format(out))
+		}
+	}
+}
+
+// Rewriting is deterministic: same inputs, same output text.
+func TestRewriteDeterministic(t *testing.T) {
+	rw := paperRewriter()
+	q := sparql.MustParse(figure1)
+	first, _, err := rw.RewriteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparql.Format(first)
+	for i := 0; i < 10; i++ {
+		out, _, err := rw.RewriteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparql.Format(out) != want {
+			t.Fatal("rewrite output not deterministic")
+		}
+	}
+}
+
+// An empty coref store with variables-only queries never consults sameas
+// (the default mechanism handles everything); no warnings, no failures.
+func TestVariableOnlyQueriesNeedNoCoref(t *testing.T) {
+	rw := New(workload.AKT2KISTI().Alignments, funcs.StandardRegistry(coref.NewStore()))
+	q := sparql.MustParse(`
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT ?p ?a WHERE { ?p akt:has-author ?a . ?p akt:has-title ?t }`)
+	_, report, err := rw.RewriteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", report.Warnings)
+	}
+}

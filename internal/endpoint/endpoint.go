@@ -1,0 +1,186 @@
+// Package endpoint implements the SPARQL protocol over HTTP: a server
+// exposing a triple store as a query endpoint (standing in for the remote
+// SPARQL/HTTP data sets of the paper's Figure 5) and a client used by the
+// mediator to execute rewritten queries remotely.
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/srjson"
+	"sparqlrw/internal/store"
+)
+
+// Server serves SPARQL queries over one store.
+type Server struct {
+	Engine *eval.Engine
+	// Name labels the endpoint in diagnostics.
+	Name string
+}
+
+// NewServer wraps a store as a SPARQL protocol server.
+func NewServer(name string, st *store.Store) *Server {
+	return &Server{Engine: eval.New(st), Name: name}
+}
+
+// ServeHTTP handles the SPARQL protocol:
+//
+//	GET  /sparql?query=...            (query in URL)
+//	POST /sparql  application/x-www-form-urlencoded  query=...
+//	POST /sparql  application/sparql-query            <body is the query>
+//
+// SELECT and ASK return application/sparql-results+json; CONSTRUCT
+// returns N-Triples.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var queryText string
+	switch r.Method {
+	case http.MethodGet:
+		queryText = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		switch {
+		case strings.HasPrefix(ct, "application/sparql-query"):
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, "cannot read body", http.StatusBadRequest)
+				return
+			}
+			queryText = string(body)
+		default:
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "cannot parse form", http.StatusBadRequest)
+				return
+			}
+			queryText = r.PostForm.Get("query")
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(queryText) == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse error: %v", err), http.StatusBadRequest)
+		return
+	}
+	switch q.Form {
+	case sparql.Select:
+		res, err := s.Engine.Select(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		eval.SortSolutions(res.Solutions)
+		data, err := srjson.EncodeSelect(res)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		_, _ = w.Write(data)
+	case sparql.Ask:
+		b, err := s.Engine.Ask(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		data, err := srjson.EncodeAsk(b)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		_, _ = w.Write(data)
+	case sparql.Construct:
+		g, err := s.Engine.Construct(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples")
+		_, _ = w.Write([]byte(ntriples.Format(g.Sort())))
+	default:
+		http.Error(w, "unsupported query form", http.StatusBadRequest)
+	}
+}
+
+// Client executes SPARQL queries against remote endpoints via HTTP, the
+// "SPARQL/HTTP" arrows of Figure 5.
+type Client struct {
+	HTTP *http.Client
+}
+
+// NewClient returns a client with a sane timeout.
+func NewClient() *Client {
+	return &Client{HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Select runs a SELECT query at the endpoint URL.
+func (c *Client) Select(endpointURL, queryText string) (*eval.Result, error) {
+	body, err := c.post(endpointURL, queryText)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := srjson.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("endpoint: expected SELECT results from %s", endpointURL)
+	}
+	return res, nil
+}
+
+// Ask runs an ASK query at the endpoint URL.
+func (c *Client) Ask(endpointURL, queryText string) (bool, error) {
+	body, err := c.post(endpointURL, queryText)
+	if err != nil {
+		return false, err
+	}
+	_, b, err := srjson.Decode(body)
+	if err != nil {
+		return false, err
+	}
+	if b == nil {
+		return false, fmt.Errorf("endpoint: expected boolean result from %s", endpointURL)
+	}
+	return *b, nil
+}
+
+// Construct runs a CONSTRUCT query and parses the returned N-Triples.
+func (c *Client) Construct(endpointURL, queryText string) (rdf.Graph, error) {
+	body, err := c.post(endpointURL, queryText)
+	if err != nil {
+		return nil, err
+	}
+	return ntriples.ParseString(string(body))
+}
+
+func (c *Client) post(endpointURL, queryText string) ([]byte, error) {
+	form := url.Values{"query": {queryText}}
+	resp, err := c.HTTP.PostForm(endpointURL, form)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint: %s returned %d: %s", endpointURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}

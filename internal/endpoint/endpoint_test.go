@@ -1,0 +1,156 @@
+package endpoint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/turtle"
+)
+
+func demoServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	g, _, err := turtle.Parse(`
+@prefix ex: <http://example.org/> .
+ex:p1 ex:author ex:alice , ex:bob .
+ex:p2 ex:author ex:alice .
+ex:alice ex:name "Alice" .
+ex:bob ex:name "Bob" .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	st.AddGraph(g)
+	srv := httptest.NewServer(NewServer("demo", st))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSelectOverHTTPPostForm(t *testing.T) {
+	srv := demoServer(t)
+	c := NewClient()
+	res, err := c.Select(srv.URL, `
+PREFIX ex: <http://example.org/>
+SELECT ?a WHERE { ex:p1 ex:author ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestSelectOverHTTPGet(t *testing.T) {
+	srv := demoServer(t)
+	q := url.QueryEscape(`PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:p2 ex:author ?a }`)
+	resp, err := http.Get(srv.URL + "?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestSelectOverHTTPRawBody(t *testing.T) {
+	srv := demoServer(t)
+	body := `PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:p1 ex:author ?a }`
+	resp, err := http.Post(srv.URL, "application/sparql-query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestAskOverHTTP(t *testing.T) {
+	srv := demoServer(t)
+	c := NewClient()
+	yes, err := c.Ask(srv.URL, `PREFIX ex: <http://example.org/> ASK { ex:p1 ex:author ex:bob }`)
+	if err != nil || !yes {
+		t.Fatalf("ask = %v %v", yes, err)
+	}
+	no, err := c.Ask(srv.URL, `PREFIX ex: <http://example.org/> ASK { ex:p2 ex:author ex:bob }`)
+	if err != nil || no {
+		t.Fatalf("ask = %v %v", no, err)
+	}
+}
+
+func TestConstructOverHTTP(t *testing.T) {
+	srv := demoServer(t)
+	c := NewClient()
+	g, err := c.Construct(srv.URL, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+CONSTRUCT { ?p foaf:name ?n } WHERE { ?p ex:name ?n }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Fatalf("constructed = %v", g)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := demoServer(t)
+	// missing query
+	resp, _ := http.Get(srv.URL)
+	if resp.StatusCode != 400 {
+		t.Fatalf("missing query status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// bad query
+	resp, _ = http.Get(srv.URL + "?query=" + url.QueryEscape("SELECT WHERE"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad query status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// bad method
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL, nil)
+	resp, _ = http.DefaultClient.Do(req)
+	if resp.StatusCode != 405 {
+		t.Fatalf("bad method status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	c := NewClient()
+	if _, err := c.Select("http://127.0.0.1:1", "SELECT ?x WHERE { ?x ?p ?o }"); err == nil {
+		t.Fatal("unreachable endpoint must error")
+	}
+	srv := demoServer(t)
+	if _, err := c.Select(srv.URL, "NOT SPARQL"); err == nil {
+		t.Fatal("server-side parse error must propagate")
+	}
+	// Ask on a SELECT response type mismatch
+	if _, err := c.Ask(srv.URL, `PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:p1 ex:author ?a }`); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	if _, err := c.Select(srv.URL, `PREFIX ex: <http://example.org/> ASK { ex:p1 ex:author ex:bob }`); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+}
+
+func BenchmarkEndToEndSelect(b *testing.B) {
+	srv := demoServer(b)
+	c := NewClient()
+	q := `PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:p1 ex:author ?a }`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Select(srv.URL, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"sparqlrw/internal/algebra"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+)
+
+// Engine evaluates SPARQL queries over one triple store.
+type Engine struct {
+	Store *store.Store
+	// Funcs optionally resolves extension function IRIs in FILTERs. The
+	// paper's model assumes the query-execution site knows no alignment
+	// functions, so endpoints usually leave this nil.
+	Funcs FuncResolver
+	// DisableJoinReorder turns off the selectivity heuristic; exposed for
+	// the ablation benchmark.
+	DisableJoinReorder bool
+}
+
+// New returns an engine over st.
+func New(st *store.Store) *Engine { return &Engine{Store: st} }
+
+// Result is the outcome of a SELECT evaluation: the projected variable
+// names (in SELECT order) and the solution sequence.
+type Result struct {
+	Vars      []string
+	Solutions []Solution
+}
+
+// Select evaluates a SELECT query.
+func (e *Engine) Select(q *sparql.Query) (*Result, error) {
+	if q.Form != sparql.Select {
+		return nil, fmt.Errorf("eval: Select called on %s query", q.Form)
+	}
+	op := algebra.Translate(q)
+	sols, err := e.eval(op)
+	if err != nil {
+		return nil, err
+	}
+	vars := q.SelectVars
+	if q.SelectStar {
+		vars = q.Vars()
+	}
+	return &Result{Vars: vars, Solutions: sols}, nil
+}
+
+// Ask evaluates an ASK query.
+func (e *Engine) Ask(q *sparql.Query) (bool, error) {
+	if q.Form != sparql.Ask {
+		return false, fmt.Errorf("eval: Ask called on %s query", q.Form)
+	}
+	sols, err := e.eval(algebra.Translate(q))
+	if err != nil {
+		return false, err
+	}
+	return len(sols) > 0, nil
+}
+
+// Construct evaluates a CONSTRUCT query, instantiating the template once
+// per solution. Template blank nodes are renamed per solution; template
+// triples with unbound variables or ill-formed positions are skipped, per
+// the SPARQL specification.
+func (e *Engine) Construct(q *sparql.Query) (rdf.Graph, error) {
+	if q.Form != sparql.Construct {
+		return nil, fmt.Errorf("eval: Construct called on %s query", q.Form)
+	}
+	sols, err := e.eval(algebra.Translate(q))
+	if err != nil {
+		return nil, err
+	}
+	var g rdf.Graph
+	for i, sol := range sols {
+		suffix := "_c" + strconv.Itoa(i)
+		for _, tpl := range q.Template {
+			t, ok := instantiateTemplate(tpl, sol, suffix)
+			if !ok {
+				continue
+			}
+			g = append(g, t)
+		}
+	}
+	return g.Dedup(), nil
+}
+
+func instantiateTemplate(tpl rdf.Triple, sol Solution, bnodeSuffix string) (rdf.Triple, bool) {
+	resolve := func(t rdf.Term) (rdf.Term, bool) {
+		switch t.Kind {
+		case rdf.KindVar:
+			v, ok := sol[t.Value]
+			return v, ok
+		case rdf.KindBlank:
+			return rdf.NewBlank(t.Value + bnodeSuffix), true
+		default:
+			return t, true
+		}
+	}
+	s, ok := resolve(tpl.S)
+	if !ok || s.Kind == rdf.KindLiteral {
+		return rdf.Triple{}, false
+	}
+	p, ok := resolve(tpl.P)
+	if !ok || p.Kind != rdf.KindIRI {
+		return rdf.Triple{}, false
+	}
+	o, ok := resolve(tpl.O)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: s, P: p, O: o}, true
+}
+
+// EvalBGP evaluates a bare basic graph pattern (outside any query) and
+// returns its solutions; used by the forward-chaining materialiser, which
+// treats alignment RHS conjunctions as rule bodies.
+func (e *Engine) EvalBGP(patterns []rdf.Triple) ([]Solution, error) {
+	return e.evalBGP(patterns, Solution{})
+}
+
+// EvalAlgebra evaluates an arbitrary algebra tree, for callers (such as
+// the algebra-level rewriter) that operate below the Query layer.
+func (e *Engine) EvalAlgebra(op algebra.Op) ([]Solution, error) {
+	return e.eval(op)
+}
+
+// eval interprets an algebra tree.
+func (e *Engine) eval(op algebra.Op) ([]Solution, error) {
+	switch o := op.(type) {
+	case *algebra.Unit:
+		return []Solution{{}}, nil
+	case *algebra.BGP:
+		return e.evalBGP(o.Patterns, Solution{})
+	case *algebra.Join:
+		l, err := e.eval(o.L)
+		if err != nil {
+			return nil, err
+		}
+		// BGP right operands evaluate as index nested loops seeded by each
+		// left solution; other operands hash-join.
+		if rb, ok := o.R.(*algebra.BGP); ok {
+			var out []Solution
+			for _, sol := range l {
+				exts, err := e.evalBGP(rb.Patterns, sol)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, exts...)
+			}
+			return out, nil
+		}
+		r, err := e.eval(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return hashJoin(l, r), nil
+	case *algebra.LeftJoin:
+		l, err := e.eval(o.L)
+		if err != nil {
+			return nil, err
+		}
+		var out []Solution
+		for _, sol := range l {
+			var exts []Solution
+			if rb, ok := o.R.(*algebra.BGP); ok {
+				exts, err = e.evalBGP(rb.Patterns, sol)
+			} else {
+				var r []Solution
+				r, err = e.eval(o.R)
+				if err == nil {
+					for _, rs := range r {
+						if sol.Compatible(rs) {
+							exts = append(exts, sol.Merge(rs))
+						}
+					}
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, ext := range exts {
+				if o.Expr != nil {
+					ok, err := evalBool(o.Expr, ext, e.Funcs)
+					if err != nil || !ok {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, ext)
+			}
+			if !matched {
+				out = append(out, sol)
+			}
+		}
+		return out, nil
+	case *algebra.Union:
+		l, err := e.eval(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	case *algebra.Filter:
+		in, err := e.eval(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []Solution
+		for _, sol := range in {
+			ok, err := evalBool(o.Expr, sol, e.Funcs)
+			if err == nil && ok {
+				out = append(out, sol)
+			}
+		}
+		return out, nil
+	case *algebra.Project:
+		in, err := e.eval(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Solution, len(in))
+		for i, sol := range in {
+			if o.Star {
+				out[i] = sol.ProjectAll()
+			} else {
+				out[i] = sol.Project(o.Vars)
+			}
+		}
+		return out, nil
+	case *algebra.Distinct:
+		return distinct(e, o.Input)
+	case *algebra.Reduced:
+		return distinct(e, o.Input)
+	case *algebra.OrderBy:
+		in, err := e.eval(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		e.sortSolutions(in, o.Conds)
+		return in, nil
+	case *algebra.Slice:
+		in, err := e.eval(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		off := o.Offset
+		if off < 0 {
+			off = 0
+		}
+		if off >= len(in) {
+			return nil, nil
+		}
+		in = in[off:]
+		if o.Limit >= 0 && o.Limit < len(in) {
+			in = in[:o.Limit]
+		}
+		return in, nil
+	default:
+		return nil, fmt.Errorf("eval: unsupported algebra node %T", op)
+	}
+}
+
+func distinct(e *Engine, input algebra.Op) ([]Solution, error) {
+	in, err := e.eval(input)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []Solution
+	for _, sol := range in {
+		k := sol.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, sol)
+		}
+	}
+	return out, nil
+}
+
+// evalBGP matches all patterns by backtracking over index lookups, seeded
+// with an initial partial solution. Pattern order is chosen greedily by
+// estimated selectivity unless reordering is disabled.
+func (e *Engine) evalBGP(patterns []rdf.Triple, seed Solution) ([]Solution, error) {
+	if len(patterns) == 0 {
+		return []Solution{seed}, nil
+	}
+	order := patterns
+	if !e.DisableJoinReorder {
+		order = e.reorder(patterns, seed)
+	}
+	var out []Solution
+	var rec func(i int, sol Solution)
+	rec = func(i int, sol Solution) {
+		if i == len(order) {
+			out = append(out, sol)
+			return
+		}
+		pat := substitute(order[i], sol)
+		e.Store.Match(pat, func(t rdf.Triple) bool {
+			ext, ok := extend(sol, order[i], t)
+			if ok {
+				rec(i+1, ext)
+			}
+			return true
+		})
+	}
+	rec(0, seed)
+	return out, nil
+}
+
+// substitute replaces bound variables/blanks in a pattern with their
+// values; remaining unbound positions become wildcards for the store
+// (blank nodes in patterns are existentials, not data terms to look up).
+func substitute(pat rdf.Triple, sol Solution) rdf.Triple {
+	res := pat
+	for i, t := range [3]rdf.Term{pat.S, pat.P, pat.O} {
+		key, bindable := bindingKey(t)
+		if !bindable {
+			continue
+		}
+		v, ok := sol[key]
+		if !ok {
+			v = rdf.Any
+		}
+		switch i {
+		case 0:
+			res.S = v
+		case 1:
+			res.P = v
+		case 2:
+			res.O = v
+		}
+	}
+	return res
+}
+
+// extend binds the pattern's unbound positions against a concrete data
+// triple, failing when one variable would need two distinct values.
+func extend(sol Solution, pat rdf.Triple, data rdf.Triple) (Solution, bool) {
+	out := sol
+	cloned := false
+	bind := func(p, d rdf.Term) bool {
+		key, bindable := bindingKey(p)
+		if !bindable {
+			return p == d // ground: must match (store guarantees, but re-check)
+		}
+		if v, ok := out[key]; ok {
+			return v == d
+		}
+		if !cloned {
+			out = sol.Clone()
+			cloned = true
+		}
+		out[key] = d
+		return true
+	}
+	if !bind(pat.S, data.S) || !bind(pat.P, data.P) || !bind(pat.O, data.O) {
+		return nil, false
+	}
+	return out, true
+}
+
+// reorder greedily picks, at each step, the pattern with the lowest
+// estimated cardinality given the variables bound so far — the classic
+// selectivity heuristic the paper cites (Stocker et al., WWW'08).
+func (e *Engine) reorder(patterns []rdf.Triple, seed Solution) []rdf.Triple {
+	remaining := append([]rdf.Triple(nil), patterns...)
+	boundVars := map[string]bool{}
+	for k := range seed {
+		boundVars[k] = true
+	}
+	var out []rdf.Triple
+	for len(remaining) > 0 {
+		best, bestCost := 0, int(^uint(0)>>1)
+		for i, pat := range remaining {
+			cost := e.estimate(pat, boundVars)
+			if cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		chosen := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		out = append(out, chosen)
+		for _, v := range []rdf.Term{chosen.S, chosen.P, chosen.O} {
+			if key, ok := bindingKey(v); ok {
+				boundVars[key] = true
+			}
+		}
+	}
+	return out
+}
+
+// estimate scores a pattern: lower is more selective. Ground or already-
+// bound positions count as bound; the store's predicate statistics break
+// ties between patterns with equal bound shape.
+func (e *Engine) estimate(pat rdf.Triple, boundVars map[string]bool) int {
+	boundCount := 0
+	isBound := func(t rdf.Term) bool {
+		if key, ok := bindingKey(t); ok {
+			return boundVars[key]
+		}
+		return true
+	}
+	sb, pb, ob := isBound(pat.S), isBound(pat.P), isBound(pat.O)
+	for _, b := range []bool{sb, pb, ob} {
+		if b {
+			boundCount++
+		}
+	}
+	// Base cost decreases with more bound positions; subject-bound shapes
+	// are cheaper than object-bound which are cheaper than predicate-only.
+	base := (3 - boundCount) * 1_000_000
+	if pb && pat.P.Kind == rdf.KindIRI {
+		base += e.Store.PredicateCount(pat.P)
+	} else {
+		base += e.Store.Size()
+	}
+	if sb {
+		base -= 500_000
+	}
+	if ob {
+		base -= 250_000
+	}
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+func (e *Engine) sortSolutions(sols []Solution, conds []sparql.OrderCondition) {
+	sort.SliceStable(sols, func(i, j int) bool {
+		for _, c := range conds {
+			vi, ei := evalExpr(c.Expr, sols[i], e.Funcs)
+			vj, ej := evalExpr(c.Expr, sols[j], e.Funcs)
+			// SPARQL ordering: unbound/error sorts lowest.
+			if ei != nil && ej != nil {
+				continue
+			}
+			if ei != nil {
+				return !c.Desc
+			}
+			if ej != nil {
+				return c.Desc
+			}
+			c0 := orderCompare(vi, vj)
+			if c0 == 0 {
+				continue
+			}
+			if c.Desc {
+				return c0 > 0
+			}
+			return c0 < 0
+		}
+		return false
+	})
+}
+
+// orderCompare is the total ORDER BY comparator: blank < IRI < literal by
+// kind, then value-aware comparison within kinds.
+func orderCompare(a, b rdf.Term) int {
+	rank := func(t rdf.Term) int {
+		switch t.Kind {
+		case rdf.KindBlank:
+			return 0
+		case rdf.KindIRI:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if ra, rb := rank(a), rank(b); ra != rb {
+		return ra - rb
+	}
+	if a.Kind == rdf.KindLiteral && b.Kind == rdf.KindLiteral {
+		if c, err := compareOrdered(a, b); err == nil {
+			return c
+		}
+	}
+	return a.Compare(b)
+}
+
+// hashJoin joins two solution sets on their shared variables.
+func hashJoin(l, r []Solution) []Solution {
+	if len(l) == 0 || len(r) == 0 {
+		return nil
+	}
+	// Find shared variables from representative solutions. Solutions from
+	// one operand may bind different variable sets (e.g. under UNION), so
+	// collect the union of names per side.
+	lVars := map[string]bool{}
+	for _, s := range l {
+		for k := range s {
+			lVars[k] = true
+		}
+	}
+	var shared []string
+	sharedSeen := map[string]bool{}
+	for _, s := range r {
+		for k := range s {
+			if lVars[k] && !sharedSeen[k] {
+				sharedSeen[k] = true
+				shared = append(shared, k)
+			}
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) == 0 {
+		// Cartesian product.
+		var out []Solution
+		for _, ls := range l {
+			for _, rs := range r {
+				out = append(out, ls.Merge(rs))
+			}
+		}
+		return out
+	}
+	// Bucket the right side by shared-variable key; solutions missing some
+	// shared variable fall back to a scan list.
+	buckets := map[string][]Solution{}
+	var unkeyed []Solution
+	for _, rs := range r {
+		complete := true
+		for _, v := range shared {
+			if !rs.Bound(v) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			k := rs.keyOn(shared)
+			buckets[k] = append(buckets[k], rs)
+		} else {
+			unkeyed = append(unkeyed, rs)
+		}
+	}
+	var out []Solution
+	for _, ls := range l {
+		complete := true
+		for _, v := range shared {
+			if !ls.Bound(v) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			for _, rs := range buckets[ls.keyOn(shared)] {
+				if ls.Compatible(rs) {
+					out = append(out, ls.Merge(rs))
+				}
+			}
+		} else {
+			for _, bucket := range buckets {
+				for _, rs := range bucket {
+					if ls.Compatible(rs) {
+						out = append(out, ls.Merge(rs))
+					}
+				}
+			}
+		}
+		for _, rs := range unkeyed {
+			if ls.Compatible(rs) {
+				out = append(out, ls.Merge(rs))
+			}
+		}
+	}
+	return out
+}

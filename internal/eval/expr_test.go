@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+)
+
+// evalFilterExpr parses a one-expression FILTER and evaluates it under a
+// binding, returning (value, error).
+func evalFilterExpr(t *testing.T, exprSrc string, sol Solution, funcs FuncResolver) (rdf.Term, error) {
+	t.Helper()
+	q, err := sparql.Parse(`PREFIX ex: <http://example.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT * WHERE { ?s ?p ?o . FILTER (` + exprSrc + `) }`)
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprSrc, err)
+	}
+	return evalExpr(q.Filters()[0].Expr, sol, funcs)
+}
+
+func mustBool(t *testing.T, exprSrc string, sol Solution, want bool) {
+	t.Helper()
+	v, err := evalFilterExpr(t, exprSrc, sol, nil)
+	if err != nil {
+		t.Fatalf("%q: %v", exprSrc, err)
+	}
+	got, ok := v.Bool()
+	if !ok {
+		t.Fatalf("%q: non-boolean %v", exprSrc, v)
+	}
+	if got != want {
+		t.Fatalf("%q = %v, want %v", exprSrc, got, want)
+	}
+}
+
+func mustError(t *testing.T, exprSrc string, sol Solution) {
+	t.Helper()
+	if v, err := evalFilterExpr(t, exprSrc, sol, nil); err == nil {
+		t.Fatalf("%q should error, got %v", exprSrc, v)
+	}
+}
+
+func TestNumericComparisonsAndPromotion(t *testing.T) {
+	sol := Solution{
+		"i": rdf.NewInteger(5),
+		"d": rdf.NewTypedLiteral("5.0", rdf.XSDDecimal),
+		"f": rdf.NewDouble(2.5),
+	}
+	mustBool(t, "?i = ?d", sol, true) // integer vs decimal
+	mustBool(t, "?i > ?f", sol, true) // integer vs double
+	mustBool(t, "?i >= 5", sol, true)
+	mustBool(t, "?i < 6", sol, true)
+	mustBool(t, "?i <= 4", sol, false)
+	mustBool(t, "?i != ?f", sol, true)
+	mustBool(t, "-?i = -5", sol, true) // unary minus
+	mustBool(t, "+?i = 5", sol, true)  // unary plus
+}
+
+func TestArithmeticDatatypes(t *testing.T) {
+	sol := Solution{"i": rdf.NewInteger(7), "d": rdf.NewDouble(2)}
+	// integer/integer division is decimal
+	v, err := evalFilterExpr(t, "?i / 2", sol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Datatype != rdf.XSDDecimal {
+		t.Fatalf("7/2 datatype = %s", v.Datatype)
+	}
+	// integer op integer stays integer
+	v, _ = evalFilterExpr(t, "?i * 3", sol, nil)
+	if v.Datatype != rdf.XSDInteger || v.Value != "21" {
+		t.Fatalf("7*3 = %v", v)
+	}
+	// double contaminates
+	v, _ = evalFilterExpr(t, "?i + ?d", sol, nil)
+	if v.Datatype != rdf.XSDDouble {
+		t.Fatalf("int+double datatype = %s", v.Datatype)
+	}
+	mustError(t, "?i / 0", sol)
+	mustError(t, `"abc" + 1`, sol)
+}
+
+func TestStringAndBooleanComparisons(t *testing.T) {
+	sol := Solution{
+		"a": rdf.NewLiteral("apple"),
+		"b": rdf.NewLiteral("banana"),
+		"t": rdf.NewBoolean(true),
+		"f": rdf.NewBoolean(false),
+	}
+	mustBool(t, "?a < ?b", sol, true)
+	mustBool(t, `?a = "apple"`, sol, true)
+	mustBool(t, "?t > ?f", sol, true) // false < true
+	mustBool(t, "?t = true", sol, true)
+	mustBool(t, "?f != true", sol, true)
+}
+
+func TestIRIEquality(t *testing.T) {
+	sol := Solution{"x": rdf.NewIRI("http://a"), "y": rdf.NewIRI("http://b")}
+	mustBool(t, "?x = ?x", sol, true)
+	mustBool(t, "?x != ?y", sol, true)
+	mustBool(t, "?x = ex:nope", sol, false)
+	// ordering IRIs via < is an error in strict SPARQL; ours orders them
+	// only inside ORDER BY, so the operator must error.
+	mustError(t, "?x < ?y", sol)
+}
+
+func TestIncomparableLiterals(t *testing.T) {
+	sol := Solution{
+		"d": rdf.NewTypedLiteral("2009-01-01", rdf.XSDDate),
+		"s": rdf.NewLiteral("2009-01-01"),
+	}
+	// same datatype compares lexicographically (dates order correctly)
+	sol2 := Solution{
+		"a": rdf.NewTypedLiteral("2009-01-01", rdf.XSDDate),
+		"b": rdf.NewTypedLiteral("2010-01-01", rdf.XSDDate),
+	}
+	mustBool(t, "?a < ?b", sol2, true)
+	// unknown-vs-string equality is an error per SPARQL
+	mustError(t, "?d = ?s", sol)
+}
+
+func TestLangMatchesBuiltin(t *testing.T) {
+	sol := Solution{
+		"en":   rdf.NewLangLiteral("hello", "en"),
+		"engb": rdf.NewLangLiteral("hello", "en-GB"),
+		"none": rdf.NewLiteral("hello"),
+	}
+	mustBool(t, `LANGMATCHES(LANG(?en), "en")`, sol, true)
+	mustBool(t, `LANGMATCHES(LANG(?engb), "en")`, sol, true)
+	mustBool(t, `LANGMATCHES(LANG(?engb), "fr")`, sol, false)
+	mustBool(t, `LANGMATCHES(LANG(?en), "*")`, sol, true)
+	mustBool(t, `LANGMATCHES(LANG(?none), "*")`, sol, false)
+}
+
+func TestStrAndDatatypeBuiltins(t *testing.T) {
+	sol := Solution{
+		"iri": rdf.NewIRI("http://x/y"),
+		"lit": rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		"lng": rdf.NewLangLiteral("bonjour", "fr"),
+		"bn":  rdf.NewBlank("b"),
+	}
+	mustBool(t, `STR(?iri) = "http://x/y"`, sol, true)
+	mustBool(t, `STR(?lit) = "5"`, sol, true)
+	mustBool(t, `DATATYPE(?lit) = xsd:integer`, sol, true)
+	mustBool(t, `DATATYPE(STR(?iri)) = xsd:string`, sol, true)
+	mustError(t, `STR(?bn)`, sol)
+	mustError(t, `DATATYPE(?lng)`, sol) // language-tagged: error in 1.0
+	mustError(t, `DATATYPE(?iri)`, sol)
+	mustError(t, `LANG(?iri)`, sol)
+}
+
+func TestRegexFlagsAndErrors(t *testing.T) {
+	sol := Solution{"s": rdf.NewLiteral("Hello World"), "iri": rdf.NewIRI("http://x")}
+	mustBool(t, `REGEX(?s, "world")`, sol, false)
+	mustBool(t, `REGEX(?s, "world", "i")`, sol, true)
+	mustBool(t, `REGEX(?s, "^Hello")`, sol, true)
+	mustError(t, `REGEX(?s, "([")`, sol)
+	mustError(t, `REGEX(?iri, "x")`, sol)
+}
+
+func TestThreeValuedLogicTable(t *testing.T) {
+	sol := Solution{"t": rdf.NewBoolean(true), "f": rdf.NewBoolean(false)}
+	// ?u is unbound -> error operand
+	mustBool(t, "?t || ?u > 1", sol, true)  // T || E = T
+	mustBool(t, "?u > 1 || ?t", sol, true)  // E || T = T
+	mustError(t, "?f || ?u > 1", sol)       // F || E = E
+	mustBool(t, "?f && ?u > 1", sol, false) // F && E = F
+	mustBool(t, "?u > 1 && ?f", sol, false) // E && F = F
+	mustError(t, "?t && ?u > 1", sol)       // T && E = E
+	mustError(t, "?u > 1 && ?u < 2", sol)   // E && E = E
+	mustBool(t, "!?f", sol, true)
+	mustError(t, "!(?u > 1)", sol)
+}
+
+func TestEBVRules(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want bool
+		err  bool
+	}{
+		{rdf.NewBoolean(true), true, false},
+		{rdf.NewBoolean(false), false, false},
+		{rdf.NewLiteral(""), false, false},
+		{rdf.NewLiteral("x"), true, false},
+		{rdf.NewInteger(0), false, false},
+		{rdf.NewInteger(3), true, false},
+		{rdf.NewDouble(0), false, false},
+		{rdf.NewTypedLiteral("x", rdf.XSDDate), false, true},
+		{rdf.NewIRI("http://x"), false, true},
+		{rdf.NewTypedLiteral("notbool", rdf.XSDBoolean), false, true},
+		{rdf.NewTypedLiteral("notnum", rdf.XSDInteger), false, true},
+	}
+	for _, c := range cases {
+		got, err := EBV(c.term)
+		if c.err != (err != nil) {
+			t.Errorf("EBV(%v) err = %v, want err=%v", c.term, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("EBV(%v) = %v, want %v", c.term, got, c.want)
+		}
+	}
+}
+
+func TestExtensionFunctionResolution(t *testing.T) {
+	sol := Solution{"x": rdf.NewLiteral("abc")}
+	resolver := func(iri string) (func([]rdf.Term) (rdf.Term, error), bool) {
+		if iri != "http://fn/upper" {
+			return nil, false
+		}
+		return func(args []rdf.Term) (rdf.Term, error) {
+			return rdf.NewLiteral(strings.ToUpper(args[0].Value)), nil
+		}, true
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER (<http://fn/upper>(?x) = "ABC") }`)
+	v, err := evalExpr(q.Filters()[0].Expr, sol, resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := v.Bool(); !b {
+		t.Fatalf("extension call = %v", v)
+	}
+	// unknown function errors
+	q2 := sparql.MustParse(`SELECT * WHERE { ?s ?p ?o . FILTER (<http://fn/nope>(?x) = "x") }`)
+	if _, err := evalExpr(q2.Filters()[0].Expr, sol, resolver); err == nil {
+		t.Fatal("unknown extension function must error")
+	}
+	if _, err := evalExpr(q2.Filters()[0].Expr, sol, nil); err == nil {
+		t.Fatal("nil resolver must error")
+	}
+}
+
+func TestBoundRequiresVariable(t *testing.T) {
+	sol := Solution{}
+	mustError(t, `BOUND(STR(?x))`, sol)
+}
+
+func TestSameTermVsEquals(t *testing.T) {
+	sol := Solution{
+		"a": rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		"b": rdf.NewTypedLiteral("5.0", rdf.XSDDecimal),
+	}
+	mustBool(t, "?a = ?b", sol, true)           // numeric equality
+	mustBool(t, "SAMETERM(?a, ?b)", sol, false) // distinct terms
+	mustBool(t, "SAMETERM(?a, ?a)", sol, true)
+}
+
+func TestOrderCompareKinds(t *testing.T) {
+	// blank < IRI < literal
+	b, i, l := rdf.NewBlank("x"), rdf.NewIRI("http://x"), rdf.NewLiteral("x")
+	if orderCompare(b, i) >= 0 || orderCompare(i, l) >= 0 || orderCompare(b, l) >= 0 {
+		t.Fatal("kind ranking wrong")
+	}
+	if orderCompare(rdf.NewInteger(2), rdf.NewInteger(10)) >= 0 {
+		t.Fatal("numeric order wrong")
+	}
+	// incomparable literals fall back to deterministic term order
+	x := rdf.NewTypedLiteral("a", "http://dt1")
+	y := rdf.NewTypedLiteral("a", "http://dt2")
+	if orderCompare(x, y) == 0 {
+		t.Fatal("distinct terms must not tie")
+	}
+}

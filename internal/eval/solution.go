@@ -1,0 +1,142 @@
+// Package eval interprets the SPARQL algebra over an indexed triple store.
+// It provides solution mappings, SPARQL 1.0 expression evaluation with the
+// three-valued error semantics, backtracking BGP matching with a
+// selectivity-based join-order heuristic, hash joins, and the SELECT / ASK
+// / CONSTRUCT query forms.
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"sparqlrw/internal/rdf"
+)
+
+// Solution is a solution mapping from variable names to RDF terms. Blank
+// nodes appearing in triple patterns behave as variables scoped to the
+// query; their keys are prefixed with "_:" so they can never collide with
+// (or be projected as) real variables.
+type Solution map[string]rdf.Term
+
+// bindingKey returns the Solution key under which a pattern term binds, and
+// whether the term is bindable (variable or blank node).
+func bindingKey(t rdf.Term) (string, bool) {
+	switch t.Kind {
+	case rdf.KindVar:
+		return t.Value, true
+	case rdf.KindBlank:
+		return "_:" + t.Value, true
+	default:
+		return "", false
+	}
+}
+
+// Clone copies the solution.
+func (s Solution) Clone() Solution {
+	c := make(Solution, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Bound reports whether the variable is bound.
+func (s Solution) Bound(name string) bool {
+	_, ok := s[name]
+	return ok
+}
+
+// Project returns a solution restricted to the given variables (dropping
+// blank-node bindings, which are never projectable).
+func (s Solution) Project(vars []string) Solution {
+	out := make(Solution, len(vars))
+	for _, v := range vars {
+		if t, ok := s[v]; ok {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// ProjectAll returns the solution without blank-node pseudo-bindings, the
+// SELECT * projection.
+func (s Solution) ProjectAll() Solution {
+	out := make(Solution, len(s))
+	for k, v := range s {
+		if !strings.HasPrefix(k, "_:") {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Compatible reports whether two solutions agree on every shared variable
+// (the SPARQL join compatibility condition).
+func (s Solution) Compatible(o Solution) bool {
+	for k, v := range s {
+		if ov, ok := o[k]; ok && ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible solutions.
+func (s Solution) Merge(o Solution) Solution {
+	out := s.Clone()
+	for k, v := range o {
+		out[k] = v
+	}
+	return out
+}
+
+// Key returns a canonical string form of the solution, used for DISTINCT
+// and for hash-join buckets. Variables are emitted in sorted order.
+func (s Solution) Key() string {
+	if len(s) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(s[n].String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// keyOn returns the canonical string of the solution restricted to vars
+// (which must be sorted); used to bucket hash joins on shared variables.
+func (s Solution) keyOn(vars []string) string {
+	var b strings.Builder
+	for _, n := range vars {
+		b.WriteString(s[n].String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// Vars returns the bound variable names (excluding blank-node pseudo-vars)
+// in sorted order.
+func (s Solution) Vars() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		if !strings.HasPrefix(k, "_:") {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortSolutions orders solutions deterministically by their canonical key;
+// used by tests and by deterministic result dumps.
+func SortSolutions(sols []Solution) {
+	sort.Slice(sols, func(i, j int) bool { return sols[i].Key() < sols[j].Key() })
+}

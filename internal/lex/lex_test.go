@@ -1,0 +1,226 @@
+package lex
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectSeq(t *testing.T, src string, want ...Kind) []Token {
+	t.Helper()
+	toks := All(src)
+	got := kinds(toks)
+	want = append(want, EOF)
+	if len(got) != len(want) {
+		t.Fatalf("lex(%q): got %d tokens %v, want %d %v", src, len(got), toks, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex(%q)[%d] = %v, want %v (all: %v)", src, i, got[i], want[i], toks)
+		}
+	}
+	return toks
+}
+
+func TestPunctuationAndOperators(t *testing.T) {
+	expectSeq(t, "{ } ( ) [ ] . ; , = != < > <= >= ! && || + - * / ^^",
+		LBrace, RBrace, LParen, RParen, LBracket, RBracket, Dot, Semicolon,
+		Comma, Eq, Neq, Lt, Gt, Le, Ge, Not, AndAnd, OrOr, Plus, Minus,
+		Star, Slash, HatHat)
+}
+
+func TestIRIRefVsLessThan(t *testing.T) {
+	toks := expectSeq(t, "<http://example.org/x>", IRIRef)
+	if toks[0].Val != "http://example.org/x" {
+		t.Fatalf("IRI value = %q", toks[0].Val)
+	}
+	// '<' followed by a space is the operator.
+	expectSeq(t, "?a < ?b", Var, Lt, Var)
+	expectSeq(t, "?a <= 4", Var, Le, Integer)
+	// A FILTER-style mix: IRI on the right of <.
+	toks = expectSeq(t, "?a = <http://x/y>", Var, Eq, IRIRef)
+	if toks[2].Val != "http://x/y" {
+		t.Fatalf("IRI value = %q", toks[2].Val)
+	}
+}
+
+func TestIRIUnicodeEscape(t *testing.T) {
+	toks := expectSeq(t, `<http://ex/é>`, IRIRef)
+	if toks[0].Val != "http://ex/é" {
+		t.Fatalf("unicode escape: %q", toks[0].Val)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := expectSeq(t, `"hello" 'world' "a\"b" "tab\tend" "" '''long
+multi''' """double "quote" inside"""`,
+		String, String, String, String, String, String, String)
+	vals := []string{"hello", "world", `a"b`, "tab\tend", "", "long\nmulti", `double "quote" inside`}
+	for i, v := range vals {
+		if toks[i].Val != v {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Val, v)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"new\nline\"", `"bad\qesc"`} {
+		toks := All(src)
+		last := toks[len(toks)-1]
+		if last.Kind != Illegal {
+			t.Errorf("lex(%q) should end Illegal, got %v", src, toks)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := expectSeq(t, "42 3.14 1e6 2.5E-3 0", Integer, Decimal, Double, Double, Integer)
+	if toks[0].Val != "42" || toks[1].Val != "3.14" || toks[2].Val != "1e6" {
+		t.Fatalf("number vals: %v", toks)
+	}
+	// Turtle statement-final dot must not be swallowed by a number.
+	expectSeq(t, "5 .", Integer, Dot)
+	expectSeq(t, "5.", Integer, Dot)
+	expectSeq(t, ".5", Decimal)
+}
+
+func TestVarsAndBlanks(t *testing.T) {
+	toks := expectSeq(t, "?paper $a _:p1 _:node-2", Var, Var, BlankNode, BlankNode)
+	if toks[0].Val != "paper" || toks[1].Val != "a" || toks[2].Val != "p1" || toks[3].Val != "node-2" {
+		t.Fatalf("vals: %v", toks)
+	}
+}
+
+func TestPNames(t *testing.T) {
+	toks := expectSeq(t, "akt:has-author rdf:type kisti: :local a",
+		PNameLN, PNameLN, PNameNS, PNameLN, Ident)
+	if toks[0].Val != "akt:has-author" {
+		t.Fatalf("pname = %q", toks[0].Val)
+	}
+	if toks[2].Val != "kisti" {
+		t.Fatalf("pnameNS = %q", toks[2].Val)
+	}
+	if toks[3].Val != ":local" {
+		t.Fatalf("default-ns pname = %q", toks[3].Val)
+	}
+}
+
+func TestPNameTrailingDot(t *testing.T) {
+	// "ex:foo." is PNameLN "ex:foo" followed by Dot (Turtle terminator).
+	expectSeq(t, "ex:foo.", PNameLN, Dot)
+	toks := All("ex:foo.bar.")
+	if toks[0].Kind != PNameLN || toks[0].Val != "ex:foo.bar" {
+		t.Fatalf("interior dot should stay in local name: %v", toks[0])
+	}
+	if toks[1].Kind != Dot {
+		t.Fatalf("missing final Dot: %v", toks)
+	}
+}
+
+func TestAtKeywordsAndLangTags(t *testing.T) {
+	toks := expectSeq(t, `@prefix @base "x"@en "y"@en-GB`,
+		AtKeyword, AtKeyword, String, LangTag, String, LangTag)
+	if toks[0].Val != "prefix" || toks[1].Val != "base" {
+		t.Fatalf("at-keywords: %v", toks)
+	}
+	if toks[3].Val != "en" || toks[5].Val != "en-GB" {
+		t.Fatalf("lang tags: %v", toks)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	expectSeq(t, "# a comment\n?x # trailing\n\t?y", Var, Var)
+}
+
+func TestKeywordsAsIdents(t *testing.T) {
+	toks := expectSeq(t, "SELECT DISTINCT WHERE FILTER true false",
+		Ident, Ident, Ident, Ident, Ident, Ident)
+	if toks[0].Val != "SELECT" || toks[4].Val != "true" {
+		t.Fatalf("idents: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := All("?a\n  ?b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("tok0 pos = %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("tok1 pos = %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestIllegalInputs(t *testing.T) {
+	for _, src := range []string{"&", "|", "^", "@", "?"} {
+		toks := All(src)
+		last := toks[len(toks)-1]
+		if last.Kind != Illegal {
+			t.Errorf("lex(%q) should produce Illegal, got %v", src, toks)
+		}
+	}
+}
+
+func TestUnterminatedIRIFallsBackToLessThan(t *testing.T) {
+	// With no closing '>' in sight, '<' is the comparison operator; the
+	// parser, not the lexer, rejects the resulting token stream.
+	toks := All("<http://unterminated")
+	if toks[0].Kind != Lt {
+		t.Fatalf("expected Lt fallback, got %v", toks[0])
+	}
+}
+
+func TestFigure1QueryLexes(t *testing.T) {
+	src := `PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+	?paper akt:has-author id:person-02686 .
+	?paper akt:has-author ?a .
+	FILTER (!(?a = id:person-02686 ))
+}`
+	toks := All(src)
+	last := toks[len(toks)-1]
+	if last.Kind != EOF {
+		t.Fatalf("Figure 1 query failed to lex: %v", last)
+	}
+	// Spot-check a few interesting tokens.
+	var sawHasAuthor, sawPersonPName bool
+	for _, tok := range toks {
+		if tok.Kind == PNameLN && tok.Val == "akt:has-author" {
+			sawHasAuthor = true
+		}
+		if tok.Kind == PNameLN && tok.Val == "id:person-02686" {
+			sawPersonPName = true
+		}
+	}
+	if !sawHasAuthor || !sawPersonPName {
+		t.Fatal("expected prefixed names not found in Figure 1 tokens")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	for _, c := range []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IRIRef, Val: "http://x"}, "<http://x>"},
+		{Token{Kind: Var, Val: "a"}, "?a"},
+		{Token{Kind: BlankNode, Val: "b"}, "_:b"},
+		{Token{Kind: String, Val: "s"}, `"s"`},
+		{Token{Kind: LBrace}, "{"},
+		{Token{Kind: Ident, Val: "SELECT"}, "SELECT"},
+	} {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "Kind(200)") {
+		t.Error("unknown kind should render numerically")
+	}
+}

@@ -1,0 +1,187 @@
+package mediate
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+)
+
+// REST API (the paper's Figure 5 "REST API" tier) plus a minimal HTML page
+// standing in for the GWT UI of Figure 4: a source-query text area, a
+// target data set selector, and the translated query below.
+
+type rewriteRequest struct {
+	Query  string `json:"query"`
+	Source string `json:"source,omitempty"` // source ontology namespace
+	Target string `json:"target"`           // target data set URI
+}
+
+type rewriteResponse struct {
+	Query          string   `json:"query"`
+	Target         string   `json:"target"`
+	AlignmentsUsed int      `json:"alignmentsUsed"`
+	Warnings       []string `json:"warnings,omitempty"`
+	FreshVars      []string `json:"freshVars,omitempty"`
+}
+
+type queryRequest struct {
+	Query   string   `json:"query"`
+	Source  string   `json:"source,omitempty"`
+	Targets []string `json:"targets"`
+}
+
+type queryResponse struct {
+	Vars       []string            `json:"vars"`
+	Rows       []map[string]string `json:"rows"`
+	Duplicates int                 `json:"duplicates"`
+	PerDataset []perDatasetJSON    `json:"perDataset"`
+}
+
+type perDatasetJSON struct {
+	Dataset   string `json:"dataset"`
+	Solutions int    `json:"solutions"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Handler serves the mediator's REST API and UI.
+func Handler(m *Mediator) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.DatasetInfos())
+	})
+
+	mux.HandleFunc("/api/rewrite", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req rewriteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		source := req.Source
+		if source == "" {
+			var err error
+			if source, err = m.GuessSourceOntology(req.Query); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		rr, err := m.Rewrite(req.Query, source, req.Target)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rewriteResponse{
+			Query:          rr.Query,
+			Target:         rr.Target,
+			AlignmentsUsed: rr.AlignmentsUsed,
+			Warnings:       rr.Report.Warnings,
+			FreshVars:      rr.Report.FreshVars,
+		})
+	})
+
+	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		source := req.Source
+		if source == "" {
+			var err error
+			if source, err = m.GuessSourceOntology(req.Query); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		fr, err := m.FederatedSelect(req.Query, source, req.Targets)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := queryResponse{Vars: fr.Vars, Duplicates: fr.Duplicates, Rows: []map[string]string{}}
+		for _, sol := range fr.Solutions {
+			row := map[string]string{}
+			for k, v := range sol {
+				row[k] = v.String()
+			}
+			resp.Rows = append(resp.Rows, row)
+		}
+		for _, da := range fr.PerDataset {
+			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions}
+			if da.Err != nil {
+				pj.Error = da.Err.Error()
+			}
+			resp.PerDataset = append(resp.PerDataset, pj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = uiTemplate.Execute(w, m.DatasetInfos())
+	})
+
+	return mux
+}
+
+// uiTemplate is the Figure-4 stand-in: source query on top, data set
+// selector, translated query below.
+var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
+<html>
+<head><title>SPARQL Query Rewriter</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+ textarea { width: 100%; font-family: monospace; }
+ select, button { margin: 0.5em 0; }
+</style></head>
+<body>
+<h1>SPARQL Query Rewriter</h1>
+<p>Write a source query, pick the target data set, and translate
+   (Correndo et al., EDBT 2010).</p>
+<textarea id="src" rows="10">PREFIX akt:&lt;http://www.aktors.org/ontology/portal#&gt;
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author &lt;http://southampton.rkbexplorer.com/id/person-00001&gt; .
+  ?paper akt:has-author ?a .
+}</textarea><br>
+<select id="target">
+{{range .}}<option value="{{.URI}}">{{.Title}} ({{.URI}})</option>
+{{end}}</select>
+<button onclick="rewrite()">Translate</button>
+<button onclick="runQuery()">Translate &amp; Run</button>
+<h2>Translated query / results</h2>
+<textarea id="dst" rows="14" readonly></textarea>
+<script>
+async function rewrite() {
+  const res = await fetch('/api/rewrite', {method: 'POST',
+    body: JSON.stringify({query: document.getElementById('src').value,
+                          target: document.getElementById('target').value})});
+  const text = await res.text();
+  try {
+    const data = JSON.parse(text);
+    document.getElementById('dst').value = data.query +
+      (data.warnings ? '\n# warnings:\n# ' + data.warnings.join('\n# ') : '');
+  } catch (e) { document.getElementById('dst').value = text; }
+}
+async function runQuery() {
+  const res = await fetch('/api/query', {method: 'POST',
+    body: JSON.stringify({query: document.getElementById('src').value,
+                          targets: [document.getElementById('target').value]})});
+  document.getElementById('dst').value = await res.text();
+}
+</script>
+</body></html>`))

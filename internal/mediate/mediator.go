@@ -1,0 +1,243 @@
+// Package mediate implements the paper's deployed system (§3.4, Figures 4
+// and 5): a three-tier mediator exposing query rewriting and federated
+// execution over a voiD data set KB, an alignment KB and a co-reference
+// service, with remote execution over the SPARQL protocol and a minimal
+// web UI standing in for the paper's GWT front end.
+package mediate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/core"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/voidkb"
+)
+
+// Mediator wires the knowledge bases and services together.
+type Mediator struct {
+	Datasets   *voidkb.KB
+	Alignments *align.KB
+	Funcs      *funcs.Registry
+	Coref      funcs.CorefSource
+	Client     *endpoint.Client
+	// RewriteFilters turns on the §4 FILTER extension for all rewrites.
+	RewriteFilters bool
+}
+
+// New builds a mediator. corefSrc may be a local coref.Store or a
+// coref.Client pointing at a remote service.
+func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) *Mediator {
+	return &Mediator{
+		Datasets:   datasets,
+		Alignments: alignments,
+		Funcs:      funcs.StandardRegistry(corefSrc),
+		Coref:      corefSrc,
+		Client:     endpoint.NewClient(),
+	}
+}
+
+// RewriteResult is the outcome of a single rewrite.
+type RewriteResult struct {
+	// Query is the rewritten query text.
+	Query string
+	// Target is the data set the query was rewritten for.
+	Target string
+	// AlignmentsUsed is how many entity alignments were selected.
+	AlignmentsUsed int
+	// Report carries the rewriter diagnostics.
+	Report *core.Report
+}
+
+// Rewrite translates a query written against sourceOnt for the given
+// target data set, per the paper's inputs: "the query, the source ontology
+// used to formulate the query ... and the target ontology (or data set)".
+func (m *Mediator) Rewrite(queryText, sourceOnt, targetDataset string) (*RewriteResult, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: parsing query: %w", err)
+	}
+	ds, ok := m.Datasets.Get(targetDataset)
+	if !ok {
+		return nil, fmt.Errorf("mediate: unknown target data set %s", targetDataset)
+	}
+	eas := m.Alignments.Select(align.Selector{
+		SourceOntology: sourceOnt,
+		TargetDataset:  targetDataset,
+		TargetOntology: firstOrEmpty(ds.Vocabularies),
+	})
+	rw := core.New(eas, m.Funcs)
+	rw.Opts.RewriteFilters = m.RewriteFilters
+	rw.Opts.TargetURISpace = ds.URISpace
+	out, report, err := rw.RewriteQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: rewriting for %s: %w", targetDataset, err)
+	}
+	return &RewriteResult{
+		Query:          sparql.Format(out),
+		Target:         targetDataset,
+		AlignmentsUsed: len(eas),
+		Report:         report,
+	}, nil
+}
+
+func firstOrEmpty(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
+}
+
+// DatasetAnswer is one data set's contribution to a federated query.
+type DatasetAnswer struct {
+	Dataset   string
+	Query     string
+	Solutions int
+	Err       error
+}
+
+// FederatedResult merges the answers of all targeted data sets.
+type FederatedResult struct {
+	Vars      []string
+	Solutions []eval.Solution
+	// PerDataset reports each data set's raw contribution, before the
+	// co-reference merge.
+	PerDataset []DatasetAnswer
+	// Duplicates is the number of solutions dropped by the co-reference
+	// merge (the redundancy the paper says the repositories carry).
+	Duplicates int
+}
+
+// FederatedSelect answers the paper's recall scenario: "it is important to
+// query all the available repositories in order to increase the recall".
+// The query (written against sourceOnt) runs on every named data set —
+// rewritten when the data set's vocabulary differs — and results are
+// merged with owl:sameAs canonicalisation so redundant URIs collapse.
+func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: parsing query: %w", err)
+	}
+	if q.Form != sparql.Select {
+		return nil, fmt.Errorf("mediate: federated execution supports SELECT only")
+	}
+	res := &FederatedResult{Vars: q.SelectVars}
+	seen := map[string]bool{}
+	for _, target := range targets {
+		ds, ok := m.Datasets.Get(target)
+		if !ok {
+			res.PerDataset = append(res.PerDataset, DatasetAnswer{Dataset: target,
+				Err: fmt.Errorf("mediate: unknown data set %s", target)})
+			continue
+		}
+		queryForDS := queryText
+		if !ds.UsesVocabulary(sourceOnt) {
+			rr, err := m.Rewrite(queryText, sourceOnt, target)
+			if err != nil {
+				res.PerDataset = append(res.PerDataset, DatasetAnswer{Dataset: target, Err: err})
+				continue
+			}
+			queryForDS = rr.Query
+		}
+		answer, err := m.Client.Select(ds.SPARQLEndpoint, queryForDS)
+		da := DatasetAnswer{Dataset: target, Query: queryForDS, Err: err}
+		if err == nil {
+			da.Solutions = len(answer.Solutions)
+			for _, sol := range answer.Solutions {
+				canon := m.canonicalise(sol)
+				key := canon.Key()
+				if seen[key] {
+					res.Duplicates++
+					continue
+				}
+				seen[key] = true
+				res.Solutions = append(res.Solutions, canon)
+			}
+		}
+		res.PerDataset = append(res.PerDataset, da)
+	}
+	eval.SortSolutions(res.Solutions)
+	return res, nil
+}
+
+// canonicalise maps every IRI binding to the deterministic representative
+// of its owl:sameAs class, so the same entity coming from two URI spaces
+// merges.
+func (m *Mediator) canonicalise(sol eval.Solution) eval.Solution {
+	out := make(eval.Solution, len(sol))
+	for k, v := range sol {
+		if v.IsIRI() && m.Coref != nil {
+			eq := m.Coref.Equivalents(v.Value)
+			if len(eq) > 1 {
+				sort.Strings(eq)
+				v = rdf.NewIRI(eq[0])
+			}
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// DatasetInfo summarises one data set for the REST API.
+type DatasetInfo struct {
+	URI          string   `json:"uri"`
+	Title        string   `json:"title"`
+	Endpoint     string   `json:"endpoint"`
+	URISpace     string   `json:"uriSpace"`
+	Vocabularies []string `json:"vocabularies"`
+}
+
+// DatasetInfos lists the registered data sets.
+func (m *Mediator) DatasetInfos() []DatasetInfo {
+	var out []DatasetInfo
+	for _, d := range m.Datasets.All() {
+		out = append(out, DatasetInfo{
+			URI: d.URI, Title: d.Title, Endpoint: d.SPARQLEndpoint,
+			URISpace: d.URISpace, Vocabularies: d.Vocabularies,
+		})
+	}
+	return out
+}
+
+// GuessSourceOntology inspects a query's vocabulary and returns the first
+// registered data set vocabulary it uses; a convenience for the UI where
+// the paper's users only pick the target data set.
+func (m *Mediator) GuessSourceOntology(queryText string) (string, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return "", err
+	}
+	counts := map[string]int{}
+	for _, b := range q.BGPs() {
+		for _, t := range b.Patterns {
+			for _, x := range []rdf.Term{t.P, t.O} {
+				if !x.IsIRI() {
+					continue
+				}
+				for _, d := range m.Datasets.All() {
+					for _, ns := range d.Vocabularies {
+						if strings.HasPrefix(x.Value, ns) {
+							counts[ns]++
+						}
+					}
+				}
+			}
+		}
+	}
+	best, bestN := "", 0
+	for ns, n := range counts {
+		if n > bestN || (n == bestN && ns < best) {
+			best, bestN = ns, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("mediate: query uses no registered vocabulary")
+	}
+	return best, nil
+}

@@ -1,0 +1,369 @@
+package mediate
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+// testStack spins up SPARQL endpoints over a generated universe and wires
+// a mediator to them, mirroring the paper's deployment (Figure 5).
+type testStack struct {
+	u        *workload.Universe
+	mediator *Mediator
+}
+
+func newStack(t testing.TB) *testStack {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 40, 120
+	u := workload.Generate(cfg)
+
+	sotonSrv := httptest.NewServer(endpoint.NewServer("southampton", u.Southampton))
+	t.Cleanup(sotonSrv.Close)
+	kistiSrv := httptest.NewServer(endpoint.NewServer("kisti", u.KISTI))
+	t.Cleanup(kistiSrv.Close)
+
+	dsKB := voidkb.NewKB()
+	if err := dsKB.Add(&voidkb.Dataset{
+		URI: workload.SotonVoidURI, Title: "Southampton RKB",
+		SPARQLEndpoint: sotonSrv.URL,
+		URISpace:       workload.SotonURIPattern,
+		Vocabularies:   []string{rdf.AKTNS},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsKB.Add(&voidkb.Dataset{
+		URI: workload.KistiVoidURI, Title: "KISTI",
+		SPARQLEndpoint: kistiSrv.URL,
+		URISpace:       workload.KistiURIPattern,
+		Vocabularies:   []string{rdf.KISTINS},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	alignKB := align.NewKB()
+	if err := alignKB.Add(workload.AKT2KISTI()); err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(dsKB, alignKB, u.Coref)
+	// Without the §4 FILTER extension the Figure-1 query's self-exclusion
+	// FILTER keeps its Southampton URI and silently stops excluding the
+	// person on KISTI (the paper's Figure-6 limitation; pinned by
+	// TestPaperModeFilterLimitation below).
+	m.RewriteFilters = true
+	return &testStack{u: u, mediator: m}
+}
+
+// TestPaperModeFilterLimitation pins the §4 limitation end to end: with
+// FILTER rewriting off, the co-author query run against KISTI stops
+// excluding the person themselves, inflating the federated answer by one.
+func TestPaperModeFilterLimitation(t *testing.T) {
+	s := newStack(t)
+	s.mediator.RewriteFilters = false
+	person := -1
+	for i := 0; i < s.u.Cfg.Persons; i++ {
+		if len(s.u.CoAuthorsIn(i, "kisti")) > 0 {
+			person = i
+			break
+		}
+	}
+	if person < 0 {
+		t.Skip("no person present in KISTI")
+	}
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(person), rdf.AKTNS,
+		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.u.CoAuthors(person)
+	if len(fr.Solutions) != len(truth)+1 {
+		t.Fatalf("paper mode should include the person themselves once: got %d, truth %d",
+			len(fr.Solutions), len(truth))
+	}
+}
+
+func TestRewriteForKISTI(t *testing.T) {
+	s := newStack(t)
+	rr, err := s.mediator.Rewrite(workload.Figure1Query(0), rdf.AKTNS, workload.KistiVoidURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.AlignmentsUsed != 24 {
+		t.Fatalf("alignments used = %d, want 24", rr.AlignmentsUsed)
+	}
+	if !strings.Contains(rr.Query, "kisti:hasCreatorInfo") {
+		t.Fatalf("rewritten query:\n%s", rr.Query)
+	}
+	if strings.Contains(rr.Query, "akt:has-author") {
+		t.Fatalf("source vocabulary left behind:\n%s", rr.Query)
+	}
+}
+
+func TestRewriteUnknownTarget(t *testing.T) {
+	s := newStack(t)
+	if _, err := s.mediator.Rewrite(workload.Figure1Query(0), rdf.AKTNS, "http://nope/void"); err == nil {
+		t.Fatal("unknown target must error")
+	}
+	if _, err := s.mediator.Rewrite("NOT SPARQL", rdf.AKTNS, workload.KistiVoidURI); err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+// TestE6_FederatedRecall reproduces the recall claim: querying all
+// repositories returns strictly more co-authors than the source alone
+// (given KISTI-only papers exist), and exactly the ground-truth union.
+func TestE6_FederatedRecall(t *testing.T) {
+	s := newStack(t)
+	// Pick a person that has KISTI-only co-authors.
+	person := -1
+	for i := 0; i < s.u.Cfg.Persons; i++ {
+		sOnly := s.u.CoAuthorsIn(i, "southampton")
+		all := s.u.CoAuthors(i)
+		if len(all) > len(sOnly) {
+			person = i
+			break
+		}
+	}
+	if person < 0 {
+		t.Skip("universe has no person with KISTI-only co-authors")
+	}
+	q := workload.Figure1Query(person)
+
+	sourceOnly, err := s.mediator.FederatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	federated, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.u.CoAuthors(person)
+	if len(sourceOnly.Solutions) >= len(federated.Solutions) {
+		t.Fatalf("federation did not increase recall: %d vs %d",
+			len(sourceOnly.Solutions), len(federated.Solutions))
+	}
+	if len(federated.Solutions) != len(truth) {
+		t.Fatalf("federated recall = %d, ground truth %d", len(federated.Solutions), len(truth))
+	}
+	// Overlapping papers produce redundant answers that the co-reference
+	// merge collapses.
+	if federated.Duplicates == 0 {
+		t.Fatal("expected duplicate answers across redundant repositories")
+	}
+	for _, da := range federated.PerDataset {
+		if da.Err != nil {
+			t.Fatalf("data set %s failed: %v", da.Dataset, da.Err)
+		}
+	}
+}
+
+func TestFederatedSelectOnlySelect(t *testing.T) {
+	s := newStack(t)
+	if _, err := s.mediator.FederatedSelect(`ASK { ?s ?p ?o }`, rdf.AKTNS,
+		[]string{workload.SotonVoidURI}); err == nil {
+		t.Fatal("ASK must be rejected")
+	}
+}
+
+func TestFederatedUnknownDatasetReported(t *testing.T) {
+	s := newStack(t)
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+		[]string{workload.SotonVoidURI, "http://nope/void"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for _, da := range fr.PerDataset {
+		if da.Dataset == "http://nope/void" && da.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("unknown data set not reported")
+	}
+	if len(fr.Solutions) == 0 {
+		t.Fatal("good data set should still answer")
+	}
+}
+
+// TestFederatedSurvivesEndpointFailure injects a failing endpoint: the
+// mediator must report the failure for that data set and still merge the
+// answers of the healthy ones.
+func TestFederatedSurvivesEndpointFailure(t *testing.T) {
+	s := newStack(t)
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "simulated outage", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	if err := s.mediator.Datasets.Add(&voidkb.Dataset{
+		URI: "http://broken.example/void", Title: "Broken",
+		SPARQLEndpoint: broken.URL,
+		URISpace:       `http://broken\.example/\S*`,
+		Vocabularies:   []string{rdf.AKTNS}, // same vocab: query sent as-is
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+		[]string{workload.SotonVoidURI, "http://broken.example/void"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var brokenReported, sotonOK bool
+	for _, da := range fr.PerDataset {
+		switch da.Dataset {
+		case "http://broken.example/void":
+			brokenReported = da.Err != nil
+		case workload.SotonVoidURI:
+			sotonOK = da.Err == nil
+		}
+	}
+	if !brokenReported || !sotonOK {
+		t.Fatalf("per-dataset reporting wrong: %+v", fr.PerDataset)
+	}
+	if len(fr.Solutions) == 0 {
+		t.Fatal("healthy endpoint's answers lost")
+	}
+}
+
+func TestGuessSourceOntology(t *testing.T) {
+	s := newStack(t)
+	got, err := s.mediator.GuessSourceOntology(workload.Figure1Query(0))
+	if err != nil || got != rdf.AKTNS {
+		t.Fatalf("guess = %q %v", got, err)
+	}
+	if _, err := s.mediator.GuessSourceOntology(`SELECT ?s WHERE { ?s <http://unknown/p> ?o }`); err == nil {
+		t.Fatal("unknown vocabulary must error")
+	}
+}
+
+func TestHTTPAPIDatasets(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("datasets = %v", infos)
+	}
+}
+
+func TestHTTPAPIRewrite(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	body, _ := json.Marshal(rewriteRequest{
+		Query:  workload.Figure1Query(0),
+		Target: workload.KistiVoidURI,
+		// Source omitted: the mediator guesses AKT from the vocabulary.
+	})
+	resp, err := http.Post(srv.URL+"/api/rewrite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rr rewriteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rr.Query, "kisti:hasCreatorInfo") {
+		t.Fatalf("rewritten = %s", rr.Query)
+	}
+	if rr.AlignmentsUsed != 24 {
+		t.Fatalf("alignments used = %d", rr.AlignmentsUsed)
+	}
+}
+
+func TestHTTPAPIQueryFederated(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	body, _ := json.Marshal(queryRequest{
+		Query:   workload.Figure1Query(0),
+		Targets: []string{workload.SotonVoidURI, workload.KistiVoidURI},
+	})
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) == 0 {
+		t.Fatal("no federated rows")
+	}
+	if len(qr.PerDataset) != 2 {
+		t.Fatalf("per-dataset = %v", qr.PerDataset)
+	}
+}
+
+func TestHTTPUIServed(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	if !strings.Contains(html, "SPARQL Query Rewriter") || !strings.Contains(html, "KISTI") {
+		t.Fatalf("UI page wrong:\n%s", html)
+	}
+	// bad paths 404
+	resp2, _ := http.Get(srv.URL + "/nope")
+	if resp2.StatusCode != 404 {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+	resp2.Body.Close()
+}
+
+func TestHTTPAPIErrors(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	// GET on POST-only endpoints
+	for _, path := range []string{"/api/rewrite", "/api/query"} {
+		resp, _ := http.Get(srv.URL + path)
+		if resp.StatusCode != 405 {
+			t.Fatalf("%s GET status = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// invalid JSON
+	resp, _ := http.Post(srv.URL+"/api/rewrite", "application/json", strings.NewReader("{"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad json status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

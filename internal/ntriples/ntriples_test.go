@@ -1,0 +1,87 @@
+package ntriples
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := ParseString(`
+# a comment
+<http://ex/s> <http://ex/p> <http://ex/o> .
+<http://ex/s> <http://ex/p> "plain" .
+<http://ex/s> <http://ex/p> "tagged"@en .
+<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://ex/p> _:b2 .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 5 {
+		t.Fatalf("got %d triples", len(g))
+	}
+	if g[1].O != rdf.NewLiteral("plain") {
+		t.Errorf("plain literal: %v", g[1].O)
+	}
+	if g[2].O != rdf.NewLangLiteral("tagged", "en") {
+		t.Errorf("lang literal: %v", g[2].O)
+	}
+	if g[3].O != rdf.NewTypedLiteral("5", rdf.XSDInteger) {
+		t.Errorf("typed literal: %v", g[3].O)
+	}
+	if !g[4].S.IsBlank() || !g[4].O.IsBlank() {
+		t.Errorf("blank nodes: %v", g[4])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> .`,
+		`"lit" <http://p> <http://o> .`,
+		`<http://s> "lit" <http://o> .`,
+		`<http://s> <http://p> <http://o>`,
+		`<http://s> <http://p> <http://o> . extra`,
+		`<http://s> <http://p> "x"^^"notiri" .`,
+		`<http://s> <http://p> "unterminated .`,
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := rdf.Graph{
+		rdf.NewTriple(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/p"), rdf.NewLiteral("a\"b\nc")),
+		rdf.NewTriple(rdf.NewBlank("x"), rdf.NewIRI("http://ex/p"), rdf.NewTypedLiteral("3.5", rdf.XSDDecimal)),
+		rdf.NewTriple(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/q"), rdf.NewLangLiteral("hi", "en")),
+	}
+	out := Format(g)
+	g2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(g2) != len(g) {
+		t.Fatalf("size %d vs %d", len(g2), len(g))
+	}
+	for i := range g {
+		if g[i] != g2[i] {
+			t.Errorf("triple %d: %v vs %v", i, g[i], g2[i])
+		}
+	}
+}
+
+func TestWriteToWriter(t *testing.T) {
+	g := rdf.Graph{rdf.NewTriple(rdf.NewIRI("http://ex/s"), rdf.NewIRI("http://ex/p"), rdf.NewIRI("http://ex/o"))}
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	want := "<http://ex/s> <http://ex/p> <http://ex/o> .\n"
+	if sb.String() != want {
+		t.Fatalf("Write = %q, want %q", sb.String(), want)
+	}
+}

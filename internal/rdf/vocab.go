@@ -1,0 +1,153 @@
+package rdf
+
+// Well-known vocabulary namespaces and the individual IRIs used across the
+// code base. The akt:, kisti: and map: namespaces reproduce the ones in the
+// paper (AKT reference ontology, the KISTI research-reference ontology, and
+// the Southampton `om.owl` alignment vocabulary of §3.2.2).
+const (
+	RDFNS     = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS    = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS     = "http://www.w3.org/2002/07/owl#"
+	XSDNS     = "http://www.w3.org/2001/XMLSchema#"
+	FOAFNS    = "http://xmlns.com/foaf/0.1/"
+	DCTermsNS = "http://purl.org/dc/terms/"
+	VoidNS    = "http://rdfs.org/ns/void#"
+
+	// AKTNS is the AKT reference ontology namespace used by the RKB
+	// explorer data sets in the paper's running example.
+	AKTNS = "http://www.aktors.org/ontology/portal#"
+	// KISTINS is the KISTI research-reference ontology namespace.
+	KISTINS = "http://www.kisti.re.kr/isrl/ResearchRefOntology#"
+	// MapNS is the alignment vocabulary (om.owl) from §3.2.2 of the paper.
+	MapNS = "http://ecs.soton.ac.uk/om.owl#"
+	// DBONS is a DBpedia-ontology-like namespace for the ECS↔DBpedia KB.
+	DBONS = "http://dbpedia.org/ontology/"
+	// ECSNS is the Southampton ECS schema namespace.
+	ECSNS = "http://rdf.ecs.soton.ac.uk/ontology/ecs#"
+)
+
+// RDF vocabulary terms.
+const (
+	RDFType      = RDFNS + "type"
+	RDFStatement = RDFNS + "Statement"
+	RDFSubject   = RDFNS + "subject"
+	RDFPredicate = RDFNS + "predicate"
+	RDFObject    = RDFNS + "object"
+	RDFFirst     = RDFNS + "first"
+	RDFRest      = RDFNS + "rest"
+	RDFNil       = RDFNS + "nil"
+)
+
+// RDFS vocabulary terms.
+const (
+	RDFSLabel      = RDFSNS + "label"
+	RDFSComment    = RDFSNS + "comment"
+	RDFSSubClassOf = RDFSNS + "subClassOf"
+	RDFSSubPropOf  = RDFSNS + "subPropertyOf"
+	RDFSDomain     = RDFSNS + "domain"
+	RDFSRange      = RDFSNS + "range"
+)
+
+// OWL vocabulary terms.
+const (
+	OWLSameAs             = OWLNS + "sameAs"
+	OWLClass              = OWLNS + "Class"
+	OWLObjectProperty     = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty   = OWLNS + "DatatypeProperty"
+	OWLEquivalentClass    = OWLNS + "equivalentClass"
+	OWLEquivalentProperty = OWLNS + "equivalentProperty"
+)
+
+// XSD datatype IRIs.
+const (
+	XSDString             = XSDNS + "string"
+	XSDBoolean            = XSDNS + "boolean"
+	XSDInteger            = XSDNS + "integer"
+	XSDDecimal            = XSDNS + "decimal"
+	XSDDouble             = XSDNS + "double"
+	XSDFloat              = XSDNS + "float"
+	XSDInt                = XSDNS + "int"
+	XSDLong               = XSDNS + "long"
+	XSDShort              = XSDNS + "short"
+	XSDByte               = XSDNS + "byte"
+	XSDDate               = XSDNS + "date"
+	XSDDateTime           = XSDNS + "dateTime"
+	XSDGYear              = XSDNS + "gYear"
+	XSDNonNegativeInteger = XSDNS + "nonNegativeInteger"
+	XSDPositiveInteger    = XSDNS + "positiveInteger"
+	XSDNegativeInteger    = XSDNS + "negativeInteger"
+	XSDNonPositiveInteger = XSDNS + "nonPositiveInteger"
+	XSDUnsignedInt        = XSDNS + "unsignedInt"
+	XSDUnsignedLong       = XSDNS + "unsignedLong"
+)
+
+// voiD vocabulary terms (data set descriptions, Figure 5's voiD KB).
+const (
+	VoidDataset        = VoidNS + "Dataset"
+	VoidSPARQLEndpoint = VoidNS + "sparqlEndpoint"
+	VoidURISpace       = VoidNS + "uriSpace"
+	VoidVocabulary     = VoidNS + "vocabulary"
+	VoidTriples        = VoidNS + "triples"
+)
+
+// Alignment (om.owl / map:) vocabulary terms per §3.2.2 of the paper, plus
+// the ontology-alignment-level terms implied by §3.2.1.
+const (
+	MapEntityAlignment   = MapNS + "EntityAlignment"
+	MapOntologyAlignment = MapNS + "OntologyAlignment"
+	MapLHS               = MapNS + "lhs"
+	MapRHS               = MapNS + "rhs"
+	MapHasFD             = MapNS + "hasFunctionalDependency"
+	MapSameAs            = MapNS + "sameas"
+	MapSourceOntology    = MapNS + "sourceOntology"
+	MapTargetOntology    = MapNS + "targetOntology"
+	MapTargetDataset     = MapNS + "targetDataset"
+	MapHasAlignment      = MapNS + "hasAlignment"
+)
+
+// AKT ontology terms used by the running example and workloads.
+const (
+	AKTHasAuthor    = AKTNS + "has-author"
+	AKTHasTitle     = AKTNS + "has-title"
+	AKTHasDate      = AKTNS + "has-date"
+	AKTArticleRef   = AKTNS + "Article-Reference"
+	AKTPaperRef     = AKTNS + "Paper-Reference"
+	AKTPerson       = AKTNS + "Person"
+	AKTFullName     = AKTNS + "full-name"
+	AKTHasProject   = AKTNS + "has-project"
+	AKTProject      = AKTNS + "Project"
+	AKTHasWebAddr   = AKTNS + "has-web-address"
+	AKTHasAffil     = AKTNS + "has-affiliation"
+	AKTOrganization = AKTNS + "Organization"
+)
+
+// KISTI ontology terms used by the running example and workloads.
+const (
+	KISTICreatorInfo    = KISTINS + "CreatorInfo"
+	KISTIHasCreatorInfo = KISTINS + "hasCreatorInfo"
+	KISTIHasCreator     = KISTINS + "hasCreator"
+	KISTIArticle        = KISTINS + "Article"
+	KISTIPerson         = KISTINS + "Person"
+	KISTITitle          = KISTINS + "title"
+	KISTIYear           = KISTINS + "year"
+	KISTIName           = KISTINS + "name"
+)
+
+// StandardPrefixes returns a prefix map preloaded with the namespaces used
+// throughout the repository. Callers may extend the returned map freely.
+func StandardPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	pm.Bind("rdf", RDFNS)
+	pm.Bind("rdfs", RDFSNS)
+	pm.Bind("owl", OWLNS)
+	pm.Bind("xsd", XSDNS)
+	pm.Bind("foaf", FOAFNS)
+	pm.Bind("dcterms", DCTermsNS)
+	pm.Bind("void", VoidNS)
+	pm.Bind("akt", AKTNS)
+	pm.Bind("kisti", KISTINS)
+	pm.Bind("map", MapNS)
+	pm.Bind("dbo", DBONS)
+	pm.Bind("ecs", ECSNS)
+	return pm
+}

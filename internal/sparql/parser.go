@@ -1,0 +1,912 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparqlrw/internal/lex"
+	"sparqlrw/internal/rdf"
+)
+
+// Parse parses a SPARQL 1.0 query (SELECT, ASK or CONSTRUCT).
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: lex.New(src), used: map[string]bool{}}
+	p.next()
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses src and panics on error; for tests and fixtures.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lx      *lex.Lexer
+	tok     lex.Token
+	peeked  *lex.Token
+	pm      *rdf.PrefixMap
+	anonSeq int
+	used    map[string]bool
+}
+
+func (p *parser) next() {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return
+	}
+	p.tok = p.lx.Next()
+}
+
+func (p *parser) peek() lex.Token {
+	if p.peeked == nil {
+		t := p.lx.Next()
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: %d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k lex.Kind) error {
+	if p.tok.Kind != k {
+		return p.errf("expected %s, found %s", k, p.tok)
+	}
+	p.next()
+	return nil
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive bare identifier).
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.Kind == lex.Ident && strings.EqualFold(p.tok.Val, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) query() (*Query, error) {
+	p.pm = rdf.NewPrefixMap()
+	if err := p.prologue(); err != nil {
+		return nil, err
+	}
+	var q *Query
+	var err error
+	switch {
+	case p.isKeyword("SELECT"):
+		q, err = p.selectQuery()
+	case p.isKeyword("ASK"):
+		q, err = p.askQuery()
+	case p.isKeyword("CONSTRUCT"):
+		q, err = p.constructQuery()
+	default:
+		return nil, p.errf("expected SELECT, ASK or CONSTRUCT, found %s", p.tok)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.solutionModifiers(q); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != lex.EOF {
+		return nil, p.errf("unexpected trailing input: %s", p.tok)
+	}
+	q.Prefixes = p.pm
+	return q, nil
+}
+
+func (p *parser) prologue() error {
+	for {
+		switch {
+		case p.isKeyword("BASE"):
+			p.next()
+			if p.tok.Kind != lex.IRIRef {
+				return p.errf("expected IRI after BASE, found %s", p.tok)
+			}
+			p.pm.SetBase(p.tok.Val)
+			p.next()
+		case p.isKeyword("PREFIX"):
+			p.next()
+			if p.tok.Kind != lex.PNameNS {
+				return p.errf("expected prefix name after PREFIX, found %s", p.tok)
+			}
+			name := p.tok.Val
+			p.next()
+			if p.tok.Kind != lex.IRIRef {
+				return p.errf("expected IRI after PREFIX %s:, found %s", name, p.tok)
+			}
+			p.pm.Bind(name, p.pm.ResolveIRI(p.tok.Val))
+			p.next()
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) selectQuery() (*Query, error) {
+	q := NewQuery(Select)
+	p.next() // SELECT
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else if p.acceptKeyword("REDUCED") {
+		q.Reduced = true
+	}
+	switch {
+	case p.tok.Kind == lex.Star:
+		q.SelectStar = true
+		p.next()
+	case p.tok.Kind == lex.Var:
+		for p.tok.Kind == lex.Var {
+			q.SelectVars = append(q.SelectVars, p.tok.Val)
+			p.next()
+		}
+	default:
+		return nil, p.errf("expected variable list or * after SELECT, found %s", p.tok)
+	}
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	return q, nil
+}
+
+func (p *parser) askQuery() (*Query, error) {
+	q := NewQuery(Ask)
+	p.next() // ASK
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	return q, nil
+}
+
+func (p *parser) constructQuery() (*Query, error) {
+	q := NewQuery(Construct)
+	p.next() // CONSTRUCT
+	if p.tok.Kind != lex.LBrace {
+		return nil, p.errf("expected '{' after CONSTRUCT, found %s", p.tok)
+	}
+	p.next()
+	tmpl, err := p.triplesBlock()
+	if err != nil {
+		return nil, err
+	}
+	q.Template = tmpl
+	if err := p.expect(lex.RBrace); err != nil {
+		return nil, err
+	}
+	where, err := p.whereClause()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	return q, nil
+}
+
+func (p *parser) whereClause() (*GroupGraphPattern, error) {
+	p.acceptKeyword("WHERE")
+	return p.groupGraphPattern()
+}
+
+func (p *parser) groupGraphPattern() (*GroupGraphPattern, error) {
+	if err := p.expect(lex.LBrace); err != nil {
+		return nil, err
+	}
+	g := &GroupGraphPattern{}
+	for {
+		switch {
+		case p.tok.Kind == lex.RBrace:
+			p.next()
+			return g, nil
+		case p.tok.Kind == lex.EOF:
+			return nil, p.errf("unterminated group graph pattern")
+		case p.isKeyword("FILTER"):
+			p.next()
+			expr, err := p.constraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, &Filter{Expr: expr})
+			// optional '.' after a filter
+			if p.tok.Kind == lex.Dot {
+				p.next()
+			}
+		case p.isKeyword("OPTIONAL"):
+			p.next()
+			sub, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, &Optional{Group: sub})
+			if p.tok.Kind == lex.Dot {
+				p.next()
+			}
+		case p.tok.Kind == lex.LBrace:
+			// Nested group, possibly a UNION chain.
+			first, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			if p.isKeyword("UNION") {
+				alts := []*GroupGraphPattern{first}
+				for p.acceptKeyword("UNION") {
+					alt, err := p.groupGraphPattern()
+					if err != nil {
+						return nil, err
+					}
+					alts = append(alts, alt)
+				}
+				g.Elements = append(g.Elements, &Union{Alternatives: alts})
+			} else {
+				g.Elements = append(g.Elements, &SubGroup{Group: first})
+			}
+			if p.tok.Kind == lex.Dot {
+				p.next()
+			}
+		default:
+			pats, err := p.triplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if len(pats) == 0 {
+				return nil, p.errf("expected graph pattern, found %s", p.tok)
+			}
+			// Merge with a preceding BGP so "t1 . FILTER(...) t2" still
+			// yields distinct syntactic blocks but "t1 . t2" stays one.
+			if n := len(g.Elements); n > 0 {
+				if prev, ok := g.Elements[n-1].(*BGP); ok {
+					prev.Patterns = append(prev.Patterns, pats...)
+					continue
+				}
+			}
+			g.Elements = append(g.Elements, &BGP{Patterns: pats})
+		}
+	}
+}
+
+// triplesBlock parses a run of TriplesSameSubject productions separated by
+// dots, stopping at tokens that cannot start a triple.
+func (p *parser) triplesBlock() ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for {
+		if !p.startsTriples() {
+			return out, nil
+		}
+		pats, err := p.triplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pats...)
+		if p.tok.Kind == lex.Dot {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) startsTriples() bool {
+	switch p.tok.Kind {
+	case lex.Var, lex.IRIRef, lex.PNameLN, lex.PNameNS, lex.BlankNode,
+		lex.LBracket, lex.LParen, lex.String, lex.Integer, lex.Decimal, lex.Double:
+		return true
+	case lex.Ident:
+		return strings.EqualFold(p.tok.Val, "true") || strings.EqualFold(p.tok.Val, "false")
+	}
+	return false
+}
+
+func (p *parser) triplesSameSubject() ([]rdf.Triple, error) {
+	var acc []rdf.Triple
+	var subj rdf.Term
+	var err error
+	if p.tok.Kind == lex.LBracket {
+		subj, err = p.blankNodePropertyList(&acc)
+		if err != nil {
+			return nil, err
+		}
+		// property list is optional after [ ... ] as subject
+		if !p.startsVerb() {
+			return acc, nil
+		}
+	} else {
+		subj, err = p.graphNode(&acc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.propertyListNotEmpty(subj, &acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+func (p *parser) startsVerb() bool {
+	switch p.tok.Kind {
+	case lex.Var, lex.IRIRef, lex.PNameLN, lex.PNameNS:
+		return true
+	case lex.Ident:
+		return p.tok.Val == "a"
+	}
+	return false
+}
+
+func (p *parser) propertyListNotEmpty(subj rdf.Term, acc *[]rdf.Triple) error {
+	for {
+		verb, err := p.verb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.graphNode(acc)
+			if err != nil {
+				return err
+			}
+			*acc = append(*acc, rdf.Triple{S: subj, P: verb, O: obj})
+			if p.tok.Kind != lex.Comma {
+				break
+			}
+			p.next()
+		}
+		if p.tok.Kind != lex.Semicolon {
+			return nil
+		}
+		for p.tok.Kind == lex.Semicolon {
+			p.next()
+		}
+		if !p.startsVerb() {
+			return nil
+		}
+	}
+}
+
+func (p *parser) verb() (rdf.Term, error) {
+	switch {
+	case p.tok.Kind == lex.Var:
+		t := rdf.NewVar(p.tok.Val)
+		p.next()
+		return t, nil
+	case p.tok.Kind == lex.Ident && p.tok.Val == "a":
+		p.next()
+		return rdf.NewIRI(rdf.RDFType), nil
+	case p.tok.Kind == lex.IRIRef:
+		t := rdf.NewIRI(p.pm.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case p.tok.Kind == lex.PNameLN || p.tok.Kind == lex.PNameNS:
+		return p.pname()
+	}
+	return rdf.Term{}, p.errf("expected predicate, found %s", p.tok)
+}
+
+func (p *parser) pname() (rdf.Term, error) {
+	var q string
+	if p.tok.Kind == lex.PNameLN {
+		q = p.tok.Val
+	} else {
+		q = p.tok.Val + ":"
+	}
+	iri, err := p.pm.Expand(q)
+	if err != nil {
+		return rdf.Term{}, p.errf("%v", err)
+	}
+	p.next()
+	return rdf.NewIRI(iri), nil
+}
+
+// graphNode parses a node that may appear in subject or object position,
+// appending auxiliary triples (from [..] and (..) nodes) to acc.
+func (p *parser) graphNode(acc *[]rdf.Triple) (rdf.Term, error) {
+	switch p.tok.Kind {
+	case lex.Var:
+		t := rdf.NewVar(p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.IRIRef:
+		t := rdf.NewIRI(p.pm.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case lex.PNameLN, lex.PNameNS:
+		return p.pname()
+	case lex.BlankNode:
+		p.used[p.tok.Val] = true
+		t := rdf.NewBlank(p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.LBracket:
+		return p.blankNodePropertyList(acc)
+	case lex.LParen:
+		return p.collection(acc)
+	case lex.String:
+		return p.literal()
+	case lex.Integer:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDInteger)
+		p.next()
+		return t, nil
+	case lex.Decimal:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDecimal)
+		p.next()
+		return t, nil
+	case lex.Double:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDouble)
+		p.next()
+		return t, nil
+	case lex.Ident:
+		if strings.EqualFold(p.tok.Val, "true") || strings.EqualFold(p.tok.Val, "false") {
+			t := rdf.NewTypedLiteral(strings.ToLower(p.tok.Val), rdf.XSDBoolean)
+			p.next()
+			return t, nil
+		}
+	}
+	return rdf.Term{}, p.errf("expected graph node, found %s", p.tok)
+}
+
+func (p *parser) literal() (rdf.Term, error) {
+	lexval := p.tok.Val
+	p.next()
+	switch p.tok.Kind {
+	case lex.LangTag:
+		t := rdf.NewLangLiteral(lexval, p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.HatHat:
+		p.next()
+		switch p.tok.Kind {
+		case lex.IRIRef:
+			t := rdf.NewTypedLiteral(lexval, p.pm.ResolveIRI(p.tok.Val))
+			p.next()
+			return t, nil
+		case lex.PNameLN:
+			dt, err := p.pname()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			return rdf.NewTypedLiteral(lexval, dt.Value), nil
+		}
+		return rdf.Term{}, p.errf("expected datatype IRI after ^^, found %s", p.tok)
+	}
+	return rdf.NewLiteral(lexval), nil
+}
+
+func (p *parser) freshBlank() rdf.Term {
+	for {
+		p.anonSeq++
+		label := "anon" + strconv.Itoa(p.anonSeq)
+		if !p.used[label] {
+			p.used[label] = true
+			return rdf.NewBlank(label)
+		}
+	}
+}
+
+func (p *parser) blankNodePropertyList(acc *[]rdf.Triple) (rdf.Term, error) {
+	if err := p.expect(lex.LBracket); err != nil {
+		return rdf.Term{}, err
+	}
+	node := p.freshBlank()
+	if p.tok.Kind == lex.RBracket {
+		p.next()
+		return node, nil
+	}
+	if err := p.propertyListNotEmpty(node, acc); err != nil {
+		return rdf.Term{}, err
+	}
+	if err := p.expect(lex.RBracket); err != nil {
+		return rdf.Term{}, err
+	}
+	return node, nil
+}
+
+func (p *parser) collection(acc *[]rdf.Triple) (rdf.Term, error) {
+	if err := p.expect(lex.LParen); err != nil {
+		return rdf.Term{}, err
+	}
+	if p.tok.Kind == lex.RParen {
+		p.next()
+		return rdf.NewIRI(rdf.RDFNil), nil
+	}
+	head := p.freshBlank()
+	cur := head
+	first := true
+	for p.tok.Kind != lex.RParen {
+		if p.tok.Kind == lex.EOF {
+			return rdf.Term{}, p.errf("unterminated collection")
+		}
+		if !first {
+			next := p.freshBlank()
+			*acc = append(*acc, rdf.Triple{S: cur, P: rdf.NewIRI(rdf.RDFRest), O: next})
+			cur = next
+		}
+		first = false
+		obj, err := p.graphNode(acc)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		*acc = append(*acc, rdf.Triple{S: cur, P: rdf.NewIRI(rdf.RDFFirst), O: obj})
+	}
+	*acc = append(*acc, rdf.Triple{S: cur, P: rdf.NewIRI(rdf.RDFRest), O: rdf.NewIRI(rdf.RDFNil)})
+	p.next()
+	return head, nil
+}
+
+// ---- Expressions --------------------------------------------------------
+
+// constraint parses the FILTER constraint production: a bracketted
+// expression, builtin call, or extension function call.
+func (p *parser) constraint() (Expression, error) {
+	switch {
+	case p.tok.Kind == lex.LParen:
+		return p.brackettedExpression()
+	case p.tok.Kind == lex.Ident:
+		return p.builtinCall()
+	case p.tok.Kind == lex.IRIRef || p.tok.Kind == lex.PNameLN:
+		return p.iriOrFunction()
+	}
+	return nil, p.errf("expected FILTER constraint, found %s", p.tok)
+}
+
+func (p *parser) brackettedExpression() (Expression, error) {
+	if err := p.expect(lex.LParen); err != nil {
+		return nil, err
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(lex.RParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) expression() (Expression, error) { return p.orExpression() }
+
+func (p *parser) orExpression() (Expression, error) {
+	l, err := p.andExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == lex.OrOr {
+		p.next()
+		r, err := p.andExpression()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpression() (Expression, error) {
+	l, err := p.relationalExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == lex.AndAnd {
+		p.next()
+		r, err := p.relationalExpression()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var relOps = map[lex.Kind]string{
+	lex.Eq: "=", lex.Neq: "!=", lex.Lt: "<", lex.Gt: ">", lex.Le: "<=", lex.Ge: ">=",
+}
+
+func (p *parser) relationalExpression() (Expression, error) {
+	l, err := p.additiveExpression()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := relOps[p.tok.Kind]; ok {
+		p.next()
+		r, err := p.additiveExpression()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) additiveExpression() (Expression, error) {
+	l, err := p.multiplicativeExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == lex.Plus || p.tok.Kind == lex.Minus {
+		op := "+"
+		if p.tok.Kind == lex.Minus {
+			op = "-"
+		}
+		p.next()
+		r, err := p.multiplicativeExpression()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicativeExpression() (Expression, error) {
+	l, err := p.unaryExpression()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == lex.Star || p.tok.Kind == lex.Slash {
+		op := "*"
+		if p.tok.Kind == lex.Slash {
+			op = "/"
+		}
+		p.next()
+		r, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpression() (Expression, error) {
+	switch p.tok.Kind {
+	case lex.Not:
+		p.next()
+		x, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	case lex.Minus:
+		p.next()
+		x, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	case lex.Plus:
+		p.next()
+		x, err := p.unaryExpression()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "+", X: x}, nil
+	}
+	return p.primaryExpression()
+}
+
+// builtins recognised by the parser (SPARQL 1.0 built-in calls).
+var builtins = map[string]struct{ min, max int }{
+	"STR": {1, 1}, "LANG": {1, 1}, "LANGMATCHES": {2, 2}, "DATATYPE": {1, 1},
+	"BOUND": {1, 1}, "SAMETERM": {2, 2}, "ISIRI": {1, 1}, "ISURI": {1, 1},
+	"ISBLANK": {1, 1}, "ISLITERAL": {1, 1}, "REGEX": {2, 3},
+}
+
+func (p *parser) builtinCall() (Expression, error) {
+	name := strings.ToUpper(p.tok.Val)
+	sig, ok := builtins[name]
+	if !ok {
+		return nil, p.errf("unknown function %q", p.tok.Val)
+	}
+	p.next()
+	if err := p.expect(lex.LParen); err != nil {
+		return nil, err
+	}
+	var args []Expression
+	if p.tok.Kind != lex.RParen {
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.Kind != lex.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expect(lex.RParen); err != nil {
+		return nil, err
+	}
+	if len(args) < sig.min || len(args) > sig.max {
+		return nil, p.errf("%s takes %d..%d arguments, got %d", name, sig.min, sig.max, len(args))
+	}
+	return &Call{Name: name, Args: args}, nil
+}
+
+// iriOrFunction parses an IRI primary which may be an extension function
+// call when followed by an argument list.
+func (p *parser) iriOrFunction() (Expression, error) {
+	var iri rdf.Term
+	var err error
+	if p.tok.Kind == lex.IRIRef {
+		iri = rdf.NewIRI(p.pm.ResolveIRI(p.tok.Val))
+		p.next()
+	} else {
+		iri, err = p.pname()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != lex.LParen {
+		return &TermExpr{Term: iri}, nil
+	}
+	p.next()
+	var args []Expression
+	if p.tok.Kind != lex.RParen {
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.Kind != lex.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expect(lex.RParen); err != nil {
+		return nil, err
+	}
+	return &Call{Name: iri.Value, Args: args, IRIFunc: true}, nil
+}
+
+func (p *parser) primaryExpression() (Expression, error) {
+	switch p.tok.Kind {
+	case lex.LParen:
+		return p.brackettedExpression()
+	case lex.Var:
+		t := rdf.NewVar(p.tok.Val)
+		p.next()
+		return &TermExpr{Term: t}, nil
+	case lex.IRIRef, lex.PNameLN:
+		return p.iriOrFunction()
+	case lex.PNameNS:
+		t, err := p.pname()
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: t}, nil
+	case lex.String:
+		t, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: t}, nil
+	case lex.Integer:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDInteger)
+		p.next()
+		return &TermExpr{Term: t}, nil
+	case lex.Decimal:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDecimal)
+		p.next()
+		return &TermExpr{Term: t}, nil
+	case lex.Double:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDouble)
+		p.next()
+		return &TermExpr{Term: t}, nil
+	case lex.Ident:
+		switch {
+		case strings.EqualFold(p.tok.Val, "true"):
+			p.next()
+			return &TermExpr{Term: rdf.NewTypedLiteral("true", rdf.XSDBoolean)}, nil
+		case strings.EqualFold(p.tok.Val, "false"):
+			p.next()
+			return &TermExpr{Term: rdf.NewTypedLiteral("false", rdf.XSDBoolean)}, nil
+		default:
+			return p.builtinCall()
+		}
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}
+
+// ---- Solution modifiers --------------------------------------------------
+
+func (p *parser) solutionModifiers(q *Query) error {
+	if p.acceptKeyword("ORDER") {
+		if !p.acceptKeyword("BY") {
+			return p.errf("expected BY after ORDER")
+		}
+		for {
+			oc, ok, err := p.orderCondition()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			q.OrderBy = append(q.OrderBy, oc)
+		}
+		if len(q.OrderBy) == 0 {
+			return p.errf("ORDER BY requires at least one condition")
+		}
+	}
+	// LIMIT and OFFSET may appear in either order.
+	for {
+		switch {
+		case p.isKeyword("LIMIT"):
+			p.next()
+			n, err := p.integer()
+			if err != nil {
+				return err
+			}
+			q.Limit = n
+		case p.isKeyword("OFFSET"):
+			p.next()
+			n, err := p.integer()
+			if err != nil {
+				return err
+			}
+			q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) orderCondition() (OrderCondition, bool, error) {
+	switch {
+	case p.isKeyword("ASC"):
+		p.next()
+		e, err := p.brackettedExpression()
+		if err != nil {
+			return OrderCondition{}, false, err
+		}
+		return OrderCondition{Expr: e}, true, nil
+	case p.isKeyword("DESC"):
+		p.next()
+		e, err := p.brackettedExpression()
+		if err != nil {
+			return OrderCondition{}, false, err
+		}
+		return OrderCondition{Expr: e, Desc: true}, true, nil
+	case p.tok.Kind == lex.Var:
+		e := &TermExpr{Term: rdf.NewVar(p.tok.Val)}
+		p.next()
+		return OrderCondition{Expr: e}, true, nil
+	case p.tok.Kind == lex.LParen:
+		e, err := p.brackettedExpression()
+		if err != nil {
+			return OrderCondition{}, false, err
+		}
+		return OrderCondition{Expr: e}, true, nil
+	}
+	return OrderCondition{}, false, nil
+}
+
+func (p *parser) integer() (int, error) {
+	if p.tok.Kind != lex.Integer {
+		return 0, p.errf("expected integer, found %s", p.tok)
+	}
+	n, err := strconv.Atoi(p.tok.Val)
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.tok.Val)
+	}
+	p.next()
+	return n, nil
+}

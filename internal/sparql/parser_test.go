@@ -1,0 +1,337 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+// Figure 1 of the paper: the co-author query over the Southampton RKB set.
+const figure1 = `PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author id:person-02686 .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = id:person-02686 ))
+}`
+
+// Figure 6 of the paper: the same constraint moved into the FILTER section.
+const figure6 = `PREFIX id:<http://southampton.rkbexplorer.com/id/>
+PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author ?n.
+  ?paper akt:has-author ?a.
+  FILTER (!(?a = id:person-02686 ) &&
+          (?n = id:person-02686))
+}`
+
+func TestParseFigure1(t *testing.T) {
+	q, err := Parse(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != Select || !q.Distinct {
+		t.Fatalf("form/distinct wrong: %v %v", q.Form, q.Distinct)
+	}
+	if len(q.SelectVars) != 1 || q.SelectVars[0] != "a" {
+		t.Fatalf("select vars = %v", q.SelectVars)
+	}
+	bgps := q.BGPs()
+	if len(bgps) != 1 || len(bgps[0].Patterns) != 2 {
+		t.Fatalf("BGP shape wrong: %d BGPs", len(bgps))
+	}
+	p0 := bgps[0].Patterns[0]
+	if p0.S != rdf.NewVar("paper") || p0.P != rdf.NewIRI(rdf.AKTHasAuthor) ||
+		p0.O != rdf.NewIRI("http://southampton.rkbexplorer.com/id/person-02686") {
+		t.Fatalf("pattern 0 = %v", p0)
+	}
+	if len(q.Filters()) != 1 {
+		t.Fatal("expected one FILTER")
+	}
+	// FILTER is !(?a = id:person-02686)
+	f := q.Filters()[0]
+	u, ok := f.Expr.(*Unary)
+	if !ok || u.Op != "!" {
+		t.Fatalf("filter expr = %#v", f.Expr)
+	}
+	eq, ok := u.X.(*Binary)
+	if !ok || eq.Op != "=" {
+		t.Fatalf("inner expr = %#v", u.X)
+	}
+}
+
+func TestParseFigure6(t *testing.T) {
+	q, err := Parse(figure6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.BGPs()) != 1 || len(q.BGPs()[0].Patterns) != 2 {
+		t.Fatal("figure 6 BGP shape wrong")
+	}
+	f := q.Filters()
+	if len(f) != 1 {
+		t.Fatalf("filters = %d", len(f))
+	}
+	and, ok := f[0].Expr.(*Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("top expr = %#v", f[0].Expr)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := MustParse(`ASK { ?s ?p ?o }`)
+	if q.Form != Ask {
+		t.Fatal("form")
+	}
+	if len(q.BGPs()[0].Patterns) != 1 {
+		t.Fatal("pattern count")
+	}
+}
+
+func TestParseConstruct(t *testing.T) {
+	q := MustParse(`
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX akt: <http://www.aktors.org/ontology/portal#>
+CONSTRUCT { ?p foaf:name ?n } WHERE { ?p akt:full-name ?n }`)
+	if q.Form != Construct {
+		t.Fatal("form")
+	}
+	if len(q.Template) != 1 {
+		t.Fatalf("template = %v", q.Template)
+	}
+	if q.Template[0].P.Value != rdf.FOAFNS+"name" {
+		t.Fatalf("template predicate = %v", q.Template[0].P)
+	}
+}
+
+func TestParsePropertyAndObjectLists(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?s ex:p1 ?a , ?b ; ex:p2 ?c ; a ex:Thing . }`)
+	pats := q.BGPs()[0].Patterns
+	if len(pats) != 4 {
+		t.Fatalf("patterns = %d: %v", len(pats), pats)
+	}
+	if pats[3].P.Value != rdf.RDFType {
+		t.Fatalf("a keyword not expanded: %v", pats[3])
+	}
+	if !q.SelectStar {
+		t.Fatal("select star")
+	}
+}
+
+func TestParseOptionalUnionNested(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  ?s ex:p ?o .
+  OPTIONAL { ?s ex:q ?q . FILTER (?q > 5) }
+  { ?s ex:r ?r } UNION { ?s ex:t ?t } UNION { ?s ex:u ?u }
+  { ?s ex:nested ?n }
+}`)
+	var opt *Optional
+	var uni *Union
+	var sub *SubGroup
+	for _, el := range q.Where.Elements {
+		switch e := el.(type) {
+		case *Optional:
+			opt = e
+		case *Union:
+			uni = e
+		case *SubGroup:
+			sub = e
+		}
+	}
+	if opt == nil || len(opt.Group.Elements) != 2 {
+		t.Fatalf("optional wrong: %#v", opt)
+	}
+	if uni == nil || len(uni.Alternatives) != 3 {
+		t.Fatalf("union wrong: %#v", uni)
+	}
+	if sub == nil {
+		t.Fatal("nested group missing")
+	}
+	// 1 top-level + 1 in OPTIONAL + 3 UNION branches + 1 nested group.
+	if len(q.BGPs()) != 6 {
+		t.Fatalf("total BGPs = %d, want 6", len(q.BGPs()))
+	}
+}
+
+func TestParseBlankNodesInQuery(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT ?name WHERE { ?x ex:knows [ ex:name ?name ] . _:y ex:age ?a . }`)
+	pats := q.BGPs()[0].Patterns
+	if len(pats) != 3 {
+		t.Fatalf("patterns = %v", pats)
+	}
+	var sawGenerated, sawLabelled bool
+	for _, p := range pats {
+		if p.S.IsBlank() && strings.HasPrefix(p.S.Value, "anon") {
+			sawGenerated = true
+		}
+		if p.S == rdf.NewBlank("y") {
+			sawLabelled = true
+		}
+	}
+	if !sawGenerated || !sawLabelled {
+		t.Fatalf("blank node handling: gen=%v lab=%v", sawGenerated, sawLabelled)
+	}
+}
+
+func TestParseCollectionInQuery(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:list ( 1 2 ) . }`)
+	pats := q.BGPs()[0].Patterns
+	// 1 main + first/rest pairs for 2 items = 5
+	if len(pats) != 5 {
+		t.Fatalf("patterns = %d: %v", len(pats), pats)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?x WHERE {
+  ?x ex:v ?v . ?x ex:w ?w .
+  FILTER (?v + 2 * ?w >= 10 || !BOUND(?w) && REGEX(STR(?x), "^http://ex", "i"))
+}`)
+	f := q.Filters()[0]
+	or, ok := f.Expr.(*Binary)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top = %#v", f.Expr)
+	}
+	ge, ok := or.L.(*Binary)
+	if !ok || ge.Op != ">=" {
+		t.Fatalf("left = %#v", or.L)
+	}
+	// precedence: ?v + (2 * ?w)
+	plus, ok := ge.L.(*Binary)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("ge.L = %#v", ge.L)
+	}
+	if mul, ok := plus.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("plus.R = %#v", plus.R)
+	}
+	and, ok := or.R.(*Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("or.R = %#v", or.R)
+	}
+	if not, ok := and.L.(*Unary); !ok || not.Op != "!" {
+		t.Fatalf("and.L = %#v", and.L)
+	}
+	if re, ok := and.R.(*Call); !ok || re.Name != "REGEX" || len(re.Args) != 3 {
+		t.Fatalf("and.R = %#v", and.R)
+	}
+}
+
+func TestParseExtensionFunctionCall(t *testing.T) {
+	q := MustParse(`
+PREFIX map: <http://ecs.soton.ac.uk/om.owl#>
+SELECT ?x WHERE { ?x ?p ?o . FILTER (map:sameas(?x, "pat") = ?o) }`)
+	f := q.Filters()[0]
+	eq := f.Expr.(*Binary)
+	call, ok := eq.L.(*Call)
+	if !ok || !call.IRIFunc || call.Name != rdf.MapSameAs {
+		t.Fatalf("call = %#v", eq.L)
+	}
+}
+
+func TestParseSolutionModifiers(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s ?v WHERE { ?s ex:v ?v } ORDER BY DESC(?v) ?s LIMIT 10 OFFSET 5`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatal("desc flags wrong")
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseNumericAndBooleanNodes(t *testing.T) {
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:i 42 ; ex:d 3.14 ; ex:e 1e3 ; ex:b true ; ex:t "x"^^ex:dt ; ex:l "y"@en . }`)
+	pats := q.BGPs()[0].Patterns
+	want := []rdf.Term{
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewTypedLiteral("3.14", rdf.XSDDecimal),
+		rdf.NewTypedLiteral("1e3", rdf.XSDDouble),
+		rdf.NewTypedLiteral("true", rdf.XSDBoolean),
+		rdf.NewTypedLiteral("x", "http://example.org/dt"),
+		rdf.NewLangLiteral("y", "en"),
+	}
+	for i, w := range want {
+		if pats[i].O != w {
+			t.Errorf("object %d = %v, want %v", i, pats[i].O, w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT ?x`,
+		`SELECT ?x WHERE`,
+		`SELECT ?x WHERE {`,
+		`SELECT ?x WHERE { ?s ?p }`,
+		`SELECT ?x WHERE { ?s ?p ?o } LIMIT x`,
+		`SELECT ?x WHERE { ?s ?p ?o } ORDER`,
+		`PREFIX x <http://x> SELECT ?x WHERE { ?s ?p ?o }`,
+		`SELECT ?x WHERE { ?s undefined:p ?o }`,
+		`SELECT ?x WHERE { FILTER }`,
+		`SELECT ?x WHERE { ?s ?p ?o . FILTER (BOUND()) }`,
+		`SELECT ?x WHERE { ?s ?p ?o . FILTER (NOSUCHFN(?x)) }`,
+		`DESCRIBE <http://x>`,
+		`SELECT * WHERE { ?s ?p ?o } extra`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestDotHandlingBetweenElements(t *testing.T) {
+	// Triples on either side of a FILTER merge into separate syntactic
+	// BGPs; with no intervening element they merge into one.
+	q := MustParse(`
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?a ex:p ?b . ?b ex:q ?c . FILTER(?c > 1) ?c ex:r ?d . }`)
+	bgps := q.BGPs()
+	if len(bgps) != 2 {
+		t.Fatalf("BGPs = %d, want 2", len(bgps))
+	}
+	if len(bgps[0].Patterns) != 2 || len(bgps[1].Patterns) != 1 {
+		t.Fatalf("split = %d/%d", len(bgps[0].Patterns), len(bgps[1].Patterns))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse(figure1)
+	c := q.Clone()
+	c.BGPs()[0].Patterns[0].S = rdf.NewVar("other")
+	c.SelectVars[0] = "z"
+	if q.BGPs()[0].Patterns[0].S != rdf.NewVar("paper") {
+		t.Fatal("clone shares BGP storage")
+	}
+	if q.SelectVars[0] != "a" {
+		t.Fatal("clone shares select vars")
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q := MustParse(figure1)
+	vars := q.Vars()
+	if len(vars) != 2 || vars[0] != "paper" || vars[1] != "a" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}

@@ -1,0 +1,346 @@
+// Package store implements an indexed, concurrency-safe, in-memory RDF
+// triple store. It maintains three nested-map indexes (SPO, POS, OSP) so
+// that any triple pattern with at least one bound position is answered by
+// index lookup rather than a scan. It is the storage substrate behind the
+// SPARQL evaluator, the SPARQL protocol endpoints, and the materialisation
+// baseline.
+package store
+
+import (
+	"sync"
+
+	"sparqlrw/internal/rdf"
+)
+
+type index map[rdf.Term]map[rdf.Term]map[rdf.Term]struct{}
+
+func (ix index) add(a, b, c rdf.Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		m1 = make(map[rdf.Term]map[rdf.Term]struct{})
+		ix[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[rdf.Term]struct{})
+		m1[b] = m2
+	}
+	if _, exists := m2[c]; exists {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c rdf.Term) bool {
+	m1, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m2[c]; !exists {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Store is an in-memory triple store. The zero value is not usable; create
+// stores with New.
+type Store struct {
+	mu   sync.RWMutex
+	spo  index
+	pos  index
+	osp  index
+	size int
+	// predCount tracks triples per predicate for selectivity estimation
+	// (used by the evaluator's join-order heuristic, cf. Stocker et al.,
+	// which the paper cites for BGP optimisation).
+	predCount map[rdf.Term]int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		spo:       make(index),
+		pos:       make(index),
+		osp:       make(index),
+		predCount: make(map[rdf.Term]int),
+	}
+}
+
+// Add inserts a triple; it reports whether the triple was not already
+// present. Triples containing variables or wildcards are rejected.
+func (s *Store) Add(t rdf.Triple) bool {
+	if !validData(t) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.add(t.P, t.O, t.S)
+	s.osp.add(t.O, t.S, t.P)
+	s.size++
+	s.predCount[t.P]++
+	return true
+}
+
+// AddGraph inserts every triple of g and returns the number added.
+func (s *Store) AddGraph(g rdf.Graph) int {
+	n := 0
+	for _, t := range g {
+		if s.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a triple; it reports whether the triple was present.
+func (s *Store) Remove(t rdf.Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.remove(t.P, t.O, t.S)
+	s.osp.remove(t.O, t.S, t.P)
+	s.size--
+	if s.predCount[t.P]--; s.predCount[t.P] <= 0 {
+		delete(s.predCount, t.P)
+	}
+	return true
+}
+
+// Has reports whether the exact ground triple is present.
+func (s *Store) Has(t rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m1, ok := s.spo[t.S]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = m2[t.O]
+	return ok
+}
+
+// Size returns the number of triples.
+func (s *Store) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// PredicateCount returns the number of triples with predicate p, used for
+// selectivity-based join ordering.
+func (s *Store) PredicateCount(p rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.predCount[p]
+}
+
+// validData accepts only ground terms and blank nodes (data-level
+// existentials); variables and wildcards cannot be stored.
+func validData(t rdf.Triple) bool {
+	for _, x := range []rdf.Term{t.S, t.P, t.O} {
+		if x.Kind != rdf.KindIRI && x.Kind != rdf.KindLiteral && x.Kind != rdf.KindBlank {
+			return false
+		}
+	}
+	return true
+}
+
+// bound reports whether a term constrains a match position: variables and
+// the zero wildcard are unbound, everything else is a fixed value.
+func bound(t rdf.Term) bool {
+	return t.Kind != rdf.KindAny && t.Kind != rdf.KindVar
+}
+
+// Match invokes fn for every stored triple matching the pattern; pattern
+// positions that are variables or the zero Term act as wildcards. fn
+// returning false stops the iteration early.
+//
+// The snapshot of matching triples is collected under the read lock and fn
+// runs outside it, so fn may safely call back into the store (including
+// Add/Remove — mutations do not affect the already-collected snapshot).
+func (s *Store) Match(pattern rdf.Triple, fn func(rdf.Triple) bool) {
+	for _, t := range s.MatchAll(pattern) {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// MatchAll returns all stored triples matching the pattern. See Match for
+// the wildcard convention.
+func (s *Store) MatchAll(pattern rdf.Triple) []rdf.Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.matchAllLocked(pattern)
+}
+
+func (s *Store) matchAllLocked(pattern rdf.Triple) []rdf.Triple {
+	sb, pb, ob := bound(pattern.S), bound(pattern.P), bound(pattern.O)
+	var out []rdf.Triple
+	emit := func(t rdf.Triple) { out = append(out, t) }
+	switch {
+	case sb && pb && ob:
+		if m1, ok := s.spo[pattern.S]; ok {
+			if m2, ok := m1[pattern.P]; ok {
+				if _, ok := m2[pattern.O]; ok {
+					emit(pattern)
+				}
+			}
+		}
+	case sb && pb:
+		if m1, ok := s.spo[pattern.S]; ok {
+			for o := range m1[pattern.P] {
+				emit(rdf.Triple{S: pattern.S, P: pattern.P, O: o})
+			}
+		}
+	case sb && ob:
+		if m1, ok := s.osp[pattern.O]; ok {
+			for p := range m1[pattern.S] {
+				emit(rdf.Triple{S: pattern.S, P: p, O: pattern.O})
+			}
+		}
+	case pb && ob:
+		if m1, ok := s.pos[pattern.P]; ok {
+			for sv := range m1[pattern.O] {
+				emit(rdf.Triple{S: sv, P: pattern.P, O: pattern.O})
+			}
+		}
+	case sb:
+		if m1, ok := s.spo[pattern.S]; ok {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					emit(rdf.Triple{S: pattern.S, P: p, O: o})
+				}
+			}
+		}
+	case pb:
+		if m1, ok := s.pos[pattern.P]; ok {
+			for o, m2 := range m1 {
+				for sv := range m2 {
+					emit(rdf.Triple{S: sv, P: pattern.P, O: o})
+				}
+			}
+		}
+	case ob:
+		if m1, ok := s.osp[pattern.O]; ok {
+			for sv, m2 := range m1 {
+				for p := range m2 {
+					emit(rdf.Triple{S: sv, P: p, O: pattern.O})
+				}
+			}
+		}
+	default:
+		for sv, m1 := range s.spo {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					emit(rdf.Triple{S: sv, P: p, O: o})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materialising them all when a cheaper index walk suffices.
+func (s *Store) Count(pattern rdf.Triple) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sb, pb, ob := bound(pattern.S), bound(pattern.P), bound(pattern.O)
+	switch {
+	case !sb && !pb && !ob:
+		return s.size
+	case pb && !sb && !ob:
+		return s.predCount[pattern.P]
+	case sb && pb && !ob:
+		if m1, ok := s.spo[pattern.S]; ok {
+			return len(m1[pattern.P])
+		}
+		return 0
+	case pb && ob && !sb:
+		if m1, ok := s.pos[pattern.P]; ok {
+			return len(m1[pattern.O])
+		}
+		return 0
+	case sb && ob && !pb:
+		if m1, ok := s.osp[pattern.O]; ok {
+			return len(m1[pattern.S])
+		}
+		return 0
+	}
+	return len(s.matchAllLocked(pattern))
+}
+
+// Triples returns all triples as a graph in deterministic sorted order.
+func (s *Store) Triples() rdf.Graph {
+	g := rdf.Graph(s.MatchAll(rdf.Triple{}))
+	return g.Sort()
+}
+
+// Clone returns an independent deep copy of the store.
+func (s *Store) Clone() *Store {
+	c := New()
+	for _, t := range s.MatchAll(rdf.Triple{}) {
+		c.Add(t)
+	}
+	return c
+}
+
+// Subjects returns the distinct subjects of triples matching (any, p, o).
+func (s *Store) Subjects(p, o rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	var out []rdf.Term
+	s.Match(rdf.Triple{P: p, O: o}, func(t rdf.Triple) bool {
+		if _, ok := seen[t.S]; !ok {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Objects returns the distinct objects of triples matching (s, p, any).
+func (s *Store) Objects(subj, p rdf.Term) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	var out []rdf.Term
+	s.Match(rdf.Triple{S: subj, P: p}, func(t rdf.Triple) bool {
+		if _, ok := seen[t.O]; !ok {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// FirstObject returns some object of (s, p, ?) and whether one exists.
+func (s *Store) FirstObject(subj, p rdf.Term) (rdf.Term, bool) {
+	var res rdf.Term
+	found := false
+	s.Match(rdf.Triple{S: subj, P: p}, func(t rdf.Triple) bool {
+		res, found = t.O, true
+		return false
+	})
+	return res, found
+}

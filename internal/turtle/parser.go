@@ -1,0 +1,422 @@
+// Package turtle implements a parser and serialiser for the Turtle RDF
+// syntax (the W3C Team Submission subset the paper uses for its alignment
+// listings, §3.2.2): prefix and base directives, predicate-object and
+// object lists, the `a` keyword, blank node property lists, collections,
+// and plain/typed/language-tagged literals.
+package turtle
+
+import (
+	"fmt"
+	"strconv"
+
+	"sparqlrw/internal/lex"
+	"sparqlrw/internal/rdf"
+)
+
+// Parser parses one Turtle document.
+type Parser struct {
+	lx       *lex.Lexer
+	tok      lex.Token
+	peeked   *lex.Token
+	prefixes *rdf.PrefixMap
+	graph    rdf.Graph
+	anonSeq  int
+	used     map[string]bool // blank labels seen in the document
+}
+
+// Parse parses a Turtle document and returns its triples together with the
+// prefix map accumulated from @prefix/@base directives.
+func Parse(src string) (rdf.Graph, *rdf.PrefixMap, error) {
+	p := &Parser{
+		lx:       lex.New(src),
+		prefixes: rdf.NewPrefixMap(),
+		used:     map[string]bool{},
+	}
+	p.next()
+	for p.tok.Kind != lex.EOF {
+		if err := p.statement(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p.graph, p.prefixes, nil
+}
+
+// MustParse parses src and panics on error; for tests and fixtures.
+func MustParse(src string) rdf.Graph {
+	g, _, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (p *Parser) next() {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return
+	}
+	p.tok = p.lx.Next()
+}
+
+func (p *Parser) peek() lex.Token {
+	if p.peeked == nil {
+		t := p.lx.Next()
+		p.peeked = &t
+	}
+	return *p.peeked
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: %d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expect(k lex.Kind) error {
+	if p.tok.Kind != k {
+		return p.errf("expected %s, found %s", k, p.tok)
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) statement() error {
+	switch {
+	case p.tok.Kind == lex.AtKeyword && p.tok.Val == "prefix":
+		p.next()
+		if p.tok.Kind != lex.PNameNS {
+			return p.errf("expected prefix name after @prefix, found %s", p.tok)
+		}
+		name := p.tok.Val
+		p.next()
+		if p.tok.Kind != lex.IRIRef {
+			return p.errf("expected IRI after @prefix %s:, found %s", name, p.tok)
+		}
+		p.prefixes.Bind(name, p.prefixes.ResolveIRI(p.tok.Val))
+		p.next()
+		return p.expect(lex.Dot)
+	case p.tok.Kind == lex.AtKeyword && p.tok.Val == "base":
+		p.next()
+		if p.tok.Kind != lex.IRIRef {
+			return p.errf("expected IRI after @base, found %s", p.tok)
+		}
+		p.prefixes.SetBase(p.tok.Val)
+		p.next()
+		return p.expect(lex.Dot)
+	case p.tok.Kind == lex.Ident && (equalsFold(p.tok.Val, "PREFIX")):
+		// SPARQL-style directive (Turtle 1.1), no trailing dot.
+		p.next()
+		if p.tok.Kind != lex.PNameNS {
+			return p.errf("expected prefix name after PREFIX, found %s", p.tok)
+		}
+		name := p.tok.Val
+		p.next()
+		if p.tok.Kind != lex.IRIRef {
+			return p.errf("expected IRI after PREFIX %s:, found %s", name, p.tok)
+		}
+		p.prefixes.Bind(name, p.prefixes.ResolveIRI(p.tok.Val))
+		p.next()
+		return nil
+	case p.tok.Kind == lex.Ident && equalsFold(p.tok.Val, "BASE"):
+		p.next()
+		if p.tok.Kind != lex.IRIRef {
+			return p.errf("expected IRI after BASE, found %s", p.tok)
+		}
+		p.prefixes.SetBase(p.tok.Val)
+		p.next()
+		return nil
+	}
+	return p.triples()
+}
+
+func (p *Parser) triples() error {
+	var subj rdf.Term
+	var err error
+	if p.tok.Kind == lex.LBracket {
+		// Blank node property list as subject.
+		subj, err = p.blankNodePropertyList()
+		if err != nil {
+			return err
+		}
+		// Predicate-object list is optional after a bnode property list.
+		if p.tok.Kind == lex.Dot {
+			p.next()
+			return nil
+		}
+	} else {
+		subj, err = p.subject()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	return p.expect(lex.Dot)
+}
+
+func (p *Parser) subject() (rdf.Term, error) {
+	switch p.tok.Kind {
+	case lex.IRIRef:
+		t := rdf.NewIRI(p.prefixes.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case lex.PNameLN, lex.PNameNS:
+		return p.pname()
+	case lex.BlankNode:
+		t := p.blankLabel(p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.LParen:
+		return p.collection()
+	}
+	return rdf.Term{}, p.errf("expected subject, found %s", p.tok)
+}
+
+func (p *Parser) pname() (rdf.Term, error) {
+	var q string
+	if p.tok.Kind == lex.PNameLN {
+		q = p.tok.Val
+	} else {
+		q = p.tok.Val + ":"
+	}
+	iri, err := p.prefixes.Expand(q)
+	if err != nil {
+		return rdf.Term{}, p.errf("%v", err)
+	}
+	p.next()
+	return rdf.NewIRI(iri), nil
+}
+
+func (p *Parser) blankLabel(label string) rdf.Term {
+	p.used[label] = true
+	return rdf.NewBlank(label)
+}
+
+func (p *Parser) freshBlank() rdf.Term {
+	for {
+		p.anonSeq++
+		label := "anon" + strconv.Itoa(p.anonSeq)
+		if !p.used[label] {
+			p.used[label] = true
+			return rdf.NewBlank(label)
+		}
+	}
+}
+
+func (p *Parser) predicateObjectList(subj rdf.Term) error {
+	for {
+		verb, err := p.verb()
+		if err != nil {
+			return err
+		}
+		if err := p.objectList(subj, verb); err != nil {
+			return err
+		}
+		if p.tok.Kind != lex.Semicolon {
+			return nil
+		}
+		// Consume any run of semicolons; a trailing ';' before '.' or ']'
+		// is legal Turtle.
+		for p.tok.Kind == lex.Semicolon {
+			p.next()
+		}
+		if p.tok.Kind == lex.Dot || p.tok.Kind == lex.RBracket {
+			return nil
+		}
+	}
+}
+
+func (p *Parser) verb() (rdf.Term, error) {
+	if p.tok.Kind == lex.Ident && p.tok.Val == "a" {
+		p.next()
+		return rdf.NewIRI(rdf.RDFType), nil
+	}
+	switch p.tok.Kind {
+	case lex.IRIRef:
+		t := rdf.NewIRI(p.prefixes.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case lex.PNameLN, lex.PNameNS:
+		return p.pname()
+	}
+	return rdf.Term{}, p.errf("expected predicate, found %s", p.tok)
+}
+
+func (p *Parser) objectList(subj, verb rdf.Term) error {
+	for {
+		obj, err := p.object()
+		if err != nil {
+			return err
+		}
+		p.graph.AddTriple(subj, verb, obj)
+		if p.tok.Kind != lex.Comma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) object() (rdf.Term, error) {
+	switch p.tok.Kind {
+	case lex.IRIRef:
+		t := rdf.NewIRI(p.prefixes.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case lex.PNameLN, lex.PNameNS:
+		return p.pname()
+	case lex.BlankNode:
+		t := p.blankLabel(p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.LBracket:
+		return p.blankNodePropertyList()
+	case lex.LParen:
+		return p.collection()
+	case lex.String:
+		return p.literal()
+	case lex.Integer:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDInteger)
+		p.next()
+		return t, nil
+	case lex.Decimal:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDecimal)
+		p.next()
+		return t, nil
+	case lex.Double:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDouble)
+		p.next()
+		return t, nil
+	case lex.Minus, lex.Plus:
+		neg := p.tok.Kind == lex.Minus
+		p.next()
+		sign := ""
+		if neg {
+			sign = "-"
+		}
+		switch p.tok.Kind {
+		case lex.Integer:
+			t := rdf.NewTypedLiteral(sign+p.tok.Val, rdf.XSDInteger)
+			p.next()
+			return t, nil
+		case lex.Decimal:
+			t := rdf.NewTypedLiteral(sign+p.tok.Val, rdf.XSDDecimal)
+			p.next()
+			return t, nil
+		case lex.Double:
+			t := rdf.NewTypedLiteral(sign+p.tok.Val, rdf.XSDDouble)
+			p.next()
+			return t, nil
+		}
+		return rdf.Term{}, p.errf("expected number after sign, found %s", p.tok)
+	case lex.Ident:
+		switch p.tok.Val {
+		case "true", "false":
+			t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDBoolean)
+			p.next()
+			return t, nil
+		}
+	}
+	return rdf.Term{}, p.errf("expected object, found %s", p.tok)
+}
+
+func (p *Parser) literal() (rdf.Term, error) {
+	lexval := p.tok.Val
+	p.next()
+	switch p.tok.Kind {
+	case lex.LangTag:
+		t := rdf.NewLangLiteral(lexval, p.tok.Val)
+		p.next()
+		return t, nil
+	case lex.HatHat:
+		p.next()
+		var dt string
+		switch p.tok.Kind {
+		case lex.IRIRef:
+			dt = p.prefixes.ResolveIRI(p.tok.Val)
+			p.next()
+		case lex.PNameLN:
+			t, err := p.pname()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			dt = t.Value
+		default:
+			return rdf.Term{}, p.errf("expected datatype IRI after ^^, found %s", p.tok)
+		}
+		return rdf.NewTypedLiteral(lexval, dt), nil
+	}
+	return rdf.NewLiteral(lexval), nil
+}
+
+// blankNodePropertyList parses "[ predicateObjectList ]" and returns the
+// fresh blank node standing for it.
+func (p *Parser) blankNodePropertyList() (rdf.Term, error) {
+	if err := p.expect(lex.LBracket); err != nil {
+		return rdf.Term{}, err
+	}
+	node := p.freshBlank()
+	if p.tok.Kind == lex.RBracket { // empty []
+		p.next()
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	if err := p.expect(lex.RBracket); err != nil {
+		return rdf.Term{}, err
+	}
+	return node, nil
+}
+
+// collection parses "( object* )" into an rdf:first/rdf:rest list and
+// returns its head (rdf:nil for the empty collection).
+func (p *Parser) collection() (rdf.Term, error) {
+	if err := p.expect(lex.LParen); err != nil {
+		return rdf.Term{}, err
+	}
+	if p.tok.Kind == lex.RParen {
+		p.next()
+		return rdf.NewIRI(rdf.RDFNil), nil
+	}
+	head := p.freshBlank()
+	cur := head
+	first := true
+	for p.tok.Kind != lex.RParen {
+		if p.tok.Kind == lex.EOF {
+			return rdf.Term{}, p.errf("unterminated collection")
+		}
+		if !first {
+			next := p.freshBlank()
+			p.graph.AddTriple(cur, rdf.NewIRI(rdf.RDFRest), next)
+			cur = next
+		}
+		first = false
+		obj, err := p.object()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p.graph.AddTriple(cur, rdf.NewIRI(rdf.RDFFirst), obj)
+	}
+	p.graph.AddTriple(cur, rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil))
+	p.next() // ')'
+	return head, nil
+}
+
+func equalsFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'a' && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if cb >= 'a' && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+// Package voidkb implements the voiD knowledge base of the paper's
+// architecture (Figure 5): descriptions of the data sets the mediator can
+// target — their SPARQL endpoints, URI spaces and vocabularies — loaded
+// from and serialised to Turtle using the voiD vocabulary.
+package voidkb
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/turtle"
+)
+
+// Dataset describes one data set, per its voiD profile.
+type Dataset struct {
+	// URI uniquely identifies the data set within the system (§3.4).
+	URI string
+	// Title is a human-readable label (dcterms:title).
+	Title string
+	// SPARQLEndpoint is the query endpoint URL (void:sparqlEndpoint).
+	SPARQLEndpoint string
+	// URISpace is a regular expression matching the data set's instance
+	// URIs. voiD's void:uriSpace is a plain prefix; we store the derived
+	// pattern (prefix regex-escaped + `\S*`), which is exactly the form
+	// the paper's sameas functional dependencies consume.
+	URISpace string
+	// Vocabularies are the ontology namespaces the data set uses
+	// (void:vocabulary).
+	Vocabularies []string
+}
+
+// URISpaceFromPrefix derives the regex pattern for a plain URI prefix.
+func URISpaceFromPrefix(prefix string) string {
+	return regexp.QuoteMeta(prefix) + `\S*`
+}
+
+// Matches reports whether uri belongs to the data set's URI space.
+func (d *Dataset) Matches(uri string) bool {
+	if d.URISpace == "" {
+		return false
+	}
+	re, err := regexp.Compile("^(?:" + d.URISpace + ")$")
+	if err != nil {
+		return false
+	}
+	return re.MatchString(uri)
+}
+
+// UsesVocabulary reports whether the data set declares the namespace.
+func (d *Dataset) UsesVocabulary(ns string) bool {
+	for _, v := range d.Vocabularies {
+		if v == ns {
+			return true
+		}
+	}
+	return false
+}
+
+// KB is a registry of data set descriptions.
+type KB struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewKB returns an empty voiD KB.
+func NewKB() *KB { return &KB{datasets: map[string]*Dataset{}} }
+
+// Add validates and registers a data set description.
+func (kb *KB) Add(d *Dataset) error {
+	if d.URI == "" {
+		return fmt.Errorf("voidkb: data set without URI")
+	}
+	if d.SPARQLEndpoint == "" {
+		return fmt.Errorf("voidkb: data set %s without SPARQL endpoint", d.URI)
+	}
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	kb.datasets[d.URI] = d
+	return nil
+}
+
+// Get returns the data set registered under uri.
+func (kb *KB) Get(uri string) (*Dataset, bool) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	d, ok := kb.datasets[uri]
+	return d, ok
+}
+
+// All returns every data set, sorted by URI.
+func (kb *KB) All() []*Dataset {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	out := make([]*Dataset, 0, len(kb.datasets))
+	for _, d := range kb.datasets {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Len returns the number of registered data sets.
+func (kb *KB) Len() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.datasets)
+}
+
+// ByVocabulary returns the data sets declaring the given namespace.
+func (kb *KB) ByVocabulary(ns string) []*Dataset {
+	var out []*Dataset
+	for _, d := range kb.All() {
+		if d.UsesVocabulary(ns) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DatasetFor returns the data set whose URI space contains uri.
+func (kb *KB) DatasetFor(uri string) (*Dataset, bool) {
+	for _, d := range kb.All() {
+		if d.Matches(uri) {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+const dctermsTitle = rdf.DCTermsNS + "title"
+
+// uriSpaceProp extends voiD with the regex-form URI space the alignment
+// machinery consumes; plain void:uriSpace prefixes are also accepted on
+// load.
+const uriSpaceRegexProp = rdf.MapNS + "uriSpaceRegex"
+
+// Encode appends the voiD description of d to g.
+func Encode(g *rdf.Graph, d *Dataset) {
+	id := rdf.NewIRI(d.URI)
+	g.AddTriple(id, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.VoidDataset))
+	if d.Title != "" {
+		g.AddTriple(id, rdf.NewIRI(dctermsTitle), rdf.NewLiteral(d.Title))
+	}
+	g.AddTriple(id, rdf.NewIRI(rdf.VoidSPARQLEndpoint), rdf.NewIRI(d.SPARQLEndpoint))
+	if d.URISpace != "" {
+		g.AddTriple(id, rdf.NewIRI(uriSpaceRegexProp), rdf.NewLiteral(d.URISpace))
+	}
+	for _, v := range d.Vocabularies {
+		g.AddTriple(id, rdf.NewIRI(rdf.VoidVocabulary), rdf.NewIRI(v))
+	}
+}
+
+// FormatTurtle serialises the whole KB as Turtle.
+func (kb *KB) FormatTurtle() string {
+	var g rdf.Graph
+	for _, d := range kb.All() {
+		Encode(&g, d)
+	}
+	pm := rdf.StandardPrefixes()
+	return turtle.Format(g, pm)
+}
+
+// ParseTurtle loads data set descriptions from a Turtle document.
+func ParseTurtle(src string) (*KB, error) {
+	g, _, err := turtle.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	st := store.New()
+	st.AddGraph(g)
+	kb := NewKB()
+	ids := st.Subjects(rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.VoidDataset))
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	for _, id := range ids {
+		d := &Dataset{URI: id.Value}
+		if t, ok := st.FirstObject(id, rdf.NewIRI(dctermsTitle)); ok {
+			d.Title = t.Value
+		}
+		if t, ok := st.FirstObject(id, rdf.NewIRI(rdf.VoidSPARQLEndpoint)); ok {
+			d.SPARQLEndpoint = t.Value
+		}
+		if t, ok := st.FirstObject(id, rdf.NewIRI(uriSpaceRegexProp)); ok {
+			d.URISpace = t.Value
+		} else if t, ok := st.FirstObject(id, rdf.NewIRI(rdf.VoidURISpace)); ok {
+			d.URISpace = URISpaceFromPrefix(t.Value)
+		}
+		for _, v := range st.Objects(id, rdf.NewIRI(rdf.VoidVocabulary)) {
+			d.Vocabularies = append(d.Vocabularies, v.Value)
+		}
+		sort.Strings(d.Vocabularies)
+		if err := kb.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return kb, nil
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/rdf"
+)
+
+// Alignment knowledge bases with the cardinalities the paper reports for
+// its deployed system (§3.4): 24 entity alignments between the AKT data
+// and the KISTI data set, 42 between the ECS data set and DBpedia.
+
+const (
+	akt2kistiNS = "http://ecs.soton.ac.uk/alignments/akt2kisti#"
+	ecs2dbpNS   = "http://ecs.soton.ac.uk/alignments/ecs2dbpedia#"
+)
+
+// corefClass builds a class alignment whose instance URIs are translated
+// into the target URI space with a sameas functional dependency.
+func corefClass(id, c1, c2, uriSpace string) *align.EntityAlignment {
+	return &align.EntityAlignment{
+		ID:  id,
+		LHS: rdf.Triple{S: rdf.NewVar("x1"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(c1)},
+		RHS: []rdf.Triple{{S: rdf.NewVar("x2"), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(c2)}},
+		FDs: []align.FD{{Var: "x2", Func: rdf.MapSameAs,
+			Args: []rdf.Term{rdf.NewVar("x1"), rdf.NewLiteral(uriSpace)}}},
+	}
+}
+
+// corefProp builds a property alignment whose subject URI is translated
+// into the target URI space (objects are literals or handled elsewhere).
+func corefProp(id, p1, p2, uriSpace string) *align.EntityAlignment {
+	return &align.EntityAlignment{
+		ID:  id,
+		LHS: rdf.Triple{S: rdf.NewVar("s1"), P: rdf.NewIRI(p1), O: rdf.NewVar("o")},
+		RHS: []rdf.Triple{{S: rdf.NewVar("s2"), P: rdf.NewIRI(p2), O: rdf.NewVar("o")}},
+		FDs: []align.FD{{Var: "s2", Func: rdf.MapSameAs,
+			Args: []rdf.Term{rdf.NewVar("s1"), rdf.NewLiteral(uriSpace)}}},
+	}
+}
+
+// creatorInfoAlignment is the paper's §3.2.2 running example: the complex
+// akt:has-author → CreatorInfo-chain rewrite with two sameas FDs.
+func creatorInfoAlignment() *align.EntityAlignment {
+	pat := rdf.NewLiteral(KistiURIPattern)
+	return &align.EntityAlignment{
+		ID:  akt2kistiNS + "creator_info",
+		LHS: rdf.Triple{S: rdf.NewVar("p1"), P: rdf.NewIRI(rdf.AKTHasAuthor), O: rdf.NewVar("a1")},
+		RHS: []rdf.Triple{
+			{S: rdf.NewVar("p2"), P: rdf.NewIRI(rdf.KISTIHasCreatorInfo), O: rdf.NewVar("c")},
+			{S: rdf.NewVar("c"), P: rdf.NewIRI(rdf.KISTIHasCreator), O: rdf.NewVar("a2")},
+		},
+		FDs: []align.FD{
+			{Var: "a2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("a1"), pat}},
+			{Var: "p2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("p1"), pat}},
+		},
+	}
+}
+
+// AKT2KISTI builds the 24-entity-alignment ontology alignment between the
+// AKT ontology (source) and the KISTI ontology/data set (target), per
+// §3.2.1's example coordinates.
+func AKT2KISTI() *align.OntologyAlignment {
+	id := func(s string) string { return akt2kistiNS + s }
+	ks := KistiURIPattern
+	eas := []*align.EntityAlignment{
+		// 1: the complex authorship chain (level 2).
+		creatorInfoAlignment(),
+		// 2..9: class alignments into the KISTI type system.
+		corefClass(id("person"), rdf.AKTPerson, rdf.KISTIPerson, ks),
+		corefClass(id("article"), rdf.AKTArticleRef, rdf.KISTIArticle, ks),
+		corefClass(id("paper"), rdf.AKTPaperRef, rdf.KISTIArticle, ks),
+		corefClass(id("book"), rdf.AKTNS+"Book-Reference", rdf.KISTIArticle, ks),
+		corefClass(id("thesis"), rdf.AKTNS+"Thesis-Reference", rdf.KISTIArticle, ks),
+		corefClass(id("proceedings"), rdf.AKTNS+"Proceedings-Paper-Reference", rdf.KISTIArticle, ks),
+		corefClass(id("journal"), rdf.AKTNS+"Journal-Paper-Reference", rdf.KISTIArticle, ks),
+		corefClass(id("organization"), rdf.AKTOrganization, rdf.KISTINS+"Institution", ks),
+		// 10..19: datatype/object property alignments with subject coref.
+		corefProp(id("title"), rdf.AKTHasTitle, rdf.KISTITitle, ks),
+		corefProp(id("date"), rdf.AKTHasDate, rdf.KISTIYear, ks),
+		corefProp(id("name"), rdf.AKTFullName, rdf.KISTIName, ks),
+		corefProp(id("web"), rdf.AKTHasWebAddr, rdf.KISTINS+"url", ks),
+		corefProp(id("affiliation"), rdf.AKTHasAffil, rdf.KISTINS+"affiliation", ks),
+		corefProp(id("volume"), rdf.AKTNS+"has-volume", rdf.KISTINS+"volume", ks),
+		corefProp(id("pages"), rdf.AKTNS+"has-page-numbers", rdf.KISTINS+"pages", ks),
+		corefProp(id("doi"), rdf.AKTNS+"has-doi", rdf.KISTINS+"doi", ks),
+		corefProp(id("abstract"), rdf.AKTNS+"has-abstract", rdf.KISTINS+"abstract", ks),
+		corefProp(id("issn"), rdf.AKTNS+"has-issn", rdf.KISTINS+"issn", ks),
+		// 20..24: vocabulary-level alignments without URI translation
+		// (level 0), for properties whose values stay literal-for-literal.
+		align.PropertyAlignment(id("cites"), rdf.AKTNS+"cites-publication-reference", rdf.KISTINS+"cites"),
+		align.PropertyAlignment(id("topic"), rdf.AKTNS+"addresses-generic-area-of-interest", rdf.KISTINS+"topic"),
+		align.PropertyAlignment(id("editor"), rdf.AKTNS+"has-editor", rdf.KISTINS+"editor"),
+		align.PropertyAlignment(id("publisher"), rdf.AKTNS+"has-publisher", rdf.KISTINS+"publisher"),
+		align.PropertyAlignment(id("language"), rdf.AKTNS+"has-language", rdf.KISTINS+"language"),
+	}
+	return &align.OntologyAlignment{
+		URI:              "http://ecs.soton.ac.uk/alignments/akt2kisti",
+		SourceOntologies: []string{rdf.AKTNS},
+		TargetOntologies: []string{rdf.KISTINS},
+		TargetDatasets:   []string{KistiVoidURI},
+		Alignments:       eas,
+	}
+}
+
+// ECS2DBpedia builds the 42-entity-alignment ontology alignment between
+// the ECS schema and DBpedia. It is data-set-independent (no TD), so its
+// alignments are reusable for any data set adopting the DBpedia ontology,
+// per §3.2.1's reuse discussion.
+func ECS2DBpedia() *align.OntologyAlignment {
+	id := func(s string) string { return ecs2dbpNS + s }
+	ecs := func(s string) string { return rdf.ECSNS + s }
+	dbo := func(s string) string { return rdf.DBONS + s }
+	foaf := func(s string) string { return rdf.FOAFNS + s }
+	ds := DBPURIPattern
+
+	var eas []*align.EntityAlignment
+	// 12 class alignments.
+	classes := [][2]string{
+		{"Person", "Person"}, {"Student", "Student"}, {"Professor", "Professor"},
+		{"Lecturer", "Lecturer"}, {"Publication", "Work"}, {"Article", "Article"},
+		{"Book", "Book"}, {"Thesis", "Thesis"}, {"Project", "Project"},
+		{"ResearchGroup", "Organisation"}, {"School", "University"}, {"Seminar", "Event"},
+	}
+	for _, c := range classes {
+		eas = append(eas, corefClass(id("class_"+c[0]), ecs(c[0]), dbo(c[1]), ds))
+	}
+	// 18 property alignments with subject coref.
+	props := [][2]string{
+		{"name", "name"}, {"givenName", "givenName"}, {"familyName", "surname"},
+		{"email", "email"}, {"homepage", "homepage"}, {"phone", "phone"},
+		{"title", "title"}, {"abstract", "abstract"}, {"year", "year"},
+		{"supervisor", "doctoralAdvisor"}, {"memberOf", "affiliation"},
+		{"worksOn", "project"}, {"funds", "fundedBy"}, {"address", "address"},
+		{"room", "location"}, {"fax", "fax"}, {"photo", "depiction"}, {"bio", "comment"},
+	}
+	for _, p := range props {
+		eas = append(eas, corefProp(id("prop_"+p[0]), ecs(p[0]), dbo(p[1]), ds))
+	}
+	// 6 FOAF-flavoured level-0 alignments (vocabulary only).
+	foafProps := [][2]string{
+		{"knows", "knows"}, {"interest", "topic_interest"}, {"nick", "nick"},
+		{"weblog", "weblog"}, {"publications", "publications"}, {"account", "account"},
+	}
+	for _, p := range foafProps {
+		eas = append(eas, align.PropertyAlignment(id("foaf_"+p[0]), ecs(p[0]), foaf(p[1])))
+	}
+	// 4 level-1 alignments: one ECS class maps to an intersection or a
+	// value partition on the DBpedia side (§3.2.2's level-1 examples).
+	x := rdf.NewVar("x")
+	typ := rdf.NewIRI(rdf.RDFType)
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("phd_student"),
+		LHS: rdf.Triple{S: x, P: typ, O: rdf.NewIRI(ecs("PhDStudent"))},
+		RHS: []rdf.Triple{
+			{S: x, P: typ, O: rdf.NewIRI(dbo("Student"))},
+			{S: x, P: rdf.NewIRI(dbo("educationLevel")), O: rdf.NewLiteral("PhD")},
+		},
+	})
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("emeritus"),
+		LHS: rdf.Triple{S: x, P: typ, O: rdf.NewIRI(ecs("EmeritusProfessor"))},
+		RHS: []rdf.Triple{
+			{S: x, P: typ, O: rdf.NewIRI(dbo("Professor"))},
+			{S: x, P: rdf.NewIRI(dbo("status")), O: rdf.NewLiteral("Emeritus")},
+		},
+	})
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("journal_article"),
+		LHS: rdf.Triple{S: x, P: typ, O: rdf.NewIRI(ecs("JournalArticle"))},
+		RHS: []rdf.Triple{
+			{S: x, P: typ, O: rdf.NewIRI(dbo("Article"))},
+			{S: x, P: rdf.NewIRI(dbo("publicationType")), O: rdf.NewLiteral("journal")},
+		},
+	})
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("conference_paper"),
+		LHS: rdf.Triple{S: x, P: typ, O: rdf.NewIRI(ecs("ConferencePaper"))},
+		RHS: []rdf.Triple{
+			{S: x, P: typ, O: rdf.NewIRI(dbo("Article"))},
+			{S: x, P: rdf.NewIRI(dbo("publicationType")), O: rdf.NewLiteral("conference")},
+		},
+	})
+	// 2 structural (level 2) alignments with an intermediate node, in the
+	// creator_info style.
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("author_chain"),
+		LHS: rdf.Triple{S: rdf.NewVar("p1"), P: rdf.NewIRI(ecs("hasAuthor")), O: rdf.NewVar("a1")},
+		RHS: []rdf.Triple{
+			{S: rdf.NewVar("p2"), P: rdf.NewIRI(dbo("author")), O: rdf.NewVar("a2")},
+		},
+		FDs: []align.FD{
+			{Var: "p2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("p1"), rdf.NewLiteral(ds)}},
+			{Var: "a2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("a1"), rdf.NewLiteral(ds)}},
+		},
+	})
+	eas = append(eas, &align.EntityAlignment{
+		ID:  id("affiliation_chain"),
+		LHS: rdf.Triple{S: rdf.NewVar("x1"), P: rdf.NewIRI(ecs("inGroup")), O: rdf.NewVar("g1")},
+		RHS: []rdf.Triple{
+			{S: rdf.NewVar("x2"), P: rdf.NewIRI(dbo("memberOf")), O: rdf.NewVar("m")},
+			{S: rdf.NewVar("m"), P: rdf.NewIRI(dbo("organisation")), O: rdf.NewVar("g2")},
+		},
+		FDs: []align.FD{
+			{Var: "x2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("x1"), rdf.NewLiteral(ds)}},
+			{Var: "g2", Func: rdf.MapSameAs, Args: []rdf.Term{rdf.NewVar("g1"), rdf.NewLiteral(ds)}},
+		},
+	})
+
+	return &align.OntologyAlignment{
+		URI:              "http://ecs.soton.ac.uk/alignments/ecs2dbpedia",
+		SourceOntologies: []string{rdf.ECSNS},
+		TargetOntologies: []string{rdf.DBONS, rdf.FOAFNS},
+		Alignments:       eas,
+	}
+}
+
+// SyntheticAlignments builds n property alignments over generated
+// vocabularies, for the rewriting-scaling experiment (E10).
+func SyntheticAlignments(n int) []*align.EntityAlignment {
+	out := make([]*align.EntityAlignment, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, align.PropertyAlignment(
+			fmt.Sprintf("http://ecs.soton.ac.uk/alignments/synth#p%d", i),
+			fmt.Sprintf("http://source.example/ontology#p%d", i),
+			fmt.Sprintf("http://target.example/ontology#q%d", i),
+		))
+	}
+	return out
+}
+
+// SyntheticBGPQuery builds a SELECT over k patterns using the synthetic
+// vocabulary; pattern i uses predicate p(i mod preds).
+func SyntheticBGPQuery(k, preds int) string {
+	body := ""
+	for i := 0; i < k; i++ {
+		body += fmt.Sprintf("  ?s%d <http://source.example/ontology#p%d> ?o%d .\n", i, i%preds, i)
+	}
+	return "SELECT * WHERE {\n" + body + "}"
+}

@@ -1,0 +1,266 @@
+// Package sparqlrw is the public API of this repository: a Go
+// implementation of "SPARQL Query Rewriting for Implementing Data
+// Integration over Linked Data" (Correndo, Salvadores, Millard, Glaser,
+// Shadbolt — EDBT 2010).
+//
+// The library rewrites SPARQL queries written against a source ontology /
+// data set so they run against a target ontology / data set, using entity
+// alignments EA = ⟨LHS, RHS, FD⟩ whose functional dependencies execute at
+// rewrite time (co-reference resolution via owl:sameAs among them), and it
+// ships every substrate that system needs: an RDF data model, Turtle and
+// N-Triples parsers, an indexed triple store, a SPARQL 1.0 parser /
+// algebra / evaluator, a sameas.org-style co-reference service, SPARQL
+// protocol endpoints, a three-tier mediator with federated execution, and
+// a forward-chaining materialisation baseline.
+//
+// Quick start:
+//
+//	cs := sparqlrw.NewCorefStore()
+//	cs.Add("http://southampton.rkbexplorer.com/id/person-02686",
+//	       "http://kisti.rkbexplorer.com/id/PER_00000000105047")
+//	rw := sparqlrw.NewRewriter(
+//	    []*sparqlrw.EntityAlignment{ /* ... */ },
+//	    sparqlrw.NewFunctionRegistry(cs))
+//	q, _ := sparqlrw.ParseQuery(`SELECT ?a WHERE { ... }`)
+//	out, report, _ := rw.RewriteQuery(q)
+//	fmt.Println(sparqlrw.FormatQuery(out))
+//
+// See examples/ for runnable programs and DESIGN.md for the module map.
+package sparqlrw
+
+import (
+	"io"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/core"
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/reason"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/turtle"
+	"sparqlrw/internal/voidkb"
+)
+
+// RDF data model.
+type (
+	// Term is an RDF term or SPARQL variable.
+	Term = rdf.Term
+	// Triple is an RDF triple or triple pattern.
+	Triple = rdf.Triple
+	// Graph is an ordered collection of triples.
+	Graph = rdf.Graph
+	// PrefixMap maps prefixes to namespaces.
+	PrefixMap = rdf.PrefixMap
+)
+
+// Term constructors, re-exported from the data model.
+var (
+	NewIRI          = rdf.NewIRI
+	NewLiteral      = rdf.NewLiteral
+	NewTypedLiteral = rdf.NewTypedLiteral
+	NewLangLiteral  = rdf.NewLangLiteral
+	NewBlank        = rdf.NewBlank
+	NewVar          = rdf.NewVar
+	NewTriple       = rdf.NewTriple
+)
+
+// Query machinery.
+type (
+	// Query is a parsed SPARQL query.
+	Query = sparql.Query
+	// QueryResult is a SELECT evaluation outcome.
+	QueryResult = eval.Result
+	// Solution is one solution mapping.
+	Solution = eval.Solution
+	// Engine evaluates queries over a Store.
+	Engine = eval.Engine
+	// Store is the indexed in-memory triple store.
+	Store = store.Store
+)
+
+// ParseQuery parses a SPARQL 1.0 query (SELECT, ASK or CONSTRUCT).
+func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
+
+// FormatQuery serialises a query back to SPARQL text.
+func FormatQuery(q *Query) string { return sparql.Format(q) }
+
+// NewStore returns an empty indexed triple store.
+func NewStore() *Store { return store.New() }
+
+// NewEngine returns a query engine over a store.
+func NewEngine(st *Store) *Engine { return eval.New(st) }
+
+// ParseTurtle parses a Turtle document.
+func ParseTurtle(src string) (Graph, *PrefixMap, error) { return turtle.Parse(src) }
+
+// FormatTurtle serialises a graph as Turtle.
+func FormatTurtle(g Graph, prefixes *PrefixMap) string { return turtle.Format(g, prefixes) }
+
+// ParseNTriples parses an N-Triples document.
+func ParseNTriples(r io.Reader) (Graph, error) { return ntriples.Parse(r) }
+
+// FormatNTriples serialises a graph as N-Triples.
+func FormatNTriples(g Graph) string { return ntriples.Format(g) }
+
+// Alignment model (§3.2 of the paper).
+type (
+	// EntityAlignment is EA = ⟨LHS, RHS, FD⟩.
+	EntityAlignment = align.EntityAlignment
+	// OntologyAlignment is OA = ⟨SO, TO, TD, EA⟩.
+	OntologyAlignment = align.OntologyAlignment
+	// FD is a functional dependency var = f(args...).
+	FD = align.FD
+	// AlignmentKB stores ontology alignments with context selection.
+	AlignmentKB = align.KB
+	// AlignmentSelector describes an integration request.
+	AlignmentSelector = align.Selector
+)
+
+// Alignment constructors and codecs.
+var (
+	// NewClassAlignment builds a level-0 class correspondence.
+	NewClassAlignment = align.ClassAlignment
+	// NewPropertyAlignment builds a level-0 property correspondence.
+	NewPropertyAlignment = align.PropertyAlignment
+	// ParseAlignments loads alignments from the paper's reified Turtle.
+	ParseAlignments = align.ParseTurtle
+	// FormatAlignments serialises ontology alignments to Turtle.
+	FormatAlignments = align.FormatTurtle
+)
+
+// NewAlignmentKB returns an empty alignment knowledge base.
+func NewAlignmentKB() *AlignmentKB { return align.NewKB() }
+
+// Co-reference and functions (§3.3).
+type (
+	// CorefStore is the owl:sameAs equivalence store.
+	CorefStore = coref.Store
+	// CorefClient queries a remote co-reference REST service.
+	CorefClient = coref.Client
+	// FunctionRegistry holds data-manipulation functions keyed by IRI.
+	FunctionRegistry = funcs.Registry
+)
+
+// NewCorefStore returns an empty owl:sameAs equivalence store.
+func NewCorefStore() *CorefStore { return coref.NewStore() }
+
+// NewCorefClient returns a client for a co-reference REST service.
+func NewCorefClient(baseURL string) *CorefClient { return coref.NewClient(baseURL) }
+
+// CorefHandler serves the co-reference REST API over a store.
+var CorefHandler = coref.Handler
+
+// NewFunctionRegistry returns the standard function registry (sameas,
+// prefixSwap, unit conversions, string helpers) over a co-reference
+// source.
+func NewFunctionRegistry(src funcs.CorefSource) *FunctionRegistry {
+	return funcs.StandardRegistry(src)
+}
+
+// The rewriter (§3.3, the paper's contribution).
+type (
+	// Rewriter applies entity alignments to queries.
+	Rewriter = core.Rewriter
+	// RewriteReport carries rewrite diagnostics.
+	RewriteReport = core.Report
+	// RewriteOptions configure matching, FD failure and FILTER handling.
+	RewriteOptions = core.Options
+)
+
+// FD failure policies and match modes.
+const (
+	KeepOriginal  = core.KeepOriginal
+	SkipAlignment = core.SkipAlignment
+	FailRewrite   = core.Fail
+	FirstMatch    = core.FirstMatch
+	AllMatches    = core.AllMatches
+	// UnionMatches expands multiply-matched triples into SPARQL UNION
+	// branches (closing the paper's §3.2.2 owl:unionOf gap).
+	UnionMatches = core.UnionMatches
+)
+
+// NewRewriter returns a rewriter over the given alignments and functions.
+func NewRewriter(alignments []*EntityAlignment, registry *FunctionRegistry) *Rewriter {
+	return core.New(alignments, registry)
+}
+
+// ChainStage is one hop of a peer-to-peer rewriting chain (§3 of the
+// paper: queries "can be rewritten multiple times, depending on where the
+// query will be executed").
+type ChainStage = core.Stage
+
+// ChainReport collects per-hop rewrite reports.
+type ChainReport = core.ChainReport
+
+// RewriteChain composes rewriters A→B→…→Z over a query.
+func RewriteChain(q *Query, stages []ChainStage) (*Query, *ChainReport, error) {
+	return core.RewriteChain(q, stages)
+}
+
+// ConstructQuery compiles an entity alignment into a data-translating
+// CONSTRUCT query (the §2 Euzenat-style path); see core.ConstructQuery
+// for the functional-dependency caveat.
+func ConstructQuery(ea *EntityAlignment, allowFDLoss bool) (*Query, error) {
+	return core.ConstructQuery(ea, allowFDLoss)
+}
+
+// TranslateData materialises target-vocabulary data into the source
+// vocabulary by running compiled CONSTRUCT queries.
+func TranslateData(data *Store, eas []*EntityAlignment, allowFDLoss bool) (Graph, []string, error) {
+	return core.TranslateData(data, eas, allowFDLoss)
+}
+
+// Federation (Figure 5).
+type (
+	// Dataset is a voiD data set description.
+	Dataset = voidkb.Dataset
+	// DatasetKB is the voiD knowledge base.
+	DatasetKB = voidkb.KB
+	// Mediator is the three-tier integration service.
+	Mediator = mediate.Mediator
+	// EndpointServer serves a store over the SPARQL protocol.
+	EndpointServer = endpoint.Server
+	// EndpointClient queries remote SPARQL endpoints.
+	EndpointClient = endpoint.Client
+)
+
+// NewDatasetKB returns an empty voiD knowledge base.
+func NewDatasetKB() *DatasetKB { return voidkb.NewKB() }
+
+// NewMediator wires data set KB, alignment KB and co-reference source.
+func NewMediator(datasets *DatasetKB, alignments *AlignmentKB, corefSrc funcs.CorefSource) *Mediator {
+	return mediate.New(datasets, alignments, corefSrc)
+}
+
+// MediatorHandler serves the mediator REST API and web UI.
+var MediatorHandler = mediate.Handler
+
+// NewEndpointServer wraps a store as a SPARQL protocol endpoint.
+func NewEndpointServer(name string, st *Store) *EndpointServer {
+	return endpoint.NewServer(name, st)
+}
+
+// NewEndpointClient returns a SPARQL protocol client.
+func NewEndpointClient() *EndpointClient { return endpoint.NewClient() }
+
+// Materialisation baseline (the reasoning-based integration the paper
+// argues does not scale).
+type (
+	// Materialiser forward-chains alignments over data.
+	Materialiser = reason.Materialiser
+	// MaterialiseOptions configure the materialiser.
+	MaterialiseOptions = reason.Options
+	// MaterialiseResult reports a materialisation run.
+	MaterialiseResult = reason.Result
+)
+
+// NewMaterialiser returns a forward-chaining materialiser.
+func NewMaterialiser(alignments []*EntityAlignment, corefStore *CorefStore, opts MaterialiseOptions) *Materialiser {
+	return reason.New(alignments, corefStore, opts)
+}
