@@ -1,0 +1,19 @@
+# Tier-1 verification in one command: `make test` runs vet plus the full
+# suite under the race detector; `make build` compiles everything;
+# `make bench` regenerates the benchmark tables.
+
+GO ?= go
+
+.PHONY: build test bench vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

@@ -7,14 +7,17 @@ package sparqlrw
 
 import (
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/core"
 	"sparqlrw/internal/coref"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/mediate"
 	"sparqlrw/internal/rdf"
@@ -135,6 +138,72 @@ func BenchmarkE6_FederatedRecall(b *testing.B) {
 		if len(fed.Solutions) < len(so.Solutions) {
 			b.Fatal("federation lost answers")
 		}
+	}
+}
+
+// BenchmarkFederation_SequentialVsConcurrent — the federation executor's
+// concurrent fan-out against a sequential baseline (worker pool of 1)
+// over four simulated endpoints, each with injected network latency: the
+// regime the paper's deployed architecture runs in, where querying all
+// repositories sequentially pays every endpoint's round trip in series.
+func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
+	const injectedLatency = 2 * time.Millisecond
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	slow := func(name string, st *store.Store) *httptest.Server {
+		h := endpoint.NewServer(name, st)
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(injectedLatency)
+			h.ServeHTTP(w, r)
+		}))
+	}
+	soton := slow("southampton", u.Southampton)
+	b.Cleanup(soton.Close)
+	kisti := slow("kisti", u.KISTI)
+	b.Cleanup(kisti.Close)
+	mirror1 := slow("mirror1", u.Southampton)
+	b.Cleanup(mirror1.Close)
+	mirror2 := slow("mirror2", u.Southampton)
+	b.Cleanup(mirror2.Close)
+
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.KistiVoidURI, SPARQLEndpoint: kisti.URL,
+		URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: "http://mirror1.example/void", SPARQLEndpoint: mirror1.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: "http://mirror2.example/void", SPARQLEndpoint: mirror2.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	alignKB := align.NewKB()
+	_ = alignKB.Add(workload.AKT2KISTI())
+	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI,
+		"http://mirror1.example/void", "http://mirror2.example/void"}
+
+	for _, mode := range []struct {
+		name        string
+		concurrency int
+	}{{"Sequential", 1}, {"Concurrent", 8}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mediate.New(dsKB, alignKB, u.Coref)
+			m.RewriteFilters = true
+			m.ConfigureFederation(federate.Options{Concurrency: mode.concurrency})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := workload.Figure1Query(i % 50)
+				fr, err := m.FederatedSelect(q, rdf.AKTNS, targets)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, da := range fr.PerDataset {
+					if da.Err != nil {
+						b.Fatal(da.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

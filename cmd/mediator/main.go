@@ -3,14 +3,37 @@
 // sets: two SPARQL protocol endpoints, a sameas.org-style co-reference
 // service, and the mediator with its REST API and web UI.
 //
-// Usage:
+// # Federation pipeline
+//
+// Federated queries (/api/query) run through internal/federate: each
+// target data set's sub-query is planned (rewritten for the target
+// vocabulary, served from an LRU plan cache with singleflight
+// deduplication), dispatched by a bounded worker pool with a per-attempt
+// deadline, retry-with-backoff and a per-endpoint circuit breaker, and
+// the answers are streamed into a canonicalising owl:sameAs merge. The
+// knobs:
+//
+//	-concurrency N   worker-pool bound for the fan-out (default 8)
+//	-timeout D       per-endpoint attempt deadline (default 10s)
+//	-retries N       retries after a failed attempt (default 1)
+//	-cache N         rewrite-plan LRU capacity; 0 disables (default 256)
+//	-failfast        cancel the fan-out on the first endpoint error
+//	                 instead of returning best-effort partial results
+//
+// GET /api/stats reports per-endpoint latency, retries and breaker state
+// plus the plan-cache hit rate.
+//
+// # Usage
 //
 //	mediator [-addr :8080] [-persons 100] [-papers 300] [-filters]
+//	         [-concurrency 8] [-timeout 10s] [-retries 1] [-cache 256]
+//	         [-failfast]
 //
 // Then open http://localhost:8080/ for the Figure-4-style UI, or use the
 // REST API:
 //
 //	curl -s localhost:8080/api/datasets
+//	curl -s localhost:8080/api/stats
 //	curl -s -X POST localhost:8080/api/rewrite \
 //	     -d '{"query":"...", "target":"http://kisti.rkbexplorer.com/id/void"}'
 package main
@@ -21,10 +44,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/coref"
 	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/federate"
 	"sparqlrw/internal/mediate"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/voidkb"
@@ -44,6 +69,11 @@ func run() error {
 	papers := flag.Int("papers", 300, "generated Southampton papers")
 	filters := flag.Bool("filters", true, "enable the §4 FILTER-rewriting extension")
 	seed := flag.Int64("seed", 42, "workload seed")
+	concurrency := flag.Int("concurrency", 8, "federation worker-pool bound")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-endpoint attempt deadline")
+	retries := flag.Int("retries", 1, "retries after a failed endpoint attempt")
+	cacheSize := flag.Int("cache", 256, "rewrite-plan cache capacity (0 disables)")
+	failFast := flag.Bool("failfast", false, "cancel federated queries on the first endpoint error")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig()
@@ -106,6 +136,23 @@ func run() error {
 	// exactly as the paper wraps sameas.org.
 	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL))
 	m.RewriteFilters = *filters
+	fedRetries := *retries
+	if fedRetries == 0 {
+		fedRetries = -1 // federate.Options treats 0 as "default"; -1 means none
+	}
+	fedCache := *cacheSize
+	if fedCache == 0 {
+		fedCache = -1
+	}
+	m.ConfigureFederation(federate.Options{
+		Concurrency:     *concurrency,
+		EndpointTimeout: *timeout,
+		MaxRetries:      fedRetries,
+		CacheSize:       fedCache,
+		FailFast:        *failFast,
+	})
+	fmt.Printf("federation: concurrency=%d timeout=%s retries=%d cache=%d failfast=%v\n",
+		*concurrency, *timeout, *retries, *cacheSize, *failFast)
 
 	fmt.Printf("mediator UI:          http://localhost%s/\n", *addr)
 	fmt.Printf("example:\n  curl -s -X POST localhost%s/api/rewrite -d '{\"query\":%q,\"target\":%q}'\n",

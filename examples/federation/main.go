@@ -3,6 +3,13 @@
 // sameas.org-style co-reference REST service, and the mediator; then
 // drives the mediator's REST API exactly as the paper's GWT UI does:
 // translate a query for a chosen data set, run it everywhere, merge.
+//
+// It then registers a third, broken repository and queries again: the
+// executor's retries fail, its circuit breaker opens, and subsequent
+// federated queries skip the dead endpoint without dispatching to it —
+// while the healthy repositories keep answering (best-effort partial
+// results). /api/stats shows the breaker state and the rewrite-plan
+// cache hits accumulated along the way.
 package main
 
 import (
@@ -12,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"sparqlrw"
 	"sparqlrw/internal/rdf"
@@ -51,6 +59,12 @@ func main() {
 	// the paper wraps sameas.org.
 	mediator := sparqlrw.NewMediator(dsKB, alignKB, sparqlrw.NewCorefClient(sameas.URL))
 	mediator.RewriteFilters = true
+	mediator.ConfigureFederation(sparqlrw.FederationOptions{
+		EndpointTimeout: 2 * time.Second,
+		RetryBackoff:    5 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: time.Minute,
+	})
 	api := httptest.NewServer(sparqlrw.MediatorHandler(mediator))
 	defer api.Close()
 	fmt.Printf("mediator UI/API: %s\n\n", api.URL)
@@ -87,8 +101,68 @@ func main() {
 	for _, pd := range queryResp.PerDataset {
 		fmt.Printf("  %-45s %d raw answers\n", pd.Dataset, pd.Solutions)
 	}
-	fmt.Printf("  merged: %d distinct co-authors (%d duplicates collapsed by owl:sameAs)\n",
+	fmt.Printf("  merged: %d distinct co-authors (%d duplicates collapsed by owl:sameAs)\n\n",
 		len(queryResp.Rows), queryResp.Duplicates)
+
+	// Register a broken repository and watch the circuit breaker shield
+	// the fan-out: after three consecutive failures (each retried once)
+	// the breaker opens and later queries skip the endpoint entirely.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "simulated outage", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	must(dsKB.Add(&sparqlrw.Dataset{
+		URI: "http://broken.example/void", Title: "Broken mirror",
+		SPARQLEndpoint: broken.URL, URISpace: `http://broken\.example/\S*`,
+		Vocabularies: []string{rdf.AKTNS},
+	}))
+	allTargets := []string{workload.SotonVoidURI, workload.KistiVoidURI, "http://broken.example/void"}
+	fmt.Println("=== broken repository joins the federation ===")
+	for round := 1; round <= 4; round++ {
+		queryReq, _ = json.Marshal(map[string]any{"query": queryText, "targets": allTargets})
+		var resp struct {
+			Rows       []map[string]string `json:"rows"`
+			Partial    bool                `json:"partial"`
+			PerDataset []struct {
+				Dataset  string `json:"dataset"`
+				Attempts int    `json:"attempts"`
+				Error    string `json:"error"`
+			} `json:"perDataset"`
+		}
+		postJSON(api.URL+"/api/query", queryReq, &resp)
+		for _, pd := range resp.PerDataset {
+			if pd.Dataset != "http://broken.example/void" {
+				continue
+			}
+			fmt.Printf("  round %d: partial=%v broken attempts=%d error=%q\n",
+				round, resp.Partial, pd.Attempts, pd.Error)
+		}
+		if len(resp.Rows) == 0 {
+			log.Fatal("healthy repositories stopped answering")
+		}
+	}
+
+	// The executor's health snapshot: breaker states, retries, cache.
+	var stats sparqlrw.FederationStats
+	getJSON(api.URL+"/api/stats", &stats)
+	fmt.Println("\n=== /api/stats ===")
+	for _, es := range stats.Endpoints {
+		fmt.Printf("  %-25s breaker=%-9s requests=%d failures=%d retries=%d rejected=%d\n",
+			es.Endpoint, es.Breaker, es.Requests, es.Failures, es.Retries, es.Rejected)
+	}
+	fmt.Printf("  rewrite-plan cache: %d hits, %d misses (hit rate %.0f%%)\n",
+		stats.CacheHits, stats.CacheMisses, 100*stats.CacheHitRate)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func postJSON(url string, body []byte, out any) {

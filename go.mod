@@ -1,0 +1,3 @@
+module sparqlrw
+
+go 1.24

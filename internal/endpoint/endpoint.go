@@ -5,6 +5,7 @@
 package endpoint
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -122,14 +123,43 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient returns a client with a sane timeout.
+// sharedTransport is the one transport every endpoint.Client shares: the
+// mediator fans a query out to many repositories concurrently and on
+// every request, so connections must be pooled and kept alive rather
+// than re-dialled per call (and per-endpoint limits must not be the Go
+// defaults of 2 idle connections per host). Only the transport is shared
+// — each Client owns its http.Client, so mutating one client's fields
+// cannot affect another's.
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        128,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+	ForceAttemptHTTP2:   true,
+}
+
+// defaultTimeout bounds requests whose context carries no deadline (the
+// non-context Select/Ask/Construct paths). It is applied per request in
+// post rather than as http.Client.Timeout, which would silently cap
+// caller-supplied context deadlines.
+const defaultTimeout = 30 * time.Second
+
+// NewClient returns a client backed by the shared pooled transport.
+// Callers needing different behaviour may replace HTTP, or pass
+// per-request deadlines via the *Context methods.
 func NewClient() *Client {
-	return &Client{HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{HTTP: &http.Client{Transport: sharedTransport}}
 }
 
 // Select runs a SELECT query at the endpoint URL.
 func (c *Client) Select(endpointURL, queryText string) (*eval.Result, error) {
-	body, err := c.post(endpointURL, queryText)
+	return c.SelectContext(context.Background(), endpointURL, queryText)
+}
+
+// SelectContext runs a SELECT query, honouring ctx's cancellation and
+// deadline.
+func (c *Client) SelectContext(ctx context.Context, endpointURL, queryText string) (*eval.Result, error) {
+	body, err := c.post(ctx, endpointURL, queryText)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +175,12 @@ func (c *Client) Select(endpointURL, queryText string) (*eval.Result, error) {
 
 // Ask runs an ASK query at the endpoint URL.
 func (c *Client) Ask(endpointURL, queryText string) (bool, error) {
-	body, err := c.post(endpointURL, queryText)
+	return c.AskContext(context.Background(), endpointURL, queryText)
+}
+
+// AskContext runs an ASK query, honouring ctx's cancellation and deadline.
+func (c *Client) AskContext(ctx context.Context, endpointURL, queryText string) (bool, error) {
+	body, err := c.post(ctx, endpointURL, queryText)
 	if err != nil {
 		return false, err
 	}
@@ -161,16 +196,33 @@ func (c *Client) Ask(endpointURL, queryText string) (bool, error) {
 
 // Construct runs a CONSTRUCT query and parses the returned N-Triples.
 func (c *Client) Construct(endpointURL, queryText string) (rdf.Graph, error) {
-	body, err := c.post(endpointURL, queryText)
+	return c.ConstructContext(context.Background(), endpointURL, queryText)
+}
+
+// ConstructContext runs a CONSTRUCT query, honouring ctx's cancellation
+// and deadline.
+func (c *Client) ConstructContext(ctx context.Context, endpointURL, queryText string) (rdf.Graph, error) {
+	body, err := c.post(ctx, endpointURL, queryText)
 	if err != nil {
 		return nil, err
 	}
 	return ntriples.ParseString(string(body))
 }
 
-func (c *Client) post(endpointURL, queryText string) ([]byte, error) {
+func (c *Client) post(ctx context.Context, endpointURL, queryText string) ([]byte, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, defaultTimeout)
+		defer cancel()
+	}
 	form := url.Values{"query": {queryText}}
-	resp, err := c.HTTP.PostForm(endpointURL, form)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpointURL,
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: %w", err)
 	}

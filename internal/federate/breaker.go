@@ -1,0 +1,128 @@
+package federate
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is wrapped into a DatasetAnswer.Err when the endpoint's
+// circuit breaker rejects a request without dispatching it.
+var ErrCircuitOpen = errors.New("federate: circuit breaker open")
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed lets all requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-endpoint circuit breaker: after `threshold` consecutive
+// failures it opens and rejects requests for `cooldown`, then allows a
+// single half-open probe whose outcome closes or re-opens the circuit.
+// It is safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	now       func() time.Time
+}
+
+// NewBreaker returns a closed breaker. threshold must be >= 1.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be dispatched now. In the open
+// state it flips to half-open once the cooldown has elapsed, admitting
+// exactly one probe; further calls are rejected until the probe reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		// A probe is already in flight; hold everyone else back.
+		return false
+	}
+	return false
+}
+
+// Success reports a successful request, closing the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure reports a failed request. In the closed state it counts toward
+// the threshold; a failed half-open probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen, BreakerOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// Cancel reports that an admitted request was abandoned without a
+// verdict on the endpoint (parent cancellation). A half-open probe
+// returns the breaker to open — keeping the original openedAt, so the
+// already-elapsed cooldown re-admits the next probe immediately — and
+// the closed state is left untouched.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+	}
+}
+
+// State returns the current state (open flips to half-open lazily in
+// Allow, so a cooled-down breaker still reports open until probed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,120 @@
+package federate
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() || b.State() != BreakerClosed {
+			t.Fatalf("breaker tripped early after %d failures", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("breaker must open at the threshold and reject")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures must not open the breaker")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	b.Allow() // probe
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe must close the circuit")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	b.Allow() // probe
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe must re-open the circuit")
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker must cool down again")
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	clk.advance(time.Minute)
+	b.Allow() // probe admitted
+	b.Cancel()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after cancelled probe", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cancelled probe must not wedge the breaker: next probe must be admitted")
+	}
+}
+
+func TestBreakerCancelNoopWhenClosed(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Minute)
+	b.Failure()
+	b.Cancel()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("Cancel must not affect a closed breaker")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", state, got, want)
+		}
+	}
+}

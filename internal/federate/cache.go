@@ -1,0 +1,124 @@
+package federate
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is an LRU cache of rewrite plans (rewritten query text) keyed
+// by (query, source ontology, target dataset), with singleflight-style
+// deduplication: concurrent requests for the same missing key compute the
+// rewrite once and share the result. A nil *PlanCache is a valid no-op
+// cache (every Do computes).
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *planEntry
+	flights  map[string]*flight
+	hits     uint64 // includes singleflight waiters: they avoided a rewrite
+	misses   uint64
+}
+
+type planEntry struct {
+	key, value string
+}
+
+type flight struct {
+	done chan struct{}
+	val  string
+	err  error
+}
+
+// NewPlanCache returns a cache holding at most capacity plans; capacity
+// <= 0 returns nil (caching disabled).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// PlanKey builds the cache key for a rewrite request.
+func PlanKey(query, sourceOnt, dataset string) string {
+	return query + "\x00" + sourceOnt + "\x00" + dataset
+}
+
+// Do returns the cached plan for key, or computes it with compute,
+// deduplicating concurrent computations of the same key. cached reports
+// whether the value was served without running compute in this goroutine.
+// Errors are not cached: a failed compute leaves the key absent.
+func (c *PlanCache) Do(key string, compute func() (string, error)) (val string, cached bool, err error) {
+	if c == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if elem, ok := c.items[key]; ok {
+		c.ll.MoveToFront(elem)
+		c.hits++
+		c.mu.Unlock()
+		return elem.Value.(*planEntry).value, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.insertLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+func (c *PlanCache) insertLocked(key, value string) {
+	if elem, ok := c.items[key]; ok {
+		c.ll.MoveToFront(elem)
+		elem.Value.(*planEntry).value = value
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, value: value})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Metrics returns the cumulative hit/miss counters (singleflight waiters
+// count as hits).
+func (c *PlanCache) Metrics() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

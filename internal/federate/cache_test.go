@@ -1,0 +1,154 @@
+package federate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustDo(t *testing.T, c *PlanCache, key, val string) (string, bool) {
+	t.Helper()
+	got, cached, err := c.Do(key, func() (string, error) { return val, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, cached
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewPlanCache(4)
+	if got, cached := mustDo(t, c, "k1", "v1"); got != "v1" || cached {
+		t.Fatalf("first Do = %q cached=%v", got, cached)
+	}
+	// Second Do must not run compute.
+	got, cached, err := c.Do("k1", func() (string, error) {
+		t.Fatal("compute ran on a cache hit")
+		return "", nil
+	})
+	if err != nil || got != "v1" || !cached {
+		t.Fatalf("hit = %q cached=%v err=%v", got, cached, err)
+	}
+	if hits, misses := c.Metrics(); hits != 1 || misses != 1 {
+		t.Fatalf("metrics = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	mustDo(t, c, "k1", "v1")
+	mustDo(t, c, "k2", "v2")
+	mustDo(t, c, "k1", "ignored") // touch k1: k2 becomes the LRU entry
+	mustDo(t, c, "k3", "v3")      // evicts k2
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, cached := mustDo(t, c, "k1", "recomputed1"); !cached {
+		t.Fatal("k1 evicted despite being recently used")
+	}
+	if _, cached := mustDo(t, c, "k2", "recomputed2"); cached {
+		t.Fatal("k2 not evicted")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewPlanCache(4)
+	if _, _, err := c.Do("k", func() (string, error) { return "", errors.New("boom") }); err == nil {
+		t.Fatal("error lost")
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	if got, cached := mustDo(t, c, "k", "v"); got != "v" || cached {
+		t.Fatal("key poisoned by earlier error")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewPlanCache(4)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := c.Do("k", func() (string, error) {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return "v", nil
+			})
+			if err != nil || got != "v" {
+				t.Errorf("Do = %q %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	hits, misses := c.Metrics()
+	if misses != 1 || hits != 15 {
+		t.Fatalf("metrics = %d hits / %d misses, want 15/1", hits, misses)
+	}
+}
+
+func TestCacheDistinctKeysComputeIndependently(t *testing.T) {
+	c := NewPlanCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, _ := mustDoConc(c, key, key+"-v"); got != key+"-v" {
+				t.Errorf("Do(%s) = %q", key, got)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8", c.Len())
+	}
+}
+
+func mustDoConc(c *PlanCache, key, val string) (string, bool) {
+	got, cached, _ := c.Do(key, func() (string, error) { return val, nil })
+	return got, cached
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *PlanCache // = NewPlanCache(0)
+	if NewPlanCache(0) != nil || NewPlanCache(-1) != nil {
+		t.Fatal("non-positive capacity must disable the cache")
+	}
+	calls := 0
+	for i := 0; i < 3; i++ {
+		got, cached, err := c.Do("k", func() (string, error) { calls++; return "v", nil })
+		if err != nil || got != "v" || cached {
+			t.Fatalf("nil cache Do = %q cached=%v err=%v", got, cached, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("nil cache memoised: %d calls", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+	if h, m := c.Metrics(); h != 0 || m != 0 {
+		t.Fatal("nil cache metrics not zero")
+	}
+}
+
+func TestPlanKeyDistinguishesComponents(t *testing.T) {
+	keys := map[string]bool{
+		PlanKey("q", "s", "t"):     true,
+		PlanKey("q", "st", ""):     true,
+		PlanKey("", "qs", "t"):     true,
+		PlanKey("q\x00s", "", "t"): true,
+	}
+	if len(keys) != 4 {
+		t.Fatalf("key collisions: %v", keys)
+	}
+}

@@ -1,0 +1,381 @@
+// Package federate owns federated SPARQL query execution for the
+// mediator: the paper's "query all the available repositories" fan-out
+// (Figures 4–5), grown from a sequential loop into a concurrent executor.
+//
+// The pipeline per request is:
+//
+//	plan    — per-target rewrite, served from an LRU plan cache with
+//	          singleflight deduplication so concurrent identical
+//	          requests rewrite once;
+//	dispatch — a bounded worker pool sends each sub-query to its
+//	          endpoint with a per-attempt deadline, retry-with-backoff,
+//	          and a per-endpoint circuit breaker so one dead repository
+//	          cannot stall or poison the whole fan-out;
+//	merge   — workers stream solutions over a channel into a single
+//	          canonicalising deduplicator that memoises owl:sameAs
+//	          representative lookups per run.
+//
+// The partial-result policy is configurable: best-effort (default)
+// returns whatever the healthy endpoints answered and marks the result
+// Partial; fail-fast cancels the fan-out on the first endpoint error.
+// Stats() exposes per-endpoint latency, retries, breaker state and the
+// plan-cache hit rate.
+package federate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+)
+
+// SelectClient executes a SELECT query against a remote endpoint.
+// *endpoint.Client satisfies it.
+type SelectClient interface {
+	SelectContext(ctx context.Context, endpointURL, queryText string) (*eval.Result, error)
+}
+
+// RewriteFunc translates queryText (written against sourceOnt) for the
+// given target dataset and returns the rewritten query text.
+type RewriteFunc func(queryText, sourceOnt, dataset string) (string, error)
+
+// Options tune the executor. The zero value selects sane defaults.
+type Options struct {
+	// Concurrency bounds the worker pool (default 8).
+	Concurrency int
+	// EndpointTimeout is the per-attempt deadline (default 10s).
+	EndpointTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is re-dispatched
+	// (default 1; set to -1 for zero retries).
+	MaxRetries int
+	// RetryBackoff is the pause before the first retry, doubled per
+	// subsequent retry (default 50ms).
+	RetryBackoff time.Duration
+	// FailFast cancels the whole fan-out on the first endpoint error
+	// instead of returning a best-effort partial result.
+	FailFast bool
+	// BreakerFailures is how many consecutive failures open an
+	// endpoint's circuit (default 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit rejects requests
+	// before admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// CacheSize is the rewrite-plan LRU capacity (default 256; set to
+	// -1 to disable caching).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.EndpointTimeout <= 0 {
+		o.EndpointTimeout = 10 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 1
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.BreakerFailures <= 0 {
+		o.BreakerFailures = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	return o
+}
+
+// Target is one repository a federated query fans out to.
+type Target struct {
+	// Dataset is the data set URI (the diagnostic label).
+	Dataset string
+	// Endpoint is the SPARQL endpoint URL.
+	Endpoint string
+	// NeedsRewrite says the query must be translated for this data set
+	// (its vocabulary differs from the query's source ontology).
+	NeedsRewrite bool
+}
+
+// Request is one federated SELECT.
+type Request struct {
+	Query     string
+	SourceOnt string
+	// Vars are the query's projection variables, copied into the result.
+	Vars    []string
+	Targets []Target
+}
+
+// DatasetAnswer is one data set's contribution to a federated query.
+type DatasetAnswer struct {
+	Dataset string
+	// Query is the text actually sent to the endpoint (rewritten when
+	// the data set's vocabulary differs).
+	Query     string
+	Solutions int
+	// Attempts is how many dispatches the answer took (1 = no retry;
+	// 0 = never dispatched, e.g. rewrite failure or open breaker).
+	Attempts int
+	// Latency is the wall time from first dispatch to final outcome.
+	Latency time.Duration
+	Err     error
+}
+
+// Result merges the answers of all targeted data sets.
+type Result struct {
+	Vars      []string
+	Solutions []eval.Solution
+	// PerDataset reports each data set's raw contribution, before the
+	// co-reference merge, in target order.
+	PerDataset []DatasetAnswer
+	// Duplicates is the number of solutions dropped by the co-reference
+	// merge (the redundancy the paper says the repositories carry).
+	Duplicates int
+	// Partial is true when at least one data set failed while others
+	// answered (only under the best-effort policy).
+	Partial bool
+}
+
+// Executor runs federated queries. It is safe for concurrent use; its
+// breakers, counters and plan cache accumulate across requests.
+type Executor struct {
+	client  SelectClient
+	rewrite RewriteFunc
+	coref   funcs.CorefSource
+	opts    Options
+	cache   *PlanCache
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+	counters map[string]*endpointCounters
+}
+
+// NewExecutor builds an executor. rewrite may be nil when no target ever
+// needs rewriting; coref may be nil to disable owl:sameAs smushing.
+func NewExecutor(client SelectClient, rewrite RewriteFunc, coref funcs.CorefSource, opts Options) *Executor {
+	opts = opts.withDefaults()
+	return &Executor{
+		client:   client,
+		rewrite:  rewrite,
+		coref:    coref,
+		opts:     opts,
+		cache:    NewPlanCache(opts.CacheSize),
+		breakers: make(map[string]*Breaker),
+		counters: make(map[string]*endpointCounters),
+	}
+}
+
+// Options returns the executor's effective (defaulted) options.
+func (e *Executor) Options() Options { return e.opts }
+
+// Select fans the request out to every target concurrently and merges
+// the answers. Under the best-effort policy endpoint failures are
+// reported per data set and never fail the call; under fail-fast the
+// first failure cancels the remaining work and is returned as the error
+// alongside the partial result.
+func (e *Executor) Select(ctx context.Context, req Request) (*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	m := newMerger(e.coref)
+	solCh := make(chan eval.Solution, 64)
+	mergeDone := make(chan struct{})
+	go m.run(solCh, mergeDone)
+
+	answers := make([]DatasetAnswer, len(req.Targets))
+	sem := make(chan struct{}, e.opts.Concurrency)
+	var (
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		firstErr error
+	)
+	for i, t := range req.Targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			answers[i] = e.queryTarget(ctx, req, t, solCh, sem)
+			if answers[i].Err != nil && e.opts.FailFast {
+				failMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("federate: %s: %w", t.Dataset, answers[i].Err)
+					cancel()
+				}
+				failMu.Unlock()
+			}
+		}(i, t)
+	}
+	wg.Wait()
+	close(solCh)
+	<-mergeDone
+
+	res := &Result{
+		Vars:       req.Vars,
+		Solutions:  m.solutions,
+		PerDataset: answers,
+		Duplicates: m.duplicates,
+	}
+	var failed, ok int
+	for _, a := range answers {
+		if a.Err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	res.Partial = failed > 0 && ok > 0
+	eval.SortSolutions(res.Solutions)
+	if e.opts.FailFast && firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// queryTarget runs one target's sub-query: plan (cached rewrite), then
+// dispatch with retries under the endpoint's breaker, streaming solutions
+// into solCh. sem is the worker-pool semaphore: a slot is held only for
+// the duration of each dispatch attempt, not across backoff sleeps, so
+// retrying workers don't starve queued healthy targets.
+func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh chan<- eval.Solution, sem chan struct{}) (da DatasetAnswer) {
+	da = DatasetAnswer{Dataset: t.Dataset, Query: req.Query}
+	if t.NeedsRewrite {
+		if e.rewrite == nil {
+			da.Err = fmt.Errorf("federate: %s needs rewriting but no rewriter is configured", t.Dataset)
+			return da
+		}
+		q, _, err := e.cache.Do(PlanKey(req.Query, req.SourceOnt, t.Dataset), func() (string, error) {
+			return e.rewrite(req.Query, req.SourceOnt, t.Dataset)
+		})
+		if err != nil {
+			da.Err = err
+			return da
+		}
+		da.Query = q
+	}
+
+	br := e.breaker(t.Endpoint)
+	start := time.Now()
+	defer func() { da.Latency = time.Since(start) }()
+	for attempt := 0; attempt <= e.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.record(t.Endpoint, func(c *endpointCounters) { c.retries++ })
+			if !sleepCtx(ctx, e.opts.RetryBackoff<<(attempt-1)) {
+				da.Err = ctx.Err()
+				return da
+			}
+		}
+		if done := e.attempt(ctx, br, t, attempt, &da, solCh, sem); done {
+			return da
+		}
+	}
+	return da
+}
+
+// attempt performs one dispatch under a worker-pool slot. It reports
+// whether the target is finished (success, terminal error, or
+// cancellation); false means "retry if the budget allows".
+func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt int, da *DatasetAnswer, solCh chan<- eval.Solution, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	case <-ctx.Done():
+		da.Err = ctx.Err()
+		return true
+	}
+	// The breaker check sits inside the slot, right before the dispatch,
+	// so that an admitted half-open probe always reaches the dispatch and
+	// reports Success or Failure — abandoning a probe would wedge the
+	// breaker in half-open, rejecting the endpoint forever.
+	if !br.Allow() {
+		e.record(t.Endpoint, func(c *endpointCounters) { c.rejected++ })
+		if da.Err == nil {
+			da.Err = fmt.Errorf("%w: %s", ErrCircuitOpen, t.Endpoint)
+		}
+		return true
+	}
+	da.Attempts = attempt + 1
+	attemptCtx, cancel := context.WithTimeout(ctx, e.opts.EndpointTimeout)
+	t0 := time.Now()
+	res, err := e.client.SelectContext(attemptCtx, t.Endpoint, da.Query)
+	cancel()
+	lat := time.Since(t0)
+	if err == nil {
+		br.Success()
+		e.record(t.Endpoint, func(c *endpointCounters) {
+			c.requests++
+			c.successes++
+			c.totalLat += lat
+		})
+		da.Err = nil // a successful retry supersedes earlier failures
+		da.Solutions = len(res.Solutions)
+		for _, sol := range res.Solutions {
+			select {
+			case solCh <- sol:
+			case <-ctx.Done():
+				da.Err = ctx.Err()
+				return true
+			}
+		}
+		return true
+	}
+	if ctx.Err() != nil {
+		// The parent was cancelled (fail-fast abort, client disconnect):
+		// the endpoint is not at fault, so neither the breaker nor the
+		// failure counters blame it. Cancel releases a half-open probe
+		// so the breaker cannot wedge waiting for its verdict.
+		br.Cancel()
+		da.Err = err
+		return true
+	}
+	br.Failure()
+	e.record(t.Endpoint, func(c *endpointCounters) {
+		c.requests++
+		c.failures++
+		c.totalLat += lat
+	})
+	da.Err = err
+	return false
+}
+
+func (e *Executor) breaker(endpointURL string) *Breaker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.breakers[endpointURL]
+	if !ok {
+		b = NewBreaker(e.opts.BreakerFailures, e.opts.BreakerCooldown)
+		e.breakers[endpointURL] = b
+	}
+	return b
+}
+
+func (e *Executor) record(endpointURL string, f func(*endpointCounters)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.counters[endpointURL]
+	if !ok {
+		c = &endpointCounters{}
+		e.counters[endpointURL] = c
+	}
+	f(c)
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

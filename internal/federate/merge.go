@@ -1,0 +1,79 @@
+package federate
+
+import (
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/rdf"
+)
+
+// merger is the streaming merge stage: workers feed raw solutions in,
+// the merger canonicalises every IRI binding to the deterministic
+// representative of its owl:sameAs class and drops duplicates. One merger
+// serves one federated run; it is driven by a single goroutine, so the
+// per-run memo maps need no locking.
+type merger struct {
+	coref      funcs.CorefSource
+	reps       map[string]string // IRI -> class representative, memoised per run
+	seen       map[string]bool
+	solutions  []eval.Solution
+	duplicates int
+}
+
+func newMerger(coref funcs.CorefSource) *merger {
+	return &merger{
+		coref: coref,
+		reps:  make(map[string]string),
+		seen:  make(map[string]bool),
+	}
+}
+
+// run consumes solutions until the channel is closed.
+func (m *merger) run(ch <-chan eval.Solution, done chan<- struct{}) {
+	for sol := range ch {
+		m.add(sol)
+	}
+	close(done)
+}
+
+func (m *merger) add(sol eval.Solution) {
+	canon := m.canonicalise(sol)
+	key := canon.Key()
+	if m.seen[key] {
+		m.duplicates++
+		return
+	}
+	m.seen[key] = true
+	m.solutions = append(m.solutions, canon)
+}
+
+// canonicalise maps every IRI binding to the representative of its
+// owl:sameAs class, so the same entity coming from two URI spaces merges.
+func (m *merger) canonicalise(sol eval.Solution) eval.Solution {
+	out := make(eval.Solution, len(sol))
+	for k, v := range sol {
+		if v.IsIRI() && m.coref != nil {
+			if rep := m.rep(v.Value); rep != v.Value {
+				v = rdf.NewIRI(rep)
+			}
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// rep returns the deterministic (lexicographically smallest) member of
+// uri's equivalence class, memoised so each distinct IRI costs one coref
+// lookup per run instead of one sort per binding.
+func (m *merger) rep(uri string) string {
+	if r, ok := m.reps[uri]; ok {
+		return r
+	}
+	r := uri
+	for _, eq := range m.coref.Equivalents(uri) {
+		if eq < r {
+			r = eq
+		}
+	}
+	m.reps[uri] = r
+	return r
+}

@@ -1,0 +1,74 @@
+package federate
+
+import (
+	"sort"
+	"time"
+)
+
+// EndpointStats is one endpoint's cumulative execution counters.
+type EndpointStats struct {
+	Endpoint     string  `json:"endpoint"`
+	Requests     uint64  `json:"requests"`     // dispatched attempts (incl. retries)
+	Successes    uint64  `json:"successes"`    // attempts that returned results
+	Failures     uint64  `json:"failures"`     // attempts that errored
+	Retries      uint64  `json:"retries"`      // re-dispatches after a failed attempt
+	Rejected     uint64  `json:"rejected"`     // requests refused by the circuit breaker
+	AvgLatencyMS float64 `json:"avgLatencyMs"` // mean latency of completed attempts
+	Breaker      string  `json:"breaker"`      // closed | open | half-open
+}
+
+// Stats is a point-in-time snapshot of the executor's health: per-endpoint
+// latency and retry counters, breaker states, and rewrite-cache hit rate.
+type Stats struct {
+	Endpoints    []EndpointStats `json:"endpoints"`
+	CacheHits    uint64          `json:"cacheHits"`
+	CacheMisses  uint64          `json:"cacheMisses"`
+	CacheHitRate float64         `json:"cacheHitRate"` // hits / (hits+misses), 0 when idle
+	CacheEntries int             `json:"cacheEntries"`
+}
+
+// endpointCounters is the executor's mutable per-endpoint record; guarded
+// by Executor.mu.
+type endpointCounters struct {
+	requests  uint64
+	successes uint64
+	failures  uint64
+	retries   uint64
+	rejected  uint64
+	totalLat  time.Duration
+}
+
+// Stats assembles a snapshot sorted by endpoint URL.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	var out Stats
+	for url, c := range e.counters {
+		es := EndpointStats{
+			Endpoint:  url,
+			Requests:  c.requests,
+			Successes: c.successes,
+			Failures:  c.failures,
+			Retries:   c.retries,
+			Rejected:  c.rejected,
+		}
+		if done := c.successes + c.failures; done > 0 {
+			es.AvgLatencyMS = float64(c.totalLat.Microseconds()) / 1000 / float64(done)
+		}
+		if b, ok := e.breakers[url]; ok {
+			es.Breaker = b.State().String()
+		} else {
+			es.Breaker = BreakerClosed.String()
+		}
+		out.Endpoints = append(out.Endpoints, es)
+	}
+	e.mu.Unlock()
+	sort.Slice(out.Endpoints, func(i, j int) bool {
+		return out.Endpoints[i].Endpoint < out.Endpoints[j].Endpoint
+	})
+	out.CacheHits, out.CacheMisses = e.cache.Metrics()
+	out.CacheEntries = e.cache.Len()
+	if total := out.CacheHits + out.CacheMisses; total > 0 {
+		out.CacheHitRate = float64(out.CacheHits) / float64(total)
+	}
+	return out
+}

@@ -34,13 +34,16 @@ type queryResponse struct {
 	Vars       []string            `json:"vars"`
 	Rows       []map[string]string `json:"rows"`
 	Duplicates int                 `json:"duplicates"`
+	Partial    bool                `json:"partial,omitempty"`
 	PerDataset []perDatasetJSON    `json:"perDataset"`
 }
 
 type perDatasetJSON struct {
-	Dataset   string `json:"dataset"`
-	Solutions int    `json:"solutions"`
-	Error     string `json:"error,omitempty"`
+	Dataset   string  `json:"dataset"`
+	Solutions int     `json:"solutions"`
+	Attempts  int     `json:"attempts,omitempty"`
+	LatencyMS float64 `json:"latencyMs,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // Handler serves the mediator's REST API and UI.
@@ -103,12 +106,20 @@ func Handler(m *Mediator) http.Handler {
 				return
 			}
 		}
-		fr, err := m.FederatedSelect(req.Query, source, req.Targets)
+		fr, err := m.FederatedSelectContext(r.Context(), req.Query, source, req.Targets)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			// A nil result means the request itself was bad (parse
+			// error, non-SELECT); otherwise the fan-out failed upstream
+			// (fail-fast policy), which is the repositories' fault.
+			status := http.StatusBadGateway
+			if fr == nil {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
-		resp := queryResponse{Vars: fr.Vars, Duplicates: fr.Duplicates, Rows: []map[string]string{}}
+		resp := queryResponse{Vars: fr.Vars, Duplicates: fr.Duplicates,
+			Partial: fr.Partial, Rows: []map[string]string{}}
 		for _, sol := range fr.Solutions {
 			row := map[string]string{}
 			for k, v := range sol {
@@ -117,7 +128,9 @@ func Handler(m *Mediator) http.Handler {
 			resp.Rows = append(resp.Rows, row)
 		}
 		for _, da := range fr.PerDataset {
-			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions}
+			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
+				Attempts:  da.Attempts,
+				LatencyMS: float64(da.Latency.Microseconds()) / 1000}
 			if da.Err != nil {
 				pj.Error = da.Err.Error()
 			}
@@ -125,6 +138,11 @@ func Handler(m *Mediator) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.FederationStats())
 	})
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

@@ -6,14 +6,14 @@
 package mediate
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/core"
 	"sparqlrw/internal/endpoint"
-	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
@@ -27,20 +27,49 @@ type Mediator struct {
 	Funcs      *funcs.Registry
 	Coref      funcs.CorefSource
 	Client     *endpoint.Client
+	// Exec owns federated execution: concurrent fan-out, retries,
+	// circuit breaking and the rewrite-plan cache. Reconfigure it with
+	// ConfigureFederation.
+	Exec *federate.Executor
 	// RewriteFilters turns on the §4 FILTER extension for all rewrites.
+	// Flip it before issuing federated queries, or call
+	// ConfigureFederation afterwards so the rewrite-plan cache does not
+	// serve plans produced under the old setting.
 	RewriteFilters bool
 }
 
 // New builds a mediator. corefSrc may be a local coref.Store or a
 // coref.Client pointing at a remote service.
 func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) *Mediator {
-	return &Mediator{
+	m := &Mediator{
 		Datasets:   datasets,
 		Alignments: alignments,
 		Funcs:      funcs.StandardRegistry(corefSrc),
 		Coref:      corefSrc,
 		Client:     endpoint.NewClient(),
 	}
+	m.ConfigureFederation(federate.Options{})
+	return m
+}
+
+// ConfigureFederation rebuilds the federation executor with the given
+// options (zero-value fields take the federate defaults). It resets the
+// executor's breakers, counters and plan cache.
+func (m *Mediator) ConfigureFederation(opts federate.Options) {
+	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
+		rr, err := m.Rewrite(queryText, sourceOnt, dataset)
+		if err != nil {
+			return "", err
+		}
+		return rr.Query, nil
+	}
+	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, opts)
+}
+
+// FederationStats snapshots the executor's per-endpoint and cache
+// counters for the /api/stats endpoint.
+func (m *Mediator) FederationStats() federate.Stats {
+	return m.Exec.Stats()
 }
 
 // RewriteResult is the outcome of a single rewrite.
@@ -95,31 +124,25 @@ func firstOrEmpty(xs []string) string {
 }
 
 // DatasetAnswer is one data set's contribution to a federated query.
-type DatasetAnswer struct {
-	Dataset   string
-	Query     string
-	Solutions int
-	Err       error
-}
+type DatasetAnswer = federate.DatasetAnswer
 
 // FederatedResult merges the answers of all targeted data sets.
-type FederatedResult struct {
-	Vars      []string
-	Solutions []eval.Solution
-	// PerDataset reports each data set's raw contribution, before the
-	// co-reference merge.
-	PerDataset []DatasetAnswer
-	// Duplicates is the number of solutions dropped by the co-reference
-	// merge (the redundancy the paper says the repositories carry).
-	Duplicates int
+type FederatedResult = federate.Result
+
+// FederatedSelect runs FederatedSelectContext without a deadline.
+func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
+	return m.FederatedSelectContext(context.Background(), queryText, sourceOnt, targets)
 }
 
-// FederatedSelect answers the paper's recall scenario: "it is important to
-// query all the available repositories in order to increase the recall".
-// The query (written against sourceOnt) runs on every named data set —
-// rewritten when the data set's vocabulary differs — and results are
-// merged with owl:sameAs canonicalisation so redundant URIs collapse.
-func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
+// FederatedSelectContext answers the paper's recall scenario: "it is
+// important to query all the available repositories in order to increase
+// the recall". The query (written against sourceOnt) runs on every named
+// data set — rewritten when the data set's vocabulary differs — and
+// results are merged with owl:sameAs canonicalisation so redundant URIs
+// collapse. Execution is delegated to the federation executor: concurrent
+// fan-out with per-endpoint deadlines, retries and circuit breaking, plus
+// a rewrite-plan cache (see internal/federate).
+func (m *Mediator) FederatedSelectContext(ctx context.Context, queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return nil, fmt.Errorf("mediate: parsing query: %w", err)
@@ -127,61 +150,43 @@ func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string
 	if q.Form != sparql.Select {
 		return nil, fmt.Errorf("mediate: federated execution supports SELECT only")
 	}
-	res := &FederatedResult{Vars: q.SelectVars}
-	seen := map[string]bool{}
-	for _, target := range targets {
+	req := federate.Request{Query: queryText, SourceOnt: sourceOnt, Vars: q.SelectVars}
+	unknown := make(map[int]DatasetAnswer) // input position -> answer
+	var knownPos []int
+	for i, target := range targets {
 		ds, ok := m.Datasets.Get(target)
 		if !ok {
-			res.PerDataset = append(res.PerDataset, DatasetAnswer{Dataset: target,
-				Err: fmt.Errorf("mediate: unknown data set %s", target)})
+			unknown[i] = DatasetAnswer{Dataset: target,
+				Err: fmt.Errorf("mediate: unknown data set %s", target)}
 			continue
 		}
-		queryForDS := queryText
-		if !ds.UsesVocabulary(sourceOnt) {
-			rr, err := m.Rewrite(queryText, sourceOnt, target)
-			if err != nil {
-				res.PerDataset = append(res.PerDataset, DatasetAnswer{Dataset: target, Err: err})
-				continue
-			}
-			queryForDS = rr.Query
-		}
-		answer, err := m.Client.Select(ds.SPARQLEndpoint, queryForDS)
-		da := DatasetAnswer{Dataset: target, Query: queryForDS, Err: err}
-		if err == nil {
-			da.Solutions = len(answer.Solutions)
-			for _, sol := range answer.Solutions {
-				canon := m.canonicalise(sol)
-				key := canon.Key()
-				if seen[key] {
-					res.Duplicates++
-					continue
-				}
-				seen[key] = true
-				res.Solutions = append(res.Solutions, canon)
-			}
-		}
-		res.PerDataset = append(res.PerDataset, da)
+		knownPos = append(knownPos, i)
+		req.Targets = append(req.Targets, federate.Target{
+			Dataset:      target,
+			Endpoint:     ds.SPARQLEndpoint,
+			NeedsRewrite: !ds.UsesVocabulary(sourceOnt),
+		})
 	}
-	eval.SortSolutions(res.Solutions)
-	return res, nil
-}
-
-// canonicalise maps every IRI binding to the deterministic representative
-// of its owl:sameAs class, so the same entity coming from two URI spaces
-// merges.
-func (m *Mediator) canonicalise(sol eval.Solution) eval.Solution {
-	out := make(eval.Solution, len(sol))
-	for k, v := range sol {
-		if v.IsIRI() && m.Coref != nil {
-			eq := m.Coref.Equivalents(v.Value)
-			if len(eq) > 1 {
-				sort.Strings(eq)
-				v = rdf.NewIRI(eq[0])
+	res, err := m.Exec.Select(ctx, req)
+	if res != nil && len(unknown) > 0 {
+		// Re-interleave the unknown-dataset answers so PerDataset stays
+		// in input-target order.
+		merged := make([]DatasetAnswer, len(targets))
+		for j, pos := range knownPos {
+			merged[pos] = res.PerDataset[j]
+		}
+		for pos, da := range unknown {
+			merged[pos] = da
+		}
+		res.PerDataset = merged
+		for _, da := range res.PerDataset {
+			if da.Err == nil {
+				res.Partial = true
+				break
 			}
 		}
-		out[k] = v
 	}
-	return out
+	return res, err
 }
 
 // DatasetInfo summarises one data set for the REST API.

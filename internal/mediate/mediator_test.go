@@ -2,14 +2,18 @@ package mediate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/federate"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
@@ -196,6 +200,19 @@ func TestFederatedUnknownDatasetReported(t *testing.T) {
 	if len(fr.Solutions) == 0 {
 		t.Fatal("good data set should still answer")
 	}
+	// PerDataset stays in input-target order even when an unknown data
+	// set precedes a known one.
+	fr2, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+		[]string{"http://nope/void", workload.SotonVoidURI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.PerDataset[0].Dataset != "http://nope/void" || fr2.PerDataset[1].Dataset != workload.SotonVoidURI {
+		t.Fatalf("PerDataset order = %+v", fr2.PerDataset)
+	}
+	if fr2.PerDataset[0].Err == nil || fr2.PerDataset[1].Err != nil {
+		t.Fatalf("PerDataset errors misplaced: %+v", fr2.PerDataset)
+	}
 }
 
 // TestFederatedSurvivesEndpointFailure injects a failing endpoint: the
@@ -234,6 +251,87 @@ func TestFederatedSurvivesEndpointFailure(t *testing.T) {
 	}
 	if len(fr.Solutions) == 0 {
 		t.Fatal("healthy endpoint's answers lost")
+	}
+}
+
+// TestFederatedHangingEndpointTimesOut pins the executor wiring end to
+// end: a hung endpoint hits its per-attempt deadline and the healthy
+// ones still answer, instead of the whole fan-out stalling.
+func TestFederatedHangingEndpointTimesOut(t *testing.T) {
+	s := newStack(t)
+	unblock := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-unblock:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hang.Close()
+	defer close(unblock) // release the handler before hang.Close waits on it
+	if err := s.mediator.Datasets.Add(&voidkb.Dataset{
+		URI: "http://hang.example/void", Title: "Hanging",
+		SPARQLEndpoint: hang.URL,
+		URISpace:       `http://hang\.example/\S*`,
+		Vocabularies:   []string{rdf.AKTNS},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.mediator.ConfigureFederation(federate.Options{
+		EndpointTimeout: 100 * time.Millisecond,
+		MaxRetries:      -1,
+	})
+	start := time.Now()
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+		[]string{workload.SotonVoidURI, "http://hang.example/void"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fan-out blocked on the hung endpoint for %s", elapsed)
+	}
+	var hungErr error
+	var sotonOK bool
+	for _, da := range fr.PerDataset {
+		switch da.Dataset {
+		case "http://hang.example/void":
+			hungErr = da.Err
+		case workload.SotonVoidURI:
+			sotonOK = da.Err == nil && da.Solutions > 0
+		}
+	}
+	if hungErr == nil || !errors.Is(hungErr, context.DeadlineExceeded) {
+		t.Fatalf("hung endpoint error = %v, want deadline exceeded", hungErr)
+	}
+	if !sotonOK || len(fr.Solutions) == 0 {
+		t.Fatalf("healthy endpoint's answers lost: %+v", fr.PerDataset)
+	}
+	if !fr.Partial {
+		t.Fatal("result must be marked partial")
+	}
+}
+
+// TestFederatedPlanCacheReuse pins that repeated federated queries hit
+// the rewrite-plan cache instead of re-rewriting.
+func TestFederatedPlanCacheReuse(t *testing.T) {
+	s := newStack(t)
+	q := workload.Figure1Query(0)
+	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
+	for i := 0; i < 3; i++ {
+		if _, err := s.mediator.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.mediator.FederationStats()
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Fatalf("cache hits/misses = %d/%d, want 2/1", st.CacheHits, st.CacheMisses)
+	}
+	if len(st.Endpoints) != 2 {
+		t.Fatalf("endpoints tracked = %d, want 2", len(st.Endpoints))
+	}
+	for _, es := range st.Endpoints {
+		if es.Breaker != "closed" || es.Successes != 3 {
+			t.Fatalf("endpoint stats = %+v", es)
+		}
 	}
 }
 
@@ -320,6 +418,33 @@ func TestHTTPAPIQueryFederated(t *testing.T) {
 	}
 	if len(qr.PerDataset) != 2 {
 		t.Fatalf("per-dataset = %v", qr.PerDataset)
+	}
+}
+
+func TestHTTPAPIStats(t *testing.T) {
+	s := newStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	if _, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+		[]string{workload.SotonVoidURI, workload.KistiVoidURI}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st federate.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Endpoints) != 2 {
+		t.Fatalf("stats endpoints = %+v", st.Endpoints)
+	}
+	for _, es := range st.Endpoints {
+		if es.Requests == 0 || es.Breaker != "closed" {
+			t.Fatalf("endpoint stats = %+v", es)
+		}
 	}
 }
 

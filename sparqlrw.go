@@ -36,6 +36,7 @@ import (
 	"sparqlrw/internal/coref"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/mediate"
 	"sparqlrw/internal/ntriples"
@@ -228,7 +229,22 @@ type (
 	EndpointServer = endpoint.Server
 	// EndpointClient queries remote SPARQL endpoints.
 	EndpointClient = endpoint.Client
+	// FederationOptions tune the concurrent federation executor
+	// (worker-pool bound, per-endpoint deadline, retries, circuit
+	// breaker, rewrite-plan cache, partial-result policy).
+	FederationOptions = federate.Options
+	// FederationExecutor dispatches federated queries concurrently.
+	FederationExecutor = federate.Executor
+	// FederationStats snapshots per-endpoint latency, retries, breaker
+	// state and the rewrite-cache hit rate.
+	FederationStats = federate.Stats
+	// FederatedResult is a merged federated answer.
+	FederatedResult = mediate.FederatedResult
 )
+
+// ErrCircuitOpen is reported (wrapped) in a DatasetAnswer when an
+// endpoint's circuit breaker rejects a request without dispatching it.
+var ErrCircuitOpen = federate.ErrCircuitOpen
 
 // NewDatasetKB returns an empty voiD knowledge base.
 func NewDatasetKB() *DatasetKB { return voidkb.NewKB() }
