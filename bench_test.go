@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -187,6 +188,7 @@ func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
 	}{{"Sequential", 1}, {"Concurrent", 8}} {
 		b.Run(mode.name, func(b *testing.B) {
 			m := mediate.New(dsKB, alignKB, u.Coref)
+			b.Cleanup(m.Close)
 			m.RewriteFilters = true
 			m.ConfigureFederation(federate.Options{Concurrency: mode.concurrency})
 			b.ReportAllocs()
@@ -203,6 +205,79 @@ func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkPlanner_PlannedVsUnplanned — the voiD-driven planner against
+// blind fan-out on the Figure-1 workload: four repositories of which only
+// two are voiD-relevant (DBpedia and ECS stand-ins speak vocabularies no
+// alignment connects to AKT). Unplanned federation pays all four round
+// trips; the planner dispatches exactly the two relevant sub-queries.
+// The rt/op metric counts endpoint round trips per federated query.
+func BenchmarkPlanner_PlannedVsUnplanned(b *testing.B) {
+	const injectedLatency = 2 * time.Millisecond
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	var roundTrips atomic.Int64
+	slow := func(name string, st *store.Store) *httptest.Server {
+		h := endpoint.NewServer(name, st)
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			roundTrips.Add(1)
+			time.Sleep(injectedLatency)
+			h.ServeHTTP(w, r)
+		}))
+	}
+	soton := slow("southampton", u.Southampton)
+	b.Cleanup(soton.Close)
+	kisti := slow("kisti", u.KISTI)
+	b.Cleanup(kisti.Close)
+	dbp := slow("dbpedia", store.New())
+	b.Cleanup(dbp.Close)
+	ecs := slow("ecs", store.New())
+	b.Cleanup(ecs.Close)
+
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.KistiVoidURI, SPARQLEndpoint: kisti.URL,
+		URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.DBPVoidURI, SPARQLEndpoint: dbp.URL,
+		URISpace: workload.DBPURIPattern, Vocabularies: []string{rdf.DBONS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.ECSVoidURI, SPARQLEndpoint: ecs.URL,
+		URISpace: workload.ECSURIPattern, Vocabularies: []string{rdf.ECSNS}})
+	alignKB := align.NewKB()
+	_ = alignKB.Add(workload.AKT2KISTI())
+	_ = alignKB.Add(workload.ECS2DBpedia())
+	allTargets := []string{workload.SotonVoidURI, workload.KistiVoidURI,
+		workload.DBPVoidURI, workload.ECSVoidURI}
+
+	for _, mode := range []struct {
+		name    string
+		targets []string // nil = planner-selected
+	}{{"Unplanned", allTargets}, {"Planned", nil}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mediate.New(dsKB, alignKB, u.Coref)
+			b.Cleanup(m.Close) // detach KB hooks; the KBs are shared across sub-benchmarks
+			m.RewriteFilters = true
+			roundTrips.Store(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := workload.Figure1Query(i % 50)
+				fr, err := m.FederatedSelect(q, rdf.AKTNS, mode.targets)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, da := range fr.PerDataset {
+					if da.Err != nil {
+						b.Fatal(da.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(roundTrips.Load())/float64(b.N), "rt/op")
 		})
 	}
 }

@@ -20,20 +20,33 @@
 //	-failfast        cancel the fan-out on the first endpoint error
 //	                 instead of returning best-effort partial results
 //
-// GET /api/stats reports per-endpoint latency, retries and breaker state
-// plus the plan-cache hit rate.
+// # Planner
+//
+// Federated queries that name no targets go through the voiD-driven
+// planner (internal/plan): source selection prunes repositories whose
+// voiD profile cannot answer the query, large VALUES blocks shard into
+// batched sub-queries, and dispatch is ordered fastest-endpoint-first
+// with adaptive deadlines. The knobs:
+//
+//	-plan            enable planner auto-selection (default true)
+//	-values-batch N  VALUES rows per sharded sub-query (default 50)
+//
+// POST /api/plan explains a query's plan without running it; GET
+// /api/stats reports per-endpoint latency, retries and breaker state,
+// the plan-cache hit rate, and the planner's pruning/sharding counters.
 //
 // # Usage
 //
 //	mediator [-addr :8080] [-persons 100] [-papers 300] [-filters]
 //	         [-concurrency 8] [-timeout 10s] [-retries 1] [-cache 256]
-//	         [-failfast]
+//	         [-failfast] [-plan] [-values-batch 50]
 //
 // Then open http://localhost:8080/ for the Figure-4-style UI, or use the
 // REST API:
 //
 //	curl -s localhost:8080/api/datasets
 //	curl -s localhost:8080/api/stats
+//	curl -s -X POST localhost:8080/api/plan -d '{"query":"..."}'
 //	curl -s -X POST localhost:8080/api/rewrite \
 //	     -d '{"query":"...", "target":"http://kisti.rkbexplorer.com/id/void"}'
 package main
@@ -51,6 +64,7 @@ import (
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
@@ -74,6 +88,8 @@ func run() error {
 	retries := flag.Int("retries", 1, "retries after a failed endpoint attempt")
 	cacheSize := flag.Int("cache", 256, "rewrite-plan cache capacity (0 disables)")
 	failFast := flag.Bool("failfast", false, "cancel federated queries on the first endpoint error")
+	usePlan := flag.Bool("plan", true, "auto-select federation targets with the voiD-driven planner")
+	valuesBatch := flag.Int("values-batch", 50, "VALUES rows per sharded federation sub-query (0 disables sharding)")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig()
@@ -153,9 +169,26 @@ func run() error {
 	})
 	fmt.Printf("federation: concurrency=%d timeout=%s retries=%d cache=%d failfast=%v\n",
 		*concurrency, *timeout, *retries, *cacheSize, *failFast)
+	if *usePlan {
+		batch := *valuesBatch
+		if batch == 0 {
+			batch = -1 // plan.Options treats 0 as "default"; -1 disables
+		}
+		m.ConfigurePlanner(plan.Options{ValuesBatch: batch})
+		fmt.Printf("planner: enabled values-batch=%d\n", *valuesBatch)
+	} else {
+		m.Planner = nil
+		fmt.Println("planner: disabled (queries must name explicit targets)")
+	}
 
-	fmt.Printf("mediator UI:          http://localhost%s/\n", *addr)
-	fmt.Printf("example:\n  curl -s -X POST localhost%s/api/rewrite -d '{\"query\":%q,\"target\":%q}'\n",
-		*addr, workload.Figure1Query(1), workload.KistiVoidURI)
-	return http.ListenAndServe(*addr, mediate.Handler(m))
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address supports -addr :0 (tests pick a free port and
+	// parse this line).
+	fmt.Printf("mediator listening on http://%s/\n", lis.Addr().String())
+	fmt.Printf("example:\n  curl -s -X POST %s/api/query -d '{\"query\":%q}'\n",
+		lis.Addr().String(), workload.Figure1Query(1))
+	return http.Serve(lis, mediate.Handler(m))
 }

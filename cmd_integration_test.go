@@ -5,10 +5,15 @@ package sparqlrw
 // end to end against the fixtures in testdata/.
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
 	"testing"
+	"time"
 )
 
 var osWriteFile = os.WriteFile
@@ -92,4 +97,115 @@ SELECT DISTINCT ?a WHERE {
 
 func writeFile(path, content string) error {
 	return osWriteFile(path, []byte(content), 0o644)
+}
+
+// TestCmdMediatorPlannedQuery boots the full mediator deployment on an
+// ephemeral port and exercises /api/query with no explicit targets: the
+// planner must select the repositories and the response must carry both
+// the merged rows and the plan it executed.
+func TestCmdMediatorPlannedQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
+	}
+	bin := t.TempDir() + "/mediator"
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/mediator").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/mediator: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-persons", "20", "-papers", "40")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	// The binary prints "mediator listening on http://127.0.0.1:PORT/".
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "mediator listening on ") {
+				addrCh <- strings.TrimSuffix(strings.TrimPrefix(line, "mediator listening on "), "/")
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("mediator did not report its listen address")
+	}
+
+	query := `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author <http://southampton.rkbexplorer.com/id/person-00001> .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = <http://southampton.rkbexplorer.com/id/person-00001>))
+}`
+	body, _ := json.Marshal(map[string]any{"query": query}) // no targets
+	resp, err := http.Post(base+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr struct {
+		Rows       []map[string]string `json:"rows"`
+		PerDataset []struct {
+			Dataset string `json:"dataset"`
+			Error   string `json:"error"`
+		} `json:"perDataset"`
+		Plan *struct {
+			Decisions []struct {
+				Dataset  string `json:"dataset"`
+				Relevant bool   `json:"relevant"`
+			} `json:"decisions"`
+		} `json:"plan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) == 0 {
+		t.Fatal("planned /api/query returned no rows")
+	}
+	// Both generated repositories are relevant to an AKT query.
+	if len(qr.PerDataset) != 2 {
+		t.Fatalf("perDataset = %+v", qr.PerDataset)
+	}
+	for _, pd := range qr.PerDataset {
+		if pd.Error != "" {
+			t.Fatalf("dataset %s failed: %s", pd.Dataset, pd.Error)
+		}
+	}
+	if qr.Plan == nil || len(qr.Plan.Decisions) != 2 {
+		t.Fatalf("plan missing from response: %+v", qr.Plan)
+	}
+
+	// The explain endpoint agrees without executing anything.
+	resp2, err := http.Post(base+"/api/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var pl struct {
+		SubRequests []struct {
+			Dataset string `json:"dataset"`
+		} `json:"subRequests"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&pl); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.SubRequests) != 2 {
+		t.Fatalf("plan subRequests = %+v", pl.SubRequests)
+	}
 }

@@ -25,6 +25,13 @@ type BGP struct {
 	Patterns []rdf.Triple
 }
 
+// Table is inline data (a VALUES block): a fixed relation of bindings for
+// Vars. A zero Term in a row leaves that variable unbound (UNDEF).
+type Table struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
 // Join is the natural join of two operands.
 type Join struct {
 	L, R Op
@@ -79,6 +86,7 @@ type Slice struct {
 
 func (*Unit) isOp()     {}
 func (*BGP) isOp()      {}
+func (*Table) isOp()    {}
 func (*Join) isOp()     {}
 func (*LeftJoin) isOp() {}
 func (*Union) isOp()    {}
@@ -153,6 +161,8 @@ func TranslateGroup(g *sparql.GroupGraphPattern) Op {
 			if u != nil {
 				acc = join(acc, u)
 			}
+		case *sparql.InlineData:
+			acc = join(acc, &Table{Vars: e.Vars, Rows: e.Rows})
 		}
 	}
 	for _, f := range filters {
@@ -238,6 +248,20 @@ func render(b *strings.Builder, op Op, depth int) {
 		b.WriteString(pad + "(bgp")
 		for _, t := range o.Patterns {
 			b.WriteString("\n" + pad + "  (triple " + t.String() + ")")
+		}
+		b.WriteString(")")
+	case *Table:
+		b.WriteString(pad + "(table (?" + strings.Join(o.Vars, " ?") + ")")
+		for _, row := range o.Rows {
+			b.WriteString("\n" + pad + "  (row")
+			for _, t := range row {
+				if t.Kind == rdf.KindAny {
+					b.WriteString(" UNDEF")
+				} else {
+					b.WriteString(" " + t.String())
+				}
+			}
+			b.WriteString(")")
 		}
 		b.WriteString(")")
 	case *Join:

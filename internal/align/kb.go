@@ -11,21 +11,52 @@ import (
 // belonging to the relevant ontology alignments can then be used in order
 // to rewrite queries between the data sets." (§3.2.1)
 type KB struct {
-	mu  sync.RWMutex
-	oas []*OntologyAlignment
+	mu        sync.RWMutex
+	oas       []*OntologyAlignment
+	listeners map[int]func()
+	nextSub   int
 }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return &KB{} }
 
-// Add validates and stores an ontology alignment.
+// Subscribe registers fn to be called whenever an alignment is added. The
+// federation layer uses this to flush cached rewrite plans, which embed
+// the alignment set they were produced under. The returned cancel
+// function removes the subscription; callers that outlive the KB must
+// call it or they stay reachable through it.
+func (kb *KB) Subscribe(fn func()) (cancel func()) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if kb.listeners == nil {
+		kb.listeners = map[int]func(){}
+	}
+	id := kb.nextSub
+	kb.nextSub++
+	kb.listeners[id] = fn
+	return func() {
+		kb.mu.Lock()
+		defer kb.mu.Unlock()
+		delete(kb.listeners, id)
+	}
+}
+
+// Add validates and stores an ontology alignment, notifying subscribers.
 func (kb *KB) Add(oa *OntologyAlignment) error {
 	if err := oa.Validate(); err != nil {
 		return err
 	}
 	kb.mu.Lock()
-	defer kb.mu.Unlock()
 	kb.oas = append(kb.oas, oa)
+	listeners := make([]func(), 0, len(kb.listeners))
+	for _, fn := range kb.listeners {
+		listeners = append(listeners, fn)
+	}
+	kb.mu.Unlock()
+	// Callbacks run outside the lock so they may read the KB.
+	for _, fn := range listeners {
+		fn()
+	}
 	return nil
 }
 

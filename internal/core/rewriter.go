@@ -104,6 +104,7 @@ type Report struct {
 	MatchedTriples int
 	CopiedTriples  int
 	FilterRewrites int
+	ValuesRewrites int
 }
 
 // warnf appends a formatted warning.
@@ -224,6 +225,16 @@ func (rw *Rewriter) rewriteGroup(g *sparql.GroupGraphPattern, st *rewriteState) 
 				st.report.FilterRewrites += n
 			} else {
 				rw.detectFilterConflict(e.Expr, st.report)
+			}
+		case *sparql.InlineData:
+			if rw.Opts.RewriteFilters {
+				n, err := rw.rewriteInlineData(e)
+				if err != nil {
+					return err
+				}
+				st.report.ValuesRewrites += n
+			} else {
+				rw.detectInlineDataConflict(e, st.report)
 			}
 		}
 		rebuilt = append(rebuilt, el)
@@ -455,36 +466,87 @@ func (rw *Rewriter) rewriteFilterExpr(expr sparql.Expression) (sparql.Expression
 		return expr, 0, fmt.Errorf("core: RewriteFilters requires Options.TargetURISpace")
 	}
 	n := 0
-	var firstErr error
 	pattern := rdf.NewLiteral(rw.Opts.TargetURISpace)
 	out := sparql.MapExprTerms(expr, func(t rdf.Term) rdf.Term {
-		if !t.IsIRI() || firstErr != nil {
+		if !t.IsIRI() {
 			return t
 		}
-		// Vocabulary substitution via simple (level-0) alignments.
-		for _, ea := range rw.Alignments {
-			if len(ea.RHS) == 1 && len(ea.FDs) == 0 &&
-				ea.LHS.P.IsIRI() && ea.LHS.P.Value == t.Value && ea.RHS[0].P.IsIRI() {
-				n++
-				return ea.RHS[0].P
-			}
-			if ea.LHS.P.IsIRI() && ea.LHS.P.Value == rdf.RDFType &&
-				ea.LHS.O.IsIRI() && ea.LHS.O.Value == t.Value &&
-				len(ea.RHS) == 1 && ea.RHS[0].O.IsIRI() {
-				n++
-				return ea.RHS[0].O
-			}
+		v, translated := rw.translateIRITerm(t, pattern)
+		if translated {
+			n++
 		}
-		// Instance translation through sameas.
-		if rw.Funcs != nil {
-			if v, err := rw.Funcs.Call(rdf.MapSameAs, []rdf.Term{t, pattern}); err == nil {
-				if v != t {
-					n++
-				}
-				return v
-			}
-		}
-		return t
+		return v
 	})
-	return out, n, firstErr
+	return out, n, nil
+}
+
+// translateIRITerm maps one ground IRI into the target vocabulary / URI
+// space: level-0 property/class alignments substitute vocabulary terms,
+// sameas translates instance URIs. The second return says whether the
+// term changed.
+func (rw *Rewriter) translateIRITerm(t rdf.Term, pattern rdf.Term) (rdf.Term, bool) {
+	// Vocabulary substitution via simple (level-0) alignments.
+	for _, ea := range rw.Alignments {
+		if len(ea.RHS) == 1 && len(ea.FDs) == 0 &&
+			ea.LHS.P.IsIRI() && ea.LHS.P.Value == t.Value && ea.RHS[0].P.IsIRI() {
+			return ea.RHS[0].P, true
+		}
+		if ea.LHS.P.IsIRI() && ea.LHS.P.Value == rdf.RDFType &&
+			ea.LHS.O.IsIRI() && ea.LHS.O.Value == t.Value &&
+			len(ea.RHS) == 1 && ea.RHS[0].O.IsIRI() {
+			return ea.RHS[0].O, true
+		}
+	}
+	// Instance translation through sameas.
+	if rw.Funcs != nil {
+		if v, err := rw.Funcs.Call(rdf.MapSameAs, []rdf.Term{t, pattern}); err == nil {
+			return v, v != t
+		}
+	}
+	return t, false
+}
+
+// rewriteInlineData applies the same extension to VALUES rows: inline
+// data constants are as unreachable by graph-pattern rewriting as FILTER
+// constants, so sharded sub-queries would silently miss on rewritten
+// targets without this.
+func (rw *Rewriter) rewriteInlineData(d *sparql.InlineData) (int, error) {
+	if rw.Opts.TargetURISpace == "" {
+		return 0, fmt.Errorf("core: RewriteFilters requires Options.TargetURISpace")
+	}
+	pattern := rdf.NewLiteral(rw.Opts.TargetURISpace)
+	n := 0
+	for _, row := range d.Rows {
+		for i, t := range row {
+			if !t.IsIRI() {
+				continue
+			}
+			if v, translated := rw.translateIRITerm(t, pattern); translated {
+				row[i] = v
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// detectInlineDataConflict mirrors the Figure-6 warning for VALUES rows:
+// one warning per block (with the affected-IRI count), not per row —
+// sharded blocks can carry hundreds of rows.
+func (rw *Rewriter) detectInlineDataConflict(d *sparql.InlineData, report *Report) {
+	iris := 0
+	var first string
+	for _, row := range d.Rows {
+		for _, t := range row {
+			if t.IsIRI() {
+				if iris == 0 {
+					first = t.Value
+				}
+				iris++
+			}
+		}
+	}
+	if iris > 0 {
+		report.warnf("VALUES binds %d IRI(s) (first <%s>); graph-pattern rewriting does not reach inline data (cf. paper §4, Figure 6) — enable RewriteFilters to translate them", iris, first)
+	}
 }

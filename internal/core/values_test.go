@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/coref"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/workload"
+)
+
+const valuesQuery = `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT ?paper WHERE {
+  VALUES ?a { <http://southampton.rkbexplorer.com/id/person-02686> }
+  ?paper akt:has-author ?a .
+}`
+
+func valuesRewriter() *Rewriter {
+	cs := coref.NewStore()
+	cs.Add("http://southampton.rkbexplorer.com/id/person-02686",
+		"http://kisti.rkbexplorer.com/id/PER_00000000105047")
+	return New(workload.AKT2KISTI().Alignments, funcs.StandardRegistry(cs))
+}
+
+func TestRewriteTranslatesValuesRows(t *testing.T) {
+	rw := valuesRewriter()
+	rw.Opts.RewriteFilters = true
+	rw.Opts.TargetURISpace = workload.KistiURIPattern
+	out, report, err := rw.RewriteQuery(sparql.MustParse(valuesQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sparql.Format(out)
+	if strings.Contains(text, "person-02686") {
+		t.Fatalf("VALUES row not translated:\n%s", text)
+	}
+	if !strings.Contains(text, "PER_00000000105047") {
+		t.Fatalf("KISTI URI missing:\n%s", text)
+	}
+	if report.ValuesRewrites != 1 {
+		t.Fatalf("ValuesRewrites = %d, want 1", report.ValuesRewrites)
+	}
+}
+
+func TestPaperModeWarnsOnValuesRows(t *testing.T) {
+	rw := valuesRewriter()
+	out, report, err := rw.RewriteQuery(sparql.MustParse(valuesQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper mode leaves inline data untouched but warns, like Figure 6.
+	if !strings.Contains(sparql.Format(out), "person-02686") {
+		t.Fatal("paper mode must not translate VALUES rows")
+	}
+	var warned bool
+	for _, w := range report.Warnings {
+		if strings.Contains(w, "VALUES") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no VALUES warning in %v", report.Warnings)
+	}
+}

@@ -135,7 +135,23 @@ func (e *Engine) eval(op algebra.Op) ([]Solution, error) {
 		return []Solution{{}}, nil
 	case *algebra.BGP:
 		return e.evalBGP(o.Patterns, Solution{})
+	case *algebra.Table:
+		return tableSolutions(o), nil
 	case *algebra.Join:
+		// A Table operand joined with a BGP seeds the BGP's index lookups
+		// row by row — the VALUES-driven evaluation sharded federation
+		// sub-queries rely on — instead of scanning the BGP unseeded.
+		if t, bgp, ok := tableBGPJoin(o); ok {
+			var out []Solution
+			for _, sol := range tableSolutions(t) {
+				exts, err := e.evalBGP(bgp.Patterns, sol)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, exts...)
+			}
+			return out, nil
+		}
 		l, err := e.eval(o.L)
 		if err != nil {
 			return nil, err
@@ -266,6 +282,38 @@ func (e *Engine) eval(op algebra.Op) ([]Solution, error) {
 	default:
 		return nil, fmt.Errorf("eval: unsupported algebra node %T", op)
 	}
+}
+
+// tableSolutions converts a VALUES table into its solution sequence,
+// leaving UNDEF (zero-term) positions unbound.
+func tableSolutions(t *algebra.Table) []Solution {
+	out := make([]Solution, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		sol := Solution{}
+		for i, v := range t.Vars {
+			if i < len(row) && row[i].Kind != rdf.KindAny {
+				sol[v] = row[i]
+			}
+		}
+		out = append(out, sol)
+	}
+	return out
+}
+
+// tableBGPJoin recognises a Join with a Table on one side and a BGP on the
+// other (join is commutative, so either orientation qualifies).
+func tableBGPJoin(j *algebra.Join) (*algebra.Table, *algebra.BGP, bool) {
+	if t, ok := j.L.(*algebra.Table); ok {
+		if b, ok := j.R.(*algebra.BGP); ok {
+			return t, b, true
+		}
+	}
+	if t, ok := j.R.(*algebra.Table); ok {
+		if b, ok := j.L.(*algebra.BGP); ok {
+			return t, b, true
+		}
+	}
+	return nil, nil, false
 }
 
 func distinct(e *Engine, input algebra.Op) ([]Solution, error) {

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"testing"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+)
+
+func valuesTestStore() *store.Store {
+	st := store.New()
+	author := rdf.NewIRI("http://ex.org/author")
+	for _, link := range [][2]string{
+		{"http://ex.org/paper1", "http://ex.org/alice"},
+		{"http://ex.org/paper1", "http://ex.org/bob"},
+		{"http://ex.org/paper2", "http://ex.org/bob"},
+		{"http://ex.org/paper3", "http://ex.org/carol"},
+	} {
+		st.Add(rdf.NewTriple(rdf.NewIRI(link[0]), author, rdf.NewIRI(link[1])))
+	}
+	return st
+}
+
+func TestSelectWithValuesSeedsBGP(t *testing.T) {
+	e := New(valuesTestStore())
+	q := sparql.MustParse(`SELECT ?a WHERE {
+  VALUES ?paper { <http://ex.org/paper1> <http://ex.org/paper3> }
+  ?paper <http://ex.org/author> ?a .
+}`)
+	res, err := e.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 {
+		t.Fatalf("solutions = %d, want 3 (paper1×2 + paper3×1): %v", len(res.Solutions), res.Solutions)
+	}
+}
+
+func TestSelectWithTrailingValues(t *testing.T) {
+	e := New(valuesTestStore())
+	q := sparql.MustParse(`SELECT ?a WHERE {
+  ?paper <http://ex.org/author> ?a .
+} VALUES ?a { <http://ex.org/bob> }`)
+	res, err := e.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d, want 2: %v", len(res.Solutions), res.Solutions)
+	}
+	for _, sol := range res.Solutions {
+		if sol["a"].Value != "http://ex.org/bob" {
+			t.Fatalf("unexpected binding %v", sol)
+		}
+	}
+}
+
+func TestValuesUndefActsAsWildcard(t *testing.T) {
+	e := New(valuesTestStore())
+	q := sparql.MustParse(`SELECT ?paper ?a WHERE {
+  ?paper <http://ex.org/author> ?a .
+  VALUES (?paper ?a) {
+    (<http://ex.org/paper2> UNDEF)
+    (UNDEF <http://ex.org/carol>)
+  }
+}`)
+	res, err := e.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper2's single author + carol's single paper.
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d: %v", len(res.Solutions), res.Solutions)
+	}
+}
+
+func TestValuesOnlyQuery(t *testing.T) {
+	e := New(store.New())
+	q := sparql.MustParse(`SELECT * WHERE { VALUES ?x { 1 2 3 } }`)
+	res, err := e.Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 || len(res.Vars) != 1 || res.Vars[0] != "x" {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -2,6 +2,7 @@ package federate
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -28,6 +29,9 @@ type flight struct {
 	done chan struct{}
 	val  string
 	err  error
+	// stale marks an in-progress computation invalidated mid-flight: its
+	// waiters still get the value, but it is not inserted into the cache.
+	stale bool
 }
 
 // NewPlanCache returns a cache holding at most capacity plans; capacity
@@ -80,12 +84,46 @@ func (c *PlanCache) Do(key string, compute func() (string, error)) (val string, 
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if f.err == nil {
+	if f.err == nil && !f.stale {
 		c.insertLocked(key, f.val)
 	}
 	c.mu.Unlock()
 	close(f.done)
 	return f.val, false, f.err
+}
+
+// Invalidate removes every cached plan whose target data set satisfies
+// match (nil matches everything) and marks matching in-flight
+// computations stale so their results are not inserted. It returns the
+// number of cached entries removed.
+func (c *PlanCache) Invalidate(match func(dataset string) bool) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, elem := range c.items {
+		if match == nil || match(keyDataset(key)) {
+			c.ll.Remove(elem)
+			delete(c.items, key)
+			removed++
+		}
+	}
+	for key, f := range c.flights {
+		if match == nil || match(keyDataset(key)) {
+			f.stale = true
+		}
+	}
+	return removed
+}
+
+// keyDataset extracts the target-dataset component of a PlanKey.
+func keyDataset(key string) string {
+	if i := strings.LastIndexByte(key, '\x00'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
 }
 
 func (c *PlanCache) insertLocked(key, value string) {

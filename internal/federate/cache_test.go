@@ -152,3 +152,61 @@ func TestPlanKeyDistinguishesComponents(t *testing.T) {
 		t.Fatalf("key collisions: %v", keys)
 	}
 }
+
+func TestCacheInvalidateByDataset(t *testing.T) {
+	c := NewPlanCache(8)
+	mustDo(t, c, PlanKey("q1", "src", "dsA"), "planA1")
+	mustDo(t, c, PlanKey("q2", "src", "dsA"), "planA2")
+	mustDo(t, c, PlanKey("q1", "src", "dsB"), "planB")
+	if n := c.Invalidate(func(ds string) bool { return ds == "dsA" }); n != 2 {
+		t.Fatalf("invalidated = %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	// dsA keys recompute, dsB still hits.
+	if _, cached := mustDo(t, c, PlanKey("q1", "src", "dsA"), "planA1'"); cached {
+		t.Fatal("invalidated key served from cache")
+	}
+	if got, cached := mustDo(t, c, PlanKey("q1", "src", "dsB"), "x"); !cached || got != "planB" {
+		t.Fatalf("dsB = %q cached=%v", got, cached)
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := NewPlanCache(8)
+	mustDo(t, c, PlanKey("q1", "src", "dsA"), "a")
+	mustDo(t, c, PlanKey("q2", "src", "dsB"), "b")
+	if n := c.Invalidate(nil); n != 2 || c.Len() != 0 {
+		t.Fatalf("flush removed %d, len=%d", n, c.Len())
+	}
+	// A nil cache flushes harmlessly.
+	var nilCache *PlanCache
+	if n := nilCache.Invalidate(nil); n != 0 {
+		t.Fatalf("nil cache invalidated %d", n)
+	}
+}
+
+func TestCacheInvalidateMarksFlightsStale(t *testing.T) {
+	c := NewPlanCache(8)
+	key := PlanKey("q", "src", "dsA")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do(key, func() (string, error) {
+			close(started)
+			<-release
+			return "stale-plan", nil
+		})
+	}()
+	<-started
+	c.Invalidate(func(ds string) bool { return ds == "dsA" })
+	close(release)
+	<-done
+	// The stale in-flight result must not have been inserted.
+	if _, cached := mustDo(t, c, key, "fresh-plan"); cached {
+		t.Fatal("stale in-flight plan was cached despite invalidation")
+	}
+}

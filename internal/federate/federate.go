@@ -104,6 +104,15 @@ type Target struct {
 	// NeedsRewrite says the query must be translated for this data set
 	// (its vocabulary differs from the query's source ontology).
 	NeedsRewrite bool
+	// Query optionally overrides Request.Query for this target (the
+	// planner's VALUES-sharded sub-queries).
+	Query string
+	// Timeout optionally tightens the per-attempt deadline below
+	// Options.EndpointTimeout (0, or anything looser, keeps the default).
+	Timeout time.Duration
+	// Shard/Shards number this target among its data set's VALUES shards
+	// (1-based; 0 when unsharded).
+	Shard, Shards int
 }
 
 // Request is one federated SELECT.
@@ -118,6 +127,8 @@ type Request struct {
 // DatasetAnswer is one data set's contribution to a federated query.
 type DatasetAnswer struct {
 	Dataset string
+	// Shard/Shards carry the target's VALUES-shard numbering (0 = unsharded).
+	Shard, Shards int
 	// Query is the text actually sent to the endpoint (rewritten when
 	// the data set's vocabulary differs).
 	Query     string
@@ -198,7 +209,22 @@ func (e *Executor) Select(ctx context.Context, req Request) (*Result, error) {
 		failMu   sync.Mutex
 		firstErr error
 	)
+admit:
 	for i, t := range req.Targets {
+		// Admit first attempts in request order: the planner sorts targets
+		// fastest-endpoint-first, and a free-for-all on the pool semaphore
+		// would scramble that order. The acquired slot is handed to the
+		// worker for its first dispatch.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := i; j < len(req.Targets); j++ {
+				answers[j] = DatasetAnswer{Dataset: req.Targets[j].Dataset,
+					Shard: req.Targets[j].Shard, Shards: req.Targets[j].Shards,
+					Query: targetQuery(req, req.Targets[j]), Err: ctx.Err()}
+			}
+			break admit
+		}
 		wg.Add(1)
 		go func(i int, t Target) {
 			defer wg.Done()
@@ -239,20 +265,37 @@ func (e *Executor) Select(ctx context.Context, req Request) (*Result, error) {
 	return res, nil
 }
 
+// targetQuery returns the sub-query text for one target before rewriting.
+func targetQuery(req Request, t Target) string {
+	if t.Query != "" {
+		return t.Query
+	}
+	return req.Query
+}
+
 // queryTarget runs one target's sub-query: plan (cached rewrite), then
 // dispatch with retries under the endpoint's breaker, streaming solutions
-// into solCh. sem is the worker-pool semaphore: a slot is held only for
-// the duration of each dispatch attempt, not across backoff sleeps, so
-// retrying workers don't starve queued healthy targets.
+// into solCh. sem is the worker-pool semaphore: the caller pre-acquired
+// one slot (in-order admission), which funds the first dispatch attempt;
+// afterwards a slot is held only for the duration of each attempt, not
+// across backoff sleeps, so retrying workers don't starve queued healthy
+// targets.
 func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh chan<- eval.Solution, sem chan struct{}) (da DatasetAnswer) {
-	da = DatasetAnswer{Dataset: t.Dataset, Query: req.Query}
+	held := true // the admission slot the caller acquired for us
+	defer func() {
+		if held {
+			<-sem
+		}
+	}()
+	da = DatasetAnswer{Dataset: t.Dataset, Shard: t.Shard, Shards: t.Shards, Query: targetQuery(req, t)}
 	if t.NeedsRewrite {
 		if e.rewrite == nil {
 			da.Err = fmt.Errorf("federate: %s needs rewriting but no rewriter is configured", t.Dataset)
 			return da
 		}
-		q, _, err := e.cache.Do(PlanKey(req.Query, req.SourceOnt, t.Dataset), func() (string, error) {
-			return e.rewrite(req.Query, req.SourceOnt, t.Dataset)
+		base := da.Query
+		q, _, err := e.cache.Do(PlanKey(base, req.SourceOnt, t.Dataset), func() (string, error) {
+			return e.rewrite(base, req.SourceOnt, t.Dataset)
 		})
 		if err != nil {
 			da.Err = err
@@ -272,24 +315,28 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 				return da
 			}
 		}
-		if done := e.attempt(ctx, br, t, attempt, &da, solCh, sem); done {
+		if done := e.attempt(ctx, br, t, attempt, &da, solCh, sem, &held); done {
 			return da
 		}
 	}
 	return da
 }
 
-// attempt performs one dispatch under a worker-pool slot. It reports
+// attempt performs one dispatch under a worker-pool slot (re-using the
+// pre-acquired admission slot when *held, else acquiring one). It reports
 // whether the target is finished (success, terminal error, or
 // cancellation); false means "retry if the budget allows".
-func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt int, da *DatasetAnswer, solCh chan<- eval.Solution, sem chan struct{}) bool {
-	select {
-	case sem <- struct{}{}:
-		defer func() { <-sem }()
-	case <-ctx.Done():
-		da.Err = ctx.Err()
-		return true
+func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt int, da *DatasetAnswer, solCh chan<- eval.Solution, sem chan struct{}, held *bool) bool {
+	if !*held {
+		select {
+		case sem <- struct{}{}:
+			*held = true
+		case <-ctx.Done():
+			da.Err = ctx.Err()
+			return true
+		}
 	}
+	defer func() { <-sem; *held = false }()
 	// The breaker check sits inside the slot, right before the dispatch,
 	// so that an admitted half-open probe always reaches the dispatch and
 	// reports Success or Failure — abandoning a probe would wedge the
@@ -302,7 +349,11 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 		return true
 	}
 	da.Attempts = attempt + 1
-	attemptCtx, cancel := context.WithTimeout(ctx, e.opts.EndpointTimeout)
+	timeout := e.opts.EndpointTimeout
+	if t.Timeout > 0 && t.Timeout < timeout {
+		timeout = t.Timeout
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
 	t0 := time.Now()
 	res, err := e.client.SelectContext(attemptCtx, t.Endpoint, da.Query)
 	cancel()

@@ -1,0 +1,42 @@
+package federate
+
+import (
+	"context"
+
+	"sparqlrw/internal/plan"
+)
+
+// SelectPlan executes a planner-produced federation plan: the ordered,
+// VALUES-sharded sub-requests dispatch through the same pipeline as
+// Select (cached rewrite, bounded pool, retries, breakers), with the
+// plan's per-endpoint deadlines tightening the default attempt budget.
+// The in-order pool admission preserves the plan's fastest-first order.
+func (e *Executor) SelectPlan(ctx context.Context, p *plan.Plan) (*Result, error) {
+	req := Request{Query: p.Query, SourceOnt: p.SourceOnt, Vars: p.Vars}
+	for _, s := range p.Subs {
+		req.Targets = append(req.Targets, Target{
+			Dataset:      s.Dataset,
+			Endpoint:     s.Endpoint,
+			NeedsRewrite: s.NeedsRewrite,
+			Query:        s.Query,
+			Timeout:      s.Timeout,
+			Shard:        s.Shard,
+			Shards:       s.Shards,
+		})
+	}
+	return e.Select(ctx, req)
+}
+
+// InvalidateDataset drops every cached rewrite plan targeting the given
+// data set; wired to voidkb.KB.Subscribe so a changed voiD entry cannot
+// serve stale plans. It returns how many entries were dropped.
+func (e *Executor) InvalidateDataset(dataset string) int {
+	return e.cache.Invalidate(func(ds string) bool { return ds == dataset })
+}
+
+// FlushPlans empties the rewrite-plan cache; wired to align.KB.Subscribe
+// since cached plans embed the alignment set they were produced under.
+// It returns how many entries were dropped.
+func (e *Executor) FlushPlans() int {
+	return e.cache.Invalidate(nil)
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"html/template"
 	"net/http"
+
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/plan"
 )
 
 // REST API (the paper's Figure 5 "REST API" tier) plus a minimal HTML page
@@ -36,14 +39,25 @@ type queryResponse struct {
 	Duplicates int                 `json:"duplicates"`
 	Partial    bool                `json:"partial,omitempty"`
 	PerDataset []perDatasetJSON    `json:"perDataset"`
+	// Plan reports the planner's decisions when the caller passed no
+	// explicit targets and the planner selected them.
+	Plan *plan.Plan `json:"plan,omitempty"`
 }
 
 type perDatasetJSON struct {
 	Dataset   string  `json:"dataset"`
+	Shard     int     `json:"shard,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
 	Solutions int     `json:"solutions"`
 	Attempts  int     `json:"attempts,omitempty"`
 	LatencyMS float64 `json:"latencyMs,omitempty"`
 	Error     string  `json:"error,omitempty"`
+}
+
+// statsResponse extends the executor's stats with the planner's counters.
+type statsResponse struct {
+	federate.Stats
+	Planner *plan.Stats `json:"planner,omitempty"`
 }
 
 // Handler serves the mediator's REST API and UI.
@@ -106,11 +120,20 @@ func Handler(m *Mediator) http.Handler {
 				return
 			}
 		}
-		fr, err := m.FederatedSelectContext(r.Context(), req.Query, source, req.Targets)
+		var fr *FederatedResult
+		var pl *plan.Plan
+		var err error
+		if len(req.Targets) == 0 {
+			// Planner-selected targets: surface the plan in the response.
+			fr, pl, err = m.FederatedSelectPlanned(r.Context(), req.Query, source)
+		} else {
+			fr, err = m.FederatedSelectContext(r.Context(), req.Query, source, req.Targets)
+		}
 		if err != nil {
 			// A nil result means the request itself was bad (parse
-			// error, non-SELECT); otherwise the fan-out failed upstream
-			// (fail-fast policy), which is the repositories' fault.
+			// error, non-SELECT, nothing relevant); otherwise the fan-out
+			// failed upstream (fail-fast policy), which is the
+			// repositories' fault.
 			status := http.StatusBadGateway
 			if fr == nil {
 				status = http.StatusBadRequest
@@ -119,7 +142,7 @@ func Handler(m *Mediator) http.Handler {
 			return
 		}
 		resp := queryResponse{Vars: fr.Vars, Duplicates: fr.Duplicates,
-			Partial: fr.Partial, Rows: []map[string]string{}}
+			Partial: fr.Partial, Rows: []map[string]string{}, Plan: pl}
 		for _, sol := range fr.Solutions {
 			row := map[string]string{}
 			for k, v := range sol {
@@ -129,6 +152,7 @@ func Handler(m *Mediator) http.Handler {
 		}
 		for _, da := range fr.PerDataset {
 			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
+				Shard: da.Shard, Shards: da.Shards,
 				Attempts:  da.Attempts,
 				LatencyMS: float64(da.Latency.Microseconds()) / 1000}
 			if da.Err != nil {
@@ -140,9 +164,41 @@ func Handler(m *Mediator) http.Handler {
 		_ = json.NewEncoder(w).Encode(resp)
 	})
 
-	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/api/plan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		source := req.Source
+		if source == "" {
+			var err error
+			if source, err = m.GuessSourceOntology(req.Query); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		pl, err := m.PlanQuery(req.Query, source)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(m.FederationStats())
+		_ = json.NewEncoder(w).Encode(pl)
+	})
+
+	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		resp := statsResponse{Stats: m.FederationStats()}
+		if m.Planner != nil {
+			ps := m.PlannerStats()
+			resp.Planner = &ps
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
 	})
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {

@@ -9,12 +9,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/core"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/voidkb"
@@ -31,11 +33,18 @@ type Mediator struct {
 	// circuit breaking and the rewrite-plan cache. Reconfigure it with
 	// ConfigureFederation.
 	Exec *federate.Executor
+	// Planner performs voiD-driven source selection, VALUES sharding and
+	// adaptive ordering for federated queries with no explicit targets.
+	// Reconfigure it with ConfigurePlanner; set nil to disable planning.
+	Planner *plan.Planner
 	// RewriteFilters turns on the §4 FILTER extension for all rewrites.
 	// Flip it before issuing federated queries, or call
 	// ConfigureFederation afterwards so the rewrite-plan cache does not
 	// serve plans produced under the old setting.
 	RewriteFilters bool
+
+	// unsubscribe detaches the KB cache-invalidation hooks (see Close).
+	unsubscribe []func()
 }
 
 // New builds a mediator. corefSrc may be a local coref.Store or a
@@ -49,7 +58,64 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) 
 		Client:     endpoint.NewClient(),
 	}
 	m.ConfigureFederation(federate.Options{})
+	m.ConfigurePlanner(plan.Options{})
+	// Rewrite-plan cache invalidation hooks: a changed voiD entry drops
+	// that data set's cached plans, a changed alignment KB flushes them
+	// all — no wholesale ConfigureFederation rebuild needed.
+	m.unsubscribe = []func(){
+		datasets.Subscribe(func(uri string) { m.Exec.InvalidateDataset(uri) }),
+		alignments.Subscribe(func() { m.Exec.FlushPlans() }),
+	}
 	return m
+}
+
+// Close detaches the mediator's KB subscriptions. Call it when the
+// mediator is discarded but the knowledge bases live on (e.g. a config
+// reload rebuilding the mediator over shared KBs); otherwise the KBs
+// keep the mediator — executor, caches and all — reachable forever.
+func (m *Mediator) Close() {
+	for _, cancel := range m.unsubscribe {
+		cancel()
+	}
+	m.unsubscribe = nil
+}
+
+// ConfigurePlanner rebuilds the federation planner with the given options
+// (zero-value fields take the plan defaults), feeding it the executor's
+// live per-endpoint health for adaptive ordering.
+func (m *Mediator) ConfigurePlanner(opts plan.Options) {
+	m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, opts)
+}
+
+// endpointHealth adapts the executor's stats into the planner's view.
+func (m *Mediator) endpointHealth() map[string]plan.EndpointHealth {
+	st := m.Exec.Stats()
+	out := make(map[string]plan.EndpointHealth, len(st.Endpoints))
+	for _, es := range st.Endpoints {
+		out[es.Endpoint] = plan.EndpointHealth{
+			AvgLatency: time.Duration(es.AvgLatencyMS * float64(time.Millisecond)),
+			Available:  es.Breaker != federate.BreakerOpen.String(),
+		}
+	}
+	return out
+}
+
+// PlanQuery explains how a federated query would run: the per-data-set
+// relevance decisions and the ordered, sharded sub-requests.
+func (m *Mediator) PlanQuery(queryText, sourceOnt string) (*plan.Plan, error) {
+	if m.Planner == nil {
+		return nil, fmt.Errorf("mediate: planning is disabled")
+	}
+	return m.Planner.Plan(queryText, sourceOnt)
+}
+
+// PlannerStats snapshots the planner's counters (zero value when
+// planning is disabled).
+func (m *Mediator) PlannerStats() plan.Stats {
+	if m.Planner == nil {
+		return plan.Stats{}
+	}
+	return m.Planner.Stats()
 }
 
 // ConfigureFederation rebuilds the federation executor with the given
@@ -142,7 +208,16 @@ func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string
 // collapse. Execution is delegated to the federation executor: concurrent
 // fan-out with per-endpoint deadlines, retries and circuit breaking, plus
 // a rewrite-plan cache (see internal/federate).
+//
+// When targets is empty the planner selects them: the query fans out to
+// exactly the data sets whose voiD profile (vocabulary, URI space,
+// alignment coverage) says they can contribute, sharded and ordered per
+// internal/plan.
 func (m *Mediator) FederatedSelectContext(ctx context.Context, queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
+	if len(targets) == 0 {
+		res, _, err := m.FederatedSelectPlanned(ctx, queryText, sourceOnt)
+		return res, err
+	}
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return nil, fmt.Errorf("mediate: parsing query: %w", err)
@@ -187,6 +262,24 @@ func (m *Mediator) FederatedSelectContext(ctx context.Context, queryText, source
 		}
 	}
 	return res, err
+}
+
+// FederatedSelectPlanned plans and executes a federated query with
+// auto-selected targets, returning the plan alongside the merged result
+// so callers (the /api/query handler) can surface the decisions taken.
+func (m *Mediator) FederatedSelectPlanned(ctx context.Context, queryText, sourceOnt string) (*FederatedResult, *plan.Plan, error) {
+	if m.Planner == nil {
+		return nil, nil, fmt.Errorf("mediate: no targets given and planning is disabled")
+	}
+	pl, err := m.Planner.Plan(queryText, sourceOnt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(pl.Subs) == 0 {
+		return nil, pl, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
+	}
+	res, err := m.Exec.SelectPlan(ctx, pl)
+	return res, pl, err
 }
 
 // DatasetInfo summarises one data set for the REST API.

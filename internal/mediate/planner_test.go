@@ -1,0 +1,327 @@
+package mediate
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/plan"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+// countingServer wraps a SPARQL endpoint and counts requests, so tests
+// can assert which endpoints the planner actually dispatched to.
+func countingServer(t *testing.T, name string, st *store.Store) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	h := endpoint.NewServer(name, st)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// plannedStack builds a mediator over four endpoints of which only two
+// (Southampton, KISTI) are voiD-relevant to the Figure-1 workload: the
+// DBpedia and ECS stand-ins speak unreachable vocabularies.
+func plannedStack(t *testing.T) (*testStack, map[string]*atomic.Int64) {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 40, 120
+	u := workload.Generate(cfg)
+
+	hits := map[string]*atomic.Int64{}
+	soton, sotonHits := countingServer(t, "southampton", u.Southampton)
+	hits[workload.SotonVoidURI] = sotonHits
+	kisti, kistiHits := countingServer(t, "kisti", u.KISTI)
+	hits[workload.KistiVoidURI] = kistiHits
+	dbp, dbpHits := countingServer(t, "dbpedia", store.New())
+	hits[workload.DBPVoidURI] = dbpHits
+	ecs, ecsHits := countingServer(t, "ecs", store.New())
+	hits[workload.ECSVoidURI] = ecsHits
+
+	dsKB := voidkb.NewKB()
+	for _, d := range []*voidkb.Dataset{
+		{URI: workload.SotonVoidURI, Title: "Southampton RKB", SPARQLEndpoint: soton.URL,
+			URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}},
+		{URI: workload.KistiVoidURI, Title: "KISTI", SPARQLEndpoint: kisti.URL,
+			URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}},
+		{URI: workload.DBPVoidURI, Title: "DBpedia", SPARQLEndpoint: dbp.URL,
+			URISpace: workload.DBPURIPattern, Vocabularies: []string{rdf.DBONS}},
+		{URI: workload.ECSVoidURI, Title: "ECS", SPARQLEndpoint: ecs.URL,
+			URISpace: workload.ECSURIPattern, Vocabularies: []string{rdf.ECSNS}},
+	} {
+		if err := dsKB.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alignKB := align.NewKB()
+	if err := alignKB.Add(workload.AKT2KISTI()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alignKB.Add(workload.ECS2DBpedia()); err != nil {
+		t.Fatal(err)
+	}
+	m := New(dsKB, alignKB, u.Coref)
+	m.RewriteFilters = true
+	return &testStack{u: u, mediator: m}, hits
+}
+
+// TestPlannedFederationDispatchesOnlyRelevant pins the acceptance
+// criterion: with four endpoints of which two are voiD-relevant, a
+// federated query with no explicit targets reaches exactly those two.
+func TestPlannedFederationDispatchesOnlyRelevant(t *testing.T) {
+	s, hits := plannedStack(t)
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.PerDataset) != 2 {
+		t.Fatalf("per-dataset answers = %+v, want soton+kisti only", fr.PerDataset)
+	}
+	seen := map[string]bool{}
+	for _, da := range fr.PerDataset {
+		if da.Err != nil {
+			t.Fatalf("dataset %s failed: %v", da.Dataset, da.Err)
+		}
+		seen[da.Dataset] = true
+	}
+	if !seen[workload.SotonVoidURI] || !seen[workload.KistiVoidURI] {
+		t.Fatalf("wrong datasets dispatched: %+v", fr.PerDataset)
+	}
+	if hits[workload.DBPVoidURI].Load() != 0 || hits[workload.ECSVoidURI].Load() != 0 {
+		t.Fatal("pruned endpoints received requests")
+	}
+	if hits[workload.SotonVoidURI].Load() == 0 || hits[workload.KistiVoidURI].Load() == 0 {
+		t.Fatal("relevant endpoints not dispatched")
+	}
+	if len(fr.Solutions) == 0 {
+		t.Fatal("planned federation returned no answers")
+	}
+}
+
+// TestPlannedMatchesExplicitTargets: auto-selection returns the same
+// merged result as naming the two relevant repositories by hand.
+func TestPlannedMatchesExplicitTargets(t *testing.T) {
+	s, _ := plannedStack(t)
+	q := workload.Figure1Query(1)
+	planned, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned.Solutions) != len(explicit.Solutions) {
+		t.Fatalf("planned = %d solutions, explicit = %d",
+			len(planned.Solutions), len(explicit.Solutions))
+	}
+}
+
+func TestPlannedNoRelevantDatasets(t *testing.T) {
+	s, _ := plannedStack(t)
+	// A FOAF query reaches no registered data set.
+	_, err := s.mediator.FederatedSelect(
+		`SELECT ?n WHERE { ?x <http://xmlns.com/foaf/0.1/name> ?n }`,
+		rdf.FOAFNS, nil)
+	if err == nil || !strings.Contains(err.Error(), "relevant") {
+		t.Fatalf("err = %v, want no-relevant-data-set error", err)
+	}
+}
+
+// TestValuesShardedFederation: a VALUES-seeded query shards per the
+// configured batch size and the shard answers recombine to the full set.
+func TestValuesShardedFederation(t *testing.T) {
+	s, _ := plannedStack(t)
+	s.mediator.ConfigurePlanner(plan.Options{ValuesBatch: 2})
+
+	var sb strings.Builder
+	sb.WriteString("PREFIX akt:<" + rdf.AKTNS + ">\nSELECT ?a WHERE {\n  VALUES ?paper {")
+	for i := 0; i < 6; i++ {
+		sb.WriteString(" <" + workload.SotonPaper(i).Value + ">")
+	}
+	sb.WriteString(" }\n  ?paper akt:has-author ?a .\n}")
+	q := sb.String()
+
+	sharded, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 shards × 2 relevant datasets.
+	if len(sharded.PerDataset) != 6 {
+		t.Fatalf("sub-requests = %d, want 6: %+v", len(sharded.PerDataset), sharded.PerDataset)
+	}
+	for _, da := range sharded.PerDataset {
+		if da.Err != nil {
+			t.Fatalf("shard %d/%d of %s failed: %v", da.Shard, da.Shards, da.Dataset, da.Err)
+		}
+		if da.Shards != 3 {
+			t.Fatalf("shard count = %d, want 3", da.Shards)
+		}
+	}
+	s.mediator.ConfigurePlanner(plan.Options{ValuesBatch: -1})
+	unsharded, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded.Solutions) != len(unsharded.Solutions) {
+		t.Fatalf("sharded = %d solutions, unsharded = %d",
+			len(sharded.Solutions), len(unsharded.Solutions))
+	}
+}
+
+// TestPlanCacheInvalidationHooks pins the KB-change hooks: adding an
+// alignment flushes the rewrite-plan cache; re-registering a data set
+// drops only its plans.
+func TestPlanCacheInvalidationHooks(t *testing.T) {
+	s := newStack(t)
+	q := workload.Figure1Query(0)
+	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
+	run := func() {
+		t.Helper()
+		if _, err := s.mediator.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	st := s.mediator.FederationStats()
+	if st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Fatalf("warm-up cache hits/misses = %d/%d", st.CacheHits, st.CacheMisses)
+	}
+
+	// Alignment KB change → full flush → next run re-rewrites.
+	if err := s.mediator.Alignments.Add(workload.ECS2DBpedia()); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.mediator.FederationStats().CacheEntries; n != 0 {
+		t.Fatalf("cache entries after alignment change = %d, want 0", n)
+	}
+	run()
+	if st := s.mediator.FederationStats(); st.CacheMisses != 2 {
+		t.Fatalf("cache misses after alignment flush = %d, want 2", st.CacheMisses)
+	}
+
+	// voiD entry change → that data set's plan drops.
+	kisti, _ := s.mediator.Datasets.Get(workload.KistiVoidURI)
+	if err := s.mediator.Datasets.Add(&voidkb.Dataset{
+		URI: workload.KistiVoidURI, Title: "KISTI v2",
+		SPARQLEndpoint: kisti.SPARQLEndpoint,
+		URISpace:       kisti.URISpace,
+		Vocabularies:   kisti.Vocabularies,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.mediator.FederationStats().CacheEntries; n != 0 {
+		t.Fatalf("cache entries after voiD change = %d, want 0", n)
+	}
+	run()
+	if st := s.mediator.FederationStats(); st.CacheMisses != 3 {
+		t.Fatalf("cache misses after voiD invalidation = %d, want 3", st.CacheMisses)
+	}
+}
+
+func TestHTTPAPIQueryWithoutTargets(t *testing.T) {
+	s, hits := plannedStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	body, _ := json.Marshal(queryRequest{Query: workload.Figure1Query(0)})
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) == 0 || len(qr.PerDataset) != 2 {
+		t.Fatalf("rows=%d perDataset=%v", len(qr.Rows), qr.PerDataset)
+	}
+	if qr.Plan == nil || len(qr.Plan.Decisions) != 4 {
+		t.Fatalf("plan missing from response: %+v", qr.Plan)
+	}
+	if hits[workload.DBPVoidURI].Load() != 0 {
+		t.Fatal("pruned endpoint was queried")
+	}
+}
+
+func TestHTTPAPIPlanExplain(t *testing.T) {
+	s, _ := plannedStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	body, _ := json.Marshal(queryRequest{Query: workload.Figure1Query(0)})
+	resp, err := http.Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pl plan.Plan
+	if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Decisions) != 4 || len(pl.Subs) != 2 {
+		t.Fatalf("plan = %+v", pl)
+	}
+	relevant := 0
+	for _, dec := range pl.Decisions {
+		if dec.Relevant {
+			relevant++
+		}
+		if len(dec.Reasons) == 0 {
+			t.Fatalf("decision without reasons: %+v", dec)
+		}
+	}
+	if relevant != 2 {
+		t.Fatalf("relevant = %d, want 2", relevant)
+	}
+	// GET is rejected.
+	getResp, _ := http.Get(srv.URL + "/api/plan")
+	if getResp.StatusCode != 405 {
+		t.Fatalf("GET status = %d", getResp.StatusCode)
+	}
+	getResp.Body.Close()
+}
+
+func TestHTTPAPIStatsIncludesPlanner(t *testing.T) {
+	s, _ := plannedStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	if _, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Planner == nil || st.Planner.Plans != 1 || st.Planner.DatasetsPruned != 2 {
+		t.Fatalf("planner stats = %+v", st.Planner)
+	}
+	if len(st.Endpoints) != 2 {
+		t.Fatalf("endpoint stats = %+v", st.Endpoints)
+	}
+}

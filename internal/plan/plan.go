@@ -1,0 +1,443 @@
+// Package plan implements the mediator's federation query planner: the
+// voiD-knowledge-base-driven source selection the paper's architecture
+// (§3.4, Figure 5) describes, sitting between query rewriting and
+// federated execution.
+//
+// Given a query and its source ontology, the planner
+//
+//  1. selects sources — each registered data set is kept or pruned by
+//     matching the query's vocabulary namespaces and bound subject/object
+//     terms against the data set's voiD profile (void:vocabulary,
+//     void:uriSpace) and the alignment KB's coverage, so a federated
+//     query fans out only to repositories that can contribute answers;
+//  2. decomposes — a large VALUES block is sharded into batches, so one
+//     big seeded query federates as many small sub-queries whose results
+//     recombine under the executor's owl:sameAs merge;
+//  3. orders and budgets — sub-requests are dispatched fastest-endpoint
+//     first using the executor's observed per-endpoint latency, and slow
+//     endpoints get deadlines proportional to their observed latency
+//     instead of the full default budget (cf. Yannakis et al.'s
+//     heuristics-based reordering, PAPERS.md).
+//
+// The package deliberately does not import internal/federate: the
+// executor consumes a *Plan, and health data flows in through the
+// HealthFunc the caller wires up.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/voidkb"
+)
+
+// Options tune the planner. The zero value selects sane defaults.
+type Options struct {
+	// ValuesBatch is the maximum VALUES rows per sharded sub-query
+	// (default 50; set to -1 to disable sharding).
+	ValuesBatch int
+	// MaxShards caps how many shards one data set receives (default 32);
+	// larger VALUES blocks get proportionally bigger batches.
+	MaxShards int
+	// SlowFactor scales an endpoint's observed average latency into its
+	// adaptive deadline (default 8).
+	SlowFactor float64
+	// MinDeadline floors the adaptive deadline (default 250ms).
+	MinDeadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ValuesBatch == 0 {
+		o.ValuesBatch = 50
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = 32
+	}
+	if o.SlowFactor <= 0 {
+		o.SlowFactor = 8
+	}
+	if o.MinDeadline <= 0 {
+		o.MinDeadline = 250 * time.Millisecond
+	}
+	return o
+}
+
+// EndpointHealth is the planner's view of one endpoint's execution
+// history, fed in from the federation executor's stats.
+type EndpointHealth struct {
+	// AvgLatency is the observed mean attempt latency (0 = no data).
+	AvgLatency time.Duration
+	// Available is false while the endpoint's circuit breaker is open.
+	Available bool
+}
+
+// HealthFunc snapshots per-endpoint health, keyed by endpoint URL. It may
+// be nil (no history: original order, default deadlines).
+type HealthFunc func() map[string]EndpointHealth
+
+// Planner builds federation plans from the voiD and alignment KBs.
+type Planner struct {
+	datasets   *voidkb.KB
+	alignments *align.KB
+	health     HealthFunc
+	opts       Options
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns a planner over the given knowledge bases. health may be nil.
+func New(datasets *voidkb.KB, alignments *align.KB, health HealthFunc, opts Options) *Planner {
+	return &Planner{datasets: datasets, alignments: alignments, health: health, opts: opts.withDefaults()}
+}
+
+// Options returns the planner's effective (defaulted) options.
+func (p *Planner) Options() Options { return p.opts }
+
+// Stats counts planner activity for the /api/stats endpoint.
+type Stats struct {
+	// Plans is how many plans were built.
+	Plans uint64 `json:"plans"`
+	// DatasetsConsidered counts dataset relevance decisions taken.
+	DatasetsConsidered uint64 `json:"datasetsConsidered"`
+	// DatasetsPruned counts decisions that excluded a dataset.
+	DatasetsPruned uint64 `json:"datasetsPruned"`
+	// SubQueries counts emitted sub-requests.
+	SubQueries uint64 `json:"subQueries"`
+	// ValuesShards counts sub-requests produced by VALUES sharding.
+	ValuesShards uint64 `json:"valuesShards"`
+}
+
+// Stats returns a snapshot of the planner's counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Decision records why one data set was kept or pruned; the /api/plan
+// explain endpoint surfaces these.
+type Decision struct {
+	Dataset      string   `json:"dataset"`
+	Endpoint     string   `json:"endpoint"`
+	Relevant     bool     `json:"relevant"`
+	NeedsRewrite bool     `json:"needsRewrite,omitempty"`
+	Reasons      []string `json:"reasons"`
+	// Shards is how many sub-queries the data set receives (0 if pruned).
+	Shards int `json:"shards,omitempty"`
+	// AvgLatencyMS is the endpoint's observed mean latency (0 = no data).
+	AvgLatencyMS float64 `json:"avgLatencyMs,omitempty"`
+	// DeadlineMS is the adaptive per-attempt deadline (0 = executor default).
+	DeadlineMS float64 `json:"deadlineMs,omitempty"`
+}
+
+// SubRequest is one ordered, sharded sub-query of a plan.
+type SubRequest struct {
+	Dataset  string `json:"dataset"`
+	Endpoint string `json:"endpoint"`
+	// Query is the sub-query text (a VALUES shard, or the input query).
+	Query string `json:"query"`
+	// NeedsRewrite says the executor must translate Query for this data
+	// set before dispatch.
+	NeedsRewrite bool `json:"needsRewrite,omitempty"`
+	// Shard/Shards number this sub-query among its data set's VALUES
+	// shards (1-based; 1/1 when unsharded).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Timeout tightens the executor's per-attempt deadline (0 = default).
+	Timeout   time.Duration `json:"-"`
+	TimeoutMS float64       `json:"timeoutMs,omitempty"`
+}
+
+// Plan is an ordered set of sub-requests plus the decisions behind it.
+type Plan struct {
+	Query     string   `json:"query"`
+	SourceOnt string   `json:"source"`
+	Vars      []string `json:"vars"`
+	// ShardVar names the VALUES variable(s) the plan sharded on ("" when
+	// the query was not sharded).
+	ShardVar  string       `json:"shardVar,omitempty"`
+	Subs      []SubRequest `json:"subRequests"`
+	Decisions []Decision   `json:"decisions"`
+}
+
+// Datasets returns the distinct relevant data set URIs in dispatch order.
+func (pl *Plan) Datasets() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range pl.Subs {
+		if !seen[s.Dataset] {
+			seen[s.Dataset] = true
+			out = append(out, s.Dataset)
+		}
+	}
+	return out
+}
+
+// Plan builds a federation plan for a SELECT query written against
+// sourceOnt, considering every data set registered in the voiD KB.
+func (p *Planner) Plan(queryText, sourceOnt string) (*Plan, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("plan: parsing query: %w", err)
+	}
+	if q.Form != sparql.Select {
+		return nil, fmt.Errorf("plan: federated planning supports SELECT only, got %s", q.Form)
+	}
+	vars := q.SelectVars
+	if q.SelectStar {
+		vars = q.Vars()
+	}
+	prof := profileQuery(q)
+	var health map[string]EndpointHealth
+	if p.health != nil {
+		health = p.health()
+	}
+	shardTexts, shardVar := shardQuery(q, p.opts.ValuesBatch, p.opts.MaxShards)
+
+	pl := &Plan{Query: queryText, SourceOnt: sourceOnt, Vars: vars, ShardVar: shardVar}
+	var pruned, shards uint64
+	for _, ds := range p.datasets.All() {
+		dec := p.decide(ds, prof, sourceOnt)
+		h, known := health[ds.SPARQLEndpoint]
+		if known {
+			dec.AvgLatencyMS = float64(h.AvgLatency.Microseconds()) / 1000
+		}
+		if !dec.Relevant {
+			pruned++
+			pl.Decisions = append(pl.Decisions, dec)
+			continue
+		}
+		if known && !h.Available {
+			dec.Reasons = append(dec.Reasons, "endpoint circuit is open; dispatched last")
+		}
+		timeout := p.deadline(h, known)
+		if timeout > 0 {
+			dec.DeadlineMS = float64(timeout.Microseconds()) / 1000
+		}
+		texts := shardTexts
+		if len(texts) == 0 {
+			texts = []string{queryText}
+		} else {
+			shards += uint64(len(texts))
+		}
+		dec.Shards = len(texts)
+		for i, text := range texts {
+			pl.Subs = append(pl.Subs, SubRequest{
+				Dataset:      ds.URI,
+				Endpoint:     ds.SPARQLEndpoint,
+				Query:        text,
+				NeedsRewrite: dec.NeedsRewrite,
+				Shard:        i + 1,
+				Shards:       len(texts),
+				Timeout:      timeout,
+				TimeoutMS:    float64(timeout.Microseconds()) / 1000,
+			})
+		}
+		pl.Decisions = append(pl.Decisions, dec)
+	}
+	orderSubs(pl.Subs, health)
+
+	p.mu.Lock()
+	p.stats.Plans++
+	p.stats.DatasetsConsidered += uint64(len(pl.Decisions))
+	p.stats.DatasetsPruned += pruned
+	p.stats.SubQueries += uint64(len(pl.Subs))
+	p.stats.ValuesShards += shards
+	p.mu.Unlock()
+	return pl, nil
+}
+
+// decide runs the source-selection rules for one data set.
+func (p *Planner) decide(ds *voidkb.Dataset, prof *profile, sourceOnt string) Decision {
+	dec := Decision{Dataset: ds.URI, Endpoint: ds.SPARQLEndpoint, Relevant: true,
+		NeedsRewrite: !ds.UsesVocabulary(sourceOnt)}
+	if dec.NeedsRewrite {
+		// The data set speaks another vocabulary: it can only contribute
+		// through rewriting, which requires alignments from the source.
+		eas := p.alignments.Select(align.Selector{
+			SourceOntology: sourceOnt,
+			TargetDataset:  ds.URI,
+			TargetOntology: firstOrEmpty(ds.Vocabularies),
+		})
+		if len(eas) == 0 {
+			dec.Relevant = false
+			dec.Reasons = append(dec.Reasons, fmt.Sprintf(
+				"does not declare source vocabulary <%s> and no alignment reaches it", sourceOnt))
+			return dec
+		}
+		dec.Reasons = append(dec.Reasons, fmt.Sprintf(
+			"translates from <%s> via %d entity alignments", sourceOnt, len(eas)))
+	} else {
+		dec.Reasons = append(dec.Reasons, fmt.Sprintf("declares source vocabulary <%s>", sourceOnt))
+		// A native data set must still cover every vocabulary the query
+		// touches; voiD says it does not know the others.
+		for _, ns := range prof.namespaces {
+			if !ds.UsesVocabulary(ns) {
+				dec.Relevant = false
+				dec.Reasons = append(dec.Reasons, fmt.Sprintf(
+					"query uses vocabulary <%s> the data set does not declare", ns))
+				return dec
+			}
+		}
+	}
+	// Bound subject/object terms must be reachable: inside the data set's
+	// URI space, translated through owl:sameAs when rewriting, or in no
+	// registered space at all (benefit of the doubt).
+	translated := false
+	for _, uri := range prof.boundIRIs {
+		if ds.Matches(uri) {
+			continue
+		}
+		if dec.NeedsRewrite {
+			if !translated {
+				translated = true
+				dec.Reasons = append(dec.Reasons, "bound terms translated through owl:sameAs")
+			}
+			continue
+		}
+		if other, ok := p.datasets.DatasetFor(uri); ok && other.URI != ds.URI {
+			dec.Relevant = false
+			dec.Reasons = append(dec.Reasons, fmt.Sprintf(
+				"bound term <%s> lies in %s's URI space", uri, other.URI))
+			return dec
+		}
+	}
+	return dec
+}
+
+// deadline derives an endpoint's adaptive per-attempt deadline from its
+// observed latency: proportional to history, floored, and never looser
+// than the executor default (the executor clamps from above).
+func (p *Planner) deadline(h EndpointHealth, known bool) time.Duration {
+	if !known || h.AvgLatency <= 0 {
+		return 0
+	}
+	d := time.Duration(float64(h.AvgLatency) * p.opts.SlowFactor)
+	if d < p.opts.MinDeadline {
+		d = p.opts.MinDeadline
+	}
+	return d
+}
+
+// orderSubs sorts sub-requests for dispatch: endpoints with open circuits
+// last, then fastest observed endpoints first; endpoints without history
+// keep their (deterministic, URI-sorted) position at latency 0.
+func orderSubs(subs []SubRequest, health map[string]EndpointHealth) {
+	rank := func(s SubRequest) (int, time.Duration) {
+		h, ok := health[s.Endpoint]
+		if !ok {
+			return 0, 0
+		}
+		if !h.Available {
+			return 1, h.AvgLatency
+		}
+		return 0, h.AvgLatency
+	}
+	sort.SliceStable(subs, func(i, j int) bool {
+		ri, li := rank(subs[i])
+		rj, lj := rank(subs[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return li < lj
+	})
+}
+
+// profile summarises the query features source selection matches against.
+type profile struct {
+	// namespaces are the vocabulary namespaces of bound predicates and
+	// rdf:type classes, infrastructure namespaces excluded, sorted.
+	namespaces []string
+	// boundIRIs are ground IRIs in subject/object positions, VALUES rows
+	// and FILTER constants — the terms URI-space matching applies to.
+	boundIRIs []string
+}
+
+// infrastructureNS are namespaces every endpoint is assumed to know.
+var infrastructureNS = map[string]bool{
+	rdf.RDFNS:  true,
+	rdf.RDFSNS: true,
+	rdf.OWLNS:  true,
+	rdf.XSDNS:  true,
+}
+
+func profileQuery(q *sparql.Query) *profile {
+	nsSet := map[string]bool{}
+	iriSet := map[string]bool{}
+	noteVocab := func(iri string) {
+		ns := namespaceOf(iri)
+		if !infrastructureNS[ns] {
+			nsSet[ns] = true
+		}
+	}
+	noteInstance := func(t rdf.Term) {
+		if t.IsIRI() {
+			iriSet[t.Value] = true
+		}
+	}
+	sparql.Walk(q.Where, func(el sparql.GroupElement) {
+		switch e := el.(type) {
+		case *sparql.BGP:
+			for _, tp := range e.Patterns {
+				if tp.P.IsIRI() {
+					if tp.P.Value == rdf.RDFType {
+						if tp.O.IsIRI() {
+							noteVocab(tp.O.Value)
+						}
+					} else {
+						noteVocab(tp.P.Value)
+						noteInstance(tp.O)
+					}
+				} else {
+					noteInstance(tp.O)
+				}
+				noteInstance(tp.S)
+			}
+		case *sparql.InlineData:
+			for _, row := range e.Rows {
+				for _, t := range row {
+					noteInstance(t)
+				}
+			}
+		case *sparql.Filter:
+			for _, t := range sparql.ExprTerms(e.Expr) {
+				noteInstance(t)
+			}
+		}
+	})
+	p := &profile{}
+	for ns := range nsSet {
+		p.namespaces = append(p.namespaces, ns)
+	}
+	sort.Strings(p.namespaces)
+	for iri := range iriSet {
+		p.boundIRIs = append(p.boundIRIs, iri)
+	}
+	sort.Strings(p.boundIRIs)
+	return p
+}
+
+// namespaceOf splits an IRI at its last '#' or '/', keeping the separator.
+func namespaceOf(iri string) string {
+	if i := strings.LastIndex(iri, "#"); i >= 0 {
+		return iri[:i+1]
+	}
+	if i := strings.LastIndex(iri, "/"); i >= 0 {
+		return iri[:i+1]
+	}
+	return iri
+}
+
+func firstOrEmpty(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
+}

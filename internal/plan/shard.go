@@ -1,0 +1,84 @@
+package plan
+
+import (
+	"strings"
+
+	"sparqlrw/internal/sparql"
+)
+
+// shardQuery splits a query carrying a large VALUES block into batched
+// sub-query texts: shard i keeps rows [i*batch, (i+1)*batch) of the
+// biggest block and everything else verbatim, so the shards' result sets
+// union back to the unsharded answer. It returns nil when the query has
+// no shardable VALUES block bigger than batch (or sharding is disabled).
+//
+// Sharding is semantics-preserving only when the union of shard results
+// equals the unsharded result: queries with LIMIT/OFFSET are never
+// sharded (each shard would apply the slice locally), and only VALUES
+// blocks at the top level of the WHERE group qualify (splitting a block
+// inside OPTIONAL/UNION would change which rows leave variables unbound).
+func shardQuery(q *sparql.Query, batch, maxShards int) (texts []string, shardVar string) {
+	if batch <= 0 || q.Limit >= 0 || q.Offset >= 0 {
+		return nil, ""
+	}
+	ordinal, target := largestInlineData(q)
+	if target == nil || len(target.Rows) <= batch {
+		return nil, ""
+	}
+	rows := len(target.Rows)
+	shards := (rows + batch - 1) / batch
+	if maxShards > 0 && shards > maxShards {
+		shards = maxShards
+		batch = (rows + shards - 1) / shards
+		shards = (rows + batch - 1) / batch
+	}
+	for s := 0; s < shards; s++ {
+		lo, hi := s*batch, (s+1)*batch
+		if hi > rows {
+			hi = rows
+		}
+		clone := q.Clone()
+		_, d := inlineDataAt(clone, ordinal)
+		d.Rows = d.Rows[lo:hi]
+		texts = append(texts, sparql.Format(clone))
+	}
+	return texts, "?" + strings.Join(target.Vars, " ?")
+}
+
+// largestInlineData returns the ordinal (among the WHERE group's
+// top-level VALUES blocks) and pointer of the block with the most rows
+// (-1, nil when the query has none at top level).
+func largestInlineData(q *sparql.Query) (int, *sparql.InlineData) {
+	best, bestOrd := (*sparql.InlineData)(nil), -1
+	if q.Where == nil {
+		return bestOrd, best
+	}
+	ord := 0
+	for _, el := range q.Where.Elements {
+		if d, ok := el.(*sparql.InlineData); ok {
+			if best == nil || len(d.Rows) > len(best.Rows) {
+				best, bestOrd = d, ord
+			}
+			ord++
+		}
+	}
+	return bestOrd, best
+}
+
+// inlineDataAt returns the top-level VALUES block at the given ordinal.
+func inlineDataAt(q *sparql.Query, ordinal int) (int, *sparql.InlineData) {
+	var found *sparql.InlineData
+	if q.Where == nil {
+		return ordinal, nil
+	}
+	ord := 0
+	for _, el := range q.Where.Elements {
+		if d, ok := el.(*sparql.InlineData); ok {
+			if ord == ordinal {
+				found = d
+			}
+			ord++
+		}
+	}
+	return ordinal, found
+}

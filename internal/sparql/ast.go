@@ -104,11 +104,22 @@ type Filter struct {
 	Expr Expression
 }
 
-func (*BGP) isGroupElement()      {}
-func (*SubGroup) isGroupElement() {}
-func (*Optional) isGroupElement() {}
-func (*Union) isGroupElement()    {}
-func (*Filter) isGroupElement()   {}
+// InlineData is a VALUES block (SPARQL 1.1 inline data): a sequence of
+// bindings for a fixed variable list, joined with the rest of the group.
+// A zero Term (rdf.KindAny) in a row stands for UNDEF. This is the
+// construct the federation planner shards on: a large VALUES block splits
+// into batches that federate as independent sub-queries.
+type InlineData struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+func (*BGP) isGroupElement()        {}
+func (*SubGroup) isGroupElement()   {}
+func (*Optional) isGroupElement()   {}
+func (*Union) isGroupElement()      {}
+func (*Filter) isGroupElement()     {}
+func (*InlineData) isGroupElement() {}
 
 // Expression is a SPARQL FILTER/ORDER BY expression tree node.
 type Expression interface{ isExpr() }
@@ -189,21 +200,31 @@ func (q *Query) Filters() []*Filter {
 	return out
 }
 
-// Vars returns the distinct variables mentioned in triple patterns of the
-// WHERE clause, in first-appearance order.
+// Vars returns the distinct variables mentioned in triple patterns and
+// VALUES blocks of the WHERE clause, in first-appearance order.
 func (q *Query) Vars() []string {
 	var out []string
 	seen := map[string]bool{}
-	for _, b := range q.BGPs() {
-		for _, tp := range b.Patterns {
-			for _, v := range tp.Vars() {
-				if !seen[v] {
-					seen[v] = true
-					out = append(out, v)
-				}
-			}
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
 		}
 	}
+	Walk(q.Where, func(el GroupElement) {
+		switch e := el.(type) {
+		case *BGP:
+			for _, tp := range e.Patterns {
+				for _, v := range tp.Vars() {
+					add(v)
+				}
+			}
+		case *InlineData:
+			for _, v := range e.Vars {
+				add(v)
+			}
+		}
+	})
 	return out
 }
 
@@ -284,6 +305,13 @@ func CloneGroup(g *GroupGraphPattern) *GroupGraphPattern {
 			out.Elements = append(out.Elements, &Union{Alternatives: alts})
 		case *Filter:
 			out.Elements = append(out.Elements, &Filter{Expr: MapExprTerms(e.Expr, func(t rdf.Term) rdf.Term { return t })})
+		case *InlineData:
+			c := &InlineData{Vars: append([]string(nil), e.Vars...)}
+			c.Rows = make([][]rdf.Term, len(e.Rows))
+			for i, row := range e.Rows {
+				c.Rows[i] = append([]rdf.Term(nil), row...)
+			}
+			out.Elements = append(out.Elements, c)
 		}
 	}
 	return out

@@ -106,6 +106,12 @@ func usedNamespaces(q *Query, pm *rdf.PrefixMap) map[string]bool {
 			for _, t := range ExprTerms(e.Expr) {
 				note(t)
 			}
+		case *InlineData:
+			for _, row := range e.Rows {
+				for _, t := range row {
+					note(t)
+				}
+			}
 		}
 	})
 	for _, oc := range q.OrderBy {
@@ -154,10 +160,40 @@ func formatGroup(b *strings.Builder, g *GroupGraphPattern, pm *rdf.PrefixMap, de
 					formatGroup(b, alt, pm, inner)
 				}
 				b.WriteString("\n")
+			case *InlineData:
+				formatInlineData(b, e, pm, inner)
 			}
 		}
 	}
 	b.WriteString(indent(depth) + "}")
+}
+
+// formatInlineData writes a VALUES block in the full (parenthesised) row
+// form, which is valid for any arity and re-parses to an identical tree.
+func formatInlineData(b *strings.Builder, d *InlineData, pm *rdf.PrefixMap, depth int) {
+	b.WriteString(indent(depth) + "VALUES (")
+	for i, v := range d.Vars {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString("?" + v)
+	}
+	b.WriteString(") {\n")
+	for _, row := range d.Rows {
+		b.WriteString(indent(depth+1) + "(")
+		for i, t := range row {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			if t.Kind == rdf.KindAny {
+				b.WriteString("UNDEF")
+			} else {
+				b.WriteString(formatTerm(t, pm))
+			}
+		}
+		b.WriteString(")\n")
+	}
+	b.WriteString(indent(depth) + "}\n")
 }
 
 func formatTriple(t rdf.Triple, pm *rdf.PrefixMap) string {

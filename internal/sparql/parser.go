@@ -104,6 +104,18 @@ func (p *parser) query() (*Query, error) {
 	if err := p.solutionModifiers(q); err != nil {
 		return nil, err
 	}
+	// Trailing VALUES clause (SPARQL 1.1 ValuesClause): joined with the
+	// WHERE group, so it is represented as a group element.
+	if p.isKeyword("VALUES") {
+		data, err := p.inlineData()
+		if err != nil {
+			return nil, err
+		}
+		if q.Where == nil {
+			q.Where = &GroupGraphPattern{}
+		}
+		q.Where.Elements = append(q.Where.Elements, data)
+	}
 	if p.tok.Kind != lex.EOF {
 		return nil, p.errf("unexpected trailing input: %s", p.tok)
 	}
@@ -236,6 +248,15 @@ func (p *parser) groupGraphPattern() (*GroupGraphPattern, error) {
 				return nil, err
 			}
 			g.Elements = append(g.Elements, &Optional{Group: sub})
+			if p.tok.Kind == lex.Dot {
+				p.next()
+			}
+		case p.isKeyword("VALUES"):
+			data, err := p.inlineData()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, data)
 			if p.tok.Kind == lex.Dot {
 				p.next()
 			}
@@ -545,6 +566,111 @@ func (p *parser) collection(acc *[]rdf.Triple) (rdf.Term, error) {
 	*acc = append(*acc, rdf.Triple{S: cur, P: rdf.NewIRI(rdf.RDFRest), O: rdf.NewIRI(rdf.RDFNil)})
 	p.next()
 	return head, nil
+}
+
+// inlineData parses a VALUES data block, in either form:
+//
+//	VALUES ?x { <v1> <v2> ... }
+//	VALUES (?x ?y) { (<v1> "a") (UNDEF <v2>) ... }
+//
+// Row terms are ground (IRIs or literals) or UNDEF; UNDEF is represented
+// as the zero Term.
+func (p *parser) inlineData() (*InlineData, error) {
+	p.next() // VALUES
+	data := &InlineData{}
+	single := false
+	switch p.tok.Kind {
+	case lex.Var:
+		single = true
+		data.Vars = []string{p.tok.Val}
+		p.next()
+	case lex.LParen:
+		p.next()
+		for p.tok.Kind == lex.Var {
+			data.Vars = append(data.Vars, p.tok.Val)
+			p.next()
+		}
+		if err := p.expect(lex.RParen); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected variable or variable list after VALUES, found %s", p.tok)
+	}
+	if err := p.expect(lex.LBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != lex.RBrace {
+		if p.tok.Kind == lex.EOF {
+			return nil, p.errf("unterminated VALUES block")
+		}
+		var row []rdf.Term
+		if single {
+			t, err := p.dataTerm()
+			if err != nil {
+				return nil, err
+			}
+			row = []rdf.Term{t}
+		} else {
+			if err := p.expect(lex.LParen); err != nil {
+				return nil, err
+			}
+			for p.tok.Kind != lex.RParen {
+				if p.tok.Kind == lex.EOF {
+					return nil, p.errf("unterminated VALUES row")
+				}
+				t, err := p.dataTerm()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, t)
+			}
+			p.next() // RParen
+			if len(row) != len(data.Vars) {
+				return nil, p.errf("VALUES row has %d terms for %d variables", len(row), len(data.Vars))
+			}
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	p.next() // RBrace
+	return data, nil
+}
+
+// dataTerm parses one VALUES row entry: a ground term or UNDEF (returned
+// as the zero Term). Variables and blank nodes are not data terms.
+func (p *parser) dataTerm() (rdf.Term, error) {
+	switch p.tok.Kind {
+	case lex.IRIRef:
+		t := rdf.NewIRI(p.pm.ResolveIRI(p.tok.Val))
+		p.next()
+		return t, nil
+	case lex.PNameLN, lex.PNameNS:
+		return p.pname()
+	case lex.String:
+		return p.literal()
+	case lex.Integer:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDInteger)
+		p.next()
+		return t, nil
+	case lex.Decimal:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDecimal)
+		p.next()
+		return t, nil
+	case lex.Double:
+		t := rdf.NewTypedLiteral(p.tok.Val, rdf.XSDDouble)
+		p.next()
+		return t, nil
+	case lex.Ident:
+		switch {
+		case strings.EqualFold(p.tok.Val, "UNDEF"):
+			p.next()
+			return rdf.Term{}, nil
+		case strings.EqualFold(p.tok.Val, "true"), strings.EqualFold(p.tok.Val, "false"):
+			t := rdf.NewTypedLiteral(strings.ToLower(p.tok.Val), rdf.XSDBoolean)
+			p.next()
+			return t, nil
+		}
+	}
+	return rdf.Term{}, p.errf("expected VALUES data term, found %s", p.tok)
 }
 
 // ---- Expressions --------------------------------------------------------

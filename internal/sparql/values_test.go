@@ -1,0 +1,128 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+func findInlineData(t *testing.T, q *Query) *InlineData {
+	t.Helper()
+	var out *InlineData
+	Walk(q.Where, func(el GroupElement) {
+		if d, ok := el.(*InlineData); ok && out == nil {
+			out = d
+		}
+	})
+	if out == nil {
+		t.Fatal("no VALUES block parsed")
+	}
+	return out
+}
+
+func TestParseValuesSingleVar(t *testing.T) {
+	q := MustParse(`PREFIX id:<http://example.org/id/>
+SELECT ?a WHERE {
+  VALUES ?p { id:p1 id:p2 id:p3 }
+  ?p <http://example.org/author> ?a .
+}`)
+	d := findInlineData(t, q)
+	if len(d.Vars) != 1 || d.Vars[0] != "p" {
+		t.Fatalf("vars = %v", d.Vars)
+	}
+	if len(d.Rows) != 3 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if d.Rows[1][0] != rdf.NewIRI("http://example.org/id/p2") {
+		t.Fatalf("row[1] = %v", d.Rows[1])
+	}
+}
+
+func TestParseValuesMultiVarWithUndef(t *testing.T) {
+	q := MustParse(`SELECT ?x ?y WHERE {
+  ?x ?p ?y .
+  VALUES (?x ?y) {
+    (<http://a> "one")
+    (UNDEF 2)
+    (<http://c> true)
+  }
+}`)
+	d := findInlineData(t, q)
+	if len(d.Vars) != 2 || len(d.Rows) != 3 {
+		t.Fatalf("vars=%v rows=%d", d.Vars, len(d.Rows))
+	}
+	if d.Rows[1][0].Kind != rdf.KindAny {
+		t.Fatalf("UNDEF not parsed: %v", d.Rows[1][0])
+	}
+	if d.Rows[1][1] != rdf.NewTypedLiteral("2", rdf.XSDInteger) {
+		t.Fatalf("typed row term = %v", d.Rows[1][1])
+	}
+}
+
+func TestParseValuesTrailingClause(t *testing.T) {
+	q := MustParse(`SELECT ?s WHERE { ?s ?p ?o } VALUES ?s { <http://a> <http://b> }`)
+	d := findInlineData(t, q)
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	// Trailing VALUES joins with the group, so it lands in WHERE.
+	if n := len(q.Where.Elements); n != 2 {
+		t.Fatalf("where elements = %d", n)
+	}
+}
+
+func TestParseValuesErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT ?x WHERE { VALUES { <http://a> } }`,                // missing var list
+		`SELECT ?x WHERE { VALUES (?x ?y) { (<http://a>) } }`,      // arity mismatch
+		`SELECT ?x WHERE { VALUES ?x { ?y } }`,                     // variable as data term
+		`SELECT ?x WHERE { VALUES ?x { <http://a> }`,               // unterminated group
+		`SELECT ?x WHERE { ?x ?p ?o } VALUES ?x { <http://a> } .`,  // trailing junk
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	src := `PREFIX id:<http://example.org/id/>
+SELECT ?a WHERE {
+  ?p <http://example.org/author> ?a .
+  VALUES (?p) {
+    (id:p1)
+    (UNDEF)
+  }
+}`
+	q := MustParse(src)
+	text := Format(q)
+	if !strings.Contains(text, "VALUES (?p)") || !strings.Contains(text, "UNDEF") {
+		t.Fatalf("formatted:\n%s", text)
+	}
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	d1, d2 := findInlineData(t, q), findInlineData(t, q2)
+	if len(d1.Rows) != len(d2.Rows) || d1.Rows[0][0] != d2.Rows[0][0] {
+		t.Fatalf("round trip lost rows: %v vs %v", d1.Rows, d2.Rows)
+	}
+	if Format(q2) != text {
+		t.Fatalf("format not stable:\n%s\nvs\n%s", text, Format(q2))
+	}
+}
+
+func TestValuesClone(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { VALUES ?x { <http://a> <http://b> } ?x ?p ?o }`)
+	c := q.Clone()
+	dc := findInlineData(t, c)
+	dc.Rows[0][0] = rdf.NewIRI("http://mutated")
+	dq := findInlineData(t, q)
+	if dq.Rows[0][0].Value != "http://a" {
+		t.Fatal("clone shares row storage with original")
+	}
+	if got := q.Vars(); len(got) != 3 || got[0] != "x" {
+		t.Fatalf("Vars() = %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+package voidkb
+
+import (
+	"testing"
+)
+
+func TestMatchesCachesCompiledPattern(t *testing.T) {
+	d := &Dataset{URISpace: `http://a\.example/\S*`}
+	if !d.Matches("http://a.example/x") || d.Matches("http://b.example/x") {
+		t.Fatal("match semantics wrong")
+	}
+	first := d.re
+	if first == nil {
+		t.Fatal("compiled regexp not cached")
+	}
+	d.Matches("http://a.example/y")
+	if d.re != first {
+		t.Fatal("regexp recompiled on second call")
+	}
+	// Mutating the URI space invalidates the cache.
+	d.URISpace = `http://b\.example/\S*`
+	if !d.Matches("http://b.example/x") || d.re == first {
+		t.Fatal("cache not refreshed after URISpace change")
+	}
+	// A bad pattern matches nothing and does not recompile per call.
+	d.URISpace = `http://(`
+	if d.Matches("http://(") {
+		t.Fatal("bad pattern must match nothing")
+	}
+}
+
+func TestMatchesEmptySpace(t *testing.T) {
+	d := &Dataset{}
+	if d.Matches("http://a.example/x") {
+		t.Fatal("empty URI space must match nothing")
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	d := &Dataset{URISpace: `http://southampton\.rkbexplorer\.com/id/\S*`}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !d.Matches("http://southampton.rkbexplorer.com/id/person-00042") {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func TestKBSubscribe(t *testing.T) {
+	kb := NewKB()
+	var notified []string
+	cancel := kb.Subscribe(func(uri string) { notified = append(notified, uri) })
+	if err := kb.Add(&Dataset{URI: "http://a/void", SPARQLEndpoint: "http://a/sparql"}); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing an entry notifies again.
+	if err := kb.Add(&Dataset{URI: "http://a/void", SPARQLEndpoint: "http://a2/sparql"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 2 || notified[0] != "http://a/void" {
+		t.Fatalf("notifications = %v", notified)
+	}
+	// Invalid adds do not notify.
+	_ = kb.Add(&Dataset{URI: "http://b/void"})
+	if len(notified) != 2 {
+		t.Fatalf("invalid add notified: %v", notified)
+	}
+	// A cancelled subscription stops receiving.
+	cancel()
+	if err := kb.Add(&Dataset{URI: "http://c/void", SPARQLEndpoint: "http://c/sparql"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 2 {
+		t.Fatalf("cancelled subscription notified: %v", notified)
+	}
+}

@@ -31,6 +31,12 @@ type Dataset struct {
 	// Vocabularies are the ontology namespaces the data set uses
 	// (void:vocabulary).
 	Vocabularies []string
+
+	// reMu guards the compiled URI-space regexp, cached because Matches
+	// sits on the planner's per-pattern hot path.
+	reMu  sync.Mutex
+	reSrc string
+	re    *regexp.Regexp
 }
 
 // URISpaceFromPrefix derives the regex pattern for a plain URI prefix.
@@ -38,13 +44,21 @@ func URISpaceFromPrefix(prefix string) string {
 	return regexp.QuoteMeta(prefix) + `\S*`
 }
 
-// Matches reports whether uri belongs to the data set's URI space.
+// Matches reports whether uri belongs to the data set's URI space. The
+// compiled regexp is cached per URISpace value; mutating URISpace
+// invalidates the cache on the next call.
 func (d *Dataset) Matches(uri string) bool {
 	if d.URISpace == "" {
 		return false
 	}
-	re, err := regexp.Compile("^(?:" + d.URISpace + ")$")
-	if err != nil {
+	d.reMu.Lock()
+	if d.reSrc != d.URISpace {
+		d.reSrc = d.URISpace
+		d.re, _ = regexp.Compile("^(?:" + d.URISpace + ")$") // nil on bad pattern
+	}
+	re := d.re
+	d.reMu.Unlock()
+	if re == nil {
 		return false
 	}
 	return re.MatchString(uri)
@@ -62,14 +76,38 @@ func (d *Dataset) UsesVocabulary(ns string) bool {
 
 // KB is a registry of data set descriptions.
 type KB struct {
-	mu       sync.RWMutex
-	datasets map[string]*Dataset
+	mu        sync.RWMutex
+	datasets  map[string]*Dataset
+	listeners map[int]func(datasetURI string)
+	nextSub   int
 }
 
 // NewKB returns an empty voiD KB.
 func NewKB() *KB { return &KB{datasets: map[string]*Dataset{}} }
 
-// Add validates and registers a data set description.
+// Subscribe registers fn to be called with the data set URI whenever a
+// description is added or replaced. The federation layer uses this to
+// invalidate cached rewrite plans when a voiD entry changes. The
+// returned cancel function removes the subscription; callers that
+// outlive the KB must call it or they stay reachable through it.
+func (kb *KB) Subscribe(fn func(datasetURI string)) (cancel func()) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if kb.listeners == nil {
+		kb.listeners = map[int]func(string){}
+	}
+	id := kb.nextSub
+	kb.nextSub++
+	kb.listeners[id] = fn
+	return func() {
+		kb.mu.Lock()
+		defer kb.mu.Unlock()
+		delete(kb.listeners, id)
+	}
+}
+
+// Add validates and registers a data set description, notifying
+// subscribers of the change.
 func (kb *KB) Add(d *Dataset) error {
 	if d.URI == "" {
 		return fmt.Errorf("voidkb: data set without URI")
@@ -78,8 +116,16 @@ func (kb *KB) Add(d *Dataset) error {
 		return fmt.Errorf("voidkb: data set %s without SPARQL endpoint", d.URI)
 	}
 	kb.mu.Lock()
-	defer kb.mu.Unlock()
 	kb.datasets[d.URI] = d
+	listeners := make([]func(string), 0, len(kb.listeners))
+	for _, fn := range kb.listeners {
+		listeners = append(listeners, fn)
+	}
+	kb.mu.Unlock()
+	// Callbacks run outside the lock so they may read the KB.
+	for _, fn := range listeners {
+		fn(d.URI)
+	}
 	return nil
 }
 

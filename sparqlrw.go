@@ -40,6 +40,7 @@ import (
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/mediate"
 	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
 	"sparqlrw/internal/sparql"
@@ -245,6 +246,31 @@ type (
 // ErrCircuitOpen is reported (wrapped) in a DatasetAnswer when an
 // endpoint's circuit breaker rejects a request without dispatching it.
 var ErrCircuitOpen = federate.ErrCircuitOpen
+
+// Federation planning (voiD-driven source selection, VALUES sharding and
+// adaptive ordering; see internal/plan).
+type (
+	// FederationPlanner selects, shards and orders federation targets.
+	FederationPlanner = plan.Planner
+	// FederationPlan is an ordered, sharded set of sub-requests plus the
+	// per-data-set relevance decisions behind it.
+	FederationPlan = plan.Plan
+	// PlannerOptions tune source selection, sharding and deadlines.
+	PlannerOptions = plan.Options
+	// PlanDecision explains why one data set was kept or pruned.
+	PlanDecision = plan.Decision
+	// PlanSubRequest is one ordered, sharded sub-query of a plan.
+	PlanSubRequest = plan.SubRequest
+	// PlannerStats counts plans, pruned data sets and VALUES shards.
+	PlannerStats = plan.Stats
+)
+
+// NewFederationPlanner builds a standalone planner over the given KBs;
+// most callers use the Mediator's built-in planner instead (PlanQuery,
+// ConfigurePlanner, and FederatedSelect with nil targets).
+func NewFederationPlanner(datasets *DatasetKB, alignments *AlignmentKB, health plan.HealthFunc, opts PlannerOptions) *FederationPlanner {
+	return plan.New(datasets, alignments, health, opts)
+}
 
 // NewDatasetKB returns an empty voiD knowledge base.
 func NewDatasetKB() *DatasetKB { return voidkb.NewKB() }
