@@ -6,6 +6,7 @@ package sparqlrw
 // the paper-vs-measured columns.
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -207,6 +208,77 @@ func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamingVsBuffered — time to first solution over four
+// endpoints of which one is slow: the buffered FederatedSelect path must
+// wait for the slowest repository before the caller sees anything, while
+// the streaming Query path hands over the first merged solution as soon
+// as a fast endpoint yields it (and tears the slow request down on
+// Close). ns/op is the time-to-first-solution.
+func BenchmarkStreamingVsBuffered(b *testing.B) {
+	const fastLatency = 1 * time.Millisecond
+	const slowLatency = 25 * time.Millisecond
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	delayed := func(name string, st *store.Store, d time.Duration) *httptest.Server {
+		h := endpoint.NewServer(name, st)
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(d)
+			h.ServeHTTP(w, r)
+		}))
+	}
+	var targets []string
+	dsKB := voidkb.NewKB()
+	for i, d := range []time.Duration{fastLatency, fastLatency, fastLatency, slowLatency} {
+		srv := delayed(fmt.Sprintf("replica%d", i), u.Southampton, d)
+		b.Cleanup(srv.Close)
+		uri := fmt.Sprintf("http://replica%d.example/void", i)
+		_ = dsKB.Add(&voidkb.Dataset{URI: uri, SPARQLEndpoint: srv.URL,
+			URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+		targets = append(targets, uri)
+	}
+	alignKB := align.NewKB()
+	_ = alignKB.Add(workload.AKT2KISTI())
+
+	b.Run("Buffered", func(b *testing.B) {
+		m := mediate.New(dsKB, alignKB, u.Coref)
+		b.Cleanup(m.Close)
+		m.RewriteFilters = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fr, err := m.FederatedSelect(workload.Figure1Query(i%50), rdf.AKTNS, targets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fr.Solutions) == 0 {
+				b.Fatal("no solutions")
+			}
+			_ = fr.Solutions[0] // first solution available only now
+		}
+	})
+	b.Run("Streaming", func(b *testing.B) {
+		m := mediate.New(dsKB, alignKB, u.Coref)
+		b.Cleanup(m.Close)
+		m.RewriteFilters = true
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qs, err := m.Query(context.Background(), mediate.QueryRequest{
+				Query: workload.Figure1Query(i % 50), SourceOnt: rdf.AKTNS, Targets: targets,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := qs.Next(); err != nil {
+				b.Fatal(err)
+			}
+			// First solution in hand; abandon the slow remainder.
+			qs.Close()
+		}
+	})
 }
 
 // BenchmarkPlanner_PlannedVsUnplanned — the voiD-driven planner against

@@ -13,12 +13,26 @@
 // the answers are streamed into a canonicalising owl:sameAs merge. The
 // knobs:
 //
-//	-concurrency N   worker-pool bound for the fan-out (default 8)
-//	-timeout D       per-endpoint attempt deadline (default 10s)
-//	-retries N       retries after a failed attempt (default 1)
-//	-cache N         rewrite-plan LRU capacity; 0 disables (default 256)
-//	-failfast        cancel the fan-out on the first endpoint error
-//	                 instead of returning best-effort partial results
+//	-concurrency N     worker-pool bound for the fan-out (default 8)
+//	-per-endpoint N    in-flight requests per endpoint; 0 = unbounded
+//	-timeout D         per-endpoint attempt deadline (default 10s)
+//	-retries N         retries after a failed attempt (default 1)
+//	-cache N           rewrite-plan LRU capacity; 0 disables (default 256)
+//	-failfast          cancel the fan-out on the first endpoint error
+//	                   instead of returning best-effort partial results
+//
+// # Streaming
+//
+// Every result path streams: the SPARQL endpoints serve chunked
+// results-JSON as the evaluator yields solutions, the mediator merges
+// per-endpoint streams incrementally, and POST /api/query writes (and
+// flushes) each merged row as it arrives — the first row is on the wire
+// before the slowest repository answers, and closing the connection
+// cancels all in-flight sub-queries. Body caps:
+//
+//	-max-request-body N   endpoint POST body cap in bytes (default 1 MiB)
+//	-max-response-body N  client cap for buffered (non-streaming)
+//	                      responses in bytes (default 64 MiB)
 //
 // # Planner
 //
@@ -84,6 +98,9 @@ func run() error {
 	filters := flag.Bool("filters", true, "enable the §4 FILTER-rewriting extension")
 	seed := flag.Int64("seed", 42, "workload seed")
 	concurrency := flag.Int("concurrency", 8, "federation worker-pool bound")
+	perEndpoint := flag.Int("per-endpoint", 0, "in-flight requests per endpoint (0 = unbounded)")
+	maxRequestBody := flag.Int64("max-request-body", endpoint.DefaultMaxRequestBody, "endpoint POST body cap in bytes (-1 = unlimited)")
+	maxResponseBody := flag.Int64("max-response-body", endpoint.DefaultMaxResponseBody, "client cap for buffered responses in bytes (-1 = unlimited)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-endpoint attempt deadline")
 	retries := flag.Int("retries", 1, "retries after a failed endpoint attempt")
 	cacheSize := flag.Int("cache", 256, "rewrite-plan cache capacity (0 disables)")
@@ -111,8 +128,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	go func() { _ = http.Serve(sotonLis, endpoint.NewServer("southampton", u.Southampton)) }()
-	go func() { _ = http.Serve(kistiLis, endpoint.NewServer("kisti", u.KISTI)) }()
+	sotonEP := endpoint.NewServer("southampton", u.Southampton)
+	sotonEP.MaxRequestBody = *maxRequestBody
+	kistiEP := endpoint.NewServer("kisti", u.KISTI)
+	kistiEP.MaxRequestBody = *maxRequestBody
+	go func() { _ = http.Serve(sotonLis, sotonEP) }()
+	go func() { _ = http.Serve(kistiLis, kistiEP) }()
 	go func() { _ = http.Serve(corefLis, coref.Handler(u.Coref)) }()
 	sotonURL := "http://" + sotonLis.Addr().String()
 	kistiURL := "http://" + kistiLis.Addr().String()
@@ -152,6 +173,7 @@ func run() error {
 	// exactly as the paper wraps sameas.org.
 	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL))
 	m.RewriteFilters = *filters
+	m.Client.MaxResponseBody = *maxResponseBody
 	fedRetries := *retries
 	if fedRetries == 0 {
 		fedRetries = -1 // federate.Options treats 0 as "default"; -1 means none
@@ -161,14 +183,15 @@ func run() error {
 		fedCache = -1
 	}
 	m.ConfigureFederation(federate.Options{
-		Concurrency:     *concurrency,
-		EndpointTimeout: *timeout,
-		MaxRetries:      fedRetries,
-		CacheSize:       fedCache,
-		FailFast:        *failFast,
+		Concurrency:            *concurrency,
+		PerEndpointConcurrency: *perEndpoint,
+		EndpointTimeout:        *timeout,
+		MaxRetries:             fedRetries,
+		CacheSize:              fedCache,
+		FailFast:               *failFast,
 	})
-	fmt.Printf("federation: concurrency=%d timeout=%s retries=%d cache=%d failfast=%v\n",
-		*concurrency, *timeout, *retries, *cacheSize, *failFast)
+	fmt.Printf("federation: concurrency=%d per-endpoint=%d timeout=%s retries=%d cache=%d failfast=%v\n",
+		*concurrency, *perEndpoint, *timeout, *retries, *cacheSize, *failFast)
 	if *usePlan {
 		batch := *valuesBatch
 		if batch == 0 {

@@ -2,6 +2,12 @@
 // exposing a triple store as a query endpoint (standing in for the remote
 // SPARQL/HTTP data sets of the paper's Figure 5) and a client used by the
 // mediator to execute rewritten queries remotely.
+//
+// Both sides are streaming-first: the server evaluates SELECT queries
+// lazily and writes each solution as it is produced (chunked, flushed),
+// and the client's SelectStream decodes response bodies incrementally, so
+// neither side ever holds a whole result set (or a whole response body)
+// in memory.
 package endpoint
 
 import (
@@ -21,16 +27,40 @@ import (
 	"sparqlrw/internal/store"
 )
 
+// DefaultMaxRequestBody caps POST query bodies read by the server.
+const DefaultMaxRequestBody = 1 << 20 // 1 MB
+
+// DefaultMaxResponseBody caps the buffered (non-streaming) client paths:
+// ASK and CONSTRUCT responses, and error bodies. The streaming SELECT
+// path decodes incrementally and needs no whole-body cap.
+const DefaultMaxResponseBody = 64 << 20 // 64 MB
+
+// FlushEvery is how often streaming handlers flush mid-stream after the
+// first solution: the first row reaches the client immediately, later
+// rows are batched to keep syscall overhead off the hot path. Shared by
+// this server and the mediator's /api/query handler.
+const FlushEvery = 64
+
 // Server serves SPARQL queries over one store.
 type Server struct {
 	Engine *eval.Engine
 	// Name labels the endpoint in diagnostics.
 	Name string
+	// MaxRequestBody caps how many bytes of a POST body are read
+	// (0 = DefaultMaxRequestBody; negative = unlimited).
+	MaxRequestBody int64
 }
 
 // NewServer wraps a store as a SPARQL protocol server.
 func NewServer(name string, st *store.Store) *Server {
 	return &Server{Engine: eval.New(st), Name: name}
+}
+
+func (s *Server) maxRequestBody() int64 {
+	if s.MaxRequestBody == 0 {
+		return DefaultMaxRequestBody
+	}
+	return s.MaxRequestBody
 }
 
 // ServeHTTP handles the SPARQL protocol:
@@ -40,17 +70,23 @@ func NewServer(name string, st *store.Store) *Server {
 //	POST /sparql  application/sparql-query            <body is the query>
 //
 // SELECT and ASK return application/sparql-results+json; CONSTRUCT
-// returns N-Triples.
+// returns N-Triples. SELECT responses are streamed: solutions are written
+// (and flushed) as the evaluator yields them, so the first binding is on
+// the wire before evaluation finishes, and a cancelled request (client
+// disconnect) stops evaluation at the next yield.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var queryText string
 	switch r.Method {
 	case http.MethodGet:
 		queryText = r.URL.Query().Get("query")
 	case http.MethodPost:
+		if limit := s.maxRequestBody(); limit > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
 		ct := r.Header.Get("Content-Type")
 		switch {
 		case strings.HasPrefix(ct, "application/sparql-query"):
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			body, err := io.ReadAll(r.Body)
 			if err != nil {
 				http.Error(w, "cannot read body", http.StatusBadRequest)
 				return
@@ -78,19 +114,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch q.Form {
 	case sparql.Select:
-		res, err := s.Engine.Select(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		eval.SortSolutions(res.Solutions)
-		data, err := srjson.EncodeSelect(res)
+		sr, err := s.Engine.SelectSeq(q)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
-		_, _ = w.Write(data)
+		flusher, _ := w.(http.Flusher)
+		n := 0
+		flush := func() {
+			n++
+			if flusher != nil && (n == 1 || n%FlushEvery == 0) {
+				flusher.Flush()
+			}
+		}
+		ctx := r.Context()
+		seq := func(yield func(eval.Solution, error) bool) {
+			for sol, err := range sr.Seq {
+				if ctx.Err() != nil {
+					return // client gone: stop evaluating
+				}
+				if !yield(sol, err) {
+					return
+				}
+			}
+		}
+		// A mid-stream evaluation or write error can no longer change the
+		// status line; aborting leaves truncated JSON, which the client's
+		// incremental decoder reports as an error.
+		_ = srjson.EncodeSelectStream(w, sr.Vars, seq, flush)
 	case sparql.Ask:
 		b, err := s.Engine.Ask(q)
 		if err != nil {
@@ -121,6 +173,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // "SPARQL/HTTP" arrows of Figure 5.
 type Client struct {
 	HTTP *http.Client
+	// MaxResponseBody caps the buffered response paths — ASK, CONSTRUCT
+	// and error bodies (0 = DefaultMaxResponseBody; negative =
+	// unlimited). Streaming SELECT responses decode incrementally and are
+	// not subject to it.
+	MaxResponseBody int64
 }
 
 // sharedTransport is the one transport every endpoint.Client shares: the
@@ -139,9 +196,10 @@ var sharedTransport = &http.Transport{
 }
 
 // defaultTimeout bounds requests whose context carries no deadline (the
-// non-context Select/Ask/Construct paths). It is applied per request in
-// post rather than as http.Client.Timeout, which would silently cap
-// caller-supplied context deadlines.
+// non-context Select/Ask/Construct paths). It is applied per request
+// rather than as http.Client.Timeout, which would silently cap
+// caller-supplied context deadlines. For streams it bounds the whole
+// response body read.
 const defaultTimeout = 30 * time.Second
 
 // NewClient returns a client backed by the shared pooled transport.
@@ -151,26 +209,138 @@ func NewClient() *Client {
 	return &Client{HTTP: &http.Client{Transport: sharedTransport}}
 }
 
+func (c *Client) maxResponseBody() int64 {
+	if c.MaxResponseBody == 0 {
+		return DefaultMaxResponseBody
+	}
+	return c.MaxResponseBody
+}
+
 // Select runs a SELECT query at the endpoint URL.
 func (c *Client) Select(endpointURL, queryText string) (*eval.Result, error) {
 	return c.SelectContext(context.Background(), endpointURL, queryText)
 }
 
 // SelectContext runs a SELECT query, honouring ctx's cancellation and
-// deadline.
+// deadline. It drains the streaming path into a materialised Result;
+// callers that can consume solutions incrementally should prefer
+// SelectStreamContext.
 func (c *Client) SelectContext(ctx context.Context, endpointURL, queryText string) (*eval.Result, error) {
-	body, err := c.post(ctx, endpointURL, queryText)
+	st, err := c.SelectStreamContext(ctx, endpointURL, queryText)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := srjson.Decode(body)
+	defer st.Close()
+	var sols []eval.Solution
+	for {
+		sol, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		sols = append(sols, sol)
+	}
+	return &eval.Result{Vars: st.Vars(), Solutions: sols}, nil
+}
+
+// SelectStream is an in-flight SELECT response: solutions decode from the
+// wire on demand. Close releases the connection (and any internal
+// deadline) and must always be called; it is safe to call twice.
+type SelectStream struct {
+	endpoint string
+	dec      *srjson.StreamDecoder
+	body     io.ReadCloser
+	cancel   context.CancelFunc
+	closed   bool
+}
+
+// SelectStreamContext opens a streaming SELECT against the endpoint URL.
+// The returned stream decodes the response body incrementally: Next
+// yields each solution as it arrives, io.EOF ends a well-formed stream,
+// and ctx's cancellation tears the transfer down mid-body.
+func (c *Client) SelectStreamContext(ctx context.Context, endpointURL, queryText string) (*SelectStream, error) {
+	var cancel context.CancelFunc
+	if _, ok := ctx.Deadline(); !ok {
+		ctx, cancel = context.WithTimeout(ctx, defaultTimeout)
+	}
+	resp, err := c.do(ctx, endpointURL, queryText)
 	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
 		return nil, err
 	}
-	if res == nil {
-		return nil, fmt.Errorf("endpoint: expected SELECT results from %s", endpointURL)
+	dec, err := srjson.NewStreamDecoder(resp.Body)
+	if err != nil {
+		resp.Body.Close()
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
 	}
-	return res, nil
+	return &SelectStream{endpoint: endpointURL, dec: dec, body: resp.Body, cancel: cancel}, nil
+}
+
+// Vars returns the projection variables from the response head (final
+// once Next has returned io.EOF, see srjson.StreamDecoder.Vars).
+func (s *SelectStream) Vars() []string { return s.dec.Vars() }
+
+// Next returns the next solution, io.EOF at the clean end of the stream,
+// or the decode/transport error that terminated it.
+func (s *SelectStream) Next() (eval.Solution, error) {
+	sol, err := s.dec.Next()
+	if err == io.EOF && !s.dec.SawResults() {
+		return nil, fmt.Errorf("endpoint: expected SELECT results from %s", s.endpoint)
+	}
+	return sol, err
+}
+
+// All adapts the stream into a lazy solution sequence terminated by the
+// first error (io.EOF is a clean end). The stream is closed when the
+// sequence finishes or its consumer stops early.
+func (s *SelectStream) All() eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		defer s.Close()
+		for {
+			sol, err := s.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(sol, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Close releases the underlying connection. Closing before the stream is
+// drained discards the remainder of the body.
+func (s *SelectStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	// Drained streams leave the connection reusable; abandoned ones are
+	// torn down by the cancel.
+	err := s.body.Close()
+	if s.cancel != nil {
+		s.cancel()
+	}
+	return err
+}
+
+// SelectSolutionStream opens a streaming SELECT behind the neutral
+// eval.SolutionStream interface; the federation executor type-asserts
+// this capability on its client to merge endpoint streams without
+// buffering them.
+func (c *Client) SelectSolutionStream(ctx context.Context, endpointURL, queryText string) (eval.SolutionStream, error) {
+	return c.SelectStreamContext(ctx, endpointURL, queryText)
 }
 
 // Ask runs an ASK query at the endpoint URL.
@@ -209,12 +379,9 @@ func (c *Client) ConstructContext(ctx context.Context, endpointURL, queryText st
 	return ntriples.ParseString(string(body))
 }
 
-func (c *Client) post(ctx context.Context, endpointURL, queryText string) ([]byte, error) {
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, defaultTimeout)
-		defer cancel()
-	}
+// do issues the protocol POST and returns the (status-checked) response
+// with its body still unread, for streaming consumption.
+func (c *Client) do(ctx context.Context, endpointURL, queryText string) (*http.Response, error) {
 	form := url.Values{"query": {queryText}}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpointURL,
 		strings.NewReader(form.Encode()))
@@ -226,13 +393,37 @@ func (c *Client) post(ctx context.Context, endpointURL, queryText string) ([]byt
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: %w", err)
 	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(limitReader(resp.Body, c.maxResponseBody()))
+		resp.Body.Close()
+		return nil, fmt.Errorf("endpoint: %s returned %d: %s", endpointURL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// post issues the protocol POST and buffers the whole response body, for
+// the non-streaming ASK/CONSTRUCT paths.
+func (c *Client) post(ctx context.Context, endpointURL, queryText string) ([]byte, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, defaultTimeout)
+		defer cancel()
+	}
+	resp, err := c.do(ctx, endpointURL, queryText)
+	if err != nil {
+		return nil, err
+	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	body, err := io.ReadAll(limitReader(resp.Body, c.maxResponseBody()))
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: reading response: %w", err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("endpoint: %s returned %d: %s", endpointURL, resp.StatusCode, strings.TrimSpace(string(body)))
-	}
 	return body, nil
+}
+
+func limitReader(r io.Reader, limit int64) io.Reader {
+	if limit < 0 {
+		return r
+	}
+	return io.LimitReader(r, limit)
 }

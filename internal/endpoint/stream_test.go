@@ -1,0 +1,189 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
+)
+
+// TestSelectStreamIncremental drives the client against a handler that
+// writes one binding, flushes, then holds the connection: the first
+// solution must be decodable while the response is still in flight.
+func TestSelectStreamIncremental(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		fmt.Fprint(w, `{"head":{"vars":["a"]},"results":{"bindings":[`)
+		fmt.Fprint(w, `{"a":{"type":"uri","value":"http://x/first"}}`)
+		w.(http.Flusher).Flush()
+		<-release
+		fmt.Fprint(w, `,{"a":{"type":"uri","value":"http://x/second"}}]}}`)
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := NewClient()
+	st, err := c.SelectStreamContext(context.Background(), srv.URL, "SELECT ?a WHERE { ?s ?p ?a }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	firstCh := make(chan error, 1)
+	go func() {
+		sol, err := st.Next()
+		if err == nil && sol["a"].Value != "http://x/first" {
+			err = fmt.Errorf("first solution = %v", sol)
+		}
+		firstCh <- err
+	}()
+	select {
+	case err := <-firstCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first solution not decoded while response in flight")
+	}
+}
+
+// TestSelectStreamEarlyClose closes a stream after the first solution;
+// the remaining (large) body must not be read.
+func TestSelectStreamEarlyClose(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 500; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i)),
+			P: rdf.NewIRI("http://example.org/p"),
+			O: rdf.NewLiteral("v"),
+		})
+	}
+	srv := httptest.NewServer(NewServer("big", st))
+	defer srv.Close()
+	c := NewClient()
+	stream, err := c.SelectStreamContext(context.Background(), srv.URL,
+		`PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p "v" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing twice is fine; Next after close errors rather than hanging.
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectStreamContextCancelMidBody cancels the context between rows
+// and expects the in-flight Next to fail promptly.
+func TestSelectStreamContextCancelMidBody(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		fmt.Fprint(w, `{"head":{"vars":["a"]},"results":{"bindings":[`)
+		fmt.Fprint(w, `{"a":{"type":"uri","value":"http://x/1"}}`)
+		w.(http.Flusher).Flush()
+		<-release // never released with a row; the client must cancel out
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewClient()
+	st, err := c.SelectStreamContext(ctx, srv.URL, "SELECT ?a WHERE { ?s ?p ?a }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := st.Next()
+		errCh <- err
+	}()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil || err == io.EOF {
+			t.Fatalf("cancelled mid-body Next = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled stream did not unblock")
+	}
+}
+
+// TestServerRequestBodyLimit checks the configurable POST cap.
+func TestServerRequestBodyLimit(t *testing.T) {
+	s := NewServer("demo", store.New())
+	s.MaxRequestBody = 64
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	long := "SELECT ?s WHERE { ?s ?p ?o } # " + strings.Repeat("x", 1024)
+	resp, err := http.Post(srv.URL, "application/sparql-query", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("oversized body accepted (status %d)", resp.StatusCode)
+	}
+	// The form-encoded path is capped too.
+	form := url.Values{"query": {long}}
+	resp, err = http.Post(srv.URL, "application/x-www-form-urlencoded", strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("oversized form accepted (status %d)", resp.StatusCode)
+	}
+	// Small queries still pass under the small cap.
+	resp, err = http.Post(srv.URL, "application/sparql-query",
+		strings.NewReader("ASK { ?s ?p ?o }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body status = %d", resp.StatusCode)
+	}
+}
+
+// TestClientResponseBodyUncappedStreaming: a SELECT response larger than
+// MaxResponseBody still streams through, because the streaming path needs
+// no whole-body cap.
+func TestClientResponseBodyUncappedStreaming(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 200; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://example.org/s%04d", i)),
+			P: rdf.NewIRI("http://example.org/p"),
+			O: rdf.NewLiteral(strings.Repeat("v", 50)),
+		})
+	}
+	srv := httptest.NewServer(NewServer("big", st))
+	defer srv.Close()
+	c := NewClient()
+	c.MaxResponseBody = 512 // far smaller than the ~20 KB response
+	res, err := c.Select(srv.URL, `PREFIX ex: <http://example.org/> SELECT ?s ?o WHERE { ?s ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 200 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+}

@@ -33,33 +33,33 @@ type Result struct {
 	Solutions []Solution
 }
 
-// Select evaluates a SELECT query.
+// Select evaluates a SELECT query, materialising every solution. The
+// streaming counterpart is SelectSeq.
 func (e *Engine) Select(q *sparql.Query) (*Result, error) {
-	if q.Form != sparql.Select {
-		return nil, fmt.Errorf("eval: Select called on %s query", q.Form)
-	}
-	op := algebra.Translate(q)
-	sols, err := e.eval(op)
+	sr, err := e.SelectSeq(q)
 	if err != nil {
 		return nil, err
 	}
-	vars := q.SelectVars
-	if q.SelectStar {
-		vars = q.Vars()
+	sols, err := Collect(sr.Seq)
+	if err != nil {
+		return nil, err
 	}
-	return &Result{Vars: vars, Solutions: sols}, nil
+	return &Result{Vars: sr.Vars, Solutions: sols}, nil
 }
 
-// Ask evaluates an ASK query.
+// Ask evaluates an ASK query. The lazy evaluation path lets it stop at
+// the first solution instead of materialising the full result.
 func (e *Engine) Ask(q *sparql.Query) (bool, error) {
 	if q.Form != sparql.Ask {
 		return false, fmt.Errorf("eval: Ask called on %s query", q.Form)
 	}
-	sols, err := e.eval(algebra.Translate(q))
-	if err != nil {
-		return false, err
+	for _, err := range e.evalSeq(algebra.Translate(q)) {
+		if err != nil {
+			return false, err
+		}
+		return true, nil
 	}
-	return len(sols) > 0, nil
+	return false, nil
 }
 
 // Construct evaluates a CONSTRUCT query, instantiating the template once
@@ -128,160 +128,10 @@ func (e *Engine) EvalAlgebra(op algebra.Op) ([]Solution, error) {
 	return e.eval(op)
 }
 
-// eval interprets an algebra tree.
+// eval interprets an algebra tree by draining the lazy evaluation path
+// (see evalSeq in stream.go, the engine's core interpreter).
 func (e *Engine) eval(op algebra.Op) ([]Solution, error) {
-	switch o := op.(type) {
-	case *algebra.Unit:
-		return []Solution{{}}, nil
-	case *algebra.BGP:
-		return e.evalBGP(o.Patterns, Solution{})
-	case *algebra.Table:
-		return tableSolutions(o), nil
-	case *algebra.Join:
-		// A Table operand joined with a BGP seeds the BGP's index lookups
-		// row by row — the VALUES-driven evaluation sharded federation
-		// sub-queries rely on — instead of scanning the BGP unseeded.
-		if t, bgp, ok := tableBGPJoin(o); ok {
-			var out []Solution
-			for _, sol := range tableSolutions(t) {
-				exts, err := e.evalBGP(bgp.Patterns, sol)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, exts...)
-			}
-			return out, nil
-		}
-		l, err := e.eval(o.L)
-		if err != nil {
-			return nil, err
-		}
-		// BGP right operands evaluate as index nested loops seeded by each
-		// left solution; other operands hash-join.
-		if rb, ok := o.R.(*algebra.BGP); ok {
-			var out []Solution
-			for _, sol := range l {
-				exts, err := e.evalBGP(rb.Patterns, sol)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, exts...)
-			}
-			return out, nil
-		}
-		r, err := e.eval(o.R)
-		if err != nil {
-			return nil, err
-		}
-		return hashJoin(l, r), nil
-	case *algebra.LeftJoin:
-		l, err := e.eval(o.L)
-		if err != nil {
-			return nil, err
-		}
-		var out []Solution
-		for _, sol := range l {
-			var exts []Solution
-			if rb, ok := o.R.(*algebra.BGP); ok {
-				exts, err = e.evalBGP(rb.Patterns, sol)
-			} else {
-				var r []Solution
-				r, err = e.eval(o.R)
-				if err == nil {
-					for _, rs := range r {
-						if sol.Compatible(rs) {
-							exts = append(exts, sol.Merge(rs))
-						}
-					}
-				}
-			}
-			if err != nil {
-				return nil, err
-			}
-			matched := false
-			for _, ext := range exts {
-				if o.Expr != nil {
-					ok, err := evalBool(o.Expr, ext, e.Funcs)
-					if err != nil || !ok {
-						continue
-					}
-				}
-				matched = true
-				out = append(out, ext)
-			}
-			if !matched {
-				out = append(out, sol)
-			}
-		}
-		return out, nil
-	case *algebra.Union:
-		l, err := e.eval(o.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.eval(o.R)
-		if err != nil {
-			return nil, err
-		}
-		return append(l, r...), nil
-	case *algebra.Filter:
-		in, err := e.eval(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		var out []Solution
-		for _, sol := range in {
-			ok, err := evalBool(o.Expr, sol, e.Funcs)
-			if err == nil && ok {
-				out = append(out, sol)
-			}
-		}
-		return out, nil
-	case *algebra.Project:
-		in, err := e.eval(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]Solution, len(in))
-		for i, sol := range in {
-			if o.Star {
-				out[i] = sol.ProjectAll()
-			} else {
-				out[i] = sol.Project(o.Vars)
-			}
-		}
-		return out, nil
-	case *algebra.Distinct:
-		return distinct(e, o.Input)
-	case *algebra.Reduced:
-		return distinct(e, o.Input)
-	case *algebra.OrderBy:
-		in, err := e.eval(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		e.sortSolutions(in, o.Conds)
-		return in, nil
-	case *algebra.Slice:
-		in, err := e.eval(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		off := o.Offset
-		if off < 0 {
-			off = 0
-		}
-		if off >= len(in) {
-			return nil, nil
-		}
-		in = in[off:]
-		if o.Limit >= 0 && o.Limit < len(in) {
-			in = in[:o.Limit]
-		}
-		return in, nil
-	default:
-		return nil, fmt.Errorf("eval: unsupported algebra node %T", op)
-	}
+	return Collect(e.evalSeq(op))
 }
 
 // tableSolutions converts a VALUES table into its solution sequence,
@@ -316,52 +166,9 @@ func tableBGPJoin(j *algebra.Join) (*algebra.Table, *algebra.BGP, bool) {
 	return nil, nil, false
 }
 
-func distinct(e *Engine, input algebra.Op) ([]Solution, error) {
-	in, err := e.eval(input)
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]bool{}
-	var out []Solution
-	for _, sol := range in {
-		k := sol.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, sol)
-		}
-	}
-	return out, nil
-}
-
-// evalBGP matches all patterns by backtracking over index lookups, seeded
-// with an initial partial solution. Pattern order is chosen greedily by
-// estimated selectivity unless reordering is disabled.
+// evalBGP is the buffered form of evalBGPSeq (stream.go).
 func (e *Engine) evalBGP(patterns []rdf.Triple, seed Solution) ([]Solution, error) {
-	if len(patterns) == 0 {
-		return []Solution{seed}, nil
-	}
-	order := patterns
-	if !e.DisableJoinReorder {
-		order = e.reorder(patterns, seed)
-	}
-	var out []Solution
-	var rec func(i int, sol Solution)
-	rec = func(i int, sol Solution) {
-		if i == len(order) {
-			out = append(out, sol)
-			return
-		}
-		pat := substitute(order[i], sol)
-		e.Store.Match(pat, func(t rdf.Triple) bool {
-			ext, ok := extend(sol, order[i], t)
-			if ok {
-				rec(i+1, ext)
-			}
-			return true
-		})
-	}
-	rec(0, seed)
-	return out, nil
+	return Collect(e.evalBGPSeq(patterns, seed))
 }
 
 // substitute replaces bound variables/blanks in a pattern with their

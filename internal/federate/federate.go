@@ -25,6 +25,7 @@ package federate
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -46,6 +47,11 @@ type RewriteFunc func(queryText, sourceOnt, dataset string) (string, error)
 type Options struct {
 	// Concurrency bounds the worker pool (default 8).
 	Concurrency int
+	// PerEndpointConcurrency bounds in-flight requests per endpoint,
+	// independently of the global pool, so one fan-out (or many
+	// concurrent ones) cannot pile every worker onto a single repository
+	// (default 0: no per-endpoint bound).
+	PerEndpointConcurrency int
 	// EndpointTimeout is the per-attempt deadline (default 10s).
 	EndpointTimeout time.Duration
 	// MaxRetries is how many times a failed attempt is re-dispatched
@@ -160,28 +166,35 @@ type Result struct {
 // breakers, counters and plan cache accumulate across requests.
 type Executor struct {
 	client  SelectClient
+	stream  StreamingSelectClient // non-nil when client can stream
 	rewrite RewriteFunc
 	coref   funcs.CorefSource
 	opts    Options
 	cache   *PlanCache
 
-	mu       sync.Mutex
-	breakers map[string]*Breaker
-	counters map[string]*endpointCounters
+	mu           sync.Mutex
+	breakers     map[string]*Breaker
+	counters     map[string]*endpointCounters
+	endpointSems map[string]chan struct{}
 }
 
 // NewExecutor builds an executor. rewrite may be nil when no target ever
-// needs rewriting; coref may be nil to disable owl:sameAs smushing.
+// needs rewriting; coref may be nil to disable owl:sameAs smushing. When
+// client also implements StreamingSelectClient (endpoint.Client does),
+// sub-query responses are decoded incrementally instead of buffered.
 func NewExecutor(client SelectClient, rewrite RewriteFunc, coref funcs.CorefSource, opts Options) *Executor {
 	opts = opts.withDefaults()
+	stream, _ := client.(StreamingSelectClient)
 	return &Executor{
-		client:   client,
-		rewrite:  rewrite,
-		coref:    coref,
-		opts:     opts,
-		cache:    NewPlanCache(opts.CacheSize),
-		breakers: make(map[string]*Breaker),
-		counters: make(map[string]*endpointCounters),
+		client:       client,
+		stream:       stream,
+		rewrite:      rewrite,
+		coref:        coref,
+		opts:         opts,
+		cache:        NewPlanCache(opts.CacheSize),
+		breakers:     make(map[string]*Breaker),
+		counters:     make(map[string]*endpointCounters),
+		endpointSems: make(map[string]chan struct{}),
 	}
 }
 
@@ -189,80 +202,26 @@ func NewExecutor(client SelectClient, rewrite RewriteFunc, coref funcs.CorefSour
 func (e *Executor) Options() Options { return e.opts }
 
 // Select fans the request out to every target concurrently and merges
-// the answers. Under the best-effort policy endpoint failures are
-// reported per data set and never fail the call; under fail-fast the
-// first failure cancels the remaining work and is returned as the error
-// alongside the partial result.
+// the answers into a materialised Result. Under the best-effort policy
+// endpoint failures are reported per data set and never fail the call;
+// under fail-fast the first failure cancels the remaining work and is
+// returned as the error alongside the partial result. Callers that can
+// consume solutions incrementally should prefer SelectStream, which this
+// method drains.
 func (e *Executor) Select(ctx context.Context, req Request) (*Result, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	m := newMerger(e.coref)
-	solCh := make(chan eval.Solution, 64)
-	mergeDone := make(chan struct{})
-	go m.run(solCh, mergeDone)
-
-	answers := make([]DatasetAnswer, len(req.Targets))
-	sem := make(chan struct{}, e.opts.Concurrency)
-	var (
-		wg       sync.WaitGroup
-		failMu   sync.Mutex
-		firstErr error
-	)
-admit:
-	for i, t := range req.Targets {
-		// Admit first attempts in request order: the planner sorts targets
-		// fastest-endpoint-first, and a free-for-all on the pool semaphore
-		// would scramble that order. The acquired slot is handed to the
-		// worker for its first dispatch.
-		select {
-		case sem <- struct{}{}:
-		case <-ctx.Done():
-			for j := i; j < len(req.Targets); j++ {
-				answers[j] = DatasetAnswer{Dataset: req.Targets[j].Dataset,
-					Shard: req.Targets[j].Shard, Shards: req.Targets[j].Shards,
-					Query: targetQuery(req, req.Targets[j]), Err: ctx.Err()}
-			}
-			break admit
+	s := e.SelectStream(ctx, req)
+	defer s.Close()
+	var sols []eval.Solution
+	for sol, err := range s.Solutions() {
+		if err != nil {
+			break // the fail-fast abort; Summary re-reports it
 		}
-		wg.Add(1)
-		go func(i int, t Target) {
-			defer wg.Done()
-			answers[i] = e.queryTarget(ctx, req, t, solCh, sem)
-			if answers[i].Err != nil && e.opts.FailFast {
-				failMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("federate: %s: %w", t.Dataset, answers[i].Err)
-					cancel()
-				}
-				failMu.Unlock()
-			}
-		}(i, t)
+		sols = append(sols, sol)
 	}
-	wg.Wait()
-	close(solCh)
-	<-mergeDone
-
-	res := &Result{
-		Vars:       req.Vars,
-		Solutions:  m.solutions,
-		PerDataset: answers,
-		Duplicates: m.duplicates,
-	}
-	var failed, ok int
-	for _, a := range answers {
-		if a.Err != nil {
-			failed++
-		} else {
-			ok++
-		}
-	}
-	res.Partial = failed > 0 && ok > 0
+	res, err := s.Summary()
+	res.Solutions = sols
 	eval.SortSolutions(res.Solutions)
-	if e.opts.FailFast && firstErr != nil {
-		return res, firstErr
-	}
-	return res, nil
+	return res, err
 }
 
 // targetQuery returns the sub-query text for one target before rewriting.
@@ -337,6 +296,19 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 		}
 	}
 	defer func() { <-sem; *held = false }()
+	// The per-endpoint bound sits inside the global slot: a worker queued
+	// on a saturated endpoint keeps its pool slot (capacity lost, never
+	// deadlocked — endpoint slots are only held by workers that are
+	// already dispatching).
+	if es := e.endpointSem(t.Endpoint); es != nil {
+		select {
+		case es <- struct{}{}:
+			defer func() { <-es }()
+		case <-ctx.Done():
+			da.Err = ctx.Err()
+			return true
+		}
+	}
 	// The breaker check sits inside the slot, right before the dispatch,
 	// so that an admitted half-open probe always reaches the dispatch and
 	// reports Success or Failure — abandoning a probe would wedge the
@@ -353,9 +325,11 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	if t.Timeout > 0 && t.Timeout < timeout {
 		timeout = t.Timeout
 	}
+	// The attempt deadline bounds the whole transfer: connect, first byte
+	// and — on the streaming path — the incremental body read.
 	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
 	t0 := time.Now()
-	res, err := e.client.SelectContext(attemptCtx, t.Endpoint, da.Query)
+	count, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh)
 	cancel()
 	lat := time.Since(t0)
 	if err == nil {
@@ -366,15 +340,7 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 			c.totalLat += lat
 		})
 		da.Err = nil // a successful retry supersedes earlier failures
-		da.Solutions = len(res.Solutions)
-		for _, sol := range res.Solutions {
-			select {
-			case solCh <- sol:
-			case <-ctx.Done():
-				da.Err = ctx.Err()
-				return true
-			}
-		}
+		da.Solutions = count
 		return true
 	}
 	if ctx.Err() != nil {
@@ -394,6 +360,73 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	})
 	da.Err = err
 	return false
+}
+
+// dispatch sends one sub-query and feeds its solutions into solCh,
+// returning how many were pushed. With a streaming-capable client each
+// solution is forwarded as it decodes off the wire — the endpoint's
+// response is never buffered; otherwise the buffered result is replayed
+// into the channel. A failed streaming attempt may have pushed a prefix
+// of its solutions; the retry re-pushes them and the owl:sameAs merge
+// deduplicates.
+func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, query string, solCh chan<- eval.Solution) (int, error) {
+	push := func(n int, sol eval.Solution) (int, bool) {
+		select {
+		case solCh <- sol:
+			return n + 1, true
+		case <-parent.Done():
+			return n, false
+		}
+	}
+	if e.stream != nil {
+		ss, err := e.stream.SelectSolutionStream(attemptCtx, endpointURL, query)
+		if err != nil {
+			return 0, err
+		}
+		defer ss.Close()
+		n := 0
+		for {
+			sol, err := ss.Next()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			var ok bool
+			if n, ok = push(n, sol); !ok {
+				return n, parent.Err()
+			}
+		}
+	}
+	res, err := e.client.SelectContext(attemptCtx, endpointURL, query)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sol := range res.Solutions {
+		var ok bool
+		if n, ok = push(n, sol); !ok {
+			return n, parent.Err()
+		}
+	}
+	return n, nil
+}
+
+// endpointSem returns the endpoint's in-flight-bound semaphore, or nil
+// when no per-endpoint bound is configured.
+func (e *Executor) endpointSem(endpointURL string) chan struct{} {
+	if e.opts.PerEndpointConcurrency <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.endpointSems[endpointURL]
+	if !ok {
+		s = make(chan struct{}, e.opts.PerEndpointConcurrency)
+		e.endpointSems[endpointURL] = s
+	}
+	return s
 }
 
 func (e *Executor) breaker(endpointURL string) *Breaker {

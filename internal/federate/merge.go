@@ -8,42 +8,51 @@ import (
 
 // merger is the streaming merge stage: workers feed raw solutions in,
 // the merger canonicalises every IRI binding to the deterministic
-// representative of its owl:sameAs class and drops duplicates. One merger
-// serves one federated run; it is driven by a single goroutine, so the
-// per-run memo maps need no locking.
+// representative of its owl:sameAs class, drops duplicates, and emits
+// each first occurrence downstream immediately — whole endpoints are
+// never buffered. One merger serves one federated run; it is driven by a
+// single goroutine, so the per-run memo maps need no locking.
 type merger struct {
-	coref      funcs.CorefSource
+	coref funcs.CorefSource
+	// emit receives each canonical, first-seen solution; returning false
+	// stops the merge (the downstream consumer is gone).
+	emit       func(eval.Solution) bool
 	reps       map[string]string // IRI -> class representative, memoised per run
 	seen       map[string]bool
-	solutions  []eval.Solution
 	duplicates int
 }
 
-func newMerger(coref funcs.CorefSource) *merger {
+func newMerger(coref funcs.CorefSource, emit func(eval.Solution) bool) *merger {
 	return &merger{
 		coref: coref,
+		emit:  emit,
 		reps:  make(map[string]string),
 		seen:  make(map[string]bool),
 	}
 }
 
-// run consumes solutions until the channel is closed.
+// run consumes solutions until the channel is closed or the downstream
+// consumer stops accepting; it keeps draining after a stopped consumer so
+// producing workers are never blocked on the channel.
 func (m *merger) run(ch <-chan eval.Solution, done chan<- struct{}) {
+	emitting := true
 	for sol := range ch {
-		m.add(sol)
+		if emitting {
+			emitting = m.add(sol)
+		}
 	}
 	close(done)
 }
 
-func (m *merger) add(sol eval.Solution) {
+func (m *merger) add(sol eval.Solution) bool {
 	canon := m.canonicalise(sol)
 	key := canon.Key()
 	if m.seen[key] {
 		m.duplicates++
-		return
+		return true
 	}
 	m.seen[key] = true
-	m.solutions = append(m.solutions, canon)
+	return m.emit(canon)
 }
 
 // canonicalise maps every IRI binding to the representative of its

@@ -6,12 +6,11 @@ import (
 	"sparqlrw/internal/plan"
 )
 
-// SelectPlan executes a planner-produced federation plan: the ordered,
-// VALUES-sharded sub-requests dispatch through the same pipeline as
-// Select (cached rewrite, bounded pool, retries, breakers), with the
-// plan's per-endpoint deadlines tightening the default attempt budget.
-// The in-order pool admission preserves the plan's fastest-first order.
-func (e *Executor) SelectPlan(ctx context.Context, p *plan.Plan) (*Result, error) {
+// PlanRequest converts a planner-produced federation plan into the
+// executor's request shape: each ordered, VALUES-sharded sub-request
+// becomes a target, with the plan's per-endpoint deadlines tightening
+// the default attempt budget.
+func PlanRequest(p *plan.Plan) Request {
 	req := Request{Query: p.Query, SourceOnt: p.SourceOnt, Vars: p.Vars}
 	for _, s := range p.Subs {
 		req.Targets = append(req.Targets, Target{
@@ -24,7 +23,15 @@ func (e *Executor) SelectPlan(ctx context.Context, p *plan.Plan) (*Result, error
 			Shards:       s.Shards,
 		})
 	}
-	return e.Select(ctx, req)
+	return req
+}
+
+// SelectPlan executes a planner-produced federation plan through the
+// same pipeline as Select (cached rewrite, bounded pool, retries,
+// breakers). The in-order pool admission preserves the plan's
+// fastest-first order.
+func (e *Executor) SelectPlan(ctx context.Context, p *plan.Plan) (*Result, error) {
+	return e.Select(ctx, PlanRequest(p))
 }
 
 // InvalidateDataset drops every cached rewrite plan targeting the given

@@ -3,8 +3,10 @@ package mediate
 import (
 	"encoding/json"
 	"html/template"
+	"io"
 	"net/http"
 
+	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/plan"
 )
@@ -31,8 +33,13 @@ type queryRequest struct {
 	Query   string   `json:"query"`
 	Source  string   `json:"source,omitempty"`
 	Targets []string `json:"targets"`
+	// Limit caps streamed rows; reaching it cancels upstream work.
+	Limit int `json:"limit,omitempty"`
 }
 
+// queryResponse documents the shape /api/query streams; the handler
+// writes the keys incrementally (rows flow before the summary keys) but
+// the complete body always decodes into this struct.
 type queryResponse struct {
 	Vars       []string            `json:"vars"`
 	Rows       []map[string]string `json:"rows"`
@@ -42,6 +49,9 @@ type queryResponse struct {
 	// Plan reports the planner's decisions when the caller passed no
 	// explicit targets and the planner selected them.
 	Plan *plan.Plan `json:"plan,omitempty"`
+	// Error carries a fan-out failure that occurred after streaming
+	// started (the status line was already sent by then).
+	Error string `json:"error,omitempty"`
 }
 
 type perDatasetJSON struct {
@@ -102,6 +112,12 @@ func Handler(m *Mediator) http.Handler {
 		})
 	})
 
+	// /api/query streams: the response JSON keeps the queryResponse shape
+	// (an object with vars/plan/rows/duplicates/partial/perDataset keys),
+	// but rows are written and flushed as endpoints deliver solutions —
+	// the first row is on the wire before the slowest endpoint answers —
+	// and the summary keys follow the rows. Closing the connection
+	// cancels every in-flight endpoint sub-query via the request context.
 	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -112,44 +128,68 @@ func Handler(m *Mediator) http.Handler {
 			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		source := req.Source
-		if source == "" {
-			var err error
-			if source, err = m.GuessSourceOntology(req.Query); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-		}
-		var fr *FederatedResult
-		var pl *plan.Plan
-		var err error
-		if len(req.Targets) == 0 {
-			// Planner-selected targets: surface the plan in the response.
-			fr, pl, err = m.FederatedSelectPlanned(r.Context(), req.Query, source)
-		} else {
-			fr, err = m.FederatedSelectContext(r.Context(), req.Query, source, req.Targets)
-		}
+		qs, err := m.Query(r.Context(), QueryRequest{
+			Query: req.Query, SourceOnt: req.Source,
+			Targets: req.Targets, Limit: req.Limit,
+		})
 		if err != nil {
-			// A nil result means the request itself was bad (parse
-			// error, non-SELECT, nothing relevant); otherwise the fan-out
-			// failed upstream (fail-fast policy), which is the
-			// repositories' fault.
-			status := http.StatusBadGateway
-			if fr == nil {
-				status = http.StatusBadRequest
-			}
-			http.Error(w, err.Error(), status)
+			// The request itself was bad: parse error, non-SELECT, no
+			// relevant data set. Upstream failures past this point arrive
+			// mid-stream and are reported in the trailing "error" key.
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp := queryResponse{Vars: fr.Vars, Duplicates: fr.Duplicates,
-			Partial: fr.Partial, Rows: []map[string]string{}, Plan: pl}
-		for _, sol := range fr.Solutions {
-			row := map[string]string{}
+		defer qs.Close()
+		w.Header().Set("Content-Type", "application/json")
+		flusher, _ := w.(http.Flusher)
+		writeJSON := func(v any) bool {
+			data, err := json.Marshal(v)
+			if err != nil {
+				return false
+			}
+			_, werr := w.Write(data)
+			return werr == nil
+		}
+		_, _ = io.WriteString(w, `{"vars":`)
+		writeJSON(qs.Vars())
+		if pl := qs.Plan(); pl != nil {
+			_, _ = io.WriteString(w, `,"plan":`)
+			writeJSON(pl)
+		}
+		_, _ = io.WriteString(w, `,"rows":[`)
+		var streamErr error
+		n := 0
+		for sol, err := range qs.Solutions() {
+			if err != nil {
+				streamErr = err
+				break
+			}
+			row := make(map[string]string, len(sol))
 			for k, v := range sol {
 				row[k] = v.String()
 			}
-			resp.Rows = append(resp.Rows, row)
+			if n > 0 {
+				_, _ = io.WriteString(w, ",")
+			}
+			if !writeJSON(row) {
+				return // client gone; qs.Close cancels upstream
+			}
+			n++
+			if flusher != nil && (n == 1 || n%endpoint.FlushEvery == 0) {
+				flusher.Flush()
+			}
 		}
+		_, _ = io.WriteString(w, "]")
+		fr, sumErr := qs.Summary()
+		if streamErr == nil {
+			streamErr = sumErr
+		}
+		_, _ = io.WriteString(w, `,"duplicates":`)
+		writeJSON(fr.Duplicates)
+		if fr.Partial {
+			_, _ = io.WriteString(w, `,"partial":true`)
+		}
+		perDataset := make([]perDatasetJSON, 0, len(fr.PerDataset))
 		for _, da := range fr.PerDataset {
 			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
 				Shard: da.Shard, Shards: da.Shards,
@@ -158,10 +198,15 @@ func Handler(m *Mediator) http.Handler {
 			if da.Err != nil {
 				pj.Error = da.Err.Error()
 			}
-			resp.PerDataset = append(resp.PerDataset, pj)
+			perDataset = append(perDataset, pj)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(resp)
+		_, _ = io.WriteString(w, `,"perDataset":`)
+		writeJSON(perDataset)
+		if streamErr != nil {
+			_, _ = io.WriteString(w, `,"error":`)
+			writeJSON(streamErr.Error())
+		}
+		_, _ = io.WriteString(w, "}")
 	})
 
 	mux.HandleFunc("/api/plan", func(w http.ResponseWriter, r *http.Request) {

@@ -196,6 +196,9 @@ type DatasetAnswer = federate.DatasetAnswer
 type FederatedResult = federate.Result
 
 // FederatedSelect runs FederatedSelectContext without a deadline.
+//
+// Deprecated: use Query, which streams solutions instead of buffering
+// the whole merged result and takes its options as a struct.
 func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
 	return m.FederatedSelectContext(context.Background(), queryText, sourceOnt, targets)
 }
@@ -205,80 +208,35 @@ func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string
 // the recall". The query (written against sourceOnt) runs on every named
 // data set — rewritten when the data set's vocabulary differs — and
 // results are merged with owl:sameAs canonicalisation so redundant URIs
-// collapse. Execution is delegated to the federation executor: concurrent
-// fan-out with per-endpoint deadlines, retries and circuit breaking, plus
-// a rewrite-plan cache (see internal/federate).
+// collapse. When targets is empty the planner selects them.
 //
-// When targets is empty the planner selects them: the query fans out to
-// exactly the data sets whose voiD profile (vocabulary, URI space,
-// alignment coverage) says they can contribute, sharded and ordered per
-// internal/plan.
+// Deprecated: use Query. This wrapper drains Query's stream into a
+// materialised FederatedResult, giving up the first-solution latency the
+// streaming path exists for.
 func (m *Mediator) FederatedSelectContext(ctx context.Context, queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
 	if len(targets) == 0 {
 		res, _, err := m.FederatedSelectPlanned(ctx, queryText, sourceOnt)
 		return res, err
 	}
-	q, err := sparql.Parse(queryText)
+	qs, err := m.Query(ctx, QueryRequest{Query: queryText, SourceOnt: sourceOnt, Targets: targets})
 	if err != nil {
-		return nil, fmt.Errorf("mediate: parsing query: %w", err)
+		return nil, err
 	}
-	if q.Form != sparql.Select {
-		return nil, fmt.Errorf("mediate: federated execution supports SELECT only")
-	}
-	req := federate.Request{Query: queryText, SourceOnt: sourceOnt, Vars: q.SelectVars}
-	unknown := make(map[int]DatasetAnswer) // input position -> answer
-	var knownPos []int
-	for i, target := range targets {
-		ds, ok := m.Datasets.Get(target)
-		if !ok {
-			unknown[i] = DatasetAnswer{Dataset: target,
-				Err: fmt.Errorf("mediate: unknown data set %s", target)}
-			continue
-		}
-		knownPos = append(knownPos, i)
-		req.Targets = append(req.Targets, federate.Target{
-			Dataset:      target,
-			Endpoint:     ds.SPARQLEndpoint,
-			NeedsRewrite: !ds.UsesVocabulary(sourceOnt),
-		})
-	}
-	res, err := m.Exec.Select(ctx, req)
-	if res != nil && len(unknown) > 0 {
-		// Re-interleave the unknown-dataset answers so PerDataset stays
-		// in input-target order.
-		merged := make([]DatasetAnswer, len(targets))
-		for j, pos := range knownPos {
-			merged[pos] = res.PerDataset[j]
-		}
-		for pos, da := range unknown {
-			merged[pos] = da
-		}
-		res.PerDataset = merged
-		for _, da := range res.PerDataset {
-			if da.Err == nil {
-				res.Partial = true
-				break
-			}
-		}
-	}
-	return res, err
+	return qs.drain()
 }
 
 // FederatedSelectPlanned plans and executes a federated query with
 // auto-selected targets, returning the plan alongside the merged result
-// so callers (the /api/query handler) can surface the decisions taken.
+// so callers can surface the decisions taken.
+//
+// Deprecated: use Query with empty Targets; the plan is available on the
+// stream (QueryStream.Plan). This wrapper drains the stream.
 func (m *Mediator) FederatedSelectPlanned(ctx context.Context, queryText, sourceOnt string) (*FederatedResult, *plan.Plan, error) {
-	if m.Planner == nil {
-		return nil, nil, fmt.Errorf("mediate: no targets given and planning is disabled")
-	}
-	pl, err := m.Planner.Plan(queryText, sourceOnt)
+	qs, pl, err := m.queryStream(ctx, QueryRequest{Query: queryText, SourceOnt: sourceOnt})
 	if err != nil {
-		return nil, nil, err
+		return nil, pl, err
 	}
-	if len(pl.Subs) == 0 {
-		return nil, pl, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
-	}
-	res, err := m.Exec.SelectPlan(ctx, pl)
+	res, err := qs.drain()
 	return res, pl, err
 }
 

@@ -1,0 +1,212 @@
+package mediate
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/plan"
+	"sparqlrw/internal/sparql"
+)
+
+// QueryRequest describes one federated SELECT for Mediator.Query: the
+// query text plus the options the positional FederatedSelect* signatures
+// used to scatter across three functions.
+type QueryRequest struct {
+	// Query is the SELECT text, written against SourceOnt.
+	Query string
+	// SourceOnt is the source ontology namespace the query is written
+	// in. Empty means "guess it from the query's vocabulary"
+	// (GuessSourceOntology), the behaviour the web UI relies on.
+	SourceOnt string
+	// Targets names the data sets to query. Empty means the voiD-driven
+	// planner selects, shards and orders them (the plan is surfaced on
+	// the stream).
+	Targets []string
+	// Limit caps how many merged solutions the stream yields; reaching
+	// it cancels the remaining upstream work. 0 means no limit.
+	Limit int
+}
+
+// QueryStream is an in-flight federated query: merged, deduplicated
+// solutions arrive as endpoints deliver them. Consume Solutions (or
+// Next), then call Summary for the per-dataset outcomes; always Close.
+type QueryStream struct {
+	fed   *federate.Stream
+	pl    *plan.Plan
+	limit int
+	n     int
+
+	// Explicit-target bookkeeping: unknown data sets never dispatch, but
+	// their error answers re-interleave into Summary's PerDataset in
+	// input order, exactly as FederatedSelectContext always reported.
+	unknown  map[int]DatasetAnswer
+	knownPos []int
+	nTargets int
+}
+
+// Query is the mediator's one federated entry point: it resolves the
+// source ontology (guessing when unset), validates the query, picks
+// targets (explicit or planner-selected) and starts the streaming
+// fan-out. It subsumes the FederatedSelect / FederatedSelectContext /
+// FederatedSelectPlanned trio, which survive as thin wrappers that drain
+// the stream.
+//
+// The returned stream delivers the first merged solution as soon as the
+// first endpoint produces one; cancelling ctx (or closing the stream)
+// aborts every in-flight sub-query.
+func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*QueryStream, error) {
+	qs, _, err := m.queryStream(ctx, req)
+	return qs, err
+}
+
+// queryStream is Query plus the plan, which is reported even when the
+// planner found nothing relevant (the error case FederatedSelectPlanned
+// surfaces alongside its explain output).
+func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStream, *plan.Plan, error) {
+	if req.SourceOnt == "" {
+		src, err := m.GuessSourceOntology(req.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.SourceOnt = src
+	}
+	q, err := sparql.Parse(req.Query)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mediate: parsing query: %w", err)
+	}
+	if q.Form != sparql.Select {
+		return nil, nil, fmt.Errorf("mediate: federated execution supports SELECT only")
+	}
+	qs := &QueryStream{limit: req.Limit}
+	var freq federate.Request
+	if len(req.Targets) == 0 {
+		if m.Planner == nil {
+			return nil, nil, fmt.Errorf("mediate: no targets given and planning is disabled")
+		}
+		pl, err := m.Planner.Plan(req.Query, req.SourceOnt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(pl.Subs) == 0 {
+			return nil, pl, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
+		}
+		qs.pl = pl
+		freq = federate.PlanRequest(pl)
+	} else {
+		freq = federate.Request{Query: req.Query, SourceOnt: req.SourceOnt, Vars: q.SelectVars}
+		qs.unknown = make(map[int]DatasetAnswer)
+		qs.nTargets = len(req.Targets)
+		for i, target := range req.Targets {
+			ds, ok := m.Datasets.Get(target)
+			if !ok {
+				qs.unknown[i] = DatasetAnswer{Dataset: target,
+					Err: fmt.Errorf("mediate: unknown data set %s", target)}
+				continue
+			}
+			qs.knownPos = append(qs.knownPos, i)
+			freq.Targets = append(freq.Targets, federate.Target{
+				Dataset:      target,
+				Endpoint:     ds.SPARQLEndpoint,
+				NeedsRewrite: !ds.UsesVocabulary(req.SourceOnt),
+			})
+		}
+	}
+	qs.fed = m.Exec.SelectStream(ctx, freq)
+	return qs, qs.pl, nil
+}
+
+// Vars returns the query's projection variable names.
+func (qs *QueryStream) Vars() []string { return qs.fed.Vars() }
+
+// Plan reports the planner's decisions when targets were auto-selected
+// (nil for explicit-target queries).
+func (qs *QueryStream) Plan() *plan.Plan { return qs.pl }
+
+// Next returns the next merged solution, io.EOF at the end of the
+// stream (or once Limit is reached, which cancels upstream work), or the
+// fail-fast error that aborted the fan-out.
+func (qs *QueryStream) Next() (eval.Solution, error) {
+	if qs.limit > 0 && qs.n >= qs.limit {
+		qs.Close()
+		return nil, io.EOF
+	}
+	sol, err := qs.fed.Next()
+	if err == nil {
+		qs.n++
+	}
+	return sol, err
+}
+
+// Solutions adapts the stream into a lazy solution sequence terminated
+// by the fan-out's fail-fast error, if any. Breaking out of the loop
+// stops the upstream work.
+func (qs *QueryStream) Solutions() eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		for {
+			sol, err := qs.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(sol, nil) {
+				qs.Close()
+				return
+			}
+		}
+	}
+}
+
+// Summary reports the fan-out's outcome (consuming whatever remains of
+// the stream first): per-dataset answers in input-target order, the
+// duplicate count and the partial flag. Solutions is nil — they already
+// flowed through the stream; the deprecated drain wrappers re-attach
+// them.
+func (qs *QueryStream) Summary() (*FederatedResult, error) {
+	res, err := qs.fed.Summary()
+	if len(qs.unknown) > 0 {
+		// Re-interleave the unknown-dataset answers so PerDataset stays
+		// in input-target order.
+		merged := make([]DatasetAnswer, qs.nTargets)
+		for j, pos := range qs.knownPos {
+			merged[pos] = res.PerDataset[j]
+		}
+		for pos, da := range qs.unknown {
+			merged[pos] = da
+		}
+		res.PerDataset = merged
+		for _, da := range res.PerDataset {
+			if da.Err == nil {
+				res.Partial = true
+				break
+			}
+		}
+	}
+	return res, err
+}
+
+// Close cancels the remaining upstream work and releases the stream. It
+// is safe to call at any point and more than once.
+func (qs *QueryStream) Close() error { return qs.fed.Close() }
+
+// drain materialises the stream into the buffered FederatedResult shape
+// the deprecated FederatedSelect* wrappers return.
+func (qs *QueryStream) drain() (*FederatedResult, error) {
+	defer qs.Close()
+	var sols []eval.Solution
+	for sol, err := range qs.Solutions() {
+		if err != nil {
+			break // the fail-fast abort; Summary re-reports it
+		}
+		sols = append(sols, sol)
+	}
+	res, err := qs.Summary()
+	res.Solutions = sols
+	eval.SortSolutions(res.Solutions)
+	return res, err
+}

@@ -1,0 +1,389 @@
+package mediate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+// streamStack wires a mediator to four endpoints over one universe: three
+// fast Southampton replicas and one whose responses are gated by the
+// test.
+type streamStack struct {
+	mediator *Mediator
+	targets  []string
+	// slowGate holds the fourth endpoint's response until closed.
+	slowGate chan struct{}
+	// slowResponded flips once the gated endpoint finished its response.
+	slowResponded atomic.Bool
+	// slowStarted counts requests that reached the gated endpoint.
+	slowStarted atomic.Int64
+	// slowCancelled flips when a gated request's context is cancelled
+	// (client disconnect reaching the endpoint sub-query).
+	slowCancelled chan struct{}
+}
+
+func newStreamStack(t testing.TB) *streamStack {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 40, 120
+	u := workload.Generate(cfg)
+	s := &streamStack{
+		slowGate:      make(chan struct{}),
+		slowCancelled: make(chan struct{}),
+	}
+
+	fast := endpoint.NewServer("southampton", u.Southampton)
+	var fastSrvs []*httptest.Server
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(fast)
+		t.Cleanup(srv.Close)
+		fastSrvs = append(fastSrvs, srv)
+	}
+	var cancelOnce atomic.Bool
+	slowSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body before blocking: a Go HTTP server only notices a
+		// client disconnect (and cancels r.Context()) once the request
+		// body has been consumed.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.slowStarted.Add(1)
+		select {
+		case <-s.slowGate:
+		case <-r.Context().Done():
+			if cancelOnce.CompareAndSwap(false, true) {
+				close(s.slowCancelled)
+			}
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		fast.ServeHTTP(w, r)
+		s.slowResponded.Store(true)
+	}))
+	t.Cleanup(slowSrv.Close)
+
+	dsKB := voidkb.NewKB()
+	urls := append(append([]*httptest.Server(nil), fastSrvs...), slowSrv)
+	for i, srv := range urls {
+		uri := fmt.Sprintf("http://replica%d.example/void", i)
+		if err := dsKB.Add(&voidkb.Dataset{
+			URI: uri, Title: fmt.Sprintf("Replica %d", i),
+			SPARQLEndpoint: srv.URL,
+			URISpace:       workload.SotonURIPattern,
+			Vocabularies:   []string{rdf.AKTNS},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s.targets = append(s.targets, uri)
+	}
+	alignKB := align.NewKB()
+	if err := alignKB.Add(workload.AKT2KISTI()); err != nil {
+		t.Fatal(err)
+	}
+	m := New(dsKB, alignKB, u.Coref)
+	t.Cleanup(m.Close)
+	m.RewriteFilters = true
+	// A generous attempt deadline so only the test's gate (or a client
+	// disconnect) can end the slow endpoint's request.
+	m.ConfigureFederation(federate.Options{EndpointTimeout: time.Minute, MaxRetries: -1})
+	s.mediator = m
+	return s
+}
+
+// readToFirstRow advances a streaming /api/query response to its first
+// row, returning the decoder positioned inside the rows array.
+func readToFirstRow(t *testing.T, dec *json.Decoder) map[string]string {
+	t.Helper()
+	expectDelim := func(want json.Delim) {
+		t.Helper()
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatalf("token: %v", err)
+		}
+		if d, ok := tok.(json.Delim); !ok || d != want {
+			t.Fatalf("expected %q, got %v", want, tok)
+		}
+	}
+	expectDelim('{')
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatalf("token: %v", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			t.Fatalf("expected key, got %v", tok)
+		}
+		if key != "rows" {
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				t.Fatalf("skipping %s: %v", key, err)
+			}
+			continue
+		}
+		expectDelim('[')
+		if !dec.More() {
+			t.Fatal("rows array empty at first read")
+		}
+		var row map[string]string
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("first row: %v", err)
+		}
+		return row
+	}
+}
+
+// TestAPIQueryStreamsFirstRowBeforeSlowEndpoint is the tentpole's
+// end-to-end acceptance: a federated SELECT over four endpoints, one of
+// which is stalled, must deliver its first solution over HTTP while the
+// stalled endpoint still has not responded.
+func TestAPIQueryStreamsFirstRowBeforeSlowEndpoint(t *testing.T) {
+	s := newStreamStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+
+	body, _ := json.Marshal(queryRequest{
+		Query:   workload.Figure1Query(0),
+		Source:  rdf.AKTNS,
+		Targets: s.targets,
+	})
+	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	type firstRow struct {
+		row map[string]string
+		// slowDone records whether the gated endpoint had responded at
+		// the moment the first row was decoded.
+		slowDone bool
+	}
+	dec := json.NewDecoder(resp.Body)
+	got := make(chan firstRow, 1)
+	go func() {
+		row := readToFirstRow(t, dec)
+		got <- firstRow{row: row, slowDone: s.slowResponded.Load()}
+	}()
+	var fr firstRow
+	select {
+	case fr = <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no first row while the slow endpoint is stalled")
+	}
+	if fr.slowDone {
+		t.Fatal("slow endpoint responded before the first row: response was buffered, not streamed")
+	}
+	if len(fr.row) == 0 {
+		t.Fatalf("first row = %v", fr.row)
+	}
+
+	// Release the gate; the rest of the document must complete cleanly
+	// with all four data sets answering.
+	close(s.slowGate)
+	var rest []json.RawMessage
+	for dec.More() {
+		var row json.RawMessage
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("remaining rows: %v", err)
+		}
+		rest = append(rest, row)
+	}
+	// Consume "]" then the summary keys.
+	if tok, err := dec.Token(); err != nil {
+		t.Fatalf("rows end: %v %v", tok, err)
+	}
+	summary := map[string]json.RawMessage{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatalf("summary: %v", err)
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			break
+		}
+		key := tok.(string)
+		var val json.RawMessage
+		if err := dec.Decode(&val); err != nil {
+			t.Fatalf("summary %s: %v", key, err)
+		}
+		summary[key] = val
+	}
+	if _, ok := summary["error"]; ok {
+		t.Fatalf("stream error: %s", summary["error"])
+	}
+	var per []perDatasetJSON
+	if err := json.Unmarshal(summary["perDataset"], &per); err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("perDataset = %+v", per)
+	}
+	for _, pd := range per {
+		if pd.Error != "" {
+			t.Fatalf("dataset %s failed: %s", pd.Dataset, pd.Error)
+		}
+	}
+	if !s.slowResponded.Load() {
+		t.Fatal("slow endpoint never completed after the gate opened")
+	}
+}
+
+// TestAPIQueryClientDisconnectCancelsSubQueries: dropping the /api/query
+// connection mid-stream must propagate cancellation down to the endpoint
+// sub-queries (the gated endpoint sees its request context die).
+func TestAPIQueryClientDisconnectCancelsSubQueries(t *testing.T) {
+	s := newStreamStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+
+	body, _ := json.Marshal(queryRequest{
+		Query:   workload.Figure1Query(0),
+		Source:  rdf.AKTNS,
+		Targets: s.targets,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/api/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read the first streamed row so the fan-out is demonstrably live
+	// (the slow sub-query is in flight), then drop the connection.
+	dec := json.NewDecoder(resp.Body)
+	_ = readToFirstRow(t, dec)
+	for s.slowStarted.Load() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case <-s.slowCancelled:
+		// The disconnect travelled: mediator handler ctx -> executor ->
+		// endpoint client -> slow endpoint's request context.
+	case <-time.After(10 * time.Second):
+		t.Fatal("client disconnect did not cancel the in-flight endpoint sub-query")
+	}
+}
+
+// TestMediatorQueryStreamAPI exercises Query directly: plan surfacing,
+// limits cancelling upstream, and Summary bookkeeping.
+func TestMediatorQueryStreamAPI(t *testing.T) {
+	s := newStack(t)
+	// Planner-selected targets surface the plan on the stream.
+	qs, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Plan() == nil {
+		t.Fatal("planner-selected query carries no plan")
+	}
+	n := 0
+	for sol, err := range qs.Solutions() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sol) == 0 {
+			t.Fatal("empty solution")
+		}
+		n++
+	}
+	res, err := qs.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no solutions streamed")
+	}
+	if res.Solutions != nil {
+		t.Fatal("streaming summary must not buffer solutions")
+	}
+	qs.Close()
+
+	// The deprecated wrapper must agree with the streamed count.
+	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Solutions) != n {
+		t.Fatalf("wrapper=%d streamed=%d", len(fr.Solutions), n)
+	}
+
+	// Limit: the stream ends after one solution and reports io.EOF, and
+	// the summary does not misreport the deliberate cancellation of the
+	// leftover work as upstream failure.
+	qs2, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS, Limit: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs2.Close()
+	if _, err := qs2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qs2.Next(); err != io.EOF {
+		t.Fatalf("post-limit Next = %v", err)
+	}
+	res2, err := qs2.Summary()
+	if err != nil {
+		t.Fatalf("limit summary error: %v", err)
+	}
+	if res2.Partial {
+		t.Fatalf("limit marked the result partial: %+v", res2.PerDataset)
+	}
+	for _, da := range res2.PerDataset {
+		if da.Err != nil && !errors.Is(da.Err, federate.ErrStreamClosed) {
+			t.Fatalf("limit reported an upstream failure: %v", da.Err)
+		}
+	}
+
+	// Unknown targets keep their input positions in the summary.
+	qs3, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS,
+		Targets: []string{"http://nope.example/void", workload.SotonVoidURI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := qs3.drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.PerDataset) != 2 || res3.PerDataset[0].Err == nil || res3.PerDataset[1].Err != nil {
+		t.Fatalf("perDataset = %+v", res3.PerDataset)
+	}
+	if !res3.Partial {
+		t.Fatal("unknown target must mark the result partial")
+	}
+}

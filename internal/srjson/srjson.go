@@ -4,8 +4,10 @@
 package srjson
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/rdf"
@@ -97,29 +99,35 @@ func EncodeAsk(b bool) ([]byte, error) {
 }
 
 // Decode parses either a SELECT or ASK results document. For SELECT,
-// boolean is nil; for ASK, the result carries no solutions.
+// boolean is nil; for ASK, the result carries no solutions. It drains the
+// incremental decoder (see stream.go), the single parsing path.
 func Decode(data []byte) (*eval.Result, *bool, error) {
-	var doc document
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, nil, fmt.Errorf("srjson: %w", err)
+	d, err := NewStreamDecoder(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, err
 	}
-	if doc.Boolean != nil {
-		return nil, doc.Boolean, nil
+	var sols []eval.Solution
+	for {
+		sol, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		sols = append(sols, sol)
 	}
-	if doc.Results == nil {
+	// Unlike the incremental decoder (which leaves the reader positioned
+	// after the document for its caller), the buffered form owns the
+	// whole payload and rejects trailing data.
+	if tok, err := d.dec.Token(); err != io.EOF {
+		return nil, nil, fmt.Errorf("srjson: trailing data after document: %v", tok)
+	}
+	if b := d.Boolean(); b != nil {
+		return nil, b, nil
+	}
+	if !d.SawResults() {
 		return nil, nil, fmt.Errorf("srjson: document has neither results nor boolean")
 	}
-	res := &eval.Result{Vars: doc.Head.Vars}
-	for _, row := range doc.Results.Bindings {
-		sol := eval.Solution{}
-		for v, jt := range row {
-			t, err := decodeTerm(jt)
-			if err != nil {
-				return nil, nil, err
-			}
-			sol[v] = t
-		}
-		res.Solutions = append(res.Solutions, sol)
-	}
-	return res, nil, nil
+	return &eval.Result{Vars: d.Vars(), Solutions: sols}, nil, nil
 }

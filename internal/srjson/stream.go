@@ -1,0 +1,306 @@
+package srjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sparqlrw/internal/eval"
+)
+
+// StreamEncoder writes a SELECT results document incrementally: the head
+// and the opening of the bindings array up front, then one binding object
+// per Encode call, then the closing braces on Close. It lets an HTTP
+// handler flush the first solution to the client before the last one
+// exists.
+type StreamEncoder struct {
+	w      io.Writer
+	vars   []string
+	n      int
+	closed bool
+}
+
+// NewStreamEncoder writes the document prologue (head + opening of the
+// bindings array) and returns an encoder ready to stream bindings.
+func NewStreamEncoder(w io.Writer, vars []string) (*StreamEncoder, error) {
+	h, err := json.Marshal(head{Vars: vars})
+	if err != nil {
+		return nil, fmt.Errorf("srjson: %w", err)
+	}
+	if _, err := fmt.Fprintf(w, `{"head":%s,"results":{"bindings":[`, h); err != nil {
+		return nil, err
+	}
+	return &StreamEncoder{w: w, vars: vars}, nil
+}
+
+// Encode writes one solution as a binding object. Unbound variables are
+// omitted per the W3C format.
+func (e *StreamEncoder) Encode(sol eval.Solution) error {
+	if e.closed {
+		return fmt.Errorf("srjson: Encode after Close")
+	}
+	row := map[string]jsonTerm{}
+	for _, v := range e.vars {
+		t, ok := sol[v]
+		if !ok {
+			continue
+		}
+		jt, err := encodeTerm(t)
+		if err != nil {
+			return err
+		}
+		row[v] = jt
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("srjson: %w", err)
+	}
+	if e.n > 0 {
+		if _, err := io.WriteString(e.w, ","); err != nil {
+			return err
+		}
+	}
+	e.n++
+	_, err = e.w.Write(data)
+	return err
+}
+
+// Count reports how many bindings have been encoded so far.
+func (e *StreamEncoder) Count() int { return e.n }
+
+// Close writes the document epilogue. The encoder is unusable afterwards.
+func (e *StreamEncoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	_, err := io.WriteString(e.w, "]}}")
+	return err
+}
+
+// EncodeSelectStream drains a lazy solution sequence into w as a SELECT
+// results document, writing each solution as it arrives. flush, when
+// non-nil, is called after every written solution (an http.Flusher
+// adapter), so the first row reaches the client immediately. A mid-stream
+// error from the sequence aborts the document and is returned; the output
+// is then truncated JSON, which tells the consumer the stream failed.
+func EncodeSelectStream(w io.Writer, vars []string, seq eval.SolutionSeq, flush func()) error {
+	enc, err := NewStreamEncoder(w, vars)
+	if err != nil {
+		return err
+	}
+	for sol, err := range seq {
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(sol); err != nil {
+			return err
+		}
+		if flush != nil {
+			flush()
+		}
+	}
+	return enc.Close()
+}
+
+// StreamDecoder parses a SPARQL results JSON document incrementally with
+// json.Decoder tokens: bindings are surfaced one at a time via Next
+// without ever holding the whole document (or the whole binding list) in
+// memory. It accepts both SELECT documents (head/results) and ASK
+// documents (head/boolean), with top-level keys in any order.
+type StreamDecoder struct {
+	dec  *json.Decoder
+	vars []string
+	// boolean is set when the document is an ASK result.
+	boolean *bool
+	// sawResults records that a results member was present (a SELECT
+	// document, even when its bindings array is empty).
+	sawResults bool
+	// inBindings is true while positioned inside the bindings array.
+	inBindings bool
+	// finished is true once the document has been fully consumed.
+	finished bool
+	err      error
+}
+
+// NewStreamDecoder reads the document up to the start of the bindings
+// array (or to the end, for ASK documents and binding-less corner cases)
+// and returns a decoder positioned to stream bindings.
+func NewStreamDecoder(r io.Reader) (*StreamDecoder, error) {
+	d := &StreamDecoder{dec: json.NewDecoder(r)}
+	if err := d.expectDelim('{'); err != nil {
+		return nil, fmt.Errorf("srjson: %w", err)
+	}
+	if err := d.advance(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// advance consumes top-level (and results-object) keys until it reaches
+// the bindings array, the end of the document, or an error.
+func (d *StreamDecoder) advance() error {
+	for {
+		tok, err := d.dec.Token()
+		if err != nil {
+			return d.fail(fmt.Errorf("srjson: %w", err))
+		}
+		if delim, ok := tok.(json.Delim); ok && delim == '}' {
+			d.finished = true
+			return nil
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return d.fail(fmt.Errorf("srjson: unexpected token %v", tok))
+		}
+		switch key {
+		case "head":
+			var h head
+			if err := d.dec.Decode(&h); err != nil {
+				return d.fail(fmt.Errorf("srjson: head: %w", err))
+			}
+			if d.vars == nil {
+				d.vars = h.Vars
+			}
+		case "boolean":
+			var b bool
+			if err := d.dec.Decode(&b); err != nil {
+				return d.fail(fmt.Errorf("srjson: boolean: %w", err))
+			}
+			d.boolean = &b
+		case "results":
+			d.sawResults = true
+			if err := d.expectDelim('{'); err != nil {
+				return d.fail(fmt.Errorf("srjson: results: %w", err))
+			}
+			for {
+				tok, err := d.dec.Token()
+				if err != nil {
+					return d.fail(fmt.Errorf("srjson: results: %w", err))
+				}
+				if delim, ok := tok.(json.Delim); ok && delim == '}' {
+					break // empty / bindings-less results object
+				}
+				rkey, ok := tok.(string)
+				if !ok {
+					return d.fail(fmt.Errorf("srjson: results: unexpected token %v", tok))
+				}
+				if rkey == "bindings" {
+					if err := d.expectDelim('['); err != nil {
+						return d.fail(fmt.Errorf("srjson: bindings: %w", err))
+					}
+					d.inBindings = true
+					return nil
+				}
+				// Skip unknown results members (e.g. "ordered").
+				var skip json.RawMessage
+				if err := d.dec.Decode(&skip); err != nil {
+					return d.fail(fmt.Errorf("srjson: results.%s: %w", rkey, err))
+				}
+			}
+		default:
+			// Skip unknown top-level members (e.g. "link").
+			var skip json.RawMessage
+			if err := d.dec.Decode(&skip); err != nil {
+				return d.fail(fmt.Errorf("srjson: %s: %w", key, err))
+			}
+		}
+	}
+}
+
+func (d *StreamDecoder) expectDelim(want json.Delim) error {
+	tok, err := d.dec.Token()
+	if err != nil {
+		return err
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != want {
+		return fmt.Errorf("expected %q, got %v", want, tok)
+	}
+	return nil
+}
+
+func (d *StreamDecoder) fail(err error) error {
+	d.err = err
+	return err
+}
+
+// Vars returns the head's variable list. It may still be empty while
+// bindings are being streamed if the document (unusually) places head
+// after results; it is definitive once Next has returned io.EOF.
+func (d *StreamDecoder) Vars() []string { return d.vars }
+
+// Boolean returns the ASK result, or nil for SELECT documents. For
+// documents with boolean after results it is definitive only at io.EOF.
+func (d *StreamDecoder) Boolean() *bool { return d.boolean }
+
+// SawResults reports whether the document carried a results member (so an
+// empty SELECT can be told apart from a malformed document).
+func (d *StreamDecoder) SawResults() bool { return d.sawResults }
+
+// Next returns the next solution. It returns io.EOF when the document is
+// exhausted (at which point Vars and Boolean are final), or the decoding
+// error that terminated the stream. Errors are sticky.
+func (d *StreamDecoder) Next() (eval.Solution, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.finished {
+		return nil, io.EOF
+	}
+	if !d.inBindings {
+		return nil, io.EOF // ASK or bindings-less document
+	}
+	if d.dec.More() {
+		var row map[string]jsonTerm
+		if err := d.dec.Decode(&row); err != nil {
+			return nil, d.fail(fmt.Errorf("srjson: binding: %w", err))
+		}
+		sol := make(eval.Solution, len(row))
+		for v, jt := range row {
+			t, err := decodeTerm(jt)
+			if err != nil {
+				return nil, d.fail(err)
+			}
+			sol[v] = t
+		}
+		return sol, nil
+	}
+	// End of the bindings array: consume "]", the results object's "}",
+	// and whatever top-level members follow (head-after-results).
+	d.inBindings = false
+	if err := d.expectDelim(']'); err != nil {
+		return nil, d.fail(fmt.Errorf("srjson: %w", err))
+	}
+	if err := d.expectDelim('}'); err != nil {
+		return nil, d.fail(fmt.Errorf("srjson: %w", err))
+	}
+	if err := d.advance(); err != nil {
+		return nil, err
+	}
+	if !d.finished {
+		// A second results member would land us back in bindings; the
+		// format has exactly one, so treat it as malformed.
+		return nil, d.fail(fmt.Errorf("srjson: multiple results members"))
+	}
+	return nil, io.EOF
+}
+
+// All adapts the decoder into a lazy solution sequence terminated by the
+// first decode error (io.EOF is a clean end, not an error).
+func (d *StreamDecoder) All() eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		for {
+			sol, err := d.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(sol, nil) {
+				return
+			}
+		}
+	}
+}

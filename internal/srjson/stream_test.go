@@ -1,0 +1,254 @@
+package srjson
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/rdf"
+)
+
+func drainStream(t *testing.T, src string) ([]eval.Solution, *StreamDecoder, error) {
+	t.Helper()
+	d, err := NewStreamDecoder(strings.NewReader(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	var sols []eval.Solution
+	for {
+		sol, err := d.Next()
+		if err == io.EOF {
+			return sols, d, nil
+		}
+		if err != nil {
+			return sols, d, err
+		}
+		sols = append(sols, sol)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	res := &eval.Result{
+		Vars: []string{"a", "n"},
+		Solutions: []eval.Solution{
+			{"a": rdf.NewIRI("http://example.org/alice"), "n": rdf.NewLiteral("Alice")},
+			{"a": rdf.NewIRI("http://example.org/bob")}, // n unbound
+			{"a": rdf.NewBlank("b0"), "n": rdf.NewLangLiteral("Bob", "en")},
+			{"n": rdf.NewTypedLiteral("42", rdf.XSDInteger)},
+		},
+	}
+	var sb strings.Builder
+	enc, err := NewStreamEncoder(&sb, res.Vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range res.Solutions {
+		if err := enc.Encode(sol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Count() != 4 {
+		t.Fatalf("count = %d", enc.Count())
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sols, d, err := drainStream(t, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(res.Solutions) {
+		t.Fatalf("solutions = %d, want %d", len(sols), len(res.Solutions))
+	}
+	if got := d.Vars(); len(got) != 2 || got[0] != "a" || got[1] != "n" {
+		t.Fatalf("vars = %v", got)
+	}
+	for i, sol := range sols {
+		if sol.Key() != res.Solutions[i].Key() {
+			t.Fatalf("solution %d = %v, want %v", i, sol, res.Solutions[i])
+		}
+	}
+	// The streamed document must also satisfy the buffered decoder.
+	got, b, err := Decode([]byte(sb.String()))
+	if err != nil || b != nil {
+		t.Fatalf("Decode: %v %v", b, err)
+	}
+	if len(got.Solutions) != 4 {
+		t.Fatalf("buffered decode = %d solutions", len(got.Solutions))
+	}
+}
+
+func TestStreamDecoderAsk(t *testing.T) {
+	_, d, err := drainStream(t, `{"head":{},"boolean":true}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := d.Boolean(); b == nil || !*b {
+		t.Fatalf("boolean = %v", b)
+	}
+}
+
+func TestStreamDecoderHeadAfterResults(t *testing.T) {
+	src := `{"results":{"bindings":[{"a":{"type":"uri","value":"http://x/1"}}]},"head":{"vars":["a"]}}`
+	sols, d, err := drainStream(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	// Vars become definitive once the stream is drained.
+	if got := d.Vars(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("vars = %v", got)
+	}
+}
+
+func TestStreamDecoderTruncated(t *testing.T) {
+	full := `{"head":{"vars":["a"]},"results":{"bindings":[` +
+		`{"a":{"type":"uri","value":"http://x/1"}},` +
+		`{"a":{"type":"uri","value":"http://x/2"}}]}}`
+	// Truncating at any point must produce either a constructor error or a
+	// Next error — never a silent clean EOF with the tail missing.
+	for cut := 1; cut < len(full); cut++ {
+		src := full[:cut]
+		d, err := NewStreamDecoder(strings.NewReader(src))
+		if err != nil {
+			continue
+		}
+		n, sawErr := 0, false
+		for {
+			_, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				sawErr = true
+				break
+			}
+			n++
+		}
+		if !sawErr {
+			t.Fatalf("truncation at %d decoded cleanly (%d solutions): %q", cut, n, src)
+		}
+		// Errors are sticky.
+		if _, err := d.Next(); err == nil || err == io.EOF {
+			t.Fatalf("truncation at %d: error not sticky (%v)", cut, err)
+		}
+	}
+}
+
+func TestStreamDecoderMalformedTermMidStream(t *testing.T) {
+	src := `{"head":{"vars":["a"]},"results":{"bindings":[
+		{"a":{"type":"uri","value":"http://x/1"}},
+		{"a":{"type":"wibble","value":"http://x/2"}},
+		{"a":{"type":"uri","value":"http://x/3"}}]}}`
+	d, err := NewStreamDecoder(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := d.Next()
+	if err != nil || sol == nil {
+		t.Fatalf("first solution: %v %v", sol, err)
+	}
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "wibble") {
+		t.Fatalf("malformed term error = %v", err)
+	}
+	// The error is terminal: the valid third row is not reachable.
+	if _, err := d.Next(); err == nil || err == io.EOF {
+		t.Fatalf("post-error Next = %v", err)
+	}
+}
+
+func TestStreamDecoderMalformedStructure(t *testing.T) {
+	for _, src := range []string{
+		`[]`,
+		`{"results":"nope"}`,
+		`{"results":{"bindings":{}}}`,
+		`{"head":{"vars":["a"]},"results":{"bindings":[42]}}`,
+		`{"results":{"bindings":[]},"results":{"bindings":[]}}`,
+	} {
+		_, _, err := drainStream(t, src)
+		if err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingData: the buffered Decode owns the whole
+// payload, so concatenated/corrupt tails are errors (the incremental
+// decoder deliberately stays positioned after the document instead).
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	for _, src := range []string{
+		`{"head":{"vars":["a"]},"results":{"bindings":[]}}GARBAGE`,
+		`{"boolean":true}{"boolean":false}`,
+	} {
+		if _, _, err := Decode([]byte(src)); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+	// Trailing whitespace stays fine.
+	if _, _, err := Decode([]byte("{\"head\":{},\"results\":{\"bindings\":[]}}\n  ")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamDecoderConstantMemory decodes a multi-hundred-thousand-row
+// document from a generator reader and checks the decoder's live heap
+// stays far below the document size: the stream is never buffered whole.
+func TestStreamDecoderConstantMemory(t *testing.T) {
+	const rows = 80_000
+	pr, pw := io.Pipe()
+	go func() {
+		enc, err := NewStreamEncoder(pw, []string{"i", "label"})
+		if err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for i := 0; i < rows; i++ {
+			sol := eval.Solution{
+				"i":     rdf.NewTypedLiteral(fmt.Sprint(i), rdf.XSDInteger),
+				"label": rdf.NewLiteral(strings.Repeat("x", 100)),
+			}
+			if err := enc.Encode(sol); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.CloseWithError(enc.Close())
+	}()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	d, err := NewStreamDecoder(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		sol, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sol) != 2 {
+			t.Fatalf("row %d = %v", n, sol)
+		}
+		n++
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if n != rows {
+		t.Fatalf("rows = %d", n)
+	}
+	// The document is > 10 MB; the decoder should retain well under 8 MB.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 8<<20 {
+		t.Fatalf("heap grew %d bytes across a streamed decode", growth)
+	}
+}

@@ -13,6 +13,28 @@
 // protocol endpoints, a three-tier mediator with federated execution, and
 // a forward-chaining materialisation baseline.
 //
+// # Streaming query API
+//
+// Results are streaming-first: the evaluator yields lazy solution
+// sequences (SolutionSeq), the wire format encodes and decodes
+// incrementally, endpoints serve chunked responses, and the mediator's
+// one federated entry point returns a stream whose first solution
+// arrives before the slowest endpoint answers:
+//
+//	m := sparqlrw.NewMediator(datasets, alignments, corefSrc)
+//	qs, err := m.Query(ctx, sparqlrw.MediatorQueryRequest{
+//	    Query: `SELECT ?a WHERE { ... }`,
+//	    // SourceOnt "" guesses from the query; Targets nil auto-plans.
+//	})
+//	if err != nil { ... }
+//	defer qs.Close()
+//	for sol, err := range qs.Solutions() { ... }
+//	summary, err := qs.Summary() // per-dataset outcomes
+//
+// The buffered FederatedSelect / FederatedSelectContext /
+// FederatedSelectPlanned methods survive as deprecated wrappers that
+// drain the stream.
+//
 // Quick start:
 //
 //	cs := sparqlrw.NewCorefStore()
@@ -44,6 +66,7 @@ import (
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
 	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/store"
 	"sparqlrw/internal/turtle"
 	"sparqlrw/internal/voidkb"
@@ -80,11 +103,24 @@ type (
 	QueryResult = eval.Result
 	// Solution is one solution mapping.
 	Solution = eval.Solution
+	// SolutionSeq is a lazy solution sequence (iter.Seq2[Solution,
+	// error]): the streaming shape results take from the evaluator all
+	// the way to HTTP responses.
+	SolutionSeq = eval.SolutionSeq
+	// SolutionStream is a pull-based solution stream handle (endpoint
+	// responses, federated merges).
+	SolutionStream = eval.SolutionStream
+	// StreamResult is a SELECT evaluation outcome whose solutions are
+	// produced lazily (Engine.SelectSeq).
+	StreamResult = eval.StreamResult
 	// Engine evaluates queries over a Store.
 	Engine = eval.Engine
 	// Store is the indexed in-memory triple store.
 	Store = store.Store
 )
+
+// CollectSolutions drains a lazy solution sequence into a slice.
+func CollectSolutions(seq SolutionSeq) ([]Solution, error) { return eval.Collect(seq) }
 
 // ParseQuery parses a SPARQL 1.0 query (SELECT, ASK or CONSTRUCT).
 func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
@@ -241,6 +277,17 @@ type (
 	FederationStats = federate.Stats
 	// FederatedResult is a merged federated answer.
 	FederatedResult = mediate.FederatedResult
+	// MediatorQueryRequest is the options struct for Mediator.Query:
+	// query text, source ontology (empty = guessed), explicit targets
+	// (nil = planner-selected) and an optional solution limit.
+	MediatorQueryRequest = mediate.QueryRequest
+	// MediatorQueryStream is an in-flight federated query: merged
+	// solutions stream as endpoints deliver them, with the plan and the
+	// per-dataset summary available on the stream.
+	MediatorQueryStream = mediate.QueryStream
+	// FederationStream is the executor-level merged solution stream
+	// underneath MediatorQueryStream.
+	FederationStream = federate.Stream
 )
 
 // ErrCircuitOpen is reported (wrapped) in a DatasetAnswer when an
@@ -290,6 +337,30 @@ func NewEndpointServer(name string, st *Store) *EndpointServer {
 
 // NewEndpointClient returns a SPARQL protocol client.
 func NewEndpointClient() *EndpointClient { return endpoint.NewClient() }
+
+// EndpointSelectStream is an in-flight SELECT response decoding
+// incrementally off the wire (EndpointClient.SelectStreamContext).
+type EndpointSelectStream = endpoint.SelectStream
+
+// Streaming SPARQL-results-JSON codec, the SPARQL protocol wire format.
+type (
+	// ResultsStreamEncoder writes a SELECT results document one binding
+	// at a time.
+	ResultsStreamEncoder = srjson.StreamEncoder
+	// ResultsStreamDecoder parses a results document incrementally in
+	// constant memory.
+	ResultsStreamDecoder = srjson.StreamDecoder
+)
+
+// NewResultsStreamEncoder starts a streaming SELECT results document.
+func NewResultsStreamEncoder(w io.Writer, vars []string) (*ResultsStreamEncoder, error) {
+	return srjson.NewStreamEncoder(w, vars)
+}
+
+// NewResultsStreamDecoder opens an incremental results-document decoder.
+func NewResultsStreamDecoder(r io.Reader) (*ResultsStreamDecoder, error) {
+	return srjson.NewStreamDecoder(r)
+}
 
 // Materialisation baseline (the reasoning-based integration the paper
 // argues does not scale).

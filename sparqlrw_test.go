@@ -164,3 +164,54 @@ func TestFacadeKBs(t *testing.T) {
 		t.Fatal("mediator datasets")
 	}
 }
+
+// TestFacadeStreaming exercises the public streaming surface: lazy
+// evaluation through Engine.SelectSeq, the streaming results-JSON codec,
+// and CollectSolutions.
+func TestFacadeStreaming(t *testing.T) {
+	st := NewStore()
+	st.Add(NewTriple(NewIRI("http://x/p1"), NewIRI("http://x/author"), NewIRI("http://x/alice")))
+	st.Add(NewTriple(NewIRI("http://x/p1"), NewIRI("http://x/author"), NewIRI("http://x/bob")))
+	q, err := ParseQuery(`SELECT ?a WHERE { <http://x/p1> <http://x/author> ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewEngine(st).SelectSeq(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	enc, err := NewResultsStreamEncoder(&sb, sr.Vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols, err := CollectSolutions(sr.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range sols {
+		if err := enc.Encode(sol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewResultsStreamDecoder(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for sol, err := range dec.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Bound("a") {
+			t.Fatalf("solution = %v", sol)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("round-tripped %d solutions", n)
+	}
+}
