@@ -17,6 +17,7 @@ import (
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/core"
 	"sparqlrw/internal/coref"
+	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
@@ -350,6 +351,109 @@ func BenchmarkPlanner_PlannedVsUnplanned(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(roundTrips.Load())/float64(b.N), "rt/op")
+		})
+	}
+}
+
+// BenchmarkDecomposedVsBroadcast — the per-BGP decomposition layer on a
+// cross-vocabulary workload: the AKT data and the citation metrics live
+// in different repositories with no alignment between them, over four
+// registered endpoints. Three strategies:
+//
+//   - BroadcastWhole ships the full pattern to every repository — the
+//     pre-decomposition behaviour. It pays a round trip per registered
+//     endpoint and returns NOTHING (no repository can satisfy a BGP
+//     spanning both vocabularies), which is exactly why the layer exists.
+//   - BroadcastFragments decomposes but disables bound joins (MaxBindRows
+//     -1): each fragment's full extent crosses the wire and the mediator
+//     hash-joins.
+//   - BoundJoin is the default decomposed path: the seed fragment's
+//     bindings are VALUES-injected into the next fragment's sub-query, so
+//     endpoints only return solutions that join.
+//
+// rt/op counts endpoint round trips, sol/op the solutions transferred
+// from endpoints, row/op the correct joined rows produced. BoundJoin
+// transfers strictly fewer solutions than either broadcast mode and
+// fewer round trips than BroadcastWhole, while being the only strategy
+// (besides BroadcastFragments) that answers the query at all.
+func BenchmarkDecomposedVsBroadcast(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	var roundTrips atomic.Int64
+	counted := func(name string, st *store.Store) *httptest.Server {
+		h := endpoint.NewServer(name, st)
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			roundTrips.Add(1)
+			h.ServeHTTP(w, r)
+		}))
+	}
+	soton := counted("southampton", u.Southampton)
+	b.Cleanup(soton.Close)
+	metrics := counted("metrics", workload.MetricsStore(u))
+	b.Cleanup(metrics.Close)
+	dbp := counted("dbpedia", store.New())
+	b.Cleanup(dbp.Close)
+	ecs := counted("ecs", store.New())
+	b.Cleanup(ecs.Close)
+
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS},
+		Triples:            int64(u.Southampton.Size()),
+		PropertyPartitions: map[string]int64{rdf.AKTHasAuthor: 450}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.MetricsVoidURI, SPARQLEndpoint: metrics.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{workload.MetricsNS},
+		Triples:            300,
+		PropertyPartitions: map[string]int64{workload.MetricsCitationCount: 150}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.DBPVoidURI, SPARQLEndpoint: dbp.URL,
+		URISpace: workload.DBPURIPattern, Vocabularies: []string{rdf.DBONS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.ECSVoidURI, SPARQLEndpoint: ecs.URL,
+		URISpace: workload.ECSURIPattern, Vocabularies: []string{rdf.ECSNS}})
+	alignKB := align.NewKB()
+	allTargets := []string{workload.SotonVoidURI, workload.MetricsVoidURI,
+		workload.DBPVoidURI, workload.ECSVoidURI}
+
+	run := func(b *testing.B, m *mediate.Mediator, targets []string) (sols, rows int) {
+		fr, err := m.FederatedSelect(workload.CrossVocabularyQuery(b.N%50), rdf.AKTNS, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, da := range fr.PerDataset {
+			sols += da.Solutions
+		}
+		return sols, len(fr.Solutions)
+	}
+
+	for _, mode := range []struct {
+		name    string
+		targets []string // nil = planner + decomposer
+		opts    decompose.Options
+	}{
+		{"BroadcastWhole", allTargets, decompose.Options{}},
+		{"BroadcastFragments", nil, decompose.Options{MaxBindRows: -1}},
+		{"BoundJoin", nil, decompose.Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mediate.New(dsKB, alignKB, u.Coref)
+			b.Cleanup(m.Close)
+			m.ConfigureDecomposer(mode.opts)
+			roundTrips.Store(0)
+			var transferred, produced int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sols, rows := run(b, m, mode.targets)
+				transferred += int64(sols)
+				produced += int64(rows)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(roundTrips.Load())/float64(b.N), "rt/op")
+			b.ReportMetric(float64(transferred)/float64(b.N), "sol/op")
+			b.ReportMetric(float64(produced)/float64(b.N), "row/op")
+			if mode.targets == nil && produced == 0 {
+				b.Fatal("decomposed mode produced no rows")
+			}
 		})
 	}
 }

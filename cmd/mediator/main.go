@@ -49,11 +49,28 @@
 // /api/stats reports per-endpoint latency, retries and breaker state,
 // the plan-cache hit rate, and the planner's pruning/sharding counters.
 //
+// # Decomposition
+//
+// A third generated repository ("citation metrics") serves a second
+// vocabulary over the same paper URIs. A query spanning both
+// vocabularies has no single covering repository, so the mediator splits
+// its BGP into per-endpoint exclusive groups (internal/decompose),
+// orders them by voiD cardinality statistics, and joins the fragment
+// streams with VALUES-bound joins. /api/plan explains the fragments,
+// estimates and join order; /api/stats counts decompositions and join
+// stages. The knobs:
+//
+//	-decompose       enable the multi-source path (default true)
+//	-bind-batch N    bound-join VALUES rows per sub-query (default 30)
+//	-max-bind N      bindings above this hash-join at the mediator
+//	                 instead of binding (-1 always hash-joins)
+//
 // # Usage
 //
 //	mediator [-addr :8080] [-persons 100] [-papers 300] [-filters]
 //	         [-concurrency 8] [-timeout 10s] [-retries 1] [-cache 256]
 //	         [-failfast] [-plan] [-values-batch 50]
+//	         [-decompose] [-bind-batch 30] [-max-bind 1024]
 //
 // Then open http://localhost:8080/ for the Figure-4-style UI, or use the
 // REST API:
@@ -63,6 +80,10 @@
 //	curl -s -X POST localhost:8080/api/plan -d '{"query":"..."}'
 //	curl -s -X POST localhost:8080/api/rewrite \
 //	     -d '{"query":"...", "target":"http://kisti.rkbexplorer.com/id/void"}'
+//	curl -s -N -H 'Accept: application/x-ndjson' \
+//	     -X POST localhost:8080/api/query -d '{"query":"..."}'
+//
+// The last form streams NDJSON: one W3C-style binding object per line.
 package main
 
 import (
@@ -75,6 +96,7 @@ import (
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/coref"
+	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/mediate"
@@ -107,6 +129,9 @@ func run() error {
 	failFast := flag.Bool("failfast", false, "cancel federated queries on the first endpoint error")
 	usePlan := flag.Bool("plan", true, "auto-select federation targets with the voiD-driven planner")
 	valuesBatch := flag.Int("values-batch", 50, "VALUES rows per sharded federation sub-query (0 disables sharding)")
+	useDecompose := flag.Bool("decompose", true, "split multi-vocabulary queries into per-endpoint fragments joined at the mediator")
+	bindBatch := flag.Int("bind-batch", 30, "bound-join VALUES rows per decomposed sub-query")
+	maxBind := flag.Int("max-bind", 1024, "bindings above this fall back to a mediator-side hash join (-1 always hash-joins)")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig()
@@ -115,7 +140,9 @@ func run() error {
 	fmt.Printf("generated universe: southampton=%d triples, kisti=%d triples, %d sameAs classes\n",
 		u.Southampton.Size(), u.KISTI.Size(), u.Coref.Classes())
 
-	// Tier 3: the remote data sets (SPARQL/HTTP in Figure 5).
+	// Tier 3: the remote data sets (SPARQL/HTTP in Figure 5), plus the
+	// citation-metrics repository serving a second vocabulary over the
+	// same paper URIs (the decomposition demo).
 	sotonLis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -124,30 +151,52 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	metricsLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
 	corefLis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	metricsStore := workload.MetricsStore(u)
 	sotonEP := endpoint.NewServer("southampton", u.Southampton)
 	sotonEP.MaxRequestBody = *maxRequestBody
 	kistiEP := endpoint.NewServer("kisti", u.KISTI)
 	kistiEP.MaxRequestBody = *maxRequestBody
+	metricsEP := endpoint.NewServer("metrics", metricsStore)
+	metricsEP.MaxRequestBody = *maxRequestBody
 	go func() { _ = http.Serve(sotonLis, sotonEP) }()
 	go func() { _ = http.Serve(kistiLis, kistiEP) }()
+	go func() { _ = http.Serve(metricsLis, metricsEP) }()
 	go func() { _ = http.Serve(corefLis, coref.Handler(u.Coref)) }()
 	sotonURL := "http://" + sotonLis.Addr().String()
 	kistiURL := "http://" + kistiLis.Addr().String()
+	metricsURL := "http://" + metricsLis.Addr().String()
 	corefURL := "http://" + corefLis.Addr().String()
-	fmt.Printf("southampton endpoint: %s\nkisti endpoint:       %s\nsameas service:       %s\n",
-		sotonURL, kistiURL, corefURL)
+	fmt.Printf("southampton endpoint: %s\nkisti endpoint:       %s\nmetrics endpoint:     %s\nsameas service:       %s\n",
+		sotonURL, kistiURL, metricsURL, corefURL)
 
-	// Tier 2: the knowledge bases.
+	// Tier 2: the knowledge bases. The voiD descriptions carry real
+	// statistics (void:triples, void:propertyPartition) computed from the
+	// generated stores, which the decomposer's cardinality estimator
+	// consumes to order join fragments.
+	partition := func(st interface{ PredicateCount(rdf.Term) int }, preds ...string) map[string]int64 {
+		out := make(map[string]int64, len(preds))
+		for _, p := range preds {
+			out[p] = int64(st.PredicateCount(rdf.NewIRI(p)))
+		}
+		return out
+	}
 	dsKB := voidkb.NewKB()
 	if err := dsKB.Add(&voidkb.Dataset{
 		URI: workload.SotonVoidURI, Title: "Southampton RKB",
 		SPARQLEndpoint: sotonURL,
 		URISpace:       workload.SotonURIPattern,
 		Vocabularies:   []string{rdf.AKTNS},
+		Triples:        int64(u.Southampton.Size()),
+		PropertyPartitions: partition(u.Southampton,
+			rdf.AKTHasAuthor, rdf.AKTHasTitle, rdf.AKTHasDate, rdf.AKTFullName),
 	}); err != nil {
 		return err
 	}
@@ -156,6 +205,20 @@ func run() error {
 		SPARQLEndpoint: kistiURL,
 		URISpace:       workload.KistiURIPattern,
 		Vocabularies:   []string{rdf.KISTINS},
+		Triples:        int64(u.KISTI.Size()),
+		PropertyPartitions: partition(u.KISTI,
+			rdf.KISTIHasCreator, rdf.KISTIHasCreatorInfo, rdf.KISTITitle),
+	}); err != nil {
+		return err
+	}
+	if err := dsKB.Add(&voidkb.Dataset{
+		URI: workload.MetricsVoidURI, Title: "Citation metrics",
+		SPARQLEndpoint: metricsURL,
+		URISpace:       workload.SotonURIPattern,
+		Vocabularies:   []string{workload.MetricsNS},
+		Triples:        int64(metricsStore.Size()),
+		PropertyPartitions: partition(metricsStore,
+			workload.MetricsCitationCount, workload.MetricsVenue),
 	}); err != nil {
 		return err
 	}
@@ -202,6 +265,13 @@ func run() error {
 	} else {
 		m.Planner = nil
 		fmt.Println("planner: disabled (queries must name explicit targets)")
+	}
+	if *usePlan && *useDecompose {
+		m.ConfigureDecomposer(decompose.Options{BindBatch: *bindBatch, MaxBindRows: *maxBind})
+		fmt.Printf("decompose: enabled bind-batch=%d max-bind=%d\n", *bindBatch, *maxBind)
+	} else {
+		m.Decomposer = nil
+		fmt.Println("decompose: disabled (multi-vocabulary queries will fail)")
 	}
 
 	lis, err := net.Listen("tcp", *addr)

@@ -178,7 +178,9 @@ SELECT DISTINCT ?a WHERE {
 	if len(qr.Rows) == 0 {
 		t.Fatal("planned /api/query returned no rows")
 	}
-	// Both generated repositories are relevant to an AKT query.
+	// Of the three generated repositories only Southampton and KISTI are
+	// relevant to an AKT query; the metrics repository (its own
+	// vocabulary, no alignment from AKT) is pruned.
 	if len(qr.PerDataset) != 2 {
 		t.Fatalf("perDataset = %+v", qr.PerDataset)
 	}
@@ -187,8 +189,17 @@ SELECT DISTINCT ?a WHERE {
 			t.Fatalf("dataset %s failed: %s", pd.Dataset, pd.Error)
 		}
 	}
-	if qr.Plan == nil || len(qr.Plan.Decisions) != 2 {
+	if qr.Plan == nil || len(qr.Plan.Decisions) != 3 {
 		t.Fatalf("plan missing from response: %+v", qr.Plan)
+	}
+	relevant := 0
+	for _, d := range qr.Plan.Decisions {
+		if d.Relevant {
+			relevant++
+		}
+	}
+	if relevant != 2 {
+		t.Fatalf("relevant datasets = %d, want 2: %+v", relevant, qr.Plan.Decisions)
 	}
 
 	// The explain endpoint agrees without executing anything.

@@ -1,0 +1,530 @@
+package decompose
+
+import (
+	"context"
+	"errors"
+	"io"
+	"iter"
+	"sync"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/plan"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+)
+
+// Dispatcher starts federated sub-query streams; *federate.Executor
+// satisfies it. The engine goes through the executor so fragment
+// dispatches get the usual pipeline: cached rewrites, bounded concurrency,
+// retries, circuit breakers and the owl:sameAs merge.
+type Dispatcher interface {
+	SelectStream(ctx context.Context, req federate.Request) *federate.Stream
+}
+
+// EngineStats counts join-engine activity for /api/stats.
+type EngineStats struct {
+	// Runs is how many decomposed queries were executed.
+	Runs uint64 `json:"runs"`
+	// BoundJoinStages and HashJoinStages count join stages by strategy.
+	BoundJoinStages uint64 `json:"boundJoinStages"`
+	HashJoinStages  uint64 `json:"hashJoinStages"`
+	// ValuesRows is how many bindings were shipped in VALUES blocks.
+	ValuesRows uint64 `json:"valuesRows"`
+	// SolutionsTransferred sums the solutions endpoints returned across
+	// all fragment dispatches (the figure bound joins minimise).
+	SolutionsTransferred uint64 `json:"solutionsTransferred"`
+}
+
+// Engine executes decompositions: fragments run left to right as bound
+// joins over the federation executor, producing one merged, lazily
+// consumed solution stream.
+type Engine struct {
+	mu       sync.Mutex
+	exec     Dispatcher
+	resolver eval.FuncResolver
+	coref    funcs.CorefSource
+	opts     Options
+	stats    EngineStats
+}
+
+// NewEngine builds a join engine over the given dispatcher. funcs
+// resolves extension functions in mediator-evaluated filters; coref is
+// the co-reference service used to expand bound-join bindings with their
+// owl:sameAs equivalents (the executor's merge canonicalises solutions,
+// so a binding's representative URI may lie outside the next endpoint's
+// URI space — the expansion ships every known alias). Both may be nil.
+func NewEngine(exec Dispatcher, fr eval.FuncResolver, coref funcs.CorefSource, opts Options) *Engine {
+	return &Engine{exec: exec, resolver: fr, coref: coref, opts: opts.withDefaults()}
+}
+
+// SetDispatcher swaps the executor the engine dispatches through (the
+// mediator rebuilds its executor on reconfiguration; the engine and its
+// counters survive).
+func (e *Engine) SetDispatcher(exec Dispatcher) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.exec = exec
+}
+
+func (e *Engine) dispatcher() Dispatcher {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.exec
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) record(f func(*EngineStats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// Run is an in-flight decomposed query: the streaming counterpart of
+// federate.Stream for the multi-source path. Consume Next (io.EOF ends
+// the stream) or Solutions, then Summary; always Close.
+type Run struct {
+	vars   []string
+	cancel context.CancelFunc
+
+	// pullMu serialises the iter.Pull2 handles: Next/Summary and a
+	// concurrent Close must not drive the coroutine simultaneously.
+	pullMu sync.Mutex
+	next   func() (eval.Solution, error, bool)
+	stop   func()
+
+	closeOnce sync.Once
+	err       error
+
+	mu          sync.Mutex
+	answers     []federate.DatasetAnswer
+	partial     bool
+	duplicates  int
+	transferred int
+}
+
+// Run starts executing a decomposition. Fragments dispatch lazily: the
+// first fragment's stream opens on the first Next call, and each later
+// fragment dispatches only once the accumulated bindings reach it (an
+// empty fragment short-circuits the whole join without touching the
+// remaining endpoints). Cancelling ctx or calling Close aborts all
+// in-flight sub-queries.
+func (e *Engine) Run(ctx context.Context, d *Decomposition) *Run {
+	ctx, cancel := context.WithCancel(ctx)
+	r := &Run{vars: d.Vars, cancel: cancel}
+	e.record(func(s *EngineStats) { s.Runs++ })
+	r.next, r.stop = iter.Pull2(e.pipeline(ctx, d, r))
+	return r
+}
+
+// Vars returns the final projection variable names.
+func (r *Run) Vars() []string { return r.vars }
+
+// Next returns the next joined solution, io.EOF at the end of the
+// stream, or the error that aborted it.
+func (r *Run) Next() (eval.Solution, error) {
+	r.pullMu.Lock()
+	sol, err, ok := r.next()
+	r.pullMu.Unlock()
+	if !ok {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, io.EOF
+	}
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	return sol, nil
+}
+
+// Solutions adapts the run into a lazy solution sequence terminated by
+// the first error; breaking out stops the upstream work.
+func (r *Run) Solutions() eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		for {
+			sol, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(sol, nil) {
+				r.Close()
+				return
+			}
+		}
+	}
+}
+
+// Close cancels the remaining upstream work. Safe to call at any point,
+// more than once, and concurrently with a blocked Next (the cancellation
+// unblocks it).
+func (r *Run) Close() error {
+	r.closeOnce.Do(func() {
+		// Cancel before taking pullMu: a Next blocked inside the
+		// coroutine holds the mutex until cancellation releases it.
+		r.cancel()
+		r.pullMu.Lock()
+		r.stop()
+		r.pullMu.Unlock()
+	})
+	return nil
+}
+
+// Summary reports the run's outcome in the executor's result shape:
+// per-dataset answers for every fragment dispatch (in dispatch order),
+// the duplicate count, and Partial when any sub-query failed (a failed
+// fragment dispatch means join results may be incomplete). It consumes
+// whatever remains of the stream first.
+func (r *Run) Summary() (*federate.Result, error) {
+	for {
+		r.pullMu.Lock()
+		_, err, ok := r.next()
+		r.pullMu.Unlock()
+		if !ok {
+			break
+		}
+		if err != nil {
+			r.err = err
+			break
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &federate.Result{
+		Vars:       r.vars,
+		PerDataset: r.answers,
+		Duplicates: r.duplicates,
+		Partial:    r.partial,
+	}, r.err
+}
+
+// Transferred returns how many solutions endpoints returned across all
+// fragment dispatches so far (the benchmarks' sol/op numerator).
+func (r *Run) Transferred() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.transferred
+}
+
+// addResult folds one fragment dispatch's summary into the run.
+func (r *Run) addResult(res *federate.Result, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.answers = append(r.answers, res.PerDataset...)
+	r.duplicates += res.Duplicates
+	for _, da := range res.PerDataset {
+		r.transferred += da.Solutions
+		if da.Err != nil && !errors.Is(da.Err, federate.ErrStreamClosed) {
+			r.partial = true
+		}
+	}
+	if err != nil && r.err == nil && !errors.Is(err, context.Canceled) {
+		r.err = err
+	}
+}
+
+// pipeline composes the fragment stages into one lazy sequence:
+// fragment 0 seeds the bindings, each later fragment joins in (bound or
+// hash), residual filters apply at their stage, and the final stage
+// projects, deduplicates and slices.
+func (e *Engine) pipeline(ctx context.Context, d *Decomposition, r *Run) eval.SolutionSeq {
+	var seq eval.SolutionSeq
+	for k, f := range d.Fragments {
+		if k == 0 {
+			seq = e.fragmentSeq(ctx, d, f, nil, r)
+		} else {
+			seq = e.joinStage(ctx, d, f, seq, r)
+		}
+		for _, rf := range d.ResidualFilters {
+			if rf.Stage == k {
+				seq = e.filterSeq(seq, rf.expr)
+			}
+		}
+	}
+	return e.finalSeq(d, seq, r)
+}
+
+// fragmentSeq dispatches one fragment (with the given VALUES shard
+// texts, nil for an unbound fetch) and yields its merged solutions. The
+// dispatch summary is folded into the run when the stage winds down,
+// whether it was drained or abandoned.
+func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment, shardTexts []string, r *Run) eval.SolutionSeq {
+	// Caller-provided texts are bound-join VALUES shards: their binding
+	// rows make each text single-use, so they must not occupy slots in
+	// the executor's rewrite-plan LRU.
+	boundShards := shardTexts != nil
+	if shardTexts == nil {
+		shardTexts = []string{sparql.Format(fragmentQuery(d, f, nil))}
+	}
+	// Rewriting translates from the fragment's own vocabulary, which on
+	// a multi-vocabulary query may differ from the query-level source.
+	srcOnt := d.SourceOnt
+	if f.RewriteOnt != "" {
+		srcOnt = f.RewriteOnt
+	}
+	req := federate.Request{
+		Query:     shardTexts[0],
+		SourceOnt: srcOnt,
+		Vars:      f.Vars,
+	}
+	for i, text := range shardTexts {
+		for _, t := range f.Targets {
+			req.Targets = append(req.Targets, federate.Target{
+				Dataset:          t.Dataset,
+				Endpoint:         t.Endpoint,
+				NeedsRewrite:     t.NeedsRewrite,
+				Query:            text,
+				Shard:            i + 1,
+				Shards:           len(shardTexts),
+				SkipRewriteCache: boundShards,
+			})
+		}
+	}
+	return func(yield func(eval.Solution, error) bool) {
+		s := e.dispatcher().SelectStream(ctx, req)
+		defer func() {
+			s.Close()
+			res, err := s.Summary()
+			r.addResult(res, err)
+			var n uint64
+			for _, da := range res.PerDataset {
+				n += uint64(da.Solutions)
+			}
+			e.record(func(st *EngineStats) { st.SolutionsTransferred += n })
+		}()
+		for sol, err := range s.Solutions() {
+			if !yield(sol, err) || err != nil {
+				return
+			}
+		}
+	}
+}
+
+// joinStage joins the accumulated left bindings with one fragment. The
+// left side is materialised (it is about to be shipped or hashed either
+// way); the right side streams, so joined solutions flow out as the
+// endpoints deliver them.
+//
+// Strategy: while the distinct join-variable bindings fit MaxBindRows,
+// they are batched into a VALUES block — sharded through the planner's
+// VALUES machinery into BindBatch-sized sub-queries that dispatch
+// concurrently — so the endpoint only returns solutions that join
+// (a bound join). Past the cap, or when the stage has no join variables
+// (cartesian), the fragment is fetched unbound and joined by hash at the
+// mediator. Mediator-side hashing probes owl:sameAs-canonicalised keys on
+// both sides, so it also covers fragments whose entities live in a
+// different URI space than the bindings.
+func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, left eval.SolutionSeq, r *Run) eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		// Materialise the left side, bucketed by join key (it is about to
+		// be shipped as VALUES or probed by hash either way). keyOrder
+		// keeps VALUES rows deterministic: first-seen order.
+		table := map[string][]eval.Solution{}
+		var keyOrder []string
+		rows := 0
+		for sol, err := range left {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			key := sol.Project(f.JoinVars).Key()
+			if _, ok := table[key]; !ok {
+				keyOrder = append(keyOrder, key)
+			}
+			table[key] = append(table[key], sol)
+			rows++
+		}
+		if rows == 0 {
+			return // empty join operand: the join is empty, dispatch nothing
+		}
+
+		var shardTexts []string
+		bind := len(f.JoinVars) > 0 && e.opts.MaxBindRows >= 0 && len(keyOrder) <= e.opts.MaxBindRows
+		if bind {
+			values := &sparql.InlineData{Vars: append([]string(nil), f.JoinVars...)}
+			rowSeen := map[string]bool{}
+			for _, key := range keyOrder {
+				sol := table[key][0]
+				row := make([]rdf.Term, len(f.JoinVars))
+				for i, v := range f.JoinVars {
+					row[i] = sol[v] // zero Term reads back as UNDEF
+				}
+				// Ship every owl:sameAs alias of the bound IRIs: the merge
+				// canonicalised the bindings, and the representative URI
+				// may not be the one this fragment's endpoints store.
+				for _, variant := range e.expandRow(row) {
+					k := rowKey(variant)
+					if !rowSeen[k] {
+						rowSeen[k] = true
+						values.Rows = append(values.Rows, variant)
+					}
+				}
+			}
+			// The cap applies to the rows actually shipped: alias
+			// expansion can multiply the bindings, and past the cap the
+			// hash fallback is cheaper than a flood of VALUES shards.
+			if len(values.Rows) > e.opts.MaxBindRows {
+				bind = false
+			} else {
+				q := fragmentQuery(d, f, values)
+				shardTexts, _ = plan.ShardQuery(q, e.opts.BindBatch, e.opts.MaxShards)
+				if shardTexts == nil {
+					shardTexts = []string{sparql.Format(q)}
+				}
+				e.record(func(s *EngineStats) {
+					s.BoundJoinStages++
+					s.ValuesRows += uint64(len(values.Rows))
+				})
+			}
+		}
+		if !bind {
+			e.record(func(s *EngineStats) { s.HashJoinStages++ })
+		}
+
+		for sol, err := range e.fragmentSeq(ctx, d, f, shardTexts, r) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			key := sol.Project(f.JoinVars).Key()
+			for _, l := range table[key] {
+				if l.Compatible(sol) {
+					if !yield(l.Merge(sol), nil) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// maxAliasVariants caps how many owl:sameAs aliases one binding expands
+// into (hub entities can carry hundreds; past the cap the remaining
+// aliases are dropped — the hash fallback, which joins on canonicalised
+// keys, covers them).
+const maxAliasVariants = 4
+
+// expandRow returns the VALUES rows for one binding: the row itself plus
+// every combination of its IRIs' owl:sameAs aliases, so a bound join
+// reaches endpoints that store a different member of the equivalence
+// class than the merge's representative.
+func (e *Engine) expandRow(row []rdf.Term) [][]rdf.Term {
+	if e.coref == nil {
+		return [][]rdf.Term{row}
+	}
+	variants := make([][]rdf.Term, len(row))
+	expanded := false
+	for i, t := range row {
+		variants[i] = []rdf.Term{t}
+		if !t.IsIRI() {
+			continue
+		}
+		for _, eq := range e.coref.Equivalents(t.Value) {
+			if len(variants[i]) >= maxAliasVariants {
+				break
+			}
+			if eq != t.Value {
+				variants[i] = append(variants[i], rdf.NewIRI(eq))
+				expanded = true
+			}
+		}
+	}
+	if !expanded {
+		return [][]rdf.Term{row}
+	}
+	out := [][]rdf.Term{{}}
+	for _, vs := range variants {
+		var next [][]rdf.Term
+		for _, prefix := range out {
+			for _, v := range vs {
+				next = append(next, append(append([]rdf.Term(nil), prefix...), v))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func rowKey(row []rdf.Term) string {
+	var b []byte
+	for _, t := range row {
+		b = append(b, t.String()...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// filterSeq applies one mediator-side FILTER: per SPARQL semantics an
+// erroring expression excludes the row rather than failing the query.
+func (e *Engine) filterSeq(in eval.SolutionSeq, expr sparql.Expression) eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		for sol, err := range in {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if ok, err := eval.EvalBool(expr, sol, e.resolver); err == nil && ok {
+				if !yield(sol, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// finalSeq projects the joined solutions onto the query's variables,
+// deduplicates under DISTINCT/REDUCED (counting drops as duplicates, like
+// the executor's merge does), and applies OFFSET/LIMIT — stopping the
+// upstream fragments as soon as LIMIT is satisfied.
+func (e *Engine) finalSeq(d *Decomposition, in eval.SolutionSeq, r *Run) eval.SolutionSeq {
+	return func(yield func(eval.Solution, error) bool) {
+		var seen map[string]bool
+		if d.distinct {
+			seen = map[string]bool{}
+		}
+		skipped, emitted := 0, 0
+		for sol, err := range in {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			out := sol.Project(d.Vars)
+			if seen != nil {
+				key := out.Key()
+				if seen[key] {
+					r.mu.Lock()
+					r.duplicates++
+					r.mu.Unlock()
+					continue
+				}
+				seen[key] = true
+			}
+			if d.offset > 0 && skipped < d.offset {
+				skipped++
+				continue
+			}
+			if d.limit >= 0 && emitted >= d.limit {
+				return
+			}
+			if !yield(out, nil) {
+				return
+			}
+			emitted++
+			if d.limit >= 0 && emitted >= d.limit {
+				return
+			}
+		}
+	}
+}

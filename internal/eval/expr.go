@@ -73,6 +73,15 @@ func EBV(t rdf.Term) (bool, error) {
 	return false, exprErrf("EBV undefined for datatype %s", t.Datatype)
 }
 
+// EvalBool evaluates a FILTER expression to its effective boolean value
+// against one solution, for callers applying residual filters outside the
+// engine (the decomposed-join path evaluates mediator-side filters with
+// it). Per SPARQL FILTER semantics an error excludes the row: callers
+// should treat a non-nil error as false.
+func EvalBool(e sparql.Expression, sol Solution, funcs FuncResolver) (bool, error) {
+	return evalBool(e, sol, funcs)
+}
+
 // evalBool evaluates an expression to its effective boolean value.
 func evalBool(e sparql.Expression, sol Solution, funcs FuncResolver) (bool, error) {
 	t, err := evalExpr(e, sol, funcs)

@@ -59,11 +59,16 @@ func TestSelectSeqMatchesSelect(t *testing.T) {
 		if len(lazy) != len(buf.Solutions) {
 			t.Fatalf("%s: lazy=%d buffered=%d", qt, len(lazy), len(buf.Solutions))
 		}
-		SortSolutions(lazy)
-		SortSolutions(buf.Solutions)
-		for i := range lazy {
-			if lazy[i].Key() != buf.Solutions[i].Key() {
-				t.Fatalf("%s: solution %d differs: %v vs %v", qt, i, lazy[i], buf.Solutions[i])
+		// A LIMIT without ORDER BY truncates a nondeterministic order:
+		// both paths must agree on the count, but are free to pick
+		// different rows, so only untruncated results compare by content.
+		if q.Limit < 0 || len(q.OrderBy) > 0 {
+			SortSolutions(lazy)
+			SortSolutions(buf.Solutions)
+			for i := range lazy {
+				if lazy[i].Key() != buf.Solutions[i].Key() {
+					t.Fatalf("%s: solution %d differs: %v vs %v", qt, i, lazy[i], buf.Solutions[i])
+				}
 			}
 		}
 		if len(sr.Vars) != len(buf.Vars) {

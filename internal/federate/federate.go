@@ -119,6 +119,10 @@ type Target struct {
 	// Shard/Shards number this target among its data set's VALUES shards
 	// (1-based; 0 when unsharded).
 	Shard, Shards int
+	// SkipRewriteCache bypasses the rewrite-plan LRU for this target:
+	// set for single-use query texts (bound-join VALUES shards) whose
+	// entries would only evict reusable plans.
+	SkipRewriteCache bool
 }
 
 // Request is one federated SELECT.
@@ -253,9 +257,15 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 			return da
 		}
 		base := da.Query
-		q, _, err := e.cache.Do(PlanKey(base, req.SourceOnt, t.Dataset), func() (string, error) {
-			return e.rewrite(base, req.SourceOnt, t.Dataset)
-		})
+		var q string
+		var err error
+		if t.SkipRewriteCache {
+			q, err = e.rewrite(base, req.SourceOnt, t.Dataset)
+		} else {
+			q, _, err = e.cache.Do(PlanKey(base, req.SourceOnt, t.Dataset), func() (string, error) {
+				return e.rewrite(base, req.SourceOnt, t.Dataset)
+			})
+		}
 		if err != nil {
 			da.Err = err
 			return da
@@ -326,11 +336,14 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 		timeout = t.Timeout
 	}
 	// The attempt deadline bounds the whole transfer: connect, first byte
-	// and — on the streaming path — the incremental body read.
-	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+	// and — on the streaming path — the incremental body read. The clock
+	// pauses while the worker is blocked handing solutions to a slow
+	// consumer: backpressure is the consumer's doing, not the endpoint's,
+	// so it must not count against the endpoint's budget.
+	attemptCtx := newPausableDeadline(ctx, timeout)
 	t0 := time.Now()
-	count, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh)
-	cancel()
+	count, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh, attemptCtx)
+	attemptCtx.Stop()
 	lat := time.Since(t0)
 	if err == nil {
 		br.Success()
@@ -368,9 +381,21 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 // response is never buffered; otherwise the buffered result is replayed
 // into the channel. A failed streaming attempt may have pushed a prefix
 // of its solutions; the retry re-pushes them and the owl:sameAs merge
-// deduplicates.
-func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, query string, solCh chan<- eval.Solution) (int, error) {
+// deduplicates. While a push blocks on a full channel (slow consumer),
+// the attempt's active-time deadline is paused.
+func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, query string, solCh chan<- eval.Solution, pd *pausableDeadline) (int, error) {
 	push := func(n int, sol eval.Solution) (int, bool) {
+		select {
+		case solCh <- sol:
+			return n + 1, true
+		default:
+		}
+		// The channel is full: the consumer is applying backpressure.
+		// Stop the endpoint's attempt clock while we wait on it.
+		if pd != nil {
+			pd.Pause()
+			defer pd.Resume()
+		}
 		select {
 		case solCh <- sol:
 			return n + 1, true

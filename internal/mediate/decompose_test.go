@@ -1,0 +1,354 @@
+package mediate
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/decompose"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/voidkb"
+	"sparqlrw/internal/workload"
+)
+
+// recordingServer wraps a SPARQL endpoint, recording every query text it
+// receives so tests can assert what each repository was actually asked.
+func recordingServer(t *testing.T, name string, st *store.Store) (*httptest.Server, func() []string) {
+	t.Helper()
+	var mu sync.Mutex
+	var queries []string
+	h := endpoint.NewServer(name, st)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// ParseForm caches the form on the request, so the inner handler
+		// still sees the query.
+		if err := r.ParseForm(); err == nil {
+			mu.Lock()
+			queries = append(queries, r.PostForm.Get("query"))
+			mu.Unlock()
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), queries...)
+	}
+}
+
+// crossVocabStack wires the acceptance fixture: four endpoints where the
+// AKT data (Southampton) and the citation metrics live in different
+// vocabularies with no alignment between them — no single repository can
+// answer a query spanning both, so Mediator.Query must decompose.
+type crossVocabStack struct {
+	u        *workload.Universe
+	mediator *Mediator
+	queries  map[string]func() []string
+}
+
+func newCrossVocabStack(t *testing.T) *crossVocabStack {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 30, 90
+	u := workload.Generate(cfg)
+
+	s := &crossVocabStack{u: u, queries: map[string]func() []string{}}
+	soton, sotonQ := recordingServer(t, "southampton", u.Southampton)
+	s.queries[workload.SotonVoidURI] = sotonQ
+	metrics, metricsQ := recordingServer(t, "metrics", workload.MetricsStore(u))
+	s.queries[workload.MetricsVoidURI] = metricsQ
+	dbp, dbpQ := recordingServer(t, "dbpedia", store.New())
+	s.queries[workload.DBPVoidURI] = dbpQ
+	ecs, ecsQ := recordingServer(t, "ecs", store.New())
+	s.queries[workload.ECSVoidURI] = ecsQ
+
+	dsKB := voidkb.NewKB()
+	for _, d := range []*voidkb.Dataset{
+		{URI: workload.SotonVoidURI, Title: "Southampton RKB", SPARQLEndpoint: soton.URL,
+			URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS},
+			Triples:            1000,
+			PropertyPartitions: map[string]int64{rdf.AKTHasAuthor: 400}},
+		{URI: workload.MetricsVoidURI, Title: "Citation metrics", SPARQLEndpoint: metrics.URL,
+			URISpace: workload.SotonURIPattern, Vocabularies: []string{workload.MetricsNS},
+			Triples:            180,
+			PropertyPartitions: map[string]int64{workload.MetricsCitationCount: 90}},
+		{URI: workload.DBPVoidURI, Title: "DBpedia", SPARQLEndpoint: dbp.URL,
+			URISpace: workload.DBPURIPattern, Vocabularies: []string{rdf.DBONS}},
+		{URI: workload.ECSVoidURI, Title: "ECS", SPARQLEndpoint: ecs.URL,
+			URISpace: workload.ECSURIPattern, Vocabularies: []string{rdf.ECSNS}},
+	} {
+		if err := dsKB.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the (irrelevant) ECS→DBpedia alignment is registered: nothing
+	// reaches the metrics vocabulary, so decomposition is the only path.
+	alignKB := align.NewKB()
+	if err := alignKB.Add(workload.ECS2DBpedia()); err != nil {
+		t.Fatal(err)
+	}
+	m := New(dsKB, alignKB, nil)
+	t.Cleanup(m.Close)
+	s.mediator = m
+	return s
+}
+
+// groundTruth joins both data sets locally.
+func (s *crossVocabStack) groundTruth(t *testing.T, query string) []eval.Solution {
+	t.Helper()
+	merged := s.u.Southampton.Clone()
+	merged.AddGraph(workload.MetricsStore(s.u).Triples())
+	q, err := sparql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.New(merged).Select(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.SortSolutions(res.Solutions)
+	return res.Solutions
+}
+
+// TestQueryDecomposesAcrossVocabularies is the tentpole's acceptance
+// test: a BGP whose patterns are answerable only by different
+// repositories returns the correct joined result through Mediator.Query,
+// without any endpoint ever receiving the full pattern.
+func TestQueryDecomposesAcrossVocabularies(t *testing.T) {
+	s := newCrossVocabStack(t)
+	query := workload.CrossVocabularyQuery(2)
+
+	qs, err := s.mediator.Query(context.Background(), QueryRequest{Query: query, SourceOnt: rdf.AKTNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	if qs.Plan() == nil {
+		t.Fatal("decomposed query carries no plan")
+	}
+	dcm := qs.Decomposition()
+	if dcm == nil || !dcm.MultiSource || len(dcm.Fragments) != 2 {
+		t.Fatalf("decomposition = %+v", dcm)
+	}
+	var got []eval.Solution
+	for sol, err := range qs.Solutions() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, sol)
+	}
+	eval.SortSolutions(got)
+	want := s.groundTruth(t, query)
+	if len(want) == 0 {
+		t.Fatal("fixture ground truth is empty; pick another person index")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decomposed join = %d solutions, local join = %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key() != want[i].Key() {
+			t.Fatalf("solution %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	res, err := qs.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("clean decomposed run marked partial: %+v", res.PerDataset)
+	}
+
+	// No endpoint saw the full pattern: Southampton never received the
+	// metrics predicate, metrics never received an AKT predicate, and the
+	// irrelevant endpoints received nothing.
+	for _, q := range s.queries[workload.SotonVoidURI]() {
+		if strings.Contains(q, workload.MetricsCitationCount) {
+			t.Fatalf("southampton received the metrics pattern:\n%s", q)
+		}
+	}
+	mQs := s.queries[workload.MetricsVoidURI]()
+	if len(mQs) == 0 {
+		t.Fatal("metrics endpoint never queried")
+	}
+	for _, q := range mQs {
+		if strings.Contains(q, rdf.AKTHasAuthor) {
+			t.Fatalf("metrics received the AKT pattern:\n%s", q)
+		}
+		if !strings.Contains(q, "VALUES") {
+			t.Fatalf("metrics sub-query not bound:\n%s", q)
+		}
+	}
+	if n := len(s.queries[workload.DBPVoidURI]()); n != 0 {
+		t.Fatalf("pruned endpoint received %d queries", n)
+	}
+
+	// The deprecated drain wrapper takes the same path.
+	fr, err := s.mediator.FederatedSelect(query, rdf.AKTNS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Solutions) != len(want) {
+		t.Fatalf("wrapper = %d solutions, want %d", len(fr.Solutions), len(want))
+	}
+
+	st := s.mediator.DecomposerStats()
+	if st.Decompositions == 0 || st.Engine.Runs == 0 || st.Engine.BoundJoinStages == 0 {
+		t.Fatalf("decompose stats not recorded: %+v", st)
+	}
+}
+
+// TestAPIQueryDecomposedExplain: the streamed /api/query response and
+// /api/plan both surface the decomposition (groups, cardinalities, join
+// order), and /api/stats carries the decompose counters.
+func TestAPIQueryDecomposedExplain(t *testing.T) {
+	s := newCrossVocabStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+	query := workload.CrossVocabularyQuery(3)
+
+	// /api/plan explains without executing.
+	body, _ := json.Marshal(queryRequest{Query: query, Source: rdf.AKTNS})
+	resp, err := http.Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex struct {
+		Decisions     []json.RawMessage        `json:"decisions"`
+		SubRequests   []json.RawMessage        `json:"subRequests"`
+		Decomposition *decompose.Decomposition `json:"decomposition"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ex.Decisions) != 4 || len(ex.SubRequests) != 0 {
+		t.Fatalf("plan = %+v", ex)
+	}
+	if ex.Decomposition == nil || len(ex.Decomposition.Fragments) != 2 {
+		t.Fatalf("decomposition missing from /api/plan: %+v", ex.Decomposition)
+	}
+	for _, f := range ex.Decomposition.Fragments {
+		if f.EstCard <= 0 || len(f.Patterns) == 0 || len(f.Targets) == 0 {
+			t.Fatalf("fragment not explained: %+v", f)
+		}
+	}
+	if jv := ex.Decomposition.Fragments[1].JoinVars; len(jv) != 1 || jv[0] != "paper" {
+		t.Fatalf("join order not explained: %+v", ex.Decomposition.Fragments[1])
+	}
+
+	// /api/query executes and embeds the decomposition alongside rows.
+	resp, err = http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(qr.Rows) == 0 {
+		t.Fatal("no rows over the decomposed HTTP path")
+	}
+	if qr.Decomposition == nil || len(qr.Decomposition.Fragments) != 2 {
+		t.Fatalf("decomposition missing from /api/query: %+v", qr.Decomposition)
+	}
+	if qr.Error != "" || qr.Partial {
+		t.Fatalf("decomposed query reported failure: %+v", qr)
+	}
+
+	// /api/stats exposes the decompose counters.
+	sresp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Decompose == nil || st.Decompose.Decompositions == 0 || st.Decompose.Engine.Runs == 0 {
+		t.Fatalf("decompose stats = %+v", st.Decompose)
+	}
+}
+
+// TestAPIQueryNDJSON: Accept: application/x-ndjson streams one binding
+// object per line, on both the single-source and the decomposed path.
+func TestAPIQueryNDJSON(t *testing.T) {
+	s := newCrossVocabStack(t)
+	srv := httptest.NewServer(Handler(s.mediator))
+	defer srv.Close()
+
+	for name, query := range map[string]string{
+		"single-source": workload.Figure1Query(2),
+		"decomposed":    workload.CrossVocabularyQuery(2),
+	} {
+		body, _ := json.Marshal(queryRequest{Query: query, Source: rdf.AKTNS})
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("%s: Content-Type = %q", name, ct)
+		}
+		rows := 0
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var binding map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			}
+			if err := json.Unmarshal(line, &binding); err != nil {
+				t.Fatalf("%s: line %d not a binding object: %v\n%s", name, rows, err, line)
+			}
+			for v, term := range binding {
+				if term.Type == "" || term.Value == "" {
+					t.Fatalf("%s: malformed term for ?%s: %s", name, v, line)
+				}
+			}
+			rows++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if rows == 0 {
+			t.Fatalf("%s: no NDJSON rows", name)
+		}
+	}
+}
+
+// TestQueryDecomposeDisabled: with the decomposer off, a multi-source
+// query falls back to the old no-relevant-data-set error.
+func TestQueryDecomposeDisabled(t *testing.T) {
+	s := newCrossVocabStack(t)
+	s.mediator.Decomposer = nil
+	_, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: workload.CrossVocabularyQuery(1), SourceOnt: rdf.AKTNS,
+	})
+	if err == nil || !strings.Contains(err.Error(), "relevant") {
+		t.Fatalf("err = %v, want no-relevant-data-set error", err)
+	}
+}

@@ -5,10 +5,13 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	"strings"
 
+	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/plan"
+	"sparqlrw/internal/srjson"
 )
 
 // REST API (the paper's Figure 5 "REST API" tier) plus a minimal HTML page
@@ -49,6 +52,9 @@ type queryResponse struct {
 	// Plan reports the planner's decisions when the caller passed no
 	// explicit targets and the planner selected them.
 	Plan *plan.Plan `json:"plan,omitempty"`
+	// Decomposition reports the exclusive-group decomposition when the
+	// query ran on the multi-source path.
+	Decomposition *decompose.Decomposition `json:"decomposition,omitempty"`
 	// Error carries a fan-out failure that occurred after streaming
 	// started (the status line was already sent by then).
 	Error string `json:"error,omitempty"`
@@ -64,10 +70,12 @@ type perDatasetJSON struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-// statsResponse extends the executor's stats with the planner's counters.
+// statsResponse extends the executor's stats with the planner's and the
+// decompose layer's counters.
 type statsResponse struct {
 	federate.Stats
-	Planner *plan.Stats `json:"planner,omitempty"`
+	Planner   *plan.Stats     `json:"planner,omitempty"`
+	Decompose *DecomposeStats `json:"decompose,omitempty"`
 }
 
 // Handler serves the mediator's REST API and UI.
@@ -140,6 +148,10 @@ func Handler(m *Mediator) http.Handler {
 			return
 		}
 		defer qs.Close()
+		if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+			serveNDJSON(w, qs)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		flusher, _ := w.(http.Flusher)
 		writeJSON := func(v any) bool {
@@ -155,6 +167,10 @@ func Handler(m *Mediator) http.Handler {
 		if pl := qs.Plan(); pl != nil {
 			_, _ = io.WriteString(w, `,"plan":`)
 			writeJSON(pl)
+		}
+		if dcm := qs.Decomposition(); dcm != nil {
+			_, _ = io.WriteString(w, `,"decomposition":`)
+			writeJSON(dcm)
 		}
 		_, _ = io.WriteString(w, `,"rows":[`)
 		var streamErr error
@@ -209,6 +225,10 @@ func Handler(m *Mediator) http.Handler {
 		_, _ = io.WriteString(w, "}")
 	})
 
+	// /api/plan explains a federated query without running it: the
+	// planner's per-data-set decisions, plus the exclusive-group
+	// decomposition (fragments, estimated cardinalities, join order)
+	// when the query only runs by splitting its BGP.
 	mux.HandleFunc("/api/plan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -227,13 +247,13 @@ func Handler(m *Mediator) http.Handler {
 				return
 			}
 		}
-		pl, err := m.PlanQuery(req.Query, source)
+		ex, err := m.ExplainQuery(req.Query, source)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(pl)
+		_ = json.NewEncoder(w).Encode(ex)
 	})
 
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +261,10 @@ func Handler(m *Mediator) http.Handler {
 		if m.Planner != nil {
 			ps := m.PlannerStats()
 			resp.Planner = &ps
+		}
+		if m.Decomposer != nil {
+			ds := m.DecomposerStats()
+			resp.Decompose = &ds
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
@@ -256,6 +280,58 @@ func Handler(m *Mediator) http.Handler {
 	})
 
 	return mux
+}
+
+// serveNDJSON streams a query's solutions as NDJSON: one W3C-style
+// binding object per line (variables as keys, terms as
+// {type,value,...} objects), flushed incrementally for browser and CLI
+// consumers — `curl -H 'Accept: application/x-ndjson' ... | jq` works
+// line by line. The stream carries solutions only; a failure mid-stream
+// terminates it with a final {"error": "..."} line (distinguishable from
+// a binding, whose values are objects). Consumers wanting the
+// per-dataset summary use the default JSON shape instead.
+func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(data []byte) bool {
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		_, err := io.WriteString(w, "\n")
+		return err == nil
+	}
+	n := 0
+	var streamErr error
+	for sol, err := range qs.Solutions() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		line, err := srjson.Binding(qs.Vars(), sol)
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !writeLine(line) {
+			return // client gone; the deferred Close cancels upstream
+		}
+		n++
+		if flusher != nil && (n == 1 || n%endpoint.FlushEvery == 0) {
+			flusher.Flush()
+		}
+	}
+	if streamErr == nil {
+		// A fan-out failure can also surface only in the summary.
+		_, streamErr = qs.Summary()
+	}
+	if streamErr != nil {
+		if line, err := json.Marshal(map[string]string{"error": streamErr.Error()}); err == nil {
+			writeLine(line)
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // uiTemplate is the Figure-4 stand-in: source query on top, data set

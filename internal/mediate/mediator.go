@@ -13,6 +13,7 @@ import (
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/core"
+	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
@@ -37,6 +38,13 @@ type Mediator struct {
 	// adaptive ordering for federated queries with no explicit targets.
 	// Reconfigure it with ConfigurePlanner; set nil to disable planning.
 	Planner *plan.Planner
+	// Decomposer splits a query's BGP into per-endpoint exclusive groups
+	// when no single data set covers it, and JoinEngine executes the
+	// fragments as cardinality-ordered streaming bound joins. Reconfigure
+	// with ConfigureDecomposer; set Decomposer nil to disable the
+	// multi-source path.
+	Decomposer *decompose.Decomposer
+	JoinEngine *decompose.Engine
 	// RewriteFilters turns on the §4 FILTER extension for all rewrites.
 	// Flip it before issuing federated queries, or call
 	// ConfigureFederation afterwards so the rewrite-plan cache does not
@@ -59,6 +67,7 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) 
 	}
 	m.ConfigureFederation(federate.Options{})
 	m.ConfigurePlanner(plan.Options{})
+	m.ConfigureDecomposer(decompose.Options{})
 	// Rewrite-plan cache invalidation hooks: a changed voiD entry drops
 	// that data set's cached plans, a changed alignment KB flushes them
 	// all — no wholesale ConfigureFederation rebuild needed.
@@ -82,9 +91,41 @@ func (m *Mediator) Close() {
 
 // ConfigurePlanner rebuilds the federation planner with the given options
 // (zero-value fields take the plan defaults), feeding it the executor's
-// live per-endpoint health for adaptive ordering.
+// live per-endpoint health for adaptive ordering. The decomposer follows
+// the new planner (it runs the planner's per-pattern source selection).
 func (m *Mediator) ConfigurePlanner(opts plan.Options) {
 	m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, opts)
+	if m.Decomposer != nil {
+		m.Decomposer = decompose.New(m.Planner, m.Decomposer.Options())
+	}
+}
+
+// ConfigureDecomposer rebuilds the per-BGP decomposer and its streaming
+// join engine with the given options (zero-value fields take the
+// decompose defaults).
+func (m *Mediator) ConfigureDecomposer(opts decompose.Options) {
+	m.Decomposer = decompose.New(m.Planner, opts)
+	m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, opts)
+}
+
+// DecomposeStats bundles the decomposer's and join engine's counters for
+// /api/stats.
+type DecomposeStats struct {
+	decompose.Stats
+	Engine decompose.EngineStats `json:"engine"`
+}
+
+// DecomposerStats snapshots the decompose-layer counters (zero value
+// when the multi-source path is disabled).
+func (m *Mediator) DecomposerStats() DecomposeStats {
+	var st DecomposeStats
+	if m.Decomposer != nil {
+		st.Stats = m.Decomposer.Stats()
+	}
+	if m.JoinEngine != nil {
+		st.Engine = m.JoinEngine.Stats()
+	}
+	return st
 }
 
 // endpointHealth adapts the executor's stats into the planner's view.
@@ -109,6 +150,32 @@ func (m *Mediator) PlanQuery(queryText, sourceOnt string) (*plan.Plan, error) {
 	return m.Planner.Plan(queryText, sourceOnt)
 }
 
+// QueryExplanation is /api/plan's response shape: the whole-query plan
+// plus — when no single data set covers the query — the per-BGP
+// decomposition the multi-source path would execute.
+type QueryExplanation struct {
+	*plan.Plan
+	Decomposition *decompose.Decomposition `json:"decomposition,omitempty"`
+}
+
+// ExplainQuery explains how a federated query would run: the planner's
+// per-data-set decisions, and the exclusive-group decomposition (groups,
+// estimated cardinalities, join order) when the query only runs by
+// splitting its BGP across repositories.
+func (m *Mediator) ExplainQuery(queryText, sourceOnt string) (*QueryExplanation, error) {
+	pl, err := m.PlanQuery(queryText, sourceOnt)
+	if err != nil {
+		return nil, err
+	}
+	ex := &QueryExplanation{Plan: pl}
+	if len(pl.Subs) == 0 && m.Decomposer != nil {
+		if dcm, derr := m.Decomposer.Decompose(queryText, sourceOnt); derr == nil {
+			ex.Decomposition = dcm
+		}
+	}
+	return ex, nil
+}
+
 // PlannerStats snapshots the planner's counters (zero value when
 // planning is disabled).
 func (m *Mediator) PlannerStats() plan.Stats {
@@ -120,7 +187,8 @@ func (m *Mediator) PlannerStats() plan.Stats {
 
 // ConfigureFederation rebuilds the federation executor with the given
 // options (zero-value fields take the federate defaults). It resets the
-// executor's breakers, counters and plan cache.
+// executor's breakers, counters and plan cache; the join engine follows
+// the new executor.
 func (m *Mediator) ConfigureFederation(opts federate.Options) {
 	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
 		rr, err := m.Rewrite(queryText, sourceOnt, dataset)
@@ -130,6 +198,9 @@ func (m *Mediator) ConfigureFederation(opts federate.Options) {
 		return rr.Query, nil
 	}
 	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, opts)
+	if m.JoinEngine != nil {
+		m.JoinEngine.SetDispatcher(m.Exec)
+	}
 }
 
 // FederationStats snapshots the executor's per-endpoint and cache

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/plan"
@@ -30,12 +31,24 @@ type QueryRequest struct {
 	Limit int
 }
 
+// solutionSource is the streaming backend of a QueryStream: the
+// federated fan-out stream on the single-source path, the decomposed
+// bound-join run on the multi-source path. Both deliver merged solutions
+// incrementally and report per-dataset outcomes afterwards.
+type solutionSource interface {
+	Vars() []string
+	Next() (eval.Solution, error)
+	Close() error
+	Summary() (*federate.Result, error)
+}
+
 // QueryStream is an in-flight federated query: merged, deduplicated
 // solutions arrive as endpoints deliver them. Consume Solutions (or
 // Next), then call Summary for the per-dataset outcomes; always Close.
 type QueryStream struct {
-	fed   *federate.Stream
+	src   solutionSource
 	pl    *plan.Plan
+	dec   *decompose.Decomposition
 	limit int
 	n     int
 
@@ -91,6 +104,20 @@ func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStr
 			return nil, nil, err
 		}
 		if len(pl.Subs) == 0 {
+			// No single data set covers the whole query: try splitting
+			// the BGP into per-endpoint exclusive groups joined at the
+			// mediator (the multi-source path).
+			if m.Decomposer != nil {
+				dcm, derr := m.Decomposer.Decompose(req.Query, req.SourceOnt)
+				if derr == nil {
+					qs.pl = pl
+					qs.dec = dcm
+					qs.src = m.JoinEngine.Run(ctx, dcm)
+					return qs, pl, nil
+				}
+				return nil, pl, fmt.Errorf(
+					"mediate: no registered data set is relevant to the whole query and it does not decompose (%v); see /api/plan", derr)
+			}
 			return nil, pl, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
 		}
 		qs.pl = pl
@@ -114,16 +141,20 @@ func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStr
 			})
 		}
 	}
-	qs.fed = m.Exec.SelectStream(ctx, freq)
+	qs.src = m.Exec.SelectStream(ctx, freq)
 	return qs, qs.pl, nil
 }
 
 // Vars returns the query's projection variable names.
-func (qs *QueryStream) Vars() []string { return qs.fed.Vars() }
+func (qs *QueryStream) Vars() []string { return qs.src.Vars() }
 
 // Plan reports the planner's decisions when targets were auto-selected
 // (nil for explicit-target queries).
 func (qs *QueryStream) Plan() *plan.Plan { return qs.pl }
+
+// Decomposition reports the per-BGP decomposition when the query ran on
+// the multi-source path (nil otherwise).
+func (qs *QueryStream) Decomposition() *decompose.Decomposition { return qs.dec }
 
 // Next returns the next merged solution, io.EOF at the end of the
 // stream (or once Limit is reached, which cancels upstream work), or the
@@ -133,7 +164,7 @@ func (qs *QueryStream) Next() (eval.Solution, error) {
 		qs.Close()
 		return nil, io.EOF
 	}
-	sol, err := qs.fed.Next()
+	sol, err := qs.src.Next()
 	if err == nil {
 		qs.n++
 	}
@@ -168,7 +199,7 @@ func (qs *QueryStream) Solutions() eval.SolutionSeq {
 // flowed through the stream; the deprecated drain wrappers re-attach
 // them.
 func (qs *QueryStream) Summary() (*FederatedResult, error) {
-	res, err := qs.fed.Summary()
+	res, err := qs.src.Summary()
 	if len(qs.unknown) > 0 {
 		// Re-interleave the unknown-dataset answers so PerDataset stays
 		// in input-target order.
@@ -192,7 +223,7 @@ func (qs *QueryStream) Summary() (*FederatedResult, error) {
 
 // Close cancels the remaining upstream work and releases the stream. It
 // is safe to call at any point and more than once.
-func (qs *QueryStream) Close() error { return qs.fed.Close() }
+func (qs *QueryStream) Close() error { return qs.src.Close() }
 
 // drain materialises the stream into the buffered FederatedResult shape
 // the deprecated FederatedSelect* wrappers return.

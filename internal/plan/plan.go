@@ -100,6 +100,11 @@ func New(datasets *voidkb.KB, alignments *align.KB, health HealthFunc, opts Opti
 // Options returns the planner's effective (defaulted) options.
 func (p *Planner) Options() Options { return p.opts }
 
+// Dataset returns the voiD description registered under uri, so layers
+// built on the planner (the decomposer's cardinality estimator) can read
+// data set statistics without holding the KB separately.
+func (p *Planner) Dataset(uri string) (*voidkb.Dataset, bool) { return p.datasets.Get(uri) }
+
 // Stats counts planner activity for the /api/stats endpoint.
 type Stats struct {
 	// Plans is how many plans were built.
@@ -271,6 +276,26 @@ func (p *Planner) decide(ds *voidkb.Dataset, prof *profile, sourceOnt string) De
 			dec.Reasons = append(dec.Reasons, fmt.Sprintf(
 				"does not declare source vocabulary <%s> and no alignment reaches it", sourceOnt))
 			return dec
+		}
+		// A rewrite target must still cover every vocabulary the query
+		// touches — declared outright, or reachable through alignments.
+		// Shipping the whole pattern to a repository that cannot answer
+		// part of it would silently return nothing; pruning it here lets
+		// the per-BGP decomposer take over instead.
+		for _, ns := range prof.namespaces {
+			if ds.UsesVocabulary(ns) {
+				continue
+			}
+			if len(p.alignments.Select(align.Selector{
+				SourceOntology: ns,
+				TargetDataset:  ds.URI,
+				TargetOntology: firstOrEmpty(ds.Vocabularies),
+			})) == 0 {
+				dec.Relevant = false
+				dec.Reasons = append(dec.Reasons, fmt.Sprintf(
+					"query uses vocabulary <%s> the data set neither declares nor translates", ns))
+				return dec
+			}
 		}
 		dec.Reasons = append(dec.Reasons, fmt.Sprintf(
 			"translates from <%s> via %d entity alignments", sourceOnt, len(eas)))

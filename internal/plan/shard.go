@@ -6,6 +6,14 @@ import (
 	"sparqlrw/internal/sparql"
 )
 
+// ShardQuery splits a query carrying a large VALUES block into batched
+// sub-query texts (see shardQuery). Exported for the per-BGP decomposer,
+// which batches bound-join bindings into a VALUES block and reuses this
+// machinery to cut the block into endpoint-sized sub-queries.
+func ShardQuery(q *sparql.Query, batch, maxShards int) (texts []string, shardVar string) {
+	return shardQuery(q, batch, maxShards)
+}
+
 // shardQuery splits a query carrying a large VALUES block into batched
 // sub-query texts: shard i keeps rows [i*batch, (i+1)*batch) of the
 // biggest block and everything else verbatim, so the shards' result sets

@@ -81,13 +81,19 @@ const (
 	XSDUnsignedLong       = XSDNS + "unsignedLong"
 )
 
-// voiD vocabulary terms (data set descriptions, Figure 5's voiD KB).
+// voiD vocabulary terms (data set descriptions, Figure 5's voiD KB),
+// including the statistics terms the cardinality estimator consumes.
 const (
-	VoidDataset        = VoidNS + "Dataset"
-	VoidSPARQLEndpoint = VoidNS + "sparqlEndpoint"
-	VoidURISpace       = VoidNS + "uriSpace"
-	VoidVocabulary     = VoidNS + "vocabulary"
-	VoidTriples        = VoidNS + "triples"
+	VoidDataset           = VoidNS + "Dataset"
+	VoidSPARQLEndpoint    = VoidNS + "sparqlEndpoint"
+	VoidURISpace          = VoidNS + "uriSpace"
+	VoidVocabulary        = VoidNS + "vocabulary"
+	VoidTriples           = VoidNS + "triples"
+	VoidEntities          = VoidNS + "entities"
+	VoidPropertyPartition = VoidNS + "propertyPartition"
+	VoidClassPartition    = VoidNS + "classPartition"
+	VoidProperty          = VoidNS + "property"
+	VoidClass             = VoidNS + "class"
 )
 
 // Alignment (om.owl / map:) vocabulary terms per §3.2.2 of the paper, plus

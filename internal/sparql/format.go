@@ -200,6 +200,13 @@ func formatTriple(t rdf.Triple, pm *rdf.PrefixMap) string {
 	return formatTerm(t.S, pm) + " " + formatVerbTerm(t.P, pm) + " " + formatTerm(t.O, pm)
 }
 
+// FormatTriplePattern serialises one triple pattern in query syntax
+// (QName-shrunk through pm when possible), for diagnostics and explain
+// output.
+func FormatTriplePattern(t rdf.Triple, pm *rdf.PrefixMap) string {
+	return formatTriple(t, pm)
+}
+
 func formatVerbTerm(t rdf.Term, pm *rdf.PrefixMap) string {
 	if t.Kind == rdf.KindIRI && t.Value == rdf.RDFType {
 		return "a"

@@ -33,27 +33,39 @@ func NewStreamEncoder(w io.Writer, vars []string) (*StreamEncoder, error) {
 	return &StreamEncoder{w: w, vars: vars}, nil
 }
 
-// Encode writes one solution as a binding object. Unbound variables are
-// omitted per the W3C format.
-func (e *StreamEncoder) Encode(sol eval.Solution) error {
-	if e.closed {
-		return fmt.Errorf("srjson: Encode after Close")
-	}
+// Binding marshals one solution as a W3C results-JSON binding object —
+// the element shape of results.bindings — keyed by variable name with
+// unbound variables omitted. NDJSON-style streaming writes one such
+// object per line.
+func Binding(vars []string, sol eval.Solution) ([]byte, error) {
 	row := map[string]jsonTerm{}
-	for _, v := range e.vars {
+	for _, v := range vars {
 		t, ok := sol[v]
 		if !ok {
 			continue
 		}
 		jt, err := encodeTerm(t)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		row[v] = jt
 	}
 	data, err := json.Marshal(row)
 	if err != nil {
-		return fmt.Errorf("srjson: %w", err)
+		return nil, fmt.Errorf("srjson: %w", err)
+	}
+	return data, nil
+}
+
+// Encode writes one solution as a binding object. Unbound variables are
+// omitted per the W3C format.
+func (e *StreamEncoder) Encode(sol eval.Solution) error {
+	if e.closed {
+		return fmt.Errorf("srjson: Encode after Close")
+	}
+	data, err := Binding(e.vars, sol)
+	if err != nil {
+		return err
 	}
 	if e.n > 0 {
 		if _, err := io.WriteString(e.w, ","); err != nil {

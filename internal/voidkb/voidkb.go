@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sparqlrw/internal/rdf"
@@ -31,6 +32,17 @@ type Dataset struct {
 	// Vocabularies are the ontology namespaces the data set uses
 	// (void:vocabulary).
 	Vocabularies []string
+
+	// Triples is the data set's total triple count (void:triples;
+	// 0 = unknown). Together with the partitions below it feeds the
+	// decomposer's cardinality estimator.
+	Triples int64
+	// PropertyPartitions maps predicate IRIs to their triple counts
+	// (void:propertyPartition / void:property / void:triples).
+	PropertyPartitions map[string]int64
+	// ClassPartitions maps class IRIs to their instance counts
+	// (void:classPartition / void:class / void:entities).
+	ClassPartitions map[string]int64
 
 	// reMu guards the compiled URI-space regexp, cached because Matches
 	// sits on the planner's per-pattern hot path.
@@ -72,6 +84,26 @@ func (d *Dataset) UsesVocabulary(ns string) bool {
 		}
 	}
 	return false
+}
+
+// PropertyTriples returns the void:propertyPartition triple count for a
+// predicate IRI (ok=false when the data set publishes no figure for it).
+func (d *Dataset) PropertyTriples(pred string) (int64, bool) {
+	n, ok := d.PropertyPartitions[pred]
+	return n, ok
+}
+
+// ClassEntities returns the void:classPartition entity count for a class
+// IRI (ok=false when the data set publishes no figure for it).
+func (d *Dataset) ClassEntities(class string) (int64, bool) {
+	n, ok := d.ClassPartitions[class]
+	return n, ok
+}
+
+// HasStatistics reports whether the data set carries any voiD statistics
+// the cardinality estimator can use.
+func (d *Dataset) HasStatistics() bool {
+	return d.Triples > 0 || len(d.PropertyPartitions) > 0 || len(d.ClassPartitions) > 0
 }
 
 // KB is a registry of data set descriptions.
@@ -198,6 +230,47 @@ func Encode(g *rdf.Graph, d *Dataset) {
 	for _, v := range d.Vocabularies {
 		g.AddTriple(id, rdf.NewIRI(rdf.VoidVocabulary), rdf.NewIRI(v))
 	}
+	if d.Triples > 0 {
+		g.AddTriple(id, rdf.NewIRI(rdf.VoidTriples), intLiteral(d.Triples))
+	}
+	// Partition blank-node labels are seeded from the graph length so
+	// encoding many data sets into one graph cannot collide.
+	seed := len(*g)
+	for i, pred := range sortedKeys(d.PropertyPartitions) {
+		part := rdf.NewBlank(fmt.Sprintf("s%dpp%d", seed, i))
+		g.AddTriple(id, rdf.NewIRI(rdf.VoidPropertyPartition), part)
+		g.AddTriple(part, rdf.NewIRI(rdf.VoidProperty), rdf.NewIRI(pred))
+		g.AddTriple(part, rdf.NewIRI(rdf.VoidTriples), intLiteral(d.PropertyPartitions[pred]))
+	}
+	for i, class := range sortedKeys(d.ClassPartitions) {
+		part := rdf.NewBlank(fmt.Sprintf("s%dcp%d", seed, i))
+		g.AddTriple(id, rdf.NewIRI(rdf.VoidClassPartition), part)
+		g.AddTriple(part, rdf.NewIRI(rdf.VoidClass), rdf.NewIRI(class))
+		g.AddTriple(part, rdf.NewIRI(rdf.VoidEntities), intLiteral(d.ClassPartitions[class]))
+	}
+}
+
+func intLiteral(n int64) rdf.Term {
+	return rdf.NewTypedLiteral(strconv.FormatInt(n, 10), rdf.XSDInteger)
+}
+
+// parseCount reads a non-negative count out of a (typed or plain) literal;
+// malformed or negative values read as 0 ("unknown").
+func parseCount(t rdf.Term) int64 {
+	n, err := strconv.ParseInt(t.Value, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FormatTurtle serialises the whole KB as Turtle.
@@ -238,6 +311,48 @@ func ParseTurtle(src string) (*KB, error) {
 			d.Vocabularies = append(d.Vocabularies, v.Value)
 		}
 		sort.Strings(d.Vocabularies)
+		if t, ok := st.FirstObject(id, rdf.NewIRI(rdf.VoidTriples)); ok {
+			d.Triples = parseCount(t)
+		}
+		for _, part := range st.Objects(id, rdf.NewIRI(rdf.VoidPropertyPartition)) {
+			pred, ok := st.FirstObject(part, rdf.NewIRI(rdf.VoidProperty))
+			if !ok {
+				continue
+			}
+			n, ok := st.FirstObject(part, rdf.NewIRI(rdf.VoidTriples))
+			if !ok {
+				continue
+			}
+			// A malformed count parses to 0 = "unknown" and is dropped:
+			// recording it would make the estimator read the partition as
+			// a known (near-empty) extent and seed joins with it.
+			if c := parseCount(n); c > 0 {
+				if d.PropertyPartitions == nil {
+					d.PropertyPartitions = map[string]int64{}
+				}
+				d.PropertyPartitions[pred.Value] = c
+			}
+		}
+		for _, part := range st.Objects(id, rdf.NewIRI(rdf.VoidClassPartition)) {
+			class, ok := st.FirstObject(part, rdf.NewIRI(rdf.VoidClass))
+			if !ok {
+				continue
+			}
+			// void:entities is the canonical instance count; fall back to
+			// void:triples, which some published descriptions use instead.
+			n, ok := st.FirstObject(part, rdf.NewIRI(rdf.VoidEntities))
+			if !ok {
+				if n, ok = st.FirstObject(part, rdf.NewIRI(rdf.VoidTriples)); !ok {
+					continue
+				}
+			}
+			if c := parseCount(n); c > 0 {
+				if d.ClassPartitions == nil {
+					d.ClassPartitions = map[string]int64{}
+				}
+				d.ClassPartitions[class.Value] = c
+			}
+		}
 		if err := kb.Add(d); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
+)
+
+// The citation-metrics data set: a second vocabulary served by its own
+// repository but describing the *same* Southampton paper URIs — the
+// cross-vocabulary regime per-BGP decomposition exists for. No alignment
+// connects it to AKT, so no single repository can answer a query spanning
+// both vocabularies; the mediator must split the BGP and join.
+
+const (
+	// MetricsNS is the citation-metrics vocabulary namespace.
+	MetricsNS = "http://metrics.example/ontology#"
+	// MetricsVoidURI identifies the metrics data set in the voiD KB.
+	MetricsVoidURI = "http://metrics.example/void"
+	// MetricsCitationCount is the papers' citation-count predicate.
+	MetricsCitationCount = MetricsNS + "citationCount"
+	// MetricsVenue is the papers' publication-venue predicate.
+	MetricsVenue = MetricsNS + "venue"
+)
+
+// CitationCount returns the deterministic citation count of Southampton
+// paper j in the metrics data set (tests compute ground truth from it).
+func CitationCount(j int) int { return (j*7 + 3) % 100 }
+
+// MetricsStore derives the citation-metrics data set for a universe:
+// every Southampton paper carries a citation count and a venue, keyed by
+// the Southampton URI itself (shared URI space, different vocabulary).
+func MetricsStore(u *Universe) *store.Store {
+	st := store.New()
+	count := rdf.NewIRI(MetricsCitationCount)
+	venue := rdf.NewIRI(MetricsVenue)
+	for j := 0; j < u.Cfg.Papers; j++ {
+		paper := SotonPaper(j)
+		st.Add(rdf.Triple{S: paper, P: count,
+			O: rdf.NewTypedLiteral(strconv.Itoa(CitationCount(j)), rdf.XSDInteger)})
+		st.Add(rdf.Triple{S: paper, P: venue,
+			O: rdf.NewLiteral(fmt.Sprintf("venue-%d", j%7))})
+	}
+	return st
+}
+
+// CrossVocabularyQuery returns a SELECT whose BGP spans the AKT and
+// metrics vocabularies: co-authors of person i's papers together with
+// each paper's citation count. Only the AKT repository can answer the
+// first two patterns and only the metrics repository the third, so the
+// query exercises exclusive-group decomposition end to end.
+func CrossVocabularyQuery(i int) string {
+	return fmt.Sprintf(`PREFIX akt:<%s>
+PREFIX m:<%s>
+SELECT ?paper ?a ?c WHERE {
+  ?paper akt:has-author <%s> .
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}`, rdf.AKTNS, MetricsNS, SotonPerson(i).Value)
+}
