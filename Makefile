@@ -1,10 +1,11 @@
-# Tier-1 verification in one command: `make test` runs vet plus the full
-# suite under the race detector; `make build` compiles everything;
-# `make bench` regenerates the benchmark tables.
+# Tier-1 verification in one command: `make test` runs vet, the
+# deprecated-identifier guard and the full suite under the race detector;
+# `make build` compiles everything; `make bench` regenerates the
+# benchmark tables.
 
 GO ?= go
 
-.PHONY: build test bench vet
+.PHONY: build test bench vet check-deprecated staticcheck
 
 build:
 	$(GO) build ./...
@@ -12,7 +13,27 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+# The PR that introduced the form-polymorphic Query surface deleted the
+# buffered FederatedSelect* wrappers, the per-subsystem Configure*/Stats
+# methods and the ad-hoc /api/query route. This guard keeps them deleted:
+# any Go file reintroducing one of the identifiers fails the build (and
+# CI runs it on every push).
+DEPRECATED_IDENTIFIERS = 'FederatedSelect|ConfigureFederation\(|ConfigurePlanner\(|ConfigureDecomposer\(|FederationStats\(\)|DecomposerStats\(\)|/api/query'
+
+check-deprecated:
+	@matches=$$(grep -rnE $(DEPRECATED_IDENTIFIERS) --include='*.go' . || true); \
+	if [ -n "$$matches" ]; then \
+		echo "deprecated identifiers found (removed in the /sparql redesign):"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+	@echo "check-deprecated: clean"
+
+# Optional deeper linting; CI installs staticcheck and runs this.
+staticcheck:
+	staticcheck ./...
+
+test: vet check-deprecated
 	$(GO) test -race ./...
 
 bench:

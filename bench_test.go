@@ -86,6 +86,18 @@ func BenchmarkE4_AlignmentKBLoad(b *testing.B) {
 	}
 }
 
+// benchSelect drains one federated SELECT into the buffered shape the
+// benchmarks assert on.
+func benchSelect(m *mediate.Mediator, query, sourceOnt string, targets []string) (*mediate.FederatedResult, error) {
+	res, err := m.Query(context.Background(), mediate.QueryRequest{
+		Query: query, SourceOnt: sourceOnt, Targets: targets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bindings().Collect()
+}
+
 func benchStack(b *testing.B) (*workload.Universe, *mediate.Mediator) {
 	b.Helper()
 	cfg := workload.DefaultConfig()
@@ -102,8 +114,7 @@ func benchStack(b *testing.B) (*workload.Universe, *mediate.Mediator) {
 		URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}})
 	alignKB := align.NewKB()
 	_ = alignKB.Add(workload.AKT2KISTI())
-	m := mediate.New(dsKB, alignKB, u.Coref)
-	m.RewriteFilters = true
+	m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithRewriteFilters(true))
 	return u, m
 }
 
@@ -116,7 +127,7 @@ func BenchmarkE5_MediatorEndToEnd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := workload.Figure1Query(i % 50)
-		if _, err := m.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+		if _, err := benchSelect(m, q, rdf.AKTNS, targets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,11 +140,11 @@ func BenchmarkE6_FederatedRecall(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := workload.Figure1Query(i % 50)
-		so, err := m.FederatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
+		so, err := benchSelect(m, q, rdf.AKTNS, []string{workload.SotonVoidURI})
 		if err != nil {
 			b.Fatal(err)
 		}
-		fed, err := m.FederatedSelect(q, rdf.AKTNS,
+		fed, err := benchSelect(m, q, rdf.AKTNS,
 			[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 		if err != nil {
 			b.Fatal(err)
@@ -189,15 +200,15 @@ func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
 		concurrency int
 	}{{"Sequential", 1}, {"Concurrent", 8}} {
 		b.Run(mode.name, func(b *testing.B) {
-			m := mediate.New(dsKB, alignKB, u.Coref)
+			m := mediate.New(dsKB, alignKB, u.Coref,
+				mediate.WithRewriteFilters(true),
+				mediate.WithFederation(federate.Options{Concurrency: mode.concurrency}))
 			b.Cleanup(m.Close)
-			m.RewriteFilters = true
-			m.ConfigureFederation(federate.Options{Concurrency: mode.concurrency})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := workload.Figure1Query(i % 50)
-				fr, err := m.FederatedSelect(q, rdf.AKTNS, targets)
+				fr, err := benchSelect(m, q, rdf.AKTNS, targets)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -212,7 +223,7 @@ func BenchmarkFederation_SequentialVsConcurrent(b *testing.B) {
 }
 
 // BenchmarkStreamingVsBuffered — time to first solution over four
-// endpoints of which one is slow: the buffered FederatedSelect path must
+// endpoints of which one is slow: the buffered Collect path must
 // wait for the slowest repository before the caller sees anything, while
 // the streaming Query path hands over the first merged solution as soon
 // as a fast endpoint yields it (and tears the slow request down on
@@ -244,13 +255,12 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 	_ = alignKB.Add(workload.AKT2KISTI())
 
 	b.Run("Buffered", func(b *testing.B) {
-		m := mediate.New(dsKB, alignKB, u.Coref)
+		m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithRewriteFilters(true))
 		b.Cleanup(m.Close)
-		m.RewriteFilters = true
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			fr, err := m.FederatedSelect(workload.Figure1Query(i%50), rdf.AKTNS, targets)
+			fr, err := benchSelect(m, workload.Figure1Query(i%50), rdf.AKTNS, targets)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -261,23 +271,22 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 		}
 	})
 	b.Run("Streaming", func(b *testing.B) {
-		m := mediate.New(dsKB, alignKB, u.Coref)
+		m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithRewriteFilters(true))
 		b.Cleanup(m.Close)
-		m.RewriteFilters = true
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			qs, err := m.Query(context.Background(), mediate.QueryRequest{
+			res, err := m.Query(context.Background(), mediate.QueryRequest{
 				Query: workload.Figure1Query(i % 50), SourceOnt: rdf.AKTNS, Targets: targets,
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := qs.Next(); err != nil {
+			if _, err := res.Bindings().Next(); err != nil {
 				b.Fatal(err)
 			}
 			// First solution in hand; abandon the slow remainder.
-			qs.Close()
+			res.Close()
 		}
 	})
 }
@@ -331,15 +340,14 @@ func BenchmarkPlanner_PlannedVsUnplanned(b *testing.B) {
 		targets []string // nil = planner-selected
 	}{{"Unplanned", allTargets}, {"Planned", nil}} {
 		b.Run(mode.name, func(b *testing.B) {
-			m := mediate.New(dsKB, alignKB, u.Coref)
+			m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithRewriteFilters(true))
 			b.Cleanup(m.Close) // detach KB hooks; the KBs are shared across sub-benchmarks
-			m.RewriteFilters = true
 			roundTrips.Store(0)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := workload.Figure1Query(i % 50)
-				fr, err := m.FederatedSelect(q, rdf.AKTNS, mode.targets)
+				fr, err := benchSelect(m, q, rdf.AKTNS, mode.targets)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -415,7 +423,7 @@ func BenchmarkDecomposedVsBroadcast(b *testing.B) {
 		workload.DBPVoidURI, workload.ECSVoidURI}
 
 	run := func(b *testing.B, m *mediate.Mediator, targets []string) (sols, rows int) {
-		fr, err := m.FederatedSelect(workload.CrossVocabularyQuery(b.N%50), rdf.AKTNS, targets)
+		fr, err := benchSelect(m, workload.CrossVocabularyQuery(b.N%50), rdf.AKTNS, targets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -435,9 +443,8 @@ func BenchmarkDecomposedVsBroadcast(b *testing.B) {
 		{"BoundJoin", nil, decompose.Options{}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			m := mediate.New(dsKB, alignKB, u.Coref)
+			m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithDecomposer(mode.opts))
 			b.Cleanup(m.Close)
-			m.ConfigureDecomposer(mode.opts)
 			roundTrips.Store(0)
 			var transferred, produced int64
 			b.ReportAllocs()

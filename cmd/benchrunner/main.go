@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -196,9 +197,20 @@ func newStack(cfg workload.Config) *stack {
 		Vocabularies: []string{rdf.KISTINS}})
 	alignKB := align.NewKB()
 	_ = alignKB.Add(workload.AKT2KISTI())
-	m := mediate.New(dsKB, alignKB, u.Coref)
-	m.RewriteFilters = true
+	m := mediate.New(dsKB, alignKB, u.Coref, mediate.WithRewriteFilters(true))
 	return &stack{u: u, mediator: m, close: func() { sotonSrv.Close(); kistiSrv.Close() }}
+}
+
+// federatedSelect drains one federated SELECT into the buffered result
+// shape the experiment tables consume.
+func (s *stack) federatedSelect(query, sourceOnt string, targets []string) (*mediate.FederatedResult, error) {
+	res, err := s.mediator.Query(context.Background(), mediate.QueryRequest{
+		Query: query, SourceOnt: sourceOnt, Targets: targets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bindings().Collect()
 }
 
 func e5MediatorEndToEnd() {
@@ -223,7 +235,7 @@ func e5MediatorEndToEnd() {
 		}
 		rewriteTotal += time.Since(t0)
 		t1 := time.Now()
-		fr, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+		fr, err := s.federatedSelect(q, rdf.AKTNS,
 			[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 		if err != nil {
 			fail(err)
@@ -260,11 +272,11 @@ func e6FederatedRecall() {
 			continue
 		}
 		q := workload.Figure1Query(i)
-		so, err := s.mediator.FederatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
+		so, err := s.federatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
 		if err != nil {
 			fail(err)
 		}
-		fed, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+		fed, err := s.federatedSelect(q, rdf.AKTNS,
 			[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 		if err != nil {
 			fail(err)

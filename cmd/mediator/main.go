@@ -1,11 +1,25 @@
 // Command mediator runs the paper's full three-tier deployment (Figures 4
 // and 5) against generated stand-ins for the Southampton and KISTI data
 // sets: two SPARQL protocol endpoints, a sameas.org-style co-reference
-// service, and the mediator with its REST API and web UI.
+// service, and the mediator with its W3C SPARQL-Protocol endpoint, REST
+// API and web UI.
+//
+// # Query endpoint
+//
+// GET|POST /sparql is a SPARQL 1.1 Protocol endpoint accepting every
+// query form. SELECT streams merged solutions; ASK executes as a LIMIT-1
+// federated probe; CONSTRUCT and DESCRIBE stream sameAs-deduplicated
+// triples instantiated over the federated solutions. Accept negotiates
+// the serialisation: results JSON (default), application/x-ndjson, or
+// text/event-stream for bindings and booleans; application/n-triples
+// (default) or text/turtle for graphs. The protocol extensions `target`
+// (repeatable; explicit data sets) and `source` (source ontology) carry
+// the mediator-specific inputs; without them the planner auto-selects and
+// the vocabulary is guessed.
 //
 // # Federation pipeline
 //
-// Federated queries (/api/query) run through internal/federate: each
+// Federated queries run through internal/federate: each
 // target data set's sub-query is planned (rewritten for the target
 // vocabulary, served from an LRU plan cache with singleflight
 // deduplication), dispatched by a bounded worker pool with a per-attempt
@@ -25,7 +39,7 @@
 //
 // Every result path streams: the SPARQL endpoints serve chunked
 // results-JSON as the evaluator yields solutions, the mediator merges
-// per-endpoint streams incrementally, and POST /api/query writes (and
+// per-endpoint streams incrementally, and /sparql writes (and
 // flushes) each merged row as it arrives — the first row is on the wire
 // before the slowest repository answers, and closing the connection
 // cancels all in-flight sub-queries. Body caps:
@@ -73,17 +87,18 @@
 //	         [-decompose] [-bind-batch 30] [-max-bind 1024]
 //
 // Then open http://localhost:8080/ for the Figure-4-style UI, or use the
-// REST API:
+// protocol endpoint and REST API:
 //
+//	curl -s 'localhost:8080/sparql?query=SELECT...'
+//	curl -s -N -H 'Accept: application/x-ndjson' \
+//	     --data-urlencode 'query=SELECT...' localhost:8080/sparql
+//	curl -s -H 'Accept: text/turtle' \
+//	     --data-urlencode 'query=CONSTRUCT...' localhost:8080/sparql
 //	curl -s localhost:8080/api/datasets
 //	curl -s localhost:8080/api/stats
 //	curl -s -X POST localhost:8080/api/plan -d '{"query":"..."}'
 //	curl -s -X POST localhost:8080/api/rewrite \
 //	     -d '{"query":"...", "target":"http://kisti.rkbexplorer.com/id/void"}'
-//	curl -s -N -H 'Accept: application/x-ndjson' \
-//	     -X POST localhost:8080/api/query -d '{"query":"..."}'
-//
-// The last form streams NDJSON: one W3C-style binding object per line.
 package main
 
 import (
@@ -92,6 +107,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"sparqlrw/internal/align"
@@ -132,6 +148,28 @@ func run() error {
 	useDecompose := flag.Bool("decompose", true, "split multi-vocabulary queries into per-endpoint fragments joined at the mediator")
 	bindBatch := flag.Int("bind-batch", 30, "bound-join VALUES rows per decomposed sub-query")
 	maxBind := flag.Int("max-bind", 1024, "bindings above this fall back to a mediator-side hash join (-1 always hash-joins)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage: mediator [flags]
+
+Runs the three-tier mediator deployment: three generated SPARQL
+repositories (Southampton/AKT, KISTI, citation metrics), a sameas.org
+style co-reference service, and the mediator serving
+
+  GET|POST /sparql   W3C SPARQL 1.1 Protocol endpoint — SELECT / ASK /
+                     CONSTRUCT / DESCRIBE, content-negotiated (results
+                     JSON, NDJSON, SSE; N-Triples, Turtle), streamed.
+                     Extensions: target=<dataset-uri> (repeatable),
+                     source=<ontology-ns>, limit=<n>.
+  POST     /api/rewrite   translate a query for one target data set
+  POST     /api/plan      explain source selection / decomposition
+  GET      /api/stats     federation + planner + decompose + per-form counters
+  GET      /api/datasets  registered voiD data sets
+  GET      /               web UI (Figure 4)
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := workload.DefaultConfig()
@@ -233,10 +271,8 @@ func run() error {
 		alignKB.Len(), alignKB.EntityAlignmentCount())
 
 	// Tier 1: the mediator, talking to the co-reference service over HTTP
-	// exactly as the paper wraps sameas.org.
-	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL))
-	m.RewriteFilters = *filters
-	m.Client.MaxResponseBody = *maxResponseBody
+	// exactly as the paper wraps sameas.org. All three layers configure
+	// through the one consolidated Config.
 	fedRetries := *retries
 	if fedRetries == 0 {
 		fedRetries = -1 // federate.Options treats 0 as "default"; -1 means none
@@ -245,32 +281,45 @@ func run() error {
 	if fedCache == 0 {
 		fedCache = -1
 	}
-	m.ConfigureFederation(federate.Options{
-		Concurrency:            *concurrency,
-		PerEndpointConcurrency: *perEndpoint,
-		EndpointTimeout:        *timeout,
-		MaxRetries:             fedRetries,
-		CacheSize:              fedCache,
-		FailFast:               *failFast,
-	})
-	fmt.Printf("federation: concurrency=%d per-endpoint=%d timeout=%s retries=%d cache=%d failfast=%v\n",
-		*concurrency, *perEndpoint, *timeout, *retries, *cacheSize, *failFast)
+	opts := []mediate.Option{
+		mediate.WithRewriteFilters(*filters),
+		mediate.WithFederation(federate.Options{
+			Concurrency:            *concurrency,
+			PerEndpointConcurrency: *perEndpoint,
+			EndpointTimeout:        *timeout,
+			MaxRetries:             fedRetries,
+			CacheSize:              fedCache,
+			FailFast:               *failFast,
+		}),
+	}
 	if *usePlan {
 		batch := *valuesBatch
 		if batch == 0 {
 			batch = -1 // plan.Options treats 0 as "default"; -1 disables
 		}
-		m.ConfigurePlanner(plan.Options{ValuesBatch: batch})
+		opts = append(opts, mediate.WithPlanner(plan.Options{ValuesBatch: batch}))
+	} else {
+		opts = append(opts, mediate.WithoutPlanner())
+	}
+	if *usePlan && *useDecompose {
+		opts = append(opts, mediate.WithDecomposer(decompose.Options{
+			BindBatch: *bindBatch, MaxBindRows: *maxBind,
+		}))
+	} else {
+		opts = append(opts, mediate.WithoutDecomposer())
+	}
+	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL), opts...)
+	m.Client.MaxResponseBody = *maxResponseBody
+	fmt.Printf("federation: concurrency=%d per-endpoint=%d timeout=%s retries=%d cache=%d failfast=%v\n",
+		*concurrency, *perEndpoint, *timeout, *retries, *cacheSize, *failFast)
+	if *usePlan {
 		fmt.Printf("planner: enabled values-batch=%d\n", *valuesBatch)
 	} else {
-		m.Planner = nil
 		fmt.Println("planner: disabled (queries must name explicit targets)")
 	}
 	if *usePlan && *useDecompose {
-		m.ConfigureDecomposer(decompose.Options{BindBatch: *bindBatch, MaxBindRows: *maxBind})
 		fmt.Printf("decompose: enabled bind-batch=%d max-bind=%d\n", *bindBatch, *maxBind)
 	} else {
-		m.Decomposer = nil
 		fmt.Println("decompose: disabled (multi-vocabulary queries will fail)")
 	}
 
@@ -281,7 +330,7 @@ func run() error {
 	// The resolved address supports -addr :0 (tests pick a free port and
 	// parse this line).
 	fmt.Printf("mediator listening on http://%s/\n", lis.Addr().String())
-	fmt.Printf("example:\n  curl -s -X POST %s/api/query -d '{\"query\":%q}'\n",
-		lis.Addr().String(), workload.Figure1Query(1))
+	fmt.Printf("example:\n  curl -s --data-urlencode 'query=%s' %s/sparql\n",
+		strings.ReplaceAll(workload.Figure1Query(1), "\n", " "), lis.Addr().String())
 	return http.Serve(lis, mediate.Handler(m))
 }

@@ -8,7 +8,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"strings"
@@ -16,7 +18,10 @@ import (
 	"time"
 )
 
-var osWriteFile = os.WriteFile
+var (
+	osWriteFile = os.WriteFile
+	ioCopy      = io.Copy
+)
 
 func runTool(t *testing.T, args ...string) (string, string) {
 	t.Helper()
@@ -99,14 +104,10 @@ func writeFile(path, content string) error {
 	return osWriteFile(path, []byte(content), 0o644)
 }
 
-// TestCmdMediatorPlannedQuery boots the full mediator deployment on an
-// ephemeral port and exercises /api/query with no explicit targets: the
-// planner must select the repositories and the response must carry both
-// the merged rows and the plan it executed.
-func TestCmdMediatorPlannedQuery(t *testing.T) {
-	if testing.Short() {
-		t.Skip("skipping binary integration test in -short mode")
-	}
+// startMediator builds cmd/mediator, boots it on an ephemeral port and
+// returns its base URL.
+func startMediator(t *testing.T) string {
+	t.Helper()
 	bin := t.TempDir() + "/mediator"
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/mediator").CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/mediator: %v\n%s", err, out)
@@ -137,78 +138,94 @@ func TestCmdMediatorPlannedQuery(t *testing.T) {
 			}
 		}
 	}()
-	var base string
 	select {
-	case base = <-addrCh:
+	case base := <-addrCh:
+		return base
 	case <-time.After(30 * time.Second):
 		t.Fatal("mediator did not report its listen address")
+		return ""
 	}
+}
 
-	query := `PREFIX akt:<http://www.aktors.org/ontology/portal#>
-SELECT DISTINCT ?a WHERE {
-  ?paper akt:has-author <http://southampton.rkbexplorer.com/id/person-00001> .
-  ?paper akt:has-author ?a .
-  FILTER (!(?a = <http://southampton.rkbexplorer.com/id/person-00001>))
-}`
-	body, _ := json.Marshal(map[string]any{"query": query}) // no targets
-	resp, err := http.Post(base+"/api/query", "application/json", bytes.NewReader(body))
+// postSparqlForm posts one protocol query as a form and returns the
+// response.
+func postSparqlForm(t *testing.T, base, query, accept string) *http.Response {
+	t.Helper()
+	form := url.Values{"query": {query}}
+	req, err := http.NewRequest(http.MethodPost, base+"/sparql", strings.NewReader(form.Encode()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("status = %d", resp.StatusCode)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
-	var qr struct {
-		Rows       []map[string]string `json:"rows"`
-		PerDataset []struct {
-			Dataset string `json:"dataset"`
-			Error   string `json:"error"`
-		} `json:"perDataset"`
-		Plan *struct {
-			Decisions []struct {
-				Dataset  string `json:"dataset"`
-				Relevant bool   `json:"relevant"`
-			} `json:"decisions"`
-		} `json:"plan"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(qr.Rows) == 0 {
-		t.Fatal("planned /api/query returned no rows")
+	return resp
+}
+
+// TestCmdMediatorSparqlForms boots the full three-repository deployment
+// and exercises every query form over the W3C protocol endpoint:
+//
+//   - a planner-selected SELECT (the planner prunes the metrics
+//     repository from an AKT query);
+//   - a cross-vocabulary CONSTRUCT whose template mixes the AKT and
+//     metrics vocabularies — no single endpoint serves it — which must
+//     round-trip through planner → decomposer → bound join into a
+//     sameAs-deduplicated triple stream;
+//   - a federated ASK and a federated DESCRIBE.
+func TestCmdMediatorSparqlForms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
 	}
-	// Of the three generated repositories only Southampton and KISTI are
-	// relevant to an AKT query; the metrics repository (its own
-	// vocabulary, no alignment from AKT) is pruned.
-	if len(qr.PerDataset) != 2 {
-		t.Fatalf("perDataset = %+v", qr.PerDataset)
+	base := startMediator(t)
+
+	const (
+		aktNS     = "http://www.aktors.org/ontology/portal#"
+		metricsNS = "http://metrics.example/ontology#"
+		person    = "http://southampton.rkbexplorer.com/id/person-00001"
+	)
+
+	// SELECT, planner-selected.
+	selectQ := `PREFIX akt:<` + aktNS + `>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author <` + person + `> .
+  ?paper akt:has-author ?a .
+  FILTER (!(?a = <` + person + `>))
+}`
+	resp := postSparqlForm(t, base, selectQ, "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("SELECT status = %d", resp.StatusCode)
 	}
-	for _, pd := range qr.PerDataset {
-		if pd.Error != "" {
-			t.Fatalf("dataset %s failed: %s", pd.Dataset, pd.Error)
-		}
+	var srj struct {
+		Results struct {
+			Bindings []map[string]struct {
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
 	}
-	if qr.Plan == nil || len(qr.Plan.Decisions) != 3 {
-		t.Fatalf("plan missing from response: %+v", qr.Plan)
+	if err := json.NewDecoder(resp.Body).Decode(&srj); err != nil {
+		t.Fatal(err)
 	}
-	relevant := 0
-	for _, d := range qr.Plan.Decisions {
-		if d.Relevant {
-			relevant++
-		}
-	}
-	if relevant != 2 {
-		t.Fatalf("relevant datasets = %d, want 2: %+v", relevant, qr.Plan.Decisions)
+	resp.Body.Close()
+	if len(srj.Results.Bindings) == 0 {
+		t.Fatal("planned /sparql SELECT returned no bindings")
 	}
 
-	// The explain endpoint agrees without executing anything.
+	// The explain endpoint reports the plan: of the three repositories
+	// only Southampton and KISTI are relevant to an AKT query.
+	body, _ := json.Marshal(map[string]any{"query": selectQ})
 	resp2, err := http.Post(base+"/api/plan", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp2.Body.Close()
 	var pl struct {
+		Decisions []struct {
+			Relevant bool `json:"relevant"`
+		} `json:"decisions"`
 		SubRequests []struct {
 			Dataset string `json:"dataset"`
 		} `json:"subRequests"`
@@ -216,7 +233,91 @@ SELECT DISTINCT ?a WHERE {
 	if err := json.NewDecoder(resp2.Body).Decode(&pl); err != nil {
 		t.Fatal(err)
 	}
-	if len(pl.SubRequests) != 2 {
-		t.Fatalf("plan subRequests = %+v", pl.SubRequests)
+	resp2.Body.Close()
+	relevant := 0
+	for _, d := range pl.Decisions {
+		if d.Relevant {
+			relevant++
+		}
+	}
+	if len(pl.Decisions) != 3 || relevant != 2 || len(pl.SubRequests) != 2 {
+		t.Fatalf("plan = %+v", pl)
+	}
+
+	// Cross-vocabulary CONSTRUCT: template vocabulary served by no single
+	// endpoint; executes via the decomposer's bound joins.
+	constructQ := `PREFIX akt:<` + aktNS + `>
+PREFIX m:<` + metricsNS + `>
+CONSTRUCT {
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}
+WHERE {
+  ?paper akt:has-author <` + person + `> .
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}`
+	resp3 := postSparqlForm(t, base, constructQ, "application/n-triples")
+	if resp3.StatusCode != 200 {
+		t.Fatalf("CONSTRUCT status = %d", resp3.StatusCode)
+	}
+	ntBody := new(strings.Builder)
+	if _, err := ioCopy(ntBody, resp3.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if strings.Contains(ntBody.String(), "# error:") {
+		t.Fatalf("CONSTRUCT stream error:\n%s", ntBody.String())
+	}
+	var aktTriples, metricTriples int
+	seen := map[string]bool{}
+	for _, line := range strings.Split(ntBody.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if seen[line] {
+			t.Fatalf("duplicate triple survived the sameAs-deduped merge: %s", line)
+		}
+		seen[line] = true
+		if strings.Contains(line, aktNS+"has-author") {
+			aktTriples++
+		}
+		if strings.Contains(line, metricsNS+"citationCount") {
+			metricTriples++
+		}
+	}
+	if aktTriples == 0 || metricTriples == 0 {
+		t.Fatalf("cross-vocabulary template not fully instantiated: akt=%d metrics=%d\n%s",
+			aktTriples, metricTriples, ntBody.String())
+	}
+
+	// ASK, federated.
+	askQ := `PREFIX akt:<` + aktNS + `> ASK { ?paper akt:has-author <` + person + `> }`
+	resp4 := postSparqlForm(t, base, askQ, "")
+	var askDoc struct {
+		Boolean *bool `json:"boolean"`
+	}
+	if err := json.NewDecoder(resp4.Body).Decode(&askDoc); err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if askDoc.Boolean == nil || !*askDoc.Boolean {
+		t.Fatalf("ASK = %+v, want true", askDoc.Boolean)
+	}
+
+	// DESCRIBE, federated: the person's outgoing triples from every
+	// repository whose URI space (or sameAs alias space) covers them.
+	resp5 := postSparqlForm(t, base, `DESCRIBE <`+person+`>`, "application/n-triples")
+	descBody := new(strings.Builder)
+	if _, err := ioCopy(descBody, resp5.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != 200 || strings.TrimSpace(descBody.String()) == "" {
+		t.Fatalf("DESCRIBE status=%d body=%q", resp5.StatusCode, descBody.String())
+	}
+	if strings.Contains(descBody.String(), "# error:") {
+		t.Fatalf("DESCRIBE stream error:\n%s", descBody.String())
 	}
 }

@@ -9,16 +9,21 @@
 // federated queries skip the dead endpoint without dispatching to it —
 // while the healthy repositories keep answering (best-effort partial
 // results). /api/stats shows the breaker state and the rewrite-plan
-// cache hits accumulated along the way.
+// cache hits accumulated along the way. Query execution over HTTP goes
+// through the W3C SPARQL-Protocol endpoint (POST /sparql, with the
+// repeatable `target` extension parameter naming explicit data sets).
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"time"
 
 	"sparqlrw"
@@ -57,14 +62,14 @@ func main() {
 
 	// Tier 1: the mediator, using the co-reference service over HTTP like
 	// the paper wraps sameas.org.
-	mediator := sparqlrw.NewMediator(dsKB, alignKB, sparqlrw.NewCorefClient(sameas.URL))
-	mediator.RewriteFilters = true
-	mediator.ConfigureFederation(sparqlrw.FederationOptions{
-		EndpointTimeout: 2 * time.Second,
-		RetryBackoff:    5 * time.Millisecond,
-		BreakerFailures: 3,
-		BreakerCooldown: time.Minute,
-	})
+	mediator := sparqlrw.NewMediator(dsKB, alignKB, sparqlrw.NewCorefClient(sameas.URL),
+		sparqlrw.WithMediatorRewriteFilters(true),
+		sparqlrw.WithMediatorFederation(sparqlrw.FederationOptions{
+			EndpointTimeout: 2 * time.Second,
+			RetryBackoff:    5 * time.Millisecond,
+			BreakerFailures: 3,
+			BreakerCooldown: time.Minute,
+		}))
 	api := httptest.NewServer(sparqlrw.MediatorHandler(mediator))
 	defer api.Close()
 	fmt.Printf("mediator UI/API: %s\n\n", api.URL)
@@ -83,26 +88,17 @@ func main() {
 	postJSON(api.URL+"/api/rewrite", rewriteReq, &rewriteResp)
 	fmt.Printf("=== /api/rewrite (%d alignments) ===\n%s\n", rewriteResp.AlignmentsUsed, rewriteResp.Query)
 
-	// Run federated: both repositories, merged by owl:sameAs.
-	queryReq, _ := json.Marshal(map[string]any{
-		"query":   queryText,
-		"targets": []string{workload.SotonVoidURI, workload.KistiVoidURI},
-	})
-	var queryResp struct {
-		Rows       []map[string]string `json:"rows"`
-		Duplicates int                 `json:"duplicates"`
-		PerDataset []struct {
-			Dataset   string `json:"dataset"`
-			Solutions int    `json:"solutions"`
-		} `json:"perDataset"`
-	}
-	postJSON(api.URL+"/api/query", queryReq, &queryResp)
-	fmt.Println("=== /api/query (federated) ===")
-	for _, pd := range queryResp.PerDataset {
+	// Run federated over the protocol endpoint: both repositories, merged
+	// by owl:sameAs; the SSE serialisation carries the per-dataset summary
+	// as its terminal event.
+	sum := postSparqlSSE(api.URL, queryText,
+		workload.SotonVoidURI, workload.KistiVoidURI)
+	fmt.Println("=== POST /sparql (federated, SSE) ===")
+	for _, pd := range sum.PerDataset {
 		fmt.Printf("  %-45s %d raw answers\n", pd.Dataset, pd.Solutions)
 	}
 	fmt.Printf("  merged: %d distinct co-authors (%d duplicates collapsed by owl:sameAs)\n\n",
-		len(queryResp.Rows), queryResp.Duplicates)
+		sum.Bindings, sum.Duplicates)
 
 	// Register a broken repository and watch the circuit breaker shield
 	// the fan-out: after three consecutive failures (each retried once)
@@ -119,39 +115,88 @@ func main() {
 	allTargets := []string{workload.SotonVoidURI, workload.KistiVoidURI, "http://broken.example/void"}
 	fmt.Println("=== broken repository joins the federation ===")
 	for round := 1; round <= 4; round++ {
-		queryReq, _ = json.Marshal(map[string]any{"query": queryText, "targets": allTargets})
-		var resp struct {
-			Rows       []map[string]string `json:"rows"`
-			Partial    bool                `json:"partial"`
-			PerDataset []struct {
-				Dataset  string `json:"dataset"`
-				Attempts int    `json:"attempts"`
-				Error    string `json:"error"`
-			} `json:"perDataset"`
-		}
-		postJSON(api.URL+"/api/query", queryReq, &resp)
-		for _, pd := range resp.PerDataset {
+		sum := postSparqlSSE(api.URL, queryText, allTargets...)
+		for _, pd := range sum.PerDataset {
 			if pd.Dataset != "http://broken.example/void" {
 				continue
 			}
 			fmt.Printf("  round %d: partial=%v broken attempts=%d error=%q\n",
-				round, resp.Partial, pd.Attempts, pd.Error)
+				round, sum.Partial, pd.Attempts, pd.Error)
 		}
-		if len(resp.Rows) == 0 {
+		if sum.Bindings == 0 {
 			log.Fatal("healthy repositories stopped answering")
 		}
 	}
 
-	// The executor's health snapshot: breaker states, retries, cache.
-	var stats sparqlrw.FederationStats
+	// The mediator's one health snapshot: breaker states, retries, cache,
+	// per-form query counts.
+	var stats sparqlrw.MediatorStats
 	getJSON(api.URL+"/api/stats", &stats)
 	fmt.Println("\n=== /api/stats ===")
-	for _, es := range stats.Endpoints {
+	for _, es := range stats.Federation.Endpoints {
 		fmt.Printf("  %-25s breaker=%-9s requests=%d failures=%d retries=%d rejected=%d\n",
 			es.Endpoint, es.Breaker, es.Requests, es.Failures, es.Retries, es.Rejected)
 	}
 	fmt.Printf("  rewrite-plan cache: %d hits, %d misses (hit rate %.0f%%)\n",
-		stats.CacheHits, stats.CacheMisses, 100*stats.CacheHitRate)
+		stats.Federation.CacheHits, stats.Federation.CacheMisses, 100*stats.Federation.CacheHitRate)
+	fmt.Printf("  queries by form: %d SELECT\n", stats.Queries.Select)
+}
+
+// sseSummary is what the /sparql SSE serialisation reports after the
+// bindings: the terminal summary event plus the binding count.
+type sseSummary struct {
+	Bindings   int
+	Duplicates int  `json:"duplicates"`
+	Partial    bool `json:"partial"`
+	PerDataset []struct {
+		Dataset   string `json:"dataset"`
+		Solutions int    `json:"solutions"`
+		Attempts  int    `json:"attempts"`
+		Error     string `json:"error"`
+	} `json:"perDataset"`
+}
+
+// postSparqlSSE runs one protocol query with Accept: text/event-stream
+// and explicit targets, returning the parsed terminal summary.
+func postSparqlSSE(base, query string, targets ...string) sseSummary {
+	form := url.Values{"query": {query}, "target": targets}
+	req, err := http.NewRequest(http.MethodPost, base+"/sparql", strings.NewReader(form.Encode()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum sseSummary
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "binding":
+				sum.Bindings++
+			case "summary":
+				if err := json.Unmarshal([]byte(data), &sum); err != nil {
+					log.Fatal(err)
+				}
+			case "error":
+				log.Fatalf("stream error: %s", data)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return sum
 }
 
 func getJSON(url string, out any) {

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -75,8 +76,8 @@ func main() {
 	must(alignKB.Add(workload.ECS2DBpedia()))
 
 	// Tier 1: the mediator; the planner is on by default.
-	mediator := sparqlrw.NewMediator(dsKB, alignKB, u.Coref)
-	mediator.RewriteFilters = true
+	mediator := sparqlrw.NewMediator(dsKB, alignKB, u.Coref,
+		sparqlrw.WithMediatorRewriteFilters(true))
 	api := httptest.NewServer(sparqlrw.MediatorHandler(mediator))
 	defer api.Close()
 
@@ -105,48 +106,37 @@ func main() {
 	}
 	fmt.Printf("  -> %d sub-queries dispatched instead of 4\n\n", len(pl.SubRequests))
 
-	// 2. Run it with no targets: the planner selects them.
-	var qr struct {
-		Rows       []map[string]string `json:"rows"`
-		Duplicates int                 `json:"duplicates"`
-		PerDataset []struct {
-			Dataset   string  `json:"dataset"`
-			Solutions int     `json:"solutions"`
-			LatencyMS float64 `json:"latencyMs"`
-		} `json:"perDataset"`
+	// 2. Run it with no targets over the protocol endpoint: the planner
+	// selects them; the summary comes from the Go API's Summary.
+	res, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{Query: queryText})
+	must(err)
+	fr, err := res.Bindings().Collect()
+	must(err)
+	fmt.Println("=== planner-selected federated SELECT ===")
+	for _, pd := range fr.PerDataset {
+		fmt.Printf("  %-45s %d raw answers in %s\n", pd.Dataset, pd.Solutions, pd.Latency.Round(time.Millisecond))
 	}
-	postJSON(api.URL+"/api/query", map[string]any{"query": queryText}, &qr)
-	fmt.Println("=== /api/query with no explicit targets ===")
-	for _, pd := range qr.PerDataset {
-		fmt.Printf("  %-45s %d raw answers in %.1fms\n", pd.Dataset, pd.Solutions, pd.LatencyMS)
-	}
-	fmt.Printf("  merged: %d co-authors (%d duplicates collapsed)\n", len(qr.Rows), qr.Duplicates)
+	fmt.Printf("  merged: %d co-authors (%d duplicates collapsed)\n", len(fr.Solutions), fr.Duplicates)
 	fmt.Printf("  endpoint hits: soton=%d kisti=%d dbpedia=%d ecs=%d\n\n",
 		sotonHits.Load(), kistiHits.Load(), dbpHits.Load(), ecsHits.Load())
 
 	// 3. VALUES sharding: seed the query with 9 papers, batch size 3.
-	mediator.ConfigurePlanner(sparqlrw.PlannerOptions{ValuesBatch: 3})
+	mediator.Configure(sparqlrw.WithMediatorPlanner(sparqlrw.PlannerOptions{ValuesBatch: 3}))
 	var sb strings.Builder
 	sb.WriteString("PREFIX akt:<" + rdf.AKTNS + ">\nSELECT DISTINCT ?a WHERE {\n  VALUES ?paper {")
 	for i := 0; i < 9; i++ {
 		sb.WriteString(" <" + workload.SotonPaper(i).Value + ">")
 	}
 	sb.WriteString(" }\n  ?paper akt:has-author ?a .\n}")
-	var shardResp struct {
-		Rows       []map[string]string `json:"rows"`
-		PerDataset []struct {
-			Dataset   string `json:"dataset"`
-			Shard     int    `json:"shard"`
-			Shards    int    `json:"shards"`
-			Solutions int    `json:"solutions"`
-		} `json:"perDataset"`
-	}
-	postJSON(api.URL+"/api/query", map[string]any{"query": sb.String()}, &shardResp)
+	res2, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{Query: sb.String()})
+	must(err)
+	fr2, err := res2.Bindings().Collect()
+	must(err)
 	fmt.Println("=== VALUES sharding (9 rows, batch 3) ===")
-	for _, pd := range shardResp.PerDataset {
+	for _, pd := range fr2.PerDataset {
 		fmt.Printf("  %-45s shard %d/%d -> %d answers\n", pd.Dataset, pd.Shard, pd.Shards, pd.Solutions)
 	}
-	fmt.Printf("  merged: %d distinct authors across all shards\n\n", len(shardResp.Rows))
+	fmt.Printf("  merged: %d distinct authors across all shards\n\n", len(fr2.Solutions))
 
 	// 4. Adaptive ordering: with latency history accumulated, the next
 	// plan dispatches the fast repository first and bounds the slow one.
@@ -166,11 +156,10 @@ func main() {
 		fmt.Printf("  dispatch %d: %-45s deadline %s\n", i+1, sr.Dataset, deadline)
 	}
 
-	var stats struct {
-		Planner *sparqlrw.PlannerStats `json:"planner"`
-	}
+	var stats sparqlrw.MediatorStats
 	getJSON(api.URL+"/api/stats", &stats)
 	fmt.Printf("\nplanner stats: %+v\n", *stats.Planner)
+	fmt.Printf("queries by form: %d SELECT\n", stats.Queries.Select)
 }
 
 func postJSON(url string, req any, out any) {

@@ -1,8 +1,8 @@
 // Streaming: the mediator's streaming-first query path against a slow
 // repository. Four replicas of the Southampton data set are registered;
-// one of them delays every response by 250 ms. The buffered
-// FederatedSelect wrapper cannot return before that slow endpoint does,
-// while Mediator.Query hands over its first merged solution as soon as a
+// one of them delays every response by 250 ms. The buffered Collect
+// convenience cannot return before that slow endpoint does, while
+// Mediator.Query hands over its first merged solution as soon as a
 // fast replica yields one — the demo prints the arrival time of each
 // solution relative to dispatch, then the per-dataset summary.
 //
@@ -56,20 +56,21 @@ func main() {
 	}
 	alignKB := sparqlrw.NewAlignmentKB()
 	must(alignKB.Add(workload.AKT2KISTI()))
-	mediator := sparqlrw.NewMediator(dsKB, alignKB, u.Coref)
-	mediator.RewriteFilters = true
+	mediator := sparqlrw.NewMediator(dsKB, alignKB, u.Coref,
+		sparqlrw.WithMediatorRewriteFilters(true))
 
 	query := workload.Figure1Query(1)
 	fmt.Printf("federating over %d replicas (one delayed %s)\n\n", len(targets), slowDelay)
 
 	// Streaming: solutions arrive as endpoints answer.
 	start := time.Now()
-	qs, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{
+	res, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{
 		Query: query, SourceOnt: rdf.AKTNS, Targets: targets,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	qs := res.Bindings()
 	n := 0
 	for sol, err := range qs.Solutions() {
 		if err != nil {
@@ -82,38 +83,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	qs.Close()
+	res.Close()
 	fmt.Printf("\nstream done after %s: %d solutions, %d duplicates dropped\n",
 		time.Since(start).Round(time.Millisecond), n, summary.Duplicates)
 	for _, da := range summary.PerDataset {
 		fmt.Printf("  %-32s %3d solutions in %7s\n", da.Dataset, da.Solutions, da.Latency.Round(time.Millisecond))
 	}
 
-	// Buffered comparison: the deprecated wrapper waits for everyone.
+	// Buffered comparison: Collect waits for everyone.
 	start = time.Now()
-	fr, err := mediator.FederatedSelect(query, rdf.AKTNS, targets)
+	resBuf, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{
+		Query: query, SourceOnt: rdf.AKTNS, Targets: targets,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nbuffered FederatedSelect returned all %d solutions after %s (slow endpoint bound)\n",
+	fr, err := resBuf.Bindings().Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbuffered Collect returned all %d solutions after %s (slow endpoint bound)\n",
 		len(fr.Solutions), time.Since(start).Round(time.Millisecond))
 
 	// Limit: take one solution, cancel the rest of the fan-out.
 	start = time.Now()
-	qs2, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{
+	res2, err := mediator.Query(context.Background(), sparqlrw.MediatorQueryRequest{
 		Query: query, SourceOnt: rdf.AKTNS, Targets: targets, Limit: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for sol, err := range qs2.Solutions() {
+	for sol, err := range res2.Bindings().Solutions() {
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nLimit 1: first solution %v after %s; remaining work cancelled\n",
 			sol["a"], time.Since(start).Round(time.Millisecond))
 	}
-	qs2.Close()
+	res2.Close()
 }
 
 func must(err error) {

@@ -119,7 +119,7 @@ func Translate(q *sparql.Query) Op {
 		if q.Limit >= 0 || q.Offset >= 0 {
 			op = &Slice{Limit: q.Limit, Offset: q.Offset, Input: op}
 		}
-	case sparql.Ask, sparql.Construct:
+	case sparql.Ask, sparql.Construct, sparql.Describe:
 		// no modifiers in our fragment
 	}
 	return op

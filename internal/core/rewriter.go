@@ -63,6 +63,12 @@ type Options struct {
 	// RewriteFilters enables the §4 extension: FILTER constants are
 	// translated into the target URI space via sameas.
 	RewriteFilters bool
+	// RewriteTemplate applies Algorithm 1 to a CONSTRUCT query's template
+	// as well, so the constructed triples come out in the target
+	// vocabulary. Off by default: the mediator's integration story keeps
+	// the template in the source vocabulary (the user's requested output
+	// shape) while only the WHERE clause is translated for each endpoint.
+	RewriteTemplate bool
 	// TargetURISpace is the regex of the target data set's URI space
 	// (voiD uriSpace); required by RewriteFilters and used by the
 	// Figure-6 warning detector.
@@ -135,8 +141,10 @@ func (s *rewriteState) fresh() rdf.Term {
 // RewriteQuery rewrites a whole query: every basic graph pattern in the
 // WHERE clause is rewritten per Algorithm 1; FILTER sections are left
 // untouched in paper mode (with a Figure-6 warning when they constrain
-// source-URI-space constants) or translated in extended mode. The input
-// query is not modified.
+// source-URI-space constants) or translated in extended mode. CONSTRUCT
+// templates are preserved by default (see Options.RewriteTemplate) and
+// DESCRIBE resource IRIs are translated through sameas when a target URI
+// space is configured. The input query is not modified.
 func (rw *Rewriter) RewriteQuery(q *sparql.Query) (*sparql.Query, *Report, error) {
 	report := &Report{}
 	out := q.Clone()
@@ -144,12 +152,23 @@ func (rw *Rewriter) RewriteQuery(q *sparql.Query) (*sparql.Query, *Report, error
 	if st.prefix == "" {
 		st.prefix = "new"
 	}
-	// Seed the fresh-variable generator with every name in use.
+	// Seed the fresh-variable generator with every name in use — including
+	// template variables, which the WHERE rewriting must never capture.
 	for _, b := range out.BGPs() {
 		for _, t := range b.Patterns {
 			for _, v := range t.Vars() {
 				st.used[v] = true
 			}
+		}
+	}
+	for _, t := range out.Template {
+		for _, v := range t.Vars() {
+			st.used[v] = true
+		}
+	}
+	for _, t := range out.DescribeTerms {
+		if t.IsVar() {
+			st.used[t.Value] = true
 		}
 	}
 	for _, f := range out.Filters() {
@@ -161,6 +180,27 @@ func (rw *Rewriter) RewriteQuery(q *sparql.Query) (*sparql.Query, *Report, error
 	}
 	if err := rw.rewriteGroup(out.Where, st); err != nil {
 		return nil, report, err
+	}
+	if rw.Opts.RewriteTemplate && len(out.Template) > 0 {
+		tmpl, err := rw.rewriteBGP(out.Template, st)
+		if err != nil {
+			return nil, report, err
+		}
+		out.Template = tmpl
+	}
+	// DESCRIBE resources are instance URIs: translate them into the target
+	// URI space like FILTER constants, so a description request formulated
+	// with source URIs reaches the target's equivalents.
+	if len(out.DescribeTerms) > 0 && rw.Opts.TargetURISpace != "" {
+		pattern := rdf.NewLiteral(rw.Opts.TargetURISpace)
+		for i, t := range out.DescribeTerms {
+			if !t.IsIRI() {
+				continue
+			}
+			if v, translated := rw.translateIRITerm(t, pattern); translated {
+				out.DescribeTerms[i] = v
+			}
+		}
 	}
 	// Extend the prefix map (without clobbering user bindings) so the
 	// rewritten query formats compactly, like the paper's Figure 3 which

@@ -140,8 +140,8 @@ type ResidualFilter struct {
 // Decomposition is an ordered per-BGP decomposition: the join-engine
 // execution plan, and the shape /api/plan explains.
 type Decomposition struct {
-	Query     string   `json:"query"`
-	SourceOnt string   `json:"source"`
+	Query     string `json:"query"`
+	SourceOnt string `json:"source"`
 	// Vars is the final projection.
 	Vars []string `json:"vars"`
 	// MultiSource reports that the fragments span more than one data set

@@ -106,11 +106,11 @@ func newFixture(t testing.TB, opts Options) *fixture {
 	}
 	add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: sotonURL,
 		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS},
-		Triples: 1000,
+		Triples:            1000,
 		PropertyPartitions: map[string]int64{rdf.AKTHasAuthor: 400, rdf.AKTHasTitle: 90}})
 	add(&voidkb.Dataset{URI: workload.MetricsVoidURI, SPARQLEndpoint: metricsURL,
 		URISpace: workload.SotonURIPattern, Vocabularies: []string{workload.MetricsNS},
-		Triples: 180,
+		Triples:            180,
 		PropertyPartitions: map[string]int64{workload.MetricsCitationCount: 90, workload.MetricsVenue: 90}})
 	add(&voidkb.Dataset{URI: workload.DBPVoidURI, SPARQLEndpoint: dbpURL,
 		URISpace: workload.DBPURIPattern, Vocabularies: []string{rdf.DBONS}})

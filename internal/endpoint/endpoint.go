@@ -38,7 +38,7 @@ const DefaultMaxResponseBody = 64 << 20 // 64 MB
 // FlushEvery is how often streaming handlers flush mid-stream after the
 // first solution: the first row reaches the client immediately, later
 // rows are batched to keep syscall overhead off the hot path. Shared by
-// this server and the mediator's /api/query handler.
+// this server and the mediator's /sparql handler.
 const FlushEvery = 64
 
 // Server serves SPARQL queries over one store.
@@ -69,8 +69,8 @@ func (s *Server) maxRequestBody() int64 {
 //	POST /sparql  application/x-www-form-urlencoded  query=...
 //	POST /sparql  application/sparql-query            <body is the query>
 //
-// SELECT and ASK return application/sparql-results+json; CONSTRUCT
-// returns N-Triples. SELECT responses are streamed: solutions are written
+// SELECT and ASK return application/sparql-results+json; CONSTRUCT and
+// DESCRIBE return N-Triples. SELECT responses are streamed: solutions are written
 // (and flushed) as the evaluator yields them, so the first binding is on
 // the wire before evaluation finishes, and a cancelled request (client
 // disconnect) stops evaluation at the next yield.
@@ -156,8 +156,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		_, _ = w.Write(data)
-	case sparql.Construct:
-		g, err := s.Engine.Construct(q)
+	case sparql.Construct, sparql.Describe:
+		var g rdf.Graph
+		if q.Form == sparql.Construct {
+			g, err = s.Engine.Construct(q)
+		} else {
+			g, err = s.Engine.Describe(q)
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -372,6 +377,21 @@ func (c *Client) Construct(endpointURL, queryText string) (rdf.Graph, error) {
 // ConstructContext runs a CONSTRUCT query, honouring ctx's cancellation
 // and deadline.
 func (c *Client) ConstructContext(ctx context.Context, endpointURL, queryText string) (rdf.Graph, error) {
+	body, err := c.post(ctx, endpointURL, queryText)
+	if err != nil {
+		return nil, err
+	}
+	return ntriples.ParseString(string(body))
+}
+
+// Describe runs a DESCRIBE query and parses the returned N-Triples.
+func (c *Client) Describe(endpointURL, queryText string) (rdf.Graph, error) {
+	return c.DescribeContext(context.Background(), endpointURL, queryText)
+}
+
+// DescribeContext runs a DESCRIBE query, honouring ctx's cancellation and
+// deadline.
+func (c *Client) DescribeContext(ctx context.Context, endpointURL, queryText string) (rdf.Graph, error) {
 	body, err := c.post(ctx, endpointURL, queryText)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"testing"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+)
+
+func describeFixture() *Engine {
+	st := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	st.Add(rdf.Triple{S: ex("a"), P: ex("name"), O: rdf.NewLiteral("A")})
+	st.Add(rdf.Triple{S: ex("a"), P: ex("knows"), O: ex("b")})
+	st.Add(rdf.Triple{S: ex("b"), P: ex("name"), O: rdf.NewLiteral("B")})
+	st.Add(rdf.Triple{S: ex("c"), P: ex("name"), O: rdf.NewLiteral("C")})
+	return New(st)
+}
+
+func TestDescribeGroundIRI(t *testing.T) {
+	e := describeFixture()
+	g, err := e.Describe(sparql.MustParse(`DESCRIBE <http://example.org/a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Fatalf("graph = %v", g)
+	}
+	for _, tr := range g {
+		if tr.S.Value != "http://example.org/a" {
+			t.Fatalf("foreign subject: %s", tr)
+		}
+	}
+}
+
+func TestDescribeVariable(t *testing.T) {
+	e := describeFixture()
+	// Every resource that knows someone: only ex:a.
+	g, err := e.Describe(sparql.MustParse(`PREFIX ex:<http://example.org/>
+DESCRIBE ?x WHERE { ?x ex:knows ?y }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Fatalf("graph = %v", g)
+	}
+
+	// Mixed: a variable plus a ground IRI, deduplicated.
+	g2, err := e.Describe(sparql.MustParse(`PREFIX ex:<http://example.org/>
+DESCRIBE ?x ex:a WHERE { ?x ex:knows ?y }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2) != 2 {
+		t.Fatalf("duplicate resource not collapsed: %v", g2)
+	}
+}
+
+func TestDescribeUnknownResourceEmpty(t *testing.T) {
+	e := describeFixture()
+	g, err := e.Describe(sparql.MustParse(`DESCRIBE <http://example.org/nope>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 0 {
+		t.Fatalf("graph = %v", g)
+	}
+	// A DESCRIBE variable without a WHERE clause describes nothing.
+	g2, err := e.Describe(sparql.MustParse(`DESCRIBE ?x`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2) != 0 {
+		t.Fatalf("graph = %v", g2)
+	}
+}
+
+func TestDescribeWrongForm(t *testing.T) {
+	e := describeFixture()
+	if _, err := e.Describe(sparql.MustParse(`ASK { ?s ?p ?o }`)); err == nil {
+		t.Fatal("Describe on ASK must error")
+	}
+}

@@ -78,7 +78,7 @@ func (e *Engine) Construct(q *sparql.Query) (rdf.Graph, error) {
 	for i, sol := range sols {
 		suffix := "_c" + strconv.Itoa(i)
 		for _, tpl := range q.Template {
-			t, ok := instantiateTemplate(tpl, sol, suffix)
+			t, ok := InstantiateTemplate(tpl, sol, suffix)
 			if !ok {
 				continue
 			}
@@ -88,7 +88,57 @@ func (e *Engine) Construct(q *sparql.Query) (rdf.Graph, error) {
 	return g.Dedup(), nil
 }
 
-func instantiateTemplate(tpl rdf.Triple, sol Solution, bnodeSuffix string) (rdf.Triple, bool) {
+// Describe evaluates a DESCRIBE query over the engine's store: the
+// described resources are the query's ground IRIs plus every IRI bound to
+// a DESCRIBE variable by the WHERE clause, and each resource's
+// description is its outgoing triples (the lightweight reading of the
+// specification's implementation-defined description).
+func (e *Engine) Describe(q *sparql.Query) (rdf.Graph, error) {
+	if q.Form != sparql.Describe {
+		return nil, fmt.Errorf("eval: Describe called on %s query", q.Form)
+	}
+	resources, describeVars := q.DescribeResources()
+	seen := map[string]bool{}
+	for _, r := range resources {
+		seen[r.Value] = true
+	}
+	add := func(t rdf.Term) {
+		if t.IsIRI() && !seen[t.Value] {
+			seen[t.Value] = true
+			resources = append(resources, t)
+		}
+	}
+	if len(describeVars) > 0 && q.Where != nil {
+		sols, err := e.eval(algebra.Translate(q))
+		if err != nil {
+			return nil, err
+		}
+		for _, sol := range sols {
+			for _, v := range describeVars {
+				if t, ok := sol[v]; ok {
+					add(t)
+				}
+			}
+		}
+	}
+	var g rdf.Graph
+	for _, r := range resources {
+		e.Store.Match(rdf.Triple{S: r, P: rdf.Any, O: rdf.Any}, func(t rdf.Triple) bool {
+			g = append(g, t)
+			return true
+		})
+	}
+	return g.Dedup(), nil
+}
+
+// InstantiateTemplate instantiates one CONSTRUCT template triple under a
+// solution: variables resolve through the solution, blank nodes are
+// renamed with the per-solution suffix, and the second return is false
+// when an unbound variable or an ill-formed position (literal subject,
+// non-IRI predicate) makes the triple unusable, per the SPARQL
+// specification. Shared with the mediator, whose CONSTRUCT/DESCRIBE
+// streams instantiate templates over federated solutions.
+func InstantiateTemplate(tpl rdf.Triple, sol Solution, bnodeSuffix string) (rdf.Triple, bool) {
 	resolve := func(t rdf.Term) (rdf.Term, bool) {
 		switch t.Kind {
 		case rdf.KindVar:

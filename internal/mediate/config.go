@@ -1,0 +1,111 @@
+package mediate
+
+import (
+	"sparqlrw/internal/decompose"
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/plan"
+)
+
+// Config is the mediator's consolidated configuration: one struct holding
+// the per-layer option blocks that used to be scattered across three
+// per-subsystem configure methods. Build one with functional options
+// (WithFederation, WithPlanner, ...) via New or Configure; read the
+// active configuration back with Mediator.Config.
+type Config struct {
+	// Federation tunes the executor: worker-pool bound, per-endpoint
+	// deadlines/retries, circuit breakers, rewrite-plan cache, policy.
+	Federation federate.Options
+	// Planner tunes voiD-driven source selection, VALUES sharding and
+	// adaptive ordering (ignored when DisablePlanner).
+	Planner plan.Options
+	// Decompose tunes per-BGP decomposition and the streaming join engine
+	// (ignored when DisableDecomposer or DisablePlanner).
+	Decompose decompose.Options
+	// DisablePlanner turns target auto-selection off: queries must name
+	// explicit targets. It implies DisableDecomposer (the decomposer runs
+	// the planner's per-pattern source selection).
+	DisablePlanner bool
+	// DisableDecomposer turns the multi-source path off: queries no single
+	// data set covers fail instead of decomposing.
+	DisableDecomposer bool
+	// RewriteFilters enables the §4 FILTER extension for all rewrites.
+	RewriteFilters bool
+}
+
+// Option mutates a Config; the functional-option input of New and
+// Configure.
+type Option func(*Config)
+
+// WithFederation replaces the federation executor options.
+func WithFederation(opts federate.Options) Option {
+	return func(c *Config) { c.Federation = opts }
+}
+
+// WithPlanner replaces the planner options and (re-)enables planning.
+func WithPlanner(opts plan.Options) Option {
+	return func(c *Config) { c.Planner = opts; c.DisablePlanner = false }
+}
+
+// WithoutPlanner disables target auto-selection (and with it the
+// decomposed multi-source path).
+func WithoutPlanner() Option {
+	return func(c *Config) { c.DisablePlanner = true }
+}
+
+// WithDecomposer replaces the decompose options and (re-)enables the
+// multi-source path.
+func WithDecomposer(opts decompose.Options) Option {
+	return func(c *Config) { c.Decompose = opts; c.DisableDecomposer = false }
+}
+
+// WithoutDecomposer disables the multi-source path.
+func WithoutDecomposer() Option {
+	return func(c *Config) { c.DisableDecomposer = true }
+}
+
+// WithRewriteFilters toggles the §4 FILTER-rewriting extension.
+func WithRewriteFilters(on bool) Option {
+	return func(c *Config) { c.RewriteFilters = on }
+}
+
+// Config returns a snapshot of the mediator's active configuration.
+func (m *Mediator) Config() Config { return m.cfg }
+
+// Configure applies the options on top of the mediator's current
+// configuration and rebuilds the execution stack: the federation executor
+// (resetting breakers, counters and the rewrite-plan cache), the planner
+// and the decomposer with its join engine. Configuring after changing
+// rewrite-relevant state (e.g. RewriteFilters) guarantees no cached plan
+// produced under the old settings is served.
+func (m *Mediator) Configure(opts ...Option) {
+	for _, opt := range opts {
+		opt(&m.cfg)
+	}
+	m.rebuild()
+}
+
+// rebuild reconstructs the executor / planner / decomposer stack from the
+// current Config, in dependency order: the planner reads the executor's
+// endpoint health, and the join engine dispatches through the executor.
+func (m *Mediator) rebuild() {
+	m.RewriteFilters = m.cfg.RewriteFilters
+	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
+		rr, err := m.Rewrite(queryText, sourceOnt, dataset)
+		if err != nil {
+			return "", err
+		}
+		return rr.Query, nil
+	}
+	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, m.cfg.Federation)
+	if m.cfg.DisablePlanner {
+		m.Planner = nil
+	} else {
+		m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, m.cfg.Planner)
+	}
+	if m.cfg.DisableDecomposer || m.Planner == nil {
+		m.Decomposer, m.JoinEngine = nil, nil
+	} else {
+		m.Decomposer = decompose.New(m.Planner, m.cfg.Decompose)
+		m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, m.cfg.Decompose)
+	}
+}

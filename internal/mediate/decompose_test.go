@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/store"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
@@ -129,11 +132,12 @@ func TestQueryDecomposesAcrossVocabularies(t *testing.T) {
 	s := newCrossVocabStack(t)
 	query := workload.CrossVocabularyQuery(2)
 
-	qs, err := s.mediator.Query(context.Background(), QueryRequest{Query: query, SourceOnt: rdf.AKTNS})
+	res, err := s.mediator.Query(context.Background(), QueryRequest{Query: query, SourceOnt: rdf.AKTNS})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer qs.Close()
+	defer res.Close()
+	qs := res.Bindings()
 	if qs.Plan() == nil {
 		t.Fatal("decomposed query carries no plan")
 	}
@@ -161,12 +165,12 @@ func TestQueryDecomposesAcrossVocabularies(t *testing.T) {
 			t.Fatalf("solution %d: got %v, want %v", i, got[i], want[i])
 		}
 	}
-	res, err := qs.Summary()
+	sum, err := qs.Summary()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Partial {
-		t.Fatalf("clean decomposed run marked partial: %+v", res.PerDataset)
+	if sum.Partial {
+		t.Fatalf("clean decomposed run marked partial: %+v", sum.PerDataset)
 	}
 
 	// No endpoint saw the full pattern: Southampton never received the
@@ -193,24 +197,24 @@ func TestQueryDecomposesAcrossVocabularies(t *testing.T) {
 		t.Fatalf("pruned endpoint received %d queries", n)
 	}
 
-	// The deprecated drain wrapper takes the same path.
-	fr, err := s.mediator.FederatedSelect(query, rdf.AKTNS, nil)
+	// The buffered Collect convenience takes the same path.
+	fr, err := federatedSelect(s.mediator, query, rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fr.Solutions) != len(want) {
-		t.Fatalf("wrapper = %d solutions, want %d", len(fr.Solutions), len(want))
+		t.Fatalf("collected = %d solutions, want %d", len(fr.Solutions), len(want))
 	}
 
-	st := s.mediator.DecomposerStats()
-	if st.Decompositions == 0 || st.Engine.Runs == 0 || st.Engine.BoundJoinStages == 0 {
+	st := s.mediator.Stats().Decompose
+	if st == nil || st.Decompositions == 0 || st.Engine.Runs == 0 || st.Engine.BoundJoinStages == 0 {
 		t.Fatalf("decompose stats not recorded: %+v", st)
 	}
 }
 
-// TestAPIQueryDecomposedExplain: the streamed /api/query response and
-// /api/plan both surface the decomposition (groups, cardinalities, join
-// order), and /api/stats carries the decompose counters.
+// TestAPIQueryDecomposedExplain: /api/plan surfaces the decomposition
+// (groups, cardinalities, join order), /sparql executes it, and
+// /api/stats carries the decompose counters.
 func TestAPIQueryDecomposedExplain(t *testing.T) {
 	s := newCrossVocabStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
@@ -218,7 +222,7 @@ func TestAPIQueryDecomposedExplain(t *testing.T) {
 	query := workload.CrossVocabularyQuery(3)
 
 	// /api/plan explains without executing.
-	body, _ := json.Marshal(queryRequest{Query: query, Source: rdf.AKTNS})
+	body, _ := json.Marshal(planRequest{Query: query, Source: rdf.AKTNS})
 	resp, err := http.Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -247,27 +251,23 @@ func TestAPIQueryDecomposedExplain(t *testing.T) {
 		t.Fatalf("join order not explained: %+v", ex.Decomposition.Fragments[1])
 	}
 
-	// /api/query executes and embeds the decomposition alongside rows.
-	resp, err = http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	// /sparql executes the decomposed query end to end.
+	form := url.Values{"query": {query}, "source": {rdf.AKTNS}}
+	resp, err = http.PostForm(srv.URL+"/sparql", form)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var qr queryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sres, _, err := srjson.Decode(raw)
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if len(qr.Rows) == 0 {
+	if len(sres.Solutions) == 0 {
 		t.Fatal("no rows over the decomposed HTTP path")
-	}
-	if qr.Decomposition == nil || len(qr.Decomposition.Fragments) != 2 {
-		t.Fatalf("decomposition missing from /api/query: %+v", qr.Decomposition)
-	}
-	if qr.Error != "" || qr.Partial {
-		t.Fatalf("decomposed query reported failure: %+v", qr)
 	}
 
 	// /api/stats exposes the decompose counters.
@@ -276,7 +276,7 @@ func TestAPIQueryDecomposedExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sresp.Body.Close()
-	var st statsResponse
+	var st Stats
 	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -296,11 +296,13 @@ func TestAPIQueryNDJSON(t *testing.T) {
 		"single-source": workload.Figure1Query(2),
 		"decomposed":    workload.CrossVocabularyQuery(2),
 	} {
-		body, _ := json.Marshal(queryRequest{Query: query, Source: rdf.AKTNS})
-		req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/query", bytes.NewReader(body))
+		form := url.Values{"query": {query}, "source": {rdf.AKTNS}}
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/sparql",
+			strings.NewReader(form.Encode()))
 		if err != nil {
 			t.Fatal(err)
 		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 		req.Header.Set("Accept", "application/x-ndjson")
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {

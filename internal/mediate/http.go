@@ -5,18 +5,22 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
-	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/endpoint"
-	"sparqlrw/internal/federate"
-	"sparqlrw/internal/plan"
+	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
+	"sparqlrw/internal/turtle"
 )
 
 // REST API (the paper's Figure 5 "REST API" tier) plus a minimal HTML page
-// standing in for the GWT UI of Figure 4: a source-query text area, a
-// target data set selector, and the translated query below.
+// standing in for the GWT UI of Figure 4. Query execution is served by a
+// W3C SPARQL 1.1 Protocol endpoint at /sparql; the /api/* routes carry the
+// mediator-specific operations the protocol does not model (rewrite
+// preview, plan explain, stats, data set listing).
 
 type rewriteRequest struct {
 	Query  string `json:"query"`
@@ -32,32 +36,9 @@ type rewriteResponse struct {
 	FreshVars      []string `json:"freshVars,omitempty"`
 }
 
-type queryRequest struct {
-	Query   string   `json:"query"`
-	Source  string   `json:"source,omitempty"`
-	Targets []string `json:"targets"`
-	// Limit caps streamed rows; reaching it cancels upstream work.
-	Limit int `json:"limit,omitempty"`
-}
-
-// queryResponse documents the shape /api/query streams; the handler
-// writes the keys incrementally (rows flow before the summary keys) but
-// the complete body always decodes into this struct.
-type queryResponse struct {
-	Vars       []string            `json:"vars"`
-	Rows       []map[string]string `json:"rows"`
-	Duplicates int                 `json:"duplicates"`
-	Partial    bool                `json:"partial,omitempty"`
-	PerDataset []perDatasetJSON    `json:"perDataset"`
-	// Plan reports the planner's decisions when the caller passed no
-	// explicit targets and the planner selected them.
-	Plan *plan.Plan `json:"plan,omitempty"`
-	// Decomposition reports the exclusive-group decomposition when the
-	// query ran on the multi-source path.
-	Decomposition *decompose.Decomposition `json:"decomposition,omitempty"`
-	// Error carries a fan-out failure that occurred after streaming
-	// started (the status line was already sent by then).
-	Error string `json:"error,omitempty"`
+type planRequest struct {
+	Query  string `json:"query"`
+	Source string `json:"source,omitempty"`
 }
 
 type perDatasetJSON struct {
@@ -70,20 +51,116 @@ type perDatasetJSON struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-// statsResponse extends the executor's stats with the planner's and the
-// decompose layer's counters.
-type statsResponse struct {
-	federate.Stats
-	Planner   *plan.Stats     `json:"planner,omitempty"`
-	Decompose *DecomposeStats `json:"decompose,omitempty"`
+func perDatasetView(fr *FederatedResult) []perDatasetJSON {
+	out := make([]perDatasetJSON, 0, len(fr.PerDataset))
+	for _, da := range fr.PerDataset {
+		pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
+			Shard: da.Shard, Shards: da.Shards,
+			Attempts:  da.Attempts,
+			LatencyMS: float64(da.Latency.Microseconds()) / 1000}
+		if da.Err != nil {
+			pj.Error = da.Err.Error()
+		}
+		out = append(out, pj)
+	}
+	return out
 }
 
-// Handler serves the mediator's REST API and UI.
+// Media types the /sparql endpoint can produce.
+const (
+	ctSRJ      = "application/sparql-results+json"
+	ctJSON     = "application/json"
+	ctNDJSON   = "application/x-ndjson"
+	ctSSE      = "text/event-stream"
+	ctNTriples = "application/n-triples"
+	ctTurtle   = "text/turtle"
+)
+
+// bindingsOffered / graphOffered are the content-negotiation menus per
+// result category (first entry is the default for absent/wildcard
+// Accept). application/json is a friendliness alias for the SRJ document.
+var (
+	bindingsOffered = []string{ctSRJ, ctJSON, ctNDJSON, ctSSE}
+	graphOffered    = []string{ctNTriples, ctTurtle}
+)
+
+// negotiate picks the best offered media type for an Accept header: each
+// offered type takes the q-value of its most specific matching range
+// (exact beats type/* beats */*, per RFC 9110 §12.5.1 — so an explicit
+// `foo/bar;q=0` excludes foo/bar even under a `*/*` wildcard), the
+// highest q wins, and ties go to the earlier offered entry. ok is false
+// when nothing offered is acceptable (a 406).
+func negotiate(accept string, offered []string) (string, bool) {
+	if strings.TrimSpace(accept) == "" {
+		return offered[0], true
+	}
+	type mediaRange struct {
+		typ string
+		q   float64
+	}
+	var ranges []mediaRange
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		typ := strings.ToLower(strings.TrimSpace(fields[0]))
+		if typ == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(p), "q="); ok {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+					q = f
+				}
+			}
+		}
+		ranges = append(ranges, mediaRange{typ: typ, q: q})
+	}
+	specificity := func(r, off, major string) int {
+		switch r {
+		case off:
+			return 2
+		case major:
+			return 1
+		case "*/*":
+			return 0
+		}
+		return -1
+	}
+	best, bestQ := "", 0.0
+	for _, off := range offered {
+		major := off[:strings.Index(off, "/")+1] + "*"
+		bestSpec, q := -1, 0.0
+		for _, r := range ranges {
+			if spec := specificity(r.typ, off, major); spec > bestSpec {
+				bestSpec, q = spec, r.q
+			} else if spec == bestSpec && spec >= 0 && r.q > q {
+				q = r.q
+			}
+		}
+		if bestSpec >= 0 && q > bestQ {
+			best, bestQ = off, q
+		}
+	}
+	return best, bestQ > 0
+}
+
+// protocolError writes the endpoint's JSON error document.
+func protocolError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Handler serves the mediator's SPARQL protocol endpoint, REST API and UI.
 func Handler(m *Mediator) http.Handler {
 	mux := http.NewServeMux()
 
+	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		serveProtocol(m, w, r)
+	})
+
 	mux.HandleFunc("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(m.DatasetInfos())
 	})
 
@@ -110,7 +187,7 @@ func Handler(m *Mediator) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(rewriteResponse{
 			Query:          rr.Query,
 			Target:         rr.Target,
@@ -118,111 +195,6 @@ func Handler(m *Mediator) http.Handler {
 			Warnings:       rr.Report.Warnings,
 			FreshVars:      rr.Report.FreshVars,
 		})
-	})
-
-	// /api/query streams: the response JSON keeps the queryResponse shape
-	// (an object with vars/plan/rows/duplicates/partial/perDataset keys),
-	// but rows are written and flushed as endpoints deliver solutions —
-	// the first row is on the wire before the slowest endpoint answers —
-	// and the summary keys follow the rows. Closing the connection
-	// cancels every in-flight endpoint sub-query via the request context.
-	mux.HandleFunc("/api/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		var req queryRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		qs, err := m.Query(r.Context(), QueryRequest{
-			Query: req.Query, SourceOnt: req.Source,
-			Targets: req.Targets, Limit: req.Limit,
-		})
-		if err != nil {
-			// The request itself was bad: parse error, non-SELECT, no
-			// relevant data set. Upstream failures past this point arrive
-			// mid-stream and are reported in the trailing "error" key.
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		defer qs.Close()
-		if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
-			serveNDJSON(w, qs)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		flusher, _ := w.(http.Flusher)
-		writeJSON := func(v any) bool {
-			data, err := json.Marshal(v)
-			if err != nil {
-				return false
-			}
-			_, werr := w.Write(data)
-			return werr == nil
-		}
-		_, _ = io.WriteString(w, `{"vars":`)
-		writeJSON(qs.Vars())
-		if pl := qs.Plan(); pl != nil {
-			_, _ = io.WriteString(w, `,"plan":`)
-			writeJSON(pl)
-		}
-		if dcm := qs.Decomposition(); dcm != nil {
-			_, _ = io.WriteString(w, `,"decomposition":`)
-			writeJSON(dcm)
-		}
-		_, _ = io.WriteString(w, `,"rows":[`)
-		var streamErr error
-		n := 0
-		for sol, err := range qs.Solutions() {
-			if err != nil {
-				streamErr = err
-				break
-			}
-			row := make(map[string]string, len(sol))
-			for k, v := range sol {
-				row[k] = v.String()
-			}
-			if n > 0 {
-				_, _ = io.WriteString(w, ",")
-			}
-			if !writeJSON(row) {
-				return // client gone; qs.Close cancels upstream
-			}
-			n++
-			if flusher != nil && (n == 1 || n%endpoint.FlushEvery == 0) {
-				flusher.Flush()
-			}
-		}
-		_, _ = io.WriteString(w, "]")
-		fr, sumErr := qs.Summary()
-		if streamErr == nil {
-			streamErr = sumErr
-		}
-		_, _ = io.WriteString(w, `,"duplicates":`)
-		writeJSON(fr.Duplicates)
-		if fr.Partial {
-			_, _ = io.WriteString(w, `,"partial":true`)
-		}
-		perDataset := make([]perDatasetJSON, 0, len(fr.PerDataset))
-		for _, da := range fr.PerDataset {
-			pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
-				Shard: da.Shard, Shards: da.Shards,
-				Attempts:  da.Attempts,
-				LatencyMS: float64(da.Latency.Microseconds()) / 1000}
-			if da.Err != nil {
-				pj.Error = da.Err.Error()
-			}
-			perDataset = append(perDataset, pj)
-		}
-		_, _ = io.WriteString(w, `,"perDataset":`)
-		writeJSON(perDataset)
-		if streamErr != nil {
-			_, _ = io.WriteString(w, `,"error":`)
-			writeJSON(streamErr.Error())
-		}
-		_, _ = io.WriteString(w, "}")
 	})
 
 	// /api/plan explains a federated query without running it: the
@@ -234,7 +206,7 @@ func Handler(m *Mediator) http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
 		}
-		var req queryRequest
+		var req planRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 			return
@@ -252,22 +224,13 @@ func Handler(m *Mediator) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(ex)
 	})
 
 	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		resp := statsResponse{Stats: m.FederationStats()}
-		if m.Planner != nil {
-			ps := m.PlannerStats()
-			resp.Planner = &ps
-		}
-		if m.Decomposer != nil {
-			ds := m.DecomposerStats()
-			resp.Decompose = &ds
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(resp)
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(m.Stats())
 	})
 
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -282,17 +245,209 @@ func Handler(m *Mediator) http.Handler {
 	return mux
 }
 
+// serveProtocol implements the W3C SPARQL 1.1 Protocol query operation:
+//
+//	GET  /sparql?query=...
+//	POST /sparql  application/x-www-form-urlencoded   query=...
+//	POST /sparql  application/sparql-query            <body is the query>
+//
+// Content negotiation on Accept selects the response serialisation:
+// SELECT/ASK results serve SPARQL-results-JSON (default), NDJSON (one
+// binding object per line) or Server-Sent Events (one binding per event,
+// terminal summary/error event); CONSTRUCT/DESCRIBE graphs serve
+// N-Triples (default) or Turtle, both streamed triple by triple. An
+// unservable Accept yields 406 and a malformed query 400, each with a
+// JSON error document. Closing the connection mid-stream cancels every
+// in-flight upstream sub-query.
+//
+// Two protocol extensions carry the mediator-specific inputs: repeated
+// `target` parameters name explicit data sets (default: the voiD-driven
+// planner selects them) and `source` names the source ontology (default:
+// guessed from the query's vocabulary).
+func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
+	var queryText, source string
+	var targets []string
+	limit := 0
+	readOpts := func(get func(string) string, all func(string) []string) {
+		source = get("source")
+		targets = all("target")
+		if n, err := strconv.Atoi(get("limit")); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		queryText = q.Get("query")
+		readOpts(q.Get, func(k string) []string { return q[k] })
+	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, endpoint.DefaultMaxRequestBody)
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				protocolError(w, http.StatusBadRequest, "cannot read body: "+err.Error())
+				return
+			}
+			queryText = string(body)
+			q := r.URL.Query()
+			readOpts(q.Get, func(k string) []string { return q[k] })
+		} else {
+			if err := r.ParseForm(); err != nil {
+				protocolError(w, http.StatusBadRequest, "cannot parse form: "+err.Error())
+				return
+			}
+			queryText = r.Form.Get("query")
+			readOpts(r.Form.Get, func(k string) []string { return r.Form[k] })
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		protocolError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	if strings.TrimSpace(queryText) == "" {
+		protocolError(w, http.StatusBadRequest, "missing query parameter")
+		return
+	}
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		protocolError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	offered := bindingsOffered
+	if q.Form == sparql.Construct || q.Form == sparql.Describe {
+		offered = graphOffered
+	}
+	ctype, ok := negotiate(r.Header.Get("Accept"), offered)
+	if !ok {
+		protocolError(w, http.StatusNotAcceptable,
+			"no acceptable representation for "+q.Form.String()+" results; offered: "+strings.Join(offered, ", "))
+		return
+	}
+
+	res, err := m.queryParsed(r.Context(), QueryRequest{
+		Query: queryText, SourceOnt: source, Targets: targets, Limit: limit,
+	}, q)
+	if err != nil {
+		// The request itself was bad: unsupported form, no relevant data
+		// set, fail-fast abort before any result. Upstream failures past
+		// this point arrive mid-stream.
+		protocolError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer res.Close()
+
+	switch res.Form() {
+	case sparql.Select:
+		serveBindings(w, res.Bindings(), ctype)
+	case sparql.Ask:
+		serveBoolean(w, res, ctype)
+	default:
+		serveGraph(w, res.Graph(), ctype)
+	}
+}
+
+// flushEvery adapts an http.Flusher into the "flush the first item
+// immediately, then batch" policy shared with the endpoints.
+func flushEvery(w http.ResponseWriter) func() {
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	return func() {
+		n++
+		if flusher != nil && (n == 1 || n%endpoint.FlushEvery == 0) {
+			flusher.Flush()
+		}
+	}
+}
+
+// serveBindings streams a SELECT result in the negotiated serialisation.
+func serveBindings(w http.ResponseWriter, qs *QueryStream, ctype string) {
+	switch ctype {
+	case ctNDJSON:
+		serveNDJSON(w, qs)
+	case ctSSE:
+		serveSSE(w, qs)
+	default: // SRJ (and its application/json alias)
+		w.Header().Set("Content-Type", ctype)
+		// A mid-stream failure can no longer change the status line;
+		// aborting leaves truncated JSON, which streaming clients report.
+		_ = srjson.EncodeSelectStream(w, qs.Vars(), qs.Solutions(), flushEvery(w))
+	}
+}
+
+// serveBoolean writes an ASK result.
+func serveBoolean(w http.ResponseWriter, res *Result, ctype string) {
+	switch ctype {
+	case ctNDJSON:
+		w.Header().Set("Content-Type", ctNDJSON)
+		line, _ := json.Marshal(map[string]bool{"boolean": res.Bool()})
+		_, _ = w.Write(append(line, '\n'))
+	case ctSSE:
+		sse := newSSEWriter(w)
+		_ = sse.event("boolean", map[string]bool{"boolean": res.Bool()})
+		fr, err := res.Summary()
+		writeSSESummary(sse, fr, err)
+	default:
+		data, err := srjson.EncodeAsk(res.Bool())
+		if err != nil {
+			protocolError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		_, _ = w.Write(data)
+	}
+}
+
+// serveGraph streams a CONSTRUCT/DESCRIBE triple stream as N-Triples or
+// Turtle, one triple per line, flushed incrementally. A failure
+// mid-stream terminates the document with a comment line (legal in both
+// syntaxes), since the status line is long gone.
+func serveGraph(w http.ResponseWriter, gs *GraphStream, ctype string) {
+	w.Header().Set("Content-Type", ctype)
+	flush := flushEvery(w)
+	var write func(t rdf.Triple) error
+	if ctype == ctTurtle {
+		sw := turtle.NewStreamWriter(w, gs.Prefixes())
+		write = sw.WriteTriple
+	} else {
+		write = func(t rdf.Triple) error {
+			_, err := io.WriteString(w, ntriples.FormatTriple(t)+"\n")
+			return err
+		}
+	}
+	var streamErr error
+	for t, err := range gs.Triples() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if werr := write(t); werr != nil {
+			return // client gone; the deferred Close cancels upstream
+		}
+		flush()
+	}
+	if streamErr == nil {
+		_, streamErr = gs.Summary()
+	}
+	if streamErr != nil {
+		_, _ = io.WriteString(w, "# error: "+strings.ReplaceAll(streamErr.Error(), "\n", " ")+"\n")
+	}
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+}
+
 // serveNDJSON streams a query's solutions as NDJSON: one W3C-style
 // binding object per line (variables as keys, terms as
 // {type,value,...} objects), flushed incrementally for browser and CLI
-// consumers — `curl -H 'Accept: application/x-ndjson' ... | jq` works
+// consumers — `curl -N -H 'Accept: application/x-ndjson' ... | jq` works
 // line by line. The stream carries solutions only; a failure mid-stream
 // terminates it with a final {"error": "..."} line (distinguishable from
 // a binding, whose values are objects). Consumers wanting the
-// per-dataset summary use the default JSON shape instead.
+// per-dataset summary use the SSE serialisation instead.
 func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", ctNDJSON)
+	flush := flushEvery(w)
 	writeLine := func(data []byte) bool {
 		if _, err := w.Write(data); err != nil {
 			return false
@@ -300,7 +455,6 @@ func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
 		_, err := io.WriteString(w, "\n")
 		return err == nil
 	}
-	n := 0
 	var streamErr error
 	for sol, err := range qs.Solutions() {
 		if err != nil {
@@ -315,10 +469,7 @@ func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
 		if !writeLine(line) {
 			return // client gone; the deferred Close cancels upstream
 		}
-		n++
-		if flusher != nil && (n == 1 || n%endpoint.FlushEvery == 0) {
-			flusher.Flush()
-		}
+		flush()
 	}
 	if streamErr == nil {
 		// A fan-out failure can also surface only in the summary.
@@ -329,9 +480,91 @@ func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
 			writeLine(line)
 		}
 	}
-	if flusher != nil {
+	if flusher, ok := w.(http.Flusher); ok {
 		flusher.Flush()
 	}
+}
+
+// sseWriter emits Server-Sent Events, flushing each event so consumers
+// see bindings the moment endpoints deliver them.
+type sseWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	w.Header().Set("Content-Type", ctSSE)
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	return &sseWriter{w: w, flusher: flusher}
+}
+
+func (s *sseWriter) event(name string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(s.w, "event: "+name+"\ndata: "+string(data)+"\n\n"); err != nil {
+		return err
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return nil
+}
+
+// sseSummary is the terminal summary event's payload.
+type sseSummary struct {
+	Solutions  int              `json:"solutions"`
+	Duplicates int              `json:"duplicates"`
+	Partial    bool             `json:"partial,omitempty"`
+	PerDataset []perDatasetJSON `json:"perDataset"`
+}
+
+func writeSSESummary(sse *sseWriter, fr *FederatedResult, err error) {
+	if err != nil {
+		_ = sse.event("error", map[string]string{"error": err.Error()})
+		return
+	}
+	sum := sseSummary{Duplicates: fr.Duplicates, Partial: fr.Partial,
+		PerDataset: perDatasetView(fr)}
+	for _, da := range fr.PerDataset {
+		sum.Solutions += da.Solutions
+	}
+	_ = sse.event("summary", sum)
+}
+
+// serveSSE streams a SELECT over Server-Sent Events: one `binding` event
+// per solution (the W3C binding-object shape NDJSON uses), then a
+// terminal `summary` event with the per-dataset outcomes — or an `error`
+// event when the fan-out aborted. Closing the EventSource cancels the
+// upstream sub-queries.
+func serveSSE(w http.ResponseWriter, qs *QueryStream) {
+	sse := newSSEWriter(w)
+	var streamErr error
+	for sol, err := range qs.Solutions() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		line, err := srjson.Binding(qs.Vars(), sol)
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if err := sse.event("binding", json.RawMessage(line)); err != nil {
+			return // client gone; the deferred Close cancels upstream
+		}
+	}
+	fr, sumErr := qs.Summary()
+	if streamErr == nil {
+		streamErr = sumErr
+	}
+	if streamErr != nil {
+		_ = sse.event("error", map[string]string{"error": streamErr.Error()})
+		return
+	}
+	writeSSESummary(sse, fr, nil)
 }
 
 // uiTemplate is the Figure-4 stand-in: source query on top, data set
@@ -373,9 +606,12 @@ async function rewrite() {
   } catch (e) { document.getElementById('dst').value = text; }
 }
 async function runQuery() {
-  const res = await fetch('/api/query', {method: 'POST',
-    body: JSON.stringify({query: document.getElementById('src').value,
-                          targets: [document.getElementById('target').value]})});
+  const params = new URLSearchParams();
+  params.set('query', document.getElementById('src').value);
+  params.append('target', document.getElementById('target').value);
+  const res = await fetch('/sparql', {method: 'POST',
+    headers: {'Content-Type': 'application/x-www-form-urlencoded'},
+    body: params.toString()});
   document.getElementById('dst').value = await res.text();
 }
 </script>

@@ -6,9 +6,9 @@
 package mediate
 
 import (
-	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"sparqlrw/internal/align"
@@ -31,33 +31,40 @@ type Mediator struct {
 	Coref      funcs.CorefSource
 	Client     *endpoint.Client
 	// Exec owns federated execution: concurrent fan-out, retries,
-	// circuit breaking and the rewrite-plan cache. Reconfigure it with
-	// ConfigureFederation.
+	// circuit breaking and the rewrite-plan cache. Rebuilt by Configure.
 	Exec *federate.Executor
 	// Planner performs voiD-driven source selection, VALUES sharding and
 	// adaptive ordering for federated queries with no explicit targets.
-	// Reconfigure it with ConfigurePlanner; set nil to disable planning.
+	// Rebuilt by Configure; nil when planning is disabled (WithoutPlanner).
 	Planner *plan.Planner
 	// Decomposer splits a query's BGP into per-endpoint exclusive groups
 	// when no single data set covers it, and JoinEngine executes the
-	// fragments as cardinality-ordered streaming bound joins. Reconfigure
-	// with ConfigureDecomposer; set Decomposer nil to disable the
-	// multi-source path.
+	// fragments as cardinality-ordered streaming bound joins. Rebuilt by
+	// Configure; nil when the multi-source path is disabled
+	// (WithoutDecomposer).
 	Decomposer *decompose.Decomposer
 	JoinEngine *decompose.Engine
-	// RewriteFilters turns on the §4 FILTER extension for all rewrites.
-	// Flip it before issuing federated queries, or call
-	// ConfigureFederation afterwards so the rewrite-plan cache does not
-	// serve plans produced under the old setting.
+	// RewriteFilters mirrors Config.RewriteFilters (the §4 FILTER
+	// extension); set it via Configure(WithRewriteFilters(...)) so the
+	// rewrite-plan cache cannot serve plans produced under the old
+	// setting.
 	RewriteFilters bool
+
+	cfg Config
+
+	// statsMu guards the per-form query counters.
+	statsMu sync.Mutex
+	forms   FormStats
 
 	// unsubscribe detaches the KB cache-invalidation hooks (see Close).
 	unsubscribe []func()
 }
 
-// New builds a mediator. corefSrc may be a local coref.Store or a
-// coref.Client pointing at a remote service.
-func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) *Mediator {
+// New builds a mediator over the knowledge bases, configured by the given
+// options (zero options select the defaults: federation, planning and
+// decomposition all enabled with their package defaults). corefSrc may be
+// a local coref.Store or a coref.Client pointing at a remote service.
+func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, opts ...Option) *Mediator {
 	m := &Mediator{
 		Datasets:   datasets,
 		Alignments: alignments,
@@ -65,12 +72,10 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource) 
 		Coref:      corefSrc,
 		Client:     endpoint.NewClient(),
 	}
-	m.ConfigureFederation(federate.Options{})
-	m.ConfigurePlanner(plan.Options{})
-	m.ConfigureDecomposer(decompose.Options{})
+	m.Configure(opts...)
 	// Rewrite-plan cache invalidation hooks: a changed voiD entry drops
 	// that data set's cached plans, a changed alignment KB flushes them
-	// all — no wholesale ConfigureFederation rebuild needed.
+	// all — no wholesale executor rebuild needed.
 	m.unsubscribe = []func(){
 		datasets.Subscribe(func(uri string) { m.Exec.InvalidateDataset(uri) }),
 		alignments.Subscribe(func() { m.Exec.FlushPlans() }),
@@ -89,43 +94,66 @@ func (m *Mediator) Close() {
 	m.unsubscribe = nil
 }
 
-// ConfigurePlanner rebuilds the federation planner with the given options
-// (zero-value fields take the plan defaults), feeding it the executor's
-// live per-endpoint health for adaptive ordering. The decomposer follows
-// the new planner (it runs the planner's per-pattern source selection).
-func (m *Mediator) ConfigurePlanner(opts plan.Options) {
-	m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, opts)
-	if m.Decomposer != nil {
-		m.Decomposer = decompose.New(m.Planner, m.Decomposer.Options())
-	}
-}
-
-// ConfigureDecomposer rebuilds the per-BGP decomposer and its streaming
-// join engine with the given options (zero-value fields take the
-// decompose defaults).
-func (m *Mediator) ConfigureDecomposer(opts decompose.Options) {
-	m.Decomposer = decompose.New(m.Planner, opts)
-	m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, opts)
-}
-
-// DecomposeStats bundles the decomposer's and join engine's counters for
-// /api/stats.
+// DecomposeStats bundles the decomposer's and join engine's counters.
 type DecomposeStats struct {
 	decompose.Stats
 	Engine decompose.EngineStats `json:"engine"`
 }
 
-// DecomposerStats snapshots the decompose-layer counters (zero value
-// when the multi-source path is disabled).
-func (m *Mediator) DecomposerStats() DecomposeStats {
-	var st DecomposeStats
+// FormStats counts executed queries by form.
+type FormStats struct {
+	Select    uint64 `json:"select"`
+	Ask       uint64 `json:"ask"`
+	Construct uint64 `json:"construct"`
+	Describe  uint64 `json:"describe"`
+}
+
+// Stats is the mediator's one observability snapshot, replacing the old
+// per-subsystem getters: the executor's per-endpoint and cache counters,
+// the planner's pruning/sharding counters (nil when planning is
+// disabled), the decompose-layer counters (nil when the multi-source path
+// is disabled), and per-form query counts.
+type Stats struct {
+	Federation federate.Stats  `json:"federation"`
+	Planner    *plan.Stats     `json:"planner,omitempty"`
+	Decompose  *DecomposeStats `json:"decompose,omitempty"`
+	Queries    FormStats       `json:"queries"`
+}
+
+// Stats returns a snapshot of every layer's counters.
+func (m *Mediator) Stats() Stats {
+	st := Stats{Federation: m.Exec.Stats()}
+	if m.Planner != nil {
+		ps := m.Planner.Stats()
+		st.Planner = &ps
+	}
 	if m.Decomposer != nil {
-		st.Stats = m.Decomposer.Stats()
+		ds := DecomposeStats{Stats: m.Decomposer.Stats()}
+		if m.JoinEngine != nil {
+			ds.Engine = m.JoinEngine.Stats()
+		}
+		st.Decompose = &ds
 	}
-	if m.JoinEngine != nil {
-		st.Engine = m.JoinEngine.Stats()
-	}
+	m.statsMu.Lock()
+	st.Queries = m.forms
+	m.statsMu.Unlock()
 	return st
+}
+
+// countForm bumps the per-form query counter.
+func (m *Mediator) countForm(f sparql.Form) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	switch f {
+	case sparql.Select:
+		m.forms.Select++
+	case sparql.Ask:
+		m.forms.Ask++
+	case sparql.Construct:
+		m.forms.Construct++
+	case sparql.Describe:
+		m.forms.Describe++
+	}
 }
 
 // endpointHealth adapts the executor's stats into the planner's view.
@@ -174,39 +202,6 @@ func (m *Mediator) ExplainQuery(queryText, sourceOnt string) (*QueryExplanation,
 		}
 	}
 	return ex, nil
-}
-
-// PlannerStats snapshots the planner's counters (zero value when
-// planning is disabled).
-func (m *Mediator) PlannerStats() plan.Stats {
-	if m.Planner == nil {
-		return plan.Stats{}
-	}
-	return m.Planner.Stats()
-}
-
-// ConfigureFederation rebuilds the federation executor with the given
-// options (zero-value fields take the federate defaults). It resets the
-// executor's breakers, counters and plan cache; the join engine follows
-// the new executor.
-func (m *Mediator) ConfigureFederation(opts federate.Options) {
-	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
-		rr, err := m.Rewrite(queryText, sourceOnt, dataset)
-		if err != nil {
-			return "", err
-		}
-		return rr.Query, nil
-	}
-	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, opts)
-	if m.JoinEngine != nil {
-		m.JoinEngine.SetDispatcher(m.Exec)
-	}
-}
-
-// FederationStats snapshots the executor's per-endpoint and cache
-// counters for the /api/stats endpoint.
-func (m *Mediator) FederationStats() federate.Stats {
-	return m.Exec.Stats()
 }
 
 // RewriteResult is the outcome of a single rewrite.
@@ -266,51 +261,6 @@ type DatasetAnswer = federate.DatasetAnswer
 // FederatedResult merges the answers of all targeted data sets.
 type FederatedResult = federate.Result
 
-// FederatedSelect runs FederatedSelectContext without a deadline.
-//
-// Deprecated: use Query, which streams solutions instead of buffering
-// the whole merged result and takes its options as a struct.
-func (m *Mediator) FederatedSelect(queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
-	return m.FederatedSelectContext(context.Background(), queryText, sourceOnt, targets)
-}
-
-// FederatedSelectContext answers the paper's recall scenario: "it is
-// important to query all the available repositories in order to increase
-// the recall". The query (written against sourceOnt) runs on every named
-// data set — rewritten when the data set's vocabulary differs — and
-// results are merged with owl:sameAs canonicalisation so redundant URIs
-// collapse. When targets is empty the planner selects them.
-//
-// Deprecated: use Query. This wrapper drains Query's stream into a
-// materialised FederatedResult, giving up the first-solution latency the
-// streaming path exists for.
-func (m *Mediator) FederatedSelectContext(ctx context.Context, queryText, sourceOnt string, targets []string) (*FederatedResult, error) {
-	if len(targets) == 0 {
-		res, _, err := m.FederatedSelectPlanned(ctx, queryText, sourceOnt)
-		return res, err
-	}
-	qs, err := m.Query(ctx, QueryRequest{Query: queryText, SourceOnt: sourceOnt, Targets: targets})
-	if err != nil {
-		return nil, err
-	}
-	return qs.drain()
-}
-
-// FederatedSelectPlanned plans and executes a federated query with
-// auto-selected targets, returning the plan alongside the merged result
-// so callers can surface the decisions taken.
-//
-// Deprecated: use Query with empty Targets; the plan is available on the
-// stream (QueryStream.Plan). This wrapper drains the stream.
-func (m *Mediator) FederatedSelectPlanned(ctx context.Context, queryText, sourceOnt string) (*FederatedResult, *plan.Plan, error) {
-	qs, pl, err := m.queryStream(ctx, QueryRequest{Query: queryText, SourceOnt: sourceOnt})
-	if err != nil {
-		return nil, pl, err
-	}
-	res, err := qs.drain()
-	return res, pl, err
-}
-
 // DatasetInfo summarises one data set for the REST API.
 type DatasetInfo struct {
 	URI          string   `json:"uri"`
@@ -334,28 +284,40 @@ func (m *Mediator) DatasetInfos() []DatasetInfo {
 
 // GuessSourceOntology inspects a query's vocabulary and returns the first
 // registered data set vocabulary it uses; a convenience for the UI where
-// the paper's users only pick the target data set.
+// the paper's users only pick the target data set. CONSTRUCT/DESCRIBE
+// template triples count too: an integration CONSTRUCT may mention the
+// source vocabulary only in its template.
 func (m *Mediator) GuessSourceOntology(queryText string) (string, error) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return "", err
 	}
+	return m.guessSourceOntology(q)
+}
+
+func (m *Mediator) guessSourceOntology(q *sparql.Query) (string, error) {
 	counts := map[string]int{}
-	for _, b := range q.BGPs() {
-		for _, t := range b.Patterns {
-			for _, x := range []rdf.Term{t.P, t.O} {
-				if !x.IsIRI() {
-					continue
-				}
-				for _, d := range m.Datasets.All() {
-					for _, ns := range d.Vocabularies {
-						if strings.HasPrefix(x.Value, ns) {
-							counts[ns]++
-						}
+	note := func(terms ...rdf.Term) {
+		for _, x := range terms {
+			if !x.IsIRI() {
+				continue
+			}
+			for _, d := range m.Datasets.All() {
+				for _, ns := range d.Vocabularies {
+					if strings.HasPrefix(x.Value, ns) {
+						counts[ns]++
 					}
 				}
 			}
 		}
+	}
+	for _, b := range q.BGPs() {
+		for _, t := range b.Patterns {
+			note(t.P, t.O)
+		}
+	}
+	for _, t := range q.Template {
+		note(t.P, t.O)
 	}
 	best, bestN := "", 0
 	for ns, n := range counts {

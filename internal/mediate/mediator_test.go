@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -15,6 +17,8 @@ import (
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
 )
@@ -60,13 +64,24 @@ func newStack(t testing.TB) *testStack {
 		t.Fatal(err)
 	}
 
-	m := New(dsKB, alignKB, u.Coref)
 	// Without the §4 FILTER extension the Figure-1 query's self-exclusion
 	// FILTER keeps its Southampton URI and silently stops excluding the
 	// person on KISTI (the paper's Figure-6 limitation; pinned by
 	// TestPaperModeFilterLimitation below).
-	m.RewriteFilters = true
+	m := New(dsKB, alignKB, u.Coref, WithRewriteFilters(true))
 	return &testStack{u: u, mediator: m}
+}
+
+// federatedSelect drains one federated SELECT into the buffered result
+// shape most assertions consume.
+func federatedSelect(m *Mediator, query, sourceOnt string, targets []string) (*FederatedResult, error) {
+	res, err := m.Query(context.Background(), QueryRequest{
+		Query: query, SourceOnt: sourceOnt, Targets: targets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bindings().Collect()
 }
 
 // TestPaperModeFilterLimitation pins the §4 limitation end to end: with
@@ -74,7 +89,7 @@ func newStack(t testing.TB) *testStack {
 // excluding the person themselves, inflating the federated answer by one.
 func TestPaperModeFilterLimitation(t *testing.T) {
 	s := newStack(t)
-	s.mediator.RewriteFilters = false
+	s.mediator.Configure(WithRewriteFilters(false))
 	person := -1
 	for i := 0; i < s.u.Cfg.Persons; i++ {
 		if len(s.u.CoAuthorsIn(i, "kisti")) > 0 {
@@ -85,7 +100,7 @@ func TestPaperModeFilterLimitation(t *testing.T) {
 	if person < 0 {
 		t.Skip("no person present in KISTI")
 	}
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(person), rdf.AKTNS,
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(person), rdf.AKTNS,
 		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 	if err != nil {
 		t.Fatal(err)
@@ -144,11 +159,11 @@ func TestE6_FederatedRecall(t *testing.T) {
 	}
 	q := workload.Figure1Query(person)
 
-	sourceOnly, err := s.mediator.FederatedSelect(q, rdf.AKTNS, []string{workload.SotonVoidURI})
+	sourceOnly, err := federatedSelect(s.mediator, q, rdf.AKTNS, []string{workload.SotonVoidURI})
 	if err != nil {
 		t.Fatal(err)
 	}
-	federated, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+	federated, err := federatedSelect(s.mediator, q, rdf.AKTNS,
 		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 	if err != nil {
 		t.Fatal(err)
@@ -173,17 +188,190 @@ func TestE6_FederatedRecall(t *testing.T) {
 	}
 }
 
-func TestFederatedSelectOnlySelect(t *testing.T) {
+// TestQueryFormDispatch pins the tagged union: each form fills exactly
+// its own payload.
+func TestQueryFormDispatch(t *testing.T) {
 	s := newStack(t)
-	if _, err := s.mediator.FederatedSelect(`ASK { ?s ?p ?o }`, rdf.AKTNS,
-		[]string{workload.SotonVoidURI}); err == nil {
-		t.Fatal("ASK must be rejected")
+	ctx := context.Background()
+
+	sel, err := s.mediator.Query(ctx, QueryRequest{
+		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS,
+		Targets: []string{workload.SotonVoidURI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	if sel.Form() != sparql.Select || sel.Bindings() == nil || sel.Graph() != nil {
+		t.Fatalf("SELECT result mis-tagged: form=%s", sel.Form())
+	}
+
+	ask, err := s.mediator.Query(ctx, QueryRequest{
+		Query: `ASK { ?s ?p ?o }`, SourceOnt: rdf.AKTNS,
+		Targets: []string{workload.SotonVoidURI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ask.Close()
+	if ask.Form() != sparql.Ask || ask.Bindings() != nil || ask.Graph() != nil {
+		t.Fatalf("ASK result mis-tagged: form=%s", ask.Form())
+	}
+	if !ask.Bool() {
+		t.Fatal("ASK over a non-empty repository must be true")
+	}
+	if sum, err := ask.Summary(); err != nil || len(sum.PerDataset) != 1 {
+		t.Fatalf("ASK summary = %+v, %v", sum, err)
+	}
+
+	askFalse, err := s.mediator.Query(ctx, QueryRequest{
+		Query:     `ASK { ?s <http://www.aktors.org/ontology/portal#no-such-predicate> ?o }`,
+		SourceOnt: rdf.AKTNS, Targets: []string{workload.SotonVoidURI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer askFalse.Close()
+	if askFalse.Bool() {
+		t.Fatal("ASK for an absent predicate must be false")
+	}
+
+	st := s.mediator.Stats()
+	if st.Queries.Select != 1 || st.Queries.Ask != 2 {
+		t.Fatalf("per-form counters = %+v", st.Queries)
+	}
+}
+
+// TestQueryConstructFederated: a CONSTRUCT whose WHERE spans two
+// repositories (Southampton + KISTI, translated) streams the template
+// instantiation over the merged federated solutions.
+func TestQueryConstructFederated(t *testing.T) {
+	s := newStack(t)
+	person := workload.SotonPerson(0).Value
+	query := `PREFIX akt:<` + rdf.AKTNS + `>
+PREFIX foaf:<http://xmlns.com/foaf/0.1/>
+CONSTRUCT { <` + person + `> foaf:knows ?a }
+WHERE {
+  ?paper akt:has-author <` + person + `> .
+  ?paper akt:has-author ?a .
+}`
+	res, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: query, SourceOnt: rdf.AKTNS,
+		Targets: []string{workload.SotonVoidURI, workload.KistiVoidURI},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Form() != sparql.Construct || res.Graph() == nil {
+		t.Fatalf("CONSTRUCT result mis-tagged: form=%s", res.Form())
+	}
+	g, err := res.Graph().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := s.u.CoAuthors(0)
+	// The person authors their own papers, so ?a includes the person:
+	// co-authors + self.
+	if len(g) != len(truth)+1 {
+		t.Fatalf("constructed %d triples, want %d co-authors + self", len(g), len(truth)+1)
+	}
+	// Both the template constant and the bindings are canonicalised to the
+	// lexicographically-smallest owl:sameAs alias (the merge's
+	// representative rule), so sameAs-equivalent facts from the two
+	// repositories collapse.
+	rep := person
+	for _, eq := range s.u.Coref.Equivalents(person) {
+		if eq < rep {
+			rep = eq
+		}
+	}
+	for _, tr := range g {
+		if tr.S.Value != rep || tr.P.Value != "http://xmlns.com/foaf/0.1/knows" {
+			t.Fatalf("unexpected triple %s (want subject <%s>)", tr, rep)
+		}
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PerDataset) != 2 {
+		t.Fatalf("summary = %+v", sum.PerDataset)
+	}
+	// Redundant repositories produce sameAs-equivalent facts; the triple
+	// merge must have deduplicated rather than double-counted.
+	seen := map[string]bool{}
+	for _, tr := range g {
+		if seen[tr.String()] {
+			t.Fatalf("duplicate triple %s", tr)
+		}
+		seen[tr.String()] = true
+	}
+}
+
+// TestQueryDescribeFederated: DESCRIBE with a ground IRI fetches the
+// resource's outgoing triples from the repositories whose URI space (or
+// sameAs alias space) covers it.
+func TestQueryDescribeFederated(t *testing.T) {
+	s := newStack(t)
+	person := workload.SotonPerson(0).Value
+	res, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: `DESCRIBE <` + person + `>`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Form() != sparql.Describe || res.Graph() == nil {
+		t.Fatalf("DESCRIBE result mis-tagged: form=%s", res.Form())
+	}
+	g, err := res.Graph().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) == 0 {
+		t.Fatal("DESCRIBE returned no triples")
+	}
+	// Every triple describes the requested resource (canonicalised: the
+	// merge maps sameAs aliases onto one representative).
+	for _, tr := range g {
+		if !tr.S.IsIRI() {
+			t.Fatalf("non-IRI subject %s", tr)
+		}
+	}
+
+	// DESCRIBE ?var WHERE resolves the variable through the federated
+	// pipeline first.
+	res2, err := s.mediator.Query(context.Background(), QueryRequest{
+		Query: `PREFIX akt:<` + rdf.AKTNS + `>
+DESCRIBE ?paper WHERE { ?paper akt:has-author <` + person + `> }`,
+		SourceOnt: rdf.AKTNS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Close()
+	g2, err := res2.Graph().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2) == 0 {
+		t.Fatal("DESCRIBE ?paper returned no triples")
+	}
+	sum, err := res2.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 (resource resolution) answers precede the description
+	// fetches in the combined summary.
+	if len(sum.PerDataset) < 2 {
+		t.Fatalf("combined summary too small: %+v", sum.PerDataset)
 	}
 }
 
 func TestFederatedUnknownDatasetReported(t *testing.T) {
 	s := newStack(t)
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS,
 		[]string{workload.SotonVoidURI, "http://nope/void"})
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +390,7 @@ func TestFederatedUnknownDatasetReported(t *testing.T) {
 	}
 	// PerDataset stays in input-target order even when an unknown data
 	// set precedes a known one.
-	fr2, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+	fr2, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS,
 		[]string{"http://nope/void", workload.SotonVoidURI})
 	if err != nil {
 		t.Fatal(err)
@@ -232,7 +420,7 @@ func TestFederatedSurvivesEndpointFailure(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS,
 		[]string{workload.SotonVoidURI, "http://broken.example/void"})
 	if err != nil {
 		t.Fatal(err)
@@ -276,12 +464,12 @@ func TestFederatedHangingEndpointTimesOut(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	s.mediator.ConfigureFederation(federate.Options{
+	s.mediator.Configure(WithFederation(federate.Options{
 		EndpointTimeout: 100 * time.Millisecond,
 		MaxRetries:      -1,
-	})
+	}))
 	start := time.Now()
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS,
 		[]string{workload.SotonVoidURI, "http://hang.example/void"})
 	if err != nil {
 		t.Fatal(err)
@@ -317,11 +505,11 @@ func TestFederatedPlanCacheReuse(t *testing.T) {
 	q := workload.Figure1Query(0)
 	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
 	for i := 0; i < 3; i++ {
-		if _, err := s.mediator.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+		if _, err := federatedSelect(s.mediator, q, rdf.AKTNS, targets); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st := s.mediator.FederationStats()
+	st := s.mediator.Stats().Federation
 	if st.CacheMisses != 1 || st.CacheHits != 2 {
 		t.Fatalf("cache hits/misses = %d/%d, want 2/1", st.CacheHits, st.CacheMisses)
 	}
@@ -343,6 +531,28 @@ func TestGuessSourceOntology(t *testing.T) {
 	}
 	if _, err := s.mediator.GuessSourceOntology(`SELECT ?s WHERE { ?s <http://unknown/p> ?o }`); err == nil {
 		t.Fatal("unknown vocabulary must error")
+	}
+}
+
+// TestGuessSourceOntologyScansTemplate is the regression test for the
+// CONSTRUCT/DESCRIBE fix: a query whose WHERE clause uses no registered
+// vocabulary can still be attributed through its template triples.
+func TestGuessSourceOntologyScansTemplate(t *testing.T) {
+	s := newStack(t)
+	got, err := s.mediator.GuessSourceOntology(`PREFIX akt:<` + rdf.AKTNS + `>
+CONSTRUCT { ?p akt:has-author ?a }
+WHERE { ?p <http://unknown.example/wrote> ?a }`)
+	if err != nil || got != rdf.AKTNS {
+		t.Fatalf("template guess = %q %v", got, err)
+	}
+	// Template votes accumulate with WHERE votes: a KISTI-dominated query
+	// with one AKT template triple still guesses KISTI.
+	got, err = s.mediator.GuessSourceOntology(`PREFIX akt:<` + rdf.AKTNS + `>
+PREFIX kisti:<` + rdf.KISTINS + `>
+CONSTRUCT { ?p akt:has-author ?a }
+WHERE { ?p kisti:hasCreatorInfo ?c . ?c kisti:hasCreator ?a }`)
+	if err != nil || got != rdf.KISTINS {
+		t.Fatalf("majority guess = %q %v", got, err)
 	}
 }
 
@@ -393,15 +603,15 @@ func TestHTTPAPIRewrite(t *testing.T) {
 	}
 }
 
-func TestHTTPAPIQueryFederated(t *testing.T) {
+func TestHTTPSparqlFederated(t *testing.T) {
 	s := newStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
-	body, _ := json.Marshal(queryRequest{
-		Query:   workload.Figure1Query(0),
-		Targets: []string{workload.SotonVoidURI, workload.KistiVoidURI},
-	})
-	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	form := url.Values{
+		"query":  {workload.Figure1Query(0)},
+		"target": {workload.SotonVoidURI, workload.KistiVoidURI},
+	}
+	resp, err := http.PostForm(srv.URL+"/sparql", form)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,15 +619,16 @@ func TestHTTPAPIQueryFederated(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var qr queryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		t.Fatal(err)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("Content-Type = %q", ct)
 	}
-	if len(qr.Rows) == 0 {
+	body, _ := io.ReadAll(resp.Body)
+	res, boolean, err := srjson.Decode(body)
+	if err != nil || boolean != nil {
+		t.Fatalf("decode: %v boolean=%v", err, boolean)
+	}
+	if len(res.Solutions) == 0 {
 		t.Fatal("no federated rows")
-	}
-	if len(qr.PerDataset) != 2 {
-		t.Fatalf("per-dataset = %v", qr.PerDataset)
 	}
 }
 
@@ -425,7 +636,7 @@ func TestHTTPAPIStats(t *testing.T) {
 	s := newStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
-	if _, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS,
+	if _, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS,
 		[]string{workload.SotonVoidURI, workload.KistiVoidURI}); err != nil {
 		t.Fatal(err)
 	}
@@ -434,17 +645,20 @@ func TestHTTPAPIStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st federate.Stats
+	var st Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if len(st.Endpoints) != 2 {
-		t.Fatalf("stats endpoints = %+v", st.Endpoints)
+	if len(st.Federation.Endpoints) != 2 {
+		t.Fatalf("stats endpoints = %+v", st.Federation.Endpoints)
 	}
-	for _, es := range st.Endpoints {
+	for _, es := range st.Federation.Endpoints {
 		if es.Requests == 0 || es.Breaker != "closed" {
 			t.Fatalf("endpoint stats = %+v", es)
 		}
+	}
+	if st.Queries.Select == 0 {
+		t.Fatalf("per-form counters missing: %+v", st.Queries)
 	}
 }
 
@@ -478,7 +692,7 @@ func TestHTTPAPIErrors(t *testing.T) {
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
 	// GET on POST-only endpoints
-	for _, path := range []string{"/api/rewrite", "/api/query"} {
+	for _, path := range []string{"/api/rewrite", "/api/plan"} {
 		resp, _ := http.Get(srv.URL + path)
 		if resp.StatusCode != 405 {
 			t.Fatalf("%s GET status = %d", path, resp.StatusCode)

@@ -3,8 +3,10 @@ package mediate
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/store"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
@@ -73,8 +76,7 @@ func plannedStack(t *testing.T) (*testStack, map[string]*atomic.Int64) {
 	if err := alignKB.Add(workload.ECS2DBpedia()); err != nil {
 		t.Fatal(err)
 	}
-	m := New(dsKB, alignKB, u.Coref)
-	m.RewriteFilters = true
+	m := New(dsKB, alignKB, u.Coref, WithRewriteFilters(true))
 	return &testStack{u: u, mediator: m}, hits
 }
 
@@ -83,7 +85,7 @@ func plannedStack(t *testing.T) (*testStack, map[string]*atomic.Int64) {
 // federated query with no explicit targets reaches exactly those two.
 func TestPlannedFederationDispatchesOnlyRelevant(t *testing.T) {
 	s, hits := plannedStack(t)
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil)
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +118,11 @@ func TestPlannedFederationDispatchesOnlyRelevant(t *testing.T) {
 func TestPlannedMatchesExplicitTargets(t *testing.T) {
 	s, _ := plannedStack(t)
 	q := workload.Figure1Query(1)
-	planned, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	planned, err := federatedSelect(s.mediator, q, rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	explicit, err := s.mediator.FederatedSelect(q, rdf.AKTNS,
+	explicit, err := federatedSelect(s.mediator, q, rdf.AKTNS,
 		[]string{workload.SotonVoidURI, workload.KistiVoidURI})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +136,7 @@ func TestPlannedMatchesExplicitTargets(t *testing.T) {
 func TestPlannedNoRelevantDatasets(t *testing.T) {
 	s, _ := plannedStack(t)
 	// A FOAF query reaches no registered data set.
-	_, err := s.mediator.FederatedSelect(
+	_, err := federatedSelect(s.mediator,
 		`SELECT ?n WHERE { ?x <http://xmlns.com/foaf/0.1/name> ?n }`,
 		rdf.FOAFNS, nil)
 	if err == nil || !strings.Contains(err.Error(), "relevant") {
@@ -146,7 +148,7 @@ func TestPlannedNoRelevantDatasets(t *testing.T) {
 // configured batch size and the shard answers recombine to the full set.
 func TestValuesShardedFederation(t *testing.T) {
 	s, _ := plannedStack(t)
-	s.mediator.ConfigurePlanner(plan.Options{ValuesBatch: 2})
+	s.mediator.Configure(WithPlanner(plan.Options{ValuesBatch: 2}))
 
 	var sb strings.Builder
 	sb.WriteString("PREFIX akt:<" + rdf.AKTNS + ">\nSELECT ?a WHERE {\n  VALUES ?paper {")
@@ -156,7 +158,7 @@ func TestValuesShardedFederation(t *testing.T) {
 	sb.WriteString(" }\n  ?paper akt:has-author ?a .\n}")
 	q := sb.String()
 
-	sharded, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	sharded, err := federatedSelect(s.mediator, q, rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +174,8 @@ func TestValuesShardedFederation(t *testing.T) {
 			t.Fatalf("shard count = %d, want 3", da.Shards)
 		}
 	}
-	s.mediator.ConfigurePlanner(plan.Options{ValuesBatch: -1})
-	unsharded, err := s.mediator.FederatedSelect(q, rdf.AKTNS, nil)
+	s.mediator.Configure(WithPlanner(plan.Options{ValuesBatch: -1}))
+	unsharded, err := federatedSelect(s.mediator, q, rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,13 +194,13 @@ func TestPlanCacheInvalidationHooks(t *testing.T) {
 	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
 	run := func() {
 		t.Helper()
-		if _, err := s.mediator.FederatedSelect(q, rdf.AKTNS, targets); err != nil {
+		if _, err := federatedSelect(s.mediator, q, rdf.AKTNS, targets); err != nil {
 			t.Fatal(err)
 		}
 	}
 	run()
 	run()
-	st := s.mediator.FederationStats()
+	st := s.mediator.Stats().Federation
 	if st.CacheMisses != 1 || st.CacheHits != 1 {
 		t.Fatalf("warm-up cache hits/misses = %d/%d", st.CacheHits, st.CacheMisses)
 	}
@@ -207,11 +209,11 @@ func TestPlanCacheInvalidationHooks(t *testing.T) {
 	if err := s.mediator.Alignments.Add(workload.ECS2DBpedia()); err != nil {
 		t.Fatal(err)
 	}
-	if n := s.mediator.FederationStats().CacheEntries; n != 0 {
+	if n := s.mediator.Stats().Federation.CacheEntries; n != 0 {
 		t.Fatalf("cache entries after alignment change = %d, want 0", n)
 	}
 	run()
-	if st := s.mediator.FederationStats(); st.CacheMisses != 2 {
+	if st := s.mediator.Stats().Federation; st.CacheMisses != 2 {
 		t.Fatalf("cache misses after alignment flush = %d, want 2", st.CacheMisses)
 	}
 
@@ -225,21 +227,22 @@ func TestPlanCacheInvalidationHooks(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if n := s.mediator.FederationStats().CacheEntries; n != 0 {
+	if n := s.mediator.Stats().Federation.CacheEntries; n != 0 {
 		t.Fatalf("cache entries after voiD change = %d, want 0", n)
 	}
 	run()
-	if st := s.mediator.FederationStats(); st.CacheMisses != 3 {
+	if st := s.mediator.Stats().Federation; st.CacheMisses != 3 {
 		t.Fatalf("cache misses after voiD invalidation = %d, want 3", st.CacheMisses)
 	}
 }
 
-func TestHTTPAPIQueryWithoutTargets(t *testing.T) {
+func TestHTTPSparqlWithoutTargets(t *testing.T) {
 	s, hits := plannedStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
-	body, _ := json.Marshal(queryRequest{Query: workload.Figure1Query(0)})
-	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
+	// The protocol endpoint with no target parameters goes through the
+	// planner; GET is the canonical protocol shape.
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(workload.Figure1Query(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,18 +250,19 @@ func TestHTTPAPIQueryWithoutTargets(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var qr queryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+	body, _ := io.ReadAll(resp.Body)
+	res, _, err := srjson.Decode(body)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(qr.Rows) == 0 || len(qr.PerDataset) != 2 {
-		t.Fatalf("rows=%d perDataset=%v", len(qr.Rows), qr.PerDataset)
-	}
-	if qr.Plan == nil || len(qr.Plan.Decisions) != 4 {
-		t.Fatalf("plan missing from response: %+v", qr.Plan)
+	if len(res.Solutions) == 0 {
+		t.Fatal("no planned rows over /sparql")
 	}
 	if hits[workload.DBPVoidURI].Load() != 0 {
 		t.Fatal("pruned endpoint was queried")
+	}
+	if hits[workload.SotonVoidURI].Load() == 0 || hits[workload.KistiVoidURI].Load() == 0 {
+		t.Fatal("relevant endpoints not dispatched")
 	}
 }
 
@@ -266,7 +270,7 @@ func TestHTTPAPIPlanExplain(t *testing.T) {
 	s, _ := plannedStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
-	body, _ := json.Marshal(queryRequest{Query: workload.Figure1Query(0)})
+	body, _ := json.Marshal(planRequest{Query: workload.Figure1Query(0)})
 	resp, err := http.Post(srv.URL+"/api/plan", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +310,7 @@ func TestHTTPAPIStatsIncludesPlanner(t *testing.T) {
 	s, _ := plannedStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
-	if _, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil); err != nil {
+	if _, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS, nil); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(srv.URL + "/api/stats")
@@ -314,14 +318,14 @@ func TestHTTPAPIStatsIncludesPlanner(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st statsResponse
+	var st Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	if st.Planner == nil || st.Planner.Plans != 1 || st.Planner.DatasetsPruned != 2 {
 		t.Fatalf("planner stats = %+v", st.Planner)
 	}
-	if len(st.Endpoints) != 2 {
-		t.Fatalf("endpoint stats = %+v", st.Endpoints)
+	if len(st.Federation.Endpoints) != 2 {
+		t.Fatalf("endpoint stats = %+v", st.Federation.Endpoints)
 	}
 }

@@ -4,19 +4,22 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
+	"strconv"
 
 	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/plan"
+	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 )
 
-// QueryRequest describes one federated SELECT for Mediator.Query: the
-// query text plus the options the positional FederatedSelect* signatures
-// used to scatter across three functions.
+// QueryRequest describes one federated query for Mediator.Query: the
+// query text (any form — SELECT, ASK, CONSTRUCT or DESCRIBE) plus the
+// execution options.
 type QueryRequest struct {
-	// Query is the SELECT text, written against SourceOnt.
+	// Query is the query text, written against SourceOnt.
 	Query string
 	// SourceOnt is the source ontology namespace the query is written
 	// in. Empty means "guess it from the query's vocabulary"
@@ -24,11 +27,132 @@ type QueryRequest struct {
 	SourceOnt string
 	// Targets names the data sets to query. Empty means the voiD-driven
 	// planner selects, shards and orders them (the plan is surfaced on
-	// the stream).
+	// the result).
 	Targets []string
-	// Limit caps how many merged solutions the stream yields; reaching
-	// it cancels the remaining upstream work. 0 means no limit.
+	// Limit caps the result stream: merged solutions for SELECT, triples
+	// for CONSTRUCT/DESCRIBE. Reaching it cancels the remaining upstream
+	// work. 0 means no limit; ASK ignores it.
 	Limit int
+}
+
+// Result is the form-polymorphic outcome of Mediator.Query: a tagged
+// union discriminated by Form. Exactly one payload accessor is non-zero —
+// Bindings for SELECT (a lazy solution stream), Bool for ASK, Graph for
+// CONSTRUCT and DESCRIBE (a lazy triple stream). Always Close a Result;
+// closing tears down whichever stream is live.
+type Result struct {
+	form   sparql.Form
+	sel    *QueryStream
+	ask    bool
+	askSum *FederatedResult
+	graph  *GraphStream
+	pl     *plan.Plan
+	dec    *decompose.Decomposition
+}
+
+// Form reports which query form executed, and with it which payload
+// accessor carries the result.
+func (r *Result) Form() sparql.Form { return r.form }
+
+// Bindings returns the lazy solution stream of a SELECT result (nil for
+// every other form).
+func (r *Result) Bindings() *QueryStream { return r.sel }
+
+// Bool returns the ASK outcome (false for every other form).
+func (r *Result) Bool() bool { return r.ask }
+
+// Graph returns the lazy triple stream of a CONSTRUCT or DESCRIBE result
+// (nil for every other form).
+func (r *Result) Graph() *GraphStream { return r.graph }
+
+// Plan reports the planner's decisions when targets were auto-selected
+// (nil for explicit-target queries, and for DESCRIBE without a WHERE
+// clause, which needs no planning).
+func (r *Result) Plan() *plan.Plan { return r.pl }
+
+// Decomposition reports the per-BGP decomposition when the query ran on
+// the multi-source path (nil otherwise).
+func (r *Result) Decomposition() *decompose.Decomposition { return r.dec }
+
+// Summary reports the fan-out's outcome (consuming whatever remains of
+// the live stream first): per-dataset answers, duplicate count, partial
+// flag. For ASK it is available immediately.
+func (r *Result) Summary() (*FederatedResult, error) {
+	switch {
+	case r.sel != nil:
+		return r.sel.Summary()
+	case r.graph != nil:
+		return r.graph.Summary()
+	default:
+		return r.askSum, nil
+	}
+}
+
+// Close cancels the remaining upstream work of whichever stream is live.
+// Safe to call at any point and more than once.
+func (r *Result) Close() error {
+	switch {
+	case r.sel != nil:
+		return r.sel.Close()
+	case r.graph != nil:
+		return r.graph.Close()
+	}
+	return nil
+}
+
+// Query is the mediator's one federated entry point, polymorphic over the
+// query form:
+//
+//   - SELECT streams merged, owl:sameAs-deduplicated solutions
+//     (Result.Bindings) as endpoints deliver them;
+//   - ASK executes as a LIMIT-1 SELECT over the same federation pipeline
+//     and returns the boolean (Result.Bool);
+//   - CONSTRUCT executes its WHERE clause as a rewritten, federated
+//     SELECT projected onto the template variables — planner source
+//     selection, VALUES sharding and cross-vocabulary decomposition all
+//     apply unchanged — and instantiates the template per solution into a
+//     lazy, sameAs-deduplicated triple stream (Result.Graph);
+//   - DESCRIBE resolves its resources (ground IRIs, plus WHERE-bound
+//     variables through the same federated pipeline), then fans a
+//     VALUES-seeded description fetch out to the data sets whose URI
+//     spaces cover the resources or their owl:sameAs aliases, streaming
+//     the union of their outgoing triples under canonical subjects.
+//
+// The request's source ontology is guessed from the query's vocabulary
+// (WHERE patterns and template triples) when unset; explicit Targets
+// bypass the planner. Cancelling ctx (or closing the result) aborts every
+// in-flight sub-query.
+func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*Result, error) {
+	q, err := sparql.Parse(req.Query)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: parsing query: %w", err)
+	}
+	return m.queryParsed(ctx, req, q)
+}
+
+// queryParsed is Query over an already-parsed query, the entry the HTTP
+// handler uses to avoid re-parsing (it parses once for content
+// negotiation). q must be req.Query's parse. The per-form counter counts
+// queries accepted for dispatch, including ones that subsequently fail
+// planning or execution.
+func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
+	m.countForm(q.Form)
+	switch q.Form {
+	case sparql.Select:
+		qs, err := m.selectStream(ctx, req, q)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{form: q.Form, sel: qs, pl: qs.pl, dec: qs.dec}, nil
+	case sparql.Ask:
+		return m.askResult(ctx, req, q)
+	case sparql.Construct:
+		return m.constructResult(ctx, req, q)
+	case sparql.Describe:
+		return m.describeResult(ctx, req, q)
+	default:
+		return nil, fmt.Errorf("mediate: unsupported query form %s", q.Form)
+	}
 }
 
 // solutionSource is the streaming backend of a QueryStream: the
@@ -42,7 +166,7 @@ type solutionSource interface {
 	Summary() (*federate.Result, error)
 }
 
-// QueryStream is an in-flight federated query: merged, deduplicated
+// QueryStream is an in-flight federated SELECT: merged, deduplicated
 // solutions arrive as endpoints deliver them. Consume Solutions (or
 // Next), then call Summary for the per-dataset outcomes; always Close.
 type QueryStream struct {
@@ -54,54 +178,36 @@ type QueryStream struct {
 
 	// Explicit-target bookkeeping: unknown data sets never dispatch, but
 	// their error answers re-interleave into Summary's PerDataset in
-	// input order, exactly as FederatedSelectContext always reported.
+	// input order.
 	unknown  map[int]DatasetAnswer
 	knownPos []int
 	nTargets int
 }
 
-// Query is the mediator's one federated entry point: it resolves the
-// source ontology (guessing when unset), validates the query, picks
-// targets (explicit or planner-selected) and starts the streaming
-// fan-out. It subsumes the FederatedSelect / FederatedSelectContext /
-// FederatedSelectPlanned trio, which survive as thin wrappers that drain
-// the stream.
-//
-// The returned stream delivers the first merged solution as soon as the
-// first endpoint produces one; cancelling ctx (or closing the stream)
-// aborts every in-flight sub-query.
-func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*QueryStream, error) {
-	qs, _, err := m.queryStream(ctx, req)
-	return qs, err
-}
-
-// queryStream is Query plus the plan, which is reported even when the
-// planner found nothing relevant (the error case FederatedSelectPlanned
-// surfaces alongside its explain output).
-func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStream, *plan.Plan, error) {
+// selectStream starts the federated SELECT pipeline for req. q is req's
+// parsed query (possibly a derived SELECT standing in for an ASK /
+// CONSTRUCT / DESCRIBE form); req.Query must be its exact text, since the
+// planner, the rewriter and the endpoints all consume the text.
+func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql.Query) (*QueryStream, error) {
+	if q.Form != sparql.Select {
+		return nil, fmt.Errorf("mediate: selectStream called on %s query", q.Form)
+	}
 	if req.SourceOnt == "" {
-		src, err := m.GuessSourceOntology(req.Query)
+		src, err := m.guessSourceOntology(q)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		req.SourceOnt = src
-	}
-	q, err := sparql.Parse(req.Query)
-	if err != nil {
-		return nil, nil, fmt.Errorf("mediate: parsing query: %w", err)
-	}
-	if q.Form != sparql.Select {
-		return nil, nil, fmt.Errorf("mediate: federated execution supports SELECT only")
 	}
 	qs := &QueryStream{limit: req.Limit}
 	var freq federate.Request
 	if len(req.Targets) == 0 {
 		if m.Planner == nil {
-			return nil, nil, fmt.Errorf("mediate: no targets given and planning is disabled")
+			return nil, fmt.Errorf("mediate: no targets given and planning is disabled")
 		}
 		pl, err := m.Planner.Plan(req.Query, req.SourceOnt)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if len(pl.Subs) == 0 {
 			// No single data set covers the whole query: try splitting
@@ -113,12 +219,12 @@ func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStr
 					qs.pl = pl
 					qs.dec = dcm
 					qs.src = m.JoinEngine.Run(ctx, dcm)
-					return qs, pl, nil
+					return qs, nil
 				}
-				return nil, pl, fmt.Errorf(
+				return nil, fmt.Errorf(
 					"mediate: no registered data set is relevant to the whole query and it does not decompose (%v); see /api/plan", derr)
 			}
-			return nil, pl, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
+			return nil, fmt.Errorf("mediate: no registered data set is relevant to the query (see /api/plan)")
 		}
 		qs.pl = pl
 		freq = federate.PlanRequest(pl)
@@ -142,7 +248,7 @@ func (m *Mediator) queryStream(ctx context.Context, req QueryRequest) (*QueryStr
 		}
 	}
 	qs.src = m.Exec.SelectStream(ctx, freq)
-	return qs, qs.pl, nil
+	return qs, nil
 }
 
 // Vars returns the query's projection variable names.
@@ -196,8 +302,7 @@ func (qs *QueryStream) Solutions() eval.SolutionSeq {
 // Summary reports the fan-out's outcome (consuming whatever remains of
 // the stream first): per-dataset answers in input-target order, the
 // duplicate count and the partial flag. Solutions is nil — they already
-// flowed through the stream; the deprecated drain wrappers re-attach
-// them.
+// flowed through the stream; Collect re-attaches them.
 func (qs *QueryStream) Summary() (*FederatedResult, error) {
 	res, err := qs.src.Summary()
 	if len(qs.unknown) > 0 {
@@ -225,9 +330,10 @@ func (qs *QueryStream) Summary() (*FederatedResult, error) {
 // is safe to call at any point and more than once.
 func (qs *QueryStream) Close() error { return qs.src.Close() }
 
-// drain materialises the stream into the buffered FederatedResult shape
-// the deprecated FederatedSelect* wrappers return.
-func (qs *QueryStream) drain() (*FederatedResult, error) {
+// Collect materialises the stream into the buffered FederatedResult
+// shape, sorted deterministically — the convenience for callers that
+// don't need first-solution latency.
+func (qs *QueryStream) Collect() (*FederatedResult, error) {
 	defer qs.Close()
 	var sols []eval.Solution
 	for sol, err := range qs.Solutions() {
@@ -240,4 +346,452 @@ func (qs *QueryStream) drain() (*FederatedResult, error) {
 	res.Solutions = sols
 	eval.SortSolutions(res.Solutions)
 	return res, err
+}
+
+// askResult executes an ASK as a LIMIT-1 federated SELECT over the same
+// WHERE clause: the boolean is "did any endpoint produce a solution", and
+// the per-dataset summary is available immediately on the Result.
+func (m *Mediator) askResult(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
+	sel := q.Clone()
+	sel.Form = sparql.Select
+	sel.SelectStar = true
+	sel.OrderBy = nil
+	sel.Limit = 1
+	sel.Offset = -1
+	text := sparql.Format(sel)
+	qs, err := m.selectStream(ctx, QueryRequest{
+		Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets, Limit: 1,
+	}, sel)
+	if err != nil {
+		return nil, err
+	}
+	defer qs.Close()
+	ask := false
+	if _, nerr := qs.Next(); nerr == nil {
+		ask = true
+	} else if nerr != io.EOF {
+		return nil, nerr
+	}
+	sum, serr := qs.Summary()
+	if serr != nil && !ask {
+		return nil, serr
+	}
+	return &Result{form: sparql.Ask, ask: ask, askSum: sum, pl: qs.pl, dec: qs.dec}, nil
+}
+
+// constructResult executes a CONSTRUCT as a federated SELECT projected
+// onto the template's variables; the returned GraphStream instantiates
+// the template once per merged solution.
+func (m *Mediator) constructResult(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
+	var tmplVars []string
+	seen := map[string]bool{}
+	for _, t := range q.Template {
+		for _, v := range t.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				tmplVars = append(tmplVars, v)
+			}
+		}
+	}
+	hasBlank := false
+	for _, t := range q.Template {
+		for _, x := range t.Terms() {
+			if x.IsBlank() {
+				hasBlank = true
+			}
+		}
+	}
+	sel := q.Clone()
+	sel.Form = sparql.Select
+	sel.Template = nil
+	if len(tmplVars) > 0 {
+		sel.SelectVars = tmplVars
+	} else {
+		sel.SelectStar = true
+	}
+	if sel.Limit < 0 && sel.Offset < 0 && !hasBlank {
+		// Without solution slicing, projecting DISTINCT template bindings
+		// is graph-equivalent and minimises transfer. With LIMIT/OFFSET it
+		// would change which solutions are counted, and with template
+		// blank nodes each solution must instantiate its own fresh bnode,
+		// so duplicate bindings still produce distinct triples.
+		sel.Distinct = true
+	}
+	text := sparql.Format(sel)
+	qs, err := m.selectStream(ctx, QueryRequest{
+		Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets,
+	}, sel)
+	if err != nil {
+		return nil, err
+	}
+	gs := newGraphStream(qs, q.Template, m.Coref, req.Limit, q.Prefixes)
+	return &Result{form: sparql.Construct, graph: gs, pl: qs.pl, dec: qs.dec}, nil
+}
+
+// maxDescribeAliases caps how many owl:sameAs aliases of one DESCRIBE
+// resource are fetched (hub entities can carry hundreds).
+const maxDescribeAliases = 8
+
+// describeResult executes a DESCRIBE: WHERE-bound resource variables
+// resolve through the federated SELECT pipeline (phase 1), then one
+// VALUES-seeded fan-out fetches every resource's outgoing triples from
+// the data sets whose URI spaces cover the resource or its owl:sameAs
+// aliases (phase 2). Subjects stream out canonicalised to their sameAs
+// representative, so the same entity described by two repositories merges
+// into one description.
+func (m *Mediator) describeResult(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
+	resources, describeVars := q.DescribeResources()
+	seenRes := map[string]bool{}
+	for _, r := range resources {
+		seenRes[r.Value] = true
+	}
+	addResource := func(t rdf.Term) {
+		if t.IsIRI() && !seenRes[t.Value] {
+			seenRes[t.Value] = true
+			resources = append(resources, t)
+		}
+	}
+
+	res := &Result{form: sparql.Describe}
+	var pre *FederatedResult
+	if len(describeVars) > 0 && q.Where != nil {
+		sel := q.Clone()
+		sel.Form = sparql.Select
+		sel.DescribeTerms = nil
+		sel.SelectVars = describeVars
+		if sel.Limit < 0 && sel.Offset < 0 {
+			// DISTINCT is resource-set-preserving only without solution
+			// slicing: under LIMIT/OFFSET the modifiers count solutions,
+			// not distinct resources.
+			sel.Distinct = true
+		}
+		text := sparql.Format(sel)
+		qs, err := m.selectStream(ctx, QueryRequest{
+			Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets,
+		}, sel)
+		if err != nil {
+			return nil, err
+		}
+		res.pl, res.dec = qs.pl, qs.dec
+		for sol, serr := range qs.Solutions() {
+			if serr != nil {
+				qs.Close()
+				return nil, serr
+			}
+			for _, v := range describeVars {
+				if t, ok := sol[v]; ok {
+					addResource(t)
+				}
+			}
+		}
+		sum, serr := qs.Summary()
+		qs.Close()
+		if serr != nil {
+			return nil, serr
+		}
+		pre = sum
+	}
+
+	freq, ok := m.describeRequest(resources)
+	if !ok {
+		res.graph = emptyGraphStream(pre)
+		return res, nil
+	}
+	qs := &QueryStream{src: m.Exec.SelectStream(ctx, freq)}
+	gs := newGraphStream(qs, []rdf.Triple{{
+		S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: rdf.NewVar("o"),
+	}}, m.Coref, req.Limit, q.Prefixes)
+	gs.pre = pre
+	res.graph = gs
+	return res, nil
+}
+
+// describeValuesBatch bounds the VALUES rows per description sub-query;
+// larger resource sets shard through the planner's VALUES machinery into
+// independent sub-queries, exactly like the decomposer's bound joins, so
+// one huge DESCRIBE cannot exceed an endpoint's request-body cap.
+const describeValuesBatch = 50
+
+// describeRequest builds the phase-2 fan-out: per data set, sub-queries
+// fetching `?s ?p ?o` seeded by VALUES shards of the resources (and
+// their owl:sameAs aliases) that lie in the data set's URI space. A
+// resource in no registered URI space is asked of every data set. ok is
+// false when there is nothing to dispatch.
+func (m *Mediator) describeRequest(resources []rdf.Term) (federate.Request, bool) {
+	datasets := m.Datasets.All()
+	if len(resources) == 0 || len(datasets) == 0 {
+		return federate.Request{}, false
+	}
+	aliases := func(uri string) []string {
+		out := []string{uri}
+		if m.Coref != nil {
+			for _, eq := range m.Coref.Equivalents(uri) {
+				if len(out) >= maxDescribeAliases {
+					break
+				}
+				if eq != uri {
+					out = append(out, eq)
+				}
+			}
+		}
+		return out
+	}
+	perDS := map[string][][]rdf.Term{}
+	seenDS := map[string]map[string]bool{} // dataset URI -> alias set (mutual sameAs dedup)
+	add := func(dsURI, alias string) {
+		seen := seenDS[dsURI]
+		if seen == nil {
+			seen = map[string]bool{}
+			seenDS[dsURI] = seen
+		}
+		if seen[alias] {
+			return
+		}
+		seen[alias] = true
+		perDS[dsURI] = append(perDS[dsURI], []rdf.Term{rdf.NewIRI(alias)})
+	}
+	for _, r := range resources {
+		as := aliases(r.Value)
+		matched := false
+		for _, ds := range datasets {
+			for _, a := range as {
+				if ds.Matches(a) {
+					add(ds.URI, a)
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			for _, ds := range datasets {
+				for _, a := range as {
+					add(ds.URI, a)
+				}
+			}
+		}
+	}
+	freq := federate.Request{Vars: []string{"s", "p", "o"}}
+	for _, ds := range datasets {
+		rows, ok := perDS[ds.URI]
+		if !ok {
+			continue
+		}
+		q := sparql.NewQuery(sparql.Select)
+		q.SelectVars = []string{"s", "p", "o"}
+		q.Where = &sparql.GroupGraphPattern{Elements: []sparql.GroupElement{
+			&sparql.InlineData{Vars: []string{"s"}, Rows: rows},
+			&sparql.BGP{Patterns: []rdf.Triple{{
+				S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: rdf.NewVar("o"),
+			}}},
+		}}
+		texts, _ := plan.ShardQuery(q, describeValuesBatch, (len(rows)+describeValuesBatch-1)/describeValuesBatch)
+		if len(texts) == 0 {
+			texts = []string{sparql.Format(q)}
+		}
+		if freq.Query == "" {
+			freq.Query = texts[0]
+		}
+		for i, text := range texts {
+			freq.Targets = append(freq.Targets, federate.Target{
+				Dataset:  ds.URI,
+				Endpoint: ds.SPARQLEndpoint,
+				Query:    text,
+				Shard:    i + 1,
+				Shards:   len(texts),
+			})
+		}
+	}
+	return freq, len(freq.Targets) > 0
+}
+
+// GraphStream is an in-flight CONSTRUCT or DESCRIBE result: a lazy,
+// deduplicated triple stream instantiated from the underlying federated
+// solution stream. Consume Triples (or Next), then Summary; always Close.
+type GraphStream struct {
+	src      *QueryStream // nil = empty stream
+	template []rdf.Triple
+	canon    *corefCanon
+	prefixes *rdf.PrefixMap
+
+	pending []rdf.Triple
+	seen    map[rdf.Triple]bool
+	n       int // solutions consumed, numbering template blank nodes
+	emitted int
+	limit   int
+
+	// pre carries a DESCRIBE's phase-1 (resource resolution) summary,
+	// prepended to the fan-out summary.
+	pre *FederatedResult
+}
+
+func newGraphStream(src *QueryStream, template []rdf.Triple, coref funcsCoref, limit int, prefixes *rdf.PrefixMap) *GraphStream {
+	return &GraphStream{
+		src:      src,
+		template: template,
+		canon:    newCorefCanon(coref),
+		seen:     map[rdf.Triple]bool{},
+		limit:    limit,
+		prefixes: prefixes,
+	}
+}
+
+func emptyGraphStream(pre *FederatedResult) *GraphStream {
+	return &GraphStream{seen: map[rdf.Triple]bool{}, pre: pre}
+}
+
+// Prefixes returns the source query's prefix map, for serialisers that
+// want to QName-shrink the streamed triples (the Turtle writer).
+func (g *GraphStream) Prefixes() *rdf.PrefixMap { return g.prefixes }
+
+// Next returns the next distinct triple, io.EOF at the end of the stream
+// (or once the triple limit is reached, which cancels upstream work), or
+// the fail-fast error that aborted the fan-out. Triples are deduplicated
+// after owl:sameAs canonicalisation, so the same fact surfacing from two
+// repositories under equivalent URIs is emitted once.
+func (g *GraphStream) Next() (rdf.Triple, error) {
+	for {
+		if g.limit > 0 && g.emitted >= g.limit {
+			g.Close()
+			return rdf.Triple{}, io.EOF
+		}
+		if len(g.pending) > 0 {
+			t := g.pending[0]
+			g.pending = g.pending[1:]
+			if g.seen[t] {
+				continue
+			}
+			g.seen[t] = true
+			g.emitted++
+			return t, nil
+		}
+		if g.src == nil {
+			return rdf.Triple{}, io.EOF
+		}
+		sol, err := g.src.Next()
+		if err != nil {
+			return rdf.Triple{}, err // io.EOF included
+		}
+		suffix := "_c" + strconv.Itoa(g.n)
+		g.n++
+		for _, tpl := range g.template {
+			if t, ok := eval.InstantiateTemplate(tpl, sol, suffix); ok {
+				g.pending = append(g.pending, g.canon.triple(t))
+			}
+		}
+	}
+}
+
+// Triples adapts the stream into a lazy triple sequence terminated by the
+// fan-out's fail-fast error, if any. Breaking out of the loop stops the
+// upstream work.
+func (g *GraphStream) Triples() iter.Seq2[rdf.Triple, error] {
+	return func(yield func(rdf.Triple, error) bool) {
+		for {
+			t, err := g.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(rdf.Triple{}, err)
+				return
+			}
+			if !yield(t, nil) {
+				g.Close()
+				return
+			}
+		}
+	}
+}
+
+// Collect materialises the stream into a graph, returning the first
+// stream error.
+func (g *GraphStream) Collect() (rdf.Graph, error) {
+	defer g.Close()
+	var out rdf.Graph
+	for t, err := range g.Triples() {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Summary reports the fan-out's outcome (consuming whatever remains of
+// the stream first): per-dataset answers — for DESCRIBE, the phase-1
+// resource resolution answers followed by the description fetches — the
+// duplicate count and the partial flag. Safe to call more than once.
+func (g *GraphStream) Summary() (*FederatedResult, error) {
+	var res *FederatedResult
+	var err error
+	if g.src != nil {
+		res, err = g.src.Summary()
+	} else {
+		res = &FederatedResult{}
+	}
+	if g.pre == nil {
+		return res, err
+	}
+	// Combine into a fresh result: the fan-out owns res and returns the
+	// same pointer on every Summary call, so mutating it in place would
+	// duplicate the phase-1 answers on repeat calls.
+	combined := &FederatedResult{
+		Vars:       res.Vars,
+		PerDataset: append(append([]DatasetAnswer(nil), g.pre.PerDataset...), res.PerDataset...),
+		Duplicates: res.Duplicates + g.pre.Duplicates,
+		Partial:    res.Partial || g.pre.Partial,
+	}
+	return combined, err
+}
+
+// Close cancels the remaining upstream work and releases the stream. It
+// is safe to call at any point and more than once.
+func (g *GraphStream) Close() error {
+	if g.src != nil {
+		return g.src.Close()
+	}
+	return nil
+}
+
+// funcsCoref is the coref capability GraphStream needs (avoids importing
+// funcs here just for the interface).
+type funcsCoref interface {
+	Equivalents(uri string) []string
+}
+
+// corefCanon canonicalises IRIs to the deterministic (lexicographically
+// smallest) member of their owl:sameAs class, memoised per stream — the
+// same representative rule as the federation merge, applied here to
+// template constants and instantiated triples so graph-level
+// deduplication also collapses sameAs-equivalent facts.
+type corefCanon struct {
+	coref funcsCoref
+	reps  map[string]string
+}
+
+func newCorefCanon(coref funcsCoref) *corefCanon {
+	return &corefCanon{coref: coref, reps: map[string]string{}}
+}
+
+func (c *corefCanon) term(t rdf.Term) rdf.Term {
+	if c.coref == nil || !t.IsIRI() {
+		return t
+	}
+	rep, ok := c.reps[t.Value]
+	if !ok {
+		rep = t.Value
+		for _, eq := range c.coref.Equivalents(t.Value) {
+			if eq < rep {
+				rep = eq
+			}
+		}
+		c.reps[t.Value] = rep
+	}
+	if rep == t.Value {
+		return t
+	}
+	return rdf.NewIRI(rep)
+}
+
+func (c *corefCanon) triple(t rdf.Triple) rdf.Triple {
+	return rdf.Triple{S: c.term(t.S), P: c.term(t.P), O: c.term(t.O)}
 }

@@ -3,20 +3,23 @@ package mediate
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"sparqlrw/internal/align"
 	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
 )
@@ -98,188 +101,135 @@ func newStreamStack(t testing.TB) *streamStack {
 	if err := alignKB.Add(workload.AKT2KISTI()); err != nil {
 		t.Fatal(err)
 	}
-	m := New(dsKB, alignKB, u.Coref)
-	t.Cleanup(m.Close)
-	m.RewriteFilters = true
 	// A generous attempt deadline so only the test's gate (or a client
 	// disconnect) can end the slow endpoint's request.
-	m.ConfigureFederation(federate.Options{EndpointTimeout: time.Minute, MaxRetries: -1})
+	m := New(dsKB, alignKB, u.Coref,
+		WithRewriteFilters(true),
+		WithFederation(federate.Options{EndpointTimeout: time.Minute, MaxRetries: -1}))
+	t.Cleanup(m.Close)
 	s.mediator = m
 	return s
 }
 
-// readToFirstRow advances a streaming /api/query response to its first
-// row, returning the decoder positioned inside the rows array.
-func readToFirstRow(t *testing.T, dec *json.Decoder) map[string]string {
+// postSparql posts a protocol query with explicit targets and the given
+// Accept header.
+func postSparql(t *testing.T, base, query, accept string, targets []string) *http.Response {
 	t.Helper()
-	expectDelim := func(want json.Delim) {
-		t.Helper()
-		tok, err := dec.Token()
-		if err != nil {
-			t.Fatalf("token: %v", err)
-		}
-		if d, ok := tok.(json.Delim); !ok || d != want {
-			t.Fatalf("expected %q, got %v", want, tok)
-		}
+	form := url.Values{"query": {query}, "source": {rdf.AKTNS}, "target": targets}
+	req, err := http.NewRequest(http.MethodPost, base+"/sparql", strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
 	}
-	expectDelim('{')
-	for {
-		tok, err := dec.Token()
-		if err != nil {
-			t.Fatalf("token: %v", err)
-		}
-		key, ok := tok.(string)
-		if !ok {
-			t.Fatalf("expected key, got %v", tok)
-		}
-		if key != "rows" {
-			var skip json.RawMessage
-			if err := dec.Decode(&skip); err != nil {
-				t.Fatalf("skipping %s: %v", key, err)
-			}
-			continue
-		}
-		expectDelim('[')
-		if !dec.More() {
-			t.Fatal("rows array empty at first read")
-		}
-		var row map[string]string
-		if err := dec.Decode(&row); err != nil {
-			t.Fatalf("first row: %v", err)
-		}
-		return row
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }
 
-// TestAPIQueryStreamsFirstRowBeforeSlowEndpoint is the tentpole's
+// TestSparqlStreamsFirstRowBeforeSlowEndpoint is the streaming path's
 // end-to-end acceptance: a federated SELECT over four endpoints, one of
-// which is stalled, must deliver its first solution over HTTP while the
+// which is stalled, must deliver its first binding over /sparql while the
 // stalled endpoint still has not responded.
-func TestAPIQueryStreamsFirstRowBeforeSlowEndpoint(t *testing.T) {
+func TestSparqlStreamsFirstRowBeforeSlowEndpoint(t *testing.T) {
 	s := newStreamStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
 
-	body, _ := json.Marshal(queryRequest{
-		Query:   workload.Figure1Query(0),
-		Source:  rdf.AKTNS,
-		Targets: s.targets,
-	})
-	resp, err := http.Post(srv.URL+"/api/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp := postSparql(t, srv.URL, workload.Figure1Query(0), "", s.targets)
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 
 	type firstRow struct {
-		row map[string]string
+		row eval.Solution
 		// slowDone records whether the gated endpoint had responded at
-		// the moment the first row was decoded.
+		// the moment the first binding was decoded.
 		slowDone bool
 	}
-	dec := json.NewDecoder(resp.Body)
+	dec, err := srjson.NewStreamDecoder(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := make(chan firstRow, 1)
 	go func() {
-		row := readToFirstRow(t, dec)
-		got <- firstRow{row: row, slowDone: s.slowResponded.Load()}
+		sol, err := dec.Next()
+		if err != nil {
+			t.Errorf("first binding: %v", err)
+		}
+		got <- firstRow{row: sol, slowDone: s.slowResponded.Load()}
 	}()
 	var fr firstRow
 	select {
 	case fr = <-got:
 	case <-time.After(10 * time.Second):
-		t.Fatal("no first row while the slow endpoint is stalled")
+		t.Fatal("no first binding while the slow endpoint is stalled")
 	}
 	if fr.slowDone {
-		t.Fatal("slow endpoint responded before the first row: response was buffered, not streamed")
+		t.Fatal("slow endpoint responded before the first binding: response was buffered, not streamed")
 	}
 	if len(fr.row) == 0 {
-		t.Fatalf("first row = %v", fr.row)
+		t.Fatalf("first binding = %v", fr.row)
 	}
 
-	// Release the gate; the rest of the document must complete cleanly
-	// with all four data sets answering.
+	// Release the gate; the rest of the document must complete cleanly.
 	close(s.slowGate)
-	var rest []json.RawMessage
-	for dec.More() {
-		var row json.RawMessage
-		if err := dec.Decode(&row); err != nil {
-			t.Fatalf("remaining rows: %v", err)
-		}
-		rest = append(rest, row)
-	}
-	// Consume "]" then the summary keys.
-	if tok, err := dec.Token(); err != nil {
-		t.Fatalf("rows end: %v %v", tok, err)
-	}
-	summary := map[string]json.RawMessage{}
+	rows := 1
 	for {
-		tok, err := dec.Token()
-		if err != nil {
-			t.Fatalf("summary: %v", err)
-		}
-		if d, ok := tok.(json.Delim); ok && d == '}' {
+		_, err := dec.Next()
+		if err == io.EOF {
 			break
 		}
-		key := tok.(string)
-		var val json.RawMessage
-		if err := dec.Decode(&val); err != nil {
-			t.Fatalf("summary %s: %v", key, err)
+		if err != nil {
+			t.Fatalf("remaining bindings: %v", err)
 		}
-		summary[key] = val
+		rows++
 	}
-	if _, ok := summary["error"]; ok {
-		t.Fatalf("stream error: %s", summary["error"])
-	}
-	var per []perDatasetJSON
-	if err := json.Unmarshal(summary["perDataset"], &per); err != nil {
-		t.Fatal(err)
-	}
-	if len(per) != 4 {
-		t.Fatalf("perDataset = %+v", per)
-	}
-	for _, pd := range per {
-		if pd.Error != "" {
-			t.Fatalf("dataset %s failed: %s", pd.Dataset, pd.Error)
-		}
+	if rows == 0 {
+		t.Fatal("no bindings")
 	}
 	if !s.slowResponded.Load() {
 		t.Fatal("slow endpoint never completed after the gate opened")
 	}
 }
 
-// TestAPIQueryClientDisconnectCancelsSubQueries: dropping the /api/query
+// TestSparqlClientDisconnectCancelsSubQueries: dropping the /sparql
 // connection mid-stream must propagate cancellation down to the endpoint
 // sub-queries (the gated endpoint sees its request context die).
-func TestAPIQueryClientDisconnectCancelsSubQueries(t *testing.T) {
+func TestSparqlClientDisconnectCancelsSubQueries(t *testing.T) {
 	s := newStreamStack(t)
 	srv := httptest.NewServer(Handler(s.mediator))
 	defer srv.Close()
 
-	body, _ := json.Marshal(queryRequest{
-		Query:   workload.Figure1Query(0),
-		Source:  rdf.AKTNS,
-		Targets: s.targets,
-	})
+	form := url.Values{"query": {workload.Figure1Query(0)},
+		"source": {rdf.AKTNS}, "target": s.targets}
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		srv.URL+"/api/query", bytes.NewReader(body))
+		srv.URL+"/sparql", strings.NewReader(form.Encode()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 
-	// Read the first streamed row so the fan-out is demonstrably live
+	// Read the first streamed binding so the fan-out is demonstrably live
 	// (the slow sub-query is in flight), then drop the connection.
-	dec := json.NewDecoder(resp.Body)
-	_ = readToFirstRow(t, dec)
+	dec, err := srjson.NewStreamDecoder(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
 	for s.slowStarted.Load() == 0 {
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -298,14 +248,15 @@ func TestAPIQueryClientDisconnectCancelsSubQueries(t *testing.T) {
 // limits cancelling upstream, and Summary bookkeeping.
 func TestMediatorQueryStreamAPI(t *testing.T) {
 	s := newStack(t)
-	// Planner-selected targets surface the plan on the stream.
-	qs, err := s.mediator.Query(context.Background(), QueryRequest{
+	// Planner-selected targets surface the plan on the result.
+	res, err := s.mediator.Query(context.Background(), QueryRequest{
 		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if qs.Plan() == nil {
+	qs := res.Bindings()
+	if res.Plan() == nil || qs.Plan() == nil {
 		t.Fatal("planner-selected query carries no plan")
 	}
 	n := 0
@@ -318,72 +269,73 @@ func TestMediatorQueryStreamAPI(t *testing.T) {
 		}
 		n++
 	}
-	res, err := qs.Summary()
+	sum, err := qs.Summary()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Fatal("no solutions streamed")
 	}
-	if res.Solutions != nil {
+	if sum.Solutions != nil {
 		t.Fatal("streaming summary must not buffer solutions")
 	}
-	qs.Close()
+	res.Close()
 
-	// The deprecated wrapper must agree with the streamed count.
-	fr, err := s.mediator.FederatedSelect(workload.Figure1Query(0), rdf.AKTNS, nil)
+	// The buffered Collect convenience must agree with the streamed count.
+	fr, err := federatedSelect(s.mediator, workload.Figure1Query(0), rdf.AKTNS, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fr.Solutions) != n {
-		t.Fatalf("wrapper=%d streamed=%d", len(fr.Solutions), n)
+		t.Fatalf("collected=%d streamed=%d", len(fr.Solutions), n)
 	}
 
 	// Limit: the stream ends after one solution and reports io.EOF, and
 	// the summary does not misreport the deliberate cancellation of the
 	// leftover work as upstream failure.
-	qs2, err := s.mediator.Query(context.Background(), QueryRequest{
+	res2, err := s.mediator.Query(context.Background(), QueryRequest{
 		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS, Limit: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer qs2.Close()
+	defer res2.Close()
+	qs2 := res2.Bindings()
 	if _, err := qs2.Next(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := qs2.Next(); err != io.EOF {
 		t.Fatalf("post-limit Next = %v", err)
 	}
-	res2, err := qs2.Summary()
+	sum2, err := qs2.Summary()
 	if err != nil {
 		t.Fatalf("limit summary error: %v", err)
 	}
-	if res2.Partial {
-		t.Fatalf("limit marked the result partial: %+v", res2.PerDataset)
+	if sum2.Partial {
+		t.Fatalf("limit marked the result partial: %+v", sum2.PerDataset)
 	}
-	for _, da := range res2.PerDataset {
+	for _, da := range sum2.PerDataset {
 		if da.Err != nil && !errors.Is(da.Err, federate.ErrStreamClosed) {
 			t.Fatalf("limit reported an upstream failure: %v", da.Err)
 		}
 	}
 
 	// Unknown targets keep their input positions in the summary.
-	qs3, err := s.mediator.Query(context.Background(), QueryRequest{
+	res3, err := s.mediator.Query(context.Background(), QueryRequest{
 		Query: workload.Figure1Query(0), SourceOnt: rdf.AKTNS,
 		Targets: []string{"http://nope.example/void", workload.SotonVoidURI},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res3, err := qs3.drain()
+	sum3, err := res3.Bindings().Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res3.PerDataset) != 2 || res3.PerDataset[0].Err == nil || res3.PerDataset[1].Err != nil {
-		t.Fatalf("perDataset = %+v", res3.PerDataset)
+	if len(sum3.PerDataset) != 2 || sum3.PerDataset[0].Err == nil || sum3.PerDataset[1].Err != nil {
+		t.Fatalf("perDataset = %+v", sum3.PerDataset)
 	}
-	if !res3.Partial {
+	if !sum3.Partial {
 		t.Fatal("unknown target must mark the result partial")
 	}
 }

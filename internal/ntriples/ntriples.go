@@ -138,3 +138,10 @@ func Format(g rdf.Graph) string {
 	}
 	return b.String()
 }
+
+// FormatTriple returns one triple's N-Triples line (with the trailing
+// dot, without the newline), for streaming writers that emit triples as
+// they arrive instead of materialising a graph.
+func FormatTriple(t rdf.Triple) string {
+	return t.String() + " ."
+}

@@ -1,7 +1,7 @@
 // Package sparql provides the SPARQL 1.0 abstract syntax tree, parser and
 // serialiser used by the query rewriter and evaluator. The supported
 // fragment covers what the paper's scenario needs and then some: SELECT /
-// ASK / CONSTRUCT forms, basic graph patterns, FILTER with the full
+// ASK / CONSTRUCT / DESCRIBE forms, basic graph patterns, FILTER with the full
 // SPARQL 1.0 expression grammar, OPTIONAL, UNION, nested groups, and the
 // DISTINCT / REDUCED / ORDER BY / LIMIT / OFFSET solution modifiers.
 package sparql
@@ -18,6 +18,7 @@ const (
 	Select Form = iota + 1
 	Ask
 	Construct
+	Describe
 )
 
 // String returns the SPARQL keyword for the form.
@@ -29,6 +30,8 @@ func (f Form) String() string {
 		return "ASK"
 	case Construct:
 		return "CONSTRUCT"
+	case Describe:
+		return "DESCRIBE"
 	default:
 		return "UNKNOWN"
 	}
@@ -51,6 +54,12 @@ type Query struct {
 	// CONSTRUCT template (patterns may contain variables and blank nodes).
 	Template []rdf.Triple
 
+	// DESCRIBE resources: variables (resolved against the WHERE clause)
+	// and/or ground IRIs.
+	DescribeTerms []rdf.Term
+
+	// Where is the WHERE clause; nil only for DESCRIBE queries of the
+	// `DESCRIBE <iri>` shape, which need no pattern.
 	Where *GroupGraphPattern
 
 	OrderBy []OrderCondition
@@ -189,6 +198,26 @@ func (q *Query) BGPs() []*BGP {
 	return out
 }
 
+// DescribeResources splits a DESCRIBE query's resource terms into its
+// ground IRIs (deduplicated, first-appearance order) and its variable
+// names — the one definition of "which resources does this DESCRIBE
+// denote" shared by the local evaluator and the mediator.
+func (q *Query) DescribeResources() (iris []rdf.Term, vars []string) {
+	seen := map[string]bool{}
+	for _, t := range q.DescribeTerms {
+		switch {
+		case t.IsVar():
+			vars = append(vars, t.Value)
+		case t.IsIRI():
+			if !seen[t.Value] {
+				seen[t.Value] = true
+				iris = append(iris, t)
+			}
+		}
+	}
+	return iris, vars
+}
+
 // Filters returns every FILTER in the query's WHERE clause.
 func (q *Query) Filters() []*Filter {
 	var out []*Filter
@@ -323,6 +352,7 @@ func (q *Query) Clone() *Query {
 	c.Prefixes = q.Prefixes.Clone()
 	c.SelectVars = append([]string(nil), q.SelectVars...)
 	c.Template = append([]rdf.Triple(nil), q.Template...)
+	c.DescribeTerms = append([]rdf.Term(nil), q.DescribeTerms...)
 	c.Where = CloneGroup(q.Where)
 	c.OrderBy = make([]OrderCondition, len(q.OrderBy))
 	for i, oc := range q.OrderBy {

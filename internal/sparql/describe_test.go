@@ -1,0 +1,78 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+func TestParseDescribe(t *testing.T) {
+	q := MustParse(`PREFIX ex:<http://example.org/>
+DESCRIBE ?x ex:thing <http://example.org/other>
+WHERE { ?x ex:p ?y }`)
+	if q.Form != Describe {
+		t.Fatalf("form = %s", q.Form)
+	}
+	if len(q.DescribeTerms) != 3 {
+		t.Fatalf("describe terms = %v", q.DescribeTerms)
+	}
+	if !q.DescribeTerms[0].IsVar() || q.DescribeTerms[0].Value != "x" {
+		t.Fatalf("first term = %v", q.DescribeTerms[0])
+	}
+	if q.DescribeTerms[1].Value != "http://example.org/thing" {
+		t.Fatalf("prefixed term not expanded: %v", q.DescribeTerms[1])
+	}
+	if q.Where == nil || len(q.BGPs()) != 1 {
+		t.Fatalf("WHERE clause lost: %+v", q.Where)
+	}
+}
+
+func TestParseDescribeWithoutWhere(t *testing.T) {
+	q := MustParse(`DESCRIBE <http://example.org/r>`)
+	if q.Form != Describe || q.Where != nil {
+		t.Fatalf("form=%s where=%v", q.Form, q.Where)
+	}
+	if len(q.DescribeTerms) != 1 || q.DescribeTerms[0].Value != "http://example.org/r" {
+		t.Fatalf("terms = %v", q.DescribeTerms)
+	}
+}
+
+func TestDescribeRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`DESCRIBE <http://example.org/r>`,
+		`PREFIX ex:<http://example.org/>
+DESCRIBE ?x WHERE { ?x ex:p ?y } LIMIT 3`,
+		`PREFIX ex:<http://example.org/>
+DESCRIBE ?x ex:r WHERE { ?x ex:p "v" }`,
+	} {
+		q := MustParse(src)
+		text := Format(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v\nformatted:\n%s", src, err, text)
+		}
+		if Format(q2) != text {
+			t.Fatalf("unstable round trip for %q:\n%s\nvs\n%s", src, text, Format(q2))
+		}
+		if len(q2.DescribeTerms) != len(q.DescribeTerms) {
+			t.Fatalf("describe terms lost: %v vs %v", q2.DescribeTerms, q.DescribeTerms)
+		}
+	}
+}
+
+func TestDescribeClonePreservesTerms(t *testing.T) {
+	q := MustParse(`DESCRIBE ?x <http://example.org/r> WHERE { ?x ?p ?o }`)
+	c := q.Clone()
+	c.DescribeTerms[0] = rdf.NewVar("mutated")
+	if q.DescribeTerms[0].Value != "x" {
+		t.Fatal("Clone shares DescribeTerms backing array")
+	}
+}
+
+func TestFormatDescribeOmitsEmptyWhere(t *testing.T) {
+	text := Format(MustParse(`DESCRIBE <http://example.org/r>`))
+	if strings.Contains(text, "WHERE") {
+		t.Fatalf("WHERE emitted for pattern-less DESCRIBE:\n%s", text)
+	}
+}

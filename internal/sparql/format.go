@@ -51,10 +51,18 @@ func Format(q *Query) string {
 			b.WriteString("  " + formatTriple(t, pm) + " .\n")
 		}
 		b.WriteString("}\n")
+	case Describe:
+		b.WriteString("DESCRIBE")
+		for _, t := range q.DescribeTerms {
+			b.WriteString(" " + formatTerm(t, pm))
+		}
+		b.WriteString("\n")
 	}
-	b.WriteString("WHERE ")
-	formatGroup(&b, q.Where, pm, 0)
-	b.WriteString("\n")
+	if q.Form != Describe || q.Where != nil {
+		b.WriteString("WHERE ")
+		formatGroup(&b, q.Where, pm, 0)
+		b.WriteString("\n")
+	}
 	if len(q.OrderBy) > 0 {
 		b.WriteString("ORDER BY")
 		for _, oc := range q.OrderBy {
@@ -93,6 +101,9 @@ func usedNamespaces(q *Query, pm *rdf.PrefixMap) map[string]bool {
 		note(t.S)
 		note(t.P)
 		note(t.O)
+	}
+	for _, t := range q.DescribeTerms {
+		note(t)
 	}
 	Walk(q.Where, func(el GroupElement) {
 		switch e := el.(type) {

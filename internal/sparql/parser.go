@@ -9,7 +9,7 @@ import (
 	"sparqlrw/internal/rdf"
 )
 
-// Parse parses a SPARQL 1.0 query (SELECT, ASK or CONSTRUCT).
+// Parse parses a SPARQL 1.0 query (SELECT, ASK, CONSTRUCT or DESCRIBE).
 func Parse(src string) (*Query, error) {
 	p := &parser{lx: lex.New(src), used: map[string]bool{}}
 	p.next()
@@ -95,8 +95,10 @@ func (p *parser) query() (*Query, error) {
 		q, err = p.askQuery()
 	case p.isKeyword("CONSTRUCT"):
 		q, err = p.constructQuery()
+	case p.isKeyword("DESCRIBE"):
+		q, err = p.describeQuery()
 	default:
-		return nil, p.errf("expected SELECT, ASK or CONSTRUCT, found %s", p.tok)
+		return nil, p.errf("expected SELECT, ASK, CONSTRUCT or DESCRIBE, found %s", p.tok)
 	}
 	if err != nil {
 		return nil, err
@@ -210,6 +212,47 @@ func (p *parser) constructQuery() (*Query, error) {
 		return nil, err
 	}
 	q.Where = where
+	return q, nil
+}
+
+// describeQuery parses `DESCRIBE VarOrIRIref+ [WHERE GroupGraphPattern]`:
+// the resources are variables (resolved against the WHERE clause) and/or
+// ground IRIs, and the WHERE clause is optional.
+func (p *parser) describeQuery() (*Query, error) {
+	q := NewQuery(Describe)
+	p.next() // DESCRIBE
+	for {
+		switch p.tok.Kind {
+		case lex.Var:
+			q.DescribeTerms = append(q.DescribeTerms, rdf.NewVar(p.tok.Val))
+			p.next()
+			continue
+		case lex.IRIRef:
+			q.DescribeTerms = append(q.DescribeTerms, rdf.NewIRI(p.pm.ResolveIRI(p.tok.Val)))
+			p.next()
+			continue
+		case lex.PNameLN, lex.PNameNS:
+			// A bare prefix token may also be the WHERE keyword lexed as an
+			// identifier elsewhere; PName kinds are unambiguous resources.
+			t, err := p.pname()
+			if err != nil {
+				return nil, err
+			}
+			q.DescribeTerms = append(q.DescribeTerms, t)
+			continue
+		}
+		break
+	}
+	if len(q.DescribeTerms) == 0 {
+		return nil, p.errf("DESCRIBE requires at least one variable or IRI, found %s", p.tok)
+	}
+	if p.isKeyword("WHERE") || p.tok.Kind == lex.LBrace {
+		where, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+	}
 	return q, nil
 }
 

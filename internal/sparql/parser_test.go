@@ -290,7 +290,8 @@ func TestParseErrors(t *testing.T) {
 		`SELECT ?x WHERE { FILTER }`,
 		`SELECT ?x WHERE { ?s ?p ?o . FILTER (BOUND()) }`,
 		`SELECT ?x WHERE { ?s ?p ?o . FILTER (NOSUCHFN(?x)) }`,
-		`DESCRIBE <http://x>`,
+		`DESCRIBE`,
+		`DESCRIBE WHERE { ?s ?p ?o }`,
 		`SELECT * WHERE { ?s ?p ?o } extra`,
 	}
 	for _, src := range bad {

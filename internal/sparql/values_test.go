@@ -74,11 +74,11 @@ func TestParseValuesTrailingClause(t *testing.T) {
 
 func TestParseValuesErrors(t *testing.T) {
 	for _, src := range []string{
-		`SELECT ?x WHERE { VALUES { <http://a> } }`,                // missing var list
-		`SELECT ?x WHERE { VALUES (?x ?y) { (<http://a>) } }`,      // arity mismatch
-		`SELECT ?x WHERE { VALUES ?x { ?y } }`,                     // variable as data term
-		`SELECT ?x WHERE { VALUES ?x { <http://a> }`,               // unterminated group
-		`SELECT ?x WHERE { ?x ?p ?o } VALUES ?x { <http://a> } .`,  // trailing junk
+		`SELECT ?x WHERE { VALUES { <http://a> } }`,               // missing var list
+		`SELECT ?x WHERE { VALUES (?x ?y) { (<http://a>) } }`,     // arity mismatch
+		`SELECT ?x WHERE { VALUES ?x { ?y } }`,                    // variable as data term
+		`SELECT ?x WHERE { VALUES ?x { <http://a> }`,              // unterminated group
+		`SELECT ?x WHERE { ?x ?p ?o } VALUES ?x { <http://a> } .`, // trailing junk
 	} {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q) should fail", src)

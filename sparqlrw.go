@@ -13,27 +13,38 @@
 // protocol endpoints, a three-tier mediator with federated execution, and
 // a forward-chaining materialisation baseline.
 //
-// # Streaming query API
+// # Form-polymorphic streaming query API
 //
-// Results are streaming-first: the evaluator yields lazy solution
-// sequences (SolutionSeq), the wire format encodes and decodes
-// incrementally, endpoints serve chunked responses, and the mediator's
-// one federated entry point returns a stream whose first solution
-// arrives before the slowest endpoint answers:
+// The mediator's one federated entry point accepts every query form and
+// returns a tagged union: a lazy solution stream for SELECT, a boolean
+// for ASK, a lazy triple stream for CONSTRUCT and DESCRIBE. Results are
+// streaming-first: the evaluator yields lazy solution sequences
+// (SolutionSeq), the wire format encodes and decodes incrementally,
+// endpoints serve chunked responses, and the first solution arrives
+// before the slowest endpoint answers:
 //
-//	m := sparqlrw.NewMediator(datasets, alignments, corefSrc)
-//	qs, err := m.Query(ctx, sparqlrw.MediatorQueryRequest{
-//	    Query: `SELECT ?a WHERE { ... }`,
+//	m := sparqlrw.NewMediator(datasets, alignments, corefSrc,
+//	    sparqlrw.WithMediatorRewriteFilters(true))
+//	res, err := m.Query(ctx, sparqlrw.MediatorQueryRequest{
+//	    Query: `SELECT ?a WHERE { ... }`, // or ASK / CONSTRUCT / DESCRIBE
 //	    // SourceOnt "" guesses from the query; Targets nil auto-plans.
 //	})
 //	if err != nil { ... }
-//	defer qs.Close()
-//	for sol, err := range qs.Solutions() { ... }
-//	summary, err := qs.Summary() // per-dataset outcomes
+//	defer res.Close()
+//	switch res.Form() {
+//	case sparqlrw.QueryFormSelect:
+//	    for sol, err := range res.Bindings().Solutions() { ... }
+//	case sparqlrw.QueryFormAsk:
+//	    fmt.Println(res.Bool())
+//	default: // CONSTRUCT / DESCRIBE
+//	    for t, err := range res.Graph().Triples() { ... }
+//	}
+//	summary, err := res.Summary() // per-dataset outcomes
 //
-// The buffered FederatedSelect / FederatedSelectContext /
-// FederatedSelectPlanned methods survive as deprecated wrappers that
-// drain the stream.
+// Over HTTP the same surface is a W3C SPARQL 1.1 Protocol endpoint
+// (GET|POST /sparql) with content negotiation: results JSON, NDJSON and
+// Server-Sent Events for bindings and booleans, streamed N-Triples and
+// Turtle for graphs.
 //
 // Quick start:
 //
@@ -122,7 +133,8 @@ type (
 // CollectSolutions drains a lazy solution sequence into a slice.
 func CollectSolutions(seq SolutionSeq) ([]Solution, error) { return eval.Collect(seq) }
 
-// ParseQuery parses a SPARQL 1.0 query (SELECT, ASK or CONSTRUCT).
+// ParseQuery parses a SPARQL 1.0 query (SELECT, ASK, CONSTRUCT or
+// DESCRIBE).
 func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
 
 // FormatQuery serialises a query back to SPARQL text.
@@ -278,16 +290,57 @@ type (
 	// FederatedResult is a merged federated answer.
 	FederatedResult = mediate.FederatedResult
 	// MediatorQueryRequest is the options struct for Mediator.Query:
-	// query text, source ontology (empty = guessed), explicit targets
-	// (nil = planner-selected) and an optional solution limit.
+	// query text (any form), source ontology (empty = guessed), explicit
+	// targets (nil = planner-selected) and an optional stream limit.
 	MediatorQueryRequest = mediate.QueryRequest
-	// MediatorQueryStream is an in-flight federated query: merged
+	// MediatorResult is Mediator.Query's form-polymorphic outcome: a
+	// tagged union of a lazy solution stream (SELECT), a boolean (ASK)
+	// and a lazy triple stream (CONSTRUCT/DESCRIBE).
+	MediatorResult = mediate.Result
+	// MediatorQueryStream is an in-flight federated SELECT: merged
 	// solutions stream as endpoints deliver them, with the plan and the
 	// per-dataset summary available on the stream.
 	MediatorQueryStream = mediate.QueryStream
+	// MediatorGraphStream is an in-flight federated CONSTRUCT/DESCRIBE:
+	// a lazy, owl:sameAs-deduplicated triple stream.
+	MediatorGraphStream = mediate.GraphStream
+	// MediatorConfig is the mediator's consolidated configuration,
+	// built with the MediatorOption functional options.
+	MediatorConfig = mediate.Config
+	// MediatorOption mutates a MediatorConfig (NewMediator, Configure).
+	MediatorOption = mediate.Option
+	// MediatorStats is the mediator's unified observability snapshot:
+	// federation, planner and decompose counters plus per-form query
+	// counts.
+	MediatorStats = mediate.Stats
 	// FederationStream is the executor-level merged solution stream
 	// underneath MediatorQueryStream.
 	FederationStream = federate.Stream
+)
+
+// Query forms, for dispatching on MediatorResult.Form (and on parsed
+// Query.Form).
+const (
+	QueryFormSelect    = sparql.Select
+	QueryFormAsk       = sparql.Ask
+	QueryFormConstruct = sparql.Construct
+	QueryFormDescribe  = sparql.Describe
+)
+
+// Mediator configuration options, re-exported from mediate.
+var (
+	// WithMediatorFederation replaces the federation executor options.
+	WithMediatorFederation = mediate.WithFederation
+	// WithMediatorPlanner replaces the planner options.
+	WithMediatorPlanner = mediate.WithPlanner
+	// WithoutMediatorPlanner disables target auto-selection.
+	WithoutMediatorPlanner = mediate.WithoutPlanner
+	// WithMediatorDecomposer replaces the decompose options.
+	WithMediatorDecomposer = mediate.WithDecomposer
+	// WithoutMediatorDecomposer disables the multi-source path.
+	WithoutMediatorDecomposer = mediate.WithoutDecomposer
+	// WithMediatorRewriteFilters toggles the §4 FILTER extension.
+	WithMediatorRewriteFilters = mediate.WithRewriteFilters
 )
 
 // ErrCircuitOpen is reported (wrapped) in a DatasetAnswer when an
@@ -314,7 +367,7 @@ type (
 
 // NewFederationPlanner builds a standalone planner over the given KBs;
 // most callers use the Mediator's built-in planner instead (PlanQuery,
-// ConfigurePlanner, and FederatedSelect with nil targets).
+// Configure with WithMediatorPlanner, and Query with nil Targets).
 func NewFederationPlanner(datasets *DatasetKB, alignments *AlignmentKB, health plan.HealthFunc, opts PlannerOptions) *FederationPlanner {
 	return plan.New(datasets, alignments, health, opts)
 }
@@ -322,9 +375,10 @@ func NewFederationPlanner(datasets *DatasetKB, alignments *AlignmentKB, health p
 // NewDatasetKB returns an empty voiD knowledge base.
 func NewDatasetKB() *DatasetKB { return voidkb.NewKB() }
 
-// NewMediator wires data set KB, alignment KB and co-reference source.
-func NewMediator(datasets *DatasetKB, alignments *AlignmentKB, corefSrc funcs.CorefSource) *Mediator {
-	return mediate.New(datasets, alignments, corefSrc)
+// NewMediator wires data set KB, alignment KB and co-reference source,
+// configured by the given functional options (see MediatorOption).
+func NewMediator(datasets *DatasetKB, alignments *AlignmentKB, corefSrc funcs.CorefSource, opts ...MediatorOption) *Mediator {
+	return mediate.New(datasets, alignments, corefSrc, opts...)
 }
 
 // MediatorHandler serves the mediator REST API and web UI.
