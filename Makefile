@@ -1,11 +1,12 @@
 # Tier-1 verification in one command: `make test` runs vet, the
 # deprecated-identifier guard and the full suite under the race detector;
 # `make build` compiles everything; `make bench` regenerates the
-# benchmark tables.
+# benchmark tables; `make check-metrics` smoke-tests the /metrics
+# exposition against a live mediator binary.
 
 GO ?= go
 
-.PHONY: build test bench vet check-deprecated staticcheck
+.PHONY: build test bench vet check-deprecated staticcheck check-metrics
 
 build:
 	$(GO) build ./...
@@ -38,3 +39,9 @@ test: vet check-deprecated
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# End-to-end observability smoke test: boot the real binary on a free
+# port, run one planner-selected federated query, scrape /metrics and
+# assert the core series from every layer are present and non-zero.
+check-metrics:
+	@./scripts/check_metrics.sh

@@ -63,6 +63,23 @@
 // /api/stats reports per-endpoint latency, retries and breaker state,
 // the plan-cache hit rate, and the planner's pruning/sharding counters.
 //
+// # Observability
+//
+// Every layer registers its counters, gauges and latency histograms in
+// one shared registry served in Prometheus text format at GET /metrics.
+// Each query grows a span tree (rewrite, plan, decompose, per-endpoint
+// sub-queries with retries, bytes and time-to-first-solution); the
+// /sparql extension explain=trace appends it to the response, X-Trace-Id
+// names it, and GET /api/trace[/{id}] serves the recent-trace ring.
+// Structured logs go through log/slog; queries slower than -slow-query
+// log a warning with their trace ID. The knobs:
+//
+//	-log-level L     debug|info|warn|error (default info)
+//	-log-format F    text|json (default text)
+//	-slow-query D    slow-query log threshold; negative disables (default 1s)
+//	-trace-ring N    recent traces kept for /api/trace (default 128)
+//	-debug-addr A    serve net/http/pprof on this address ("" disables)
+//
 // # Decomposition
 //
 // A third generated repository ("citation metrics") serves a second
@@ -104,8 +121,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -116,6 +135,7 @@ import (
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/voidkb"
@@ -148,6 +168,11 @@ func run() error {
 	useDecompose := flag.Bool("decompose", true, "split multi-vocabulary queries into per-endpoint fragments joined at the mediator")
 	bindBatch := flag.Int("bind-batch", 30, "bound-join VALUES rows per decomposed sub-query")
 	maxBind := flag.Int("max-bind", 1024, "bindings above this fall back to a mediator-side hash join (-1 always hash-joins)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	slowQuery := flag.Duration("slow-query", time.Second, "log queries slower than this (negative disables)")
+	traceRing := flag.Int("trace-ring", 128, "recent traces kept for /api/trace")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: mediator [flags]
 
@@ -164,6 +189,8 @@ style co-reference service, and the mediator serving
   POST     /api/plan      explain source selection / decomposition
   GET      /api/stats     federation + planner + decompose + per-form counters
   GET      /api/datasets  registered voiD data sets
+  GET      /metrics       Prometheus text exposition of every layer's metrics
+  GET      /api/trace     recent query span trees (/api/trace/{id} by ID)
   GET      /               web UI (Figure 4)
 
 Flags:
@@ -171,6 +198,12 @@ Flags:
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	cfg := workload.DefaultConfig()
 	cfg.Persons, cfg.Papers, cfg.Seed = *persons, *papers, *seed
@@ -283,6 +316,11 @@ Flags:
 	}
 	opts := []mediate.Option{
 		mediate.WithRewriteFilters(*filters),
+		mediate.WithObservability(obs.Options{
+			Logger:        logger,
+			SlowQuery:     *slowQuery,
+			TraceRingSize: *traceRing,
+		}),
 		mediate.WithFederation(federate.Options{
 			Concurrency:            *concurrency,
 			PerEndpointConcurrency: *perEndpoint,
@@ -323,6 +361,21 @@ Flags:
 		fmt.Println("decompose: disabled (multi-vocabulary queries will fail)")
 	}
 
+	if *debugAddr != "" {
+		debugLis, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return derr
+		}
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(debugLis, debugMux) }()
+		fmt.Printf("pprof:  http://%s/debug/pprof/\n", debugLis.Addr().String())
+	}
+
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -332,5 +385,36 @@ Flags:
 	fmt.Printf("mediator listening on http://%s/\n", lis.Addr().String())
 	fmt.Printf("example:\n  curl -s --data-urlencode 'query=%s' %s/sparql\n",
 		strings.ReplaceAll(workload.Figure1Query(1), "\n", " "), lis.Addr().String())
+	logger.Info("mediator up",
+		"addr", lis.Addr().String(),
+		"slowQuery", slowQuery.String(),
+		"traceRing", *traceRing)
 	return http.Serve(lis, mediate.Handler(m))
+}
+
+// buildLogger constructs the process logger from the -log-level and
+// -log-format flags. Logs go to stderr; stdout carries the startup banner
+// lines tooling parses.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }

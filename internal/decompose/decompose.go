@@ -40,8 +40,8 @@ package decompose
 import (
 	"fmt"
 	"sort"
-	"sync"
 
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
@@ -60,6 +60,10 @@ type Options struct {
 	MaxBindRows int
 	// MaxShards caps the VALUES shards of one bound stage (default 32).
 	MaxShards int
+	// Registry receives the decomposer's and join engine's metrics. Nil
+	// creates a private registry; the mediator passes its shared one so
+	// /metrics and Stats() read the same counters.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxShards <= 0 {
 		o.MaxShards = 32
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
 	}
 	return o
 }
@@ -193,30 +200,54 @@ type Stats struct {
 type Decomposer struct {
 	planner *plan.Planner
 	opts    Options
+	metrics decomposerMetrics
+}
 
-	mu    sync.Mutex
-	stats Stats
+// decomposerMetrics are the decomposer's registry-backed counters;
+// Stats() reads them back, and the shared registry renders them at
+// /metrics.
+type decomposerMetrics struct {
+	decompositions  *obs.Counter
+	rejected        *obs.Counter
+	exclusiveGroups *obs.Counter
+	sharedFragments *obs.Counter
 }
 
 // New returns a decomposer over the planner's knowledge bases.
 func New(planner *plan.Planner, opts Options) *Decomposer {
-	return &Decomposer{planner: planner, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	return &Decomposer{
+		planner: planner, opts: opts,
+		metrics: decomposerMetrics{
+			decompositions: reg.Counter("sparqlrw_decompose_decompositions_total",
+				"Per-BGP decompositions built."),
+			rejected: reg.Counter("sparqlrw_decompose_rejected_total",
+				"Queries that could not be decomposed (unsupported shape or unanswerable pattern)."),
+			exclusiveGroups: reg.Counter("sparqlrw_decompose_exclusive_groups_total",
+				"Exclusive-group fragments emitted."),
+			sharedFragments: reg.Counter("sparqlrw_decompose_shared_fragments_total",
+				"Shared (multi-source) fragments emitted."),
+		},
+	}
 }
 
 // Options returns the decomposer's effective (defaulted) options.
 func (d *Decomposer) Options() Options { return d.opts }
 
-// Stats returns a snapshot of the decomposer's counters.
+// Stats returns a snapshot of the decomposer's counters, read back from
+// the metrics registry so the JSON view and /metrics cannot disagree.
 func (d *Decomposer) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Decompositions:  uint64(d.metrics.decompositions.Value()),
+		Rejected:        uint64(d.metrics.rejected.Value()),
+		ExclusiveGroups: uint64(d.metrics.exclusiveGroups.Value()),
+		SharedFragments: uint64(d.metrics.sharedFragments.Value()),
+	}
 }
 
 func (d *Decomposer) reject(format string, args ...any) error {
-	d.mu.Lock()
-	d.stats.Rejected++
-	d.mu.Unlock()
+	d.metrics.rejected.Inc()
 	return fmt.Errorf("decompose: "+format, args...)
 }
 
@@ -237,9 +268,7 @@ func (d *Decomposer) Decompose(queryText, sourceOnt string) (*Decomposition, err
 	}
 	patterns, filters, err := flatBGP(q)
 	if err != nil {
-		d.mu.Lock()
-		d.stats.Rejected++
-		d.mu.Unlock()
+		d.metrics.rejected.Inc()
 		return nil, err
 	}
 	if len(patterns) == 0 {
@@ -330,16 +359,14 @@ func (d *Decomposer) Decompose(queryText, sourceOnt string) (*Decomposition, err
 	}
 	dec.MultiSource = len(seen) > 1
 
-	d.mu.Lock()
-	d.stats.Decompositions++
+	d.metrics.decompositions.Inc()
 	for _, f := range dec.Fragments {
 		if f.Exclusive {
-			d.stats.ExclusiveGroups++
+			d.metrics.exclusiveGroups.Inc()
 		} else {
-			d.stats.SharedFragments++
+			d.metrics.sharedFragments.Inc()
 		}
 	}
-	d.mu.Unlock()
 	return dec, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
@@ -46,7 +47,17 @@ type Engine struct {
 	resolver eval.FuncResolver
 	coref    funcs.CorefSource
 	opts     Options
-	stats    EngineStats
+	metrics  engineMetrics
+}
+
+// engineMetrics are the join engine's registry-backed counters; Stats()
+// reads them back, and the shared registry renders them at /metrics.
+type engineMetrics struct {
+	runs            *obs.Counter
+	boundJoinStages *obs.Counter
+	hashJoinStages  *obs.Counter
+	valuesRows      *obs.Counter
+	transferred     *obs.Counter
 }
 
 // NewEngine builds a join engine over the given dispatcher. funcs
@@ -56,7 +67,23 @@ type Engine struct {
 // so a binding's representative URI may lie outside the next endpoint's
 // URI space — the expansion ships every known alias). Both may be nil.
 func NewEngine(exec Dispatcher, fr eval.FuncResolver, coref funcs.CorefSource, opts Options) *Engine {
-	return &Engine{exec: exec, resolver: fr, coref: coref, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	return &Engine{
+		exec: exec, resolver: fr, coref: coref, opts: opts,
+		metrics: engineMetrics{
+			runs: reg.Counter("sparqlrw_decompose_runs_total",
+				"Decomposed queries executed by the join engine."),
+			boundJoinStages: reg.Counter("sparqlrw_decompose_bound_join_stages_total",
+				"Join stages executed as bound joins (VALUES-shipped bindings)."),
+			hashJoinStages: reg.Counter("sparqlrw_decompose_hash_join_stages_total",
+				"Join stages executed as mediator-side hash joins."),
+			valuesRows: reg.Counter("sparqlrw_decompose_values_rows_total",
+				"Bindings shipped to endpoints in VALUES blocks."),
+			transferred: reg.Counter("sparqlrw_decompose_solutions_transferred_total",
+				"Solutions endpoints returned across all fragment dispatches."),
+		},
+	}
 }
 
 // SetDispatcher swaps the executor the engine dispatches through (the
@@ -74,17 +101,16 @@ func (e *Engine) dispatcher() Dispatcher {
 	return e.exec
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters, read back from the
+// metrics registry so the JSON view and /metrics cannot disagree.
 func (e *Engine) Stats() EngineStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
-}
-
-func (e *Engine) record(f func(*EngineStats)) {
-	e.mu.Lock()
-	f(&e.stats)
-	e.mu.Unlock()
+	return EngineStats{
+		Runs:                 uint64(e.metrics.runs.Value()),
+		BoundJoinStages:      uint64(e.metrics.boundJoinStages.Value()),
+		HashJoinStages:       uint64(e.metrics.hashJoinStages.Value()),
+		ValuesRows:           uint64(e.metrics.valuesRows.Value()),
+		SolutionsTransferred: uint64(e.metrics.transferred.Value()),
+	}
 }
 
 // Run is an in-flight decomposed query: the streaming counterpart of
@@ -119,7 +145,7 @@ type Run struct {
 func (e *Engine) Run(ctx context.Context, d *Decomposition) *Run {
 	ctx, cancel := context.WithCancel(ctx)
 	r := &Run{vars: d.Vars, cancel: cancel}
-	e.record(func(s *EngineStats) { s.Runs++ })
+	e.metrics.runs.Inc()
 	r.next, r.stop = iter.Pull2(e.pipeline(ctx, d, r))
 	return r
 }
@@ -302,7 +328,7 @@ func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment,
 			for _, da := range res.PerDataset {
 				n += uint64(da.Solutions)
 			}
-			e.record(func(st *EngineStats) { st.SolutionsTransferred += n })
+			e.metrics.transferred.Add(float64(n))
 		}()
 		for sol, err := range s.Solutions() {
 			if !yield(sol, err) || err != nil {
@@ -383,14 +409,12 @@ func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, l
 				if shardTexts == nil {
 					shardTexts = []string{sparql.Format(q)}
 				}
-				e.record(func(s *EngineStats) {
-					s.BoundJoinStages++
-					s.ValuesRows += uint64(len(values.Rows))
-				})
+				e.metrics.boundJoinStages.Inc()
+				e.metrics.valuesRows.Add(float64(len(values.Rows)))
 			}
 		}
 		if !bind {
-			e.record(func(s *EngineStats) { s.HashJoinStages++ })
+			e.metrics.hashJoinStages.Inc()
 		}
 
 		for sol, err := range e.fragmentSeq(ctx, d, f, shardTexts, r) {

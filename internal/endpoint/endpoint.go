@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sparqlrw/internal/eval"
@@ -257,8 +258,22 @@ type SelectStream struct {
 	endpoint string
 	dec      *srjson.StreamDecoder
 	body     io.ReadCloser
+	counted  *countingReader
 	cancel   context.CancelFunc
 	closed   bool
+}
+
+// countingReader counts the bytes read through it, so the federation
+// layer can annotate each sub-query with its transfer size.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // SelectStreamContext opens a streaming SELECT against the endpoint URL.
@@ -277,7 +292,8 @@ func (c *Client) SelectStreamContext(ctx context.Context, endpointURL, queryText
 		}
 		return nil, err
 	}
-	dec, err := srjson.NewStreamDecoder(resp.Body)
+	counted := &countingReader{r: resp.Body}
+	dec, err := srjson.NewStreamDecoder(counted)
 	if err != nil {
 		resp.Body.Close()
 		if cancel != nil {
@@ -285,12 +301,15 @@ func (c *Client) SelectStreamContext(ctx context.Context, endpointURL, queryText
 		}
 		return nil, err
 	}
-	return &SelectStream{endpoint: endpointURL, dec: dec, body: resp.Body, cancel: cancel}, nil
+	return &SelectStream{endpoint: endpointURL, dec: dec, body: resp.Body, counted: counted, cancel: cancel}, nil
 }
 
 // Vars returns the projection variables from the response head (final
 // once Next has returned io.EOF, see srjson.StreamDecoder.Vars).
 func (s *SelectStream) Vars() []string { return s.dec.Vars() }
+
+// Bytes returns how many response-body bytes have been read so far.
+func (s *SelectStream) Bytes() int64 { return s.counted.n.Load() }
 
 // Next returns the next solution, io.EOF at the clean end of the stream,
 // or the decode/transport error that terminated it.

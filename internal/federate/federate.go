@@ -31,6 +31,7 @@ import (
 
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/obs"
 )
 
 // SelectClient executes a SELECT query against a remote endpoint.
@@ -72,6 +73,11 @@ type Options struct {
 	// CacheSize is the rewrite-plan LRU capacity (default 256; set to
 	// -1 to disable caching).
 	CacheSize int
+	// Registry receives the executor's metrics (per-endpoint attempt /
+	// latency / time-to-first-solution instruments, breaker states, plan
+	// cache counters). Nil creates a private registry; the mediator passes
+	// its shared one so /metrics and Stats() read the same counters.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -148,7 +154,10 @@ type DatasetAnswer struct {
 	Attempts int
 	// Latency is the wall time from first dispatch to final outcome.
 	Latency time.Duration
-	Err     error
+	// TTFS is the time from the successful attempt's dispatch to its
+	// first solution (0 when the answer was empty or failed).
+	TTFS time.Duration
+	Err  error
 }
 
 // Result merges the answers of all targeted data sets.
@@ -175,10 +184,10 @@ type Executor struct {
 	coref   funcs.CorefSource
 	opts    Options
 	cache   *PlanCache
+	metrics *executorMetrics
 
 	mu           sync.Mutex
 	breakers     map[string]*Breaker
-	counters     map[string]*endpointCounters
 	endpointSems map[string]chan struct{}
 }
 
@@ -189,17 +198,24 @@ type Executor struct {
 func NewExecutor(client SelectClient, rewrite RewriteFunc, coref funcs.CorefSource, opts Options) *Executor {
 	opts = opts.withDefaults()
 	stream, _ := client.(StreamingSelectClient)
-	return &Executor{
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+		opts.Registry = reg
+	}
+	e := &Executor{
 		client:       client,
 		stream:       stream,
 		rewrite:      rewrite,
 		coref:        coref,
 		opts:         opts,
 		cache:        NewPlanCache(opts.CacheSize),
+		metrics:      newExecutorMetrics(reg),
 		breakers:     make(map[string]*Breaker),
-		counters:     make(map[string]*endpointCounters),
 		endpointSems: make(map[string]chan struct{}),
 	}
+	e.registerCollectors(reg)
+	return e
 }
 
 // Options returns the executor's effective (defaulted) options.
@@ -250,6 +266,20 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 			<-sem
 		}
 	}()
+	ctx, span := obs.StartSpan(ctx, "subquery")
+	span.SetAttr("dataset", t.Dataset)
+	span.SetAttr("endpoint", t.Endpoint)
+	if t.Shards > 0 {
+		span.SetAttr("shard", fmt.Sprintf("%d/%d", t.Shard, t.Shards))
+	}
+	defer func() {
+		span.SetAttr("solutions", da.Solutions)
+		span.SetAttr("attempts", da.Attempts)
+		if da.Err != nil {
+			span.SetAttr("error", da.Err.Error())
+		}
+		span.End()
+	}()
 	da = DatasetAnswer{Dataset: t.Dataset, Shard: t.Shard, Shards: t.Shards, Query: targetQuery(req, t)}
 	if t.NeedsRewrite {
 		if e.rewrite == nil {
@@ -257,15 +287,19 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 			return da
 		}
 		base := da.Query
+		_, rwSpan := obs.StartSpan(ctx, "rewrite")
 		var q string
+		var cached bool
 		var err error
 		if t.SkipRewriteCache {
 			q, err = e.rewrite(base, req.SourceOnt, t.Dataset)
 		} else {
-			q, _, err = e.cache.Do(PlanKey(base, req.SourceOnt, t.Dataset), func() (string, error) {
+			q, cached, err = e.cache.Do(PlanKey(base, req.SourceOnt, t.Dataset), func() (string, error) {
 				return e.rewrite(base, req.SourceOnt, t.Dataset)
 			})
 		}
+		rwSpan.SetAttr("cached", cached)
+		rwSpan.End()
 		if err != nil {
 			da.Err = err
 			return da
@@ -278,8 +312,10 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 	defer func() { da.Latency = time.Since(start) }()
 	for attempt := 0; attempt <= e.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
-			e.record(t.Endpoint, func(c *endpointCounters) { c.retries++ })
-			if !sleepCtx(ctx, e.opts.RetryBackoff<<(attempt-1)) {
+			e.metrics.retries.With(t.Endpoint).Inc()
+			backoff := e.opts.RetryBackoff << (attempt - 1)
+			span.SetAttr("backoffMs", float64(backoff.Microseconds())/1000)
+			if !sleepCtx(ctx, backoff) {
 				da.Err = ctx.Err()
 				return da
 			}
@@ -324,7 +360,7 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	// reports Success or Failure — abandoning a probe would wedge the
 	// breaker in half-open, rejecting the endpoint forever.
 	if !br.Allow() {
-		e.record(t.Endpoint, func(c *endpointCounters) { c.rejected++ })
+		e.metrics.rejected.With(t.Endpoint).Inc()
 		if da.Err == nil {
 			da.Err = fmt.Errorf("%w: %s", ErrCircuitOpen, t.Endpoint)
 		}
@@ -341,21 +377,35 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	// consumer: backpressure is the consumer's doing, not the endpoint's,
 	// so it must not count against the endpoint's budget.
 	attemptCtx := newPausableDeadline(ctx, timeout)
+	_, aSpan := obs.StartSpan(ctx, "attempt")
+	aSpan.SetAttr("n", attempt+1)
 	t0 := time.Now()
-	count, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh, attemptCtx)
+	count, ttfs, bytes, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh, attemptCtx)
 	attemptCtx.Stop()
 	lat := time.Since(t0)
+	aSpan.SetAttr("latencyMs", float64(lat.Microseconds())/1000)
+	aSpan.SetAttr("rows", count)
+	if bytes > 0 {
+		aSpan.SetAttr("bytes", bytes)
+	}
 	if err == nil {
 		br.Success()
-		e.record(t.Endpoint, func(c *endpointCounters) {
-			c.requests++
-			c.successes++
-			c.totalLat += lat
-		})
+		e.metrics.attempts.With(t.Endpoint).Inc()
+		e.metrics.successes.With(t.Endpoint).Inc()
+		e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
+		e.metrics.solutions.With(t.Endpoint).Add(float64(count))
+		if count > 0 {
+			e.metrics.ttfs.With(t.Endpoint).Observe(ttfs.Seconds())
+			aSpan.SetAttr("ttfsMs", float64(ttfs.Microseconds())/1000)
+			da.TTFS = ttfs
+		}
+		aSpan.End()
 		da.Err = nil // a successful retry supersedes earlier failures
 		da.Solutions = count
 		return true
 	}
+	aSpan.SetAttr("error", err.Error())
+	aSpan.End()
 	if ctx.Err() != nil {
 		// The parent was cancelled (fail-fast abort, client disconnect):
 		// the endpoint is not at fault, so neither the breaker nor the
@@ -366,25 +416,29 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 		return true
 	}
 	br.Failure()
-	e.record(t.Endpoint, func(c *endpointCounters) {
-		c.requests++
-		c.failures++
-		c.totalLat += lat
-	})
+	e.metrics.attempts.With(t.Endpoint).Inc()
+	e.metrics.failures.With(t.Endpoint).Inc()
+	e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
 	da.Err = err
 	return false
 }
 
 // dispatch sends one sub-query and feeds its solutions into solCh,
-// returning how many were pushed. With a streaming-capable client each
-// solution is forwarded as it decodes off the wire — the endpoint's
-// response is never buffered; otherwise the buffered result is replayed
-// into the channel. A failed streaming attempt may have pushed a prefix
-// of its solutions; the retry re-pushes them and the owl:sameAs merge
-// deduplicates. While a push blocks on a full channel (slow consumer),
-// the attempt's active-time deadline is paused.
-func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, query string, solCh chan<- eval.Solution, pd *pausableDeadline) (int, error) {
+// returning how many were pushed, the time to the first solution, and —
+// on the streaming path — how many response-body bytes were read. With a
+// streaming-capable client each solution is forwarded as it decodes off
+// the wire — the endpoint's response is never buffered; otherwise the
+// buffered result is replayed into the channel. A failed streaming
+// attempt may have pushed a prefix of its solutions; the retry re-pushes
+// them and the owl:sameAs merge deduplicates. While a push blocks on a
+// full channel (slow consumer), the attempt's active-time deadline is
+// paused.
+func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, query string, solCh chan<- eval.Solution, pd *pausableDeadline) (rows int, ttfs time.Duration, bytes int64, err error) {
+	start := time.Now()
 	push := func(n int, sol eval.Solution) (int, bool) {
+		if n == 0 {
+			ttfs = time.Since(start)
+		}
 		select {
 		case solCh <- sol:
 			return n + 1, true
@@ -406,36 +460,45 @@ func (e *Executor) dispatch(attemptCtx, parent context.Context, endpointURL, que
 	if e.stream != nil {
 		ss, err := e.stream.SelectSolutionStream(attemptCtx, endpointURL, query)
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		defer ss.Close()
+		// endpoint.SelectStream counts its response-body bytes; other
+		// implementations just don't report the annotation.
+		counter, _ := ss.(interface{ Bytes() int64 })
+		readBytes := func() int64 {
+			if counter == nil {
+				return 0
+			}
+			return counter.Bytes()
+		}
 		n := 0
 		for {
 			sol, err := ss.Next()
 			if err == io.EOF {
-				return n, nil
+				return n, ttfs, readBytes(), nil
 			}
 			if err != nil {
-				return n, err
+				return n, ttfs, readBytes(), err
 			}
 			var ok bool
 			if n, ok = push(n, sol); !ok {
-				return n, parent.Err()
+				return n, ttfs, readBytes(), parent.Err()
 			}
 		}
 	}
 	res, err := e.client.SelectContext(attemptCtx, endpointURL, query)
 	if err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
 	n := 0
 	for _, sol := range res.Solutions {
 		var ok bool
 		if n, ok = push(n, sol); !ok {
-			return n, parent.Err()
+			return n, ttfs, 0, parent.Err()
 		}
 	}
-	return n, nil
+	return n, ttfs, 0, nil
 }
 
 // endpointSem returns the endpoint's in-flight-bound semaphore, or nil
@@ -463,17 +526,6 @@ func (e *Executor) breaker(endpointURL string) *Breaker {
 		e.breakers[endpointURL] = b
 	}
 	return b
-}
-
-func (e *Executor) record(endpointURL string, f func(*endpointCounters)) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	c, ok := e.counters[endpointURL]
-	if !ok {
-		c = &endpointCounters{}
-		e.counters[endpointURL] = c
-	}
-	f(c)
 }
 
 // sleepCtx sleeps for d or until ctx is done; it reports whether the full

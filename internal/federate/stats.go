@@ -2,7 +2,8 @@ package federate
 
 import (
 	"sort"
-	"time"
+
+	"sparqlrw/internal/obs"
 )
 
 // EndpointStats is one endpoint's cumulative execution counters.
@@ -13,7 +14,11 @@ type EndpointStats struct {
 	Failures     uint64  `json:"failures"`     // attempts that errored
 	Retries      uint64  `json:"retries"`      // re-dispatches after a failed attempt
 	Rejected     uint64  `json:"rejected"`     // requests refused by the circuit breaker
+	Solutions    uint64  `json:"solutions"`    // solutions streamed off the wire
 	AvgLatencyMS float64 `json:"avgLatencyMs"` // mean latency of completed attempts
+	P95LatencyMS float64 `json:"p95LatencyMs"` // estimated 95th-percentile latency
+	AvgTTFSMS    float64 `json:"avgTtfsMs"`    // mean time to first solution
+	P95TTFSMS    float64 `json:"p95TtfsMs"`    // estimated 95th-percentile time to first solution
 	Breaker      string  `json:"breaker"`      // closed | open | half-open
 }
 
@@ -27,41 +32,53 @@ type Stats struct {
 	CacheEntries int             `json:"cacheEntries"`
 }
 
-// endpointCounters is the executor's mutable per-endpoint record; guarded
-// by Executor.mu.
-type endpointCounters struct {
-	requests  uint64
-	successes uint64
-	failures  uint64
-	retries   uint64
-	rejected  uint64
-	totalLat  time.Duration
-}
-
-// Stats assembles a snapshot sorted by endpoint URL.
+// Stats assembles a snapshot sorted by endpoint URL. It is a read-back
+// view over the executor's metrics registry — the same instruments
+// /metrics renders — so the JSON snapshot can never drift from the
+// Prometheus exposition.
 func (e *Executor) Stats() Stats {
+	byURL := map[string]*EndpointStats{}
+	get := func(url string) *EndpointStats {
+		s, ok := byURL[url]
+		if !ok {
+			s = &EndpointStats{Endpoint: url}
+			byURL[url] = s
+		}
+		return s
+	}
+	counter := func(v *obs.CounterVec, set func(*EndpointStats, uint64)) {
+		v.Each(func(lvs []string, val float64) { set(get(lvs[0]), uint64(val)) })
+	}
+	counter(e.metrics.attempts, func(s *EndpointStats, v uint64) { s.Requests = v })
+	counter(e.metrics.successes, func(s *EndpointStats, v uint64) { s.Successes = v })
+	counter(e.metrics.failures, func(s *EndpointStats, v uint64) { s.Failures = v })
+	counter(e.metrics.retries, func(s *EndpointStats, v uint64) { s.Retries = v })
+	counter(e.metrics.rejected, func(s *EndpointStats, v uint64) { s.Rejected = v })
+	counter(e.metrics.solutions, func(s *EndpointStats, v uint64) { s.Solutions = v })
+	e.metrics.latency.Each(func(lvs []string, snap obs.HistogramSnapshot) {
+		s := get(lvs[0])
+		s.AvgLatencyMS = snap.Mean() * 1000
+		s.P95LatencyMS = snap.Quantile(0.95) * 1000
+	})
+	e.metrics.ttfs.Each(func(lvs []string, snap obs.HistogramSnapshot) {
+		s := get(lvs[0])
+		s.AvgTTFSMS = snap.Mean() * 1000
+		s.P95TTFSMS = snap.Quantile(0.95) * 1000
+	})
+
 	e.mu.Lock()
-	var out Stats
-	for url, c := range e.counters {
-		es := EndpointStats{
-			Endpoint:  url,
-			Requests:  c.requests,
-			Successes: c.successes,
-			Failures:  c.failures,
-			Retries:   c.retries,
-			Rejected:  c.rejected,
-		}
-		if done := c.successes + c.failures; done > 0 {
-			es.AvgLatencyMS = float64(c.totalLat.Microseconds()) / 1000 / float64(done)
-		}
-		if b, ok := e.breakers[url]; ok {
-			es.Breaker = b.State().String()
-		} else {
-			es.Breaker = BreakerClosed.String()
-		}
-		out.Endpoints = append(out.Endpoints, es)
+	for url, b := range e.breakers {
+		get(url).Breaker = b.State().String()
 	}
 	e.mu.Unlock()
+
+	var out Stats
+	for _, s := range byURL {
+		if s.Breaker == "" {
+			s.Breaker = BreakerClosed.String()
+		}
+		out.Endpoints = append(out.Endpoints, *s)
+	}
 	sort.Slice(out.Endpoints, func(i, j int) bool {
 		return out.Endpoints[i].Endpoint < out.Endpoints[j].Endpoint
 	})

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"sparqlrw/internal/eval"
+	"sparqlrw/internal/obs"
 )
 
 // ErrStreamClosed marks a sub-query abandoned because the consumer closed
@@ -136,6 +137,8 @@ func (e *Executor) SelectStream(ctx context.Context, req Request) *Stream {
 // runFanout executes the fan-out for one stream: admission, dispatch,
 // merge, then the summary Result.
 func (e *Executor) runFanout(ctx context.Context, req Request, s *Stream) {
+	ctx, span := obs.StartSpan(ctx, "federate")
+	span.SetAttr("targets", len(req.Targets))
 	m := newMerger(e.coref, func(sol eval.Solution) bool {
 		select {
 		case s.out <- sol:
@@ -216,6 +219,9 @@ admit:
 		!(stopped && errors.Is(firstErr, context.Canceled)) {
 		s.err = firstErr
 	}
+	span.SetAttr("duplicates", res.Duplicates)
+	span.SetAttr("partial", res.Partial)
+	span.End()
 	close(s.done)
 	close(s.out)
 }

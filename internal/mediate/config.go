@@ -3,6 +3,7 @@ package mediate
 import (
 	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/federate"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	DisableDecomposer bool
 	// RewriteFilters enables the §4 FILTER extension for all rewrites.
 	RewriteFilters bool
+	// Observability tunes the mediator's metrics registry, trace ring,
+	// structured logger and slow-query threshold (zero value: private
+	// registry, slog default logger, 1s threshold, 128-trace ring).
+	Observability obs.Options
 }
 
 // Option mutates a Config; the functional-option input of New and
@@ -68,6 +73,13 @@ func WithRewriteFilters(on bool) Option {
 	return func(c *Config) { c.RewriteFilters = on }
 }
 
+// WithObservability replaces the observability options (metrics registry,
+// logger, slow-query threshold, trace-ring size). Changing them rebuilds
+// the observer — and with a new registry, resets the counters.
+func WithObservability(opts obs.Options) Option {
+	return func(c *Config) { c.Observability = opts }
+}
+
 // Config returns a snapshot of the mediator's active configuration.
 func (m *Mediator) Config() Config { return m.cfg }
 
@@ -87,7 +99,16 @@ func (m *Mediator) Configure(opts ...Option) {
 // rebuild reconstructs the executor / planner / decomposer stack from the
 // current Config, in dependency order: the planner reads the executor's
 // endpoint health, and the join engine dispatches through the executor.
+// The observer — and with it the metrics registry — survives rebuilds
+// (unless WithObservability changed its options), so every layer's
+// counters accumulate across reconfiguration; function-backed families
+// (plan cache, breaker states) re-bind to the fresh subsystems.
 func (m *Mediator) rebuild() {
+	if m.Obs == nil || m.obsOpts != m.cfg.Observability {
+		m.Obs = obs.NewObserver(m.cfg.Observability)
+		m.obsOpts = m.cfg.Observability
+		m.metrics = newMediatorMetrics(m.Obs.Registry)
+	}
 	m.RewriteFilters = m.cfg.RewriteFilters
 	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
 		rr, err := m.Rewrite(queryText, sourceOnt, dataset)
@@ -96,16 +117,22 @@ func (m *Mediator) rebuild() {
 		}
 		return rr.Query, nil
 	}
-	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, m.cfg.Federation)
+	fedOpts := m.cfg.Federation
+	fedOpts.Registry = m.Obs.Registry
+	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, fedOpts)
 	if m.cfg.DisablePlanner {
 		m.Planner = nil
 	} else {
-		m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, m.cfg.Planner)
+		plOpts := m.cfg.Planner
+		plOpts.Registry = m.Obs.Registry
+		m.Planner = plan.New(m.Datasets, m.Alignments, m.endpointHealth, plOpts)
 	}
 	if m.cfg.DisableDecomposer || m.Planner == nil {
 		m.Decomposer, m.JoinEngine = nil, nil
 	} else {
-		m.Decomposer = decompose.New(m.Planner, m.cfg.Decompose)
-		m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, m.cfg.Decompose)
+		decOpts := m.cfg.Decompose
+		decOpts.Registry = m.Obs.Registry
+		m.Decomposer = decompose.New(m.Planner, decOpts)
+		m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, decOpts)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
@@ -48,6 +49,7 @@ type perDatasetJSON struct {
 	Solutions int     `json:"solutions"`
 	Attempts  int     `json:"attempts,omitempty"`
 	LatencyMS float64 `json:"latencyMs,omitempty"`
+	TTFSMS    float64 `json:"ttfsMs,omitempty"`
 	Error     string  `json:"error,omitempty"`
 }
 
@@ -57,7 +59,8 @@ func perDatasetView(fr *FederatedResult) []perDatasetJSON {
 		pj := perDatasetJSON{Dataset: da.Dataset, Solutions: da.Solutions,
 			Shard: da.Shard, Shards: da.Shards,
 			Attempts:  da.Attempts,
-			LatencyMS: float64(da.Latency.Microseconds()) / 1000}
+			LatencyMS: float64(da.Latency.Microseconds()) / 1000,
+			TTFSMS:    float64(da.TTFS.Microseconds()) / 1000}
 		if da.Err != nil {
 			pj.Error = da.Err.Error()
 		}
@@ -151,20 +154,63 @@ func protocolError(w http.ResponseWriter, status int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-// Handler serves the mediator's SPARQL protocol endpoint, REST API and UI.
+// Handler serves the mediator's SPARQL protocol endpoint, REST API, UI,
+// Prometheus-format metrics (/metrics) and trace inspection (/api/trace).
+// The per-route request counter binds to the mediator's observer at
+// construction; reconfiguring with WithObservability means recreating the
+// handler to rebind.
 func Handler(m *Mediator) http.Handler {
 	mux := http.NewServeMux()
+	requests := m.Obs.Registry.CounterVec("sparqlrw_http_requests_total",
+		"HTTP requests served, by route.", "route")
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			requests.With(route).Inc()
+			h(w, r)
+		})
+	}
 
-	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+	handle("/sparql", func(w http.ResponseWriter, r *http.Request) {
 		serveProtocol(m, w, r)
 	})
 
-	mux.HandleFunc("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
+	// /metrics serves the shared registry — every layer's counters,
+	// gauges and histograms — in Prometheus text exposition format.
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.Obs.Registry.WritePrometheus(w)
+	})
+
+	// /api/trace lists the trace ring's recent span trees, newest first
+	// (?limit=N caps the list); /api/trace/{id} fetches one by ID, 404
+	// once evicted.
+	handle("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		traces := m.Obs.Ring.Recent(limit)
+		views := make([]obs.TraceJSON, 0, len(traces))
+		for _, t := range traces {
+			views = append(views, t.View())
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(views)
+	})
+	handle("/api/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
+		t := m.Obs.Ring.Get(id)
+		if t == nil {
+			protocolError(w, http.StatusNotFound, "no such trace (evicted or never recorded): "+id)
+			return
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		_, _ = w.Write(t.JSON())
+	})
+
+	handle("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(m.DatasetInfos())
 	})
 
-	mux.HandleFunc("/api/rewrite", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/rewrite", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
@@ -201,7 +247,7 @@ func Handler(m *Mediator) http.Handler {
 	// planner's per-data-set decisions, plus the exclusive-group
 	// decomposition (fragments, estimated cardinalities, join order)
 	// when the query only runs by splitting its BGP.
-	mux.HandleFunc("/api/plan", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/plan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return
@@ -228,12 +274,12 @@ func Handler(m *Mediator) http.Handler {
 		_ = json.NewEncoder(w).Encode(ex)
 	})
 
-	mux.HandleFunc("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(m.Stats())
 	})
 
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	handle("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -260,20 +306,27 @@ func Handler(m *Mediator) http.Handler {
 // JSON error document. Closing the connection mid-stream cancels every
 // in-flight upstream sub-query.
 //
-// Two protocol extensions carry the mediator-specific inputs: repeated
+// Three protocol extensions carry the mediator-specific inputs: repeated
 // `target` parameters name explicit data sets (default: the voiD-driven
-// planner selects them) and `source` names the source ontology (default:
-// guessed from the query's vocabulary).
+// planner selects them), `source` names the source ontology (default:
+// guessed from the query's vocabulary) and `explain=trace` appends the
+// query's span tree to the response — a trailing "trace" member in the
+// SRJ document, a final {"trace":...} line in NDJSON, a terminal `trace`
+// event over SSE, a `# trace: {...}` comment in graph serialisations.
+// Every query response carries its trace ID in X-Trace-Id, resolvable at
+// /api/trace/{id} while the trace ring retains it.
 func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	var queryText, source string
 	var targets []string
 	limit := 0
+	explain := false
 	readOpts := func(get func(string) string, all func(string) []string) {
 		source = get("source")
 		targets = all("target")
 		if n, err := strconv.Atoi(get("limit")); err == nil && n > 0 {
 			limit = n
 		}
+		explain = get("explain") == "trace"
 	}
 	switch r.Method {
 	case http.MethodGet:
@@ -337,14 +390,35 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	}
 	defer res.Close()
 
+	if t := res.Trace(); t != nil {
+		w.Header().Set("X-Trace-Id", t.ID())
+		m.Obs.Log.Debug("query accepted",
+			"traceId", t.ID(),
+			"form", res.Form().String(),
+			"accept", ctype,
+			"targets", len(targets))
+	}
+
 	switch res.Form() {
 	case sparql.Select:
-		serveBindings(w, res.Bindings(), ctype)
+		serveBindings(w, res, ctype, explain)
 	case sparql.Ask:
-		serveBoolean(w, res, ctype)
+		serveBoolean(w, res, ctype, explain)
 	default:
-		serveGraph(w, res.Graph(), ctype)
+		serveGraph(w, res, ctype, explain)
 	}
+}
+
+// explainTrace finishes the query's trace (idempotent — execution is done
+// once the stream drains; serialisation time is not part of the query)
+// and returns its serialised span tree for the explain=trace trailer.
+func explainTrace(res *Result) json.RawMessage {
+	t := res.Trace()
+	if t == nil {
+		return nil
+	}
+	t.Finish()
+	return t.JSON()
 }
 
 // flushEvery adapts an http.Flusher into the "flush the first item
@@ -361,37 +435,74 @@ func flushEvery(w http.ResponseWriter) func() {
 }
 
 // serveBindings streams a SELECT result in the negotiated serialisation.
-func serveBindings(w http.ResponseWriter, qs *QueryStream, ctype string) {
+func serveBindings(w http.ResponseWriter, res *Result, ctype string, explain bool) {
+	qs := res.Bindings()
 	switch ctype {
 	case ctNDJSON:
-		serveNDJSON(w, qs)
+		serveNDJSON(w, res, explain)
 	case ctSSE:
-		serveSSE(w, qs)
+		serveSSE(w, res, explain)
 	default: // SRJ (and its application/json alias)
 		w.Header().Set("Content-Type", ctype)
 		// A mid-stream failure can no longer change the status line;
 		// aborting leaves truncated JSON, which streaming clients report.
-		_ = srjson.EncodeSelectStream(w, qs.Vars(), qs.Solutions(), flushEvery(w))
+		if !explain {
+			_ = srjson.EncodeSelectStream(w, qs.Vars(), qs.Solutions(), flushEvery(w))
+			return
+		}
+		enc, err := srjson.NewStreamEncoder(w, qs.Vars())
+		if err != nil {
+			return
+		}
+		flush := flushEvery(w)
+		for sol, serr := range qs.Solutions() {
+			if serr != nil {
+				return // truncated JSON signals the failure, as above
+			}
+			if enc.Encode(sol) != nil {
+				return
+			}
+			flush()
+		}
+		_ = enc.CloseWith("trace", explainTrace(res))
 	}
 }
 
 // serveBoolean writes an ASK result.
-func serveBoolean(w http.ResponseWriter, res *Result, ctype string) {
+func serveBoolean(w http.ResponseWriter, res *Result, ctype string, explain bool) {
 	switch ctype {
 	case ctNDJSON:
 		w.Header().Set("Content-Type", ctNDJSON)
 		line, _ := json.Marshal(map[string]bool{"boolean": res.Bool()})
 		_, _ = w.Write(append(line, '\n'))
+		if explain {
+			if tr := explainTrace(res); tr != nil {
+				_, _ = w.Write(append(append([]byte(`{"trace":`), tr...), '}', '\n'))
+			}
+		}
 	case ctSSE:
 		sse := newSSEWriter(w)
 		_ = sse.event("boolean", map[string]bool{"boolean": res.Bool()})
 		fr, err := res.Summary()
 		writeSSESummary(sse, fr, err)
+		if explain {
+			if tr := explainTrace(res); tr != nil {
+				_ = sse.event("trace", tr)
+			}
+		}
 	default:
 		data, err := srjson.EncodeAsk(res.Bool())
 		if err != nil {
 			protocolError(w, http.StatusInternalServerError, err.Error())
 			return
+		}
+		if explain {
+			if tr := explainTrace(res); tr != nil {
+				// Splice the trace in before the document's closing brace:
+				// an unknown top-level member W3C consumers skip.
+				data = append(data[:len(data)-1], `,"trace":`...)
+				data = append(append(data, tr...), '}')
+			}
 		}
 		w.Header().Set("Content-Type", ctype)
 		_, _ = w.Write(data)
@@ -402,7 +513,8 @@ func serveBoolean(w http.ResponseWriter, res *Result, ctype string) {
 // Turtle, one triple per line, flushed incrementally. A failure
 // mid-stream terminates the document with a comment line (legal in both
 // syntaxes), since the status line is long gone.
-func serveGraph(w http.ResponseWriter, gs *GraphStream, ctype string) {
+func serveGraph(w http.ResponseWriter, res *Result, ctype string, explain bool) {
+	gs := res.Graph()
 	w.Header().Set("Content-Type", ctype)
 	flush := flushEvery(w)
 	var write func(t rdf.Triple) error
@@ -432,6 +544,13 @@ func serveGraph(w http.ResponseWriter, gs *GraphStream, ctype string) {
 	if streamErr != nil {
 		_, _ = io.WriteString(w, "# error: "+strings.ReplaceAll(streamErr.Error(), "\n", " ")+"\n")
 	}
+	if explain {
+		if tr := explainTrace(res); tr != nil {
+			// json.Marshal output never contains raw newlines, so the
+			// trace stays one comment line (legal in both syntaxes).
+			_, _ = io.WriteString(w, "# trace: "+string(tr)+"\n")
+		}
+	}
 	if flusher, ok := w.(http.Flusher); ok {
 		flusher.Flush()
 	}
@@ -445,7 +564,8 @@ func serveGraph(w http.ResponseWriter, gs *GraphStream, ctype string) {
 // terminates it with a final {"error": "..."} line (distinguishable from
 // a binding, whose values are objects). Consumers wanting the
 // per-dataset summary use the SSE serialisation instead.
-func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
+func serveNDJSON(w http.ResponseWriter, res *Result, explain bool) {
+	qs := res.Bindings()
 	w.Header().Set("Content-Type", ctNDJSON)
 	flush := flushEvery(w)
 	writeLine := func(data []byte) bool {
@@ -478,6 +598,13 @@ func serveNDJSON(w http.ResponseWriter, qs *QueryStream) {
 	if streamErr != nil {
 		if line, err := json.Marshal(map[string]string{"error": streamErr.Error()}); err == nil {
 			writeLine(line)
+		}
+	}
+	if explain {
+		if tr := explainTrace(res); tr != nil {
+			// Distinguishable from a binding line: its one value is the
+			// trace object, not a {type,value} term.
+			writeLine(append(append([]byte(`{"trace":`), tr...), '}'))
 		}
 	}
 	if flusher, ok := w.(http.Flusher); ok {
@@ -539,7 +666,8 @@ func writeSSESummary(sse *sseWriter, fr *FederatedResult, err error) {
 // terminal `summary` event with the per-dataset outcomes — or an `error`
 // event when the fan-out aborted. Closing the EventSource cancels the
 // upstream sub-queries.
-func serveSSE(w http.ResponseWriter, qs *QueryStream) {
+func serveSSE(w http.ResponseWriter, res *Result, explain bool) {
+	qs := res.Bindings()
 	sse := newSSEWriter(w)
 	var streamErr error
 	for sol, err := range qs.Solutions() {
@@ -562,9 +690,14 @@ func serveSSE(w http.ResponseWriter, qs *QueryStream) {
 	}
 	if streamErr != nil {
 		_ = sse.event("error", map[string]string{"error": streamErr.Error()})
-		return
+	} else {
+		writeSSESummary(sse, fr, nil)
 	}
-	writeSSESummary(sse, fr, nil)
+	if explain {
+		if tr := explainTrace(res); tr != nil {
+			_ = sse.event("trace", tr)
+		}
+	}
 }
 
 // uiTemplate is the Figure-4 stand-in: source query on top, data set

@@ -8,7 +8,6 @@ package mediate
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"sparqlrw/internal/align"
@@ -17,6 +16,7 @@ import (
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
@@ -49,12 +49,20 @@ type Mediator struct {
 	// rewrite-plan cache cannot serve plans produced under the old
 	// setting.
 	RewriteFilters bool
+	// Obs bundles the mediator's observability surfaces: the metrics
+	// registry every layer registers into (rendered at /metrics, read back
+	// by Stats), the finished-trace ring behind /api/trace, the structured
+	// logger and the slow-query threshold. Rebuilt by Configure only when
+	// WithObservability changes the options; the registry otherwise
+	// survives rebuilds so counters accumulate across reconfiguration.
+	Obs *obs.Observer
 
 	cfg Config
-
-	// statsMu guards the per-form query counters.
-	statsMu sync.Mutex
-	forms   FormStats
+	// obsOpts remembers the options Obs was built from, so rebuild only
+	// replaces the observer when they change.
+	obsOpts obs.Options
+	metrics *mediatorMetrics
+	start   time.Time
 
 	// unsubscribe detaches the KB cache-invalidation hooks (see Close).
 	unsubscribe []func()
@@ -71,6 +79,7 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 		Funcs:      funcs.StandardRegistry(corefSrc),
 		Coref:      corefSrc,
 		Client:     endpoint.NewClient(),
+		start:      time.Now(),
 	}
 	m.Configure(opts...)
 	// Rewrite-plan cache invalidation hooks: a changed voiD entry drops
@@ -118,9 +127,21 @@ type Stats struct {
 	Planner    *plan.Stats     `json:"planner,omitempty"`
 	Decompose  *DecomposeStats `json:"decompose,omitempty"`
 	Queries    FormStats       `json:"queries"`
+	// InFlight is how many accepted queries have not closed their result.
+	InFlight int `json:"inFlight"`
+	// SolutionsStreamed counts solutions and triples delivered to
+	// consumers across all queries.
+	SolutionsStreamed uint64 `json:"solutionsStreamed"`
+	// Build identifies the running binary; UptimeSeconds is time since the
+	// mediator was constructed.
+	Build         BuildInfo `json:"build"`
+	UptimeSeconds float64   `json:"uptimeSeconds"`
 }
 
-// Stats returns a snapshot of every layer's counters.
+// Stats returns a snapshot of every layer's counters. It is a read-back
+// view over the mediator's shared metrics registry — the same
+// instruments GET /metrics renders — so the JSON snapshot and the
+// Prometheus exposition cannot drift.
 func (m *Mediator) Stats() Stats {
 	st := Stats{Federation: m.Exec.Stats()}
 	if m.Planner != nil {
@@ -134,26 +155,23 @@ func (m *Mediator) Stats() Stats {
 		}
 		st.Decompose = &ds
 	}
-	m.statsMu.Lock()
-	st.Queries = m.forms
-	m.statsMu.Unlock()
+	m.metrics.queries.Each(func(lvs []string, v float64) {
+		switch lvs[0] {
+		case "select":
+			st.Queries.Select = uint64(v)
+		case "ask":
+			st.Queries.Ask = uint64(v)
+		case "construct":
+			st.Queries.Construct = uint64(v)
+		case "describe":
+			st.Queries.Describe = uint64(v)
+		}
+	})
+	st.InFlight = int(m.metrics.inflight.Value())
+	st.SolutionsStreamed = uint64(m.metrics.streamed.Value())
+	st.Build = buildInfo()
+	st.UptimeSeconds = time.Since(m.start).Seconds()
 	return st
-}
-
-// countForm bumps the per-form query counter.
-func (m *Mediator) countForm(f sparql.Form) {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	switch f {
-	case sparql.Select:
-		m.forms.Select++
-	case sparql.Ask:
-		m.forms.Ask++
-	case sparql.Construct:
-		m.forms.Construct++
-	case sparql.Describe:
-		m.forms.Describe++
-	}
 }
 
 // endpointHealth adapts the executor's stats into the planner's view.

@@ -1,0 +1,164 @@
+package mediate
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"sparqlrw/internal/obs"
+	"sparqlrw/internal/sparql"
+)
+
+// mediatorMetrics are the mediator's own registry-backed instruments,
+// one layer above the federate/plan/decompose counters that share the
+// same registry.
+type mediatorMetrics struct {
+	queries  *obs.CounterVec // by form
+	inflight *obs.Gauge
+	duration *obs.HistogramVec // by form
+	ttfs     *obs.Histogram
+	streamed *obs.Counter
+}
+
+func newMediatorMetrics(r *obs.Registry) *mediatorMetrics {
+	return &mediatorMetrics{
+		queries: r.CounterVec("sparqlrw_queries_total",
+			"Queries accepted for dispatch, by form.", "form"),
+		inflight: r.Gauge("sparqlrw_inflight_queries",
+			"Queries currently executing (accepted, result not yet closed)."),
+		duration: r.HistogramVec("sparqlrw_query_seconds",
+			"Query wall time from acceptance to result close, by form.", nil, "form"),
+		ttfs: r.Histogram("sparqlrw_query_ttfs_seconds",
+			"Time from query acceptance to its first streamed solution or triple.", nil),
+		streamed: r.Counter("sparqlrw_solutions_streamed_total",
+			"Solutions and triples streamed to consumers across all queries."),
+	}
+}
+
+func formLabel(f sparql.Form) string {
+	switch f {
+	case sparql.Select:
+		return "select"
+	case sparql.Ask:
+		return "ask"
+	case sparql.Construct:
+		return "construct"
+	case sparql.Describe:
+		return "describe"
+	}
+	return "other"
+}
+
+// queryObs tracks one query from acceptance to result close: the
+// in-flight gauge, the per-form latency histogram, time-to-first-solution
+// and — when this query started its own trace — finishing the trace,
+// recording it in the ring and emitting the slow-query log line. finish
+// is idempotent, so the explicit error paths and Result.Close can both
+// call it.
+type queryObs struct {
+	m     *Mediator
+	trace *obs.Trace
+	owned bool // this query started the trace: finish and record it
+	form  string
+	start time.Time
+
+	finishOnce sync.Once
+	firstOnce  sync.Once
+}
+
+// beginQuery opens the observation for one accepted query, starting a
+// trace when ctx does not already carry one (an HTTP request that wants
+// the trace in its response passes a prepared context; library callers
+// get one for free).
+func (m *Mediator) beginQuery(ctx context.Context, form sparql.Form) (context.Context, *queryObs) {
+	label := formLabel(form)
+	m.metrics.queries.With(label).Inc()
+	m.metrics.inflight.Add(1)
+	qo := &queryObs{m: m, form: label, start: time.Now()}
+	if t := obs.TraceFrom(ctx); t != nil {
+		qo.trace = t
+	} else {
+		ctx, qo.trace = obs.NewTrace(ctx, "query")
+		qo.owned = true
+	}
+	qo.trace.Root().SetAttr("form", label)
+	return ctx, qo
+}
+
+// emit counts one streamed solution or triple; the first one fixes the
+// query's time-to-first-solution. Nil-safe so internal streams without
+// an observation need no conditionals.
+func (qo *queryObs) emit() {
+	if qo == nil {
+		return
+	}
+	qo.m.metrics.streamed.Inc()
+	qo.firstOnce.Do(func() {
+		ttfs := time.Since(qo.start)
+		qo.m.metrics.ttfs.Observe(ttfs.Seconds())
+		qo.trace.Root().SetAttr("ttfsMs", float64(ttfs.Microseconds())/1000)
+	})
+}
+
+// fail records the error that rejected the query and closes the
+// observation.
+func (qo *queryObs) fail(err error) {
+	if qo == nil {
+		return
+	}
+	qo.trace.Root().SetAttr("error", err.Error())
+	qo.finish()
+}
+
+func (qo *queryObs) finish() {
+	if qo == nil {
+		return
+	}
+	qo.finishOnce.Do(func() {
+		m := qo.m
+		m.metrics.inflight.Add(-1)
+		dur := time.Since(qo.start)
+		m.metrics.duration.With(qo.form).Observe(dur.Seconds())
+		if !qo.owned {
+			return
+		}
+		qo.trace.Finish()
+		m.Obs.Ring.Add(qo.trace)
+		if m.Obs.SlowQuery >= 0 && dur >= m.Obs.SlowQuery {
+			m.Obs.Log.Warn("slow query",
+				"traceId", qo.trace.ID(),
+				"form", qo.form,
+				"durationMs", float64(dur.Microseconds())/1000)
+		}
+	})
+}
+
+// BuildInfo identifies the running binary for /api/stats.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit the binary was built from (empty when
+	// built outside a checkout).
+	Revision string `json:"revision,omitempty"`
+	// Modified is true when the checkout had local modifications.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// buildInfo reads the binary's embedded build metadata once.
+var buildInfo = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+})

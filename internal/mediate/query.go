@@ -10,6 +10,7 @@ import (
 	"sparqlrw/internal/decompose"
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
@@ -48,6 +49,7 @@ type Result struct {
 	graph  *GraphStream
 	pl     *plan.Plan
 	dec    *decompose.Decomposition
+	qo     *queryObs
 }
 
 // Form reports which query form executed, and with it which payload
@@ -74,6 +76,18 @@ func (r *Result) Plan() *plan.Plan { return r.pl }
 // the multi-source path (nil otherwise).
 func (r *Result) Decomposition() *decompose.Decomposition { return r.dec }
 
+// Trace returns the query's span tree: every pipeline stage's timings and
+// annotations (rewrite cache hits, per-endpoint attempts, retries,
+// time-to-first-solution). The trace is finished — and recorded in the
+// mediator's trace ring — when the Result is closed, unless the query's
+// context already carried a trace, in which case its starter owns it.
+func (r *Result) Trace() *obs.Trace {
+	if r.qo == nil {
+		return nil
+	}
+	return r.qo.trace
+}
+
 // Summary reports the fan-out's outcome (consuming whatever remains of
 // the live stream first): per-dataset answers, duplicate count, partial
 // flag. For ASK it is available immediately.
@@ -88,9 +102,12 @@ func (r *Result) Summary() (*FederatedResult, error) {
 	}
 }
 
-// Close cancels the remaining upstream work of whichever stream is live.
-// Safe to call at any point and more than once.
+// Close cancels the remaining upstream work of whichever stream is live
+// and closes the query's observation (in-flight gauge, latency histogram,
+// trace finish + ring record). Safe to call at any point and more than
+// once.
 func (r *Result) Close() error {
+	defer r.qo.finish()
 	switch {
 	case r.sel != nil:
 		return r.sel.Close()
@@ -136,7 +153,24 @@ func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*Result, error)
 // queries accepted for dispatch, including ones that subsequently fail
 // planning or execution.
 func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
-	m.countForm(q.Form)
+	ctx, qo := m.beginQuery(ctx, q.Form)
+	res, err := m.formResult(ctx, req, q)
+	if err != nil {
+		qo.fail(err)
+		return nil, err
+	}
+	res.qo = qo
+	if res.sel != nil {
+		res.sel.qo = qo
+	}
+	if res.graph != nil {
+		res.graph.qo = qo
+	}
+	return res, nil
+}
+
+// formResult dispatches the parsed query to its form's execution path.
+func (m *Mediator) formResult(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
 	switch q.Form {
 	case sparql.Select:
 		qs, err := m.selectStream(ctx, req, q)
@@ -175,6 +209,7 @@ type QueryStream struct {
 	dec   *decompose.Decomposition
 	limit int
 	n     int
+	qo    *queryObs // nil for internal phase streams (ASK, DESCRIBE phase 1)
 
 	// Explicit-target bookkeeping: unknown data sets never dispatch, but
 	// their error answers re-interleave into Summary's PerDataset in
@@ -205,22 +240,34 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 		if m.Planner == nil {
 			return nil, fmt.Errorf("mediate: no targets given and planning is disabled")
 		}
+		_, planSpan := obs.StartSpan(ctx, "plan")
+		planSpan.SetAttr("sourceOnt", req.SourceOnt)
 		pl, err := m.Planner.Plan(req.Query, req.SourceOnt)
 		if err != nil {
+			planSpan.SetAttr("error", err.Error())
+			planSpan.End()
 			return nil, err
 		}
+		planSpan.SetAttr("considered", len(pl.Decisions))
+		planSpan.SetAttr("subQueries", len(pl.Subs))
+		planSpan.End()
 		if len(pl.Subs) == 0 {
 			// No single data set covers the whole query: try splitting
 			// the BGP into per-endpoint exclusive groups joined at the
 			// mediator (the multi-source path).
 			if m.Decomposer != nil {
+				_, decSpan := obs.StartSpan(ctx, "decompose")
 				dcm, derr := m.Decomposer.Decompose(req.Query, req.SourceOnt)
 				if derr == nil {
+					decSpan.SetAttr("fragments", len(dcm.Fragments))
+					decSpan.End()
 					qs.pl = pl
 					qs.dec = dcm
 					qs.src = m.JoinEngine.Run(ctx, dcm)
 					return qs, nil
 				}
+				decSpan.SetAttr("error", derr.Error())
+				decSpan.End()
 				return nil, fmt.Errorf(
 					"mediate: no registered data set is relevant to the whole query and it does not decompose (%v); see /api/plan", derr)
 			}
@@ -273,6 +320,7 @@ func (qs *QueryStream) Next() (eval.Solution, error) {
 	sol, err := qs.src.Next()
 	if err == nil {
 		qs.n++
+		qs.qo.emit()
 	}
 	return sol, err
 }
@@ -326,9 +374,15 @@ func (qs *QueryStream) Summary() (*FederatedResult, error) {
 	return res, err
 }
 
-// Close cancels the remaining upstream work and releases the stream. It
-// is safe to call at any point and more than once.
-func (qs *QueryStream) Close() error { return qs.src.Close() }
+// Close cancels the remaining upstream work, releases the stream and
+// closes the query's observation (see Result.Close) — so consumers that
+// hold only the stream (Collect, the Solutions loop) still settle the
+// in-flight gauge and latency histogram. It is safe to call at any point
+// and more than once.
+func (qs *QueryStream) Close() error {
+	defer qs.qo.finish()
+	return qs.src.Close()
+}
 
 // Collect materialises the stream into the buffered FederatedResult
 // shape, sorted deterministically — the convenience for callers that
@@ -617,6 +671,7 @@ type GraphStream struct {
 	n       int // solutions consumed, numbering template blank nodes
 	emitted int
 	limit   int
+	qo      *queryObs
 
 	// pre carries a DESCRIBE's phase-1 (resource resolution) summary,
 	// prepended to the fan-out summary.
@@ -661,6 +716,7 @@ func (g *GraphStream) Next() (rdf.Triple, error) {
 			}
 			g.seen[t] = true
 			g.emitted++
+			g.qo.emit()
 			return t, nil
 		}
 		if g.src == nil {
@@ -743,9 +799,11 @@ func (g *GraphStream) Summary() (*FederatedResult, error) {
 	return combined, err
 }
 
-// Close cancels the remaining upstream work and releases the stream. It
-// is safe to call at any point and more than once.
+// Close cancels the remaining upstream work, releases the stream and
+// closes the query's observation (see Result.Close). It is safe to call
+// at any point and more than once.
 func (g *GraphStream) Close() error {
+	defer g.qo.finish()
 	if g.src != nil {
 		return g.src.Close()
 	}

@@ -1,0 +1,492 @@
+// Package obs is the mediator's zero-dependency observability substrate:
+// a Prometheus-text-format metrics registry (counters, gauges,
+// fixed-bucket histograms), a lightweight per-query span tree carried via
+// context.Context, and a ring buffer of finished traces. Every layer of
+// the federation pipeline (federate, plan, decompose, mediate) registers
+// its counters here, and Mediator.Stats() reads the same registry back,
+// so the JSON snapshot and the /metrics exposition cannot drift.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bounds, in seconds —
+// 1 ms to 10 s, the spread between a warm local endpoint and a timed-out
+// remote one.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry is a set of named metric families. Constructors are
+// get-or-create: registering a name that already exists returns the
+// existing family (the mediator rebuilds its execution stack on
+// reconfiguration and the counters must survive), and panics if the type
+// or label names differ — that is a programming error, not runtime state.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric family: a set of series distinguished by
+// label values, or a callback evaluated at collection time.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*series
+
+	// fn, when non-nil, makes this a function-backed family: samples are
+	// produced by the callback at collection time (cache sizes, breaker
+	// states — state that already lives elsewhere and must not be
+	// double-booked). Re-registering replaces the callback, so a rebuilt
+	// subsystem re-binds the family to its fresh state.
+	fn func(emit func(labelValues []string, value float64))
+
+	buckets []float64 // histogram families only
+}
+
+// series is one (family, label values) time series.
+type series struct {
+	labelValues []string
+	bits        atomic.Uint64 // float64 bits (counter / gauge value)
+	hist        *histogramData
+}
+
+func (s *series) add(d float64) {
+	for {
+		old := s.bits.Load()
+		if s.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (s *series) set(v float64) { s.bits.Store(math.Float64bits(v)) }
+
+func (s *series) value() float64 { return math.Float64frombits(s.bits.Load()) }
+
+// seriesKey joins label values with an unprintable separator.
+func seriesKey(lvs []string) string { return strings.Join(lvs, "\xff") }
+
+func (r *Registry) family(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with labels %v, was %v",
+					name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ, labels: labels,
+		series: make(map[string]*series), buckets: buckets,
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) get(lvs []string) *series {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label values, got %d",
+			f.name, len(f.labels), len(lvs)))
+	}
+	key := seriesKey(lvs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), lvs...)}
+		if f.typ == typeHistogram {
+			s.hist = newHistogramData(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// each visits a snapshot of the family's series, sorted by label values.
+func (f *family) each(visit func(s *series)) {
+	f.mu.Lock()
+	snap := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		snap = append(snap, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(snap, func(i, j int) bool {
+		return seriesKey(snap[i].labelValues) < seriesKey(snap[j].labelValues)
+	})
+	for _, s := range snap {
+		visit(s)
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.add(1) }
+
+// Add adds d (d must be >= 0 for the exposition to stay a valid counter).
+func (c *Counter) Add(d float64) { c.s.add(d) }
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return c.s.value() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.set(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d float64) { g.s.add(d) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return g.s.value() }
+
+// Counter registers (or finds) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{s: r.family(name, help, typeCounter, nil, nil).get(nil)}
+}
+
+// Gauge registers (or finds) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{s: r.family(name, help, typeGauge, nil, nil).get(nil)}
+}
+
+// Histogram registers (or finds) an unlabelled histogram with the given
+// upper bucket bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &Histogram{h: r.family(name, help, typeHistogram, nil, buckets).get(nil).hist}
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or finds) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(lvs ...string) *Counter { return &Counter{s: v.f.get(lvs)} }
+
+// Each visits every series with its label values and current total.
+func (v *CounterVec) Each(visit func(labelValues []string, value float64)) {
+	v.f.each(func(s *series) { visit(s.labelValues, s.value()) })
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(lvs ...string) *Gauge { return &Gauge{s: v.f.get(lvs)} }
+
+// Each visits every series with its label values and current value.
+func (v *GaugeVec) Each(visit func(labelValues []string, value float64)) {
+	v.f.each(func(s *series) { visit(s.labelValues, s.value()) })
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or finds) a labelled histogram family (nil
+// buckets selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, typeHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(lvs ...string) *Histogram {
+	return &Histogram{h: v.f.get(lvs).hist}
+}
+
+// Each visits every series with its label values and a snapshot.
+func (v *HistogramVec) Each(visit func(labelValues []string, snap HistogramSnapshot)) {
+	v.f.each(func(s *series) { visit(s.labelValues, s.hist.snapshot()) })
+}
+
+// GaugeFunc registers a gauge whose value is computed at collection time
+// by fn. Re-registering the same name replaces fn, so a rebuilt subsystem
+// re-binds the gauge to its fresh state instead of double-booking it.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = func(emit func([]string, float64)) { emit(nil, fn()) }
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter whose value is read at collection time
+// by fn — for totals that already live elsewhere (the plan cache's
+// hit/miss counters) and must not be double-booked. Re-registering
+// replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = func(emit func([]string, float64)) { emit(nil, fn()) }
+	f.mu.Unlock()
+}
+
+// GaugeFuncVec registers a labelled gauge family whose samples are
+// produced at collection time by collect (per-endpoint breaker states).
+// Re-registering replaces collect.
+func (r *Registry) GaugeFuncVec(name, help string, labels []string, collect func(emit func(labelValues []string, value float64))) {
+	f := r.family(name, help, typeGauge, labels, nil)
+	f.mu.Lock()
+	f.fn = collect
+	f.mu.Unlock()
+}
+
+// histogramData is the mutable core of a histogram: per-bucket counters
+// plus the running sum. Observations are lock-free; snapshots are
+// per-bucket-atomic (Prometheus scrapes tolerate the skew).
+type histogramData struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogramData(bounds []float64) *histogramData {
+	return &histogramData{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogramData) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (h *histogramData) snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	snap.Sum = math.Float64frombits(h.sumBits.Load())
+	return snap
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ h *histogramData }
+
+// Observe records one value (for latency histograms, in seconds).
+func (h *Histogram) Observe(v float64) { h.h.observe(v) }
+
+// Snapshot reads the current bucket counts and sum.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.h.snapshot() }
+
+// HistogramSnapshot is a point-in-time view of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds plus one overflow bucket,
+// the total count and the sum of observations.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; Counts has len(Bounds)+1 (last = +Inf)
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank, the same estimate Prometheus'
+// histogram_quantile computes. The overflow bucket clamps to its lower
+// bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket: clamp to its lower bound
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		if c == 0 {
+			return upper
+		}
+		inBucket := rank - float64(cum-c)
+		return lower + (upper-lower)*(inBucket/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4), families and series sorted for deterministic
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		writeFamily(&b, f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	if fn != nil {
+		type sample struct {
+			lvs []string
+			v   float64
+		}
+		var samples []sample
+		fn(func(lvs []string, v float64) {
+			samples = append(samples, sample{append([]string(nil), lvs...), v})
+		})
+		sort.Slice(samples, func(i, j int) bool {
+			return seriesKey(samples[i].lvs) < seriesKey(samples[j].lvs)
+		})
+		for _, s := range samples {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.lvs), formatFloat(s.v))
+		}
+		return
+	}
+
+	f.each(func(s *series) {
+		if f.typ == typeHistogram {
+			writeHistogramSeries(b, f, s)
+			return
+		}
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues), formatFloat(s.value()))
+	})
+}
+
+func writeHistogramSeries(b *strings.Builder, f *family, s *series) {
+	snap := s.hist.snapshot()
+	// Fresh copies: appending "le" to shared label slices would alias
+	// their backing arrays across series.
+	bucketLabels := append(append([]string(nil), f.labels...), "le")
+	bucketValues := func(le string) []string {
+		return append(append([]string(nil), s.labelValues...), le)
+	}
+	var cum uint64
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			labelString(bucketLabels, bucketValues(formatFloat(bound))), cum)
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+		labelString(bucketLabels, bucketValues("+Inf")), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues), formatFloat(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues), cum)
+}
+
+// labelString renders {k1="v1",k2="v2"}, or "" when there are no labels.
+func labelString(labels, values []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

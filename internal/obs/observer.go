@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Options tune an Observer. The zero value selects the defaults.
+type Options struct {
+	// Registry receives every layer's metrics. Nil creates a private one;
+	// pass a shared registry to merge several components into one
+	// /metrics exposition.
+	Registry *Registry
+	// Logger receives structured log output (slow queries, request
+	// logs). Nil selects slog.Default().
+	Logger *slog.Logger
+	// SlowQuery is the wall-time threshold above which a finished query
+	// emits a structured slow-query log line (default 1s; negative
+	// disables).
+	SlowQuery time.Duration
+	// TraceRingSize is how many finished traces GET /api/trace retains
+	// (default 128).
+	TraceRingSize int
+}
+
+// Observer bundles the three observability surfaces one component
+// threads through its layers: the metrics registry, the finished-trace
+// ring, and the structured logger.
+type Observer struct {
+	Registry  *Registry
+	Ring      *TraceRing
+	Log       *slog.Logger
+	SlowQuery time.Duration
+}
+
+// NewObserver builds an observer from the options.
+func NewObserver(opts Options) *Observer {
+	o := &Observer{
+		Registry:  opts.Registry,
+		Log:       opts.Logger,
+		SlowQuery: opts.SlowQuery,
+	}
+	if o.Registry == nil {
+		o.Registry = NewRegistry()
+	}
+	if o.Log == nil {
+		o.Log = slog.Default()
+	}
+	if o.SlowQuery == 0 {
+		o.SlowQuery = time.Second
+	}
+	size := opts.TraceRingSize
+	if size <= 0 {
+		size = 128
+	}
+	o.Ring = NewTraceRing(size)
+	return o
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromFamily is one parsed metric family from a text exposition.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// PromSample is one parsed series sample.
+type PromSample struct {
+	// Name is the full sample name (histogram samples carry the
+	// _bucket/_sum/_count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheusText parses a Prometheus text-format exposition
+// (version 0.0.4) strictly enough to validate /metrics output: HELP/TYPE
+// comments, label syntax with escape sequences, float values, and
+// histogram-sample/family association. Families are returned sorted by
+// name. It is the verification half of WritePrometheus and is used by
+// the scrape tests and the check-metrics tooling.
+func ParsePrometheusText(r io.Reader) ([]PromFamily, error) {
+	byName := map[string]*PromFamily{}
+	var order []string
+	fam := func(name string) *PromFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			f := fam(fields[2])
+			rest := ""
+			if len(fields) == 4 {
+				rest = fields[3]
+			}
+			if fields[1] == "HELP" {
+				f.Help = strings.NewReplacer(`\\`, `\`, `\n`, "\n").Replace(rest)
+			} else {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = rest
+				default:
+					return nil, fmt.Errorf("line %d: invalid TYPE %q", lineNo, rest)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := byName[trimmed]; ok && f.Type == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		fam(base).Samples = append(fam(base).Samples, PromSample{
+			Name: name, Labels: labels, Value: value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]PromFamily, 0, len(order))
+	sort.Strings(order)
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		labels = map[string]string{}
+		for {
+			rest = strings.TrimLeft(rest, " \t,")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				rest = rest[1:]
+				if c == '"' {
+					break
+				}
+				if c == '\\' {
+					if rest == "" {
+						return "", nil, 0, fmt.Errorf("dangling escape in %q", line)
+					}
+					e := rest[0]
+					rest = rest[1:]
+					switch e {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in %q", e, line)
+					}
+					continue
+				}
+				val.WriteByte(c)
+			}
+			labels[key] = val.String()
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// Optional trailing timestamp: "value timestamp".
+	if sp := strings.IndexAny(valStr, " \t"); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("no metric name in %q", line)
+	}
+	switch valStr {
+	case "+Inf", "-Inf", "NaN":
+		// strconv handles these, but be explicit about acceptance.
+	}
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	return name, labels, value, nil
+}

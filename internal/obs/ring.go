@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// TraceRing keeps the last N finished traces for GET /api/trace/{id}:
+// enough history to inspect why a recent query was slow without growing
+// without bound. Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int // insertion cursor
+	n    int // traces stored (≤ len(buf))
+}
+
+// NewTraceRing returns a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]*Trace, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the trace with the given ID, or nil when it has been
+// evicted (or never recorded).
+func (r *TraceRing) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.buf {
+		if t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Recent returns up to limit traces, newest first (limit <= 0 returns
+// all stored traces).
+func (r *TraceRing) Recent(limit int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if limit <= 0 || limit > r.n {
+		limit = r.n
+	}
+	out := make([]*Trace, 0, limit)
+	for i := 1; i <= limit; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one query's span tree: a root span plus the nested child
+// spans each pipeline stage opens (rewrite, plan, per-endpoint
+// sub-queries, retries). Traces travel via context.Context — every
+// layer annotates the trace it finds there, and a context without one
+// makes every annotation a no-op, so instrumentation costs nothing when
+// tracing is off. All methods are safe for concurrent use: sub-query
+// spans are opened and annotated from parallel fan-out workers.
+type Trace struct {
+	id    string
+	start time.Time
+	root  *Span
+
+	mu       sync.Mutex
+	end      time.Time
+	finished bool
+}
+
+// Span is one timed, annotated operation within a trace.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key   string
+	value any
+}
+
+// traceIDCounter disambiguates traces started in the same nanosecond.
+var traceIDCounter atomic.Uint64
+
+func newTraceID() string {
+	const hex = "0123456789abcdef"
+	v := uint64(time.Now().UnixNano())<<16 | (traceIDCounter.Add(1) & 0xffff)
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+type ctxKey struct{}
+
+// NewTrace starts a trace whose root span has the given name and returns
+// a context carrying it. Layers below retrieve it with TraceFrom or open
+// child spans with StartSpan.
+func NewTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	t := &Trace{id: newTraceID(), start: time.Now()}
+	t.root = &Span{trace: t, name: name, start: t.start}
+	return context.WithValue(ctx, ctxKey{}, t.root), t
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if s, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		return s.trace
+	}
+	return nil
+}
+
+// StartSpan opens a child span under the span carried by ctx and returns
+// a context carrying the new span. When ctx carries no trace it returns
+// ctx and a nil span — every method of a nil *Span is a no-op, so
+// instrumentation sites need no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok || parent == nil {
+		return ctx, nil
+	}
+	child := &Span{trace: parent.trace, name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, child), child
+}
+
+// ID returns the trace's identifier (16 hex characters).
+func (t *Trace) ID() string { return t.id }
+
+// Start returns when the trace began.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// Finish ends the trace (and its root span, and any still-open child
+// spans). Idempotent: the first call fixes the end time.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.end = time.Now()
+	end := t.end
+	t.mu.Unlock()
+	t.root.endAt(end)
+}
+
+// Duration returns the trace's wall time: end-start once finished, the
+// running duration otherwise.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return t.end.Sub(t.start)
+	}
+	return time.Since(t.start)
+}
+
+// SetAttr sets one key on the span, replacing an earlier value for the
+// same key. No-op on a nil span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key, value})
+}
+
+// End closes the span. Idempotent; no-op on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.endAt(time.Now())
+}
+
+func (s *Span) endAt(t time.Time) {
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = t
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.endAt(t)
+	}
+}
+
+// SpanJSON is the serialised shape of one span: offsets and durations in
+// milliseconds relative to the trace start, attributes keyed by name, and
+// nested children.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"startMs"`
+	DurationMS float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// TraceJSON is the serialised shape of a finished trace.
+type TraceJSON struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Root       SpanJSON  `json:"root"`
+}
+
+// View snapshots the trace into its serialisable shape. Call after
+// Finish for stable durations; open spans report their running duration.
+func (t *Trace) View() TraceJSON {
+	return TraceJSON{
+		ID:         t.id,
+		Start:      t.start,
+		DurationMS: ms(t.Duration()),
+		Root:       t.root.view(t.start),
+	}
+}
+
+// JSON marshals the trace view (never fails for the attr types the
+// pipeline records; a marshal error yields a JSON error object).
+func (t *Trace) JSON() json.RawMessage {
+	data, err := json.Marshal(t.View())
+	if err != nil {
+		data, _ = json.Marshal(map[string]string{"error": err.Error()})
+	}
+	return data
+}
+
+func (s *Span) view(traceStart time.Time) SpanJSON {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = time.Now()
+	}
+	out := SpanJSON{
+		Name:       s.name,
+		StartMS:    ms(s.start.Sub(traceStart)),
+		DurationMS: ms(end.Sub(s.start)),
+	}
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.key] = a.value
+		}
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.view(traceStart))
+	}
+	return out
+}
+
+// ms converts a duration to fractional milliseconds (microsecond
+// resolution, the precision span timings need).
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

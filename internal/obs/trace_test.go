@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	ctx, trace := NewTrace(context.Background(), "query")
+	if trace.ID() == "" || len(trace.ID()) != 16 {
+		t.Errorf("trace ID = %q, want 16 hex chars", trace.ID())
+	}
+	if TraceFrom(ctx) != trace {
+		t.Error("TraceFrom did not return the started trace")
+	}
+
+	_, plan := StartSpan(ctx, "plan")
+	plan.SetAttr("datasets", 3)
+	plan.SetAttr("datasets", 2) // replaces, not appends
+	plan.End()
+
+	subCtx, sub := StartSpan(ctx, "subquery")
+	sub.SetAttr("endpoint", "http://a.example/sparql")
+	_, attempt := StartSpan(subCtx, "attempt")
+	attempt.SetAttr("n", 1)
+	// attempt deliberately left open: Finish must close it.
+
+	trace.Finish()
+	end := trace.Duration()
+	time.Sleep(2 * time.Millisecond)
+	if trace.Duration() != end {
+		t.Error("Duration changed after Finish")
+	}
+	trace.Finish() // idempotent
+
+	view := trace.View()
+	if view.ID != trace.ID() || view.Root.Name != "query" {
+		t.Errorf("view root = %+v", view.Root)
+	}
+	if len(view.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (plan, subquery)", len(view.Root.Children))
+	}
+	planView := view.Root.Children[0]
+	if planView.Name != "plan" || planView.Attrs["datasets"] != 2 {
+		t.Errorf("plan span = %+v", planView)
+	}
+	subView := view.Root.Children[1]
+	if len(subView.Children) != 1 || subView.Children[0].Name != "attempt" {
+		t.Fatalf("subquery children = %+v", subView.Children)
+	}
+	// The open attempt span was closed at Finish time, inside the trace.
+	if got := subView.Children[0].DurationMS; got > view.DurationMS {
+		t.Errorf("attempt duration %vms exceeds trace duration %vms", got, view.DurationMS)
+	}
+
+	var decoded TraceJSON
+	if err := json.Unmarshal(trace.JSON(), &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if decoded.Root.Children[1].Attrs["endpoint"] != "http://a.example/sparql" {
+		t.Errorf("decoded subquery attrs = %+v", decoded.Root.Children[1].Attrs)
+	}
+}
+
+func TestNoTraceIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Error("TraceFrom on bare context != nil")
+	}
+	ctx2, span := StartSpan(ctx, "plan")
+	if span != nil {
+		t.Fatal("StartSpan without a trace returned a span")
+	}
+	if ctx2 != ctx {
+		t.Error("StartSpan without a trace changed the context")
+	}
+	// All nil-span and nil-trace methods must be safe no-ops.
+	span.SetAttr("k", "v")
+	span.End()
+	var trace *Trace
+	trace.Finish()
+	if trace.Duration() != 0 {
+		t.Error("nil trace Duration != 0")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		_, tr := NewTrace(context.Background(), "q")
+		if seen[tr.ID()] {
+			t.Fatalf("duplicate trace ID %q", tr.ID())
+		}
+		seen[tr.ID()] = true
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	ring := NewTraceRing(3)
+	var traces []*Trace
+	for i := 0; i < 5; i++ {
+		_, tr := NewTrace(context.Background(), fmt.Sprintf("q%d", i))
+		tr.Finish()
+		traces = append(traces, tr)
+		ring.Add(tr)
+	}
+	if ring.Get(traces[0].ID()) != nil || ring.Get(traces[1].ID()) != nil {
+		t.Error("evicted traces still retrievable")
+	}
+	for _, tr := range traces[2:] {
+		if ring.Get(tr.ID()) != tr {
+			t.Errorf("trace %s missing from ring", tr.ID())
+		}
+	}
+	recent := ring.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(0) = %d traces, want 3", len(recent))
+	}
+	// Newest first.
+	if recent[0] != traces[4] || recent[2] != traces[2] {
+		t.Errorf("Recent order = [%s %s %s], want newest first",
+			recent[0].Root().name, recent[1].Root().name, recent[2].Root().name)
+	}
+	if got := ring.Recent(1); len(got) != 1 || got[0] != traces[4] {
+		t.Errorf("Recent(1) = %v", got)
+	}
+	ring.Add(nil) // ignored
+	if len(ring.Recent(0)) != 3 {
+		t.Error("Add(nil) changed ring contents")
+	}
+}
+
+func TestObserverDefaults(t *testing.T) {
+	o := NewObserver(Options{})
+	if o.Registry == nil || o.Ring == nil || o.Log == nil {
+		t.Fatalf("NewObserver left nil fields: %+v", o)
+	}
+	if o.SlowQuery != time.Second {
+		t.Errorf("default SlowQuery = %v, want 1s", o.SlowQuery)
+	}
+	shared := NewRegistry()
+	o2 := NewObserver(Options{Registry: shared, SlowQuery: -1, TraceRingSize: 2})
+	if o2.Registry != shared {
+		t.Error("supplied registry not used")
+	}
+	if o2.SlowQuery >= 0 {
+		t.Error("negative SlowQuery (disabled) was overridden")
+	}
+}

@@ -28,10 +28,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"sparqlrw/internal/align"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/voidkb"
@@ -50,6 +50,10 @@ type Options struct {
 	SlowFactor float64
 	// MinDeadline floors the adaptive deadline (default 250ms).
 	MinDeadline time.Duration
+	// Registry receives the planner's metrics (plan / source-selection /
+	// shard counters). Nil creates a private registry; the mediator passes
+	// its shared one so /metrics and Stats() read the same counters.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -87,14 +91,42 @@ type Planner struct {
 	alignments *align.KB
 	health     HealthFunc
 	opts       Options
+	metrics    plannerMetrics
+}
 
-	mu    sync.Mutex
-	stats Stats
+// plannerMetrics are the planner's registry-backed counters; Stats()
+// reads them back, and the shared registry renders them at /metrics.
+type plannerMetrics struct {
+	plans        *obs.Counter
+	considered   *obs.Counter
+	pruned       *obs.Counter
+	subQueries   *obs.Counter
+	valuesShards *obs.Counter
 }
 
 // New returns a planner over the given knowledge bases. health may be nil.
 func New(datasets *voidkb.KB, alignments *align.KB, health HealthFunc, opts Options) *Planner {
-	return &Planner{datasets: datasets, alignments: alignments, health: health, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+		opts.Registry = reg
+	}
+	return &Planner{
+		datasets: datasets, alignments: alignments, health: health, opts: opts,
+		metrics: plannerMetrics{
+			plans: reg.Counter("sparqlrw_plan_plans_total",
+				"Federation plans built."),
+			considered: reg.Counter("sparqlrw_plan_datasets_considered_total",
+				"Data set relevance decisions taken during source selection."),
+			pruned: reg.Counter("sparqlrw_plan_datasets_pruned_total",
+				"Data sets pruned by source selection."),
+			subQueries: reg.Counter("sparqlrw_plan_subqueries_total",
+				"Sub-queries emitted by built plans."),
+			valuesShards: reg.Counter("sparqlrw_plan_values_shards_total",
+				"Sub-queries produced by VALUES sharding."),
+		},
+	}
 }
 
 // Options returns the planner's effective (defaulted) options.
@@ -119,11 +151,16 @@ type Stats struct {
 	ValuesShards uint64 `json:"valuesShards"`
 }
 
-// Stats returns a snapshot of the planner's counters.
+// Stats returns a snapshot of the planner's counters, read back from the
+// metrics registry so the JSON view and /metrics cannot disagree.
 func (p *Planner) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Plans:              uint64(p.metrics.plans.Value()),
+		DatasetsConsidered: uint64(p.metrics.considered.Value()),
+		DatasetsPruned:     uint64(p.metrics.pruned.Value()),
+		SubQueries:         uint64(p.metrics.subQueries.Value()),
+		ValuesShards:       uint64(p.metrics.valuesShards.Value()),
+	}
 }
 
 // Decision records why one data set was kept or pruned; the /api/plan
@@ -249,13 +286,11 @@ func (p *Planner) Plan(queryText, sourceOnt string) (*Plan, error) {
 	}
 	orderSubs(pl.Subs, health)
 
-	p.mu.Lock()
-	p.stats.Plans++
-	p.stats.DatasetsConsidered += uint64(len(pl.Decisions))
-	p.stats.DatasetsPruned += pruned
-	p.stats.SubQueries += uint64(len(pl.Subs))
-	p.stats.ValuesShards += shards
-	p.mu.Unlock()
+	p.metrics.plans.Inc()
+	p.metrics.considered.Add(float64(len(pl.Decisions)))
+	p.metrics.pruned.Add(float64(pruned))
+	p.metrics.subQueries.Add(float64(len(pl.Subs)))
+	p.metrics.valuesShards.Add(float64(shards))
 	return pl, nil
 }
 

@@ -90,6 +90,27 @@ func (e *StreamEncoder) Close() error {
 	return err
 }
 
+// CloseWith writes the document epilogue with one extra top-level member
+// appended after results — the /sparql endpoint's explain=trace trailer.
+// W3C-format consumers (including StreamDecoder) skip unknown top-level
+// members, so the document stays a valid SELECT results document. raw
+// must be valid JSON; nil raw degrades to a plain Close.
+func (e *StreamEncoder) CloseWith(key string, raw json.RawMessage) error {
+	if e.closed {
+		return nil
+	}
+	if raw == nil {
+		return e.Close()
+	}
+	e.closed = true
+	k, err := json.Marshal(key)
+	if err != nil {
+		return fmt.Errorf("srjson: %w", err)
+	}
+	_, err = fmt.Fprintf(e.w, "]},%s:%s}", k, raw)
+	return err
+}
+
 // EncodeSelectStream drains a lazy solution sequence into w as a SELECT
 // results document, writing each solution as it arrives. flush, when
 // non-nil, is called after every written solution (an http.Flusher

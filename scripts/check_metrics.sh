@@ -1,0 +1,97 @@
+#!/bin/sh
+# check_metrics.sh — boots the mediator binary on a free port, runs one
+# federated query through /sparql, scrapes GET /metrics and asserts the
+# core Prometheus series from every layer are present. Run via
+# `make check-metrics`.
+set -eu
+
+workdir=$(mktemp -d)
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "check-metrics: building mediator..."
+go build -o "$workdir/mediator" ./cmd/mediator
+
+# Small universe: the smoke test needs a query to succeed, not scale.
+"$workdir/mediator" -addr 127.0.0.1:0 -persons 20 -papers 60 \
+	>"$workdir/out.log" 2>"$workdir/err.log" &
+pid=$!
+
+# Wait for the startup banner and parse the resolved address from it.
+base=""
+for _ in $(seq 1 50); do
+	base=$(sed -n 's#^mediator listening on \(http://[^/]*\)/#\1#p' "$workdir/out.log")
+	[ -n "$base" ] && break
+	kill -0 "$pid" 2>/dev/null || {
+		echo "check-metrics: mediator exited during startup:" >&2
+		cat "$workdir/err.log" >&2
+		exit 1
+	}
+	sleep 0.2
+done
+[ -n "$base" ] || { echo "check-metrics: no startup banner" >&2; exit 1; }
+echo "check-metrics: mediator at $base"
+
+query='PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT DISTINCT ?a WHERE {
+  ?paper akt:has-author <http://southampton.rkbexplorer.com/id/person-00002> .
+  ?paper akt:has-author ?a .
+}'
+
+status=$(curl -s -o "$workdir/result.json" -w '%{http_code}' \
+	--data-urlencode "query=$query" --data-urlencode "explain=trace" \
+	"$base/sparql")
+[ "$status" = 200 ] || {
+	echo "check-metrics: /sparql returned $status:" >&2
+	cat "$workdir/result.json" >&2
+	exit 1
+}
+grep -q '"trace"' "$workdir/result.json" || {
+	echo "check-metrics: explain=trace response carries no trace member" >&2
+	exit 1
+}
+
+curl -s "$base/metrics" >"$workdir/metrics.txt"
+
+fail=0
+# series-name prefix -> must appear as a sample line with a value
+for series in \
+	sparqlrw_queries_total \
+	sparqlrw_query_seconds_count \
+	sparqlrw_query_ttfs_seconds_count \
+	sparqlrw_solutions_streamed_total \
+	sparqlrw_inflight_queries \
+	sparqlrw_http_requests_total \
+	sparqlrw_plan_plans_total \
+	sparqlrw_plan_cache_misses_total \
+	sparqlrw_federate_attempts_total \
+	sparqlrw_federate_request_seconds_count \
+	sparqlrw_federate_breaker_state \
+	; do
+	if ! grep -q "^$series" "$workdir/metrics.txt"; then
+		echo "check-metrics: MISSING series $series" >&2
+		fail=1
+	fi
+done
+
+# The query ran, so the select counter must be non-zero.
+if ! grep -q '^sparqlrw_queries_total{form="select"} [1-9]' "$workdir/metrics.txt"; then
+	echo "check-metrics: sparqlrw_queries_total{form=\"select\"} not incremented" >&2
+	fail=1
+fi
+
+# The trace must be retrievable through the ring.
+trace_id=$(curl -s "$base/api/trace?limit=1" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+if [ -z "$trace_id" ]; then
+	echo "check-metrics: /api/trace lists no traces" >&2
+	fail=1
+elif ! curl -sf "$base/api/trace/$trace_id" >/dev/null; then
+	echo "check-metrics: /api/trace/$trace_id not retrievable" >&2
+	fail=1
+fi
+
+[ "$fail" = 0 ] || exit 1
+echo "check-metrics: all core series present; trace $trace_id retrievable"

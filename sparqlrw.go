@@ -73,6 +73,7 @@ import (
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/mediate"
 	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
@@ -341,7 +342,40 @@ var (
 	WithoutMediatorDecomposer = mediate.WithoutDecomposer
 	// WithMediatorRewriteFilters toggles the §4 FILTER extension.
 	WithMediatorRewriteFilters = mediate.WithRewriteFilters
+	// WithMediatorObservability replaces the observability options
+	// (metrics registry, logger, slow-query threshold, trace-ring size).
+	WithMediatorObservability = mediate.WithObservability
 )
+
+// Observability: every mediator layer registers its counters, gauges and
+// latency histograms in one shared registry (Prometheus text exposition
+// at GET /metrics), and each query grows a span tree annotated by the
+// rewrite, plan, decompose and federate stages (explain=trace on /sparql,
+// GET /api/trace, MediatorResult.Trace).
+type (
+	// MetricsRegistry is the process-wide metric family registry. Pass
+	// one via ObservabilityOptions to merge several components into a
+	// single exposition; read it back on Mediator.Obs.
+	MetricsRegistry = obs.Registry
+	// ObservabilityOptions tune the registry, structured logger,
+	// slow-query threshold and trace-ring size.
+	ObservabilityOptions = obs.Options
+	// Observer bundles a mediator's observability surfaces: registry,
+	// finished-trace ring, logger.
+	Observer = obs.Observer
+	// QueryTrace is one query's finished span tree.
+	QueryTrace = obs.Trace
+	// QuerySpan is one timed, annotated operation within a QueryTrace.
+	QuerySpan = obs.Span
+)
+
+// NewMetricsRegistry returns an empty metric family registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ParsePrometheusText parses a Prometheus text-format exposition (such as
+// the mediator's /metrics output) into metric families — the test-side
+// complement of the registry's exposition writer.
+var ParsePrometheusText = obs.ParsePrometheusText
 
 // ErrCircuitOpen is reported (wrapped) in a DatasetAnswer when an
 // endpoint's circuit breaker rejects a request without dispatching it.
