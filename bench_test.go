@@ -23,6 +23,7 @@ import (
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/mediate"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
 	"sparqlrw/internal/sparql"
@@ -622,4 +623,47 @@ func BenchmarkAblationFDPolicy(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTracingOverhead measures the span machinery's cost on the
+// federated hot path: the same fan-out through the executor with a live
+// trace in the context — every sub-query attempt opens spans, records
+// attributes and stamps an outbound traceparent — versus without one,
+// where every obs call no-ops. The delta is the per-query price of
+// distributed tracing.
+func BenchmarkTracingOverhead(b *testing.B) {
+	_, m := benchStack(b)
+	soton, _ := m.Datasets.Get(workload.SotonVoidURI)
+	kisti, _ := m.Datasets.Get(workload.KistiVoidURI)
+	run := func(b *testing.B, traced bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			var tr *obs.Trace
+			if traced {
+				ctx, tr = obs.NewTrace(ctx, "query")
+			}
+			freq := federate.Request{
+				Query: workload.Figure1Query(i % 50), SourceOnt: rdf.AKTNS, Vars: []string{"a"},
+				Targets: []federate.Target{
+					{Dataset: workload.SotonVoidURI, Endpoint: soton.SPARQLEndpoint},
+					{Dataset: workload.KistiVoidURI, Endpoint: kisti.SPARQLEndpoint, NeedsRewrite: true},
+				},
+			}
+			st := m.Exec.SelectStream(ctx, freq)
+			for {
+				if _, err := st.Next(); err != nil {
+					break
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if tr != nil {
+				tr.Finish()
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
 }

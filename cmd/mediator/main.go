@@ -78,7 +78,25 @@
 //	-log-format F    text|json (default text)
 //	-slow-query D    slow-query log threshold; negative disables (default 1s)
 //	-trace-ring N    recent traces kept for /api/trace (default 128)
-//	-debug-addr A    serve net/http/pprof on this address ("" disables)
+//	-debug-addr A    serve net/http/pprof and /debug/dashboard on this
+//	                 address ("" disables)
+//
+// The mediator also speaks W3C Trace Context: requests carrying a
+// `traceparent` header join the caller's distributed trace (the same
+// trace id flows to every outbound sub-query), and every response —
+// errors included — carries X-Trace-Id. Finished traces can ship to any
+// OTLP/HTTP collector; per-endpoint health (EWMA latency quantiles,
+// error rate, breaker state, composite score) serves at GET /api/health
+// and feeds background ASK probes; slow or failed queries persist to an
+// on-disk flight recorder listed at GET /api/audit. The knobs:
+//
+//	-otlp-endpoint U  OTLP/HTTP collector URL, e.g.
+//	                  http://localhost:4318/v1/traces ("" disables)
+//	-trace-sample P   head-sampling probability in (0,1] for locally
+//	                  rooted traces (default 1)
+//	-audit-dir D      flight-recorder directory ("" disables)
+//	-audit-max N      flight-recorder disk budget in bytes (default 16 MiB)
+//	-health-probe D   background ASK-probe interval (0 disables)
 //
 // # Decomposition
 //
@@ -124,7 +142,6 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -172,7 +189,12 @@ func run() error {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	slowQuery := flag.Duration("slow-query", time.Second, "log queries slower than this (negative disables)")
 	traceRing := flag.Int("trace-ring", 128, "recent traces kept for /api/trace")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/dashboard on this address (empty disables)")
+	otlpEndpoint := flag.String("otlp-endpoint", "", "ship finished traces to this OTLP/HTTP collector URL, e.g. http://localhost:4318/v1/traces (empty disables)")
+	traceSample := flag.Float64("trace-sample", 1, "OTLP head-sampling probability in (0,1] for locally rooted traces")
+	auditDir := flag.String("audit-dir", "", "record slow/failed queries as JSON lines in this directory (empty disables)")
+	auditMax := flag.Int64("audit-max", obs.DefaultAuditMaxBytes, "flight recorder disk budget in bytes")
+	healthProbe := flag.Duration("health-probe", 0, "background ASK-probe interval per endpoint (0 disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: mediator [flags]
 
@@ -191,6 +213,8 @@ style co-reference service, and the mediator serving
   GET      /api/datasets  registered voiD data sets
   GET      /metrics       Prometheus text exposition of every layer's metrics
   GET      /api/trace     recent query span trees (/api/trace/{id} by ID)
+  GET      /api/health    per-endpoint health scores (latency, errors, breaker)
+  GET      /api/audit     flight-recorded slow/failed queries (-audit-dir)
   GET      /               web UI (Figure 4)
 
 Flags:
@@ -320,6 +344,10 @@ Flags:
 			Logger:        logger,
 			SlowQuery:     *slowQuery,
 			TraceRingSize: *traceRing,
+			OTLPEndpoint:  *otlpEndpoint,
+			TraceSample:   *traceSample,
+			AuditDir:      *auditDir,
+			AuditMaxBytes: *auditMax,
 		}),
 		mediate.WithFederation(federate.Options{
 			Concurrency:            *concurrency,
@@ -361,19 +389,24 @@ Flags:
 		fmt.Println("decompose: disabled (multi-vocabulary queries will fail)")
 	}
 
+	if *otlpEndpoint != "" {
+		fmt.Printf("otlp: exporting traces to %s (sample=%g)\n", *otlpEndpoint, *traceSample)
+	}
+	if *auditDir != "" {
+		fmt.Printf("audit: recording slow/failed queries under %s (budget=%d bytes)\n", *auditDir, *auditMax)
+	}
+	if *healthProbe > 0 {
+		m.StartHealthProbes(*healthProbe)
+		fmt.Printf("health: probing endpoints every %s\n", *healthProbe)
+	}
+
 	if *debugAddr != "" {
 		debugLis, derr := net.Listen("tcp", *debugAddr)
 		if derr != nil {
 			return derr
 		}
-		debugMux := http.NewServeMux()
-		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
-		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() { _ = http.Serve(debugLis, debugMux) }()
-		fmt.Printf("pprof:  http://%s/debug/pprof/\n", debugLis.Addr().String())
+		go func() { _ = http.Serve(debugLis, mediate.DebugHandler(m)) }()
+		fmt.Printf("debug:  http://%s/debug/dashboard (pprof at /debug/pprof/)\n", debugLis.Addr().String())
 	}
 
 	lis, err := net.Listen("tcp", *addr)

@@ -22,6 +22,7 @@ import (
 
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/ntriples"
+	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
@@ -428,6 +429,15 @@ func (c *Client) do(ctx context.Context, endpointURL, queryText string) (*http.R
 		return nil, fmt.Errorf("endpoint: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	// Propagate W3C Trace Context: when the caller's context carries a
+	// span (the executor's per-attempt span), the endpoint receives a
+	// child traceparent and can stitch its own trace under ours.
+	if tp := obs.TraceparentFrom(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+		if ts := obs.TracestateFrom(ctx); ts != "" {
+			req.Header.Set("tracestate", ts)
+		}
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("endpoint: %w", err)

@@ -78,6 +78,10 @@ type Options struct {
 	// cache counters). Nil creates a private registry; the mediator passes
 	// its shared one so /metrics and Stats() read the same counters.
 	Registry *obs.Registry
+	// Health, when set, receives every attempt's outcome (endpoint,
+	// latency, error) so the per-endpoint health model tracks live
+	// traffic. Nil disables recording; a nil tracker is also safe.
+	Health *obs.HealthTracker
 }
 
 func (o Options) withDefaults() Options {
@@ -371,14 +375,18 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	if t.Timeout > 0 && t.Timeout < timeout {
 		timeout = t.Timeout
 	}
+	// The attempt span wraps the dispatch and rides its context: the
+	// endpoint client reads the span off the context to stamp the
+	// outbound traceparent, so the endpoint's work hangs under exactly
+	// this attempt in the distributed trace.
+	spanCtx, aSpan := obs.StartSpan(ctx, "attempt")
+	aSpan.SetAttr("n", attempt+1)
 	// The attempt deadline bounds the whole transfer: connect, first byte
 	// and — on the streaming path — the incremental body read. The clock
 	// pauses while the worker is blocked handing solutions to a slow
 	// consumer: backpressure is the consumer's doing, not the endpoint's,
 	// so it must not count against the endpoint's budget.
-	attemptCtx := newPausableDeadline(ctx, timeout)
-	_, aSpan := obs.StartSpan(ctx, "attempt")
-	aSpan.SetAttr("n", attempt+1)
+	attemptCtx := newPausableDeadline(spanCtx, timeout)
 	t0 := time.Now()
 	count, ttfs, bytes, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh, attemptCtx)
 	attemptCtx.Stop()
@@ -390,6 +398,7 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	}
 	if err == nil {
 		br.Success()
+		e.opts.Health.Record(t.Endpoint, lat, nil)
 		e.metrics.attempts.With(t.Endpoint).Inc()
 		e.metrics.successes.With(t.Endpoint).Inc()
 		e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
@@ -416,6 +425,7 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 		return true
 	}
 	br.Failure()
+	e.opts.Health.Record(t.Endpoint, lat, err)
 	e.metrics.attempts.With(t.Endpoint).Inc()
 	e.metrics.failures.With(t.Endpoint).Inc()
 	e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
@@ -515,6 +525,19 @@ func (e *Executor) endpointSem(endpointURL string) chan struct{} {
 		e.endpointSems[endpointURL] = s
 	}
 	return s
+}
+
+// BreakerStates reports each known endpoint's circuit-breaker state
+// ("closed" | "open" | "half-open"). The health tracker binds this so
+// breaker trips fold into endpoint scores immediately.
+func (e *Executor) BreakerStates() map[string]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	states := make(map[string]string, len(e.breakers))
+	for url, b := range e.breakers {
+		states[url] = b.State().String()
+	}
+	return states
 }
 
 func (e *Executor) breaker(endpointURL string) *Breaker {

@@ -64,13 +64,7 @@ func (e *Executor) registerCollectors(r *obs.Registry) {
 	r.GaugeFuncVec("sparqlrw_federate_breaker_state",
 		"Circuit-breaker state per endpoint (1 for the current state).",
 		[]string{"endpoint", "state"}, func(emit func([]string, float64)) {
-			e.mu.Lock()
-			states := make(map[string]string, len(e.breakers))
-			for url, b := range e.breakers {
-				states[url] = b.State().String()
-			}
-			e.mu.Unlock()
-			for url, state := range states {
+			for url, state := range e.BreakerStates() {
 				emit([]string{url, state}, 1)
 			}
 		})

@@ -105,9 +105,13 @@ func (m *Mediator) Configure(opts ...Option) {
 // (plan cache, breaker states) re-bind to the fresh subsystems.
 func (m *Mediator) rebuild() {
 	if m.Obs == nil || m.obsOpts != m.cfg.Observability {
+		old := m.Obs
 		m.Obs = obs.NewObserver(m.cfg.Observability)
 		m.obsOpts = m.cfg.Observability
 		m.metrics = newMediatorMetrics(m.Obs.Registry)
+		// Flush the replaced observer's exporter and release its recorder;
+		// otherwise every reconfiguration leaks a batching goroutine.
+		old.Close()
 	}
 	m.RewriteFilters = m.cfg.RewriteFilters
 	rewrite := func(queryText, sourceOnt, dataset string) (string, error) {
@@ -119,7 +123,18 @@ func (m *Mediator) rebuild() {
 	}
 	fedOpts := m.cfg.Federation
 	fedOpts.Registry = m.Obs.Registry
+	fedOpts.Health = m.Obs.Health
 	m.Exec = federate.NewExecutor(m.Client, rewrite, m.Coref, fedOpts)
+	// The health model reads breaker states off the live executor, and
+	// lists every configured endpoint even before traffic reaches it.
+	m.Obs.Health.BindBreakers(m.Exec.BreakerStates)
+	if m.Datasets != nil {
+		for _, ds := range m.Datasets.All() {
+			if ds.SPARQLEndpoint != "" {
+				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
+			}
+		}
+	}
 	if m.cfg.DisablePlanner {
 		m.Planner = nil
 	} else {

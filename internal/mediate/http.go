@@ -279,6 +279,40 @@ func Handler(m *Mediator) http.Handler {
 		_ = json.NewEncoder(w).Encode(m.Stats())
 	})
 
+	// /api/health scores every known endpoint: EWMA-smoothed latency
+	// quantiles, error rate, breaker state and a composite score in [0,1].
+	handle("/api/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(m.Obs.Health.Snapshot())
+	})
+
+	// /api/audit lists the flight recorder's captured slow/failed queries,
+	// newest first (?limit=N caps the list, ?trace=<id> fetches one by
+	// trace id). 404 when the recorder is disabled (no -audit-dir).
+	handle("/api/audit", func(w http.ResponseWriter, r *http.Request) {
+		if m.Obs.Recorder == nil {
+			protocolError(w, http.StatusNotFound, "flight recorder disabled (start with -audit-dir)")
+			return
+		}
+		if id := r.URL.Query().Get("trace"); id != "" {
+			rec, ok := m.Obs.Recorder.Find(id)
+			if !ok {
+				protocolError(w, http.StatusNotFound, "no audited query with trace id "+id)
+				return
+			}
+			w.Header().Set("Content-Type", ctJSON)
+			_, _ = w.Write(append(rec, '\n'))
+			return
+		}
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		recs := m.Obs.Recorder.List(limit)
+		if recs == nil {
+			recs = []json.RawMessage{}
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(recs)
+	})
+
 	handle("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -313,9 +347,27 @@ func Handler(m *Mediator) http.Handler {
 // query's span tree to the response — a trailing "trace" member in the
 // SRJ document, a final {"trace":...} line in NDJSON, a terminal `trace`
 // event over SSE, a `# trace: {...}` comment in graph serialisations.
-// Every query response carries its trace ID in X-Trace-Id, resolvable at
-// /api/trace/{id} while the trace ring retains it.
+// Every response — error responses included — carries the query's trace
+// ID in X-Trace-Id, resolvable at /api/trace/{id} while the trace ring
+// retains it. Requests bearing a W3C `traceparent` header join the
+// caller's trace: the same trace id flows through every outbound
+// sub-query (and to the OTLP exporter, when configured), with the
+// caller's span as the query span's remote parent; `tracestate` is
+// propagated unmodified.
 func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
+	// Inbound W3C Trace Context: adopt the caller's traceparent — the
+	// query's trace continues the caller's trace id, with the caller's
+	// span as remote parent — or mint a fresh trace id. The id surfaces
+	// as X-Trace-Id before any error path, so 400 and 406 responses are
+	// correlatable too.
+	tc, fromCaller := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !fromCaller {
+		tc = obs.TraceContext{TraceID: obs.NewTraceID(), Sampled: true}
+	}
+	tc.State = r.Header.Get("tracestate")
+	ctx := obs.WithRemoteParent(r.Context(), tc)
+	w.Header().Set("X-Trace-Id", tc.TraceID)
+
 	var queryText, source string
 	var targets []string
 	limit := 0
@@ -378,7 +430,7 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := m.queryParsed(r.Context(), QueryRequest{
+	res, err := m.queryParsed(ctx, QueryRequest{
 		Query: queryText, SourceOnt: source, Targets: targets, Limit: limit,
 	}, q)
 	if err != nil {
@@ -391,7 +443,6 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	defer res.Close()
 
 	if t := res.Trace(); t != nil {
-		w.Header().Set("X-Trace-Id", t.ID())
 		m.Obs.Log.Debug("query accepted",
 			"traceId", t.ID(),
 			"form", res.Form().String(),

@@ -6,6 +6,7 @@
 package mediate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -63,6 +64,9 @@ type Mediator struct {
 	obsOpts obs.Options
 	metrics *mediatorMetrics
 	start   time.Time
+	// stopProbes ends the background health prober, when one is running
+	// (see StartHealthProbes).
+	stopProbes func()
 
 	// unsubscribe detaches the KB cache-invalidation hooks (see Close).
 	unsubscribe []func()
@@ -86,21 +90,92 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 	// that data set's cached plans, a changed alignment KB flushes them
 	// all — no wholesale executor rebuild needed.
 	m.unsubscribe = []func(){
-		datasets.Subscribe(func(uri string) { m.Exec.InvalidateDataset(uri) }),
+		datasets.Subscribe(func(uri string) {
+			m.Exec.InvalidateDataset(uri)
+			if ds, ok := m.Datasets.Get(uri); ok && ds.SPARQLEndpoint != "" {
+				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
+			}
+		}),
 		alignments.Subscribe(func() { m.Exec.FlushPlans() }),
 	}
 	return m
 }
 
-// Close detaches the mediator's KB subscriptions. Call it when the
-// mediator is discarded but the knowledge bases live on (e.g. a config
-// reload rebuilding the mediator over shared KBs); otherwise the KBs
-// keep the mediator — executor, caches and all — reachable forever.
+// Close detaches the mediator's KB subscriptions, stops the background
+// health probes and closes the observer (flushing any pending OTLP spans
+// and the flight recorder). Call it when the mediator is discarded but
+// the knowledge bases live on (e.g. a config reload rebuilding the
+// mediator over shared KBs); otherwise the KBs keep the mediator —
+// executor, caches and all — reachable forever.
 func (m *Mediator) Close() {
 	for _, cancel := range m.unsubscribe {
 		cancel()
 	}
 	m.unsubscribe = nil
+	if m.stopProbes != nil {
+		m.stopProbes()
+		m.stopProbes = nil
+	}
+	m.Obs.Close()
+}
+
+// StartHealthProbes begins background liveness probing: every interval,
+// an `ASK { ?s ?p ?o }` is issued to each registered data set endpoint
+// and its outcome recorded in the health model, so /api/health scores
+// stay current for endpoints receiving no query traffic. The returned
+// stop function (also invoked by Close) ends probing; starting again
+// replaces the previous prober.
+func (m *Mediator) StartHealthProbes(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	if m.stopProbes != nil {
+		m.stopProbes()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			m.probeEndpoints(ctx)
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	m.stopProbes = func() {
+		cancel()
+		<-done
+	}
+	return m.stopProbes
+}
+
+// healthProbeTimeout bounds one liveness ASK.
+const healthProbeTimeout = 5 * time.Second
+
+// probeEndpoints issues one liveness ASK to every distinct registered
+// endpoint, recording latency and outcome as probe samples.
+func (m *Mediator) probeEndpoints(ctx context.Context) {
+	seen := map[string]bool{}
+	for _, ds := range m.Datasets.All() {
+		url := ds.SPARQLEndpoint
+		if url == "" || seen[url] {
+			continue
+		}
+		seen[url] = true
+		pctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
+		start := time.Now()
+		_, err := m.Client.AskContext(pctx, url, "ASK { ?s ?p ?o }")
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		m.Obs.Health.RecordProbe(url, time.Since(start), err)
+	}
 }
 
 // DecomposeStats bundles the decomposer's and join engine's counters.
@@ -132,6 +207,10 @@ type Stats struct {
 	// SolutionsStreamed counts solutions and triples delivered to
 	// consumers across all queries.
 	SolutionsStreamed uint64 `json:"solutionsStreamed"`
+	// Health scores every known endpoint from smoothed latency quantiles,
+	// error rate and breaker state (the same snapshot GET /api/health
+	// serves); the upcoming hedged-dispatch work reads it to pick replicas.
+	Health []obs.EndpointHealth `json:"health,omitempty"`
 	// Build identifies the running binary; UptimeSeconds is time since the
 	// mediator was constructed.
 	Build         BuildInfo `json:"build"`
@@ -169,6 +248,7 @@ func (m *Mediator) Stats() Stats {
 	})
 	st.InFlight = int(m.metrics.inflight.Value())
 	st.SolutionsStreamed = uint64(m.metrics.streamed.Value())
+	st.Health = m.Obs.Health.Snapshot()
 	st.Build = buildInfo()
 	st.UptimeSeconds = time.Since(m.start).Seconds()
 	return st

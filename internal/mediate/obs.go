@@ -63,6 +63,13 @@ type queryObs struct {
 	form  string
 	start time.Time
 
+	// Flight-recorder payload, attached as the query moves through the
+	// pipeline: the query text, the resolved plan/decomposition, and the
+	// error that rejected it (mid-stream failures surface on the trace).
+	query   string
+	explain any
+	err     error
+
 	finishOnce sync.Once
 	firstOnce  sync.Once
 }
@@ -107,6 +114,7 @@ func (qo *queryObs) fail(err error) {
 	if qo == nil {
 		return
 	}
+	qo.err = err
 	qo.trace.Root().SetAttr("error", err.Error())
 	qo.finish()
 }
@@ -125,11 +133,32 @@ func (qo *queryObs) finish() {
 		}
 		qo.trace.Finish()
 		m.Obs.Ring.Add(qo.trace)
-		if m.Obs.SlowQuery >= 0 && dur >= m.Obs.SlowQuery {
+		m.Obs.Exporter.Enqueue(qo.trace)
+		slow := m.Obs.SlowQuery >= 0 && dur >= m.Obs.SlowQuery
+		if slow {
 			m.Obs.Log.Warn("slow query",
 				"traceId", qo.trace.ID(),
 				"form", qo.form,
 				"durationMs", float64(dur.Microseconds())/1000)
+		}
+		if m.Obs.Recorder != nil && (slow || qo.err != nil) {
+			view := qo.trace.View()
+			rec := obs.AuditRecord{
+				Time:       qo.start,
+				TraceID:    qo.trace.ID(),
+				Form:       qo.form,
+				Query:      qo.query,
+				DurationMS: float64(dur.Microseconds()) / 1000,
+				Slow:       slow,
+				Explain:    qo.explain,
+				Trace:      &view,
+			}
+			if qo.err != nil {
+				rec.Error = qo.err.Error()
+			}
+			if err := m.Obs.Recorder.Record(rec); err != nil {
+				m.Obs.Log.Error("flight recorder write failed", "err", err)
+			}
 		}
 	})
 }

@@ -154,12 +154,16 @@ func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*Result, error)
 // planning or execution.
 func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
 	ctx, qo := m.beginQuery(ctx, q.Form)
+	qo.query = req.Query
 	res, err := m.formResult(ctx, req, q)
 	if err != nil {
 		qo.fail(err)
 		return nil, err
 	}
 	res.qo = qo
+	if res.pl != nil || res.dec != nil {
+		qo.explain = QueryExplanation{Plan: res.pl, Decomposition: res.dec}
+	}
 	if res.sel != nil {
 		res.sel.qo = qo
 	}

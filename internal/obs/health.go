@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthOptions tune a HealthTracker. The zero value selects defaults.
+type HealthOptions struct {
+	// Window is how many recent latency samples feed each quantile
+	// estimate (default 64).
+	Window int
+	// Alpha is the EWMA smoothing factor in (0,1]: the weight of the
+	// newest observation (default 0.3). Larger reacts faster, smaller
+	// remembers longer.
+	Alpha float64
+	// RefLatency is the p95 at which the latency factor of the score
+	// halves (default 500ms): score ∝ ref/(ref+p95).
+	RefLatency time.Duration
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	if o.RefLatency <= 0 {
+		o.RefLatency = 500 * time.Millisecond
+	}
+	return o
+}
+
+// EndpointHealth is one endpoint's health snapshot: smoothed latency
+// quantiles, error rate, breaker state and the composite score in
+// [0,1] that ranks endpoints for dispatch decisions (1 = healthy).
+type EndpointHealth struct {
+	Endpoint      string    `json:"endpoint"`
+	Score         float64   `json:"score"`
+	P50MS         float64   `json:"p50Ms"`
+	P95MS         float64   `json:"p95Ms"`
+	ErrorRate     float64   `json:"errorRate"`
+	Breaker       string    `json:"breaker"`
+	Attempts      uint64    `json:"attempts"`
+	Failures      uint64    `json:"failures"`
+	Probes        uint64    `json:"probes,omitempty"`
+	ProbeFailures uint64    `json:"probeFailures,omitempty"`
+	LastSeen      time.Time `json:"lastSeen,omitzero"`
+	LastError     string    `json:"lastError,omitempty"`
+}
+
+// HealthTracker maintains a continuously updated per-endpoint health
+// model from the signals the executor already produces (attempt
+// latency and outcome), optional background probes, and the breaker
+// states. It is the input the hedged-dispatch work reads: an endpoint's
+// observed p95 decides when to hedge, its score decides where.
+// All methods are safe for concurrent use.
+type HealthTracker struct {
+	opts HealthOptions
+
+	mu       sync.Mutex
+	eps      map[string]*endpointHealth
+	breakers func() map[string]string // bound to the live executor's breaker map
+}
+
+type endpointHealth struct {
+	samples []float64 // seconds; ring of the last Window attempt latencies
+	next    int
+	filled  int
+
+	ewmaP50, ewmaP95 float64 // seconds, smoothed across Record calls
+	ewmaErr          float64 // smoothed failure indicator in [0,1]
+	seeded           bool
+
+	attempts, failures    uint64
+	probes, probeFailures uint64
+	lastSeen              time.Time
+	lastError             string
+}
+
+// NewHealthTracker builds a tracker.
+func NewHealthTracker(opts HealthOptions) *HealthTracker {
+	return &HealthTracker{opts: opts.withDefaults(), eps: make(map[string]*endpointHealth)}
+}
+
+// Ensure registers an endpoint so it appears in snapshots (with a
+// neutral score) before any traffic reaches it. The mediator calls this
+// for every configured endpoint.
+func (h *HealthTracker) Ensure(endpoint string) {
+	if h == nil || endpoint == "" {
+		return
+	}
+	h.mu.Lock()
+	h.get(endpoint)
+	h.mu.Unlock()
+}
+
+// BindBreakers attaches the callback that reports the live breaker
+// state per endpoint; rebinding replaces the previous callback (the
+// mediator rebuilds its executor on reconfiguration).
+func (h *HealthTracker) BindBreakers(fn func() map[string]string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.breakers = fn
+	h.mu.Unlock()
+}
+
+func (h *HealthTracker) get(endpoint string) *endpointHealth {
+	ep, ok := h.eps[endpoint]
+	if !ok {
+		ep = &endpointHealth{samples: make([]float64, 0, h.opts.Window)}
+		h.eps[endpoint] = ep
+	}
+	return ep
+}
+
+// Record feeds one sub-query attempt's outcome into the model. Nil-safe
+// so instrumentation sites need no conditionals.
+func (h *HealthTracker) Record(endpoint string, latency time.Duration, err error) {
+	h.record(endpoint, latency, err, false)
+}
+
+// RecordProbe feeds one background ASK probe's outcome into the model.
+// Probes keep latency estimates fresh for idle endpoints.
+func (h *HealthTracker) RecordProbe(endpoint string, latency time.Duration, err error) {
+	h.record(endpoint, latency, err, true)
+}
+
+func (h *HealthTracker) record(endpoint string, latency time.Duration, err error, probe bool) {
+	if h == nil || endpoint == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep := h.get(endpoint)
+	if probe {
+		ep.probes++
+		if err != nil {
+			ep.probeFailures++
+		}
+	} else {
+		ep.attempts++
+		if err != nil {
+			ep.failures++
+		}
+	}
+	ep.lastSeen = time.Now()
+	if err != nil {
+		ep.lastError = err.Error()
+	}
+
+	if latency > 0 {
+		s := latency.Seconds()
+		if len(ep.samples) < h.opts.Window {
+			ep.samples = append(ep.samples, s)
+		} else {
+			ep.samples[ep.next] = s
+			ep.next = (ep.next + 1) % h.opts.Window
+		}
+		ep.filled = len(ep.samples)
+		p50, p95 := windowQuantiles(ep.samples)
+		if !ep.seeded {
+			ep.ewmaP50, ep.ewmaP95 = p50, p95
+			ep.seeded = true
+		} else {
+			a := h.opts.Alpha
+			ep.ewmaP50 = a*p50 + (1-a)*ep.ewmaP50
+			ep.ewmaP95 = a*p95 + (1-a)*ep.ewmaP95
+		}
+	}
+
+	e01 := 0.0
+	if err != nil {
+		e01 = 1
+	}
+	a := h.opts.Alpha
+	ep.ewmaErr = a*e01 + (1-a)*ep.ewmaErr
+}
+
+// windowQuantiles returns the p50 and p95 of the sample window
+// (nearest-rank on a sorted copy; windows are small).
+func windowQuantiles(samples []float64) (p50, p95 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.95)
+}
+
+// ObservedP95 returns the endpoint's smoothed 95th-percentile attempt
+// latency, or 0 when nothing has been observed — the signal hedged
+// dispatch fires off.
+func (h *HealthTracker) ObservedP95(endpoint string) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ep, ok := h.eps[endpoint]
+	if !ok {
+		return 0
+	}
+	return time.Duration(ep.ewmaP95 * float64(time.Second))
+}
+
+// Snapshot returns every known endpoint's health, sorted by endpoint
+// URL. The score multiplies three independent penalties:
+//
+//	availability — 1 minus the EWMA error rate (probes included);
+//	latency      — ref/(ref+p95), halving at RefLatency;
+//	breaker      — 1 closed, 0.5 half-open, 0 open.
+//
+// An endpoint nothing has been observed about scores a neutral 1.
+func (h *HealthTracker) Snapshot() []EndpointHealth {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	var states map[string]string
+	if h.breakers != nil {
+		fn := h.breakers
+		// The callback reaches into the executor; don't hold our lock
+		// while it takes the executor's.
+		h.mu.Unlock()
+		states = fn()
+		h.mu.Lock()
+	}
+	out := make([]EndpointHealth, 0, len(h.eps))
+	ref := h.opts.RefLatency.Seconds()
+	for url, ep := range h.eps {
+		eh := EndpointHealth{
+			Endpoint:      url,
+			P50MS:         ep.ewmaP50 * 1000,
+			P95MS:         ep.ewmaP95 * 1000,
+			ErrorRate:     ep.ewmaErr,
+			Breaker:       states[url],
+			Attempts:      ep.attempts,
+			Failures:      ep.failures,
+			Probes:        ep.probes,
+			ProbeFailures: ep.probeFailures,
+			LastSeen:      ep.lastSeen,
+			LastError:     ep.lastError,
+		}
+		if eh.Breaker == "" {
+			eh.Breaker = "closed"
+		}
+		breakerFactor := 1.0
+		switch eh.Breaker {
+		case "open":
+			breakerFactor = 0
+		case "half-open":
+			breakerFactor = 0.5
+		}
+		latFactor := ref / (ref + ep.ewmaP95)
+		eh.Score = round3((1 - ep.ewmaErr) * latFactor * breakerFactor)
+		out = append(out, eh)
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// RegisterMetrics exposes the model as Prometheus series on r. Like the
+// executor's collectors, re-registering replaces the callbacks, so a
+// rebuilt mediator keeps one live binding per family.
+func (h *HealthTracker) RegisterMetrics(r *Registry) {
+	if h == nil || r == nil {
+		return
+	}
+	collect := func(field func(EndpointHealth) float64) func(emit func([]string, float64)) {
+		return func(emit func([]string, float64)) {
+			for _, eh := range h.Snapshot() {
+				emit([]string{eh.Endpoint}, field(eh))
+			}
+		}
+	}
+	r.GaugeFuncVec("sparqlrw_endpoint_health_score",
+		"Composite endpoint health score in [0,1] (1 = healthy).",
+		[]string{"endpoint"}, collect(func(eh EndpointHealth) float64 { return eh.Score }))
+	r.GaugeFuncVec("sparqlrw_endpoint_latency_p50_seconds",
+		"EWMA-smoothed median sub-query latency per endpoint.",
+		[]string{"endpoint"}, collect(func(eh EndpointHealth) float64 { return eh.P50MS / 1000 }))
+	r.GaugeFuncVec("sparqlrw_endpoint_latency_p95_seconds",
+		"EWMA-smoothed 95th-percentile sub-query latency per endpoint.",
+		[]string{"endpoint"}, collect(func(eh EndpointHealth) float64 { return eh.P95MS / 1000 }))
+	r.GaugeFuncVec("sparqlrw_endpoint_error_rate",
+		"EWMA-smoothed sub-query failure rate per endpoint in [0,1].",
+		[]string{"endpoint"}, collect(func(eh EndpointHealth) float64 { return eh.ErrorRate }))
+}

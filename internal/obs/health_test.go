@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthTrackerScoresAndQuantiles(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{Alpha: 1}) // no smoothing: assert on raw window quantiles
+	for i := 0; i < 20; i++ {
+		h.Record("http://fast/sparql", 10*time.Millisecond, nil)
+		h.Record("http://slow/sparql", 800*time.Millisecond, nil)
+		h.Record("http://flaky/sparql", 10*time.Millisecond, errors.New("boom"))
+	}
+	byURL := map[string]EndpointHealth{}
+	for _, eh := range h.Snapshot() {
+		byURL[eh.Endpoint] = eh
+	}
+	fast, slow, flaky := byURL["http://fast/sparql"], byURL["http://slow/sparql"], byURL["http://flaky/sparql"]
+
+	if fast.P50MS != 10 || fast.P95MS != 10 {
+		t.Errorf("fast quantiles = p50 %v p95 %v, want 10/10", fast.P50MS, fast.P95MS)
+	}
+	if fast.Attempts != 20 || fast.Failures != 0 || fast.ErrorRate != 0 {
+		t.Errorf("fast counters = %+v", fast)
+	}
+	if flaky.Failures != 20 || flaky.ErrorRate != 1 || flaky.LastError != "boom" {
+		t.Errorf("flaky counters = %+v", flaky)
+	}
+	// Health ordering: a fast healthy endpoint beats a slow one beats an
+	// always-failing one.
+	if !(fast.Score > slow.Score && slow.Score > flaky.Score) {
+		t.Errorf("score order fast %v > slow %v > flaky %v violated",
+			fast.Score, slow.Score, flaky.Score)
+	}
+	if flaky.Score != 0 {
+		t.Errorf("100%% error rate score = %v, want 0", flaky.Score)
+	}
+	if fast.Score <= 0.9 {
+		t.Errorf("fast healthy endpoint score = %v, want > 0.9", fast.Score)
+	}
+	if p95 := h.ObservedP95("http://slow/sparql"); p95 != 800*time.Millisecond {
+		t.Errorf("ObservedP95 = %v, want 800ms", p95)
+	}
+}
+
+func TestHealthTrackerWindowAndEWMA(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{Window: 4, Alpha: 0.5})
+	// Fill the window with slow samples, then push fast ones: the window
+	// forgets, the EWMA converges down gradually.
+	for i := 0; i < 4; i++ {
+		h.Record("e", time.Second, nil)
+	}
+	first := h.ObservedP95("e")
+	for i := 0; i < 8; i++ {
+		h.Record("e", 10*time.Millisecond, nil)
+	}
+	after := h.ObservedP95("e")
+	if after >= first {
+		t.Errorf("p95 did not decay: %v -> %v", first, after)
+	}
+	if after < 10*time.Millisecond {
+		t.Errorf("p95 undershot the observed latencies: %v", after)
+	}
+
+	// Error rate recovers after successes.
+	h.Record("f", time.Millisecond, errors.New("x"))
+	rateAfterFailure := snapshotFor(t, h, "f").ErrorRate
+	for i := 0; i < 10; i++ {
+		h.Record("f", time.Millisecond, nil)
+	}
+	if got := snapshotFor(t, h, "f").ErrorRate; got >= rateAfterFailure || got < 0 {
+		t.Errorf("error rate did not recover: %v -> %v", rateAfterFailure, got)
+	}
+}
+
+func TestHealthTrackerBreakerBinding(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{})
+	h.Record("e", 10*time.Millisecond, nil)
+	base := snapshotFor(t, h, "e").Score
+
+	h.BindBreakers(func() map[string]string { return map[string]string{"e": "open"} })
+	eh := snapshotFor(t, h, "e")
+	if eh.Breaker != "open" || eh.Score != 0 {
+		t.Errorf("open breaker: %+v (base score %v)", eh, base)
+	}
+	h.BindBreakers(func() map[string]string { return map[string]string{"e": "half-open"} })
+	eh = snapshotFor(t, h, "e")
+	if eh.Breaker != "half-open" || eh.Score >= base || eh.Score <= 0 {
+		t.Errorf("half-open breaker: score %v, want in (0, %v)", eh.Score, base)
+	}
+}
+
+func TestHealthTrackerEnsureAndProbes(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{})
+	h.Ensure("http://idle/sparql")
+	eh := snapshotFor(t, h, "http://idle/sparql")
+	if eh.Score != 1 || eh.Attempts != 0 {
+		t.Errorf("idle endpoint = %+v, want neutral score 1", eh)
+	}
+	h.RecordProbe("http://idle/sparql", 20*time.Millisecond, nil)
+	eh = snapshotFor(t, h, "http://idle/sparql")
+	if eh.Probes != 1 || eh.Attempts != 0 {
+		t.Errorf("probe not counted separately: %+v", eh)
+	}
+	if eh.P50MS == 0 {
+		t.Error("probe latency did not feed the quantile estimate")
+	}
+
+	// Nil-safety: a nil tracker swallows everything.
+	var nilTracker *HealthTracker
+	nilTracker.Record("e", time.Second, nil)
+	nilTracker.Ensure("e")
+	if nilTracker.Snapshot() != nil || nilTracker.ObservedP95("e") != 0 {
+		t.Error("nil tracker methods not no-ops")
+	}
+}
+
+func TestHealthTrackerMetrics(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{Alpha: 1})
+	r := NewRegistry()
+	h.RegisterMetrics(r)
+	h.Record("http://a/sparql", 100*time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`sparqlrw_endpoint_health_score{endpoint="http://a/sparql"}`,
+		`sparqlrw_endpoint_latency_p50_seconds{endpoint="http://a/sparql"} 0.1`,
+		`sparqlrw_endpoint_latency_p95_seconds{endpoint="http://a/sparql"} 0.1`,
+		`sparqlrw_endpoint_error_rate{endpoint="http://a/sparql"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func snapshotFor(t *testing.T, h *HealthTracker, endpoint string) EndpointHealth {
+	t.Helper()
+	for _, eh := range h.Snapshot() {
+		if eh.Endpoint == endpoint {
+			return eh
+		}
+	}
+	t.Fatalf("endpoint %q missing from snapshot", endpoint)
+	return EndpointHealth{}
+}

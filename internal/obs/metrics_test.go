@@ -248,3 +248,95 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Errorf("ring holds %d traces, want capacity 8", got)
 	}
 }
+
+// TestPrometheusLabelEscapeRoundTrip pins the exposition's label-value
+// escaping against the parser's unescaping: every value the registry can
+// emit — embedded quotes, backslashes, newlines, and adversarial
+// combinations like a literal `\n` two-character sequence — must survive
+// a WritePrometheus → ParsePrometheusText round trip byte-identically.
+func TestPrometheusLabelEscapeRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`with "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`trailing backslash \`,
+		`literal \n two chars`,
+		`\"escaped-quote-lookalike`,
+		"mix\\\"of\nall three",
+		`""`,
+		`\\`,
+	}
+	r := NewRegistry()
+	v := r.CounterVec("t_escape_total", "Escape round-trip.", "val")
+	for i, val := range values {
+		v.With(val).Add(float64(i + 1))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheusText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("registry's own exposition does not parse: %v\n%s", err, buf.String())
+	}
+	got := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != "t_escape_total" {
+			continue
+		}
+		for _, s := range f.Samples {
+			got[s.Labels["val"]] = s.Value
+		}
+	}
+	for i, val := range values {
+		v, ok := got[val]
+		if !ok {
+			t.Errorf("label value %q lost in round trip; parsed values: %v", val, got)
+			continue
+		}
+		if want := float64(i + 1); v != want {
+			t.Errorf("label value %q = %v, want %v", val, v, want)
+		}
+	}
+	if len(got) != len(values) {
+		t.Errorf("parsed %d distinct label values, want %d (collision after escaping?)", len(got), len(values))
+	}
+}
+
+// TestParsePrometheusTextEscapes pins the parser's unescaping against
+// hand-written exposition lines, independent of the writer.
+func TestParsePrometheusTextEscapes(t *testing.T) {
+	in := `m{a="q\"uote",b="back\\slash",c="new\nline"} 1` + "\n"
+	fams, err := ParsePrometheusText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Samples) != 1 {
+		t.Fatalf("parsed %+v, want one family with one sample", fams)
+	}
+	labels := fams[0].Samples[0].Labels
+	for key, want := range map[string]string{
+		"a": `q"uote`,
+		"b": `back\slash`,
+		"c": "new\nline",
+	} {
+		if labels[key] != want {
+			t.Errorf("label %s = %q, want %q", key, labels[key], want)
+		}
+	}
+}
+
+// TestParsePrometheusTextRejectsBadEscapes pins the error paths of the
+// escape machinery.
+func TestParsePrometheusTextRejectsBadEscapes(t *testing.T) {
+	for _, bad := range []string{
+		`m{a="dangling\"} 1`,       // escape eats the closing quote
+		`m{a="bad\t escape"} 1`,    // \t is not a valid exposition escape
+		`m{a="unterminated\\"} 1x`, // trailing junk after value
+	} {
+		if _, err := ParsePrometheusText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePrometheusText(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -21,16 +21,44 @@ type Options struct {
 	// TraceRingSize is how many finished traces GET /api/trace retains
 	// (default 128).
 	TraceRingSize int
+	// OTLPEndpoint, when set, starts an OTLP/HTTP JSON span exporter
+	// shipping finished traces to this collector URL (e.g.
+	// http://localhost:4318/v1/traces).
+	OTLPEndpoint string
+	// OTLPService overrides the exported service.name resource attribute
+	// (default "sparqlrw-mediator").
+	OTLPService string
+	// TraceSample is the exporter's head-sampling probability in (0,1]
+	// for locally rooted traces (0 selects 1 = export everything);
+	// traces continuing a remote parent follow the caller's sampled flag.
+	TraceSample float64
+	// AuditDir, when set, enables the query flight recorder: slow or
+	// failed queries are persisted as JSON lines in a size-bounded
+	// on-disk ring under this directory.
+	AuditDir string
+	// AuditMaxBytes bounds the flight recorder's total disk use
+	// (default 16 MiB).
+	AuditMaxBytes int64
 }
 
-// Observer bundles the three observability surfaces one component
-// threads through its layers: the metrics registry, the finished-trace
-// ring, and the structured logger.
+// Observer bundles the observability surfaces one component threads
+// through its layers: the metrics registry, the finished-trace ring,
+// the structured logger, and — when configured — the OTLP span
+// exporter, the per-endpoint health model, and the query flight
+// recorder.
 type Observer struct {
 	Registry  *Registry
 	Ring      *TraceRing
 	Log       *slog.Logger
 	SlowQuery time.Duration
+	// Exporter ships finished traces to an OTLP collector; nil when no
+	// OTLPEndpoint is configured. Nil-safe to Enqueue on.
+	Exporter *OTLPExporter
+	// Health is the per-endpoint health model; always non-nil.
+	Health *HealthTracker
+	// Recorder is the query flight recorder; nil when no AuditDir is
+	// configured (or it could not be opened). Nil-safe to Record on.
+	Recorder *FlightRecorder
 }
 
 // NewObserver builds an observer from the options.
@@ -54,5 +82,34 @@ func NewObserver(opts Options) *Observer {
 		size = 128
 	}
 	o.Ring = NewTraceRing(size)
+	o.Health = NewHealthTracker(HealthOptions{})
+	o.Health.RegisterMetrics(o.Registry)
+	if opts.OTLPEndpoint != "" {
+		o.Exporter = NewOTLPExporter(OTLPOptions{
+			Endpoint:    opts.OTLPEndpoint,
+			Service:     opts.OTLPService,
+			SampleRatio: opts.TraceSample,
+			Logger:      o.Log,
+			Registry:    o.Registry,
+		})
+	}
+	if opts.AuditDir != "" {
+		rec, err := NewFlightRecorder(opts.AuditDir, opts.AuditMaxBytes)
+		if err != nil {
+			o.Log.Error("flight recorder disabled", "dir", opts.AuditDir, "err", err)
+		} else {
+			o.Recorder = rec
+		}
+	}
 	return o
+}
+
+// Close flushes the exporter and closes the flight recorder. Nil-safe
+// and idempotent.
+func (o *Observer) Close() {
+	if o == nil {
+		return
+	}
+	o.Exporter.Close()
+	o.Recorder.Close()
 }

@@ -3,8 +3,8 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -16,9 +16,12 @@ import (
 // tracing is off. All methods are safe for concurrent use: sub-query
 // spans are opened and annotated from parallel fan-out workers.
 type Trace struct {
-	id    string
-	start time.Time
-	root  *Span
+	id      string
+	parent  string // remote parent span id ("" when this trace is a local root)
+	sampled bool
+	state   string // inbound tracestate, propagated verbatim
+	start   time.Time
+	root    *Span
 
 	mu       sync.Mutex
 	end      time.Time
@@ -28,6 +31,7 @@ type Trace struct {
 // Span is one timed, annotated operation within a trace.
 type Span struct {
 	trace *Trace
+	id    string
 	name  string
 	start time.Time
 
@@ -42,12 +46,8 @@ type attr struct {
 	value any
 }
 
-// traceIDCounter disambiguates traces started in the same nanosecond.
-var traceIDCounter atomic.Uint64
-
-func newTraceID() string {
+func hexUint64(v uint64) string {
 	const hex = "0123456789abcdef"
-	v := uint64(time.Now().UnixNano())<<16 | (traceIDCounter.Add(1) & 0xffff)
 	var b [16]byte
 	for i := 15; i >= 0; i-- {
 		b[i] = hex[v&0xf]
@@ -56,14 +56,46 @@ func newTraceID() string {
 	return string(b[:])
 }
 
+// NewTraceID returns a fresh W3C Trace Context trace id: 32 lowercase
+// hex characters, never all-zero.
+func NewTraceID() string {
+	for {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		if hi|lo != 0 {
+			return hexUint64(hi) + hexUint64(lo)
+		}
+	}
+}
+
+// NewSpanID returns a fresh W3C Trace Context span id: 16 lowercase hex
+// characters, never all-zero.
+func NewSpanID() string {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return hexUint64(v)
+		}
+	}
+}
+
 type ctxKey struct{}
 
 // NewTrace starts a trace whose root span has the given name and returns
 // a context carrying it. Layers below retrieve it with TraceFrom or open
-// child spans with StartSpan.
+// child spans with StartSpan. When ctx carries a remote parent (set by
+// WithRemoteParent from an inbound traceparent header) the trace adopts
+// the caller's trace id, parent span id, sampled flag and tracestate, so
+// the mediator's span tree stitches into the caller's distributed trace.
 func NewTrace(ctx context.Context, name string) (context.Context, *Trace) {
-	t := &Trace{id: newTraceID(), start: time.Now()}
-	t.root = &Span{trace: t, name: name, start: t.start}
+	t := &Trace{id: NewTraceID(), sampled: true, start: time.Now()}
+	if tc, ok := remoteParentFrom(ctx); ok {
+		if tc.TraceID != "" {
+			t.id = tc.TraceID
+		}
+		t.parent = tc.SpanID
+		t.sampled = tc.Sampled
+		t.state = tc.State
+	}
+	t.root = &Span{trace: t, id: NewSpanID(), name: name, start: t.start}
 	return context.WithValue(ctx, ctxKey{}, t.root), t
 }
 
@@ -84,15 +116,30 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if !ok || parent == nil {
 		return ctx, nil
 	}
-	child := &Span{trace: parent.trace, name: name, start: time.Now()}
+	child := &Span{trace: parent.trace, id: NewSpanID(), name: name, start: time.Now()}
 	parent.mu.Lock()
 	parent.children = append(parent.children, child)
 	parent.mu.Unlock()
 	return context.WithValue(ctx, ctxKey{}, child), child
 }
 
-// ID returns the trace's identifier (16 hex characters).
+// ID returns the trace's identifier: a W3C Trace Context trace id
+// (32 lowercase hex characters).
 func (t *Trace) ID() string { return t.id }
+
+// ParentSpanID returns the remote parent span id adopted from an inbound
+// traceparent header, or "" when this trace is a local root.
+func (t *Trace) ParentSpanID() string { return t.parent }
+
+// Sampled reports whether the trace is marked for export: the caller's
+// sampled flag when the trace continued a remote one, true otherwise.
+// Local surfaces (trace ring, flight recorder) record regardless; only
+// the OTLP exporter honours it.
+func (t *Trace) Sampled() bool { return t.sampled }
+
+// Tracestate returns the inbound tracestate header value, propagated
+// verbatim to sub-queries, or "".
+func (t *Trace) Tracestate() string { return t.state }
 
 // Start returns when the trace began.
 func (t *Trace) Start() time.Time { return t.start }
@@ -130,6 +177,15 @@ func (t *Trace) Duration() time.Duration {
 		return t.end.Sub(t.start)
 	}
 	return time.Since(t.start)
+}
+
+// SpanID returns the span's identifier (16 hex characters), or "" on a
+// nil span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // SetAttr sets one key on the span, replacing an earlier value for the
@@ -174,6 +230,7 @@ func (s *Span) endAt(t time.Time) {
 // nested children.
 type SpanJSON struct {
 	Name       string         `json:"name"`
+	SpanID     string         `json:"spanId,omitempty"`
 	StartMS    float64        `json:"startMs"`
 	DurationMS float64        `json:"durationMs"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
@@ -182,20 +239,22 @@ type SpanJSON struct {
 
 // TraceJSON is the serialised shape of a finished trace.
 type TraceJSON struct {
-	ID         string    `json:"id"`
-	Start      time.Time `json:"start"`
-	DurationMS float64   `json:"durationMs"`
-	Root       SpanJSON  `json:"root"`
+	ID           string    `json:"id"`
+	ParentSpanID string    `json:"parentSpanId,omitempty"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"durationMs"`
+	Root         SpanJSON  `json:"root"`
 }
 
 // View snapshots the trace into its serialisable shape. Call after
 // Finish for stable durations; open spans report their running duration.
 func (t *Trace) View() TraceJSON {
 	return TraceJSON{
-		ID:         t.id,
-		Start:      t.start,
-		DurationMS: ms(t.Duration()),
-		Root:       t.root.view(t.start),
+		ID:           t.id,
+		ParentSpanID: t.parent,
+		Start:        t.start,
+		DurationMS:   ms(t.Duration()),
+		Root:         t.root.view(t.start),
 	}
 }
 
@@ -220,6 +279,7 @@ func (s *Span) view(traceStart time.Time) SpanJSON {
 	}
 	out := SpanJSON{
 		Name:       s.name,
+		SpanID:     s.id,
 		StartMS:    ms(s.start.Sub(traceStart)),
 		DurationMS: ms(end.Sub(s.start)),
 	}

@@ -10,8 +10,17 @@ import (
 
 func TestTraceSpanTree(t *testing.T) {
 	ctx, trace := NewTrace(context.Background(), "query")
-	if trace.ID() == "" || len(trace.ID()) != 16 {
-		t.Errorf("trace ID = %q, want 16 hex chars", trace.ID())
+	if len(trace.ID()) != 32 || !isLowerHex(trace.ID()) {
+		t.Errorf("trace ID = %q, want 32 lowercase hex chars", trace.ID())
+	}
+	if trace.ParentSpanID() != "" {
+		t.Errorf("local root trace has parent span %q", trace.ParentSpanID())
+	}
+	if !trace.Sampled() {
+		t.Error("local root trace not sampled by default")
+	}
+	if len(trace.Root().SpanID()) != 16 || !isLowerHex(trace.Root().SpanID()) {
+		t.Errorf("root span ID = %q, want 16 lowercase hex chars", trace.Root().SpanID())
 	}
 	if TraceFrom(ctx) != trace {
 		t.Error("TraceFrom did not return the started trace")
@@ -23,6 +32,10 @@ func TestTraceSpanTree(t *testing.T) {
 	plan.End()
 
 	subCtx, sub := StartSpan(ctx, "subquery")
+	if sub.SpanID() == "" || sub.SpanID() == trace.Root().SpanID() || sub.SpanID() == plan.SpanID() {
+		t.Errorf("span IDs not distinct: root=%s plan=%s sub=%s",
+			trace.Root().SpanID(), plan.SpanID(), sub.SpanID())
+	}
 	sub.SetAttr("endpoint", "http://a.example/sparql")
 	_, attempt := StartSpan(subCtx, "attempt")
 	attempt.SetAttr("n", 1)
@@ -80,6 +93,12 @@ func TestNoTraceIsNoOp(t *testing.T) {
 	// All nil-span and nil-trace methods must be safe no-ops.
 	span.SetAttr("k", "v")
 	span.End()
+	if span.SpanID() != "" {
+		t.Error("nil span SpanID != \"\"")
+	}
+	if tp := TraceparentFrom(ctx); tp != "" {
+		t.Errorf("TraceparentFrom without a trace = %q", tp)
+	}
 	var trace *Trace
 	trace.Finish()
 	if trace.Duration() != 0 {

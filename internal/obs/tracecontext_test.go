@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceparent(valid)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", valid)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || !tc.Sampled {
+		t.Errorf("parsed = %+v", tc)
+	}
+	if got := tc.Traceparent(); got != valid {
+		t.Errorf("Traceparent() = %q, want round-trip %q", got, valid)
+	}
+
+	if tc, ok := ParseTraceparent(" " + strings.ReplaceAll(valid, "-01", "-00") + " "); !ok || tc.Sampled {
+		t.Errorf("unsampled flags: ok=%v tc=%+v", ok, tc)
+	}
+	// Future version: extra fields after flags are tolerated.
+	if _, ok := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version traceparent with trailing field rejected")
+	}
+
+	invalid := []string{
+		"",
+		"00",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // upper case
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", // non-hex flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // version 00 must have exactly 4 fields
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad delimiter
+	}
+	for _, h := range invalid {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", h)
+		}
+	}
+}
+
+func TestRemoteParentAdoption(t *testing.T) {
+	in := TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+		State:   "congo=t61rcWkgMzE",
+	}
+	ctx, trace := NewTrace(WithRemoteParent(context.Background(), in), "query")
+	if trace.ID() != in.TraceID {
+		t.Errorf("trace ID = %q, want adopted %q", trace.ID(), in.TraceID)
+	}
+	if trace.ParentSpanID() != in.SpanID {
+		t.Errorf("parent span = %q, want %q", trace.ParentSpanID(), in.SpanID)
+	}
+	if trace.Tracestate() != in.State {
+		t.Errorf("tracestate = %q, want %q", trace.Tracestate(), in.State)
+	}
+
+	// The outbound traceparent names the *current* span as parent — same
+	// trace id, fresh span id, caller's sampled flag.
+	subCtx, sub := StartSpan(ctx, "subquery")
+	out, ok := ParseTraceparent(TraceparentFrom(subCtx))
+	if !ok {
+		t.Fatalf("TraceparentFrom produced unparseable value %q", TraceparentFrom(subCtx))
+	}
+	if out.TraceID != in.TraceID {
+		t.Errorf("outbound trace id = %q, want caller's %q", out.TraceID, in.TraceID)
+	}
+	if out.SpanID != sub.SpanID() || out.SpanID == in.SpanID {
+		t.Errorf("outbound span id = %q, want the subquery span %q", out.SpanID, sub.SpanID())
+	}
+	if !out.Sampled {
+		t.Error("outbound sampled flag dropped")
+	}
+	if TracestateFrom(subCtx) != in.State {
+		t.Errorf("TracestateFrom = %q, want %q", TracestateFrom(subCtx), in.State)
+	}
+
+	// An unsampled caller stays unsampled downstream.
+	ctx2, tr2 := NewTrace(WithRemoteParent(context.Background(), TraceContext{
+		TraceID: in.TraceID, SpanID: in.SpanID, Sampled: false,
+	}), "query")
+	if tr2.Sampled() {
+		t.Error("unsampled remote parent produced a sampled trace")
+	}
+	if out2, _ := ParseTraceparent(TraceparentFrom(ctx2)); out2.Sampled {
+		t.Error("outbound traceparent sampled despite unsampled parent")
+	}
+
+	// A trace-id-only context (header absent; HTTP layer minted the id to
+	// answer X-Trace-Id early) adopts the id but records no remote parent.
+	_, tr3 := NewTrace(WithRemoteParent(context.Background(), TraceContext{
+		TraceID: NewTraceID(), Sampled: true,
+	}), "query")
+	if tr3.ParentSpanID() != "" {
+		t.Errorf("id-only remote context produced parent span %q", tr3.ParentSpanID())
+	}
+}
+
+func TestNewIDsWellFormed(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if id := NewTraceID(); len(id) != 32 || !isLowerHex(id) || allZero(id) {
+			t.Fatalf("NewTraceID() = %q", id)
+		}
+		if id := NewSpanID(); len(id) != 16 || !isLowerHex(id) || allZero(id) {
+			t.Fatalf("NewSpanID() = %q", id)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 #!/bin/sh
 # check_metrics.sh — boots the mediator binary on a free port, runs one
 # federated query through /sparql, scrapes GET /metrics and asserts the
-# core Prometheus series from every layer are present. Run via
+# core Prometheus series from every layer are present; then checks the
+# distributed-tracing surface (traceparent round-trip into X-Trace-Id),
+# the per-endpoint health scores at /api/health, and that the flight
+# recorder audits a slow query under -audit-dir. Run via
 # `make check-metrics`.
 set -eu
 
@@ -16,7 +19,10 @@ echo "check-metrics: building mediator..."
 go build -o "$workdir/mediator" ./cmd/mediator
 
 # Small universe: the smoke test needs a query to succeed, not scale.
+# -slow-query 1ns makes every query "slow" so the flight recorder under
+# -audit-dir must capture the one we run.
 "$workdir/mediator" -addr 127.0.0.1:0 -persons 20 -papers 60 \
+	-audit-dir "$workdir/audit" -slow-query 1ns \
 	>"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
@@ -41,7 +47,11 @@ SELECT DISTINCT ?a WHERE {
   ?paper akt:has-author ?a .
 }'
 
-status=$(curl -s -o "$workdir/result.json" -w '%{http_code}' \
+# A caller-supplied W3C traceparent must round-trip: the mediator joins
+# the caller's trace and echoes its trace id in X-Trace-Id.
+inbound_trace="4bf92f3577b34da6a3ce929d0e0e4736"
+status=$(curl -s -o "$workdir/result.json" -D "$workdir/result.hdr" -w '%{http_code}' \
+	-H "traceparent: 00-$inbound_trace-00f067aa0ba902b7-01" \
 	--data-urlencode "query=$query" --data-urlencode "explain=trace" \
 	"$base/sparql")
 [ "$status" = 200 ] || {
@@ -83,8 +93,9 @@ if ! grep -q '^sparqlrw_queries_total{form="select"} [1-9]' "$workdir/metrics.tx
 	fail=1
 fi
 
-# The trace must be retrievable through the ring.
-trace_id=$(curl -s "$base/api/trace?limit=1" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+# The trace must be retrievable through the ring (trace ids are 32 hex:
+# W3C Trace Context format).
+trace_id=$(curl -s "$base/api/trace?limit=1" | sed -n 's/.*"id":"\([0-9a-f]\{32\}\)".*/\1/p')
 if [ -z "$trace_id" ]; then
 	echo "check-metrics: /api/trace lists no traces" >&2
 	fail=1
@@ -93,5 +104,60 @@ elif ! curl -sf "$base/api/trace/$trace_id" >/dev/null; then
 	fail=1
 fi
 
+# The inbound traceparent's trace id must be adopted end to end: echoed
+# in X-Trace-Id and recorded as the query trace's id.
+if ! grep -qi "^x-trace-id: $inbound_trace" "$workdir/result.hdr"; then
+	echo "check-metrics: X-Trace-Id does not echo the inbound traceparent trace id" >&2
+	sed -n 's/^[Xx]-[Tt]race-[Ii]d/&/p' "$workdir/result.hdr" >&2
+	fail=1
+fi
+if [ "$trace_id" != "$inbound_trace" ]; then
+	echo "check-metrics: recorded trace id $trace_id != inbound $inbound_trace" >&2
+	fail=1
+fi
+
+# Error responses carry X-Trace-Id too.
+err_trace=$(curl -s -D - -o /dev/null --data-urlencode "query=SELECT WHERE {" "$base/sparql" |
+	sed -n 's/^[Xx]-[Tt]race-[Ii]d: *\([0-9a-f]*\).*/\1/p')
+if [ -z "$err_trace" ]; then
+	echo "check-metrics: 400 response carries no X-Trace-Id" >&2
+	fail=1
+fi
+
+# /api/health must score every configured endpoint (three generated
+# repositories) with the health fields present.
+curl -s "$base/api/health" >"$workdir/health.json"
+n_eps=$(grep -o '"endpoint":' "$workdir/health.json" | wc -l)
+if [ "$n_eps" -lt 3 ]; then
+	echo "check-metrics: /api/health lists $n_eps endpoints, want 3:" >&2
+	cat "$workdir/health.json" >&2
+	fail=1
+fi
+for field in '"score"' '"p95Ms"' '"errorRate"' '"breaker"'; do
+	if ! grep -q "$field" "$workdir/health.json"; then
+		echo "check-metrics: /api/health misses $field" >&2
+		fail=1
+	fi
+done
+for series in sparqlrw_endpoint_health_score sparqlrw_endpoint_latency_p95_seconds; do
+	if ! grep -q "^$series" "$workdir/metrics.txt"; then
+		echo "check-metrics: MISSING health series $series" >&2
+		fail=1
+	fi
+done
+
+# The -slow-query 1ns threshold makes every query slow, so the flight
+# recorder must have audited ours: on disk and via /api/audit.
+if ! ls "$workdir"/audit/audit-*.jsonl >/dev/null 2>&1; then
+	echo "check-metrics: no audit segment written under -audit-dir" >&2
+	fail=1
+fi
+curl -s "$base/api/audit?limit=5" >"$workdir/audit.json"
+if ! grep -q "\"traceId\":\"$inbound_trace\"" "$workdir/audit.json"; then
+	echo "check-metrics: /api/audit misses the slow query (trace $inbound_trace):" >&2
+	cat "$workdir/audit.json" >&2
+	fail=1
+fi
+
 [ "$fail" = 0 ] || exit 1
-echo "check-metrics: all core series present; trace $trace_id retrievable"
+echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited"

@@ -418,6 +418,35 @@ func NewMediator(datasets *DatasetKB, alignments *AlignmentKB, corefSrc funcs.Co
 // MediatorHandler serves the mediator REST API and web UI.
 var MediatorHandler = mediate.Handler
 
+// MediatorDebugHandler serves the operator debug surface (net/http/pprof
+// plus the /debug/dashboard trace-waterfall and endpoint-health page),
+// intended for a separate listener.
+var MediatorDebugHandler = mediate.DebugHandler
+
+// Distributed tracing and endpoint health: the mediator speaks W3C Trace
+// Context (inbound traceparent adoption, outbound propagation on every
+// sub-query), exports finished traces to OTLP/HTTP collectors, scores
+// endpoint health from live traffic and optional probes, and persists
+// slow/failed queries in an on-disk flight recorder (see internal/obs).
+type (
+	// TraceContext is a parsed W3C traceparent/tracestate pair.
+	TraceContext = obs.TraceContext
+	// EndpointHealth is one endpoint's health snapshot: smoothed latency
+	// quantiles, error rate, breaker state and composite score
+	// (Mediator.Stats().Health, GET /api/health).
+	EndpointHealth = obs.EndpointHealth
+	// AuditRecord is one flight-recorded query: text, explain payload,
+	// outcome and full span tree (GET /api/audit).
+	AuditRecord = obs.AuditRecord
+)
+
+// ParseTraceparent parses a W3C traceparent header value.
+var ParseTraceparent = obs.ParseTraceparent
+
+// WithRemoteParent attaches a remote trace parent to a context, so the
+// next query's trace continues the caller's distributed trace.
+var WithRemoteParent = obs.WithRemoteParent
+
 // NewEndpointServer wraps a store as a SPARQL protocol endpoint.
 func NewEndpointServer(name string, st *Store) *EndpointServer {
 	return endpoint.NewServer(name, st)
