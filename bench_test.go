@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/store"
 	"sparqlrw/internal/voidkb"
@@ -666,4 +668,125 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	}
 	b.Run("untraced", func(b *testing.B) { run(b, false) })
 	b.Run("traced", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkResultCacheHitVsMiss — the serving tier's federated result
+// cache: the miss path pays the full rewrite + fan-out + merge over
+// HTTP; the hit path replays the materialised answer with zero endpoint
+// round trips (asserted).
+func BenchmarkResultCacheHitVsMiss(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	var roundTrips atomic.Int64
+	count := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			roundTrips.Add(1)
+			h.ServeHTTP(w, r)
+		})
+	}
+	soton := httptest.NewServer(count(endpoint.NewServer("southampton", u.Southampton)))
+	b.Cleanup(soton.Close)
+	kisti := httptest.NewServer(count(endpoint.NewServer("kisti", u.KISTI)))
+	b.Cleanup(kisti.Close)
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.KistiVoidURI, SPARQLEndpoint: kisti.URL,
+		URISpace: workload.KistiURIPattern, Vocabularies: []string{rdf.KISTINS}})
+	alignKB := align.NewKB()
+	_ = alignKB.Add(workload.AKT2KISTI())
+	m := mediate.New(dsKB, alignKB, u.Coref,
+		mediate.WithRewriteFilters(true), mediate.WithServing(serve.Options{}))
+
+	targets := []string{workload.SotonVoidURI, workload.KistiVoidURI}
+	q := workload.Figure1Query(0)
+
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Serve.Flush() // every iteration re-executes the fan-out
+			if _, err := benchSelect(m, q, rdf.AKTNS, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		m.Serve.Flush()
+		if _, err := benchSelect(m, q, rdf.AKTNS, targets); err != nil {
+			b.Fatal(err) // prime the entry
+		}
+		primed := roundTrips.Load()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchSelect(m, q, rdf.AKTNS, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := roundTrips.Load(); got != primed {
+			b.Fatalf("hit path made %d endpoint round trips", got-primed)
+		}
+	})
+}
+
+// BenchmarkHedgedVsUnhedged — hedged sub-queries against a degraded
+// primary: the primary endpoint stalls every request while a replica
+// stays fast. Unhedged, every query pays the stall; hedged (with the
+// primary's observed p95 primed from its healthy past), the backup
+// fires after the small hedge delay and the p99 stays well under the
+// slow endpoint's latency. Reported as p99-ms per variant.
+func BenchmarkHedgedVsUnhedged(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	const stall = 50 * time.Millisecond
+	sotonEP := endpoint.NewServer("southampton", u.Southampton)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(stall)
+		sotonEP.ServeHTTP(w, r)
+	}))
+	b.Cleanup(slow.Close)
+	fast := httptest.NewServer(endpoint.NewServer("southampton-replica", u.Southampton))
+	b.Cleanup(fast.Close)
+
+	run := func(b *testing.B, hedge bool) {
+		dsKB := voidkb.NewKB()
+		_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: slow.URL,
+			Replicas: []string{fast.URL},
+			URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS}})
+		alignKB := align.NewKB()
+		_ = alignKB.Add(workload.AKT2KISTI())
+		m := mediate.New(dsKB, alignKB, u.Coref,
+			mediate.WithRewriteFilters(true),
+			mediate.WithFederation(federate.Options{
+				Hedge: hedge, HedgeMinDelay: 5 * time.Millisecond,
+			}))
+		// The primary's healthy history: its observed p95 is a few
+		// milliseconds, so the stall overshoots it and triggers the hedge.
+		for i := 0; i < 50; i++ {
+			m.Obs.Health.Record(slow.URL, 2*time.Millisecond, nil)
+		}
+		targets := []string{workload.SotonVoidURI}
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := benchSelect(m, workload.Figure1Query(i%50), rdf.AKTNS, targets); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		b.StopTimer()
+		sortDurations(lat)
+		p99 := lat[len(lat)*99/100]
+		b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+	}
+	b.Run("unhedged", func(b *testing.B) { run(b, false) })
+	b.Run("hedged", func(b *testing.B) { run(b, true) })
+}
+
+func sortDurations(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
 }

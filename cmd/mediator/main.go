@@ -98,6 +98,33 @@
 //	-audit-max N      flight-recorder disk budget in bytes (default 16 MiB)
 //	-health-probe D   background ASK-probe interval (0 disables)
 //
+// # Serving tier
+//
+// A production serving tier (internal/serve) fronts /sparql: requests
+// are mapped to tenants (X-API-Key / Authorization: Bearer, or
+// X-Tenant-Id for key-less tenants; everything else is the anonymous
+// default), admitted through per-tenant token-bucket rate limits and
+// concurrency caps with a bounded wait queue, and shed as 429/503 (with
+// Retry-After and the usual JSON error document) before any planning
+// work runs. Tenants may carry a policy — a dataset allowlist, subject
+// URI-space allowlist and predicate denylist — that is injected into
+// the query algebra before planning, so a restricted tenant's query
+// cannot match triples outside its grant regardless of which endpoints
+// it federates to (out-of-policy queries get 403). Repeated SELECT/ASK
+// queries serve from a federated result cache keyed by the owl:sameAs
+// canonicalised query text, invalidated whenever the voiD or alignment
+// KBs change. Slow sub-queries can be hedged: when a primary endpoint
+// attempt runs past its observed p95 latency, a backup fires at the
+// data set's next-healthiest replica (voiD extension property
+// map:replicaEndpoint) and the first answer wins. The knobs:
+//
+//	-tenants F           tenant configuration file (JSON; empty =
+//	                     anonymous only, unlimited)
+//	-result-cache N      result-cache entries; 0 disables (default 512)
+//	-result-cache-ttl D  result-cache entry lifetime (default 5m)
+//	-hedge               hedge slow sub-queries to replica endpoints
+//	-hedge-min-delay D   floor on the hedge trigger delay (default 25ms)
+//
 // # Decomposition
 //
 // A third generated repository ("citation metrics") serves a second
@@ -155,6 +182,7 @@ import (
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
 )
@@ -195,6 +223,11 @@ func run() error {
 	auditDir := flag.String("audit-dir", "", "record slow/failed queries as JSON lines in this directory (empty disables)")
 	auditMax := flag.Int64("audit-max", obs.DefaultAuditMaxBytes, "flight recorder disk budget in bytes")
 	healthProbe := flag.Duration("health-probe", 0, "background ASK-probe interval per endpoint (0 disables)")
+	tenantsFile := flag.String("tenants", "", "tenant configuration file (JSON; empty = anonymous only, unlimited)")
+	resultCache := flag.Int("result-cache", 512, "federated result cache capacity in entries (0 disables)")
+	resultCacheTTL := flag.Duration("result-cache-ttl", 5*time.Minute, "federated result cache entry lifetime")
+	hedge := flag.Bool("hedge", false, "hedge slow sub-queries to replica endpoints")
+	hedgeMinDelay := flag.Duration("hedge-min-delay", 25*time.Millisecond, "floor on the hedge trigger delay")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: mediator [flags]
 
@@ -356,8 +389,26 @@ Flags:
 			MaxRetries:             fedRetries,
 			CacheSize:              fedCache,
 			FailFast:               *failFast,
+			Hedge:                  *hedge,
+			HedgeMinDelay:          *hedgeMinDelay,
 		}),
 	}
+	var tenantsCfg *serve.TenantsConfig
+	if *tenantsFile != "" {
+		tenantsCfg, err = serve.LoadTenants(*tenantsFile)
+		if err != nil {
+			return err
+		}
+	}
+	resultCacheSize := *resultCache
+	if resultCacheSize == 0 {
+		resultCacheSize = -1 // serve.Options treats 0 as "default"; -1 disables
+	}
+	opts = append(opts, mediate.WithServing(serve.Options{
+		Tenants:   tenantsCfg,
+		CacheSize: resultCacheSize,
+		CacheTTL:  *resultCacheTTL,
+	}))
 	if *usePlan {
 		batch := *valuesBatch
 		if batch == 0 {
@@ -387,6 +438,20 @@ Flags:
 		fmt.Printf("decompose: enabled bind-batch=%d max-bind=%d\n", *bindBatch, *maxBind)
 	} else {
 		fmt.Println("decompose: disabled (multi-vocabulary queries will fail)")
+	}
+	if tenantsCfg != nil {
+		fmt.Printf("serving: %d named tenants from %s (+ anonymous default)\n",
+			len(tenantsCfg.Tenants), *tenantsFile)
+	} else {
+		fmt.Println("serving: anonymous tenant only, unlimited")
+	}
+	if resultCacheSize > 0 {
+		fmt.Printf("result cache: %d entries, ttl=%s\n", resultCacheSize, *resultCacheTTL)
+	} else {
+		fmt.Println("result cache: disabled")
+	}
+	if *hedge {
+		fmt.Printf("hedging: enabled min-delay=%s\n", *hedgeMinDelay)
 	}
 
 	if *otlpEndpoint != "" {

@@ -104,15 +104,16 @@ func writeFile(path, content string) error {
 	return osWriteFile(path, []byte(content), 0o644)
 }
 
-// startMediator builds cmd/mediator, boots it on an ephemeral port and
-// returns its base URL.
-func startMediator(t *testing.T) string {
+// startMediator builds cmd/mediator, boots it on an ephemeral port with
+// any extra flags appended, and returns its base URL.
+func startMediator(t *testing.T, extra ...string) string {
 	t.Helper()
 	bin := t.TempDir() + "/mediator"
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/mediator").CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/mediator: %v\n%s", err, out)
 	}
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-persons", "20", "-papers", "40")
+	args := append([]string{"-addr", "127.0.0.1:0", "-persons", "20", "-papers", "40"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -320,4 +321,125 @@ WHERE {
 	if strings.Contains(descBody.String(), "# error:") {
 		t.Fatalf("DESCRIBE stream error:\n%s", descBody.String())
 	}
+}
+
+// TestCmdMediatorServingTier boots the binary with a tenant
+// configuration and proves the serving tier end to end over /sparql:
+// a graph-restricted tenant cannot read triples outside its subject
+// URI space (ground out-of-space subjects are 403; variable-subject
+// queries against the out-of-space repository return nothing), and an
+// exhausted quota is a deterministic 429 carrying Retry-After and the
+// JSON error document.
+func TestCmdMediatorServingTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
+	}
+	tenants := t.TempDir() + "/tenants.json"
+	if err := writeFile(tenants, `{
+  "tenants": [
+    {"id": "soton-research", "keys": ["soton-key"],
+     "policy": {"uriSpaces": ["http://southampton.rkbexplorer.com/id/"]}},
+    {"id": "metered", "keys": ["metered-key"], "ratePerSec": 0.001, "burst": 1}
+  ]
+}`); err != nil {
+		t.Fatal(err)
+	}
+	base := startMediator(t, "-tenants", tenants)
+
+	const (
+		aktNS       = "http://www.aktors.org/ontology/portal#"
+		kistiPerson = "http://kisti.rkbexplorer.com/id/PER_00000000001"
+		kistiVoid   = "http://kisti.rkbexplorer.com/id/void"
+		sotonVoid   = "http://southampton.rkbexplorer.com/id/void"
+	)
+
+	do := func(key, query string, targets ...string) *http.Response {
+		t.Helper()
+		form := url.Values{"query": {query}}
+		for _, tg := range targets {
+			form.Add("target", tg)
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/sparql", strings.NewReader(form.Encode()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	bindings := func(resp *http.Response) int {
+		t.Helper()
+		defer resp.Body.Close()
+		var srj struct {
+			Results struct {
+				Bindings []map[string]struct {
+					Value string `json:"value"`
+				} `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&srj); err != nil {
+			t.Fatal(err)
+		}
+		return len(srj.Results.Bindings)
+	}
+
+	// A ground subject outside the tenant's URI space is refused with
+	// 403 and the standard JSON error document.
+	groundQ := `PREFIX akt:<` + aktNS + `>
+SELECT ?p WHERE { <` + kistiPerson + `> akt:full-name ?p }`
+	resp := do("soton-key", groundQ, kistiVoid)
+	if resp.StatusCode != 403 {
+		t.Fatalf("ground out-of-space subject: status = %d, want 403", resp.StatusCode)
+	}
+	var errDoc struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errDoc); err != nil || errDoc.Error == "" {
+		t.Fatalf("403 error document: err=%v doc=%+v", err, errDoc)
+	}
+	resp.Body.Close()
+
+	// A variable-subject query against the KISTI repository: anonymous
+	// sees its rows, the restricted tenant — whose rewritten query
+	// carries the injected URI-space filter — sees none of them.
+	varQ := `PREFIX akt:<` + aktNS + `>
+SELECT ?paper ?a WHERE { ?paper akt:has-author ?a }`
+	if n := bindings(do("", varQ, kistiVoid)); n == 0 {
+		t.Fatal("anonymous tenant found nothing in KISTI (deployment broken)")
+	}
+	if n := bindings(do("soton-key", varQ, kistiVoid)); n != 0 {
+		t.Fatalf("restricted tenant read %d rows outside its URI space", n)
+	}
+	// The same tenant still reads its own space.
+	if n := bindings(do("soton-key", varQ, sotonVoid)); n == 0 {
+		t.Fatal("restricted tenant cannot read its own space")
+	}
+
+	// The metered tenant's single token: first request passes, the
+	// second is a deterministic 429 with Retry-After.
+	resp = do("metered-key", varQ, sotonVoid)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metered first request: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do("metered-key", varQ, sotonVoid)
+	if resp.StatusCode != 429 {
+		t.Fatalf("metered second request: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("429 without X-Trace-Id")
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&errDoc); err != nil || errDoc.Error == "" {
+		t.Fatalf("429 error document: err=%v doc=%+v", err, errDoc)
+	}
+	resp.Body.Close()
 }

@@ -73,6 +73,15 @@ type Options struct {
 	// CacheSize is the rewrite-plan LRU capacity (default 256; set to
 	// -1 to disable caching).
 	CacheSize int
+	// Hedge enables hedged sub-queries: when a primary attempt runs past
+	// the endpoint's observed p95 latency (from Health), a backup
+	// dispatch goes to the target's next-healthiest replica and the
+	// first answer wins, the loser cancelled.
+	Hedge bool
+	// HedgeMinDelay floors the hedge trigger so a cold p95 estimate (or
+	// a very fast endpoint) cannot fire backups on every request
+	// (default 25ms).
+	HedgeMinDelay time.Duration
 	// Registry receives the executor's metrics (per-endpoint attempt /
 	// latency / time-to-first-solution instruments, breaker states, plan
 	// cache counters). Nil creates a private registry; the mediator passes
@@ -108,6 +117,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
 	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 25 * time.Millisecond
+	}
 	return o
 }
 
@@ -133,6 +145,9 @@ type Target struct {
 	// set for single-use query texts (bound-join VALUES shards) whose
 	// entries would only evict reusable plans.
 	SkipRewriteCache bool
+	// Replicas are alternate endpoint URLs serving the same data set,
+	// the candidates hedged dispatch may race against Endpoint.
+	Replicas []string
 }
 
 // Request is one federated SELECT.
@@ -375,61 +390,42 @@ func (e *Executor) attempt(ctx context.Context, br *Breaker, t Target, attempt i
 	if t.Timeout > 0 && t.Timeout < timeout {
 		timeout = t.Timeout
 	}
-	// The attempt span wraps the dispatch and rides its context: the
-	// endpoint client reads the span off the context to stamp the
-	// outbound traceparent, so the endpoint's work hangs under exactly
-	// this attempt in the distributed trace.
-	spanCtx, aSpan := obs.StartSpan(ctx, "attempt")
-	aSpan.SetAttr("n", attempt+1)
-	// The attempt deadline bounds the whole transfer: connect, first byte
-	// and — on the streaming path — the incremental body read. The clock
-	// pauses while the worker is blocked handing solutions to a slow
-	// consumer: backpressure is the consumer's doing, not the endpoint's,
-	// so it must not count against the endpoint's budget.
-	attemptCtx := newPausableDeadline(spanCtx, timeout)
-	t0 := time.Now()
-	count, ttfs, bytes, err := e.dispatch(attemptCtx, ctx, t.Endpoint, da.Query, solCh, attemptCtx)
-	attemptCtx.Stop()
-	lat := time.Since(t0)
-	aSpan.SetAttr("latencyMs", float64(lat.Microseconds())/1000)
-	aSpan.SetAttr("rows", count)
-	if bytes > 0 {
-		aSpan.SetAttr("bytes", bytes)
-	}
-	if err == nil {
-		br.Success()
-		e.opts.Health.Record(t.Endpoint, lat, nil)
-		e.metrics.attempts.With(t.Endpoint).Inc()
-		e.metrics.successes.With(t.Endpoint).Inc()
-		e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
-		e.metrics.solutions.With(t.Endpoint).Add(float64(count))
-		if count > 0 {
-			e.metrics.ttfs.With(t.Endpoint).Observe(ttfs.Seconds())
-			aSpan.SetAttr("ttfsMs", float64(ttfs.Microseconds())/1000)
-			da.TTFS = ttfs
+	// One dispatch, possibly hedged: when the primary attempt runs past
+	// the endpoint's observed p95, a backup races it on the healthiest
+	// replica and the first answer wins (see hedge.go). The returned
+	// outcome is the winning arm's; the losing arm's breaker and health
+	// bookkeeping is settled inside.
+	out := e.dispatchMaybeHedged(ctx, br, t, attempt, da.Query, timeout, solCh)
+	if out.err == nil {
+		out.br.Success()
+		e.opts.Health.Record(out.endpoint, out.lat, nil)
+		e.metrics.attempts.With(out.endpoint).Inc()
+		e.metrics.successes.With(out.endpoint).Inc()
+		e.metrics.latency.With(out.endpoint).Observe(out.lat.Seconds())
+		e.metrics.solutions.With(out.endpoint).Add(float64(out.count))
+		if out.count > 0 {
+			e.metrics.ttfs.With(out.endpoint).Observe(out.ttfs.Seconds())
+			da.TTFS = out.ttfs
 		}
-		aSpan.End()
 		da.Err = nil // a successful retry supersedes earlier failures
-		da.Solutions = count
+		da.Solutions = out.count
 		return true
 	}
-	aSpan.SetAttr("error", err.Error())
-	aSpan.End()
 	if ctx.Err() != nil {
 		// The parent was cancelled (fail-fast abort, client disconnect):
 		// the endpoint is not at fault, so neither the breaker nor the
 		// failure counters blame it. Cancel releases a half-open probe
 		// so the breaker cannot wedge waiting for its verdict.
-		br.Cancel()
-		da.Err = err
+		out.br.Cancel()
+		da.Err = out.err
 		return true
 	}
-	br.Failure()
-	e.opts.Health.Record(t.Endpoint, lat, err)
-	e.metrics.attempts.With(t.Endpoint).Inc()
-	e.metrics.failures.With(t.Endpoint).Inc()
-	e.metrics.latency.With(t.Endpoint).Observe(lat.Seconds())
-	da.Err = err
+	out.br.Failure()
+	e.opts.Health.Record(out.endpoint, out.lat, out.err)
+	e.metrics.attempts.With(out.endpoint).Inc()
+	e.metrics.failures.With(out.endpoint).Inc()
+	e.metrics.latency.With(out.endpoint).Observe(out.lat.Seconds())
+	da.Err = out.err
 	return false
 }
 

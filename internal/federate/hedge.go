@@ -1,0 +1,210 @@
+package federate
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/obs"
+)
+
+// Hedged sub-queries: tail-latency hiding for replicated data sets.
+//
+// When Options.Hedge is on and a target carries replica endpoints, a
+// dispatch that runs past the primary endpoint's observed p95 latency
+// (the health model's smoothed estimate, floored at HedgeMinDelay)
+// launches one backup attempt against the healthiest replica. Both arms
+// stream into the same merge channel — the owl:sameAs deduplicator
+// collapses whatever both delivered — and the first arm to finish
+// successfully wins; the loser is cancelled and joined before the
+// dispatch returns, so the fan-out's channel-close invariant (workers
+// done before close) holds unchanged.
+//
+// Accounting rules:
+//
+//   - the winner's outcome feeds the answer, its endpoint's breaker,
+//     health sample and per-endpoint metrics (in attempt());
+//   - a loser we cancelled gets Breaker.Cancel — being slower than the
+//     race is not an endpoint fault;
+//   - a loser that genuinely failed (or finished successfully just
+//     after the winner) is settled with its own breaker/health/metrics
+//     bookkeeping here, so hedging never hides replica failures;
+//   - when both arms fail, the primary's error is reported and the
+//     backup's failure is settled here.
+//
+// The backup intentionally skips the global worker pool (the caller
+// already holds a slot for this dispatch) and the per-endpoint
+// semaphore: a hedge exists to cut tail latency, and queueing it behind
+// the very congestion it is escaping would defeat it. BreakerFailures
+// still bounds the damage a misbehaving replica can cause.
+
+// armOutcome is one dispatch arm's result.
+type armOutcome struct {
+	endpoint string
+	br       *Breaker
+	count    int
+	ttfs     time.Duration
+	lat      time.Duration
+	err      error
+}
+
+// dispatchArm runs one dispatch against one endpoint under its own
+// span and pausable deadline, annotating the span like the pre-hedging
+// attempt path did.
+func (e *Executor) dispatchArm(ctx context.Context, spanName, endpointURL, query string, attemptN int, timeout time.Duration, solCh chan<- eval.Solution, br *Breaker) armOutcome {
+	// The span wraps the dispatch and rides its context: the endpoint
+	// client reads the span off the context to stamp the outbound
+	// traceparent, so the endpoint's work hangs under exactly this arm
+	// in the distributed trace.
+	spanCtx, aSpan := obs.StartSpan(ctx, spanName)
+	aSpan.SetAttr("n", attemptN+1)
+	aSpan.SetAttr("endpoint", endpointURL)
+	// The deadline bounds the whole transfer: connect, first byte and —
+	// on the streaming path — the incremental body read. The clock
+	// pauses while the worker is blocked handing solutions to a slow
+	// consumer: backpressure is the consumer's doing, not the
+	// endpoint's, so it must not count against the endpoint's budget.
+	attemptCtx := newPausableDeadline(spanCtx, timeout)
+	t0 := time.Now()
+	count, ttfs, bytes, err := e.dispatch(attemptCtx, ctx, endpointURL, query, solCh, attemptCtx)
+	attemptCtx.Stop()
+	lat := time.Since(t0)
+	aSpan.SetAttr("latencyMs", float64(lat.Microseconds())/1000)
+	aSpan.SetAttr("rows", count)
+	if bytes > 0 {
+		aSpan.SetAttr("bytes", bytes)
+	}
+	if count > 0 {
+		aSpan.SetAttr("ttfsMs", float64(ttfs.Microseconds())/1000)
+	}
+	if err != nil {
+		aSpan.SetAttr("error", err.Error())
+	}
+	aSpan.End()
+	return armOutcome{endpoint: endpointURL, br: br, count: count, ttfs: ttfs, lat: lat, err: err}
+}
+
+// hedgeBackup picks the backup endpoint for a target: the healthiest
+// replica that is not the primary, or "" when hedging cannot apply.
+func (e *Executor) hedgeBackup(t Target) string {
+	if !e.opts.Hedge || len(t.Replicas) == 0 {
+		return ""
+	}
+	candidates := make([]string, 0, len(t.Replicas))
+	for _, r := range t.Replicas {
+		if r != "" && r != t.Endpoint {
+			candidates = append(candidates, r)
+		}
+	}
+	return e.opts.Health.Best(candidates)
+}
+
+// hedgeDelay is how long the primary may run before the backup
+// launches: its observed p95, floored at HedgeMinDelay.
+func (e *Executor) hedgeDelay(endpoint string) time.Duration {
+	d := e.opts.Health.ObservedP95(endpoint)
+	if d < e.opts.HedgeMinDelay {
+		d = e.opts.HedgeMinDelay
+	}
+	return d
+}
+
+// dispatchMaybeHedged performs one logical dispatch for a target:
+// unhedged when hedging is off or no replica qualifies, otherwise the
+// primary/backup race described at the top of this file. The returned
+// outcome is the arm whose result the caller should account and report.
+func (e *Executor) dispatchMaybeHedged(ctx context.Context, br *Breaker, t Target, attemptN int, query string, timeout time.Duration, solCh chan<- eval.Solution) armOutcome {
+	backup := e.hedgeBackup(t)
+	if backup == "" {
+		return e.dispatchArm(ctx, "attempt", t.Endpoint, query, attemptN, timeout, solCh, br)
+	}
+
+	primCtx, cancelPrim := context.WithCancel(ctx)
+	defer cancelPrim()
+	primCh := make(chan armOutcome, 1)
+	go func() {
+		primCh <- e.dispatchArm(primCtx, "attempt", t.Endpoint, query, attemptN, timeout, solCh, br)
+	}()
+
+	timer := time.NewTimer(e.hedgeDelay(t.Endpoint))
+	defer timer.Stop()
+	select {
+	case out := <-primCh:
+		return out // finished under its p95: no hedge
+	case <-timer.C:
+	}
+
+	backupBr := e.breaker(backup)
+	if !backupBr.Allow() {
+		// The replica's circuit is open: no backup to race, wait the
+		// primary out. (Allow admitted no half-open probe here — it
+		// returned false — so there is nothing to release.)
+		e.metrics.rejected.With(backup).Inc()
+		return <-primCh
+	}
+	e.metrics.hedges.Inc()
+	backCtx, cancelBack := context.WithCancel(ctx)
+	defer cancelBack()
+	backCh := make(chan armOutcome, 1)
+	go func() {
+		backCh <- e.dispatchArm(backCtx, "hedge", backup, query, attemptN, timeout, solCh, backupBr)
+	}()
+
+	var prim, back *armOutcome
+	for prim == nil || back == nil {
+		select {
+		case o := <-primCh:
+			prim = &o
+			if o.err == nil {
+				cancelBack()
+				if back == nil {
+					bo := <-backCh
+					back = &bo
+				}
+				e.settleHedgeLoser(*back)
+				return o
+			}
+		case o := <-backCh:
+			back = &o
+			if o.err == nil {
+				e.metrics.hedgeWins.Inc()
+				cancelPrim()
+				if prim == nil {
+					po := <-primCh
+					prim = &po
+				}
+				e.settleHedgeLoser(*prim)
+				return o
+			}
+		}
+	}
+	// Both arms failed: settle the backup's bookkeeping here and report
+	// the primary's failure through the ordinary retry path.
+	e.settleHedgeLoser(*back)
+	return *prim
+}
+
+// settleHedgeLoser books the losing arm's outcome: a near-simultaneous
+// success counts as a success (its rows reached the merge anyway), a
+// cancellation is no-fault, and a genuine failure is charged like any
+// failed attempt.
+func (e *Executor) settleHedgeLoser(o armOutcome) {
+	switch {
+	case o.err == nil:
+		o.br.Success()
+		e.opts.Health.Record(o.endpoint, o.lat, nil)
+		e.metrics.attempts.With(o.endpoint).Inc()
+		e.metrics.successes.With(o.endpoint).Inc()
+		e.metrics.latency.With(o.endpoint).Observe(o.lat.Seconds())
+		e.metrics.solutions.With(o.endpoint).Add(float64(o.count))
+	case errors.Is(o.err, context.Canceled):
+		o.br.Cancel()
+	default:
+		o.br.Failure()
+		e.opts.Health.Record(o.endpoint, o.lat, o.err)
+		e.metrics.attempts.With(o.endpoint).Inc()
+		e.metrics.failures.With(o.endpoint).Inc()
+		e.metrics.latency.With(o.endpoint).Observe(o.lat.Seconds())
+	}
+}

@@ -18,6 +18,8 @@ type executorMetrics struct {
 	solutions *obs.CounterVec
 	latency   *obs.HistogramVec
 	ttfs      *obs.HistogramVec
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
 }
 
 func newExecutorMetrics(r *obs.Registry) *executorMetrics {
@@ -38,6 +40,10 @@ func newExecutorMetrics(r *obs.Registry) *executorMetrics {
 			"Sub-query attempt latency per endpoint, in seconds.", nil, "endpoint"),
 		ttfs: r.HistogramVec("sparqlrw_federate_ttfs_seconds",
 			"Time from sub-query dispatch to its first solution, per endpoint, in seconds.", nil, "endpoint"),
+		hedges: r.Counter("sparqlrw_federate_hedges_total",
+			"Backup sub-queries dispatched because the primary ran past its observed p95."),
+		hedgeWins: r.Counter("sparqlrw_federate_hedge_wins_total",
+			"Hedged dispatches where the backup replica answered first."),
 	}
 }
 

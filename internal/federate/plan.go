@@ -16,6 +16,7 @@ func PlanRequest(p *plan.Plan) Request {
 		req.Targets = append(req.Targets, Target{
 			Dataset:      s.Dataset,
 			Endpoint:     s.Endpoint,
+			Replicas:     s.Replicas,
 			NeedsRewrite: s.NeedsRewrite,
 			Query:        s.Query,
 			Timeout:      s.Timeout,

@@ -30,6 +30,8 @@ type Stats struct {
 	CacheMisses  uint64          `json:"cacheMisses"`
 	CacheHitRate float64         `json:"cacheHitRate"` // hits / (hits+misses), 0 when idle
 	CacheEntries int             `json:"cacheEntries"`
+	Hedges       uint64          `json:"hedges"`    // backup sub-queries dispatched
+	HedgeWins    uint64          `json:"hedgeWins"` // hedged dispatches the backup won
 }
 
 // Stats assembles a snapshot sorted by endpoint URL. It is a read-back
@@ -84,6 +86,8 @@ func (e *Executor) Stats() Stats {
 	})
 	out.CacheHits, out.CacheMisses = e.cache.Metrics()
 	out.CacheEntries = e.cache.Len()
+	out.Hedges = uint64(e.metrics.hedges.Value())
+	out.HedgeWins = uint64(e.metrics.hedgeWins.Value())
 	if total := out.CacheHits + out.CacheMisses; total > 0 {
 		out.CacheHitRate = float64(out.CacheHits) / float64(total)
 	}

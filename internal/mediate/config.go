@@ -5,6 +5,7 @@ import (
 	"sparqlrw/internal/federate"
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
+	"sparqlrw/internal/serve"
 )
 
 // Config is the mediator's consolidated configuration: one struct holding
@@ -35,6 +36,11 @@ type Config struct {
 	// structured logger and slow-query threshold (zero value: private
 	// registry, slog default logger, 1s threshold, 128-trace ring).
 	Observability obs.Options
+	// Serving enables the production serving tier — multi-tenant
+	// admission, the federated result cache and policy-by-rewriting —
+	// in front of Query and /sparql. Nil disables the tier entirely
+	// (every request runs as before PR 8).
+	Serving *serve.Options
 }
 
 // Option mutates a Config; the functional-option input of New and
@@ -78,6 +84,17 @@ func WithRewriteFilters(on bool) Option {
 // the observer — and with a new registry, resets the counters.
 func WithObservability(opts obs.Options) Option {
 	return func(c *Config) { c.Observability = opts }
+}
+
+// WithServing enables the serving tier (admission, result cache,
+// tenant policy) with the given options.
+func WithServing(opts serve.Options) Option {
+	return func(c *Config) { c.Serving = &opts }
+}
+
+// WithoutServing disables the serving tier.
+func WithoutServing() Option {
+	return func(c *Config) { c.Serving = nil }
 }
 
 // Config returns a snapshot of the mediator's active configuration.
@@ -134,6 +151,14 @@ func (m *Mediator) rebuild() {
 				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
 			}
 		}
+	}
+	if m.cfg.Serving == nil {
+		m.Serve = nil
+	} else {
+		// The registry's get-or-create constructors make re-registration
+		// on rebuild safe: the function-backed cache families re-bind to
+		// the fresh tier, the admission counter vecs accumulate.
+		m.Serve = serve.NewTier(*m.cfg.Serving, m.Obs.Registry)
 	}
 	if m.cfg.DisablePlanner {
 		m.Planner = nil

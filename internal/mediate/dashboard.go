@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"sparqlrw/internal/obs"
+	"sparqlrw/internal/serve"
 )
 
 // DebugHandler bundles the mediator's operator-facing debug surface for
@@ -71,14 +72,39 @@ type healthRow struct {
 	ScoreHue int // 0 (red) .. 120 (green)
 }
 
+// servingView is the dashboard's serving-tier panel: per-tenant
+// admission counters, the result cache and the hedging counters.
+type servingView struct {
+	Tenants     []serve.TenantStats
+	Cache       *serve.CacheStats
+	CacheHitPct float64
+	Hedges      uint64
+	HedgeWins   uint64
+}
+
 type dashboardData struct {
 	Health  []healthRow
+	Serving *servingView
 	Traces  []traceView
 	Audited int
 }
 
 func serveDashboard(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	data := dashboardData{}
+	if m.Serve != nil {
+		ss := m.Serve.Stats()
+		fs := m.Exec.Stats()
+		sv := &servingView{
+			Tenants:   ss.Tenants,
+			Cache:     ss.Cache,
+			Hedges:    fs.Hedges,
+			HedgeWins: fs.HedgeWins,
+		}
+		if ss.Cache != nil {
+			sv.CacheHitPct = ss.Cache.HitRate * 100
+		}
+		data.Serving = sv
+	}
 	for _, h := range m.Obs.Health.Snapshot() {
 		data.Health = append(data.Health, healthRow{
 			EndpointHealth: h,
@@ -224,6 +250,29 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
 {{end}}
 </table>
 {{else}}<p class="muted">no endpoints known yet</p>{{end}}
+
+{{with .Serving}}
+<h2>Serving tier</h2>
+<table>
+<tr><th>tenant</th><th class="num">in flight</th><th class="num">waiting</th><th class="num">admitted</th><th class="num">rejected</th><th class="num">rate/s</th><th class="num">max conc</th><th>policy</th></tr>
+{{range .Tenants}}
+<tr>
+  <td><code>{{.Tenant}}</code></td>
+  <td class="num">{{.InFlight}}</td>
+  <td class="num">{{.Waiting}}</td>
+  <td class="num">{{.Admitted}}</td>
+  <td class="num">{{.Rejected}}</td>
+  <td class="num">{{if .RatePerSec}}{{printf "%.1f" .RatePerSec}}{{else}}&infin;{{end}}</td>
+  <td class="num">{{if .MaxConcurrent}}{{.MaxConcurrent}}{{else}}&infin;{{end}}</td>
+  <td>{{if .Restricted}}restricted{{else}}<span class="muted">full access</span>{{end}}</td>
+</tr>
+{{end}}
+</table>
+<p class="muted">
+{{if .Cache}}result cache: {{.Cache.Entries}} entries &middot; {{.Cache.Hits}} hits / {{.Cache.Misses}} misses ({{printf "%.1f" $.Serving.CacheHitPct}}% hit ratio) &middot; {{.Cache.Evictions}} evictions &middot; {{.Cache.Invalidations}} invalidations{{else}}result cache disabled{{end}}
+ &middot; hedged dispatches: {{.Hedges}} ({{.HedgeWins}} backup wins)
+</p>
+{{end}}
 
 <h2>Recent traces</h2>
 {{if .Traces}}

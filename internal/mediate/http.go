@@ -2,6 +2,7 @@ package mediate
 
 import (
 	"encoding/json"
+	"errors"
 	"html/template"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"sparqlrw/internal/ntriples"
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/turtle"
@@ -368,6 +370,23 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	ctx := obs.WithRemoteParent(r.Context(), tc)
 	w.Header().Set("X-Trace-Id", tc.TraceID)
 
+	// Serving-tier admission: identify the tenant from its credential
+	// headers and run the rate/concurrency checks before any parsing or
+	// planning work. Rejections reuse the endpoint's JSON error document
+	// (the same shape as 400/406) plus a Retry-After hint, with
+	// X-Trace-Id already set above so shed requests stay correlatable.
+	var tenant *serve.Tenant
+	if m.Serve != nil {
+		tenant = m.Serve.Tenants.Identify(r)
+		release, rej := m.Serve.Admission.Admit(ctx, tenant)
+		if rej != nil {
+			w.Header().Set("Retry-After", rej.RetryAfterSeconds())
+			protocolError(w, rej.Status, rej.Error())
+			return
+		}
+		defer release()
+	}
+
 	var queryText, source string
 	var targets []string
 	limit := 0
@@ -432,12 +451,17 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 
 	res, err := m.queryParsed(ctx, QueryRequest{
 		Query: queryText, SourceOnt: source, Targets: targets, Limit: limit,
+		Tenant: tenant,
 	}, q)
 	if err != nil {
 		// The request itself was bad: unsupported form, no relevant data
 		// set, fail-fast abort before any result. Upstream failures past
-		// this point arrive mid-stream.
-		protocolError(w, http.StatusBadRequest, err.Error())
+		// this point arrive mid-stream. Tenant-policy refusals map to 403.
+		status := http.StatusBadRequest
+		if errors.Is(err, serve.ErrDenied) {
+			status = http.StatusForbidden
+		}
+		protocolError(w, status, err.Error())
 		return
 	}
 	defer res.Close()

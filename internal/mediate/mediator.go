@@ -20,6 +20,7 @@ import (
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/voidkb"
 )
@@ -50,6 +51,10 @@ type Mediator struct {
 	// rewrite-plan cache cannot serve plans produced under the old
 	// setting.
 	RewriteFilters bool
+	// Serve is the production serving tier: multi-tenant admission, the
+	// federated result cache and policy-by-rewriting. Rebuilt by
+	// Configure; nil when the tier is disabled (no WithServing).
+	Serve *serve.Tier
 	// Obs bundles the mediator's observability surfaces: the metrics
 	// registry every layer registers into (rendered at /metrics, read back
 	// by Stats), the finished-trace ring behind /api/trace, the structured
@@ -86,17 +91,27 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 		start:      time.Now(),
 	}
 	m.Configure(opts...)
-	// Rewrite-plan cache invalidation hooks: a changed voiD entry drops
-	// that data set's cached plans, a changed alignment KB flushes them
-	// all — no wholesale executor rebuild needed.
+	// Cache invalidation hooks: a changed voiD entry drops that data
+	// set's cached rewrite plans and cached federated results, a changed
+	// alignment KB flushes both caches entirely — no wholesale executor
+	// rebuild needed. Both caches version their epochs, so fills that
+	// were in flight across an invalidation are silently discarded.
 	m.unsubscribe = []func(){
 		datasets.Subscribe(func(uri string) {
 			m.Exec.InvalidateDataset(uri)
+			if m.Serve != nil {
+				m.Serve.InvalidateDataset(uri)
+			}
 			if ds, ok := m.Datasets.Get(uri); ok && ds.SPARQLEndpoint != "" {
 				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
 			}
 		}),
-		alignments.Subscribe(func() { m.Exec.FlushPlans() }),
+		alignments.Subscribe(func() {
+			m.Exec.FlushPlans()
+			if m.Serve != nil {
+				m.Serve.Flush()
+			}
+		}),
 	}
 	return m
 }
@@ -209,8 +224,11 @@ type Stats struct {
 	SolutionsStreamed uint64 `json:"solutionsStreamed"`
 	// Health scores every known endpoint from smoothed latency quantiles,
 	// error rate and breaker state (the same snapshot GET /api/health
-	// serves); the upcoming hedged-dispatch work reads it to pick replicas.
+	// serves); hedged dispatch reads it to pick replicas.
 	Health []obs.EndpointHealth `json:"health,omitempty"`
+	// Serving reports the serving tier's per-tenant admission state and
+	// result-cache counters (nil when the tier is disabled).
+	Serving *serve.Stats `json:"serving,omitempty"`
 	// Build identifies the running binary; UptimeSeconds is time since the
 	// mediator was constructed.
 	Build         BuildInfo `json:"build"`
@@ -249,6 +267,10 @@ func (m *Mediator) Stats() Stats {
 	st.InFlight = int(m.metrics.inflight.Value())
 	st.SolutionsStreamed = uint64(m.metrics.streamed.Value())
 	st.Health = m.Obs.Health.Snapshot()
+	if m.Serve != nil {
+		ss := m.Serve.Stats()
+		st.Serving = &ss
+	}
 	st.Build = buildInfo()
 	st.UptimeSeconds = time.Since(m.start).Seconds()
 	return st

@@ -13,7 +13,9 @@ import (
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/voidkb"
 )
 
 // QueryRequest describes one federated query for Mediator.Query: the
@@ -34,6 +36,11 @@ type QueryRequest struct {
 	// for CONSTRUCT/DESCRIBE. Reaching it cancels the remaining upstream
 	// work. 0 means no limit; ASK ignores it.
 	Limit int
+	// Tenant is the serving-tier tenant executing the query (nil: the
+	// anonymous tenant, unrestricted unless configured otherwise). Its
+	// policy is injected into the query algebra before planning, and its
+	// dataset allowlist prunes target selection.
+	Tenant *serve.Tenant
 }
 
 // Result is the form-polymorphic outcome of Mediator.Query: a tagged
@@ -155,11 +162,34 @@ func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*Result, error)
 func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
 	ctx, qo := m.beginQuery(ctx, q.Form)
 	qo.query = req.Query
+
+	// Serving tier, part 1 — policy-by-rewriting: the tenant's graph
+	// restrictions are injected into the algebra before anything looks at
+	// the query, so planning, caching and execution all see the
+	// restricted form.
+	if q2, changed, perr := serve.Restrict(q, req.Tenant.GetPolicy()); perr != nil {
+		qo.fail(perr)
+		return nil, perr
+	} else if changed {
+		q = q2
+		req.Query = sparql.Format(q)
+		qo.query = req.Query
+	}
+
+	// Serving tier, part 2 — the federated result cache: SELECT and ASK
+	// answers replay from memory under the sameAs-canonicalised key,
+	// with zero endpoint round trips.
+	fill := m.cacheFill(req, q)
+	if res := fill.lookup(req, q, qo); res != nil {
+		return res, nil
+	}
+
 	res, err := m.formResult(ctx, req, q)
 	if err != nil {
 		qo.fail(err)
 		return nil, err
 	}
+	fill.attach(res)
 	res.qo = qo
 	if res.pl != nil || res.dec != nil {
 		qo.explain = QueryExplanation{Plan: res.pl, Decomposition: res.dec}
@@ -255,10 +285,20 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 		planSpan.SetAttr("considered", len(pl.Decisions))
 		planSpan.SetAttr("subQueries", len(pl.Subs))
 		planSpan.End()
+		pl, err = restrictPlan(pl, req.Tenant.GetPolicy())
+		if err != nil {
+			return nil, err
+		}
 		if len(pl.Subs) == 0 {
 			// No single data set covers the whole query: try splitting
 			// the BGP into per-endpoint exclusive groups joined at the
-			// mediator (the multi-source path).
+			// mediator (the multi-source path). A dataset-restricted
+			// tenant never takes it: the decomposer's per-pattern source
+			// selection spans the whole KB, and a cross-dataset join is
+			// exactly what a dataset allowlist forbids.
+			if p := req.Tenant.GetPolicy(); len(p.AllowedDatasets()) > 0 {
+				return nil, fmt.Errorf("mediate: query needs data sets outside the tenant's allowlist: %w", serve.ErrDenied)
+			}
 			if m.Decomposer != nil {
 				_, decSpan := obs.StartSpan(ctx, "decompose")
 				dcm, derr := m.Decomposer.Decompose(req.Query, req.SourceOnt)
@@ -284,6 +324,9 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 		qs.unknown = make(map[int]DatasetAnswer)
 		qs.nTargets = len(req.Targets)
 		for i, target := range req.Targets {
+			if !req.Tenant.GetPolicy().AllowsDataset(target) {
+				return nil, fmt.Errorf("mediate: data set %s: %w", target, serve.ErrDenied)
+			}
 			ds, ok := m.Datasets.Get(target)
 			if !ok {
 				qs.unknown[i] = DatasetAnswer{Dataset: target,
@@ -294,6 +337,7 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 			freq.Targets = append(freq.Targets, federate.Target{
 				Dataset:      target,
 				Endpoint:     ds.SPARQLEndpoint,
+				Replicas:     ds.Replicas,
 				NeedsRewrite: !ds.UsesVocabulary(req.SourceOnt),
 			})
 		}
@@ -419,6 +463,7 @@ func (m *Mediator) askResult(ctx context.Context, req QueryRequest, q *sparql.Qu
 	text := sparql.Format(sel)
 	qs, err := m.selectStream(ctx, QueryRequest{
 		Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets, Limit: 1,
+		Tenant: req.Tenant,
 	}, sel)
 	if err != nil {
 		return nil, err
@@ -478,6 +523,7 @@ func (m *Mediator) constructResult(ctx context.Context, req QueryRequest, q *spa
 	text := sparql.Format(sel)
 	qs, err := m.selectStream(ctx, QueryRequest{
 		Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets,
+		Tenant: req.Tenant,
 	}, sel)
 	if err != nil {
 		return nil, err
@@ -526,6 +572,7 @@ func (m *Mediator) describeResult(ctx context.Context, req QueryRequest, q *spar
 		text := sparql.Format(sel)
 		qs, err := m.selectStream(ctx, QueryRequest{
 			Query: text, SourceOnt: req.SourceOnt, Targets: req.Targets,
+			Tenant: req.Tenant,
 		}, sel)
 		if err != nil {
 			return nil, err
@@ -550,7 +597,7 @@ func (m *Mediator) describeResult(ctx context.Context, req QueryRequest, q *spar
 		pre = sum
 	}
 
-	freq, ok := m.describeRequest(resources)
+	freq, ok := m.describeRequest(resources, req.Tenant.GetPolicy())
 	if !ok {
 		res.graph = emptyGraphStream(pre)
 		return res, nil
@@ -573,10 +620,19 @@ const describeValuesBatch = 50
 // describeRequest builds the phase-2 fan-out: per data set, sub-queries
 // fetching `?s ?p ?o` seeded by VALUES shards of the resources (and
 // their owl:sameAs aliases) that lie in the data set's URI space. A
-// resource in no registered URI space is asked of every data set. ok is
-// false when there is nothing to dispatch.
-func (m *Mediator) describeRequest(resources []rdf.Term) (federate.Request, bool) {
-	datasets := m.Datasets.All()
+// resource in no registered URI space is asked of every data set. The
+// tenant policy prunes denied data sets and re-injects its restriction
+// filters into the description query, so phase 2 cannot surface triples
+// (sameAs aliases outside the tenant's URI spaces, denied predicates)
+// that the restricted phase-1 query could not. ok is false when there
+// is nothing to dispatch.
+func (m *Mediator) describeRequest(resources []rdf.Term, pol *serve.Policy) (federate.Request, bool) {
+	var datasets []*voidkb.Dataset
+	for _, ds := range m.Datasets.All() {
+		if pol.AllowsDataset(ds.URI) {
+			datasets = append(datasets, ds)
+		}
+	}
 	if len(resources) == 0 || len(datasets) == 0 {
 		return federate.Request{}, false
 	}
@@ -641,6 +697,11 @@ func (m *Mediator) describeRequest(resources []rdf.Term) (federate.Request, bool
 				S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: rdf.NewVar("o"),
 			}}},
 		}}
+		if rq, _, rerr := serve.Restrict(q, pol); rerr != nil {
+			continue
+		} else {
+			q = rq
+		}
 		texts, _ := plan.ShardQuery(q, describeValuesBatch, (len(rows)+describeValuesBatch-1)/describeValuesBatch)
 		if len(texts) == 0 {
 			texts = []string{sparql.Format(q)}
@@ -652,6 +713,7 @@ func (m *Mediator) describeRequest(resources []rdf.Term) (federate.Request, bool
 			freq.Targets = append(freq.Targets, federate.Target{
 				Dataset:  ds.URI,
 				Endpoint: ds.SPARQLEndpoint,
+				Replicas: ds.Replicas,
 				Query:    text,
 				Shard:    i + 1,
 				Shards:   len(texts),

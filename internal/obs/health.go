@@ -275,6 +275,35 @@ func (h *HealthTracker) Snapshot() []EndpointHealth {
 
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
+// Best ranks the candidate endpoints by their current health score and
+// returns the healthiest — the hedged-dispatch replica picker. An
+// endpoint the model knows nothing about scores a neutral 1 (ties break
+// towards the earlier candidate), and a nil tracker returns the first
+// candidate, so callers need no conditionals.
+func (h *HealthTracker) Best(candidates []string) string {
+	if len(candidates) == 0 {
+		return ""
+	}
+	if h == nil {
+		return candidates[0]
+	}
+	scores := make(map[string]float64, len(candidates))
+	for _, eh := range h.Snapshot() {
+		scores[eh.Endpoint] = eh.Score
+	}
+	best, bestScore := "", -1.0
+	for _, c := range candidates {
+		score, known := scores[c]
+		if !known {
+			score = 1
+		}
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
 // RegisterMetrics exposes the model as Prometheus series on r. Like the
 // executor's collectors, re-registering replaces the callbacks, so a
 // rebuilt mediator keeps one live binding per family.

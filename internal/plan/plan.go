@@ -183,6 +183,9 @@ type Decision struct {
 type SubRequest struct {
 	Dataset  string `json:"dataset"`
 	Endpoint string `json:"endpoint"`
+	// Replicas are alternate endpoints for the same data set, candidates
+	// for the executor's hedged dispatch.
+	Replicas []string `json:"replicas,omitempty"`
 	// Query is the sub-query text (a VALUES shard, or the input query).
 	Query string `json:"query"`
 	// NeedsRewrite says the executor must translate Query for this data
@@ -274,6 +277,7 @@ func (p *Planner) Plan(queryText, sourceOnt string) (*Plan, error) {
 			pl.Subs = append(pl.Subs, SubRequest{
 				Dataset:      ds.URI,
 				Endpoint:     ds.SPARQLEndpoint,
+				Replicas:     ds.Replicas,
 				Query:        text,
 				NeedsRewrite: dec.NeedsRewrite,
 				Shard:        i + 1,

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sparqlrw/internal/obs"
+)
+
+// Rejection is an admission refusal: the HTTP status the serving tier
+// should answer with and the Retry-After hint. It implements error so
+// it can flow through ordinary error paths.
+type Rejection struct {
+	// Status is 429 (rate limited) or 503 (concurrency queue full or
+	// the caller gave up waiting).
+	Status int
+	// RetryAfter is the suggested backoff (rounded up to whole seconds
+	// for the Retry-After header; minimum 1s).
+	RetryAfter time.Duration
+	// Tenant is the refused tenant's ID; Reason is "rate", "overloaded"
+	// or "canceled".
+	Tenant string
+	Reason string
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("serve: tenant %s rejected (%s): retry after %s",
+		r.Tenant, r.Reason, r.RetryAfterSeconds())
+}
+
+// RetryAfterSeconds renders the Retry-After header value: whole
+// seconds, rounded up, at least 1.
+func (r *Rejection) RetryAfterSeconds() string {
+	secs := int(math.Ceil(r.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// admissionMetrics are the tier's admission instruments.
+type admissionMetrics struct {
+	admitted  *obs.CounterVec
+	rejected  *obs.CounterVec
+	waitQueue *obs.CounterVec
+}
+
+func newAdmissionMetrics(r *obs.Registry) *admissionMetrics {
+	return &admissionMetrics{
+		admitted: r.CounterVec("sparqlrw_serve_admitted_total",
+			"Queries admitted past the serving tier, per tenant.", "tenant"),
+		rejected: r.CounterVec("sparqlrw_serve_rejected_total",
+			"Queries shed by the serving tier, per tenant and reason.", "tenant", "reason"),
+		waitQueue: r.CounterVec("sparqlrw_serve_queued_total",
+			"Admissions that waited in the bounded concurrency queue, per tenant.", "tenant"),
+	}
+}
+
+// tenantState is one tenant's live admission state: a token bucket
+// (rate) and a channel semaphore with a bounded wait queue
+// (concurrency).
+type tenantState struct {
+	t *Tenant
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	waiting  int
+	inflight int
+	admitted uint64
+	rejected uint64
+
+	// sem is the concurrency semaphore (nil when unlimited). Inflight is
+	// len(sem).
+	sem chan struct{}
+}
+
+// Admission enforces every tenant's rate and concurrency limits.
+type Admission struct {
+	reg     *TenantRegistry
+	metrics *admissionMetrics
+
+	mu     sync.Mutex
+	states map[string]*tenantState
+
+	// now is the bucket clock, injectable for deterministic tests.
+	now func() time.Time
+}
+
+// NewAdmission builds the admission controller over a tenant registry.
+func NewAdmission(reg *TenantRegistry) *Admission {
+	return &Admission{reg: reg, states: map[string]*tenantState{}, now: time.Now}
+}
+
+func (a *Admission) state(t *Tenant) *tenantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.states[t.ID]
+	if !ok {
+		s = &tenantState{t: t, tokens: t.burst(), last: a.now()}
+		if t.MaxConcurrent > 0 {
+			s.sem = make(chan struct{}, t.MaxConcurrent)
+		}
+		a.states[t.ID] = s
+	}
+	return s
+}
+
+// takeToken refills the tenant's bucket and takes one token, or reports
+// how long until the next token is due.
+func (a *Admission) takeToken(s *tenantState) (ok bool, wait time.Duration) {
+	t := s.t
+	if t.RatePerSec <= 0 {
+		return true, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := a.now()
+	elapsed := now.Sub(s.last).Seconds()
+	if elapsed > 0 {
+		s.tokens = math.Min(t.burst(), s.tokens+elapsed*t.RatePerSec)
+		s.last = now
+	}
+	if s.tokens >= 1 {
+		s.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - s.tokens) / t.RatePerSec * float64(time.Second))
+}
+
+// Admit runs tenant's admission checks: the token bucket first (a 429
+// with the time to the next token on refusal), then the concurrency
+// cap (waiting in the bounded queue for a slot; a full queue sheds the
+// request with 503). On success the returned release function MUST be
+// called exactly once when the query finishes. rej is nil on success.
+func (a *Admission) Admit(ctx context.Context, tenant *Tenant) (release func(), rej *Rejection) {
+	if tenant == nil {
+		tenant = a.reg.Anonymous()
+	}
+	s := a.state(tenant)
+	reject := func(status int, retryAfter time.Duration, reason string) *Rejection {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		if a.metrics != nil {
+			a.metrics.rejected.With(tenant.ID, reason).Inc()
+		}
+		return &Rejection{Status: status, RetryAfter: retryAfter, Tenant: tenant.ID, Reason: reason}
+	}
+	if ok, wait := a.takeToken(s); !ok {
+		return nil, reject(http.StatusTooManyRequests, wait, "rate")
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// No free slot: join the bounded wait queue, or shed.
+			s.mu.Lock()
+			if s.waiting >= s.t.QueueDepth {
+				s.mu.Unlock()
+				return nil, reject(http.StatusServiceUnavailable, time.Second, "overloaded")
+			}
+			s.waiting++
+			s.mu.Unlock()
+			if a.metrics != nil {
+				a.metrics.waitQueue.With(tenant.ID).Inc()
+			}
+			admitted := false
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			case <-ctx.Done():
+			}
+			s.mu.Lock()
+			s.waiting--
+			s.mu.Unlock()
+			if !admitted {
+				return nil, reject(http.StatusServiceUnavailable, time.Second, "canceled")
+			}
+		}
+	}
+	s.mu.Lock()
+	s.admitted++
+	s.inflight++
+	s.mu.Unlock()
+	if a.metrics != nil {
+		a.metrics.admitted.With(tenant.ID).Inc()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+			if s.sem != nil {
+				<-s.sem
+			}
+		})
+	}, nil
+}
+
+// TenantStats is one tenant's admission snapshot.
+type TenantStats struct {
+	Tenant        string  `json:"tenant"`
+	InFlight      int     `json:"inFlight"`
+	Waiting       int     `json:"waiting"`
+	Admitted      uint64  `json:"admitted"`
+	Rejected      uint64  `json:"rejected"`
+	RatePerSec    float64 `json:"ratePerSec,omitempty"`
+	MaxConcurrent int     `json:"maxConcurrent,omitempty"`
+	Restricted    bool    `json:"restricted,omitempty"`
+}
+
+// Snapshot reports every configured tenant's admission state, sorted
+// with the anonymous tenant first then by ID, including tenants that
+// have not sent a request yet.
+func (a *Admission) Snapshot() []TenantStats {
+	out := make([]TenantStats, 0, len(a.reg.All()))
+	for _, t := range a.reg.All() {
+		s := a.state(t)
+		s.mu.Lock()
+		ts := TenantStats{
+			Tenant:        t.ID,
+			InFlight:      s.inflight,
+			Waiting:       s.waiting,
+			Admitted:      s.admitted,
+			Rejected:      s.rejected,
+			RatePerSec:    t.RatePerSec,
+			MaxConcurrent: t.MaxConcurrent,
+			Restricted:    !t.Policy.isZero(),
+		}
+		s.mu.Unlock()
+		out = append(out, ts)
+	}
+	sort.SliceStable(out[1:], func(i, j int) bool { return out[i+1].Tenant < out[j+1].Tenant })
+	return out
+}

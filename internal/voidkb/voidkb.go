@@ -24,6 +24,11 @@ type Dataset struct {
 	Title string
 	// SPARQLEndpoint is the query endpoint URL (void:sparqlEndpoint).
 	SPARQLEndpoint string
+	// Replicas are alternate endpoint URLs serving the same data set
+	// (map:replicaEndpoint, an extension like uriSpaceRegex). The
+	// executor's hedged dispatch races the healthiest replica against
+	// the primary when the primary runs past its observed p95.
+	Replicas []string
 	// URISpace is a regular expression matching the data set's instance
 	// URIs. voiD's void:uriSpace is a plain prefix; we store the derived
 	// pattern (prefix regex-escaped + `\S*`), which is exactly the form
@@ -216,6 +221,10 @@ const dctermsTitle = rdf.DCTermsNS + "title"
 // load.
 const uriSpaceRegexProp = rdf.MapNS + "uriSpaceRegex"
 
+// replicaEndpointProp extends voiD with replica endpoints for hedged
+// dispatch; void:sparqlEndpoint stays the unambiguous primary.
+const replicaEndpointProp = rdf.MapNS + "replicaEndpoint"
+
 // Encode appends the voiD description of d to g.
 func Encode(g *rdf.Graph, d *Dataset) {
 	id := rdf.NewIRI(d.URI)
@@ -224,6 +233,9 @@ func Encode(g *rdf.Graph, d *Dataset) {
 		g.AddTriple(id, rdf.NewIRI(dctermsTitle), rdf.NewLiteral(d.Title))
 	}
 	g.AddTriple(id, rdf.NewIRI(rdf.VoidSPARQLEndpoint), rdf.NewIRI(d.SPARQLEndpoint))
+	for _, r := range d.Replicas {
+		g.AddTriple(id, rdf.NewIRI(replicaEndpointProp), rdf.NewIRI(r))
+	}
 	if d.URISpace != "" {
 		g.AddTriple(id, rdf.NewIRI(uriSpaceRegexProp), rdf.NewLiteral(d.URISpace))
 	}
@@ -302,6 +314,10 @@ func ParseTurtle(src string) (*KB, error) {
 		if t, ok := st.FirstObject(id, rdf.NewIRI(rdf.VoidSPARQLEndpoint)); ok {
 			d.SPARQLEndpoint = t.Value
 		}
+		for _, r := range st.Objects(id, rdf.NewIRI(replicaEndpointProp)) {
+			d.Replicas = append(d.Replicas, r.Value)
+		}
+		sort.Strings(d.Replicas)
 		if t, ok := st.FirstObject(id, rdf.NewIRI(uriSpaceRegexProp)); ok {
 			d.URISpace = t.Value
 		} else if t, ok := st.FirstObject(id, rdf.NewIRI(rdf.VoidURISpace)); ok {

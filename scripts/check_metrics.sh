@@ -3,8 +3,10 @@
 # federated query through /sparql, scrapes GET /metrics and asserts the
 # core Prometheus series from every layer are present; then checks the
 # distributed-tracing surface (traceparent round-trip into X-Trace-Id),
-# the per-endpoint health scores at /api/health, and that the flight
-# recorder audits a slow query under -audit-dir. Run via
+# the per-endpoint health scores at /api/health, that the flight
+# recorder audits a slow query under -audit-dir, and the serving tier:
+# a repeated query must hit the result cache, and a tenant with an
+# exhausted quota must get a deterministic 429 with Retry-After. Run via
 # `make check-metrics`.
 set -eu
 
@@ -18,11 +20,18 @@ trap cleanup EXIT INT TERM
 echo "check-metrics: building mediator..."
 go build -o "$workdir/mediator" ./cmd/mediator
 
+# A tenant with a one-token bucket that essentially never refills: its
+# second request must be a deterministic 429.
+cat >"$workdir/tenants.json" <<'EOF'
+{"tenants": [{"id": "smoke", "keys": ["smoke-key"], "ratePerSec": 0.001, "burst": 1}]}
+EOF
+
 # Small universe: the smoke test needs a query to succeed, not scale.
 # -slow-query 1ns makes every query "slow" so the flight recorder under
 # -audit-dir must capture the one we run.
 "$workdir/mediator" -addr 127.0.0.1:0 -persons 20 -papers 60 \
 	-audit-dir "$workdir/audit" -slow-query 1ns \
+	-tenants "$workdir/tenants.json" \
 	>"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
@@ -64,37 +73,10 @@ grep -q '"trace"' "$workdir/result.json" || {
 	exit 1
 }
 
-curl -s "$base/metrics" >"$workdir/metrics.txt"
-
 fail=0
-# series-name prefix -> must appear as a sample line with a value
-for series in \
-	sparqlrw_queries_total \
-	sparqlrw_query_seconds_count \
-	sparqlrw_query_ttfs_seconds_count \
-	sparqlrw_solutions_streamed_total \
-	sparqlrw_inflight_queries \
-	sparqlrw_http_requests_total \
-	sparqlrw_plan_plans_total \
-	sparqlrw_plan_cache_misses_total \
-	sparqlrw_federate_attempts_total \
-	sparqlrw_federate_request_seconds_count \
-	sparqlrw_federate_breaker_state \
-	; do
-	if ! grep -q "^$series" "$workdir/metrics.txt"; then
-		echo "check-metrics: MISSING series $series" >&2
-		fail=1
-	fi
-done
-
-# The query ran, so the select counter must be non-zero.
-if ! grep -q '^sparqlrw_queries_total{form="select"} [1-9]' "$workdir/metrics.txt"; then
-	echo "check-metrics: sparqlrw_queries_total{form=\"select\"} not incremented" >&2
-	fail=1
-fi
-
 # The trace must be retrievable through the ring (trace ids are 32 hex:
-# W3C Trace Context format).
+# W3C Trace Context format). This runs before any further queries so
+# the newest ring entry is still ours.
 trace_id=$(curl -s "$base/api/trace?limit=1" | sed -n 's/.*"id":"\([0-9a-f]\{32\}\)".*/\1/p')
 if [ -z "$trace_id" ]; then
 	echo "check-metrics: /api/trace lists no traces" >&2
@@ -121,6 +103,85 @@ err_trace=$(curl -s -D - -o /dev/null --data-urlencode "query=SELECT WHERE {" "$
 	sed -n 's/^[Xx]-[Tt]race-[Ii]d: *\([0-9a-f]*\).*/\1/p')
 if [ -z "$err_trace" ]; then
 	echo "check-metrics: 400 response carries no X-Trace-Id" >&2
+	fail=1
+fi
+
+# The same query again must serve from the federated result cache.
+repeat_status=$(curl -s -o /dev/null -w '%{http_code}' \
+	--data-urlencode "query=$query" "$base/sparql")
+[ "$repeat_status" = 200 ] || {
+	echo "check-metrics: repeated /sparql query returned $repeat_status" >&2
+	exit 1
+}
+
+# The smoke tenant's single token: first request passes, the second is
+# a deterministic 429 carrying Retry-After and the JSON error document.
+first=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-API-Key: smoke-key' \
+	--data-urlencode "query=$query" "$base/sparql")
+[ "$first" = 200 ] || {
+	echo "check-metrics: smoke tenant's first request returned $first" >&2
+	exit 1
+}
+quota_status=$(curl -s -o "$workdir/429.json" -D "$workdir/429.hdr" -w '%{http_code}' \
+	-H 'X-API-Key: smoke-key' --data-urlencode "query=$query" "$base/sparql")
+[ "$quota_status" = 429 ] || {
+	echo "check-metrics: exhausted quota returned $quota_status, want 429" >&2
+	exit 1
+}
+grep -qi '^retry-after: [0-9]' "$workdir/429.hdr" || {
+	echo "check-metrics: 429 response carries no Retry-After header" >&2
+	exit 1
+}
+grep -q '"error"' "$workdir/429.json" || {
+	echo "check-metrics: 429 response is not the JSON error document" >&2
+	exit 1
+}
+
+curl -s "$base/metrics" >"$workdir/metrics.txt"
+
+# series-name prefix -> must appear as a sample line with a value
+for series in \
+	sparqlrw_queries_total \
+	sparqlrw_query_seconds_count \
+	sparqlrw_query_ttfs_seconds_count \
+	sparqlrw_solutions_streamed_total \
+	sparqlrw_inflight_queries \
+	sparqlrw_http_requests_total \
+	sparqlrw_plan_plans_total \
+	sparqlrw_plan_cache_misses_total \
+	sparqlrw_federate_attempts_total \
+	sparqlrw_federate_request_seconds_count \
+	sparqlrw_federate_breaker_state \
+	sparqlrw_federate_hedges_total \
+	sparqlrw_federate_hedge_wins_total \
+	sparqlrw_serve_admitted_total \
+	sparqlrw_serve_rejected_total \
+	sparqlrw_serve_inflight \
+	sparqlrw_result_cache_hits_total \
+	sparqlrw_result_cache_misses_total \
+	sparqlrw_result_cache_entries \
+	; do
+	if ! grep -q "^$series" "$workdir/metrics.txt"; then
+		echo "check-metrics: MISSING series $series" >&2
+		fail=1
+	fi
+done
+
+# The query ran, so the select counter must be non-zero.
+if ! grep -q '^sparqlrw_queries_total{form="select"} [1-9]' "$workdir/metrics.txt"; then
+	echo "check-metrics: sparqlrw_queries_total{form=\"select\"} not incremented" >&2
+	fail=1
+fi
+
+# The repeated query must have hit the result cache.
+if ! grep -q '^sparqlrw_result_cache_hits_total [1-9]' "$workdir/metrics.txt"; then
+	echo "check-metrics: sparqlrw_result_cache_hits_total not incremented by the repeated query" >&2
+	fail=1
+fi
+
+# The shed request must be counted against the smoke tenant.
+if ! grep -q '^sparqlrw_serve_rejected_total{tenant="smoke",reason="rate"} [1-9]' "$workdir/metrics.txt"; then
+	echo "check-metrics: sparqlrw_serve_rejected_total{tenant=\"smoke\"} not incremented by the 429" >&2
 	fail=1
 fi
 
@@ -160,4 +221,4 @@ if ! grep -q "\"traceId\":\"$inbound_trace\"" "$workdir/audit.json"; then
 fi
 
 [ "$fail" = 0 ] || exit 1
-echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited"
+echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited; result cache hit; quota exhausted to a 429 with Retry-After"

@@ -77,6 +77,7 @@ import (
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/reason"
+	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
 	"sparqlrw/internal/store"
@@ -345,7 +346,54 @@ var (
 	// WithMediatorObservability replaces the observability options
 	// (metrics registry, logger, slow-query threshold, trace-ring size).
 	WithMediatorObservability = mediate.WithObservability
+	// WithMediatorServing enables the production serving tier:
+	// multi-tenant admission, the federated result cache and
+	// policy-by-rewriting.
+	WithMediatorServing = mediate.WithServing
 )
+
+// Serving tier: multi-tenant admission control, the sameAs-canonicalised
+// federated result cache and per-tenant policy-by-rewriting in front of
+// Mediator.Query (see internal/serve).
+type (
+	// ServingOptions tune the serving tier (tenant registry, result-cache
+	// capacity/TTL/row cap).
+	ServingOptions = serve.Options
+	// ServingTier is the live tier, exposed on Mediator.Serve when
+	// enabled; nil otherwise.
+	ServingTier = serve.Tier
+	// Tenant is one admitted principal: identification keys, rate and
+	// concurrency limits, and an optional query policy.
+	Tenant = serve.Tenant
+	// TenantsConfig is the parsed -tenants JSON document.
+	TenantsConfig = serve.TenantsConfig
+	// TenantPolicy restricts a tenant's queries by rewriting: a dataset
+	// allowlist, subject URI spaces and denied predicates.
+	TenantPolicy = serve.Policy
+	// AdmissionRejection is a load-shed decision: HTTP status (429/503),
+	// retry-after hint, tenant and reason.
+	AdmissionRejection = serve.Rejection
+)
+
+// ErrPolicyDenied is reported when a tenant's policy statically refuses a
+// query (ground term outside the tenant's URI spaces, denied predicate, or
+// an explicit target outside the dataset allowlist). The protocol endpoint
+// maps it to 403.
+var ErrPolicyDenied = serve.ErrDenied
+
+// ParseTenants parses a tenant configuration JSON document; LoadTenants
+// reads one from disk (the -tenants flag's format).
+var (
+	ParseTenants = serve.ParseTenants
+	LoadTenants  = serve.LoadTenants
+)
+
+// RestrictQuery applies a tenant policy to a parsed query, returning the
+// (possibly rewritten) query, whether anything changed, and ErrPolicyDenied
+// if the policy statically refuses it.
+func RestrictQuery(q *Query, p *TenantPolicy) (*Query, bool, error) {
+	return serve.Restrict(q, p)
+}
 
 // Observability: every mediator layer registers its counters, gauges and
 // latency histograms in one shared registry (Prometheus text exposition
