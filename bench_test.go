@@ -670,6 +670,68 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	b.Run("traced", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkAnalyzeOverhead measures the per-operator profiling
+// machinery's cost on the decomposed-query hot path: the same
+// cross-vocabulary bound join through the decompose engine with a live
+// trace in the context — every pipeline stage opens an operator span,
+// counts rows and feeds the observed-cardinality store — versus without
+// one, where the span calls no-op. The delta is the per-query price of
+// EXPLAIN ANALYZE's runtime profiles.
+func BenchmarkAnalyzeOverhead(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	soton := httptest.NewServer(endpoint.NewServer("southampton", u.Southampton))
+	b.Cleanup(soton.Close)
+	metricsStore := workload.MetricsStore(u)
+	metricsEP := httptest.NewServer(endpoint.NewServer("metrics", metricsStore))
+	b.Cleanup(metricsEP.Close)
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS},
+		Triples: int64(u.Southampton.Size()),
+		PropertyPartitions: map[string]int64{
+			rdf.AKTHasAuthor: int64(u.Southampton.PredicateCount(rdf.NewIRI(rdf.AKTHasAuthor))),
+		}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.MetricsVoidURI, SPARQLEndpoint: metricsEP.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{workload.MetricsNS},
+		Triples: int64(metricsStore.Size()),
+		PropertyPartitions: map[string]int64{
+			workload.MetricsCitationCount: int64(metricsStore.PredicateCount(rdf.NewIRI(workload.MetricsCitationCount))),
+		}})
+	m := mediate.New(dsKB, align.NewKB(), u.Coref)
+	b.Cleanup(m.Close)
+
+	dcm, err := m.Decomposer.Decompose(workload.CrossVocabularyQuery(1), rdf.AKTNS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, profiled bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			var tr *obs.Trace
+			if profiled {
+				ctx, tr = obs.NewTrace(ctx, "query")
+			}
+			r := m.JoinEngine.Run(ctx, dcm)
+			for _, err := range r.Solutions() {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if tr != nil {
+				tr.Finish()
+			}
+		}
+	}
+	b.Run("unprofiled", func(b *testing.B) { run(b, false) })
+	b.Run("profiled", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkResultCacheHitVsMiss — the serving tier's federated result
 // cache: the miss path pays the full rewrite + fan-out + merge over
 // HTTP; the hit path replays the materialised answer with zero endpoint

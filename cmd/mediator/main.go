@@ -71,15 +71,28 @@
 // sub-queries with retries, bytes and time-to-first-solution); the
 // /sparql extension explain=trace appends it to the response, X-Trace-Id
 // names it, and GET /api/trace[/{id}] serves the recent-trace ring.
-// Structured logs go through log/slog; queries slower than -slow-query
-// log a warning with their trace ID. The knobs:
+// The pipeline stages additionally record typed per-operator runtime
+// profiles (rows in/out, bytes, first-row latency, estimated vs actual
+// cardinality and q-error); explain=analyze executes the query and ships
+// that operator tree in the response trailer, GET /api/analyze/{id}
+// renders it as a table, and /debug/dashboard shows it per trace.
+// Observed cardinalities feed a per-(dataset, predicate/class, shape)
+// store persisted next to the flight recorder and exported as
+// sparqlrw_estimate_qerror histograms; with -adaptive-stats the planner
+// corrects voiD estimates from it (correction capped at 100x), and voiD
+// or alignment KB updates invalidate the affected cells. Structured logs
+// go through log/slog; queries slower than -slow-query log a warning
+// with their trace ID. The knobs:
 //
-//	-log-level L     debug|info|warn|error (default info)
-//	-log-format F    text|json (default text)
-//	-slow-query D    slow-query log threshold; negative disables (default 1s)
-//	-trace-ring N    recent traces kept for /api/trace (default 128)
-//	-debug-addr A    serve net/http/pprof and /debug/dashboard on this
-//	                 address ("" disables)
+//	-log-level L        debug|info|warn|error (default info)
+//	-log-format F       text|json (default text)
+//	-slow-query D       slow-query log threshold; negative disables (default 1s)
+//	-trace-ring N       recent traces kept for /api/trace (default 128)
+//	-debug-addr A       serve net/http/pprof and /debug/dashboard on this
+//	                    address ("" disables)
+//	-adaptive-stats     correct voiD estimates with observed cardinalities
+//	-metrics-label-cap N  label combinations kept per metric family before
+//	                    new ones collapse into an "other" series (0 = unbounded)
 //
 // The mediator also speaks W3C Trace Context: requests carrying a
 // `traceparent` header join the caller's distributed trace (the same
@@ -170,7 +183,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sparqlrw/internal/align"
@@ -223,6 +238,8 @@ func run() error {
 	auditDir := flag.String("audit-dir", "", "record slow/failed queries as JSON lines in this directory (empty disables)")
 	auditMax := flag.Int64("audit-max", obs.DefaultAuditMaxBytes, "flight recorder disk budget in bytes")
 	healthProbe := flag.Duration("health-probe", 0, "background ASK-probe interval per endpoint (0 disables)")
+	adaptiveStats := flag.Bool("adaptive-stats", false, "correct voiD cardinality estimates with observed cardinalities")
+	metricLabelCap := flag.Int("metrics-label-cap", 0, "label combinations kept per metric family before collapsing to \"other\" (0 = unbounded)")
 	tenantsFile := flag.String("tenants", "", "tenant configuration file (JSON; empty = anonymous only, unlimited)")
 	resultCache := flag.Int("result-cache", 512, "federated result cache capacity in entries (0 disables)")
 	resultCacheTTL := flag.Duration("result-cache-ttl", 5*time.Minute, "federated result cache entry lifetime")
@@ -246,6 +263,7 @@ style co-reference service, and the mediator serving
   GET      /api/datasets  registered voiD data sets
   GET      /metrics       Prometheus text exposition of every layer's metrics
   GET      /api/trace     recent query span trees (/api/trace/{id} by ID)
+  GET      /api/analyze/{id}  EXPLAIN ANALYZE operator profile for a trace
   GET      /api/health    per-endpoint health scores (latency, errors, breaker)
   GET      /api/audit     flight-recorded slow/failed queries (-audit-dir)
   GET      /               web UI (Figure 4)
@@ -374,13 +392,15 @@ Flags:
 	opts := []mediate.Option{
 		mediate.WithRewriteFilters(*filters),
 		mediate.WithObservability(obs.Options{
-			Logger:        logger,
-			SlowQuery:     *slowQuery,
-			TraceRingSize: *traceRing,
-			OTLPEndpoint:  *otlpEndpoint,
-			TraceSample:   *traceSample,
-			AuditDir:      *auditDir,
-			AuditMaxBytes: *auditMax,
+			Logger:         logger,
+			SlowQuery:      *slowQuery,
+			TraceRingSize:  *traceRing,
+			OTLPEndpoint:   *otlpEndpoint,
+			TraceSample:    *traceSample,
+			AuditDir:       *auditDir,
+			AuditMaxBytes:  *auditMax,
+			AdaptiveStats:  *adaptiveStats,
+			MetricLabelCap: *metricLabelCap,
 		}),
 		mediate.WithFederation(federate.Options{
 			Concurrency:            *concurrency,
@@ -487,6 +507,19 @@ Flags:
 		"addr", lis.Addr().String(),
 		"slowQuery", slowQuery.String(),
 		"traceRing", *traceRing)
+
+	// SIGINT/SIGTERM flush the observer before exit: the OTLP queue
+	// drains, the flight recorder closes its segment, and the observed-
+	// cardinality store persists to cards.jsonl so the next process
+	// starts with calibrated estimates.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logger.Info("shutting down")
+		m.Obs.Close()
+		os.Exit(0)
+	}()
 	return http.Serve(lis, mediate.Handler(m))
 }
 

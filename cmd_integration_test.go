@@ -443,3 +443,162 @@ SELECT ?paper ?a WHERE { ?paper akt:has-author ?a }`
 	}
 	resp.Body.Close()
 }
+
+// TestCmdMediatorExplainAnalyze drives the EXPLAIN ANALYZE feedback loop
+// through the built binary with -adaptive-stats on:
+//
+//  1. the initial /api/plan orders the cross-vocabulary query's
+//     fragments by raw voiD estimates, putting the badly-underestimated
+//     ground-author fragment first;
+//  2. explain=analyze on the executed query returns an operator tree
+//     whose fragment carries estimated vs actual rows and a q-error
+//     >= 10 (the voiD estimate is off by an order of magnitude);
+//  3. the observation lands in sparqlrw_estimate_qerror on /metrics;
+//  4. a repeated /api/plan sees the corrected estimate and flips the
+//     fragment order — the accurately-estimated metrics fragment now
+//     seeds the join.
+func TestCmdMediatorExplainAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run integration test in -short mode")
+	}
+	const (
+		aktNS       = "http://www.aktors.org/ontology/portal#"
+		metricsNS   = "http://metrics.example/ontology#"
+		person      = "http://southampton.rkbexplorer.com/id/person-00001"
+		metricsVoid = "http://metrics.example/void"
+	)
+	// Few persons, many papers: the ground-author pattern's voiD estimate
+	// (partition damped /100 for the bound object) undershoots the real
+	// fan-out by >= 10x, while the citationCount partition is exact.
+	base := startMediator(t, "-adaptive-stats", "-persons", "4", "-papers", "80")
+
+	crossQ := `PREFIX akt:<` + aktNS + `>
+PREFIX m:<` + metricsNS + `>
+SELECT ?paper ?a ?c WHERE {
+  ?paper akt:has-author <` + person + `> .
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}`
+
+	type fragment struct {
+		Targets []struct {
+			Dataset string `json:"dataset"`
+		} `json:"targets"`
+		EstCard int64 `json:"estimatedCardinality"`
+	}
+	planFragments := func() []fragment {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"query": crossQ, "source": aktNS})
+		resp, err := http.Post(base+"/api/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Decomposition *struct {
+				Fragments []fragment `json:"fragments"`
+			} `json:"decomposition"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Decomposition == nil || len(doc.Decomposition.Fragments) < 2 {
+			t.Fatalf("query did not decompose: %+v", doc)
+		}
+		return doc.Decomposition.Fragments
+	}
+	leadsWithMetrics := func(fs []fragment) bool {
+		return len(fs[0].Targets) == 1 && fs[0].Targets[0].Dataset == metricsVoid
+	}
+
+	before := planFragments()
+	if leadsWithMetrics(before) {
+		t.Fatalf("precondition broken: metrics fragment already first: %+v", before)
+	}
+
+	// Execute once with explain=analyze.
+	form := url.Values{"query": {crossQ}, "source": {aktNS}, "explain": {"analyze"}}
+	resp, err := http.PostForm(base+"/sparql", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain=analyze query: status = %d: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		Results struct {
+			Bindings []json.RawMessage `json:"bindings"`
+		} `json:"results"`
+		Analyze struct {
+			TraceID   string `json:"traceId"`
+			Operators []struct {
+				Op            string   `json:"op"`
+				Stage         *int64   `json:"stage"`
+				EstimatedRows *int64   `json:"estimatedRows"`
+				ActualRows    *int64   `json:"actualRows"`
+				QError        *float64 `json:"qError"`
+			} `json:"operators"`
+		} `json:"analyze"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("analyze response does not parse: %v\n%s", err, raw)
+	}
+	if len(doc.Results.Bindings) == 0 {
+		t.Fatal("cross-vocabulary query returned no rows")
+	}
+	var sawFragment bool
+	for _, op := range doc.Analyze.Operators {
+		if op.Op != "fragment" {
+			continue
+		}
+		sawFragment = true
+		if op.EstimatedRows == nil || op.ActualRows == nil || op.QError == nil {
+			t.Fatalf("fragment operator lacks cardinalities: %s", raw)
+		}
+		if *op.QError < 10 {
+			t.Fatalf("fragment q-error = %v, want >= 10 (est %d vs actual %d)",
+				*op.QError, *op.EstimatedRows, *op.ActualRows)
+		}
+	}
+	if !sawFragment {
+		t.Fatalf("no fragment operator in analyze tree: %s", raw)
+	}
+
+	// The calibration samples are on /metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "sparqlrw_estimate_qerror_count") {
+		t.Fatal("sparqlrw_estimate_qerror missing from /metrics")
+	}
+
+	// The observed cardinality corrects the next plan: the fragment the
+	// voiD statistics underestimated no longer seeds the join.
+	after := planFragments()
+	if !leadsWithMetrics(after) {
+		t.Fatalf("fragment order not corrected by observed cardinalities:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after[1].EstCard <= before[0].EstCard*5 {
+		t.Fatalf("ground-author estimate not corrected: before %d, after %d",
+			before[0].EstCard, after[1].EstCard)
+	}
+
+	// The human-readable profile serves at /api/analyze/{traceId}.
+	aresp, err := http.Get(base + "/api/analyze/" + doc.Analyze.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atext, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != 200 || !strings.Contains(string(atext), "EXPLAIN ANALYZE") {
+		t.Fatalf("GET /api/analyze/{id} = %d:\n%s", aresp.StatusCode, atext)
+	}
+}

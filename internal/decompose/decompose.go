@@ -64,6 +64,11 @@ type Options struct {
 	// creates a private registry; the mediator passes its shared one so
 	// /metrics and Stats() read the same counters.
 	Registry *obs.Registry
+	// Cards is the observed-cardinality feedback store: the join engine
+	// feeds it fragment actuals, and the decomposer consults it to
+	// correct voiD estimates (when the store has corrections enabled).
+	// Nil disables both directions.
+	Cards *obs.CardStore
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +136,17 @@ type Fragment struct {
 
 	patterns []rdf.Triple
 	filters  []sparql.Expression
+
+	// statTerm/statShape key the fragment's estimate in the
+	// observed-cardinality store: the predicate (or rdf:type class) and
+	// ground-position shape of the cheapest pattern — the pattern whose
+	// voiD figure became EstCard, so observed actuals calibrate exactly
+	// the cell the next estimate reads.
+	statTerm  string
+	statShape string
+	// estByDataset is the fragment's per-target-dataset estimate, the
+	// figure an unbound dispatch's per-dataset actuals compare against.
+	estByDataset map[string]int64
 }
 
 // ResidualFilter is a FILTER evaluated at the mediator because its
@@ -428,6 +444,20 @@ func (d *Decomposer) estimateFragment(f *Fragment) {
 			f.EstCard += r.card
 		}
 	}
+	// Key the estimate for observed-cardinality feedback: actuals from
+	// unbound dispatches of this fragment calibrate the cheapest
+	// pattern's cell — the figure that became EstCard.
+	f.statTerm, f.statShape = patternStatKey(rs[0].tp)
+	f.estByDataset = make(map[string]int64, len(f.Targets))
+	for _, t := range f.Targets {
+		est := int64(-1)
+		for _, r := range rs {
+			if c := d.patternCard(r.tp, t.Dataset); est < 0 || c < est {
+				est = c
+			}
+		}
+		f.estByDataset[t.Dataset] = est
+	}
 	f.patterns = f.patterns[:0]
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -445,7 +475,10 @@ func (d *Decomposer) estimateFragment(f *Fragment) {
 // its voiD statistics: the property partition for bound predicates, the
 // class partition for rdf:type patterns, the data set's total triple
 // count otherwise, damped for each bound instance term (voiD publishes no
-// per-term figures, so a fixed selectivity stands in).
+// per-term figures, so a fixed selectivity stands in). When the
+// observed-cardinality store holds a correction for the pattern's cell
+// (same dataset, predicate/class and shape) the observed figure replaces
+// the static one, within the store's correction cap.
 func (d *Decomposer) patternCard(tp rdf.Triple, datasetURI string) int64 {
 	ds, ok := d.planner.Dataset(datasetURI)
 	if !ok {
@@ -479,7 +512,23 @@ func (d *Decomposer) patternCard(tp rdf.Triple, datasetURI string) int64 {
 	if base < 1 {
 		base = 1
 	}
-	return base
+	term, shape := patternStatKey(tp)
+	return d.opts.Cards.Correct(datasetURI, term, shape, base)
+}
+
+// patternStatKey maps a pattern onto its observed-cardinality store
+// cell: the class IRI for rdf:type patterns, the predicate IRI
+// otherwise ("" for variable predicates), plus the ground-position
+// shape. rdf:type objects count as part of the term, not as a ground
+// object, mirroring patternCard's damping.
+func patternStatKey(tp rdf.Triple) (term, shape string) {
+	isType := tp.P.IsIRI() && tp.P.Value == rdf.RDFType
+	if isType && tp.O.IsIRI() {
+		term = tp.O.Value
+	} else if tp.P.IsIRI() {
+		term = tp.P.Value
+	}
+	return term, obs.PatternShape(tp.S.IsGround(), tp.O.IsGround() && !isType)
 }
 
 // orderFragments arranges fragments for left-to-right execution: the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"iter"
 	"sync"
+	"time"
 
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/federate"
@@ -269,24 +270,28 @@ func (e *Engine) pipeline(ctx context.Context, d *Decomposition, r *Run) eval.So
 	var seq eval.SolutionSeq
 	for k, f := range d.Fragments {
 		if k == 0 {
-			seq = e.fragmentSeq(ctx, d, f, nil, r)
+			seq = e.fragmentSeq(ctx, d, f, k, nil, r)
 		} else {
-			seq = e.joinStage(ctx, d, f, seq, r)
+			seq = e.joinStage(ctx, d, f, k, seq, r)
 		}
 		for _, rf := range d.ResidualFilters {
 			if rf.Stage == k {
-				seq = e.filterSeq(seq, rf.expr)
+				seq = e.filterSeq(ctx, k, seq, rf.expr)
 			}
 		}
 	}
-	return e.finalSeq(d, seq, r)
+	return e.finalSeq(ctx, d, seq, r)
 }
 
 // fragmentSeq dispatches one fragment (with the given VALUES shard
 // texts, nil for an unbound fetch) and yields its merged solutions. The
 // dispatch summary is folded into the run when the stage winds down,
-// whether it was drained or abandoned.
-func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment, shardTexts []string, r *Run) eval.SolutionSeq {
+// whether it was drained or abandoned. An unbound fetch opens a
+// "fragment" operator span (estimate vs actual cardinality, q-error,
+// first-row latency) and feeds each dataset's actual into the
+// observed-cardinality store — bound shards skip both, since a
+// semi-join's result says nothing about the fragment's true extent.
+func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment, stage int, shardTexts []string, r *Run) eval.SolutionSeq {
 	// Caller-provided texts are bound-join VALUES shards: their binding
 	// rows make each text single-use, so they must not occupy slots in
 	// the executor's rewrite-plan LRU.
@@ -319,7 +324,16 @@ func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment,
 		}
 	}
 	return func(yield func(eval.Solution, error) bool) {
-		s := e.dispatcher().SelectStream(ctx, req)
+		dispatchCtx := ctx
+		var span *obs.Span
+		var spanStart time.Time
+		var yielded int64
+		firstRowMS := -1.0
+		if !boundShards {
+			dispatchCtx, span = obs.StartSpan(ctx, "fragment")
+			spanStart = time.Now()
+		}
+		s := e.dispatcher().SelectStream(dispatchCtx, req)
 		defer func() {
 			s.Close()
 			res, err := s.Summary()
@@ -329,8 +343,36 @@ func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment,
 				n += uint64(da.Solutions)
 			}
 			e.metrics.transferred.Add(float64(n))
+			if boundShards {
+				return
+			}
+			actual := int64(n)
+			for _, da := range res.PerDataset {
+				if da.Err == nil && da.Shards <= 1 {
+					e.opts.Cards.Observe(da.Dataset, f.statTerm, f.statShape,
+						f.estByDataset[da.Dataset], int64(da.Solutions))
+				}
+			}
+			if span != nil {
+				st := obs.Operator("fragment")
+				st.Stage = int64(stage)
+				st.RowsOut = yielded
+				st.Solutions = actual
+				st.EstRows = f.EstCard
+				st.ActualRows = actual
+				st.QError = obs.QError(float64(f.EstCard), float64(actual))
+				st.FirstRowMS = firstRowMS
+				span.SetOperator(st)
+				span.End()
+			}
 		}()
 		for sol, err := range s.Solutions() {
+			if err == nil && yielded == 0 && !boundShards {
+				firstRowMS = float64(time.Since(spanStart).Microseconds()) / 1000
+			}
+			if err == nil {
+				yielded++
+			}
 			if !yield(sol, err) || err != nil {
 				return
 			}
@@ -352,8 +394,19 @@ func (e *Engine) fragmentSeq(ctx context.Context, d *Decomposition, f *Fragment,
 // mediator. Mediator-side hashing probes owl:sameAs-canonicalised keys on
 // both sides, so it also covers fragments whose entities live in a
 // different URI space than the bindings.
-func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, left eval.SolutionSeq, r *Run) eval.SolutionSeq {
+func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, stage int, left eval.SolutionSeq, r *Run) eval.SolutionSeq {
 	return func(yield func(eval.Solution, error) bool) {
+		jctx, span := obs.StartSpan(ctx, "join")
+		st := obs.Operator("bound-join")
+		st.Stage = int64(stage)
+		st.EstRows = f.EstCard
+		defer func() {
+			if st.QError < 0 && st.ActualRows >= 0 {
+				st.QError = obs.QError(float64(st.EstRows), float64(st.ActualRows))
+			}
+			span.SetOperator(st)
+			span.End()
+		}()
 		// Materialise the left side, bucketed by join key (it is about to
 		// be shipped as VALUES or probed by hash either way). keyOrder
 		// keeps VALUES rows deterministic: first-seen order.
@@ -372,7 +425,9 @@ func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, l
 			table[key] = append(table[key], sol)
 			rows++
 		}
+		st.RowsIn = int64(rows)
 		if rows == 0 {
+			st.RowsOut, st.ActualRows = 0, 0
 			return // empty join operand: the join is empty, dispatch nothing
 		}
 
@@ -415,22 +470,32 @@ func (e *Engine) joinStage(ctx context.Context, d *Decomposition, f *Fragment, l
 		}
 		if !bind {
 			e.metrics.hashJoinStages.Inc()
+			st.Op = "hash-join"
 		}
 
-		for sol, err := range e.fragmentSeq(ctx, d, f, shardTexts, r) {
+		var fetched, merged int64
+		spanStart := time.Now()
+		for sol, err := range e.fragmentSeq(jctx, d, f, stage, shardTexts, r) {
 			if err != nil {
 				yield(nil, err)
 				return
 			}
+			fetched++
 			key := sol.Project(f.JoinVars).Key()
 			for _, l := range table[key] {
 				if l.Compatible(sol) {
+					if merged == 0 {
+						st.FirstRowMS = float64(time.Since(spanStart).Microseconds()) / 1000
+					}
+					merged++
+					st.ActualRows, st.RowsOut = fetched, merged
 					if !yield(l.Merge(sol), nil) {
 						return
 					}
 				}
 			}
 		}
+		st.ActualRows, st.RowsOut = fetched, merged
 	}
 }
 
@@ -492,14 +557,24 @@ func rowKey(row []rdf.Term) string {
 
 // filterSeq applies one mediator-side FILTER: per SPARQL semantics an
 // erroring expression excludes the row rather than failing the query.
-func (e *Engine) filterSeq(in eval.SolutionSeq, expr sparql.Expression) eval.SolutionSeq {
+func (e *Engine) filterSeq(ctx context.Context, stage int, in eval.SolutionSeq, expr sparql.Expression) eval.SolutionSeq {
 	return func(yield func(eval.Solution, error) bool) {
+		_, span := obs.StartSpan(ctx, "filter")
+		st := obs.Operator("filter")
+		st.Stage = int64(stage)
+		st.RowsIn, st.RowsOut = 0, 0
+		defer func() {
+			span.SetOperator(st)
+			span.End()
+		}()
 		for sol, err := range in {
 			if err != nil {
 				yield(nil, err)
 				return
 			}
+			st.RowsIn++
 			if ok, err := eval.EvalBool(expr, sol, e.resolver); err == nil && ok {
+				st.RowsOut++
 				if !yield(sol, nil) {
 					return
 				}
@@ -512,8 +587,16 @@ func (e *Engine) filterSeq(in eval.SolutionSeq, expr sparql.Expression) eval.Sol
 // deduplicates under DISTINCT/REDUCED (counting drops as duplicates, like
 // the executor's merge does), and applies OFFSET/LIMIT — stopping the
 // upstream fragments as soon as LIMIT is satisfied.
-func (e *Engine) finalSeq(d *Decomposition, in eval.SolutionSeq, r *Run) eval.SolutionSeq {
+func (e *Engine) finalSeq(ctx context.Context, d *Decomposition, in eval.SolutionSeq, r *Run) eval.SolutionSeq {
 	return func(yield func(eval.Solution, error) bool) {
+		_, span := obs.StartSpan(ctx, "final")
+		st := obs.Operator("distinct-limit")
+		st.Stage = int64(len(d.Fragments))
+		st.RowsIn, st.RowsOut = 0, 0
+		defer func() {
+			span.SetOperator(st)
+			span.End()
+		}()
 		var seen map[string]bool
 		if d.distinct {
 			seen = map[string]bool{}
@@ -524,6 +607,7 @@ func (e *Engine) finalSeq(d *Decomposition, in eval.SolutionSeq, r *Run) eval.So
 				yield(nil, err)
 				return
 			}
+			st.RowsIn++
 			out := sol.Project(d.Vars)
 			if seen != nil {
 				key := out.Key()
@@ -546,6 +630,7 @@ func (e *Engine) finalSeq(d *Decomposition, in eval.SolutionSeq, r *Run) eval.So
 				return
 			}
 			emitted++
+			st.RowsOut = int64(emitted)
 			if d.limit >= 0 && emitted >= d.limit {
 				return
 			}

@@ -286,6 +286,7 @@ func (e *Executor) queryTarget(ctx context.Context, req Request, t Target, solCh
 		}
 	}()
 	ctx, span := obs.StartSpan(ctx, "subquery")
+	span.SetAttr("op", "subquery")
 	span.SetAttr("dataset", t.Dataset)
 	span.SetAttr("endpoint", t.Endpoint)
 	if t.Shards > 0 {

@@ -172,6 +172,7 @@ func (m *Mediator) rebuild() {
 	} else {
 		decOpts := m.cfg.Decompose
 		decOpts.Registry = m.Obs.Registry
+		decOpts.Cards = m.Obs.Cards
 		m.Decomposer = decompose.New(m.Planner, decOpts)
 		m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, decOpts)
 	}

@@ -55,7 +55,9 @@ type spanRow struct {
 	Failed     bool
 }
 
-// traceView is one waterfall: the trace header plus its flattened rows.
+// traceView is one waterfall: the trace header plus its flattened rows
+// and, when the query recorded operator profiles, its EXPLAIN ANALYZE
+// table.
 type traceView struct {
 	ID         string
 	Start      string
@@ -63,6 +65,39 @@ type traceView struct {
 	Form       string
 	Failed     bool
 	Rows       []spanRow
+	Analyze    []analyzeRow
+}
+
+// analyzeRow is one flattened operator-profile row for the dashboard's
+// EXPLAIN ANALYZE panel.
+type analyzeRow struct {
+	Op      string
+	Indent  int // px
+	Stage   string
+	Est     string
+	Actual  string
+	QErr    string
+	RowsOut string
+	TimeMS  float64
+}
+
+// analyzeRows flattens an operator tree into indented table rows.
+func analyzeRows(ns []*AnalyzeNode, depth int) []analyzeRow {
+	var out []analyzeRow
+	for _, n := range ns {
+		out = append(out, analyzeRow{
+			Op:      n.Op,
+			Indent:  depth * 14,
+			Stage:   fmtInt(n.Stage),
+			Est:     fmtInt(n.EstimatedRows),
+			Actual:  fmtInt(n.ActualRows),
+			QErr:    fmtQ(n.QError),
+			RowsOut: fmtInt(n.RowsOut),
+			TimeMS:  n.DurationMS,
+		})
+		out = append(out, analyzeRows(n.Children, depth+1)...)
+	}
+	return out
 }
 
 // healthRow adapts one endpoint's health snapshot for the template.
@@ -163,6 +198,7 @@ func waterfall(v obs.TraceJSON) traceView {
 		}
 	}
 	walk(v.Root, 0)
+	tv.Analyze = analyzeRows(buildAnalyze(v).Operators, 0)
 	return tv
 }
 
@@ -224,6 +260,8 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
   .row .dur { flex: 0 0 80px; text-align: right; font-variant-numeric: tabular-nums; color: #555; }
   .detail { color: #888; font-size: .72rem; margin-left: 220px; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
   .failedtag { color: #d9534f; font-weight: 600; }
+  table.analyze { margin-top: .5rem; font-size: .76rem; width: auto; min-width: 60%; }
+  table.analyze th, table.analyze td { padding: .12rem .55rem; }
   .muted { color: #888; }
 </style>
 </head>
@@ -286,6 +324,14 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
     <span class="dur">{{printf "%.2f" .DurationMS}} ms</span>
   </div>
   {{if .Detail}}<div class="detail">{{.Detail}}</div>{{end}}
+  {{end}}
+  {{if .Analyze}}
+  <table class="analyze">
+  <tr><th>operator</th><th class="num">stage</th><th class="num">est</th><th class="num">actual</th><th class="num">q-err</th><th class="num">rows out</th><th class="num">ms</th></tr>
+  {{range .Analyze}}
+  <tr><td style="padding-left:{{.Indent}}px"><code>{{.Op}}</code></td><td class="num">{{.Stage}}</td><td class="num">{{.Est}}</td><td class="num">{{.Actual}}</td><td class="num">{{.QErr}}</td><td class="num">{{.RowsOut}}</td><td class="num">{{printf "%.2f" .TimeMS}}</td></tr>
+  {{end}}
+  </table>
   {{end}}
 </div>
 {{end}}

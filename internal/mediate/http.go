@@ -71,6 +71,21 @@ func perDatasetView(fr *FederatedResult) []perDatasetJSON {
 	return out
 }
 
+// tracePage / auditPage are the paginated list envelopes of /api/trace
+// and /api/audit: the page plus the total so clients can iterate with
+// ?offset without guessing when to stop.
+type tracePage struct {
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+	Traces []obs.TraceJSON `json:"traces"`
+}
+
+type auditPage struct {
+	Total   int               `json:"total"`
+	Offset  int               `json:"offset"`
+	Records []json.RawMessage `json:"records"`
+}
+
 // Media types the /sparql endpoint can produce.
 const (
 	ctSRJ      = "application/sparql-results+json"
@@ -183,18 +198,20 @@ func Handler(m *Mediator) http.Handler {
 		_ = m.Obs.Registry.WritePrometheus(w)
 	})
 
-	// /api/trace lists the trace ring's recent span trees, newest first
-	// (?limit=N caps the list); /api/trace/{id} fetches one by ID, 404
+	// /api/trace lists the trace ring's recent span trees, newest first,
+	// as {"total", "offset", "traces"} (?limit=N caps the page, ?offset=N
+	// skips past the newest N); /api/trace/{id} fetches one by ID, 404
 	// once evicted.
 	handle("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
-		traces := m.Obs.Ring.Recent(limit)
+		offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+		traces, total := m.Obs.Ring.Page(offset, limit)
 		views := make([]obs.TraceJSON, 0, len(traces))
 		for _, t := range traces {
 			views = append(views, t.View())
 		}
 		w.Header().Set("Content-Type", ctJSON)
-		_ = json.NewEncoder(w).Encode(views)
+		_ = json.NewEncoder(w).Encode(tracePage{Total: total, Offset: offset, Traces: views})
 	})
 	handle("/api/trace/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
@@ -205,6 +222,27 @@ func Handler(m *Mediator) http.Handler {
 		}
 		w.Header().Set("Content-Type", ctJSON)
 		_, _ = w.Write(t.JSON())
+	})
+
+	// /api/analyze/{traceId} renders a retained trace's EXPLAIN ANALYZE
+	// operator tree — estimated vs actual cardinalities, q-error, row
+	// counts — as human-readable text (?format=json for the document the
+	// explain=analyze trailer ships).
+	handle("/api/analyze/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/api/analyze/")
+		t := m.Obs.Ring.Get(id)
+		if t == nil {
+			protocolError(w, http.StatusNotFound, "no such trace (evicted or never recorded): "+id)
+			return
+		}
+		a := buildAnalyze(t.View())
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", ctJSON)
+			_ = json.NewEncoder(w).Encode(a)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, a.Text())
 	})
 
 	handle("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
@@ -289,7 +327,8 @@ func Handler(m *Mediator) http.Handler {
 	})
 
 	// /api/audit lists the flight recorder's captured slow/failed queries,
-	// newest first (?limit=N caps the list, ?trace=<id> fetches one by
+	// newest first, as {"total", "offset", "records"} (?limit=N caps the
+	// page, ?offset=N skips past the newest N, ?trace=<id> fetches one by
 	// trace id). 404 when the recorder is disabled (no -audit-dir).
 	handle("/api/audit", func(w http.ResponseWriter, r *http.Request) {
 		if m.Obs.Recorder == nil {
@@ -307,12 +346,13 @@ func Handler(m *Mediator) http.Handler {
 			return
 		}
 		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
-		recs := m.Obs.Recorder.List(limit)
+		offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+		recs, total := m.Obs.Recorder.Page(offset, limit)
 		if recs == nil {
 			recs = []json.RawMessage{}
 		}
 		w.Header().Set("Content-Type", ctJSON)
-		_ = json.NewEncoder(w).Encode(recs)
+		_ = json.NewEncoder(w).Encode(auditPage{Total: total, Offset: offset, Records: recs})
 	})
 
 	handle("/", func(w http.ResponseWriter, r *http.Request) {
@@ -349,6 +389,11 @@ func Handler(m *Mediator) http.Handler {
 // query's span tree to the response — a trailing "trace" member in the
 // SRJ document, a final {"trace":...} line in NDJSON, a terminal `trace`
 // event over SSE, a `# trace: {...}` comment in graph serialisations.
+// `explain=analyze` ships, in the same trailer slots under the member
+// name "analyze", the executed query's operator tree annotated with
+// estimated vs actual cardinalities and per-operator q-error (also
+// rendered human-readably at GET /api/analyze/{traceId} while the trace
+// ring retains the query).
 // Every response — error responses included — carries the query's trace
 // ID in X-Trace-Id, resolvable at /api/trace/{id} while the trace ring
 // retains it. Requests bearing a W3C `traceparent` header join the
@@ -390,14 +435,16 @@ func serveProtocol(m *Mediator, w http.ResponseWriter, r *http.Request) {
 	var queryText, source string
 	var targets []string
 	limit := 0
-	explain := false
+	explain := ""
 	readOpts := func(get func(string) string, all func(string) []string) {
 		source = get("source")
 		targets = all("target")
 		if n, err := strconv.Atoi(get("limit")); err == nil && n > 0 {
 			limit = n
 		}
-		explain = get("explain") == "trace"
+		if mode := get("explain"); mode == explainModeTrace || mode == explainModeAnalyze {
+			explain = mode
+		}
 	}
 	switch r.Method {
 	case http.MethodGet:
@@ -496,6 +543,28 @@ func explainTrace(res *Result) json.RawMessage {
 	return t.JSON()
 }
 
+// The /sparql explain protocol-extension modes.
+const (
+	explainModeTrace   = "trace"   // full span tree
+	explainModeAnalyze = "analyze" // operator tree with est/actual cardinalities
+)
+
+// explainPayload resolves an explain mode into its trailer member name
+// and payload ("" when the mode is off or the query ran untraced).
+func explainPayload(res *Result, mode string) (string, json.RawMessage) {
+	switch mode {
+	case explainModeTrace:
+		if tr := explainTrace(res); tr != nil {
+			return "trace", tr
+		}
+	case explainModeAnalyze:
+		if a := explainAnalyze(res); a != nil {
+			return "analyze", a
+		}
+	}
+	return "", nil
+}
+
 // flushEvery adapts an http.Flusher into the "flush the first item
 // immediately, then batch" policy shared with the endpoints.
 func flushEvery(w http.ResponseWriter) func() {
@@ -510,7 +579,7 @@ func flushEvery(w http.ResponseWriter) func() {
 }
 
 // serveBindings streams a SELECT result in the negotiated serialisation.
-func serveBindings(w http.ResponseWriter, res *Result, ctype string, explain bool) {
+func serveBindings(w http.ResponseWriter, res *Result, ctype string, explain string) {
 	qs := res.Bindings()
 	switch ctype {
 	case ctNDJSON:
@@ -521,7 +590,7 @@ func serveBindings(w http.ResponseWriter, res *Result, ctype string, explain boo
 		w.Header().Set("Content-Type", ctype)
 		// A mid-stream failure can no longer change the status line;
 		// aborting leaves truncated JSON, which streaming clients report.
-		if !explain {
+		if explain == "" {
 			_ = srjson.EncodeSelectStream(w, qs.Vars(), qs.Solutions(), flushEvery(w))
 			return
 		}
@@ -539,31 +608,29 @@ func serveBindings(w http.ResponseWriter, res *Result, ctype string, explain boo
 			}
 			flush()
 		}
-		_ = enc.CloseWith("trace", explainTrace(res))
+		member, payload := explainPayload(res, explain)
+		_ = enc.CloseWith(member, payload)
 	}
 }
 
 // serveBoolean writes an ASK result.
-func serveBoolean(w http.ResponseWriter, res *Result, ctype string, explain bool) {
+func serveBoolean(w http.ResponseWriter, res *Result, ctype string, explain string) {
 	switch ctype {
 	case ctNDJSON:
 		w.Header().Set("Content-Type", ctNDJSON)
 		line, _ := json.Marshal(map[string]bool{"boolean": res.Bool()})
 		_, _ = w.Write(append(line, '\n'))
-		if explain {
-			if tr := explainTrace(res); tr != nil {
-				_, _ = w.Write(append(append([]byte(`{"trace":`), tr...), '}', '\n'))
-			}
+		if member, payload := explainPayload(res, explain); member != "" {
+			trailer := append([]byte(`{"`+member+`":`), payload...)
+			_, _ = w.Write(append(trailer, '}', '\n'))
 		}
 	case ctSSE:
 		sse := newSSEWriter(w)
 		_ = sse.event("boolean", map[string]bool{"boolean": res.Bool()})
 		fr, err := res.Summary()
 		writeSSESummary(sse, fr, err)
-		if explain {
-			if tr := explainTrace(res); tr != nil {
-				_ = sse.event("trace", tr)
-			}
+		if member, payload := explainPayload(res, explain); member != "" {
+			_ = sse.event(member, payload)
 		}
 	default:
 		data, err := srjson.EncodeAsk(res.Bool())
@@ -571,13 +638,11 @@ func serveBoolean(w http.ResponseWriter, res *Result, ctype string, explain bool
 			protocolError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		if explain {
-			if tr := explainTrace(res); tr != nil {
-				// Splice the trace in before the document's closing brace:
-				// an unknown top-level member W3C consumers skip.
-				data = append(data[:len(data)-1], `,"trace":`...)
-				data = append(append(data, tr...), '}')
-			}
+		if member, payload := explainPayload(res, explain); member != "" {
+			// Splice the trailer in before the document's closing brace:
+			// an unknown top-level member W3C consumers skip.
+			data = append(data[:len(data)-1], `,"`+member+`":`...)
+			data = append(append(data, payload...), '}')
 		}
 		w.Header().Set("Content-Type", ctype)
 		_, _ = w.Write(data)
@@ -588,7 +653,7 @@ func serveBoolean(w http.ResponseWriter, res *Result, ctype string, explain bool
 // Turtle, one triple per line, flushed incrementally. A failure
 // mid-stream terminates the document with a comment line (legal in both
 // syntaxes), since the status line is long gone.
-func serveGraph(w http.ResponseWriter, res *Result, ctype string, explain bool) {
+func serveGraph(w http.ResponseWriter, res *Result, ctype string, explain string) {
 	gs := res.Graph()
 	w.Header().Set("Content-Type", ctype)
 	flush := flushEvery(w)
@@ -619,12 +684,10 @@ func serveGraph(w http.ResponseWriter, res *Result, ctype string, explain bool) 
 	if streamErr != nil {
 		_, _ = io.WriteString(w, "# error: "+strings.ReplaceAll(streamErr.Error(), "\n", " ")+"\n")
 	}
-	if explain {
-		if tr := explainTrace(res); tr != nil {
-			// json.Marshal output never contains raw newlines, so the
-			// trace stays one comment line (legal in both syntaxes).
-			_, _ = io.WriteString(w, "# trace: "+string(tr)+"\n")
-		}
+	if member, payload := explainPayload(res, explain); member != "" {
+		// json.Marshal output never contains raw newlines, so the
+		// trailer stays one comment line (legal in both syntaxes).
+		_, _ = io.WriteString(w, "# "+member+": "+string(payload)+"\n")
 	}
 	if flusher, ok := w.(http.Flusher); ok {
 		flusher.Flush()
@@ -639,7 +702,7 @@ func serveGraph(w http.ResponseWriter, res *Result, ctype string, explain bool) 
 // terminates it with a final {"error": "..."} line (distinguishable from
 // a binding, whose values are objects). Consumers wanting the
 // per-dataset summary use the SSE serialisation instead.
-func serveNDJSON(w http.ResponseWriter, res *Result, explain bool) {
+func serveNDJSON(w http.ResponseWriter, res *Result, explain string) {
 	qs := res.Bindings()
 	w.Header().Set("Content-Type", ctNDJSON)
 	flush := flushEvery(w)
@@ -675,12 +738,10 @@ func serveNDJSON(w http.ResponseWriter, res *Result, explain bool) {
 			writeLine(line)
 		}
 	}
-	if explain {
-		if tr := explainTrace(res); tr != nil {
-			// Distinguishable from a binding line: its one value is the
-			// trace object, not a {type,value} term.
-			writeLine(append(append([]byte(`{"trace":`), tr...), '}'))
-		}
+	if member, payload := explainPayload(res, explain); member != "" {
+		// Distinguishable from a binding line: its one value is the
+		// trailer object, not a {type,value} term.
+		writeLine(append(append([]byte(`{"`+member+`":`), payload...), '}'))
 	}
 	if flusher, ok := w.(http.Flusher); ok {
 		flusher.Flush()
@@ -741,7 +802,7 @@ func writeSSESummary(sse *sseWriter, fr *FederatedResult, err error) {
 // terminal `summary` event with the per-dataset outcomes — or an `error`
 // event when the fan-out aborted. Closing the EventSource cancels the
 // upstream sub-queries.
-func serveSSE(w http.ResponseWriter, res *Result, explain bool) {
+func serveSSE(w http.ResponseWriter, res *Result, explain string) {
 	qs := res.Bindings()
 	sse := newSSEWriter(w)
 	var streamErr error
@@ -768,10 +829,8 @@ func serveSSE(w http.ResponseWriter, res *Result, explain bool) {
 	} else {
 		writeSSESummary(sse, fr, nil)
 	}
-	if explain {
-		if tr := explainTrace(res); tr != nil {
-			_ = sse.event("trace", tr)
-		}
+	if member, payload := explainPayload(res, explain); member != "" {
+		_ = sse.event(member, payload)
 	}
 }
 

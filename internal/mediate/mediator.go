@@ -102,6 +102,9 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 			if m.Serve != nil {
 				m.Serve.InvalidateDataset(uri)
 			}
+			// Observed cardinalities predict the old data; drop them so
+			// stale corrections cannot outlive a voiD update.
+			m.Obs.Cards.Invalidate(uri)
 			if ds, ok := m.Datasets.Get(uri); ok && ds.SPARQLEndpoint != "" {
 				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
 			}
@@ -111,6 +114,7 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 			if m.Serve != nil {
 				m.Serve.Flush()
 			}
+			m.Obs.Cards.Flush()
 		}),
 	}
 	return m

@@ -93,6 +93,18 @@ func (m *Mediator) beginQuery(ctx context.Context, form sparql.Form) (context.Co
 	return ctx, qo
 }
 
+// setQuery records the query text exactly once, on the trace root.
+// Operator and fragment spans never repeat it, so a trace's ring and
+// export footprint carries one copy of the query regardless of how many
+// operators the plan profiled.
+func (qo *queryObs) setQuery(q string) {
+	if qo == nil {
+		return
+	}
+	qo.query = q
+	qo.trace.Root().SetAttr("query", q)
+}
+
 // emit counts one streamed solution or triple; the first one fixes the
 // query's time-to-first-solution. Nil-safe so internal streams without
 // an observation need no conditionals.

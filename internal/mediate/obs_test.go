@@ -215,11 +215,14 @@ func TestExplainTraceHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var recent []obs.TraceJSON
-	err = json.NewDecoder(list.Body).Decode(&recent)
+	var page struct {
+		Total  int             `json:"total"`
+		Traces []obs.TraceJSON `json:"traces"`
+	}
+	err = json.NewDecoder(list.Body).Decode(&page)
 	list.Body.Close()
-	if err != nil || len(recent) == 0 {
-		t.Fatalf("GET /api/trace: %v (%d traces)", err, len(recent))
+	if err != nil || len(page.Traces) == 0 || page.Total < len(page.Traces) {
+		t.Fatalf("GET /api/trace: %v (%d traces, total %d)", err, len(page.Traces), page.Total)
 	}
 	missing, err := http.Get(srv.URL + "/api/trace/ffffffffffffffff")
 	if err != nil {

@@ -161,7 +161,7 @@ func (m *Mediator) Query(ctx context.Context, req QueryRequest) (*Result, error)
 // planning or execution.
 func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.Query) (*Result, error) {
 	ctx, qo := m.beginQuery(ctx, q.Form)
-	qo.query = req.Query
+	qo.setQuery(req.Query)
 
 	// Serving tier, part 1 — policy-by-rewriting: the tenant's graph
 	// restrictions are injected into the algebra before anything looks at
@@ -173,7 +173,7 @@ func (m *Mediator) queryParsed(ctx context.Context, req QueryRequest, q *sparql.
 	} else if changed {
 		q = q2
 		req.Query = sparql.Format(q)
-		qo.query = req.Query
+		qo.setQuery(req.Query)
 	}
 
 	// Serving tier, part 2 — the federated result cache: SELECT and ASK
@@ -282,6 +282,10 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 			planSpan.End()
 			return nil, err
 		}
+		planStats := obs.Operator("source-selection")
+		planStats.RowsIn = int64(len(pl.Decisions))
+		planStats.RowsOut = int64(len(pl.Subs))
+		planSpan.SetOperator(planStats)
 		planSpan.SetAttr("considered", len(pl.Decisions))
 		planSpan.SetAttr("subQueries", len(pl.Subs))
 		planSpan.End()
@@ -303,6 +307,9 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 				_, decSpan := obs.StartSpan(ctx, "decompose")
 				dcm, derr := m.Decomposer.Decompose(req.Query, req.SourceOnt)
 				if derr == nil {
+					decStats := obs.Operator("decompose")
+					decStats.RowsOut = int64(len(dcm.Fragments))
+					decSpan.SetOperator(decStats)
 					decSpan.SetAttr("fragments", len(dcm.Fragments))
 					decSpan.End()
 					qs.pl = pl

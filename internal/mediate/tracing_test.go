@@ -359,14 +359,17 @@ func TestAuditEndpointRecordsSlowQueries(t *testing.T) {
 	if aresp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /api/audit = %d", aresp.StatusCode)
 	}
-	var recs []obs.AuditRecord
-	if err := json.NewDecoder(aresp.Body).Decode(&recs); err != nil {
+	var page struct {
+		Total   int               `json:"total"`
+		Records []obs.AuditRecord `json:"records"`
+	}
+	if err := json.NewDecoder(aresp.Body).Decode(&page); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) == 0 {
-		t.Fatal("no audited queries listed")
+	if len(page.Records) == 0 || page.Total == 0 {
+		t.Fatalf("no audited queries listed (total %d)", page.Total)
 	}
-	rec := recs[0]
+	rec := page.Records[0]
 	if rec.TraceID != traceID {
 		t.Fatalf("audited trace id = %s, want %s", rec.TraceID, traceID)
 	}

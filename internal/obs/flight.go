@@ -174,23 +174,42 @@ func (r *FlightRecorder) enforceBudget() {
 // 100). Records are returned as raw JSON lines — already marshalled at
 // record time — so listing never depends on the Explain payload's type.
 func (r *FlightRecorder) List(limit int) []json.RawMessage {
+	out, _ := r.Page(0, limit)
+	return out
+}
+
+// Page returns up to limit raw records starting offset entries back
+// from the newest, newest first, plus the total record count across all
+// segments (limit <= 0 means 100; a negative offset is treated as 0).
+func (r *FlightRecorder) Page(offset, limit int) ([]json.RawMessage, int) {
 	if r == nil {
-		return nil
+		return nil, 0
 	}
 	if limit <= 0 {
 		limit = 100
+	}
+	if offset < 0 {
+		offset = 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	segs := r.segments()
 	var out []json.RawMessage
-	for i := len(segs) - 1; i >= 0 && len(out) < limit; i-- {
+	total, skip := 0, offset
+	for i := len(segs) - 1; i >= 0; i-- {
 		lines := readLines(segs[i].path)
-		for j := len(lines) - 1; j >= 0 && len(out) < limit; j-- {
-			out = append(out, lines[j])
+		total += len(lines)
+		for j := len(lines) - 1; j >= 0; j-- {
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if len(out) < limit {
+				out = append(out, lines[j])
+			}
 		}
 	}
-	return out
+	return out, total
 }
 
 // Find returns the record for one trace id, scanning newest first.

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeriesCapStopsRegistryGrowth pins the label-cardinality bound:
+// once a family holds maxSeries distinct label combinations, new
+// combinations collapse into one all-"other" series and the exposition
+// stops growing no matter how many distinct values arrive.
+func TestSeriesCapStopsRegistryGrowth(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeriesPerFamily(2)
+	cv := r.CounterVec("test_requests_total", "help", "endpoint")
+
+	cv.With("http://a.example/sparql").Inc()
+	cv.With("http://b.example/sparql").Inc()
+	// Beyond the cap: each distinct endpoint lands in "other".
+	for i := 0; i < 50; i++ {
+		cv.With("http://flood" + strings.Repeat("x", i) + ".example/").Inc()
+	}
+	// Established series keep counting past the cap.
+	cv.With("http://a.example/sparql").Inc()
+
+	out := promText(t, r)
+	if got := strings.Count(out, "test_requests_total{"); got != 3 {
+		t.Fatalf("family holds %d series, want 3 (2 real + other):\n%s", got, out)
+	}
+	for _, want := range []string{
+		`test_requests_total{endpoint="http://a.example/sparql"} 2`,
+		`test_requests_total{endpoint="http://b.example/sparql"} 1`,
+		`test_requests_total{endpoint="other"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing series %q in:\n%s", want, out)
+		}
+	}
+
+	// The series count is now fixed: another flood adds no series.
+	for i := 0; i < 100; i++ {
+		cv.With("http://more" + strings.Repeat("y", i) + ".example/").Inc()
+	}
+	out = promText(t, r)
+	if got := strings.Count(out, "test_requests_total{"); got != 3 {
+		t.Fatalf("registry grew under flood: %d series, want 3:\n%s", got, out)
+	}
+	if !strings.Contains(out, `test_requests_total{endpoint="other"} 150`) {
+		t.Fatalf("overflow series did not absorb the flood:\n%s", out)
+	}
+}
+
+// TestSeriesCapAppliesToExistingFamilies pins that SetMaxSeriesPerFamily
+// retrofits families registered before the cap, and that histograms and
+// gauges collapse the same way counters do.
+func TestSeriesCapAppliesToExistingFamilies(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_latency_seconds", "help", []float64{1, 10}, "dataset")
+	hv.With("d1").Observe(0.5)
+	r.SetMaxSeriesPerFamily(1)
+	hv.With("d2").Observe(0.5) // collapses: d1 already fills the cap
+	hv.With("d3").Observe(0.5)
+
+	out := promText(t, r)
+	if !strings.Contains(out, `test_latency_seconds_count{dataset="other"} 2`) {
+		t.Fatalf("histogram overflow series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_count{dataset="d1"} 1`) {
+		t.Fatalf("pre-cap series lost:\n%s", out)
+	}
+
+	gv := r.GaugeVec("test_depth", "help", "queue")
+	gv.With("q1").Set(4)
+	gv.With("q2").Set(9) // over the cap of 1
+	out = promText(t, r)
+	if !strings.Contains(out, `test_depth{queue="other"} 9`) {
+		t.Fatalf("gauge overflow series missing:\n%s", out)
+	}
+
+	// Unlabelled families are never capped.
+	r.Counter("test_plain_total", "help").Inc()
+	if !strings.Contains(promText(t, r), "test_plain_total 1") {
+		t.Fatal("unlabelled counter affected by series cap")
+	}
+}
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -32,13 +32,40 @@ var DefBuckets = []float64{
 // or label names differ — that is a programming error, not runtime state.
 // All methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu        sync.Mutex
+	families  map[string]*family
+	maxSeries int // per-family series cap; 0 = unbounded
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// OverflowLabel is the label value series beyond a family's series cap
+// collapse into.
+const OverflowLabel = "other"
+
+// SetMaxSeriesPerFamily caps how many distinct label-value combinations
+// each labelled family may hold. Endpoint and dataset label values come
+// from voiD, which may list arbitrarily many datasets; without a cap the
+// registry — and its /metrics exposition — grows without bound. Once a
+// family reaches n series, new combinations collapse into a single
+// series whose every label value is OverflowLabel ("other"); the
+// overflow series itself does not count against the cap. n <= 0 removes
+// the cap. Applies to existing and future families.
+func (r *Registry) SetMaxSeriesPerFamily(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxSeries = n
+	for _, f := range r.families {
+		f.mu.Lock()
+		f.maxSeries = n
+		f.mu.Unlock()
+	}
 }
 
 const (
@@ -55,8 +82,9 @@ type family struct {
 	typ    string
 	labels []string
 
-	mu     sync.Mutex
-	series map[string]*series
+	mu        sync.Mutex
+	series    map[string]*series
+	maxSeries int // distinct label combinations before collapsing to "other"
 
 	// fn, when non-nil, makes this a function-backed family: samples are
 	// produced by the callback at collection time (cache sizes, breaker
@@ -110,9 +138,19 @@ func (r *Registry) family(name, help, typ string, labels []string, buckets []flo
 	f := &family{
 		name: name, help: help, typ: typ, labels: labels,
 		series: make(map[string]*series), buckets: buckets,
+		maxSeries: r.maxSeries,
 	}
 	r.families[name] = f
 	return f
+}
+
+// overflowValues returns the all-"other" label values for a family.
+func (f *family) overflowValues() []string {
+	lvs := make([]string, len(f.labels))
+	for i := range lvs {
+		lvs[i] = OverflowLabel
+	}
+	return lvs
 }
 
 func (f *family) get(lvs []string) *series {
@@ -125,6 +163,17 @@ func (f *family) get(lvs []string) *series {
 	defer f.mu.Unlock()
 	s, ok := f.series[key]
 	if !ok {
+		// At the series cap, collapse new label combinations into the
+		// shared "other" series (which is exempt from the cap) instead of
+		// growing the exposition without bound.
+		if f.maxSeries > 0 && len(f.labels) > 0 && f.atCapLocked() {
+			overflow := f.overflowValues()
+			key = seriesKey(overflow)
+			if s, ok = f.series[key]; ok {
+				return s
+			}
+			lvs = overflow
+		}
 		s = &series{labelValues: append([]string(nil), lvs...)}
 		if f.typ == typeHistogram {
 			s.hist = newHistogramData(f.buckets)
@@ -132,6 +181,16 @@ func (f *family) get(lvs []string) *series {
 		f.series[key] = s
 	}
 	return s
+}
+
+// atCapLocked reports whether the family has reached its series cap,
+// not counting the overflow series. Called with f.mu held.
+func (f *family) atCapLocked() bool {
+	n := len(f.series)
+	if _, ok := f.series[seriesKey(f.overflowValues())]; ok {
+		n--
+	}
+	return n >= f.maxSeries
 }
 
 // each visits a snapshot of the family's series, sorted by label values.

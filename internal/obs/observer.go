@@ -39,6 +39,14 @@ type Options struct {
 	// AuditMaxBytes bounds the flight recorder's total disk use
 	// (default 16 MiB).
 	AuditMaxBytes int64
+	// AdaptiveStats lets the decomposer correct voiD cardinality
+	// estimates from the observed-cardinality store. Observation and
+	// q-error export happen regardless; this flag only gates corrections.
+	AdaptiveStats bool
+	// MetricLabelCap bounds distinct label-value combinations per metric
+	// family; beyond it new combinations collapse into an "other" series
+	// (0 = unbounded). See Registry.SetMaxSeriesPerFamily.
+	MetricLabelCap int
 }
 
 // Observer bundles the observability surfaces one component threads
@@ -59,6 +67,10 @@ type Observer struct {
 	// Recorder is the query flight recorder; nil when no AuditDir is
 	// configured (or it could not be opened). Nil-safe to Record on.
 	Recorder *FlightRecorder
+	// Cards is the observed-cardinality feedback store; always non-nil.
+	// It persists alongside the flight recorder when AuditDir is set and
+	// only corrects estimates when AdaptiveStats is on.
+	Cards *CardStore
 }
 
 // NewObserver builds an observer from the options.
@@ -70,6 +82,9 @@ func NewObserver(opts Options) *Observer {
 	}
 	if o.Registry == nil {
 		o.Registry = NewRegistry()
+	}
+	if opts.MetricLabelCap > 0 {
+		o.Registry.SetMaxSeriesPerFamily(opts.MetricLabelCap)
 	}
 	if o.Log == nil {
 		o.Log = slog.Default()
@@ -101,15 +116,21 @@ func NewObserver(opts Options) *Observer {
 			o.Recorder = rec
 		}
 	}
+	o.Cards = NewCardStore(CardStoreOptions{
+		Dir:      opts.AuditDir,
+		Registry: o.Registry,
+		Adaptive: opts.AdaptiveStats,
+	})
 	return o
 }
 
-// Close flushes the exporter and closes the flight recorder. Nil-safe
-// and idempotent.
+// Close flushes the exporter, closes the flight recorder, and persists
+// the observed-cardinality store. Nil-safe and idempotent.
 func (o *Observer) Close() {
 	if o == nil {
 		return
 	}
 	o.Exporter.Close()
 	o.Recorder.Close()
+	o.Cards.Close()
 }

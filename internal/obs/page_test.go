@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func ringWith(n int, capacity int) *TraceRing {
+	r := NewTraceRing(capacity)
+	for i := 0; i < n; i++ {
+		_, t := NewTrace(context.Background(), fmt.Sprintf("q%d", i))
+		t.Finish()
+		r.Add(t)
+	}
+	return r
+}
+
+// TestTraceRingPage pins the pagination contract: newest first, offset
+// skips from the newest end, total reports everything stored, and pages
+// tile the ring without overlap.
+func TestTraceRingPage(t *testing.T) {
+	r := ringWith(5, 8)
+
+	page, total := r.Page(0, 2)
+	if total != 5 || len(page) != 2 {
+		t.Fatalf("Page(0,2) = %d traces, total %d; want 2, 5", len(page), total)
+	}
+	if page[0].Root().name != "q4" || page[1].Root().name != "q3" {
+		t.Fatalf("Page(0,2) order = %s, %s; want q4, q3", page[0].Root().name, page[1].Root().name)
+	}
+	page, _ = r.Page(2, 2)
+	if len(page) != 2 || page[0].Root().name != "q2" || page[1].Root().name != "q1" {
+		t.Fatalf("Page(2,2) wrong: %d traces", len(page))
+	}
+	// Tail page is short; past-the-end is empty, total still reported.
+	page, _ = r.Page(4, 2)
+	if len(page) != 1 || page[0].Root().name != "q0" {
+		t.Fatalf("Page(4,2) = %d traces, want the single oldest", len(page))
+	}
+	page, total = r.Page(9, 2)
+	if len(page) != 0 || total != 5 {
+		t.Fatalf("Page(9,2) = %d traces, total %d; want 0, 5", len(page), total)
+	}
+	// limit <= 0 returns everything past the offset; negative offset is 0.
+	page, _ = r.Page(1, 0)
+	if len(page) != 4 {
+		t.Fatalf("Page(1,0) = %d traces, want 4", len(page))
+	}
+	page, _ = r.Page(-3, 1)
+	if len(page) != 1 || page[0].Root().name != "q4" {
+		t.Fatal("negative offset not treated as 0")
+	}
+
+	// After wrap-around the ring still pages newest-first over what it kept.
+	wrapped := ringWith(7, 4)
+	page, total = wrapped.Page(0, 0)
+	if total != 4 || len(page) != 4 || page[0].Root().name != "q6" || page[3].Root().name != "q3" {
+		t.Fatalf("wrapped Page = %d traces (total %d), first %s last %s",
+			len(page), total, page[0].Root().name, page[len(page)-1].Root().name)
+	}
+}
+
+// TestFlightRecorderPage pins pagination across segment files: offsets
+// count records newest-first over every segment, and total counts the
+// whole on-disk history.
+func TestFlightRecorderPage(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := NewFlightRecorder(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	for i := 0; i < 6; i++ {
+		if err := fr.Record(AuditRecord{
+			Time:    time.Now(),
+			TraceID: fmt.Sprintf("t%d", i),
+			Form:    "select",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ids := func(recs []json.RawMessage) []string {
+		var out []string
+		for _, raw := range recs {
+			var rec AuditRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rec.TraceID)
+		}
+		return out
+	}
+
+	recs, total := fr.Page(0, 2)
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	if got := ids(recs); len(got) != 2 || got[0] != "t5" || got[1] != "t4" {
+		t.Fatalf("Page(0,2) = %v, want [t5 t4]", got)
+	}
+	recs, _ = fr.Page(3, 2)
+	if got := ids(recs); len(got) != 2 || got[0] != "t2" || got[1] != "t1" {
+		t.Fatalf("Page(3,2) = %v, want [t2 t1]", got)
+	}
+	recs, _ = fr.Page(5, 10)
+	if got := ids(recs); len(got) != 1 || got[0] != "t0" {
+		t.Fatalf("Page(5,10) = %v, want [t0]", got)
+	}
+	recs, total = fr.Page(50, 10)
+	if len(recs) != 0 || total != 6 {
+		t.Fatalf("past-the-end page = %d records, total %d", len(recs), total)
+	}
+}

@@ -50,14 +50,30 @@ func (r *TraceRing) Get(id string) *Trace {
 // Recent returns up to limit traces, newest first (limit <= 0 returns
 // all stored traces).
 func (r *TraceRing) Recent(limit int) []*Trace {
+	out, _ := r.Page(0, limit)
+	return out
+}
+
+// Page returns up to limit traces starting offset entries back from the
+// newest, newest first, plus the total number of stored traces
+// (limit <= 0 returns everything past the offset; a negative offset is
+// treated as 0).
+func (r *TraceRing) Page(offset, limit int) ([]*Trace, int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if limit <= 0 || limit > r.n {
-		limit = r.n
+	if offset < 0 {
+		offset = 0
+	}
+	avail := r.n - offset
+	if avail < 0 {
+		avail = 0
+	}
+	if limit <= 0 || limit > avail {
+		limit = avail
 	}
 	out := make([]*Trace, 0, limit)
-	for i := 1; i <= limit; i++ {
-		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	for i := offset + 1; i <= offset+limit; i++ {
+		out = append(out, r.buf[(r.next-i+2*len(r.buf))%len(r.buf)])
 	}
-	return out
+	return out, r.n
 }

@@ -205,6 +205,71 @@ func (s *Span) SetAttr(key string, value any) {
 	s.attrs = append(s.attrs, attr{key, value})
 }
 
+// OperatorStats are the typed runtime-profile attributes a pipeline
+// stage records on its span: what the operator is, how many rows passed
+// through it, and how its cardinality estimate compared to reality.
+// Negative numeric fields mean "not recorded" and are omitted; zero is
+// a real observation (an operator that produced nothing).
+type OperatorStats struct {
+	// Op names the operator kind: "source-selection", "decompose",
+	// "fragment", "bound-join", "hash-join", "filter", "distinct-limit".
+	Op string
+	// Stage is the operator's position in the decomposition pipeline.
+	Stage int64
+	// RowsIn / RowsOut count solutions entering / leaving the operator.
+	RowsIn, RowsOut int64
+	// Solutions counts endpoint solutions fetched by the operator.
+	Solutions int64
+	// Bytes counts response bytes transferred by the operator.
+	Bytes int64
+	// EstRows / ActualRows are the planner's cardinality estimate and the
+	// observed cardinality for the operator's output.
+	EstRows, ActualRows int64
+	// QError is max(est/actual, actual/est) when both are recorded.
+	QError float64
+	// FirstRowMS is the latency to the operator's first output row.
+	FirstRowMS float64
+}
+
+// Operator returns stats for the named operator with every numeric
+// field marked "not recorded"; callers fill in what they measured.
+func Operator(op string) OperatorStats {
+	return OperatorStats{
+		Op: op, Stage: -1, RowsIn: -1, RowsOut: -1, Solutions: -1,
+		Bytes: -1, EstRows: -1, ActualRows: -1, QError: -1, FirstRowMS: -1,
+	}
+}
+
+// SetOperator records the operator profile on the span as flat
+// well-known attribute keys ("op", "rowsIn", "estRows", …), so the
+// analyze renderer — and any OTLP consumer — reads typed numbers
+// instead of parsing ad-hoc strings. Fields left negative are skipped.
+// No-op on a nil span.
+func (s *Span) SetOperator(st OperatorStats) {
+	if s == nil {
+		return
+	}
+	s.SetAttr("op", st.Op)
+	setInt := func(key string, v int64) {
+		if v >= 0 {
+			s.SetAttr(key, v)
+		}
+	}
+	setInt("stage", st.Stage)
+	setInt("rowsIn", st.RowsIn)
+	setInt("rowsOut", st.RowsOut)
+	setInt("solutions", st.Solutions)
+	setInt("bytes", st.Bytes)
+	setInt("estRows", st.EstRows)
+	setInt("actualRows", st.ActualRows)
+	if st.QError >= 0 {
+		s.SetAttr("qError", st.QError)
+	}
+	if st.FirstRowMS >= 0 {
+		s.SetAttr("firstRowMs", st.FirstRowMS)
+	}
+}
+
 // End closes the span. Idempotent; no-op on a nil span.
 func (s *Span) End() {
 	if s == nil {

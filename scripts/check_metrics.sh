@@ -6,7 +6,10 @@
 # the per-endpoint health scores at /api/health, that the flight
 # recorder audits a slow query under -audit-dir, and the serving tier:
 # a repeated query must hit the result cache, and a tenant with an
-# exhausted quota must get a deterministic 429 with Retry-After. Run via
+# exhausted quota must get a deterministic 429 with Retry-After. A
+# cross-vocabulary query with explain=analyze must return an operator
+# tree carrying estimated and actual cardinalities, and its calibration
+# samples must land in sparqlrw_estimate_qerror. Run via
 # `make check-metrics`.
 set -eu
 
@@ -31,7 +34,7 @@ EOF
 # -audit-dir must capture the one we run.
 "$workdir/mediator" -addr 127.0.0.1:0 -persons 20 -papers 60 \
 	-audit-dir "$workdir/audit" -slow-query 1ns \
-	-tenants "$workdir/tenants.json" \
+	-tenants "$workdir/tenants.json" -adaptive-stats \
 	>"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
@@ -114,6 +117,41 @@ repeat_status=$(curl -s -o /dev/null -w '%{http_code}' \
 	exit 1
 }
 
+# EXPLAIN ANALYZE: a cross-vocabulary query (decomposed into per-dataset
+# fragments joined at the mediator) with explain=analyze must return an
+# operator tree whose profiles carry both estimated and actual
+# cardinalities, and the per-operator q-error.
+cross_query='PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?paper ?a ?c WHERE {
+  ?paper akt:has-author <http://southampton.rkbexplorer.com/id/person-00002> .
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}'
+analyze_status=$(curl -s -o "$workdir/analyze.json" -w '%{http_code}' \
+	--data-urlencode "query=$cross_query" --data-urlencode "explain=analyze" \
+	"$base/sparql")
+[ "$analyze_status" = 200 ] || {
+	echo "check-metrics: explain=analyze query returned $analyze_status:" >&2
+	cat "$workdir/analyze.json" >&2
+	exit 1
+}
+for member in '"analyze"' '"estimatedRows"' '"actualRows"' '"qError"' '"op":"fragment"'; do
+	if ! grep -q "$member" "$workdir/analyze.json"; then
+		echo "check-metrics: explain=analyze response misses $member" >&2
+		fail=1
+	fi
+done
+# The same profile must be retrievable as the human-readable table.
+analyze_trace=$(sed -n 's/.*"traceId":"\([0-9a-f]\{32\}\)".*/\1/p' "$workdir/analyze.json")
+if [ -z "$analyze_trace" ]; then
+	echo "check-metrics: analyze member names no traceId" >&2
+	fail=1
+elif ! curl -sf "$base/api/analyze/$analyze_trace" | grep -q 'EXPLAIN ANALYZE'; then
+	echo "check-metrics: /api/analyze/$analyze_trace is not the operator table" >&2
+	fail=1
+fi
+
 # The smoke tenant's single token: first request passes, the second is
 # a deterministic 429 carrying Retry-After and the JSON error document.
 first=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-API-Key: smoke-key' \
@@ -160,6 +198,7 @@ for series in \
 	sparqlrw_result_cache_hits_total \
 	sparqlrw_result_cache_misses_total \
 	sparqlrw_result_cache_entries \
+	sparqlrw_estimate_qerror_count \
 	; do
 	if ! grep -q "^$series" "$workdir/metrics.txt"; then
 		echo "check-metrics: MISSING series $series" >&2
@@ -221,4 +260,4 @@ if ! grep -q "\"traceId\":\"$inbound_trace\"" "$workdir/audit.json"; then
 fi
 
 [ "$fail" = 0 ] || exit 1
-echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited; result cache hit; quota exhausted to a 429 with Retry-After"
+echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited; result cache hit; quota exhausted to a 429 with Retry-After; explain=analyze profiled trace $analyze_trace"
