@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test bench vet check-deprecated staticcheck check-metrics
+.PHONY: build test bench bench-smoke vet check-deprecated staticcheck check-metrics
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,22 @@ test: vet check-deprecated
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Fast single-iteration benchmark pass (CI runs this): keeps every
+# benchmark compiling and running, and asserts the view-tier and
+# dict-store benchmarks — whose bodies carry correctness checks, like
+# the view path's zero-endpoint-round-trip guarantee — stayed part of
+# the sweep.
+bench-smoke:
+	@$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./... >bench-smoke.out 2>&1 || \
+		{ cat bench-smoke.out; rm -f bench-smoke.out; exit 1; }
+	@for b in BenchmarkViewVsFederated/Federated BenchmarkViewVsFederated/View \
+			BenchmarkDictStoreVsMapStore BenchmarkE9_CorefLookup/MergeRep/DictInterned; do \
+		grep -q "$$b" bench-smoke.out || \
+			{ echo "bench-smoke: $$b missing from the sweep" >&2; rm -f bench-smoke.out; exit 1; }; \
+	done
+	@cat bench-smoke.out; rm -f bench-smoke.out
+	@echo "bench-smoke: every benchmark ran; view and dict-store benchmarks present"
 
 # End-to-end observability smoke test: boot the real binary on a free
 # port, run one planner-selected federated query, scrape /metrics and

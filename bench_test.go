@@ -30,6 +30,7 @@ import (
 	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/store"
+	"sparqlrw/internal/view"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
 )
@@ -522,23 +523,85 @@ SELECT DISTINCT ?a WHERE {
 }
 
 // BenchmarkE9_CorefLookup — E9: equivalence-class lookup with the 200+
-// member class the paper reports for one person.
+// member class the paper reports for one person. MapSameAs measures the
+// rewrite-side function call; the MergeRep sub-benchmarks compare three
+// generations of the federated merge's per-binding representative lookup
+// — re-derive from the coref store each time, memoise the representative
+// string and rebuild the term per binding, and the current dictionary-
+// interned cache that returns the ready-made term (zero allocations on
+// the hot path).
 func BenchmarkE9_CorefLookup(b *testing.B) {
 	cs := coref.NewStore()
 	hub := "http://southampton.rkbexplorer.com/id/person-02686"
+	members := []rdf.Term{rdf.NewIRI(hub)}
 	for i := 0; i < 200; i++ {
-		cs.Add(hub, fmt.Sprintf("http://mirror%03d.example/id/person-02686", i))
+		m := fmt.Sprintf("http://mirror%03d.example/id/person-02686", i)
+		cs.Add(hub, m)
+		members = append(members, rdf.NewIRI(m))
 	}
-	cs.Add(hub, "http://kisti.rkbexplorer.com/id/PER_00000000105047")
-	reg := funcs.StandardRegistry(cs)
-	args := []rdf.Term{rdf.NewIRI(hub), rdf.NewLiteral(workload.KistiURIPattern)}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := reg.Call(rdf.MapSameAs, args); err != nil {
-			b.Fatal(err)
+	kisti := "http://kisti.rkbexplorer.com/id/PER_00000000105047"
+	cs.Add(hub, kisti)
+	members = append(members, rdf.NewIRI(kisti))
+
+	b.Run("MapSameAs", func(b *testing.B) {
+		reg := funcs.StandardRegistry(cs)
+		args := []rdf.Term{rdf.NewIRI(hub), rdf.NewLiteral(workload.KistiURIPattern)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Call(rdf.MapSameAs, args); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	var sink rdf.Term
+	b.Run("MergeRep/Recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := members[i%len(members)]
+			r := t.Value
+			for _, eq := range cs.Equivalents(t.Value) {
+				if eq < r {
+					r = eq
+				}
+			}
+			sink = t
+			if r != t.Value {
+				sink = rdf.NewIRI(r)
+			}
+		}
+	})
+	b.Run("MergeRep/StringMemo", func(b *testing.B) {
+		reps := make(map[string]string)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := members[i%len(members)]
+			r, ok := reps[t.Value]
+			if !ok {
+				r = t.Value
+				for _, eq := range cs.Equivalents(t.Value) {
+					if eq < r {
+						r = eq
+					}
+				}
+				reps[t.Value] = r
+			}
+			sink = t
+			if r != t.Value {
+				sink = rdf.NewIRI(r)
+			}
+		}
+	})
+	b.Run("MergeRep/DictInterned", func(b *testing.B) {
+		rc := federate.NewRepCache(cs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink = rc.Term(members[i%len(members)])
+		}
+	})
+	_ = sink
 }
 
 // BenchmarkE10_RewriteScaling — E10: the BGP-size × alignment-KB grid.
@@ -851,4 +914,157 @@ func BenchmarkHedgedVsUnhedged(b *testing.B) {
 
 func sortDurations(d []time.Duration) {
 	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}
+
+// BenchmarkViewVsFederated — the materialized-view tier against the
+// decomposed federated path it shortcuts. Both sub-benchmarks run the
+// same cross-vocabulary join; Federated decomposes it and joins over
+// HTTP every iteration, View warms the view once and then answers every
+// iteration from the embedded store. The rt/op metric counts endpoint
+// round trips — the View sub-benchmark fails unless it is exactly zero.
+func BenchmarkViewVsFederated(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	var roundTrips atomic.Int64
+	counted := func(name string, st *store.Store) *httptest.Server {
+		h := endpoint.NewServer(name, st)
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			roundTrips.Add(1)
+			h.ServeHTTP(w, r)
+		}))
+	}
+	soton := counted("southampton", u.Southampton)
+	b.Cleanup(soton.Close)
+	metrics := counted("metrics", workload.MetricsStore(u))
+	b.Cleanup(metrics.Close)
+	dsKB := voidkb.NewKB()
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.SotonVoidURI, SPARQLEndpoint: soton.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{rdf.AKTNS},
+		Triples:            int64(u.Southampton.Size()),
+		PropertyPartitions: map[string]int64{rdf.AKTHasAuthor: 450}})
+	_ = dsKB.Add(&voidkb.Dataset{URI: workload.MetricsVoidURI, SPARQLEndpoint: metrics.URL,
+		URISpace: workload.SotonURIPattern, Vocabularies: []string{workload.MetricsNS},
+		Triples:            300,
+		PropertyPartitions: map[string]int64{workload.MetricsCitationCount: 150}})
+	query := workload.CrossVocabularyQuery(7)
+
+	var fedRows int
+	b.Run("Federated", func(b *testing.B) {
+		m := mediate.New(dsKB, align.NewKB(), u.Coref)
+		b.Cleanup(m.Close)
+		roundTrips.Store(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fr, err := benchSelect(m, query, rdf.AKTNS, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fedRows = len(fr.Solutions)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(roundTrips.Load())/float64(b.N), "rt/op")
+	})
+	b.Run("View", func(b *testing.B) {
+		m := mediate.New(dsKB, align.NewKB(), u.Coref,
+			mediate.WithViews(view.Options{MinFrequency: 1}))
+		b.Cleanup(m.Close)
+		// Warm: the first query is observed, answered federated, and
+		// materialized in the background; wait for the view to be ready.
+		if _, err := benchSelect(m, query, rdf.AKTNS, nil); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			vs := m.Stats().Views
+			if vs != nil && len(vs.Views) == 1 && vs.Views[0].State == "ready" {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("view never materialized")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		roundTrips.Store(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rows int
+		for i := 0; i < b.N; i++ {
+			fr, err := benchSelect(m, query, rdf.AKTNS, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = len(fr.Solutions)
+		}
+		b.StopTimer()
+		if rt := roundTrips.Load(); rt != 0 {
+			b.Fatalf("view-answered queries made %d endpoint round trips, want 0", rt)
+		}
+		if fedRows != 0 && rows != fedRows {
+			b.Fatalf("view answered %d rows, federated answered %d", rows, fedRows)
+		}
+		b.ReportMetric(0, "rt/op")
+	})
+}
+
+// BenchmarkDictStoreVsMapStore — the dictionary-encoded store against the
+// nested-map store it generalises, on the workload's Southampton graph:
+// bulk load and the hot one-predicate scan. Run with -benchmem; README
+// records the footprint delta next to the other baselines.
+func BenchmarkDictStoreVsMapStore(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons, cfg.Papers = 50, 150
+	u := workload.Generate(cfg)
+	triples := u.Southampton.MatchAll(rdf.Triple{})
+	authorScan := rdf.Triple{P: rdf.NewIRI(rdf.AKTHasAuthor)}
+
+	b.Run("Load/MapStore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := store.New()
+			for _, tr := range triples {
+				st.Add(tr)
+			}
+		}
+		b.ReportMetric(float64(len(triples)), "triples")
+	})
+	b.Run("Load/DictStore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := store.NewDictStore()
+			for _, tr := range triples {
+				st.Add(tr)
+			}
+		}
+		b.ReportMetric(float64(len(triples)), "triples")
+	})
+
+	plain := store.New()
+	enc := store.NewDictStore()
+	for _, tr := range triples {
+		plain.Add(tr)
+		enc.Add(tr)
+	}
+	want := len(plain.MatchAll(authorScan))
+	b.Run("Scan/MapStore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := len(plain.MatchAll(authorScan)); got != want {
+				b.Fatalf("scan returned %d, want %d", got, want)
+			}
+		}
+	})
+	b.Run("Scan/DictStore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for range enc.Scan(authorScan) {
+				n++
+			}
+			if n != want {
+				b.Fatalf("scan returned %d, want %d", n, want)
+			}
+		}
+	})
 }

@@ -138,6 +138,31 @@
 //	-hedge               hedge slow sub-queries to replica endpoints
 //	-hedge-min-delay D   floor on the hedge trigger delay (default 25ms)
 //
+// # Materialized views
+//
+// With -views, the mediator mines the decomposed-query stream for
+// frequently repeated cross-vocabulary join shapes and materializes
+// their sameAs-canonicalised federated answer into an embedded
+// dictionary-encoded triple store served behind an in-process local://
+// endpoint — later queries whose basic graph pattern matches a view
+// (modulo variable renaming and owl:sameAs spelling) are answered
+// locally with zero endpoint round trips; FILTER, projection, DISTINCT
+// and LIMIT still apply, evaluated by the embedded engine. Views are
+// never silently stale: a voiD update marks views over that data set
+// stale, an alignment update marks all views stale, stale views refuse
+// to answer (queries fall back to federation), and a background loop
+// re-materializes them — plus on a TTL when -view-refresh is set. GET
+// /api/views lists each view's covered shape, source data sets,
+// freshness and synthetic voiD statistics; sparqlrw_view_{hits,misses,
+// refreshes,triples} track the tier in /metrics; POST /api/alignments
+// loads alignment Turtle into the running KB (and invalidates). The
+// knobs:
+//
+//	-views               enable the materialized-view tier
+//	-view-refresh D      TTL re-materialization interval (0 = only on
+//	                     KB invalidation)
+//	-view-max-triples N  per-view materialized size cap (default 50000)
+//
 // # Decomposition
 //
 // A third generated repository ("citation metrics") serves a second
@@ -198,6 +223,7 @@ import (
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/serve"
+	"sparqlrw/internal/view"
 	"sparqlrw/internal/voidkb"
 	"sparqlrw/internal/workload"
 )
@@ -245,6 +271,9 @@ func run() error {
 	resultCacheTTL := flag.Duration("result-cache-ttl", 5*time.Minute, "federated result cache entry lifetime")
 	hedge := flag.Bool("hedge", false, "hedge slow sub-queries to replica endpoints")
 	hedgeMinDelay := flag.Duration("hedge-min-delay", 25*time.Millisecond, "floor on the hedge trigger delay")
+	views := flag.Bool("views", false, "materialize frequently repeated cross-vocabulary joins into an embedded store")
+	viewRefresh := flag.Duration("view-refresh", 0, "re-materialize views this long after their last refresh (0 = refresh only on KB invalidation)")
+	viewMaxTriples := flag.Int("view-max-triples", 50000, "per-view materialized triple cap; larger shapes are not materialized")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `Usage: mediator [flags]
 
@@ -266,6 +295,8 @@ style co-reference service, and the mediator serving
   GET      /api/analyze/{id}  EXPLAIN ANALYZE operator profile for a trace
   GET      /api/health    per-endpoint health scores (latency, errors, breaker)
   GET      /api/audit     flight-recorded slow/failed queries (-audit-dir)
+  GET      /api/views     materialized views: shapes, freshness, stats (-views)
+  POST     /api/alignments  load alignment Turtle into the running KB
   GET      /               web UI (Figure 4)
 
 Flags:
@@ -445,6 +476,12 @@ Flags:
 	} else {
 		opts = append(opts, mediate.WithoutDecomposer())
 	}
+	if *views {
+		opts = append(opts, mediate.WithViews(view.Options{
+			RefreshTTL: *viewRefresh,
+			MaxTriples: *viewMaxTriples,
+		}))
+	}
 	m := mediate.New(dsKB, alignKB, coref.NewClient(corefURL), opts...)
 	m.Client.MaxResponseBody = *maxResponseBody
 	fmt.Printf("federation: concurrency=%d per-endpoint=%d timeout=%s retries=%d cache=%d failfast=%v\n",
@@ -472,6 +509,9 @@ Flags:
 	}
 	if *hedge {
 		fmt.Printf("hedging: enabled min-delay=%s\n", *hedgeMinDelay)
+	}
+	if *views {
+		fmt.Printf("views: enabled refresh=%s max-triples=%d\n", *viewRefresh, *viewMaxTriples)
 	}
 
 	if *otlpEndpoint != "" {

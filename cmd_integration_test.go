@@ -16,6 +16,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sparqlrw/internal/align"
+	"sparqlrw/internal/workload"
 )
 
 var (
@@ -600,5 +603,192 @@ SELECT ?paper ?a ?c WHERE {
 	aresp.Body.Close()
 	if aresp.StatusCode != 200 || !strings.Contains(string(atext), "EXPLAIN ANALYZE") {
 		t.Fatalf("GET /api/analyze/{id} = %d:\n%s", aresp.StatusCode, atext)
+	}
+}
+
+// TestCmdMediatorViewLifecycle drives the materialized-view tier through
+// the built binary:
+//
+//  1. a repeated cross-vocabulary join is mined and materialized into the
+//     embedded store (visible on /api/views);
+//  2. the next repeat is answered from the view with ZERO endpoint round
+//     trips (the federation request counters on /api/stats do not move);
+//  3. an alignment-KB update through POST /api/alignments invalidates the
+//     view — the very next query is never answered stale: it either falls
+//     back to federation or hits the already-refreshed view;
+//  4. the background refresh re-materializes the view, which then answers
+//     again without touching the endpoints.
+func TestCmdMediatorViewLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
+	}
+	// -result-cache 0: the federated result cache sits in front of the
+	// view tier and would absorb the identical repeats this test sends.
+	base := startMediator(t, "-views", "-result-cache", "0")
+
+	const (
+		aktNS     = "http://www.aktors.org/ontology/portal#"
+		metricsNS = "http://metrics.example/ontology#"
+		person    = "http://southampton.rkbexplorer.com/id/person-00002"
+	)
+	crossQ := `PREFIX akt:<` + aktNS + `>
+PREFIX m:<` + metricsNS + `>
+SELECT ?paper ?a ?c WHERE {
+  ?paper akt:has-author <` + person + `> .
+  ?paper akt:has-author ?a .
+  ?paper m:citationCount ?c .
+}`
+
+	getJSON := func(path string, out any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s = %d:\n%s", path, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	// fedRequests sums dispatched endpoint attempts across the federation:
+	// a query answered from a view must not move it.
+	fedRequests := func() uint64 {
+		var doc struct {
+			Federation struct {
+				Endpoints []struct {
+					Requests uint64 `json:"requests"`
+				} `json:"endpoints"`
+			} `json:"federation"`
+		}
+		getJSON("/api/stats", &doc)
+		var n uint64
+		for _, e := range doc.Federation.Endpoints {
+			n += e.Requests
+		}
+		return n
+	}
+	type viewsDoc struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Refreshes uint64 `json:"refreshes"`
+		Views     []struct {
+			ID       string `json:"id"`
+			State    string `json:"state"`
+			Endpoint string `json:"endpoint"`
+			Triples  int    `json:"triples"`
+		} `json:"views"`
+	}
+	getViews := func() viewsDoc {
+		var vd viewsDoc
+		getJSON("/api/views", &vd)
+		return vd
+	}
+	waitViews := func(what string, cond func(viewsDoc) bool) viewsDoc {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			vd := getViews()
+			if cond(vd) {
+				return vd
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, vd)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	runQuery := func() int {
+		t.Helper()
+		form := url.Values{"query": {crossQ}, "source": {aktNS}}
+		resp, err := http.PostForm(base+"/sparql", form)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("query: status = %d:\n%s", resp.StatusCode, body)
+		}
+		var srj struct {
+			Results struct {
+				Bindings []json.RawMessage `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&srj); err != nil {
+			t.Fatal(err)
+		}
+		return len(srj.Results.Bindings)
+	}
+
+	// 1. Two federated runs reach the default mining threshold; the
+	// manager materializes in the background.
+	want := runQuery()
+	if want == 0 {
+		t.Fatal("cross-vocabulary query returned no rows (deployment broken)")
+	}
+	if n := runQuery(); n != want {
+		t.Fatalf("federated repeat returned %d rows, first run %d", n, want)
+	}
+	vd := waitViews("view to materialize", func(vd viewsDoc) bool {
+		return len(vd.Views) == 1 && vd.Views[0].State == "ready"
+	})
+	if !strings.HasPrefix(vd.Views[0].Endpoint, "local://") {
+		t.Fatalf("view endpoint = %q, want local://", vd.Views[0].Endpoint)
+	}
+	if vd.Views[0].Triples == 0 {
+		t.Fatal("materialized view is empty")
+	}
+
+	// 2. The view answers the same query with zero endpoint round trips.
+	r0 := fedRequests()
+	if n := runQuery(); n != want {
+		t.Fatalf("view-answered query returned %d rows, federated %d", n, want)
+	}
+	if r1 := fedRequests(); r1 != r0 {
+		t.Fatalf("view-answered query made %d endpoint requests", r1-r0)
+	}
+	if vd := getViews(); vd.Hits == 0 {
+		t.Fatalf("view hit not counted: %+v", vd)
+	}
+
+	// 3. An alignment-KB update invalidates every view. The next query
+	// must not be served from the stale store: either it federates (the
+	// request counters move) or the background refresh already finished.
+	ttl := align.FormatTurtle([]*align.OntologyAlignment{workload.AKT2KISTI()})
+	resp, err := http.Post(base+"/api/alignments", "text/turtle", strings.NewReader(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /api/alignments = %d:\n%s", resp.StatusCode, body)
+	}
+	r2 := fedRequests()
+	if n := runQuery(); n != want {
+		t.Fatalf("post-invalidation query returned %d rows, want %d", n, want)
+	}
+	if vd := getViews(); fedRequests() == r2 && vd.Refreshes == 0 {
+		t.Fatalf("query after invalidation was answered from the stale view: %+v", vd)
+	}
+
+	// 4. The refresh re-materializes the view; it answers cleanly again.
+	waitViews("view to refresh", func(vd viewsDoc) bool {
+		return vd.Refreshes >= 1 && len(vd.Views) == 1 && vd.Views[0].State == "ready"
+	})
+	hitsBefore := getViews().Hits
+	r3 := fedRequests()
+	if n := runQuery(); n != want {
+		t.Fatalf("refreshed view returned %d rows, want %d", n, want)
+	}
+	if r4 := fedRequests(); r4 != r3 {
+		t.Fatalf("refreshed-view query made %d endpoint requests", r4-r3)
+	}
+	if vd := getViews(); vd.Hits <= hitsBefore {
+		t.Fatalf("refreshed view hit not counted: %+v", vd)
 	}
 }

@@ -26,7 +26,6 @@ import (
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
 	"sparqlrw/internal/srjson"
-	"sparqlrw/internal/store"
 )
 
 // DefaultMaxRequestBody caps POST query bodies read by the server.
@@ -53,8 +52,9 @@ type Server struct {
 	MaxRequestBody int64
 }
 
-// NewServer wraps a store as a SPARQL protocol server.
-func NewServer(name string, st *store.Store) *Server {
+// NewServer wraps a triple source (a nested-map Store or a
+// dictionary-encoded DictStore) as a SPARQL protocol server.
+func NewServer(name string, st eval.TripleSource) *Server {
 	return &Server{Engine: eval.New(st), Name: name}
 }
 
@@ -209,11 +209,11 @@ var sharedTransport = &http.Transport{
 // response body read.
 const defaultTimeout = 30 * time.Second
 
-// NewClient returns a client backed by the shared pooled transport.
-// Callers needing different behaviour may replace HTTP, or pass
-// per-request deadlines via the *Context methods.
+// NewClient returns a client backed by the shared pooled transport,
+// wrapped so that local:// URLs are dispatched in-process (see
+// RegisterLocal) while everything else goes over the network.
 func NewClient() *Client {
-	return &Client{HTTP: &http.Client{Transport: sharedTransport}}
+	return &Client{HTTP: &http.Client{Transport: &localTransport{next: sharedTransport}}}
 }
 
 func (c *Client) maxResponseBody() int64 {

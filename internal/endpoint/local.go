@@ -1,0 +1,131 @@
+package endpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+)
+
+// The local:// scheme serves a SPARQL endpoint in-process: requests to
+// local://<name>/sparql are dispatched straight to a registered
+// http.Handler over an io.Pipe instead of a TCP connection. The embedded
+// dictionary-encoded store registers itself here, and the planner /
+// decomposer / federation layers address it through the exact same
+// client code path as a remote endpoint — same streaming decoder, same
+// counting reader, no HTTP hop.
+
+// localRegistry maps endpoint names (the host part of a local:// URL) to
+// in-process handlers.
+var (
+	localMu       sync.RWMutex
+	localRegistry = map[string]http.Handler{}
+)
+
+// RegisterLocal installs (or replaces) the in-process handler for
+// local://<name>/... URLs issued through clients built by NewClient.
+func RegisterLocal(name string, h http.Handler) {
+	localMu.Lock()
+	defer localMu.Unlock()
+	localRegistry[name] = h
+}
+
+// UnregisterLocal removes a previously registered in-process handler.
+func UnregisterLocal(name string) {
+	localMu.Lock()
+	defer localMu.Unlock()
+	delete(localRegistry, name)
+}
+
+// LocalURL returns the endpoint URL addressing the named in-process
+// handler, in the shape the rest of the system stores in voiD
+// sparqlEndpoint descriptions.
+func LocalURL(name string) string { return "local://" + name + "/sparql" }
+
+// IsLocalURL reports whether the endpoint URL uses the in-process
+// scheme.
+func IsLocalURL(endpointURL string) bool {
+	u, err := url.Parse(endpointURL)
+	return err == nil && u.Scheme == "local"
+}
+
+func lookupLocal(name string) (http.Handler, bool) {
+	localMu.RLock()
+	defer localMu.RUnlock()
+	h, ok := localRegistry[name]
+	return h, ok
+}
+
+// localTransport routes local:// requests to registered handlers and
+// delegates everything else to the wrapped network transport.
+type localTransport struct {
+	next http.RoundTripper
+}
+
+func (t *localTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Scheme != "local" {
+		return t.next.RoundTrip(req)
+	}
+	h, ok := lookupLocal(req.URL.Host)
+	if !ok {
+		return nil, fmt.Errorf("endpoint: no local endpoint %q registered", req.URL.Host)
+	}
+	// The handler runs concurrently and streams its response body through
+	// a pipe, so the caller's incremental decoder sees solutions as they
+	// are produced — the same first-byte behaviour as a flushed chunked
+	// HTTP response.
+	pr, pw := io.Pipe()
+	w := &localResponseWriter{header: make(http.Header), pw: pw, ready: make(chan struct{})}
+	inner := req.Clone(req.Context())
+	inner.URL = &url.URL{Scheme: "http", Host: req.URL.Host, Path: req.URL.Path, RawQuery: req.URL.RawQuery}
+	inner.RequestURI = ""
+	go func() {
+		h.ServeHTTP(w, inner)
+		w.finish()
+		pw.Close()
+	}()
+	<-w.ready
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", w.status, http.StatusText(w.status)),
+		StatusCode:    w.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        w.header,
+		Body:          pr,
+		ContentLength: -1,
+		Request:       req,
+	}, nil
+}
+
+// localResponseWriter adapts the pipe's write end to http.ResponseWriter.
+// The response (status + headers) is released to the waiting RoundTrip on
+// WriteHeader, first Write, or handler return — whichever comes first.
+type localResponseWriter struct {
+	header http.Header
+	pw     *io.PipeWriter
+	status int
+	once   sync.Once
+	ready  chan struct{}
+}
+
+func (w *localResponseWriter) Header() http.Header { return w.header }
+
+func (w *localResponseWriter) WriteHeader(code int) {
+	w.once.Do(func() {
+		w.status = code
+		close(w.ready)
+	})
+}
+
+func (w *localResponseWriter) Write(p []byte) (int, error) {
+	w.WriteHeader(http.StatusOK)
+	return w.pw.Write(p)
+}
+
+// Flush is a no-op — pipe writes are visible to the reader immediately —
+// but its presence lets streaming handlers take their flushing path.
+func (w *localResponseWriter) Flush() {}
+
+func (w *localResponseWriter) finish() { w.WriteHeader(http.StatusOK) }

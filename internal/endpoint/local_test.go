@@ -1,0 +1,110 @@
+package endpoint
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
+)
+
+func localDemoStore() *store.DictStore {
+	st := store.NewDictStore()
+	ex := func(n string) rdf.Term { return rdf.NewIRI("http://example.org/" + n) }
+	st.Add(rdf.Triple{S: ex("p1"), P: ex("author"), O: ex("alice")})
+	st.Add(rdf.Triple{S: ex("p1"), P: ex("author"), O: ex("bob")})
+	st.Add(rdf.Triple{S: ex("p2"), P: ex("author"), O: ex("alice")})
+	return st
+}
+
+func TestLocalEndpointSelect(t *testing.T) {
+	RegisterLocal("local-select", NewServer("local-select", localDemoStore()))
+	defer UnregisterLocal("local-select")
+	c := NewClient()
+	res, err := c.Select(LocalURL("local-select"), `
+PREFIX ex: <http://example.org/>
+SELECT ?a WHERE { ex:p1 ex:author ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestLocalEndpointStreamsIncrementally(t *testing.T) {
+	RegisterLocal("local-stream", NewServer("local-stream", localDemoStore()))
+	defer UnregisterLocal("local-stream")
+	c := NewClient()
+	st, err := c.SelectStreamContext(context.Background(), LocalURL("local-stream"), `
+PREFIX ex: <http://example.org/>
+SELECT ?p ?a WHERE { ?p ex:author ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n := 0
+	for {
+		_, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d solutions, want 3", n)
+	}
+}
+
+func TestLocalEndpointAskAndErrors(t *testing.T) {
+	RegisterLocal("local-ask", NewServer("local-ask", localDemoStore()))
+	defer UnregisterLocal("local-ask")
+	c := NewClient()
+	yes, err := c.Ask(LocalURL("local-ask"), `PREFIX ex: <http://example.org/> ASK { ex:p1 ex:author ex:bob }`)
+	if err != nil || !yes {
+		t.Fatalf("ask = %v, %v", yes, err)
+	}
+	// A malformed query must surface the handler's 400 as a client error.
+	if _, err := c.Select(LocalURL("local-ask"), "SELECT WHERE {"); err == nil {
+		t.Fatal("malformed query over local:// did not error")
+	}
+	// An unregistered name fails the round trip cleanly.
+	if _, err := c.Select(LocalURL("never-registered"), "SELECT * WHERE { ?s ?p ?o }"); err == nil {
+		t.Fatal("unregistered local endpoint did not error")
+	}
+}
+
+func TestLocalEndpointReplacement(t *testing.T) {
+	// Re-registering a name must route new requests to the new handler —
+	// the view refresh path swaps stores this way.
+	st1 := localDemoStore()
+	RegisterLocal("local-swap", NewServer("local-swap", st1))
+	defer UnregisterLocal("local-swap")
+	c := NewClient()
+	q := `PREFIX ex: <http://example.org/> SELECT ?a WHERE { ex:p1 ex:author ?a }`
+	res, err := c.Select(LocalURL("local-swap"), q)
+	if err != nil || len(res.Solutions) != 2 {
+		t.Fatalf("before swap: %v, %v", res, err)
+	}
+	st2 := store.NewDictStore()
+	ex := func(n string) rdf.Term { return rdf.NewIRI("http://example.org/" + n) }
+	st2.Add(rdf.Triple{S: ex("p1"), P: ex("author"), O: ex("carol")})
+	RegisterLocal("local-swap", NewServer("local-swap", st2))
+	res, err = c.Select(LocalURL("local-swap"), q)
+	if err != nil || len(res.Solutions) != 1 {
+		t.Fatalf("after swap: %v, %v", res, err)
+	}
+}
+
+func TestIsLocalURL(t *testing.T) {
+	if !IsLocalURL(LocalURL("x")) {
+		t.Fatal("LocalURL not recognised as local")
+	}
+	if IsLocalURL("http://example.org/sparql") {
+		t.Fatal("http URL recognised as local")
+	}
+}

@@ -8,12 +8,26 @@ import (
 	"sparqlrw/internal/algebra"
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/sparql"
-	"sparqlrw/internal/store"
 )
 
-// Engine evaluates SPARQL queries over one triple store.
+// TripleSource is the storage surface the engine evaluates against: a
+// pattern matcher plus the two statistics the join-order heuristic needs.
+// Both store.Store (nested term maps) and store.DictStore (dictionary
+// encoded) satisfy it.
+type TripleSource interface {
+	// Match invokes fn for every stored triple matching the pattern,
+	// treating variable and zero positions as wildcards; fn returning
+	// false stops the iteration.
+	Match(pattern rdf.Triple, fn func(rdf.Triple) bool)
+	// PredicateCount returns the number of triples with predicate p.
+	PredicateCount(p rdf.Term) int
+	// Size returns the total number of triples.
+	Size() int
+}
+
+// Engine evaluates SPARQL queries over one triple source.
 type Engine struct {
-	Store *store.Store
+	Store TripleSource
 	// Funcs optionally resolves extension function IRIs in FILTERs. The
 	// paper's model assumes the query-execution site knows no alignment
 	// functions, so endpoints usually leave this nil.
@@ -24,7 +38,7 @@ type Engine struct {
 }
 
 // New returns an engine over st.
-func New(st *store.Store) *Engine { return &Engine{Store: st} }
+func New(st TripleSource) *Engine { return &Engine{Store: st} }
 
 // Result is the outcome of a SELECT evaluation: the projected variable
 // names (in SELECT order) and the solution sequence.

@@ -4,6 +4,7 @@ import (
 	"sparqlrw/internal/eval"
 	"sparqlrw/internal/funcs"
 	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/store"
 )
 
 // merger is the streaming merge stage: workers feed raw solutions in,
@@ -17,7 +18,7 @@ type merger struct {
 	// emit receives each canonical, first-seen solution; returning false
 	// stops the merge (the downstream consumer is gone).
 	emit       func(eval.Solution) bool
-	reps       map[string]string // IRI -> class representative, memoised per run
+	reps       *RepCache
 	seen       map[string]bool
 	duplicates int
 }
@@ -26,7 +27,7 @@ func newMerger(coref funcs.CorefSource, emit func(eval.Solution) bool) *merger {
 	return &merger{
 		coref: coref,
 		emit:  emit,
-		reps:  make(map[string]string),
+		reps:  NewRepCache(coref),
 		seen:  make(map[string]bool),
 	}
 }
@@ -61,28 +62,56 @@ func (m *merger) canonicalise(sol eval.Solution) eval.Solution {
 	out := make(eval.Solution, len(sol))
 	for k, v := range sol {
 		if v.IsIRI() && m.coref != nil {
-			if rep := m.rep(v.Value); rep != v.Value {
-				v = rdf.NewIRI(rep)
-			}
+			v = m.reps.Term(v)
 		}
 		out[k] = v
 	}
 	return out
 }
 
-// rep returns the deterministic (lexicographically smallest) member of
-// uri's equivalence class, memoised so each distinct IRI costs one coref
-// lookup per run instead of one sort per binding.
-func (m *merger) rep(uri string) string {
-	if r, ok := m.reps[uri]; ok {
-		return r
+// RepCache memoises owl:sameAs class representatives behind a term
+// dictionary: each distinct IRI is interned once and its canonical term
+// cached under the uint32 id, so the per-binding hot path is an integer
+// map probe returning a ready-made term — no string-keyed probe, no
+// representative re-derivation, no term re-construction. Not safe for
+// concurrent use; one cache serves one merge run.
+type RepCache struct {
+	coref funcs.CorefSource
+	dict  *store.Dict
+	reps  map[uint32]rdf.Term
+}
+
+// NewRepCache builds an empty representative cache over its own term
+// dictionary.
+func NewRepCache(coref funcs.CorefSource) *RepCache {
+	return &RepCache{
+		coref: coref,
+		dict:  store.NewDict(),
+		reps:  make(map[uint32]rdf.Term),
 	}
-	r := uri
-	for _, eq := range m.coref.Equivalents(uri) {
+}
+
+// Term returns the deterministic (lexicographically smallest) member of
+// the IRI term's equivalence class; non-IRI terms pass through. Each
+// distinct IRI costs one coref lookup per cache lifetime.
+func (c *RepCache) Term(t rdf.Term) rdf.Term {
+	if c.coref == nil || !t.IsIRI() {
+		return t
+	}
+	id := c.dict.Intern(t)
+	if rep, ok := c.reps[id]; ok {
+		return rep
+	}
+	r := t.Value
+	for _, eq := range c.coref.Equivalents(t.Value) {
 		if eq < r {
 			r = eq
 		}
 	}
-	m.reps[uri] = r
-	return r
+	rep := t
+	if r != t.Value {
+		rep = rdf.NewIRI(r)
+	}
+	c.reps[id] = rep
+	return rep
 }

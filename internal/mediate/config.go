@@ -6,6 +6,7 @@ import (
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/plan"
 	"sparqlrw/internal/serve"
+	"sparqlrw/internal/view"
 )
 
 // Config is the mediator's consolidated configuration: one struct holding
@@ -41,6 +42,11 @@ type Config struct {
 	// in front of Query and /sparql. Nil disables the tier entirely
 	// (every request runs as before PR 8).
 	Serving *serve.Options
+	// Views enables the materialized-view tier: frequent decomposed join
+	// shapes are materialized (sameAs-canonicalised) into an embedded
+	// dictionary-encoded store and later matching queries are answered
+	// from it with zero endpoint round trips. Nil disables the tier.
+	Views *view.Options
 }
 
 // Option mutates a Config; the functional-option input of New and
@@ -95,6 +101,18 @@ func WithServing(opts serve.Options) Option {
 // WithoutServing disables the serving tier.
 func WithoutServing() Option {
 	return func(c *Config) { c.Serving = nil }
+}
+
+// WithViews enables the materialized-view tier (shape mining, embedded
+// dictionary-encoded view stores, TTL + invalidation refresh) with the
+// given options.
+func WithViews(opts view.Options) Option {
+	return func(c *Config) { c.Views = &opts }
+}
+
+// WithoutViews disables the materialized-view tier.
+func WithoutViews() Option {
+	return func(c *Config) { c.Views = nil }
 }
 
 // Config returns a snapshot of the mediator's active configuration.
@@ -175,5 +193,27 @@ func (m *Mediator) rebuild() {
 		decOpts.Cards = m.Obs.Cards
 		m.Decomposer = decompose.New(m.Planner, decOpts)
 		m.JoinEngine = decompose.NewEngine(m.Exec, m.Funcs.Resolver(), m.Coref, decOpts)
+	}
+	if m.cfg.Views == nil {
+		if m.Views != nil {
+			m.Views.Close()
+			m.Views = nil
+		}
+	} else {
+		// Inject the shared registry and card store, then rebuild only
+		// when the effective options actually changed — the view manager
+		// owns background goroutines and local:// endpoint registrations,
+		// so gratuitous rebuilds would churn both. A new observer changes
+		// the injected pointers, which forces the rebuild it requires.
+		vOpts := *m.cfg.Views
+		vOpts.Registry = m.Obs.Registry
+		vOpts.Cards = m.Obs.Cards
+		if m.Views == nil || vOpts != m.viewOpts {
+			if m.Views != nil {
+				m.Views.Close()
+			}
+			m.Views = view.NewManager(viewRunner{m}, m.Funcs.Resolver(), vOpts)
+			m.viewOpts = vOpts
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"sparqlrw/internal/obs"
 	"sparqlrw/internal/serve"
+	"sparqlrw/internal/view"
 )
 
 // DebugHandler bundles the mediator's operator-facing debug surface for
@@ -120,6 +121,7 @@ type servingView struct {
 type dashboardData struct {
 	Health  []healthRow
 	Serving *servingView
+	Views   *view.Stats
 	Traces  []traceView
 	Audited int
 }
@@ -139,6 +141,10 @@ func serveDashboard(m *Mediator, w http.ResponseWriter, r *http.Request) {
 			sv.CacheHitPct = ss.Cache.HitRate * 100
 		}
 		data.Serving = sv
+	}
+	if m.Views != nil {
+		vs := m.Views.Stats()
+		data.Views = &vs
 	}
 	for _, h := range m.Obs.Health.Snapshot() {
 		data.Health = append(data.Health, healthRow{
@@ -310,6 +316,27 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!doctype
 {{if .Cache}}result cache: {{.Cache.Entries}} entries &middot; {{.Cache.Hits}} hits / {{.Cache.Misses}} misses ({{printf "%.1f" $.Serving.CacheHitPct}}% hit ratio) &middot; {{.Cache.Evictions}} evictions &middot; {{.Cache.Invalidations}} invalidations{{else}}result cache disabled{{end}}
  &middot; hedged dispatches: {{.Hedges}} ({{.HedgeWins}} backup wins)
 </p>
+{{end}}
+
+{{with .Views}}
+<h2>Materialized views</h2>
+<p class="muted">{{.Hits}} hits / {{.Misses}} misses &middot; {{.Refreshes}} refreshes &middot; {{.Triples}} triples materialized &middot; {{.MinedShapes}} shapes mined</p>
+{{if .Views}}
+<table>
+<tr><th>view</th><th>covered shape</th><th>data sets</th><th>state</th><th class="num">triples</th><th class="num">hits</th><th>refreshed</th></tr>
+{{range .Views}}
+<tr>
+  <td><code>{{.ID}}</code></td>
+  <td><code>{{range $i, $p := .Patterns}}{{if $i}} . {{end}}{{$p}}{{end}}</code></td>
+  <td>{{range $i, $d := .Datasets}}{{if $i}}, {{end}}<code>{{$d}}</code>{{end}}</td>
+  <td>{{if eq .State "ready"}}{{.State}}{{else}}<span class="failedtag">{{.State}}</span>{{end}}</td>
+  <td class="num">{{.Triples}}</td>
+  <td class="num">{{.Hits}}</td>
+  <td class="muted">{{.Refreshed.Format "15:04:05"}}</td>
+</tr>
+{{end}}
+</table>
+{{else}}<p class="muted">no views materialized yet &mdash; repeat a cross-vocabulary join</p>{{end}}
 {{end}}
 
 <h2>Recent traces</h2>

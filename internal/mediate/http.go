@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sparqlrw/internal/align"
 	"sparqlrw/internal/endpoint"
 	"sparqlrw/internal/ntriples"
 	"sparqlrw/internal/obs"
@@ -248,6 +249,57 @@ func Handler(m *Mediator) http.Handler {
 	handle("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ctJSON)
 		_ = json.NewEncoder(w).Encode(m.DatasetInfos())
+	})
+
+	// /api/views lists the materialized-view tier's state: hit/miss/refresh
+	// counters plus every view's covered shape, source data sets, embedded
+	// endpoint, freshness state and synthetic voiD statistics. 404 when the
+	// tier is disabled.
+	handle("/api/views", func(w http.ResponseWriter, r *http.Request) {
+		if m.Views == nil {
+			protocolError(w, http.StatusNotFound, "materialized views disabled (start with -views)")
+			return
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(m.Views.Stats())
+	})
+
+	// POST /api/alignments loads ontology alignments (Turtle, the §3.1
+	// alignment vocabulary) into the running mediator's alignment KB. The
+	// KB's subscribers fire synchronously before the response: rewrite
+	// plans flush, cached results flush, and every materialized view is
+	// marked stale — so no later query can be answered from pre-update
+	// state.
+	handle("/api/alignments", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, endpoint.DefaultMaxRequestBody)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			protocolError(w, http.StatusBadRequest, "cannot read body: "+err.Error())
+			return
+		}
+		oas, _, err := align.ParseTurtle(string(body))
+		if err != nil {
+			protocolError(w, http.StatusBadRequest, "cannot parse alignments: "+err.Error())
+			return
+		}
+		if len(oas) == 0 {
+			protocolError(w, http.StatusBadRequest, "no ontology alignments in body")
+			return
+		}
+		added := 0
+		for _, oa := range oas {
+			if err := m.Alignments.Add(oa); err != nil {
+				protocolError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			added++
+		}
+		w.Header().Set("Content-Type", ctJSON)
+		_ = json.NewEncoder(w).Encode(map[string]int{"added": added})
 	})
 
 	handle("/api/rewrite", func(w http.ResponseWriter, r *http.Request) {

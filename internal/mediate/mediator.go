@@ -22,6 +22,7 @@ import (
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/serve"
 	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/view"
 	"sparqlrw/internal/voidkb"
 )
 
@@ -62,11 +63,19 @@ type Mediator struct {
 	// WithObservability changes the options; the registry otherwise
 	// survives rebuilds so counters accumulate across reconfiguration.
 	Obs *obs.Observer
+	// Views is the materialized-view tier: it mines frequent decomposed
+	// join shapes, materializes them into embedded dictionary-encoded
+	// stores and answers covered queries locally. Rebuilt by Configure;
+	// nil when the tier is disabled (no WithViews).
+	Views *view.Manager
 
 	cfg Config
 	// obsOpts remembers the options Obs was built from, so rebuild only
 	// replaces the observer when they change.
 	obsOpts obs.Options
+	// viewOpts remembers the effective options Views was built from
+	// (registry and card store injected), for the same reason.
+	viewOpts view.Options
 	metrics *mediatorMetrics
 	start   time.Time
 	// stopProbes ends the background health prober, when one is running
@@ -105,6 +114,10 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 			// Observed cardinalities predict the old data; drop them so
 			// stale corrections cannot outlive a voiD update.
 			m.Obs.Cards.Invalidate(uri)
+			// Synchronously mark views over this data set stale — by the
+			// time the KB update returns, no query can be answered from
+			// a view built against the old description.
+			m.Views.InvalidateDataset(uri)
 			if ds, ok := m.Datasets.Get(uri); ok && ds.SPARQLEndpoint != "" {
 				m.Obs.Health.Ensure(ds.SPARQLEndpoint)
 			}
@@ -115,6 +128,9 @@ func New(datasets *voidkb.KB, alignments *align.KB, corefSrc funcs.CorefSource, 
 				m.Serve.Flush()
 			}
 			m.Obs.Cards.Flush()
+			// An alignment change can move any rewriting, so every view's
+			// materialized answer is suspect: all stale, refresh queued.
+			m.Views.InvalidateAll()
 		}),
 	}
 	return m
@@ -135,6 +151,7 @@ func (m *Mediator) Close() {
 		m.stopProbes()
 		m.stopProbes = nil
 	}
+	m.Views.Close()
 	m.Obs.Close()
 }
 
@@ -233,6 +250,9 @@ type Stats struct {
 	// Serving reports the serving tier's per-tenant admission state and
 	// result-cache counters (nil when the tier is disabled).
 	Serving *serve.Stats `json:"serving,omitempty"`
+	// Views reports the materialized-view tier's hit/miss/refresh
+	// counters and per-view descriptors (nil when the tier is disabled).
+	Views *view.Stats `json:"views,omitempty"`
 	// Build identifies the running binary; UptimeSeconds is time since the
 	// mediator was constructed.
 	Build         BuildInfo `json:"build"`
@@ -274,6 +294,10 @@ func (m *Mediator) Stats() Stats {
 	if m.Serve != nil {
 		ss := m.Serve.Stats()
 		st.Serving = &ss
+	}
+	if m.Views != nil {
+		vs := m.Views.Stats()
+		st.Views = &vs
 	}
 	st.Build = buildInfo()
 	st.UptimeSeconds = time.Since(m.start).Seconds()

@@ -268,6 +268,17 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 		}
 		req.SourceOnt = src
 	}
+	// The materialized-view tier answers a covered BGP from its embedded
+	// store with zero endpoint round trips. Only the default path takes
+	// it: explicit targets pin execution, dataset-allowlisted tenants
+	// must not read cross-dataset joins, and materialization queries
+	// themselves (withoutViews) would recurse.
+	if m.Views != nil && len(req.Targets) == 0 && !viewsDisabled(ctx) &&
+		len(req.Tenant.GetPolicy().AllowedDatasets()) == 0 {
+		if vqs, ok := m.viewAnswer(ctx, req, q); ok {
+			return vqs, nil
+		}
+	}
 	qs := &QueryStream{limit: req.Limit}
 	var freq federate.Request
 	if len(req.Targets) == 0 {
@@ -315,6 +326,12 @@ func (m *Mediator) selectStream(ctx context.Context, req QueryRequest, q *sparql
 					qs.pl = pl
 					qs.dec = dcm
 					qs.src = m.JoinEngine.Run(ctx, dcm)
+					// Multi-source queries are exactly the expensive
+					// cross-vocabulary joins worth materializing: mine
+					// the shape (unless this IS a materialization run).
+					if m.Views != nil && !viewsDisabled(ctx) {
+						m.observeViews(q, req.SourceOnt, dcm)
+					}
 					return qs, nil
 				}
 				decSpan.SetAttr("error", derr.Error())

@@ -1,0 +1,167 @@
+package mediate
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"sparqlrw/internal/decompose"
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/federate"
+	"sparqlrw/internal/obs"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/view"
+)
+
+// This file is the mediator side of the materialized-view tier: the
+// Runner the view manager materializes through, the answer hook that
+// serves a covered SELECT from a view's embedded store, and the observe
+// hook that feeds the shape miner from the decomposed-query stream.
+
+// ctxNoViews marks a context whose queries must bypass the view tier —
+// set on view materialization queries so a view is never built from
+// another view (no recursion, no self-mining).
+type ctxNoViews struct{}
+
+func withoutViews(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxNoViews{}, true)
+}
+
+func viewsDisabled(ctx context.Context) bool {
+	on, _ := ctx.Value(ctxNoViews{}).(bool)
+	return on
+}
+
+// viewRunner adapts the mediator's federated pipeline to view.Runner.
+type viewRunner struct{ m *Mediator }
+
+// Materialize runs the view's covering query through the full federated
+// pipeline (planning, decomposition, bound joins, sameAs merge) and
+// drains it. Complete is true only when every contributing data set
+// answered successfully — the storable rule the result cache uses.
+func (r viewRunner) Materialize(ctx context.Context, queryText, sourceOnt string) (*view.MaterializeResult, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: parsing view query: %w", err)
+	}
+	req := QueryRequest{Query: queryText, SourceOnt: sourceOnt}
+	qs, err := r.m.selectStream(withoutViews(ctx), req, q)
+	if err != nil {
+		return nil, err
+	}
+	defer qs.Close()
+	res := &view.MaterializeResult{Vars: qs.Vars()}
+	for {
+		sol, err := qs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Solutions = append(res.Solutions, sol)
+	}
+	sum, err := qs.Summary()
+	if err != nil {
+		return nil, err
+	}
+	res.Complete = storable(sum)
+	return res, nil
+}
+
+// Canonicalise maps the patterns' ground IRIs to their owl:sameAs
+// representatives — the refresh loop re-keys views with it when the
+// sameAs closure may have moved.
+func (r viewRunner) Canonicalise(patterns []rdf.Triple) []rdf.Triple {
+	canon := newCorefCanon(r.m.Coref)
+	out := make([]rdf.Triple, len(patterns))
+	for i, t := range patterns {
+		out[i] = canon.triple(t)
+	}
+	return out
+}
+
+// viewAnswer serves the query from a covering materialized view, when
+// one is ready. It returns ok=false — and the caller proceeds to the
+// federated path — on a miss, a stale view, or a local-stream failure.
+func (m *Mediator) viewAnswer(ctx context.Context, req QueryRequest, q *sparql.Query) (*QueryStream, bool) {
+	canon := newCorefCanon(m.Coref)
+	v, ok := m.Views.Answer(q, canon.term)
+	if !ok {
+		return nil, false
+	}
+	// The view store holds canonical representatives, so the query's
+	// ground IRIs — in its patterns and in its FILTER constants — must be
+	// canonicalised the same way before local evaluation.
+	cq := q.Clone()
+	canonicaliseGroup(cq.Where, canon)
+	for _, el := range cq.Where.Elements {
+		if f, isFilter := el.(*sparql.Filter); isFilter {
+			f.Expr = sparql.MapExprTerms(f.Expr, canon.term)
+		}
+	}
+	_, span := obs.StartSpan(ctx, "view")
+	span.SetAttr("view", v.ID())
+	span.SetAttr("endpoint", v.Endpoint())
+	st, err := m.Client.SelectStreamContext(ctx, v.Endpoint(), sparql.Format(cq))
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return nil, false
+	}
+	span.End()
+	return &QueryStream{
+		limit: req.Limit,
+		src:   &viewSource{st: st, view: v},
+	}, true
+}
+
+// observeViews feeds one decomposed multi-source query to the shape
+// miner. It runs on the same path that just executed the query, so the
+// decomposition's data sets and calibrated cardinality estimates are in
+// hand for free; the largest fragment estimate bounds the join size the
+// miner screens against MaxTriples.
+func (m *Mediator) observeViews(q *sparql.Query, sourceOnt string, dcm *decompose.Decomposition) {
+	var est int64
+	for _, f := range dcm.Fragments {
+		if f.EstCard > est {
+			est = f.EstCard
+		}
+	}
+	canon := newCorefCanon(m.Coref)
+	m.Views.Observe(q, sourceOnt, dcm.Datasets(), est, canon.term)
+}
+
+// viewSource adapts a view endpoint's solution stream to the
+// solutionSource shape. Its Summary lists the view pseudo-dataset first
+// and the view's source data sets after it — all with zero Attempts
+// (nothing was dispatched over the federation), but present so the
+// result cache's invalidate-by-dataset still covers entries filled from
+// a view.
+type viewSource struct {
+	st   *endpoint.SelectStream
+	view *view.View
+	n    int
+}
+
+func (s *viewSource) Vars() []string { return s.st.Vars() }
+
+func (s *viewSource) Next() (eval.Solution, error) {
+	sol, err := s.st.Next()
+	if err == nil {
+		s.n++
+	}
+	return sol, err
+}
+
+func (s *viewSource) Close() error { return s.st.Close() }
+
+func (s *viewSource) Summary() (*federate.Result, error) {
+	per := []federate.DatasetAnswer{{Dataset: "view:" + s.view.ID(), Solutions: s.n}}
+	for _, ds := range s.view.Datasets() {
+		per = append(per, federate.DatasetAnswer{Dataset: ds})
+	}
+	return &federate.Result{Vars: s.st.Vars(), PerDataset: per}, nil
+}

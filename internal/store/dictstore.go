@@ -1,0 +1,444 @@
+package store
+
+import (
+	"iter"
+	"sync"
+
+	"sparqlrw/internal/rdf"
+)
+
+// idIndex is a three-level index over dictionary ids; the per-level maps
+// are keyed by uint32 instead of full rdf.Term structs, so lookups hash a
+// machine word rather than a multi-field string struct.
+type idIndex map[uint32]map[uint32]map[uint32]struct{}
+
+func (ix idIndex) add(a, b, c uint32) bool {
+	m1, ok := ix[a]
+	if !ok {
+		m1 = make(map[uint32]map[uint32]struct{})
+		ix[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[uint32]struct{})
+		m1[b] = m2
+	}
+	if _, exists := m2[c]; exists {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func (ix idIndex) remove(a, b, c uint32) bool {
+	m1, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m2[c]; !exists {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// DictStore is a dictionary-encoded triple store: terms are interned to
+// uint32 ids through a Dict and the SPO/POS/OSP indexes are built over
+// packed id triples. It answers the same Match/Count/PredicateCount
+// surface as Store (so it satisfies eval.TripleSource and can sit behind
+// a SPARQL endpoint), but a stored triple costs three words per index
+// entry instead of three term structs, and equality during matching is
+// integer comparison.
+type DictStore struct {
+	mu   sync.RWMutex
+	dict *Dict
+	spo  idIndex
+	pos  idIndex
+	osp  idIndex
+	size int
+	// predCount / classCount mirror Store's statistics, keyed by id.
+	predCount  map[uint32]int
+	classCount map[uint32]int
+	typeID     uint32
+}
+
+// NewDictStore returns an empty dictionary-encoded store with its own
+// private dictionary.
+func NewDictStore() *DictStore {
+	return NewDictStoreWith(NewDict())
+}
+
+// NewDictStoreWith returns an empty store interning through the given
+// (possibly shared) dictionary.
+func NewDictStoreWith(d *Dict) *DictStore {
+	return &DictStore{
+		dict:       d,
+		spo:        make(idIndex),
+		pos:        make(idIndex),
+		osp:        make(idIndex),
+		predCount:  make(map[uint32]int),
+		classCount: make(map[uint32]int),
+		typeID:     d.Intern(rdfType),
+	}
+}
+
+// Dict returns the store's term dictionary so cooperating components
+// (the merge path, the view manager) can intern through the same id
+// space.
+func (s *DictStore) Dict() *Dict { return s.dict }
+
+// Add inserts a triple; it reports whether the triple was not already
+// present. Triples containing variables or wildcards are rejected.
+func (s *DictStore) Add(t rdf.Triple) bool {
+	if !validData(t) {
+		return false
+	}
+	sid, pid, oid := s.dict.Intern(t.S), s.dict.Intern(t.P), s.dict.Intern(t.O)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.spo.add(sid, pid, oid) {
+		return false
+	}
+	s.pos.add(pid, oid, sid)
+	s.osp.add(oid, sid, pid)
+	s.size++
+	s.predCount[pid]++
+	if pid == s.typeID {
+		s.classCount[oid]++
+	}
+	return true
+}
+
+// AddGraph inserts every triple of g and returns the number added.
+func (s *DictStore) AddGraph(g rdf.Graph) int {
+	n := 0
+	for _, t := range g {
+		if s.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Remove deletes a triple; it reports whether the triple was present.
+// The dictionary never shrinks: ids stay valid even after their last
+// triple is gone.
+func (s *DictStore) Remove(t rdf.Triple) bool {
+	sid, ok1 := s.dict.Lookup(t.S)
+	pid, ok2 := s.dict.Lookup(t.P)
+	oid, ok3 := s.dict.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.spo.remove(sid, pid, oid) {
+		return false
+	}
+	s.pos.remove(pid, oid, sid)
+	s.osp.remove(oid, sid, pid)
+	s.size--
+	if n, ok := s.predCount[pid]; ok {
+		if n <= 1 {
+			delete(s.predCount, pid)
+		} else {
+			s.predCount[pid] = n - 1
+		}
+	}
+	if pid == s.typeID {
+		if n, ok := s.classCount[oid]; ok {
+			if n <= 1 {
+				delete(s.classCount, oid)
+			} else {
+				s.classCount[oid] = n - 1
+			}
+		}
+	}
+	return true
+}
+
+// Has reports whether the exact ground triple is present.
+func (s *DictStore) Has(t rdf.Triple) bool {
+	sid, ok1 := s.dict.Lookup(t.S)
+	pid, ok2 := s.dict.Lookup(t.P)
+	oid, ok3 := s.dict.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m1, ok := s.spo[sid]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[pid]
+	if !ok {
+		return false
+	}
+	_, ok = m2[oid]
+	return ok
+}
+
+// Size returns the number of triples.
+func (s *DictStore) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// PredicateCount returns the number of triples with predicate p.
+func (s *DictStore) PredicateCount(p rdf.Term) int {
+	pid, ok := s.dict.Lookup(p)
+	if !ok {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.predCount[pid]
+}
+
+// ClassCount returns the number of instances of class c.
+func (s *DictStore) ClassCount(c rdf.Term) int {
+	cid, ok := s.dict.Lookup(c)
+	if !ok {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.classCount[cid]
+}
+
+// PredicateCounts returns decoded per-predicate triple counts.
+func (s *DictStore) PredicateCounts() map[rdf.Term]int {
+	s.mu.RLock()
+	ids := make(map[uint32]int, len(s.predCount))
+	for id, n := range s.predCount {
+		ids[id] = n
+	}
+	s.mu.RUnlock()
+	out := make(map[rdf.Term]int, len(ids))
+	for id, n := range ids {
+		out[s.dict.Term(id)] = n
+	}
+	return out
+}
+
+// ClassCounts returns decoded per-class instance counts.
+func (s *DictStore) ClassCounts() map[rdf.Term]int {
+	s.mu.RLock()
+	ids := make(map[uint32]int, len(s.classCount))
+	for id, n := range s.classCount {
+		ids[id] = n
+	}
+	s.mu.RUnlock()
+	out := make(map[rdf.Term]int, len(ids))
+	for id, n := range ids {
+		out[s.dict.Term(id)] = n
+	}
+	return out
+}
+
+// encodePattern translates a pattern's bound positions to ids. ok is
+// false when some bound position names a term the dictionary has never
+// seen — then nothing can match. Unbound positions encode as wildcard.
+const wildcardID = ^uint32(0)
+
+func (s *DictStore) encodePattern(pattern rdf.Triple) (sid, pid, oid uint32, ok bool) {
+	enc := func(t rdf.Term) (uint32, bool) {
+		if !bound(t) {
+			return wildcardID, true
+		}
+		return s.dict.Lookup(t)
+	}
+	if sid, ok = enc(pattern.S); !ok {
+		return
+	}
+	if pid, ok = enc(pattern.P); !ok {
+		return
+	}
+	oid, ok = enc(pattern.O)
+	return
+}
+
+// snapshot collects the packed id triples matching the encoded pattern
+// under the read lock; decoding happens lazily in the iterator, outside
+// the lock.
+func (s *DictStore) snapshot(sid, pid, oid uint32) [][3]uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sb, pb, ob := sid != wildcardID, pid != wildcardID, oid != wildcardID
+	var out [][3]uint32
+	switch {
+	case sb && pb && ob:
+		if m1, ok := s.spo[sid]; ok {
+			if m2, ok := m1[pid]; ok {
+				if _, ok := m2[oid]; ok {
+					out = append(out, [3]uint32{sid, pid, oid})
+				}
+			}
+		}
+	case sb && pb:
+		if m1, ok := s.spo[sid]; ok {
+			for o := range m1[pid] {
+				out = append(out, [3]uint32{sid, pid, o})
+			}
+		}
+	case sb && ob:
+		if m1, ok := s.osp[oid]; ok {
+			for p := range m1[sid] {
+				out = append(out, [3]uint32{sid, p, oid})
+			}
+		}
+	case pb && ob:
+		if m1, ok := s.pos[pid]; ok {
+			for sv := range m1[oid] {
+				out = append(out, [3]uint32{sv, pid, oid})
+			}
+		}
+	case sb:
+		if m1, ok := s.spo[sid]; ok {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					out = append(out, [3]uint32{sid, p, o})
+				}
+			}
+		}
+	case pb:
+		if m1, ok := s.pos[pid]; ok {
+			for o, m2 := range m1 {
+				for sv := range m2 {
+					out = append(out, [3]uint32{sv, pid, o})
+				}
+			}
+		}
+	case ob:
+		if m1, ok := s.osp[oid]; ok {
+			for sv, m2 := range m1 {
+				for p := range m2 {
+					out = append(out, [3]uint32{sv, p, oid})
+				}
+			}
+		}
+	default:
+		for sv, m1 := range s.spo {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					out = append(out, [3]uint32{sv, p, o})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scan returns a lazy (index, triple) sequence over the triples matching
+// the pattern. The packed id snapshot is taken eagerly under the read
+// lock; terms are decoded one triple at a time as the consumer pulls, so
+// an early break never pays for decoding the whole result.
+func (s *DictStore) Scan(pattern rdf.Triple) iter.Seq2[int, rdf.Triple] {
+	sid, pid, oid, ok := s.encodePattern(pattern)
+	if !ok {
+		return func(func(int, rdf.Triple) bool) {}
+	}
+	packed := s.snapshot(sid, pid, oid)
+	return func(yield func(int, rdf.Triple) bool) {
+		for i, ids := range packed {
+			t := rdf.Triple{
+				S: s.dict.Term(ids[0]),
+				P: s.dict.Term(ids[1]),
+				O: s.dict.Term(ids[2]),
+			}
+			if !yield(i, t) {
+				return
+			}
+		}
+	}
+}
+
+// Match invokes fn for every stored triple matching the pattern; fn
+// returning false stops the iteration early. Like Store.Match, fn runs
+// outside the lock and may call back into the store.
+func (s *DictStore) Match(pattern rdf.Triple, fn func(rdf.Triple) bool) {
+	for _, t := range s.Scan(pattern) {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// MatchAll returns all stored triples matching the pattern.
+func (s *DictStore) MatchAll(pattern rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	for _, t := range s.Scan(pattern) {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Count returns the number of triples matching the pattern, using the
+// statistics maps or an index walk where either is cheaper than a scan.
+func (s *DictStore) Count(pattern rdf.Triple) int {
+	sid, pid, oid, ok := s.encodePattern(pattern)
+	if !ok {
+		return 0
+	}
+	sb, pb, ob := sid != wildcardID, pid != wildcardID, oid != wildcardID
+	if n, done := func() (int, bool) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		switch {
+		case !sb && !pb && !ob:
+			return s.size, true
+		case pb && !sb && !ob:
+			return s.predCount[pid], true
+		case sb && pb && !ob:
+			if m1, ok := s.spo[sid]; ok {
+				return len(m1[pid]), true
+			}
+			return 0, true
+		case pb && ob && !sb:
+			if m1, ok := s.pos[pid]; ok {
+				return len(m1[oid]), true
+			}
+			return 0, true
+		case sb && ob && !pb:
+			if m1, ok := s.osp[oid]; ok {
+				return len(m1[sid]), true
+			}
+			return 0, true
+		}
+		return 0, false
+	}(); done {
+		return n
+	}
+	return len(s.snapshot(sid, pid, oid))
+}
+
+// Triples returns all triples as a graph in deterministic sorted order.
+func (s *DictStore) Triples() rdf.Graph {
+	g := rdf.Graph(s.MatchAll(rdf.Triple{}))
+	return g.Sort()
+}
+
+// Clear removes every triple while keeping the dictionary, so refilling
+// (a view refresh) re-uses the already-interned ids.
+func (s *DictStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spo = make(idIndex)
+	s.pos = make(idIndex)
+	s.osp = make(idIndex)
+	s.size = 0
+	s.predCount = make(map[uint32]int)
+	s.classCount = make(map[uint32]int)
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"testing"
+
+	"sparqlrw/internal/rdf"
+)
+
+func dsTriple(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func TestDictInternRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := rdf.NewIRI("http://example.org/a")
+	b := rdf.NewLiteral("hello")
+	idA := d.Intern(a)
+	idB := d.Intern(b)
+	if idA == idB {
+		t.Fatalf("distinct terms share id %d", idA)
+	}
+	if again := d.Intern(a); again != idA {
+		t.Fatalf("re-interning a: id %d, want %d", again, idA)
+	}
+	if got := d.Term(idA); got != a {
+		t.Fatalf("Term(%d) = %v, want %v", idA, got, a)
+	}
+	if got := d.Term(idB); got != b {
+		t.Fatalf("Term(%d) = %v, want %v", idB, got, b)
+	}
+	if _, ok := d.Lookup(rdf.NewIRI("http://example.org/unseen")); ok {
+		t.Fatal("Lookup of never-interned term reported ok")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictStoreMatchParity(t *testing.T) {
+	// The dictionary-encoded store must answer every pattern shape with
+	// the same result set as the nested-map store.
+	plain := New()
+	enc := NewDictStore()
+	triples := []rdf.Triple{
+		dsTriple("http://e/s1", "http://e/p1", "http://e/o1"),
+		dsTriple("http://e/s1", "http://e/p1", "http://e/o2"),
+		dsTriple("http://e/s1", "http://e/p2", "http://e/o1"),
+		dsTriple("http://e/s2", "http://e/p1", "http://e/o1"),
+		{S: rdf.NewIRI("http://e/s2"), P: rdf.NewIRI("http://e/p2"), O: rdf.NewLiteral("x")},
+	}
+	for _, tr := range triples {
+		plain.Add(tr)
+		enc.Add(tr)
+	}
+	v := rdf.NewVar("v")
+	patterns := []rdf.Triple{
+		{},                                     // ? ? ?
+		{S: rdf.NewIRI("http://e/s1")},         // g ? ?
+		{P: rdf.NewIRI("http://e/p1")},         // ? g ?
+		{O: rdf.NewIRI("http://e/o1")},         // ? ? g
+		dsTriple("http://e/s1", "http://e/p1", "http://e/o2"), // g g g
+		{S: rdf.NewIRI("http://e/s1"), P: rdf.NewIRI("http://e/p1"), O: v},
+		{S: rdf.NewIRI("http://e/s1"), P: v, O: rdf.NewIRI("http://e/o1")},
+		{S: v, P: rdf.NewIRI("http://e/p1"), O: rdf.NewIRI("http://e/o1")},
+		{S: rdf.NewIRI("http://e/nope")}, // never-interned: empty
+	}
+	for _, pat := range patterns {
+		want := rdf.Graph(plain.MatchAll(pat)).Sort()
+		got := rdf.Graph(enc.MatchAll(pat)).Sort()
+		if len(got) != len(want) {
+			t.Fatalf("pattern %v: %d matches, want %d", pat, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %v: match %d = %v, want %v", pat, i, got[i], want[i])
+			}
+		}
+		if n := enc.Count(pat); n != len(want) {
+			t.Fatalf("pattern %v: Count = %d, want %d", pat, n, len(want))
+		}
+	}
+}
+
+func TestDictStoreAddRemoveStats(t *testing.T) {
+	s := NewDictStore()
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://e/Person")
+	t1 := rdf.Triple{S: rdf.NewIRI("http://e/a"), P: typ, O: person}
+	t2 := rdf.Triple{S: rdf.NewIRI("http://e/b"), P: typ, O: person}
+	if !s.Add(t1) || !s.Add(t2) {
+		t.Fatal("Add returned false for fresh triples")
+	}
+	if s.Add(t1) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if got := s.ClassCount(person); got != 2 {
+		t.Fatalf("ClassCount = %d, want 2", got)
+	}
+	if got := s.PredicateCount(typ); got != 2 {
+		t.Fatalf("PredicateCount = %d, want 2", got)
+	}
+	if !s.Remove(t1) {
+		t.Fatal("Remove returned false for present triple")
+	}
+	if s.Remove(t1) {
+		t.Fatal("double Remove returned true")
+	}
+	if got := s.ClassCount(person); got != 1 {
+		t.Fatalf("ClassCount after remove = %d, want 1", got)
+	}
+	if s.Remove(dsTriple("http://e/x", "http://e/y", "http://e/z")) {
+		t.Fatal("Remove of never-seen triple returned true")
+	}
+	if s.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", s.Size())
+	}
+	cc := s.ClassCounts()
+	if len(cc) != 1 || cc[person] != 1 {
+		t.Fatalf("ClassCounts = %v", cc)
+	}
+	if !s.Has(t2) || s.Has(t1) {
+		t.Fatal("Has disagrees with Add/Remove history")
+	}
+}
+
+func TestDictStoreScanLazyAndClear(t *testing.T) {
+	s := NewDictStore()
+	for _, tr := range []rdf.Triple{
+		dsTriple("http://e/s", "http://e/p", "http://e/o1"),
+		dsTriple("http://e/s", "http://e/p", "http://e/o2"),
+		dsTriple("http://e/s", "http://e/p", "http://e/o3"),
+	} {
+		s.Add(tr)
+	}
+	n := 0
+	for range s.Scan(rdf.Triple{}) {
+		n++
+		if n == 2 {
+			break // early break must be safe
+		}
+	}
+	if n != 2 {
+		t.Fatalf("early break consumed %d, want 2", n)
+	}
+	dictLen := s.Dict().Len()
+	s.Clear()
+	if s.Size() != 0 || len(s.MatchAll(rdf.Triple{})) != 0 {
+		t.Fatal("Clear left triples behind")
+	}
+	if s.Dict().Len() != dictLen {
+		t.Fatal("Clear shrank the dictionary")
+	}
+	// Refill after Clear re-uses interned ids.
+	if !s.Add(dsTriple("http://e/s", "http://e/p", "http://e/o1")) {
+		t.Fatal("Add after Clear failed")
+	}
+	if s.Dict().Len() != dictLen {
+		t.Fatalf("refill grew the dictionary: %d -> %d", dictLen, s.Dict().Len())
+	}
+}
+
+func TestStoreClassCounts(t *testing.T) {
+	// The satellite fix: the nested-map store tracks rdf:type partitions
+	// and hardens counter removal.
+	s := New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	paper := rdf.NewIRI("http://e/Paper")
+	t1 := rdf.Triple{S: rdf.NewIRI("http://e/p1"), P: typ, O: paper}
+	s.Add(t1)
+	if got := s.ClassCount(paper); got != 1 {
+		t.Fatalf("ClassCount = %d, want 1", got)
+	}
+	// Removing a never-present triple must not disturb the counters.
+	s.Remove(rdf.Triple{S: rdf.NewIRI("http://e/p2"), P: typ, O: paper})
+	if got := s.ClassCount(paper); got != 1 {
+		t.Fatalf("ClassCount after no-op remove = %d, want 1", got)
+	}
+	s.Remove(t1)
+	if got := s.ClassCount(paper); got != 0 {
+		t.Fatalf("ClassCount after remove = %d, want 0", got)
+	}
+	if got := len(s.ClassCounts()); got != 0 {
+		t.Fatalf("ClassCounts kept %d zero entries", got)
+	}
+}

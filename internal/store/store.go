@@ -66,15 +66,23 @@ type Store struct {
 	// (used by the evaluator's join-order heuristic, cf. Stocker et al.,
 	// which the paper cites for BGP optimisation).
 	predCount map[rdf.Term]int
+	// classCount tracks instances per rdf:type object so the store can
+	// export void:classPartition statistics like a real endpoint.
+	classCount map[rdf.Term]int
 }
+
+// rdfType is the rdf:type predicate, which feeds the class partition
+// counters.
+var rdfType = rdf.NewIRI(rdf.RDFType)
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		spo:       make(index),
-		pos:       make(index),
-		osp:       make(index),
-		predCount: make(map[rdf.Term]int),
+		spo:        make(index),
+		pos:        make(index),
+		osp:        make(index),
+		predCount:  make(map[rdf.Term]int),
+		classCount: make(map[rdf.Term]int),
 	}
 }
 
@@ -93,6 +101,9 @@ func (s *Store) Add(t rdf.Triple) bool {
 	s.osp.add(t.O, t.S, t.P)
 	s.size++
 	s.predCount[t.P]++
+	if t.P == rdfType {
+		s.classCount[t.O]++
+	}
 	return true
 }
 
@@ -117,8 +128,24 @@ func (s *Store) Remove(t rdf.Triple) bool {
 	s.pos.remove(t.P, t.O, t.S)
 	s.osp.remove(t.O, t.S, t.P)
 	s.size--
-	if s.predCount[t.P]--; s.predCount[t.P] <= 0 {
-		delete(s.predCount, t.P)
+	// Decrement only counters that exist: a stale or duplicated removal
+	// must never leave a negative (or resurrect a zero) entry for a
+	// predicate the store has otherwise never seen.
+	if n, ok := s.predCount[t.P]; ok {
+		if n <= 1 {
+			delete(s.predCount, t.P)
+		} else {
+			s.predCount[t.P] = n - 1
+		}
+	}
+	if t.P == rdfType {
+		if n, ok := s.classCount[t.O]; ok {
+			if n <= 1 {
+				delete(s.classCount, t.O)
+			} else {
+				s.classCount[t.O] = n - 1
+			}
+		}
 	}
 	return true
 }
@@ -152,6 +179,38 @@ func (s *Store) PredicateCount(p rdf.Term) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.predCount[p]
+}
+
+// ClassCount returns the number of instances of class c (triples of the
+// form ?s rdf:type c).
+func (s *Store) ClassCount(c rdf.Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.classCount[c]
+}
+
+// PredicateCounts returns a copy of the per-predicate triple counts,
+// the raw material for synthetic void:propertyPartition statistics.
+func (s *Store) PredicateCounts() map[rdf.Term]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[rdf.Term]int, len(s.predCount))
+	for p, n := range s.predCount {
+		out[p] = n
+	}
+	return out
+}
+
+// ClassCounts returns a copy of the per-class instance counts, the raw
+// material for synthetic void:classPartition statistics.
+func (s *Store) ClassCounts() map[rdf.Term]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[rdf.Term]int, len(s.classCount))
+	for c, n := range s.classCount {
+		out[c] = n
+	}
+	return out
 }
 
 // validData accepts only ground terms and blank nodes (data-level

@@ -1,0 +1,796 @@
+// Package view implements the mediator's materialized-view tier: it
+// mines frequent cross-vocabulary join shapes from the decomposed query
+// stream, materializes their sameAs-canonicalised federated answer into
+// an embedded dictionary-encoded store, serves that store behind the
+// in-process local:// endpoint scheme, and answers later queries with a
+// matching basic graph pattern straight from the view — zero endpoint
+// round trips. This is the complement the paper's rewrite-vs-materialise
+// experiment measures: rewriting trades freshness work at query time,
+// the view trades it at refresh time.
+//
+// Soundness: a query is answered from a view only when its flattened BGP
+// is identical to the view's covered shape modulo variable renaming,
+// with ground IRIs compared after owl:sameAs canonicalisation. Filters,
+// projection, DISTINCT, ORDER BY and LIMIT are evaluated over the view
+// store by the embedded SPARQL engine, so they need no containment
+// argument. A view is never silently stale: voiD and alignment KB
+// updates mark affected views stale synchronously (before the KB update
+// returns), stale views refuse to answer, and the refresh loop
+// re-materializes them — discarding any result whose build raced a
+// further invalidation (the epoch check).
+package view
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparqlrw/internal/endpoint"
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/obs"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+	"sparqlrw/internal/store"
+	"sparqlrw/internal/voidkb"
+)
+
+// Options configures a Manager. The struct is comparable so callers can
+// diff configurations across rebuilds.
+type Options struct {
+	// RefreshTTL re-materializes ready views this long after their last
+	// refresh (0 = refresh only on invalidation).
+	RefreshTTL time.Duration
+	// MaxTriples caps a view's materialized size; a shape whose answer
+	// exceeds it is disabled rather than half-stored.
+	MaxTriples int
+	// MinFrequency is how often a join shape must be observed before it
+	// is materialized.
+	MinFrequency int
+	// MaxViews caps how many views are kept.
+	MaxViews int
+	// Registry receives the sparqlrw_view_* metrics (nil = private).
+	Registry *obs.Registry
+	// Cards is the observed-cardinality store; its calibrated figures
+	// refine a shape's size estimate before materialization.
+	Cards *obs.CardStore
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTriples == 0 {
+		o.MaxTriples = 50000
+	}
+	if o.MinFrequency == 0 {
+		o.MinFrequency = 2
+	}
+	if o.MaxViews == 0 {
+		o.MaxViews = 8
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	return o
+}
+
+// Runner is the view manager's window onto the federated pipeline,
+// implemented by the mediator. Materialize must bypass the view tier
+// itself (no recursion, no re-mining) and report Complete=false whenever
+// any data set failed — a view must never be built from a partial
+// answer. Canonicalise maps ground IRIs to their owl:sameAs
+// representatives with the same rule the federated merge uses.
+type Runner interface {
+	Materialize(ctx context.Context, queryText, sourceOnt string) (*MaterializeResult, error)
+	Canonicalise(patterns []rdf.Triple) []rdf.Triple
+}
+
+// MaterializeResult is a drained federated SELECT.
+type MaterializeResult struct {
+	Vars      []string
+	Solutions []eval.Solution
+	// Complete is true only when every data set answered successfully.
+	Complete bool
+}
+
+// materializeTimeout bounds one view build.
+const materializeTimeout = 30 * time.Second
+
+// viewSeq makes local endpoint names unique across managers in one
+// process (tests boot several mediators).
+var viewSeq atomic.Uint64
+
+// shape is a mined-but-not-yet-materialized join shape.
+type shape struct {
+	sig string
+	// patternsOrig is the first-seen spelling of the BGP, used verbatim
+	// for the materialization query (the rewrite/coref machinery expects
+	// the user's IRIs, not their canonical representatives).
+	patternsOrig []rdf.Triple
+	// patternsCanon is the same BGP with ground IRIs canonicalised; its
+	// patterns are the instantiation templates, so stored triples carry
+	// canonical representatives like the merged solutions they come from.
+	patternsCanon []rdf.Triple
+	sourceOnt     string
+	datasets      []string
+	estRows       int64
+	count         int
+	building      bool
+	disabled      bool
+	fails         int
+}
+
+// View is one materialized view: the covered shape plus the embedded
+// store currently answering it. All mutable fields are guarded by the
+// owning Manager's mutex.
+type View struct {
+	id           string
+	def          *shape
+	store        *store.DictStore
+	endpointName string
+	stale        bool
+	epoch        uint64
+	created      time.Time
+	refreshed    time.Time
+	hits         uint64
+}
+
+// ID returns the view's identifier (v1, v2, ...).
+func (v *View) ID() string { return v.id }
+
+// Endpoint returns the view's in-process endpoint URL.
+func (v *View) Endpoint() string { return endpoint.LocalURL(v.endpointName) }
+
+// Datasets returns the source data sets the view joins over.
+func (v *View) Datasets() []string { return v.def.datasets }
+
+// Manager mines shapes, owns the views and runs the refresh loop.
+type Manager struct {
+	runner Runner
+	funcs  eval.FuncResolver
+	opts   Options
+
+	// epoch advances on every invalidation; a build whose start epoch is
+	// no longer current is discarded, so a view can never be published
+	// over a KB state newer than its data.
+	epoch atomic.Uint64
+
+	mu     sync.Mutex
+	shapes map[string]*shape
+	views  map[string]*View
+	order  []string // signatures in creation order
+	nextID int
+
+	kick      chan struct{}
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	metrics managerMetrics
+}
+
+type managerMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	refreshes *obs.Counter
+}
+
+// NewManager returns a running manager. funcs resolves extension
+// functions in FILTERs evaluated over view stores (pass the mediator's
+// resolver); nil disables extension functions on the view path.
+func NewManager(runner Runner, funcs eval.FuncResolver, opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		runner: runner,
+		funcs:  funcs,
+		opts:   opts,
+		shapes: map[string]*shape{},
+		views:  map[string]*View{},
+		kick:   make(chan struct{}, 1),
+	}
+	m.baseCtx, m.cancel = context.WithCancel(context.Background())
+	reg := opts.Registry
+	m.metrics = managerMetrics{
+		hits: reg.Counter("sparqlrw_view_hits_total",
+			"Queries answered from a materialized view."),
+		misses: reg.Counter("sparqlrw_view_misses_total",
+			"Queries checked against the view tier and not answered by it."),
+		refreshes: reg.Counter("sparqlrw_view_refreshes_total",
+			"View re-materializations (TTL and invalidation driven)."),
+	}
+	reg.GaugeFunc("sparqlrw_view_triples",
+		"Triples currently materialized across all views.",
+		func() float64 { return float64(m.totalTriples()) })
+	m.wg.Add(1)
+	go m.loop()
+	return m
+}
+
+// Close stops the refresh loop, cancels in-flight builds and
+// unregisters every view's local endpoint.
+func (m *Manager) Close() {
+	if m == nil {
+		return
+	}
+	m.closeOnce.Do(func() {
+		m.cancel()
+		m.wg.Wait()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, v := range m.views {
+			endpoint.UnregisterLocal(v.endpointName)
+		}
+		m.views = map[string]*View{}
+		m.shapes = map[string]*shape{}
+		m.order = nil
+	})
+}
+
+func (m *Manager) totalTriples() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, v := range m.views {
+		n += v.store.Size()
+	}
+	return n
+}
+
+// flatten extracts a SELECT query's basic graph pattern. ok is false
+// for shapes the view tier does not cover: non-SELECT forms, OPTIONAL,
+// UNION, sub-groups and VALUES. FILTER, projection, DISTINCT, ORDER BY
+// and LIMIT are fine — they are evaluated over the view store.
+func flatten(q *sparql.Query) ([]rdf.Triple, bool) {
+	if q == nil || q.Form != sparql.Select || q.Where == nil {
+		return nil, false
+	}
+	var patterns []rdf.Triple
+	for _, el := range q.Where.Elements {
+		switch e := el.(type) {
+		case *sparql.BGP:
+			patterns = append(patterns, e.Patterns...)
+		case *sparql.Filter:
+			// evaluated over the view store at answer time
+		default:
+			return nil, false
+		}
+	}
+	if len(patterns) == 0 {
+		return nil, false
+	}
+	return patterns, true
+}
+
+// signature canonicalises a BGP modulo variable renaming: patterns are
+// sorted by a variable-independent key, variables renamed in first
+// occurrence order, and the result serialised. Two BGPs get the same
+// signature only if they are identical up to variable names (ground
+// terms already canonicalised by the caller), so a signature match is a
+// containment proof, not a heuristic.
+func signature(patterns []rdf.Triple) string {
+	sorted := append([]rdf.Triple(nil), patterns...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return varBlindKey(sorted[i]) < varBlindKey(sorted[j])
+	})
+	rename := map[string]string{}
+	nameOf := func(t rdf.Term) string {
+		if t.Kind != rdf.KindVar {
+			return t.String()
+		}
+		n, ok := rename[t.Value]
+		if !ok {
+			n = "?v" + strconv.Itoa(len(rename))
+			rename[t.Value] = n
+		}
+		return n
+	}
+	parts := make([]string, len(sorted))
+	for i, t := range sorted {
+		parts[i] = nameOf(t.S) + " " + nameOf(t.P) + " " + nameOf(t.O)
+	}
+	return strings.Join(parts, " . ")
+}
+
+func varBlindKey(t rdf.Triple) string {
+	f := func(x rdf.Term) string {
+		if x.Kind == rdf.KindVar {
+			return "?"
+		}
+		return x.String()
+	}
+	return f(t.S) + " " + f(t.P) + " " + f(t.O)
+}
+
+func canonPatterns(patterns []rdf.Triple, canon func(rdf.Term) rdf.Term) []rdf.Triple {
+	out := make([]rdf.Triple, len(patterns))
+	for i, t := range patterns {
+		out[i] = rdf.Triple{S: canonGround(t.S, canon), P: canonGround(t.P, canon), O: canonGround(t.O, canon)}
+	}
+	return out
+}
+
+func canonGround(t rdf.Term, canon func(rdf.Term) rdf.Term) rdf.Term {
+	if t.Kind != rdf.KindIRI || canon == nil {
+		return t
+	}
+	return canon(t)
+}
+
+// Answer reports whether a ready, fresh view covers the query's BGP.
+// canon maps ground IRIs to their sameAs representatives (query-side
+// spelling differences must not defeat the signature match). The caller
+// evaluates the (canonicalised) query against the returned view's
+// endpoint. Nil-manager safe.
+func (m *Manager) Answer(q *sparql.Query, canon func(rdf.Term) rdf.Term) (*View, bool) {
+	if m == nil {
+		return nil, false
+	}
+	patterns, ok := flatten(q)
+	if !ok {
+		return nil, false
+	}
+	sig := signature(canonPatterns(patterns, canon))
+	m.mu.Lock()
+	v := m.views[sig]
+	hit := v != nil && !v.stale
+	if hit {
+		v.hits++
+	}
+	m.mu.Unlock()
+	if !hit {
+		m.metrics.misses.Inc()
+		return nil, false
+	}
+	m.metrics.hits.Inc()
+	return v, true
+}
+
+// Observe mines one decomposed (multi-source) query: its BGP shape is
+// counted and, at MinFrequency, materialized asynchronously. estRows is
+// the decomposer's calibrated cardinality estimate for the query; the
+// observed-cardinality store may sharpen it further. Nil-manager safe.
+func (m *Manager) Observe(q *sparql.Query, sourceOnt string, datasets []string, estRows int64, canon func(rdf.Term) rdf.Term) {
+	if m == nil {
+		return
+	}
+	patterns, ok := flatten(q)
+	if !ok {
+		return
+	}
+	pc := canonPatterns(patterns, canon)
+	sig := signature(pc)
+	m.mu.Lock()
+	if _, exists := m.views[sig]; exists {
+		m.mu.Unlock()
+		return
+	}
+	sh := m.shapes[sig]
+	if sh == nil {
+		sh = &shape{
+			sig:           sig,
+			patternsOrig:  append([]rdf.Triple(nil), patterns...),
+			patternsCanon: pc,
+			sourceOnt:     sourceOnt,
+			datasets:      append([]string(nil), datasets...),
+			estRows:       estRows,
+		}
+		m.refineEstimate(sh)
+		m.shapes[sig] = sh
+	}
+	sh.count++
+	trigger := !sh.disabled && !sh.building &&
+		sh.count >= m.opts.MinFrequency && len(m.views) < m.opts.MaxViews
+	if trigger && sh.estRows > int64(m.opts.MaxTriples) {
+		sh.disabled = true
+		trigger = false
+	}
+	if trigger {
+		sh.building = true
+		m.wg.Add(1)
+	}
+	m.mu.Unlock()
+	if trigger {
+		go func() {
+			defer m.wg.Done()
+			m.materialize(sh)
+		}()
+	}
+}
+
+// refineEstimate raises a shape's row estimate to the largest observed
+// cardinality the PR-9 card store has recorded for any of its patterns
+// at any of its source data sets — real actuals beat voiD guesses.
+func (m *Manager) refineEstimate(sh *shape) {
+	if m.opts.Cards == nil {
+		return
+	}
+	for _, tp := range sh.patternsCanon {
+		term, shp := patternStatKey(tp)
+		if term == "" {
+			continue
+		}
+		for _, ds := range sh.datasets {
+			if card, _, ok := m.opts.Cards.Lookup(ds, term, shp); ok && int64(card) > sh.estRows {
+				sh.estRows = int64(card)
+			}
+		}
+	}
+}
+
+// patternStatKey mirrors the decomposer's observed-cardinality cell key:
+// the predicate IRI (or the class IRI for rdf:type patterns) and the
+// ground-position shape.
+func patternStatKey(tp rdf.Triple) (term, shp string) {
+	if !tp.P.IsIRI() {
+		return "", ""
+	}
+	term = tp.P.Value
+	if tp.P.Value == rdf.RDFType && tp.O.IsIRI() {
+		term = tp.O.Value
+	}
+	return term, obs.PatternShape(tp.S.IsGround(), tp.O.IsGround())
+}
+
+var errTooLarge = errors.New("view: materialized result exceeds MaxTriples")
+
+// materializeQuery formats the shape's covering query: SELECT * over the
+// original (uncanonicalised) BGP, filters dropped so the view covers
+// every filtering of the shape.
+func materializeQuery(sh *shape) string {
+	q := &sparql.Query{
+		Form:       sparql.Select,
+		SelectStar: true,
+		Where: &sparql.GroupGraphPattern{Elements: []sparql.GroupElement{
+			&sparql.BGP{Patterns: append([]rdf.Triple(nil), sh.patternsOrig...)},
+		}},
+		Limit:  -1,
+		Offset: -1,
+	}
+	return sparql.Format(q)
+}
+
+// build runs the shape's covering query through the federated pipeline
+// and loads the canonicalised answer into a fresh dictionary store.
+func (m *Manager) build(sh *shape) (*store.DictStore, error) {
+	ctx, cancel := context.WithTimeout(m.baseCtx, materializeTimeout)
+	defer cancel()
+	res, err := m.runner.Materialize(ctx, materializeQuery(sh), sh.sourceOnt)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, errors.New("view: partial federated answer (some data set failed)")
+	}
+	st := store.NewDictStore()
+	for i, sol := range res.Solutions {
+		suffix := "_v" + strconv.Itoa(i)
+		for _, tpl := range sh.patternsCanon {
+			if t, ok := eval.InstantiateTemplate(tpl, sol, suffix); ok {
+				st.Add(t)
+			}
+		}
+		if st.Size() > m.opts.MaxTriples {
+			return nil, errTooLarge
+		}
+	}
+	return st, nil
+}
+
+// materialize builds a mined shape into a view and publishes it behind a
+// local:// endpoint. A build that raced an invalidation is discarded:
+// the data may predate the KB change.
+func (m *Manager) materialize(sh *shape) {
+	e0 := m.epoch.Load()
+	st, err := m.build(sh)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh.building = false
+	if err != nil {
+		sh.fails++
+		if errors.Is(err, errTooLarge) || sh.fails >= 3 {
+			sh.disabled = true
+		}
+		return
+	}
+	if m.epoch.Load() != e0 {
+		sh.count = 0 // re-mine against the new KB state
+		return
+	}
+	if len(m.views) >= m.opts.MaxViews {
+		return
+	}
+	m.nextID++
+	v := &View{
+		id:           "v" + strconv.Itoa(m.nextID),
+		def:          sh,
+		store:        st,
+		endpointName: fmt.Sprintf("view-%d-v%d", viewSeq.Add(1), m.nextID),
+		epoch:        e0,
+		created:      time.Now(),
+		refreshed:    time.Now(),
+	}
+	m.register(v)
+	delete(m.shapes, sh.sig)
+	m.views[sh.sig] = v
+	m.order = append(m.order, sh.sig)
+}
+
+// register (re-)publishes the view's store behind its local endpoint;
+// callers hold the manager lock. In-flight streams against a replaced
+// server keep reading their old store snapshot, which is immutable from
+// their perspective.
+func (m *Manager) register(v *View) {
+	srv := endpoint.NewServer(v.endpointName, v.store)
+	srv.Engine.Funcs = m.funcs
+	endpoint.RegisterLocal(v.endpointName, srv)
+}
+
+// InvalidateDataset marks every view sourcing the data set stale and
+// schedules its refresh. It runs synchronously inside the KB's Subscribe
+// hook, so no query admitted after the KB update can be answered from
+// the outdated view. Nil-manager safe.
+func (m *Manager) InvalidateDataset(uri string) {
+	if m == nil {
+		return
+	}
+	m.epoch.Add(1)
+	m.mu.Lock()
+	any := false
+	for _, v := range m.views {
+		for _, ds := range v.def.datasets {
+			if ds == uri {
+				v.stale = true
+				any = true
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if any {
+		m.kickRefresh()
+	}
+}
+
+// InvalidateAll marks every view stale (an alignment KB change can move
+// any rewriting) and drops mined-but-unbuilt shapes. Nil-manager safe.
+func (m *Manager) InvalidateAll() {
+	if m == nil {
+		return
+	}
+	m.epoch.Add(1)
+	m.mu.Lock()
+	n := len(m.views)
+	for _, v := range m.views {
+		v.stale = true
+	}
+	m.shapes = map[string]*shape{}
+	m.mu.Unlock()
+	if n > 0 {
+		m.kickRefresh()
+	}
+}
+
+func (m *Manager) kickRefresh() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the background refresher: invalidation kicks refresh stale
+// views immediately, the TTL ticker re-materializes ready views whose
+// data has aged past RefreshTTL.
+func (m *Manager) loop() {
+	defer m.wg.Done()
+	var tickC <-chan time.Time
+	if m.opts.RefreshTTL > 0 {
+		t := time.NewTicker(m.opts.RefreshTTL)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-m.kick:
+			m.refresh(false)
+		case <-tickC:
+			m.refresh(true)
+		}
+	}
+}
+
+func (m *Manager) refresh(ttl bool) {
+	m.mu.Lock()
+	now := time.Now()
+	var todo []*View
+	for _, sig := range m.order {
+		v := m.views[sig]
+		if v == nil {
+			continue
+		}
+		if v.stale || (ttl && now.Sub(v.refreshed) >= m.opts.RefreshTTL) {
+			todo = append(todo, v)
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range todo {
+		if m.baseCtx.Err() != nil {
+			return
+		}
+		m.refreshView(v)
+	}
+}
+
+// refreshView re-materializes one view. The canonical shape (and with it
+// the signature) is recomputed each refresh, since the sameAs closure
+// backing canonicalisation may have moved. A build that raced a further
+// invalidation is retried up to three times; a view that cannot be
+// rebuilt stays stale — it refuses queries, it never lies.
+func (m *Manager) refreshView(v *View) {
+	for attempt := 0; attempt < 3; attempt++ {
+		e0 := m.epoch.Load()
+		pc := m.runner.Canonicalise(v.def.patternsOrig)
+		st, err := m.build(v.def)
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.epoch.Load() != e0 {
+			m.mu.Unlock()
+			continue
+		}
+		newSig := signature(pc)
+		if newSig != v.def.sig {
+			delete(m.views, v.def.sig)
+			for i, sig := range m.order {
+				if sig == v.def.sig {
+					m.order[i] = newSig
+				}
+			}
+			v.def.sig = newSig
+			m.views[newSig] = v
+		}
+		v.def.patternsCanon = pc
+		v.store = st
+		v.stale = false
+		v.epoch = e0
+		v.refreshed = time.Now()
+		m.register(v)
+		m.mu.Unlock()
+		m.metrics.refreshes.Inc()
+		return
+	}
+}
+
+// Info is one view's descriptor for /api/views and the dashboard.
+type Info struct {
+	ID        string    `json:"id"`
+	Patterns  []string  `json:"patterns"`
+	Signature string    `json:"signature"`
+	SourceOnt string    `json:"source"`
+	Datasets  []string  `json:"datasets"`
+	Endpoint  string    `json:"endpoint"`
+	State     string    `json:"state"` // ready | stale
+	Triples   int       `json:"triples"`
+	Hits      uint64    `json:"hits"`
+	Epoch     uint64    `json:"epoch"`
+	Created   time.Time `json:"created"`
+	Refreshed time.Time `json:"refreshed"`
+	// Void is the view store's synthetic voiD description: triple count
+	// and property/class partitions, like a real endpoint publishes.
+	Void VoidStats `json:"void"`
+}
+
+// VoidStats is the synthetic voiD statistics block of one view store.
+type VoidStats struct {
+	Triples            int              `json:"triples"`
+	PropertyPartitions map[string]int64 `json:"propertyPartitions,omitempty"`
+	ClassPartitions    map[string]int64 `json:"classPartitions,omitempty"`
+}
+
+// Stats is the view tier's observability snapshot.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Refreshes uint64 `json:"refreshes"`
+	Triples   int    `json:"triples"`
+	// MinedShapes counts shapes observed but not (yet) materialized.
+	MinedShapes int    `json:"minedShapes"`
+	Views       []Info `json:"views"`
+}
+
+// Stats returns a snapshot of the manager's counters and views.
+// Nil-manager safe (returns the zero snapshot).
+func (m *Manager) Stats() Stats {
+	if m == nil {
+		return Stats{Views: []Info{}}
+	}
+	st := Stats{
+		Hits:      uint64(m.metrics.hits.Value()),
+		Misses:    uint64(m.metrics.misses.Value()),
+		Refreshes: uint64(m.metrics.refreshes.Value()),
+		Views:     []Info{},
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sig := range m.order {
+		v := m.views[sig]
+		if v == nil {
+			continue
+		}
+		state := "ready"
+		if v.stale {
+			state = "stale"
+		}
+		patterns := make([]string, len(v.def.patternsCanon))
+		for i, t := range v.def.patternsCanon {
+			patterns[i] = sparql.FormatTriplePattern(t, nil)
+		}
+		st.Triples += v.store.Size()
+		st.Views = append(st.Views, Info{
+			ID:        v.id,
+			Patterns:  patterns,
+			Signature: v.def.sig,
+			SourceOnt: v.def.sourceOnt,
+			Datasets:  append([]string(nil), v.def.datasets...),
+			Endpoint:  v.Endpoint(),
+			State:     state,
+			Triples:   v.store.Size(),
+			Hits:      v.hits,
+			Epoch:     v.epoch,
+			Created:   v.created,
+			Refreshed: v.refreshed,
+			Void:      voidStatsOf(v.store),
+		})
+	}
+	st.MinedShapes = len(m.shapes)
+	return st
+}
+
+// SyntheticDataset describes a view's embedded store as a voiD data set
+// — triple count, void:propertyPartition and void:classPartition derived
+// from the dictionary store's live statistics — so the view endpoint
+// presents the same statistical surface a real federated endpoint
+// publishes in its voiD description.
+func SyntheticDataset(uri, title string, st *store.DictStore, endpointURL string) *voidkb.Dataset {
+	ds := &voidkb.Dataset{
+		URI:            uri,
+		Title:          title,
+		SPARQLEndpoint: endpointURL,
+		Triples:        int64(st.Size()),
+	}
+	vs := voidStatsOf(st)
+	ds.PropertyPartitions = vs.PropertyPartitions
+	ds.ClassPartitions = vs.ClassPartitions
+	return ds
+}
+
+// Void returns the view's synthetic voiD description.
+func (v *View) Void() *voidkb.Dataset {
+	return SyntheticDataset("view:"+v.id, "materialized view "+v.id, v.store, v.Endpoint())
+}
+
+func voidStatsOf(st *store.DictStore) VoidStats {
+	vs := VoidStats{Triples: st.Size()}
+	if pc := st.PredicateCounts(); len(pc) > 0 {
+		vs.PropertyPartitions = make(map[string]int64, len(pc))
+		for p, n := range pc {
+			vs.PropertyPartitions[p.Value] = int64(n)
+		}
+	}
+	if cc := st.ClassCounts(); len(cc) > 0 {
+		vs.ClassPartitions = make(map[string]int64, len(cc))
+		for c, n := range cc {
+			vs.ClassPartitions[c.Value] = int64(n)
+		}
+	}
+	return vs
+}

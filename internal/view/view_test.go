@@ -1,0 +1,299 @@
+package view
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparqlrw/internal/eval"
+	"sparqlrw/internal/rdf"
+	"sparqlrw/internal/sparql"
+)
+
+// fakeRunner materializes a fixed solution set and records its calls.
+type fakeRunner struct {
+	mu        sync.Mutex
+	calls     int
+	solutions []eval.Solution
+	complete  bool
+	err       error
+}
+
+func (r *fakeRunner) Materialize(ctx context.Context, queryText, sourceOnt string) (*MaterializeResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &MaterializeResult{Vars: []string{"p", "a"}, Solutions: r.solutions, Complete: r.complete}, nil
+}
+
+func (r *fakeRunner) Canonicalise(patterns []rdf.Triple) []rdf.Triple {
+	return append([]rdf.Triple(nil), patterns...)
+}
+
+func (r *fakeRunner) callCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func mustParse(t *testing.T, text string) *sparql.Query {
+	t.Helper()
+	q, err := sparql.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+const crossQuery = `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?p ?c WHERE { ?p akt:has-author ?a . ?p m:citationCount ?c }`
+
+func crossSolutions(n int) []eval.Solution {
+	out := make([]eval.Solution, n)
+	for i := range out {
+		out[i] = eval.Solution{
+			"p": rdf.NewIRI(fmt.Sprintf("http://e/paper-%d", i)),
+			"a": rdf.NewIRI(fmt.Sprintf("http://e/author-%d", i)),
+			"c": rdf.NewInteger(int64(i)),
+		}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSignatureModuloVariableRenaming(t *testing.T) {
+	q1 := mustParse(t, crossQuery)
+	q2 := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?x ?y WHERE { ?x m:citationCount ?y . ?x akt:has-author ?z }`)
+	p1, ok1 := flatten(q1)
+	p2, ok2 := flatten(q2)
+	if !ok1 || !ok2 {
+		t.Fatal("flatten failed")
+	}
+	s1, s2 := signature(p1), signature(p2)
+	if s1 != s2 {
+		t.Fatalf("renamed+reordered BGP changed signature:\n%s\n%s", s1, s2)
+	}
+	q3 := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+SELECT ?x WHERE { ?x akt:has-author ?z }`)
+	p3, _ := flatten(q3)
+	if signature(p3) == s1 {
+		t.Fatal("different BGPs share a signature")
+	}
+	// A repeated variable is not the same shape as two distinct ones.
+	q4 := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?x WHERE { ?x m:citationCount ?y . ?x akt:has-author ?x }`)
+	p4, _ := flatten(q4)
+	if signature(p4) == s1 {
+		t.Fatal("repeated-variable BGP shares the distinct-variable signature")
+	}
+}
+
+func TestFlattenRejectsNonCoverableShapes(t *testing.T) {
+	for _, text := range []string{
+		`SELECT ?s WHERE { { ?s ?p ?o } UNION { ?o ?p ?s } }`,
+		`SELECT ?s WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?v } }`,
+		`ASK { ?s ?p ?o }`,
+	} {
+		q := mustParse(t, text)
+		if _, ok := flatten(q); ok {
+			t.Fatalf("flatten accepted %s", text)
+		}
+	}
+	withFilter := mustParse(t, `SELECT ?s WHERE { ?s ?p ?o . FILTER (?o > 3) }`)
+	if _, ok := flatten(withFilter); !ok {
+		t.Fatal("flatten rejected a filtered BGP")
+	}
+}
+
+func TestObserveMaterializesAtMinFrequency(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(3), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 2})
+	defer m.Close()
+	q := mustParse(t, crossQuery)
+	datasets := []string{"http://e/ds1", "http://e/ds2"}
+
+	m.Observe(q, "http://src/", datasets, 10, nil)
+	if r.callCount() != 0 {
+		t.Fatal("materialized before MinFrequency")
+	}
+	if _, hit := m.Answer(q, nil); hit {
+		t.Fatal("Answer hit before any view exists")
+	}
+	m.Observe(q, "http://src/", datasets, 10, nil)
+	waitFor(t, "view to materialize", func() bool {
+		st := m.Stats()
+		return len(st.Views) == 1 && st.Views[0].State == "ready"
+	})
+	st := m.Stats()
+	v := st.Views[0]
+	// Two patterns instantiated per solution: 3 solutions -> 6 triples.
+	if v.Triples != 6 {
+		t.Fatalf("view holds %d triples, want 6", v.Triples)
+	}
+	if len(v.Datasets) != 2 {
+		t.Fatalf("view datasets = %v", v.Datasets)
+	}
+	if v.Void.Triples != 6 || len(v.Void.PropertyPartitions) != 2 {
+		t.Fatalf("synthetic voiD stats = %+v", v.Void)
+	}
+	if !strings.HasPrefix(v.Endpoint, "local://") {
+		t.Fatalf("view endpoint = %q", v.Endpoint)
+	}
+
+	// A renamed spelling of the same shape hits.
+	q2 := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?x ?y WHERE { ?x m:citationCount ?y . ?x akt:has-author ?w }`)
+	hv, hit := m.Answer(q2, nil)
+	if !hit {
+		t.Fatal("renamed query missed the view")
+	}
+	if hv.ID() != v.ID {
+		t.Fatalf("hit view %s, want %s", hv.ID(), v.ID)
+	}
+	if got := m.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", got.Hits, got.Misses)
+	}
+}
+
+func TestPartialAnswerNeverMaterializes(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(2), complete: false}
+	m := NewManager(r, nil, Options{MinFrequency: 1})
+	defer m.Close()
+	q := mustParse(t, crossQuery)
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 10, nil)
+	waitFor(t, "materialize attempt", func() bool { return r.callCount() >= 1 })
+	time.Sleep(20 * time.Millisecond)
+	if st := m.Stats(); len(st.Views) != 0 {
+		t.Fatal("partial federated answer produced a view")
+	}
+}
+
+func TestMaxTriplesDisablesShape(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(50), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 1, MaxTriples: 10})
+	defer m.Close()
+	q := mustParse(t, crossQuery)
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 1, nil)
+	waitFor(t, "materialize attempt", func() bool { return r.callCount() >= 1 })
+	time.Sleep(20 * time.Millisecond)
+	if st := m.Stats(); len(st.Views) != 0 {
+		t.Fatal("oversized result was materialized")
+	}
+	// The shape is disabled: more observations never retry.
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 1, nil)
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 1, nil)
+	time.Sleep(20 * time.Millisecond)
+	if r.callCount() != 1 {
+		t.Fatalf("disabled shape re-materialized: %d calls", r.callCount())
+	}
+}
+
+func TestInvalidateDatasetRefreshesView(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(2), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 1})
+	defer m.Close()
+	q := mustParse(t, crossQuery)
+	m.Observe(q, "http://src/", []string{"http://e/ds1", "http://e/ds2"}, 5, nil)
+	waitFor(t, "view to materialize", func() bool { return len(m.Stats().Views) == 1 })
+
+	// Invalidating an unrelated data set leaves the view ready.
+	m.InvalidateDataset("http://e/other")
+	if st := m.Stats(); st.Views[0].State != "ready" {
+		t.Fatal("unrelated invalidation marked the view stale")
+	}
+
+	// Invalidating a source data set: the view must refuse to answer
+	// (synchronously) and then refresh in the background.
+	before := r.callCount()
+	m.InvalidateDataset("http://e/ds1")
+	// Note: the refresh loop races this check, so assert via the counter
+	// epoch: a hit on a stale view is the bug being guarded against. The
+	// stale marking itself is synchronous, so Answer between Invalidate
+	// and refresh-completion either misses (stale) or hits a fresh view.
+	waitFor(t, "view to refresh", func() bool {
+		st := m.Stats()
+		return st.Refreshes >= 1 && st.Views[0].State == "ready" && r.callCount() > before
+	})
+	if _, hit := m.Answer(q, nil); !hit {
+		t.Fatal("refreshed view does not answer")
+	}
+}
+
+func TestInvalidateAllDropsMinedShapes(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(1), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 3})
+	defer m.Close()
+	q := mustParse(t, crossQuery)
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 5, nil)
+	if st := m.Stats(); st.MinedShapes != 1 {
+		t.Fatalf("mined shapes = %d, want 1", st.MinedShapes)
+	}
+	m.InvalidateAll()
+	if st := m.Stats(); st.MinedShapes != 0 {
+		t.Fatalf("InvalidateAll kept %d mined shapes", st.MinedShapes)
+	}
+}
+
+func TestNilManagerIsSafe(t *testing.T) {
+	var m *Manager
+	m.Close()
+	m.InvalidateAll()
+	m.InvalidateDataset("x")
+	m.Observe(nil, "", nil, 0, nil)
+	if _, hit := m.Answer(nil, nil); hit {
+		t.Fatal("nil manager answered")
+	}
+	if st := m.Stats(); len(st.Views) != 0 {
+		t.Fatal("nil manager has views")
+	}
+}
+
+func TestCanonicalisationAlignsSpellings(t *testing.T) {
+	// Two spellings of one ground entity must share a view once the
+	// canonicaliser maps them to the same representative.
+	canon := func(t rdf.Term) rdf.Term {
+		if t.Value == "http://mirror.example/id/alice" {
+			return rdf.NewIRI("http://a.example/id/alice")
+		}
+		return t
+	}
+	r := &fakeRunner{solutions: crossSolutions(1), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 1})
+	defer m.Close()
+	qa := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?p ?c WHERE { ?p akt:has-author <http://a.example/id/alice> . ?p m:citationCount ?c }`)
+	m.Observe(qa, "http://src/", []string{"http://e/ds1"}, 1, canon)
+	waitFor(t, "view to materialize", func() bool { return len(m.Stats().Views) == 1 })
+	qb := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?p ?c WHERE { ?p akt:has-author <http://mirror.example/id/alice> . ?p m:citationCount ?c }`)
+	if _, hit := m.Answer(qb, canon); !hit {
+		t.Fatal("sameAs-equivalent spelling missed the view")
+	}
+	if _, hit := m.Answer(qb, nil); hit {
+		t.Fatal("uncanonicalised spelling hit the view (unsound match)")
+	}
+}

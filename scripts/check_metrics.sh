@@ -34,7 +34,7 @@ EOF
 # -audit-dir must capture the one we run.
 "$workdir/mediator" -addr 127.0.0.1:0 -persons 20 -papers 60 \
 	-audit-dir "$workdir/audit" -slow-query 1ns \
-	-tenants "$workdir/tenants.json" -adaptive-stats \
+	-tenants "$workdir/tenants.json" -adaptive-stats -views \
 	>"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
@@ -175,6 +175,50 @@ grep -q '"error"' "$workdir/429.json" || {
 	exit 1
 }
 
+# Materialized views: repeats of the cross-vocabulary join (with renamed
+# variables, so the result cache's text-keyed entries never absorb them
+# while the view tier's canonical signature still matches) must get the
+# shape mined and materialized; a further repeat must then be answered
+# from the embedded view store and counted as a view hit.
+cross_repeat() {
+	sed "s/?paper/?p$1/g; s/?a\\b/?x$1/g; s/?c\\b/?y$1/g" <<EOF
+$cross_query
+EOF
+}
+for i in 1 2; do
+	vstatus=$(curl -s -o /dev/null -w '%{http_code}' \
+		--data-urlencode "query=$(cross_repeat $i)" "$base/sparql")
+	[ "$vstatus" = 200 ] || {
+		echo "check-metrics: cross-vocabulary repeat $i returned $vstatus" >&2
+		exit 1
+	}
+done
+view_ready=""
+for _ in $(seq 1 50); do
+	curl -s "$base/api/views" >"$workdir/views.json"
+	if grep -q '"state":"ready"' "$workdir/views.json"; then
+		view_ready=1
+		break
+	fi
+	sleep 0.2
+done
+if [ -z "$view_ready" ]; then
+	echo "check-metrics: /api/views never listed a ready view:" >&2
+	cat "$workdir/views.json" >&2
+	fail=1
+elif ! grep -q '"endpoint":"local://' "$workdir/views.json"; then
+	echo "check-metrics: /api/views lists no local:// endpoint:" >&2
+	cat "$workdir/views.json" >&2
+	fail=1
+else
+	vstatus=$(curl -s -o /dev/null -w '%{http_code}' \
+		--data-urlencode "query=$(cross_repeat 3)" "$base/sparql")
+	[ "$vstatus" = 200 ] || {
+		echo "check-metrics: view-answered query returned $vstatus" >&2
+		exit 1
+	}
+fi
+
 curl -s "$base/metrics" >"$workdir/metrics.txt"
 
 # series-name prefix -> must appear as a sample line with a value
@@ -199,6 +243,10 @@ for series in \
 	sparqlrw_result_cache_misses_total \
 	sparqlrw_result_cache_entries \
 	sparqlrw_estimate_qerror_count \
+	sparqlrw_view_hits_total \
+	sparqlrw_view_misses_total \
+	sparqlrw_view_refreshes_total \
+	sparqlrw_view_triples \
 	; do
 	if ! grep -q "^$series" "$workdir/metrics.txt"; then
 		echo "check-metrics: MISSING series $series" >&2
@@ -215,6 +263,12 @@ fi
 # The repeated query must have hit the result cache.
 if ! grep -q '^sparqlrw_result_cache_hits_total [1-9]' "$workdir/metrics.txt"; then
 	echo "check-metrics: sparqlrw_result_cache_hits_total not incremented by the repeated query" >&2
+	fail=1
+fi
+
+# The view-answered repeat must be counted as a view hit.
+if ! grep -q '^sparqlrw_view_hits_total [1-9]' "$workdir/metrics.txt"; then
+	echo "check-metrics: sparqlrw_view_hits_total not incremented by the view-answered query" >&2
 	fail=1
 fi
 
@@ -252,7 +306,7 @@ if ! ls "$workdir"/audit/audit-*.jsonl >/dev/null 2>&1; then
 	echo "check-metrics: no audit segment written under -audit-dir" >&2
 	fail=1
 fi
-curl -s "$base/api/audit?limit=5" >"$workdir/audit.json"
+curl -s "$base/api/audit?limit=20" >"$workdir/audit.json"
 if ! grep -q "\"traceId\":\"$inbound_trace\"" "$workdir/audit.json"; then
 	echo "check-metrics: /api/audit misses the slow query (trace $inbound_trace):" >&2
 	cat "$workdir/audit.json" >&2
@@ -260,4 +314,4 @@ if ! grep -q "\"traceId\":\"$inbound_trace\"" "$workdir/audit.json"; then
 fi
 
 [ "$fail" = 0 ] || exit 1
-echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited; result cache hit; quota exhausted to a 429 with Retry-After; explain=analyze profiled trace $analyze_trace"
+echo "check-metrics: all core series present; trace $trace_id round-tripped; $n_eps endpoints scored; slow query audited; result cache hit; quota exhausted to a 429 with Retry-After; explain=analyze profiled trace $analyze_trace; materialized view answered a repeat"
