@@ -81,9 +81,19 @@ func (t *localTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	inner.URL = &url.URL{Scheme: "http", Host: req.URL.Host, Path: req.URL.Path, RawQuery: req.URL.RawQuery}
 	inner.RequestURI = ""
 	go func() {
+		// net/http recovers handler panics; this in-process transport must
+		// too, or RoundTrip blocks on <-w.ready forever and body readers
+		// hang on a never-closed pipe.
+		defer func() {
+			if r := recover(); r != nil {
+				w.fail(http.StatusInternalServerError)
+				pw.CloseWithError(fmt.Errorf("endpoint: local handler %q panicked: %v", req.URL.Host, r))
+				return
+			}
+			w.finish()
+			pw.Close()
+		}()
 		h.ServeHTTP(w, inner)
-		w.finish()
-		pw.Close()
 	}()
 	<-w.ready
 	return &http.Response{
@@ -129,3 +139,8 @@ func (w *localResponseWriter) Write(p []byte) (int, error) {
 func (w *localResponseWriter) Flush() {}
 
 func (w *localResponseWriter) finish() { w.WriteHeader(http.StatusOK) }
+
+// fail releases a still-waiting RoundTrip with the given status; if the
+// handler already committed a status before panicking, that one stands
+// and the error surfaces through the pipe instead.
+func (w *localResponseWriter) fail(code int) { w.WriteHeader(code) }

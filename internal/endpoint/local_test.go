@@ -3,7 +3,9 @@ package endpoint
 import (
 	"context"
 	"io"
+	"net/http"
 	"testing"
+	"time"
 
 	"sparqlrw/internal/rdf"
 	"sparqlrw/internal/store"
@@ -97,6 +99,30 @@ func TestLocalEndpointReplacement(t *testing.T) {
 	res, err = c.Select(LocalURL("local-swap"), q)
 	if err != nil || len(res.Solutions) != 1 {
 		t.Fatalf("after swap: %v, %v", res, err)
+	}
+}
+
+// TestLocalEndpointHandlerPanicDoesNotHang guards the transport against
+// a panicking handler: net/http recovers handler panics, and so must the
+// in-process pipe transport, or RoundTrip blocks on w.ready forever.
+func TestLocalEndpointHandlerPanicDoesNotHang(t *testing.T) {
+	RegisterLocal("local-panic", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	}))
+	defer UnregisterLocal("local-panic")
+	done := make(chan error, 1)
+	go func() {
+		c := NewClient()
+		_, err := c.Select(LocalURL("local-panic"), "SELECT * WHERE { ?s ?p ?o }")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking handler produced a successful response")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RoundTrip hung on a panicking handler")
 	}
 }
 

@@ -76,8 +76,8 @@ type Mediator struct {
 	// viewOpts remembers the effective options Views was built from
 	// (registry and card store injected), for the same reason.
 	viewOpts view.Options
-	metrics *mediatorMetrics
-	start   time.Time
+	metrics  *mediatorMetrics
+	start    time.Time
 	// stopProbes ends the background health prober, when one is running
 	// (see StartHealthProbes).
 	stopProbes func()

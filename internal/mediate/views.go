@@ -107,10 +107,14 @@ func (m *Mediator) viewAnswer(ctx context.Context, req QueryRequest, q *sparql.Q
 	span.SetAttr("endpoint", v.Endpoint())
 	st, err := m.Client.SelectStreamContext(ctx, v.Endpoint(), sparql.Format(cq))
 	if err != nil {
+		// The query falls back to federation, so for the metrics the
+		// paper's experiment reads this is a miss, not a hit.
+		m.Views.CountMiss()
 		span.SetAttr("error", err.Error())
 		span.End()
 		return nil, false
 	}
+	m.Views.CountHit(v)
 	span.End()
 	return &QueryStream{
 		limit: req.Limit,

@@ -54,10 +54,10 @@ func TestDictStoreMatchParity(t *testing.T) {
 	}
 	v := rdf.NewVar("v")
 	patterns := []rdf.Triple{
-		{},                                     // ? ? ?
-		{S: rdf.NewIRI("http://e/s1")},         // g ? ?
-		{P: rdf.NewIRI("http://e/p1")},         // ? g ?
-		{O: rdf.NewIRI("http://e/o1")},         // ? ? g
+		{},                             // ? ? ?
+		{S: rdf.NewIRI("http://e/s1")}, // g ? ?
+		{P: rdf.NewIRI("http://e/p1")}, // ? g ?
+		{O: rdf.NewIRI("http://e/o1")}, // ? ? g
 		dsTriple("http://e/s1", "http://e/p1", "http://e/o2"), // g g g
 		{S: rdf.NewIRI("http://e/s1"), P: rdf.NewIRI("http://e/p1"), O: v},
 		{S: rdf.NewIRI("http://e/s1"), P: v, O: rdf.NewIRI("http://e/o1")},

@@ -159,6 +159,7 @@ type Manager struct {
 	epoch atomic.Uint64
 
 	mu     sync.Mutex
+	closed bool // set by Close before wg.Wait; Observe must not wg.Add after it
 	shapes map[string]*shape
 	views  map[string]*View
 	order  []string // signatures in creation order
@@ -217,6 +218,13 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closeOnce.Do(func() {
+		// Flip closed under the same mutex Observe holds for its wg.Add:
+		// once set, no new materialize goroutine can be added, so the
+		// Wait below never races an Add at counter zero (WaitGroup misuse)
+		// and no late build can re-register an endpoint we unregister.
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
 		m.cancel()
 		m.wg.Wait()
 		m.mu.Lock()
@@ -274,10 +282,29 @@ func flatten(q *sparql.Query) ([]rdf.Triple, bool) {
 // signature only if they are identical up to variable names (ground
 // terms already canonicalised by the caller), so a signature match is a
 // containment proof, not a heuristic.
+//
+// Patterns that share a var-blind key are tie-broken by each variable's
+// occurrence profile — the rename-invariant multiset of (var-blind key,
+// position) sites where the variable appears across the whole BGP — so
+// e.g. {?a p ?b . ?b p ?c} keys its patterns by join structure, not by
+// input order. The tie-break is not a full graph canonicalisation:
+// automorphic BGPs whose tied patterns also share occurrence profiles
+// can still hash order-sensitively, costing only a missed hit
+// (incompleteness), never an unsound answer.
 func signature(patterns []rdf.Triple) string {
+	profiles := varProfiles(patterns)
+	sortKey := func(t rdf.Triple) string {
+		f := func(x rdf.Term, pos string) string {
+			if x.Kind == rdf.KindVar {
+				return "?" + pos + "{" + profiles[x.Value] + "}"
+			}
+			return x.String()
+		}
+		return f(t.S, "s") + " " + f(t.P, "p") + " " + f(t.O, "o")
+	}
 	sorted := append([]rdf.Triple(nil), patterns...)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		return varBlindKey(sorted[i]) < varBlindKey(sorted[j])
+		return sortKey(sorted[i]) < sortKey(sorted[j])
 	})
 	rename := map[string]string{}
 	nameOf := func(t rdf.Term) string {
@@ -308,6 +335,29 @@ func varBlindKey(t rdf.Triple) string {
 	return f(t.S) + " " + f(t.P) + " " + f(t.O)
 }
 
+// varProfiles maps each variable name to its occurrence profile: the
+// sorted multiset of (pattern var-blind key, position) sites where the
+// variable occurs. Profiles depend only on BGP structure — never on
+// variable names or pattern order — which makes them safe sort-key
+// material for signature.
+func varProfiles(patterns []rdf.Triple) map[string]string {
+	occ := map[string][]string{}
+	for _, t := range patterns {
+		k := varBlindKey(t)
+		for pos, x := range [3]rdf.Term{t.S, t.P, t.O} {
+			if x.Kind == rdf.KindVar {
+				occ[x.Value] = append(occ[x.Value], k+"#"+strconv.Itoa(pos))
+			}
+		}
+	}
+	out := make(map[string]string, len(occ))
+	for v, sites := range occ {
+		sort.Strings(sites)
+		out[v] = strings.Join(sites, ",")
+	}
+	return out
+}
+
 func canonPatterns(patterns []rdf.Triple, canon func(rdf.Term) rdf.Term) []rdf.Triple {
 	out := make([]rdf.Triple, len(patterns))
 	for i, t := range patterns {
@@ -327,7 +377,12 @@ func canonGround(t rdf.Term, canon func(rdf.Term) rdf.Term) rdf.Term {
 // canon maps ground IRIs to their sameAs representatives (query-side
 // spelling differences must not defeat the signature match). The caller
 // evaluates the (canonicalised) query against the returned view's
-// endpoint. Nil-manager safe.
+// endpoint. A match is not yet a hit: the caller confirms it with
+// CountHit once the view stream actually opens (or CountMiss if opening
+// fails and the query falls back to federation), so
+// sparqlrw_view_hits_total counts served answers, not mere matches.
+// Misses are counted here — nothing can still go right after one.
+// Nil-manager safe.
 func (m *Manager) Answer(q *sparql.Query, canon func(rdf.Term) rdf.Term) (*View, bool) {
 	if m == nil {
 		return nil, false
@@ -340,16 +395,33 @@ func (m *Manager) Answer(q *sparql.Query, canon func(rdf.Term) rdf.Term) (*View,
 	m.mu.Lock()
 	v := m.views[sig]
 	hit := v != nil && !v.stale
-	if hit {
-		v.hits++
-	}
 	m.mu.Unlock()
 	if !hit {
 		m.metrics.misses.Inc()
 		return nil, false
 	}
-	m.metrics.hits.Inc()
 	return v, true
+}
+
+// CountHit records a query actually served from v. Nil-manager safe.
+func (m *Manager) CountHit(v *View) {
+	if m == nil || v == nil {
+		return
+	}
+	m.mu.Lock()
+	v.hits++
+	m.mu.Unlock()
+	m.metrics.hits.Inc()
+}
+
+// CountMiss records a query that matched a view but could not be served
+// from it (the local stream failed to open) and fell back to
+// federation. Nil-manager safe.
+func (m *Manager) CountMiss() {
+	if m == nil {
+		return
+	}
+	m.metrics.misses.Inc()
 }
 
 // Observe mines one decomposed (multi-source) query: its BGP shape is
@@ -367,6 +439,10 @@ func (m *Manager) Observe(q *sparql.Query, sourceOnt string, datasets []string, 
 	pc := canonPatterns(patterns, canon)
 	sig := signature(pc)
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
 	if _, exists := m.views[sig]; exists {
 		m.mu.Unlock()
 		return
@@ -457,8 +533,12 @@ func materializeQuery(sh *shape) string {
 }
 
 // build runs the shape's covering query through the federated pipeline
-// and loads the canonicalised answer into a fresh dictionary store.
-func (m *Manager) build(sh *shape) (*store.DictStore, error) {
+// and loads the answer into a fresh dictionary store, instantiating the
+// given canonicalised templates. templates is an explicit parameter —
+// not read from sh — because a refresh recomputes the canonical shape
+// and must instantiate with the same templates the view will be keyed
+// under, not whatever sh held when the build started.
+func (m *Manager) build(sh *shape, templates []rdf.Triple) (*store.DictStore, error) {
 	ctx, cancel := context.WithTimeout(m.baseCtx, materializeTimeout)
 	defer cancel()
 	res, err := m.runner.Materialize(ctx, materializeQuery(sh), sh.sourceOnt)
@@ -471,7 +551,7 @@ func (m *Manager) build(sh *shape) (*store.DictStore, error) {
 	st := store.NewDictStore()
 	for i, sol := range res.Solutions {
 		suffix := "_v" + strconv.Itoa(i)
-		for _, tpl := range sh.patternsCanon {
+		for _, tpl := range templates {
 			if t, ok := eval.InstantiateTemplate(tpl, sol, suffix); ok {
 				st.Add(t)
 			}
@@ -488,7 +568,7 @@ func (m *Manager) build(sh *shape) (*store.DictStore, error) {
 // the data may predate the KB change.
 func (m *Manager) materialize(sh *shape) {
 	e0 := m.epoch.Load()
-	st, err := m.build(sh)
+	st, err := m.build(sh, sh.patternsCanon)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sh.building = false
@@ -637,8 +717,12 @@ func (m *Manager) refresh(ttl bool) {
 func (m *Manager) refreshView(v *View) {
 	for attempt := 0; attempt < 3; attempt++ {
 		e0 := m.epoch.Load()
+		// Recompute the canonical templates first and instantiate with
+		// them: the rebuilt store must carry the representatives of the
+		// signature the refreshed view is published under, or a signature
+		// match would find a store full of stale representatives.
 		pc := m.runner.Canonicalise(v.def.patternsOrig)
-		st, err := m.build(v.def)
+		st, err := m.build(v.def, pc)
 		if err != nil {
 			return
 		}

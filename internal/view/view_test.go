@@ -172,8 +172,18 @@ SELECT ?x ?y WHERE { ?x m:citationCount ?y . ?x akt:has-author ?w }`)
 	if hv.ID() != v.ID {
 		t.Fatalf("hit view %s, want %s", hv.ID(), v.ID)
 	}
+	// A match is not yet a hit: the serving layer confirms it only once
+	// the view stream opens (CountHit) or records the fallback (CountMiss).
+	if got := m.Stats(); got.Hits != 0 || got.Misses != 1 {
+		t.Fatalf("hits/misses before CountHit = %d/%d, want 0/1", got.Hits, got.Misses)
+	}
+	m.CountHit(hv)
 	if got := m.Stats(); got.Hits != 1 || got.Misses != 1 {
 		t.Fatalf("hits/misses = %d/%d, want 1/1", got.Hits, got.Misses)
+	}
+	m.CountMiss()
+	if got := m.Stats(); got.Misses != 2 {
+		t.Fatalf("misses after CountMiss = %d, want 2", got.Misses)
 	}
 }
 
@@ -267,6 +277,97 @@ func TestNilManagerIsSafe(t *testing.T) {
 	}
 	if st := m.Stats(); len(st.Views) != 0 {
 		t.Fatal("nil manager has views")
+	}
+}
+
+// swapCanonRunner is a fakeRunner whose canonicalisation rule can move
+// mid-test, like a live alignment KB update moving a representative.
+type swapCanonRunner struct {
+	fakeRunner
+	canonMu sync.Mutex
+	canon   func(rdf.Term) rdf.Term
+}
+
+func (r *swapCanonRunner) term(x rdf.Term) rdf.Term {
+	r.canonMu.Lock()
+	defer r.canonMu.Unlock()
+	return r.canon(x)
+}
+
+func (r *swapCanonRunner) Canonicalise(patterns []rdf.Triple) []rdf.Triple {
+	return canonPatterns(patterns, r.term)
+}
+
+// TestRefreshRekeysTemplatesWithSignature guards the soundness hole the
+// review caught: when an alignment update moves a ground IRI's
+// representative, the refreshed view must instantiate its stored triples
+// from the NEW canonical templates — the ones its new signature is built
+// from — or a signature match would probe a store full of old
+// representatives and silently answer empty.
+func TestRefreshRekeysTemplatesWithSignature(t *testing.T) {
+	const alice = "http://a.example/id/alice"
+	const bob = "http://b.example/id/bob"
+	r := &swapCanonRunner{fakeRunner: fakeRunner{solutions: crossSolutions(1), complete: true}}
+	rep := alice
+	r.canon = func(x rdf.Term) rdf.Term {
+		if x.Kind == rdf.KindIRI && (x.Value == alice || x.Value == bob) {
+			return rdf.NewIRI(rep)
+		}
+		return x
+	}
+	m := NewManager(r, nil, Options{MinFrequency: 1})
+	defer m.Close()
+	qa := mustParse(t, `PREFIX akt:<http://www.aktors.org/ontology/portal#>
+PREFIX m:<http://metrics.example/ontology#>
+SELECT ?p ?c WHERE { ?p akt:has-author <http://a.example/id/alice> . ?p m:citationCount ?c }`)
+	m.Observe(qa, "http://src/", []string{"http://e/ds1"}, 1, r.term)
+	waitFor(t, "view to materialize", func() bool { return len(m.Stats().Views) == 1 })
+
+	hasAuthor := rdf.NewIRI("http://www.aktors.org/ontology/portal#has-author")
+	objCount := func(v *View, obj string) int {
+		return v.store.Count(rdf.Triple{S: rdf.NewVar("x"), P: hasAuthor, O: rdf.NewIRI(obj)})
+	}
+	v1, hit := m.Answer(qa, r.term)
+	if !hit {
+		t.Fatal("fresh view missed")
+	}
+	if objCount(v1, alice) == 0 {
+		t.Fatal("fresh view store lacks the current representative")
+	}
+
+	// The alignment KB moves the representative; views are invalidated.
+	r.canonMu.Lock()
+	rep = bob
+	r.canonMu.Unlock()
+	m.InvalidateAll()
+	waitFor(t, "view to refresh", func() bool {
+		st := m.Stats()
+		return st.Refreshes >= 1 && len(st.Views) == 1 && st.Views[0].State == "ready"
+	})
+	v2, hit := m.Answer(qa, r.term)
+	if !hit {
+		t.Fatal("refreshed view missed under the new canonicalisation")
+	}
+	if objCount(v2, bob) == 0 {
+		t.Fatal("refreshed store carries old representatives: signature matches but triples cannot")
+	}
+	if objCount(v2, alice) != 0 {
+		t.Fatal("refreshed store still holds the retired representative")
+	}
+}
+
+// TestObserveAfterCloseIsNoop guards the Close/Observe race: once Close
+// has begun, Observe must not wg.Add (WaitGroup misuse) nor spawn a
+// build that could re-register an endpoint after UnregisterLocal.
+func TestObserveAfterCloseIsNoop(t *testing.T) {
+	r := &fakeRunner{solutions: crossSolutions(1), complete: true}
+	m := NewManager(r, nil, Options{MinFrequency: 1})
+	m.Close()
+	q := mustParse(t, crossQuery)
+	m.Observe(q, "http://src/", []string{"http://e/ds1"}, 1, nil)
+	time.Sleep(20 * time.Millisecond)
+	if n := r.callCount(); n != 0 {
+		t.Fatalf("Observe after Close materialized %d times", n)
 	}
 }
 
